@@ -1,0 +1,89 @@
+//! **Section V-C ablation** — impact of the tie scheme φ and the history
+//! length h on coordinated accuracy.
+//!
+//! The paper reports that the optimistic/pessimistic schemes "had little
+//! impact on the coordinated accuracy", that moving to a single history
+//! bit changed accuracy by roughly 10 %, and that history beyond a few
+//! bits brings only marginal improvement. This bench sweeps h ∈ {1,2,3,5},
+//! both φ schemes, and δ ∈ {2,5,10} on the interleaved workload (the
+//! hardest labeled one) and prints the grid.
+
+use webcap_bench::{bench_scale, pct, print_table, test_instances, TestWorkload};
+use webcap_core::coordinator::TieScheme;
+use webcap_core::meter::{CapacityMeter, MeterConfig};
+use webcap_core::monitor::MetricLevel;
+use webcap_sim::SimConfig;
+
+fn main() {
+    let scale = bench_scale();
+    println!("# Section V-C ablation — history bits, tie scheme, delta (scale = {scale})");
+    let base = SimConfig::testbed(303);
+    let instances = test_instances(TestWorkload::Interleaved, &base, scale, 0xAB1);
+    println!("interleaved test: {} windows", instances.len());
+
+    let mut rows = Vec::new();
+    let mut by_config = Vec::new();
+    for history_bits in [1usize, 2, 3, 5] {
+        for scheme in [TieScheme::Optimistic, TieScheme::Pessimistic] {
+            for delta in [2i32, 5, 10] {
+                let mut cfg = MeterConfig::new(base.seed);
+                cfg.sim = base.clone();
+                cfg.level = MetricLevel::Hpc;
+                cfg.duration_scale = scale;
+                cfg.coordinator.history_bits = history_bits;
+                cfg.coordinator.scheme = scheme;
+                cfg.coordinator.delta = delta;
+                let mut meter = CapacityMeter::train(&cfg)
+                    .unwrap_or_else(|e| panic!("training h={history_bits} failed: {e}"));
+                let report = meter.evaluate_instances(&instances);
+                let ba = report.balanced_accuracy();
+                let confident = report
+                    .results
+                    .iter()
+                    .filter(|r| r.confident)
+                    .count() as f64
+                    / report.results.len().max(1) as f64;
+                rows.push(vec![
+                    history_bits.to_string(),
+                    format!("{scheme:?}"),
+                    delta.to_string(),
+                    pct(ba),
+                    pct(confident),
+                ]);
+                by_config.push((history_bits, scheme, delta, ba));
+            }
+        }
+    }
+    print_table(
+        "Coordinated accuracy on the interleaved workload",
+        &["h", "scheme", "delta", "BA %", "confident %"],
+        &rows,
+    );
+
+    // Paper claims: scheme has little impact; extra history beyond a few
+    // bits is marginal.
+    let mean = |f: &dyn Fn(&(usize, TieScheme, i32, f64)) -> bool| -> f64 {
+        let v: Vec<f64> =
+            by_config.iter().filter(|c| f(c)).map(|c| c.3).collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let opt = mean(&|c| matches!(c.1, TieScheme::Optimistic));
+    let pess = mean(&|c| matches!(c.1, TieScheme::Pessimistic));
+    let h1 = mean(&|c| c.0 == 1);
+    let h3 = mean(&|c| c.0 == 3);
+    let h5 = mean(&|c| c.0 == 5);
+
+    println!("\n== Shape checks ==");
+    println!("scheme impact:  optimistic {} vs pessimistic {} (paper: little impact)", pct(opt), pct(pess));
+    println!("history:        h=1 {}  h=3 {}  h=5 {} (paper: longer history marginal)", pct(h1), pct(h3), pct(h5));
+
+    if scale >= 0.7 {
+        assert!((opt - pess).abs() < 0.15, "schemes should not diverge wildly: {opt} vs {pess}");
+        assert!(
+            (h5 - h3).abs() < 0.12,
+            "history beyond a few bits should be marginal: h3 {h3} h5 {h5}"
+        );
+    } else {
+        println!("(scale < 0.7: smoke run, shape assertions skipped)");
+    }
+}

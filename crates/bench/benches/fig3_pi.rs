@@ -1,0 +1,121 @@
+//! **Figure 3** — Effectiveness of the productivity index in reflecting
+//! high-level performance.
+//!
+//! The paper drives the testbed into overload with the ordering mix,
+//! defines PI on the bottleneck (front-end) tier with IPC as yield and L2
+//! miss rate as cost (chosen by the `Corr` measure), normalizes both PI
+//! and throughput by their geometric means, and shows the two curves in
+//! high agreement, with PI sometimes leading. This bench reruns the
+//! experiment for both representative mixes and prints the normalized
+//! series plus the agreement statistics.
+
+use webcap_bench::{bench_scale, print_table};
+use webcap_core::monitor::collect_run;
+use webcap_core::pi::{correlation, normalize_by_geometric_mean, select_pi};
+use webcap_core::workloads;
+use webcap_hpc::HpcModel;
+use webcap_sim::{SimConfig, TierId};
+use webcap_tpcw::Mix;
+
+fn run_mix(name: &str, mix: &Mix, tier: TierId, seed: u64) {
+    let cfg = SimConfig::testbed(seed);
+    let scale = bench_scale();
+    // The paper "took Ordering and Browsing workloads as input and drove
+    // the test-bed into an overloaded state" with realistic (bursty)
+    // traffic: after a ramp to the knee the load keeps oscillating across
+    // it, so throughput and productivity fluctuate together.
+    let knee = workloads::estimate_saturation_ebs(&cfg, mix);
+    let phase_s = (150.0 * scale).max(60.0);
+    let load = |f: f64| (f64::from(knee) * f) as u32;
+    let program = webcap_tpcw::TrafficProgram::ramp(mix.clone(), load(0.5), load(1.3), phase_s)
+        .then_steady(mix.clone(), load(0.85), phase_s)
+        .then_steady(mix.clone(), load(1.45), phase_s)
+        .then_steady(mix.clone(), load(0.9), phase_s)
+        .then_steady(mix.clone(), load(1.6), phase_s)
+        .then_steady(mix.clone(), load(0.95), phase_s)
+        .then_steady(mix.clone(), load(1.35), phase_s);
+    let log = collect_run(&cfg, &program, &HpcModel::testbed(), seed ^ 0xF16);
+
+    // 60-second aggregation, smoothing the per-second series the way the
+    // paper's plotted curves are smoothed: per-second points are dominated
+    // by the timescale decoupling between when work is consumed and when
+    // its request completes. The initial ramp is excluded — the paper's
+    // run is entirely in the driven-overloaded state, and across a cold
+    // ramp PI (a productivity measure, high when idle) is not expected to
+    // track throughput (a load measure).
+    let window = 60usize.min(log.samples.len().max(1));
+    let skip = (phase_s as usize / window).max(1);
+    let agg = |series: &[f64]| -> Vec<f64> {
+        series
+            .chunks(window)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .skip(skip)
+            .collect()
+    };
+
+    let throughput = agg(&log.throughput_series());
+    let metrics: Vec<webcap_hpc::DerivedMetrics> = log.hpc[tier.index()]
+        .chunks(window)
+        .map(webcap_hpc::DerivedMetrics::mean)
+        .skip(skip)
+        .collect();
+    let selection = select_pi(&metrics, &throughput);
+    let pi_series = selection.definition.series(&metrics);
+
+    let thr_n = normalize_by_geometric_mean(&throughput);
+    let pi_n = normalize_by_geometric_mean(&pi_series);
+    let corr_norm = correlation(&thr_n, &pi_n);
+
+    // Responsiveness: does PI lead throughput? Positive lead means the PI
+    // series correlates best with *future* throughput.
+    let lead_corr = |lag: usize| -> f64 {
+        if pi_n.len() <= lag + 2 {
+            return 0.0;
+        }
+        correlation(&pi_n[..pi_n.len() - lag], &thr_n[lag..])
+    };
+
+    println!("\n--- Figure 3 ({name} mix, {tier} tier) ---");
+    println!("selected PI       : {} (Corr = {:.3})", selection.definition, selection.corr);
+    println!("normalized corr   : {corr_norm:.3}");
+    println!(
+        "lead correlation  : lag0 {:.3}  lag1 {:.3}  lag2 {:.3}",
+        lead_corr(0),
+        lead_corr(1),
+        lead_corr(2)
+    );
+
+    let rows: Vec<Vec<String>> = thr_n
+        .iter()
+        .zip(&pi_n)
+        .enumerate()
+        .map(|(i, (t, p))| {
+            vec![
+                format!("{}", (skip + i + 1) * window),
+                format!("{t:.3}"),
+                format!("{p:.3}"),
+                format!("{:+.3}", p - t),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 3 series ({name})"),
+        &["t_s", "throughput (norm)", "PI (norm)", "delta"],
+        &rows,
+    );
+    println!(
+        "paper reference   : PI and throughput 'in high agreement'; every PI drop \
+         coincides with a throughput drop; PI is more responsive in places."
+    );
+    assert!(corr_norm > 0.5, "PI should track throughput (corr {corr_norm})");
+}
+
+fn main() {
+    println!("# Figure 3 — effectiveness of PI in reflecting high-level performance");
+    println!("(scale = {})", bench_scale());
+    // The paper plots the ordering mix (front-end bottleneck, IPC / L2
+    // miss rate) and reports the browsing-mix pair (DB IPC / stalls) in
+    // the text.
+    run_mix("Ordering", &Mix::ordering(), TierId::App, 31);
+    run_mix("Browsing", &Mix::browsing(), TierId::Db, 32);
+}

@@ -1,0 +1,161 @@
+//! **Figure 4** — Coordinated prediction accuracy under different
+//! workloads.
+//!
+//! 4(a): overload prediction accuracy and 4(b): bottleneck identification
+//! accuracy, for OS-level and HPC-level metrics over the four test
+//! workloads. Configuration follows the paper's Section V-C: TAN
+//! synopses, 3 history bits, optimistic scheme, δ = 5.
+//!
+//! Paper shape: HPC ≈ 90 %+ for a-priori-known mixes, > 85 % for the
+//! interleaved mix (frequent bottleneck shifting), ≈ 80 % for the unknown
+//! mix; OS-level metrics trail badly wherever browsing traffic is
+//! involved. Bottleneck accuracy follows the same trend.
+
+use webcap_bench::{bench_scale, pct, print_table, test_instances, TestWorkload};
+use webcap_core::meter::{CapacityMeter, EvaluationReport, MeterConfig};
+use webcap_core::monitor::MetricLevel;
+use webcap_sim::SimConfig;
+
+/// Paper bar heights (approximate, read off Figure 4), as fractions.
+fn paper_overload(level: MetricLevel, w: TestWorkload) -> f64 {
+    match (level, w) {
+        (MetricLevel::Os, TestWorkload::Ordering) => 0.88,
+        (MetricLevel::Os, TestWorkload::Browsing) => 0.62,
+        (MetricLevel::Os, TestWorkload::Interleaved) => 0.70,
+        (MetricLevel::Os, TestWorkload::Unknown) => 0.65,
+        (MetricLevel::Hpc, TestWorkload::Ordering) => 0.92,
+        (MetricLevel::Hpc, TestWorkload::Browsing) => 0.91,
+        (MetricLevel::Hpc, TestWorkload::Interleaved) => 0.87,
+        (MetricLevel::Hpc, TestWorkload::Unknown) => 0.80,
+        (MetricLevel::Combined, _) => f64::NAN, // not in the paper
+    }
+}
+
+fn paper_bottleneck(level: MetricLevel, w: TestWorkload) -> f64 {
+    match (level, w) {
+        (MetricLevel::Os, TestWorkload::Ordering) => 0.86,
+        (MetricLevel::Os, TestWorkload::Browsing) => 0.60,
+        (MetricLevel::Os, TestWorkload::Interleaved) => 0.68,
+        (MetricLevel::Os, TestWorkload::Unknown) => 0.63,
+        (MetricLevel::Hpc, TestWorkload::Ordering) => 0.91,
+        (MetricLevel::Hpc, TestWorkload::Browsing) => 0.90,
+        (MetricLevel::Hpc, TestWorkload::Interleaved) => 0.86,
+        (MetricLevel::Hpc, TestWorkload::Unknown) => 0.78,
+        (MetricLevel::Combined, _) => f64::NAN, // not in the paper
+    }
+}
+
+fn main() {
+    let scale = bench_scale();
+    println!("# Figure 4 — coordinated prediction accuracy (scale = {scale})");
+    let base = SimConfig::testbed(202);
+
+    let mut overload_rows = Vec::new();
+    let mut bottleneck_rows = Vec::new();
+    let mut measured: Vec<(MetricLevel, TestWorkload, EvaluationReport)> = Vec::new();
+
+    for level in MetricLevel::ALL {
+        let mut cfg = MeterConfig::new(base.seed);
+        cfg.sim = base.clone();
+        cfg.level = level;
+        cfg.duration_scale = scale;
+        // Scale the confidence band δ with the available training data, as
+        // discussed in `MeterConfig::small_for_tests`.
+        if scale < 0.8 {
+            cfg.coordinator.delta = 2;
+        }
+        let mut meter = CapacityMeter::train(&cfg)
+            .unwrap_or_else(|e| panic!("training {level} meter failed: {e}"));
+        for workload in TestWorkload::ALL {
+            // Average several independent executions, as the paper does;
+            // a single run of ~32 windows carries ±7% binomial noise on
+            // top of the slow environmental disturbances.
+            let mut report = EvaluationReport::default();
+            for rep in 0u64..3 {
+                let mut test_cfg = base.clone();
+                test_cfg.seed = base.seed ^ (0xF4 + 1000 * rep) ^ workload as u64;
+                let instances =
+                    test_instances(workload, &test_cfg, scale, 0xF4 ^ workload as u64 ^ rep);
+                report.merge(&meter.evaluate_instances(&instances));
+            }
+            measured.push((level, workload, report));
+        }
+    }
+
+    for workload in TestWorkload::ALL {
+        let mut o_row = vec![workload.label().to_string()];
+        let mut b_row = vec![workload.label().to_string()];
+        for level in MetricLevel::ALL {
+            let report = &measured
+                .iter()
+                .find(|(l, w, _)| *l == level && *w == workload)
+                .expect("measured")
+                .2;
+            o_row.push(format!(
+                "{} ({})",
+                pct(report.balanced_accuracy()),
+                pct(paper_overload(level, workload))
+            ));
+            let bacc = report.bottleneck_accuracy();
+            b_row.push(format!(
+                "{} ({})",
+                bacc.map_or("n/a".to_string(), pct),
+                pct(paper_bottleneck(level, workload))
+            ));
+        }
+        o_row.push(format!(
+            "{}",
+            measured
+                .iter()
+                .find(|(l, w, _)| *l == MetricLevel::Hpc && *w == workload)
+                .map(|(_, _, r)| r.confusion.total())
+                .unwrap_or(0)
+        ));
+        overload_rows.push(o_row);
+        bottleneck_rows.push(b_row);
+    }
+
+    print_table(
+        "Figure 4(a) — overload prediction balanced accuracy %, measured (paper)",
+        &["Workload", "OS Level", "HPC Level", "windows"],
+        &overload_rows,
+    );
+    print_table(
+        "Figure 4(b) — bottleneck identification accuracy %, measured (paper)",
+        &["Workload", "OS Level", "HPC Level"],
+        &bottleneck_rows,
+    );
+
+    // Shape assertions from Section V-C.
+    let get = |level, workload| {
+        measured
+            .iter()
+            .find(|(l, w, _)| *l == level && *w == workload)
+            .map(|(_, _, r)| r.balanced_accuracy())
+            .expect("measured")
+    };
+    let hpc_ordering = get(MetricLevel::Hpc, TestWorkload::Ordering);
+    let hpc_browsing = get(MetricLevel::Hpc, TestWorkload::Browsing);
+    let hpc_interleaved = get(MetricLevel::Hpc, TestWorkload::Interleaved);
+    let hpc_unknown = get(MetricLevel::Hpc, TestWorkload::Unknown);
+    let os_browsing = get(MetricLevel::Os, TestWorkload::Browsing);
+
+    println!("\n== Shape checks (Section V-C) ==");
+    println!("HPC known mixes >= ~90%:   ordering {} browsing {}", pct(hpc_ordering), pct(hpc_browsing));
+    println!("HPC interleaved > 85%:     {}", pct(hpc_interleaved));
+    println!("HPC unknown ~ 80%:         {}", pct(hpc_unknown));
+    println!("OS poor on browsing:       {}", pct(os_browsing));
+
+    if scale >= 0.7 {
+        assert!(hpc_ordering >= 0.85, "known-mix HPC accuracy too low: {hpc_ordering}");
+        assert!(hpc_browsing >= 0.85, "known-mix HPC accuracy too low: {hpc_browsing}");
+        assert!(hpc_interleaved >= 0.75, "interleaved HPC accuracy too low: {hpc_interleaved}");
+        assert!(hpc_unknown >= 0.65, "unknown-mix HPC accuracy too low: {hpc_unknown}");
+        assert!(
+            hpc_browsing > os_browsing,
+            "HPC must beat OS on browsing: {hpc_browsing} vs {os_browsing}"
+        );
+    } else {
+        println!("(scale < 0.7: smoke run, shape assertions skipped)");
+    }
+}

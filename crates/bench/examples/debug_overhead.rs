@@ -1,0 +1,18 @@
+//! Debug: why doesn't app collector overhead cost throughput at 500 EBs?
+use webcap_sim::{run, SimConfig};
+use webcap_tpcw::{Mix, TrafficProgram};
+
+fn main() {
+    for oh in [0.0, 0.10] {
+        let mut cfg = SimConfig::testbed(8);
+        cfg.app.collector_overhead = oh;
+        let out = run(cfg, TrafficProgram::steady(Mix::ordering(), 500, 300.0));
+        let tail = &out.samples[120..];
+        let thr: f64 = tail.iter().map(|s| s.throughput()).sum::<f64>() / tail.len() as f64;
+        let app_util: f64 = tail.iter().map(|s| s.app.utilization).sum::<f64>() / tail.len() as f64;
+        let runnable: f64 = tail.iter().map(|s| s.app.avg_runnable).sum::<f64>() / tail.len() as f64;
+        let pool: f64 = tail.iter().map(|s| s.app.pool_in_use_avg).sum::<f64>() / tail.len() as f64;
+        let work: f64 = tail.iter().map(|s| s.app.delivered_work_s).sum::<f64>() / tail.len() as f64;
+        println!("overhead {oh}: thr {thr:.2} app_util {app_util:.3} runnable {runnable:.1} pool {pool:.1} work {work:.3}");
+    }
+}

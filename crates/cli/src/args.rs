@@ -1,0 +1,230 @@
+//! Minimal command-line argument parsing (no external dependencies).
+//!
+//! Supports `--key value`, `--key=value`, and bare flags; positional
+//! arguments are collected in order. Unknown options are an error, which
+//! keeps typos from silently running a default configuration.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed arguments: positionals in order plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Error produced when arguments cannot be parsed or validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// `--key` appeared twice.
+    Duplicate(String),
+    /// An option that requires a value was last on the line.
+    MissingValue(String),
+    /// An option value failed to parse.
+    Invalid {
+        /// Option name.
+        key: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// An option is not recognized by the subcommand.
+    Unknown(String),
+    /// A required option is absent.
+    Required(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::Duplicate(k) => write!(f, "option --{k} given twice"),
+            ArgsError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgsError::Invalid { key, value, expected } => {
+                write!(f, "option --{key}: '{value}' is not a valid {expected}")
+            }
+            ArgsError::Unknown(k) => write!(f, "unknown option --{k}"),
+            ArgsError::Required(k) => write!(f, "missing required option --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parse raw arguments (excluding the program and subcommand names).
+    ///
+    /// Every `--key` consumes the next token as its value unless it uses
+    /// `--key=value` form or appears in `bare_flags`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] on duplicates or missing values.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        bare_flags: &[&str],
+    ) -> Result<Args, ArgsError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(stripped) = token.strip_prefix("--") {
+                let (key, inline) = match stripped.split_once('=') {
+                    Some((k, v)) => (k.to_string(), Some(v.to_string())),
+                    None => (stripped.to_string(), None),
+                };
+                if bare_flags.contains(&key.as_str()) && inline.is_none() {
+                    if args.flags.contains(&key) {
+                        return Err(ArgsError::Duplicate(key));
+                    }
+                    args.flags.push(key);
+                    continue;
+                }
+                let value = match inline {
+                    Some(v) => v,
+                    None => iter.next().ok_or_else(|| ArgsError::MissingValue(key.clone()))?,
+                };
+                if args.options.insert(key.clone(), value).is_some() {
+                    return Err(ArgsError::Duplicate(key));
+                }
+            } else {
+                args.positional.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::Required`] when absent.
+    pub fn require(&self, key: &str) -> Result<&str, ArgsError> {
+        self.get(key).ok_or_else(|| ArgsError::Required(key.to_string()))
+    }
+
+    /// A parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::Invalid`] when present but unparseable.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::Invalid {
+                key: key.to_string(),
+                value: v.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Reject any option or flag not in `allowed` (typo protection).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::Unknown`] naming the first unknown option.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgsError> {
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgsError::Unknown(key.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgsError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()), &["verbose"])
+    }
+
+    #[test]
+    fn parses_options_flags_and_positionals() {
+        let a = parse(&["run", "--seed", "7", "--mix=ordering", "--verbose", "extra"]).unwrap();
+        assert_eq!(a.positional(), &["run", "extra"]);
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get("mix"), Some("ordering"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn duplicate_is_an_error() {
+        assert_eq!(
+            parse(&["--seed", "1", "--seed", "2"]).err(),
+            Some(ArgsError::Duplicate("seed".into()))
+        );
+        assert_eq!(
+            parse(&["--verbose", "--verbose"]).err(),
+            Some(ArgsError::Duplicate("verbose".into()))
+        );
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(parse(&["--seed"]).err(), Some(ArgsError::MissingValue("seed".into())));
+    }
+
+    #[test]
+    fn numeric_parsing_with_default() {
+        let a = parse(&["--scale", "0.5"]).unwrap();
+        assert_eq!(a.get_parsed("scale", 1.0, "number").unwrap(), 0.5);
+        assert_eq!(a.get_parsed("missing", 9u32, "integer").unwrap(), 9);
+        let bad = parse(&["--scale", "abc"]).unwrap();
+        assert!(matches!(
+            bad.get_parsed::<f64>("scale", 1.0, "number"),
+            Err(ArgsError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_option_rejection() {
+        let a = parse(&["--seed", "1", "--oops", "2"]).unwrap();
+        assert_eq!(a.reject_unknown(&["seed"]).err(), Some(ArgsError::Unknown("oops".into())));
+        assert!(a.reject_unknown(&["seed", "oops"]).is_ok());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.require("out").err(), Some(ArgsError::Required("out".into())));
+    }
+
+    #[test]
+    fn error_messages_are_readable() {
+        assert_eq!(ArgsError::Required("out".into()).to_string(), "missing required option --out");
+        assert!(ArgsError::Invalid { key: "s".into(), value: "x".into(), expected: "number" }
+            .to_string()
+            .contains("not a valid number"));
+    }
+}

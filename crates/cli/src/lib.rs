@@ -1,0 +1,5 @@
+//! Library surface of the webcap CLI: argument parsing and subcommand
+//! implementations, exposed so they can be unit-tested and reused.
+
+pub mod args;
+pub mod commands;

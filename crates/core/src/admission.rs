@@ -1,0 +1,246 @@
+//! A measurement-based admission controller — the paper's motivating
+//! application (Section I: "knowledge about the server capacity can help a
+//! measurement-based admission controller in the front-end to regulate the
+//! input traffic rate so as to prevent the server from running in an
+//! overloaded state").
+//!
+//! The controller runs an AIMD loop over the meter's online predictions:
+//! while the meter reports underload, the admitted-session cap grows
+//! additively; on a predicted overload it shrinks multiplicatively. The
+//! experiment driver simulates consecutive steady segments (the closed
+//! loop re-converges within a think cycle, so segment boundaries are a
+//! faithful approximation of continuous control) and reports the
+//! with/without-controller comparison.
+
+use serde::{Deserialize, Serialize};
+use webcap_tpcw::{Mix, TrafficProgram};
+
+use crate::meter::CapacityMeter;
+use crate::monitor::collect_run;
+
+/// AIMD policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Lower bound on the admitted-session cap.
+    pub min_ebs: u32,
+    /// Additive increase per underloaded interval.
+    pub increase_step: u32,
+    /// Multiplicative decrease factor applied on predicted overload.
+    pub decrease_factor: f64,
+    /// Seconds per control segment (one prediction per segment).
+    pub segment_s: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig { min_ebs: 20, increase_step: 25, decrease_factor: 0.75, segment_s: 60.0 }
+    }
+}
+
+/// The AIMD controller state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    cap: u32,
+}
+
+impl AdmissionController {
+    /// Create a controller with an initial admitted-session cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is degenerate (`decrease_factor` outside
+    /// `(0, 1)`, `min_ebs == 0`, or non-positive segment length).
+    pub fn new(cfg: AdmissionConfig, initial_cap: u32) -> AdmissionController {
+        assert!(cfg.min_ebs > 0, "min_ebs must be positive");
+        assert!(
+            cfg.decrease_factor > 0.0 && cfg.decrease_factor < 1.0,
+            "decrease factor must be in (0,1)"
+        );
+        assert!(cfg.segment_s > 0.0, "segment must be positive");
+        AdmissionController { cfg, cap: initial_cap.max(cfg.min_ebs) }
+    }
+
+    /// Current admitted-session cap.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Feed one overload prediction; returns the updated cap.
+    pub fn on_prediction(&mut self, overloaded: bool) -> u32 {
+        if overloaded {
+            self.cap =
+                ((self.cap as f64 * self.cfg.decrease_factor) as u32).max(self.cfg.min_ebs);
+        } else {
+            self.cap += self.cfg.increase_step;
+        }
+        self.cap
+    }
+}
+
+/// One control segment's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentOutcome {
+    /// Segment index.
+    pub segment: usize,
+    /// Sessions admitted during the segment.
+    pub admitted_ebs: u32,
+    /// Meter's verdict on the segment.
+    pub predicted_overload: bool,
+    /// Oracle verdict.
+    pub actual_overload: bool,
+    /// Mean throughput, requests/second.
+    pub throughput: f64,
+    /// Mean response time, seconds.
+    pub mean_response_time_s: f64,
+}
+
+/// Outcome of an admission-control experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdmissionOutcome {
+    /// Per-segment trace.
+    pub segments: Vec<SegmentOutcome>,
+}
+
+impl AdmissionOutcome {
+    /// Mean response time across segments.
+    pub fn mean_response_time_s(&self) -> f64 {
+        if self.segments.is_empty() {
+            return 0.0;
+        }
+        self.segments.iter().map(|s| s.mean_response_time_s).sum::<f64>()
+            / self.segments.len() as f64
+    }
+
+    /// Mean throughput across segments.
+    pub fn mean_throughput(&self) -> f64 {
+        if self.segments.is_empty() {
+            return 0.0;
+        }
+        self.segments.iter().map(|s| s.throughput).sum::<f64>() / self.segments.len() as f64
+    }
+
+    /// Fraction of segments the oracle marked overloaded.
+    pub fn overload_fraction(&self) -> f64 {
+        if self.segments.is_empty() {
+            return 0.0;
+        }
+        self.segments.iter().filter(|s| s.actual_overload).count() as f64
+            / self.segments.len() as f64
+    }
+}
+
+/// Drive `segments` control segments of offered load `offered_ebs` under
+/// `mix`, admitting at most the controller's cap each segment. Pass
+/// `controlled = false` to measure the uncontrolled baseline (cap pinned
+/// at the offered load).
+pub fn run_admission_experiment(
+    meter: &mut CapacityMeter,
+    cfg: AdmissionConfig,
+    mix: &Mix,
+    offered_ebs: u32,
+    segments: usize,
+    controlled: bool,
+    seed: u64,
+) -> AdmissionOutcome {
+    let mut controller = AdmissionController::new(cfg, offered_ebs.min(cfg.min_ebs * 4));
+    meter.reset_history();
+    let window_len = meter.config().window_len;
+    let mut out = Vec::with_capacity(segments);
+    for i in 0..segments {
+        let admitted = if controlled { controller.cap().min(offered_ebs) } else { offered_ebs };
+        let program = TrafficProgram::steady(mix.clone(), admitted, cfg.segment_s);
+        let mut sim = meter.config().sim.clone();
+        sim.seed = seed.wrapping_add(i as u64);
+        let log = collect_run(
+            &sim,
+            &program,
+            &meter.config().hpc_model,
+            seed.wrapping_add(1000 + i as u64),
+        );
+        // Judge the segment by its final window (steady state reached).
+        let windows = log.windows(window_len, window_len, &meter.config().oracle);
+        let Some(w) = windows.last() else { continue };
+        let prediction = meter.predict(w);
+        let completed: u64 = log.samples.iter().map(|s| s.completed).sum();
+        let rt_sum: f64 = log.samples.iter().map(|s| s.response_time_sum_s).sum();
+        out.push(SegmentOutcome {
+            segment: i,
+            admitted_ebs: admitted,
+            predicted_overload: prediction.overloaded,
+            actual_overload: w.overloaded(),
+            throughput: completed as f64 / cfg.segment_s,
+            mean_response_time_s: if completed > 0 { rt_sum / completed as f64 } else { 0.0 },
+        });
+        if controlled {
+            controller.on_prediction(prediction.overloaded);
+        }
+    }
+    AdmissionOutcome { segments: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aimd_decreases_on_overload_increases_otherwise() {
+        let mut c = AdmissionController::new(AdmissionConfig::default(), 400);
+        assert_eq!(c.cap(), 400);
+        let after_over = c.on_prediction(true);
+        assert_eq!(after_over, 300);
+        let after_under = c.on_prediction(false);
+        assert_eq!(after_under, 325);
+    }
+
+    #[test]
+    fn cap_never_drops_below_minimum() {
+        let cfg = AdmissionConfig { min_ebs: 50, ..AdmissionConfig::default() };
+        let mut c = AdmissionController::new(cfg, 60);
+        for _ in 0..10 {
+            c.on_prediction(true);
+        }
+        assert_eq!(c.cap(), 50);
+    }
+
+    #[test]
+    fn initial_cap_clamps_up_to_minimum() {
+        let cfg = AdmissionConfig { min_ebs: 40, ..AdmissionConfig::default() };
+        let c = AdmissionController::new(cfg, 5);
+        assert_eq!(c.cap(), 40);
+    }
+
+    #[test]
+    fn outcome_statistics() {
+        let outcome = AdmissionOutcome {
+            segments: vec![
+                SegmentOutcome {
+                    segment: 0,
+                    admitted_ebs: 100,
+                    predicted_overload: false,
+                    actual_overload: false,
+                    throughput: 50.0,
+                    mean_response_time_s: 0.2,
+                },
+                SegmentOutcome {
+                    segment: 1,
+                    admitted_ebs: 200,
+                    predicted_overload: true,
+                    actual_overload: true,
+                    throughput: 40.0,
+                    mean_response_time_s: 2.0,
+                },
+            ],
+        };
+        assert_eq!(outcome.mean_throughput(), 45.0);
+        assert_eq!(outcome.mean_response_time_s(), 1.1);
+        assert_eq!(outcome.overload_fraction(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "decrease factor")]
+    fn bad_decrease_factor_rejected() {
+        let cfg = AdmissionConfig { decrease_factor: 1.5, ..AdmissionConfig::default() };
+        let _ = AdmissionController::new(cfg, 100);
+    }
+}

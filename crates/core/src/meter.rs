@@ -1,0 +1,444 @@
+//! The capacity meter: end-to-end training and online evaluation of the
+//! two-level coordinated capacity measurement.
+//!
+//! [`CapacityMeter::train`] reproduces the paper's offline phase: run the
+//! ramp+spike training workloads for the two representative mixes, build
+//! one performance synopsis per (workload, tier), and train the
+//! coordinated predictor over the synopses' outputs. The trained meter
+//! then classifies unseen intervals online ([`CapacityMeter::predict`])
+//! and identifies the bottleneck tier when overloaded.
+
+use serde::{Deserialize, Serialize};
+use webcap_hpc::HpcModel;
+use webcap_ml::select::SelectionOptions;
+use webcap_ml::{Algorithm, ConfusionMatrix, FitError};
+use webcap_sim::{SimConfig, TierId};
+use webcap_tpcw::{Mix, MixId, TrafficProgram};
+
+use crate::coordinator::{CoordinatedPrediction, CoordinatedPredictor, CoordinatorConfig};
+use crate::monitor::{collect_run, MetricLevel, WindowInstance};
+use crate::oracle::OracleConfig;
+use crate::synopsis::{PerformanceSynopsis, SynopsisSpec};
+use crate::workloads;
+
+/// Full configuration of a capacity meter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeterConfig {
+    /// Testbed configuration (its seed drives the training simulations).
+    pub sim: SimConfig,
+    /// Hardware-counter synthesis model.
+    pub hpc_model: HpcModel,
+    /// Metric family the synopses are built on.
+    pub level: MetricLevel,
+    /// Learning algorithm for all synopses (the paper settles on TAN).
+    pub algorithm: Algorithm,
+    /// Coordinated-predictor hyper-parameters.
+    pub coordinator: CoordinatorConfig,
+    /// Ground-truth oracle thresholds.
+    pub oracle: OracleConfig,
+    /// Attribute-selection options.
+    pub selection: SelectionOptions,
+    /// Window length in samples (paper: 30 × 1 s).
+    pub window_len: usize,
+    /// Stride between training windows (overlap multiplies training data).
+    pub train_stride: usize,
+    /// Stride between evaluation windows (paper: disjoint).
+    pub test_stride: usize,
+    /// Scale on training/testing program durations.
+    pub duration_scale: f64,
+    /// Extra factor on *training* run durations relative to tests. The
+    /// paper's training runs are hours long; the two-level predictor needs
+    /// enough per-cell counter mass for its δ confidence band.
+    pub train_duration_factor: f64,
+    /// Independent executions of each workload's training program. Slow
+    /// environmental disturbances (OS daemon activity) differ between
+    /// executions; training on several exposes the learners and the
+    /// pattern tables to that variability.
+    pub training_repeats: usize,
+    /// Seed for metric-synthesis noise.
+    pub metrics_seed: u64,
+    /// Passes over the training instances when training the coordinator.
+    pub coordinator_epochs: usize,
+}
+
+impl MeterConfig {
+    /// Full-scale defaults: HPC metrics, TAN synopses, 3 history bits,
+    /// δ = 5, optimistic scheme, 30 s windows.
+    pub fn new(seed: u64) -> MeterConfig {
+        MeterConfig {
+            sim: SimConfig::testbed(seed),
+            hpc_model: HpcModel::testbed(),
+            level: MetricLevel::Hpc,
+            algorithm: Algorithm::Tan,
+            coordinator: CoordinatorConfig::default(),
+            oracle: OracleConfig::default(),
+            selection: SelectionOptions::default(),
+            window_len: 30,
+            train_stride: 5,
+            test_stride: 30,
+            duration_scale: 1.0,
+            train_duration_factor: 1.0,
+            training_repeats: 2,
+            metrics_seed: seed ^ 0x5eed_cafe,
+            coordinator_epochs: 4,
+        }
+    }
+
+    /// A reduced configuration for fast unit/integration tests: shorter
+    /// programs, lighter cross validation, fewer attributes.
+    pub fn small_for_tests(seed: u64) -> MeterConfig {
+        let mut cfg = MeterConfig::new(seed);
+        cfg.duration_scale = 0.45;
+        cfg.selection =
+            SelectionOptions { folds: 5, max_attributes: 4, ..SelectionOptions::default() };
+        // With ~10x less training data than the full-scale runs, the
+        // paper's delta = 5 confidence band leaves knee-region patterns
+        // permanently uncertain; scale it down with the data volume.
+        cfg.coordinator.delta = 2;
+        cfg
+    }
+
+    /// Builder-style override of the metric level.
+    pub fn with_level(mut self, level: MetricLevel) -> MeterConfig {
+        self.level = level;
+        self
+    }
+
+    /// Builder-style override of the learning algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> MeterConfig {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+/// Outcome of one evaluated window during online prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceResult {
+    /// Window end time within its run, seconds.
+    pub t_end_s: f64,
+    /// Oracle state.
+    pub actual: bool,
+    /// Coordinated prediction.
+    pub predicted: bool,
+    /// Oracle bottleneck tier.
+    pub actual_bottleneck: TierId,
+    /// Predicted bottleneck (only when predicted overloaded).
+    pub predicted_bottleneck: Option<TierId>,
+    /// Whether the predictor was outside its δ uncertainty band.
+    pub confident: bool,
+}
+
+/// Aggregated evaluation of a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    /// Overload-prediction confusion matrix.
+    pub confusion: ConfusionMatrix,
+    /// Overloaded windows on which a bottleneck prediction was made.
+    pub bottleneck_evaluated: usize,
+    /// Of those, how many named the oracle's bottleneck tier.
+    pub bottleneck_correct: usize,
+    /// Per-window outcomes, in time order.
+    pub results: Vec<InstanceResult>,
+}
+
+impl EvaluationReport {
+    /// Balanced accuracy of overload prediction (the paper's BA metric);
+    /// 0.0 for an empty report.
+    pub fn balanced_accuracy(&self) -> f64 {
+        self.confusion.balanced_accuracy().unwrap_or(0.0)
+    }
+
+    /// Bottleneck identification accuracy over the overloaded windows the
+    /// predictor flagged; `None` when no such window exists.
+    pub fn bottleneck_accuracy(&self) -> Option<f64> {
+        (self.bottleneck_evaluated > 0)
+            .then(|| self.bottleneck_correct as f64 / self.bottleneck_evaluated as f64)
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: &EvaluationReport) {
+        self.confusion.merge(&other.confusion);
+        self.bottleneck_evaluated += other.bottleneck_evaluated;
+        self.bottleneck_correct += other.bottleneck_correct;
+        self.results.extend(other.results.iter().copied());
+    }
+}
+
+/// A trained capacity meter: four performance synopses (2 workloads × 2
+/// tiers) and the coordinated predictor over them.
+///
+/// Serializable: train offline, persist with [`CapacityMeter::to_json`],
+/// and deploy the deserialized meter online.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct CapacityMeter {
+    config: MeterConfig,
+    synopses: Vec<PerformanceSynopsis>,
+    coordinator: CoordinatedPredictor,
+}
+
+impl CapacityMeter {
+    /// The (workload, tier) grid of synopsis identities, in GPV bit order.
+    pub fn synopsis_grid() -> [(MixId, TierId); 4] {
+        [
+            (MixId::Ordering, TierId::App),
+            (MixId::Ordering, TierId::Db),
+            (MixId::Browsing, TierId::App),
+            (MixId::Browsing, TierId::Db),
+        ]
+    }
+
+    /// Train the meter: run the two training workloads, induce the four
+    /// synopses, and train the coordinated predictor over their outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FitError`] if any synopsis cannot be induced (e.g. a
+    /// training program too light to produce overloaded windows).
+    pub fn train(config: &MeterConfig) -> Result<CapacityMeter, FitError> {
+        let mut synopses = Vec::with_capacity(4);
+        let mut run_instances: Vec<Vec<WindowInstance>> = Vec::with_capacity(2);
+
+        for (i, (workload, mix)) in
+            [(MixId::Ordering, Mix::ordering()), (MixId::Browsing, Mix::browsing())]
+                .into_iter()
+                .enumerate()
+        {
+            let program = workloads::training_program(
+                &config.sim,
+                &mix,
+                config.duration_scale * config.train_duration_factor.max(0.1),
+            );
+            // Several independent executions: distinct simulation seeds and
+            // metric-disturbance trajectories.
+            let mut all = Vec::new();
+            for rep in 0..config.training_repeats.max(1) {
+                let mut sim = config.sim.clone();
+                sim.seed = config.sim.seed.wrapping_add((i + 10 * rep) as u64);
+                let log = collect_run(
+                    &sim,
+                    &program,
+                    &config.hpc_model,
+                    config.metrics_seed.wrapping_add((i + 100 * rep) as u64),
+                );
+                let instances =
+                    log.windows(config.window_len, config.train_stride, &config.oracle);
+                run_instances.push(instances.clone());
+                all.extend(instances);
+            }
+            for tier in TierId::ALL {
+                let spec = SynopsisSpec {
+                    tier,
+                    workload,
+                    level: config.level,
+                    algorithm: config.algorithm,
+                };
+                synopses.push(PerformanceSynopsis::train(spec, &all, &config.selection)?);
+            }
+        }
+
+        let mut coordinator = CoordinatedPredictor::new(synopses.len(), config.coordinator);
+        for _ in 0..config.coordinator_epochs.max(1) {
+            for run in &run_instances {
+                coordinator.reset_history();
+                for w in run {
+                    let preds: Vec<bool> =
+                        synopses.iter().map(|s| s.predict_instance(w)).collect();
+                    coordinator.train_instance(&preds, w.overloaded(), Some(w.label.bottleneck));
+                }
+            }
+        }
+        coordinator.reset_history();
+
+        Ok(CapacityMeter { config: config.clone(), synopses, coordinator })
+    }
+
+    /// The meter's configuration.
+    pub fn config(&self) -> &MeterConfig {
+        &self.config
+    }
+
+    /// Serialize the trained meter (synopses, pattern tables, and config)
+    /// to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serializer error (only possible on exotic
+    /// float values; trained meters serialize cleanly).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Load a previously trained meter from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer error for malformed input.
+    pub fn from_json(json: &str) -> Result<CapacityMeter, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// The trained synopses, in GPV bit order (see
+    /// [`CapacityMeter::synopsis_grid`]).
+    pub fn synopses(&self) -> &[PerformanceSynopsis] {
+        &self.synopses
+    }
+
+    /// Predict the system state of one window online (advances the
+    /// predictor's temporal history).
+    pub fn predict(&mut self, window: &WindowInstance) -> CoordinatedPrediction {
+        let preds: Vec<bool> = self.synopses.iter().map(|s| s.predict_instance(window)).collect();
+        self.coordinator.predict(&preds)
+    }
+
+    /// Reset the temporal history (call between unrelated runs).
+    pub fn reset_history(&mut self) {
+        self.coordinator.reset_history();
+    }
+
+    /// Evaluate the meter over a sequence of labeled windows.
+    pub fn evaluate_instances(&mut self, instances: &[WindowInstance]) -> EvaluationReport {
+        self.reset_history();
+        let mut report = EvaluationReport::default();
+        for w in instances {
+            let out = self.predict(w);
+            report.confusion.record(w.overloaded(), out.overloaded);
+            if w.overloaded() && out.overloaded {
+                report.bottleneck_evaluated += 1;
+                if out.bottleneck == Some(w.label.bottleneck) {
+                    report.bottleneck_correct += 1;
+                }
+            }
+            report.results.push(InstanceResult {
+                t_end_s: w.t_end_s,
+                actual: w.overloaded(),
+                predicted: out.overloaded,
+                actual_bottleneck: w.label.bottleneck,
+                predicted_bottleneck: out.bottleneck,
+                confident: out.confident,
+            });
+        }
+        report
+    }
+
+    /// Run `program` on a fresh simulation (seeded by `sim_seed`) and
+    /// evaluate the meter's online predictions over it.
+    pub fn evaluate_program(&mut self, program: &TrafficProgram, sim_seed: u64) -> EvaluationReport {
+        let mut sim = self.config.sim.clone();
+        sim.seed = sim_seed;
+        let log = collect_run(
+            &sim,
+            program,
+            &self.config.hpc_model,
+            self.config.metrics_seed.wrapping_add(sim_seed),
+        );
+        let instances =
+            log.windows(self.config.window_len, self.config.test_stride, &self.config.oracle);
+        self.evaluate_instances(&instances)
+    }
+
+    /// Evaluate on a knee-crossing test ramp of the given mix.
+    pub fn evaluate_mix(&mut self, mix: Mix, sim_seed: u64) -> EvaluationReport {
+        let program = workloads::test_ramp(&self.config.sim, &mix, self.config.duration_scale);
+        self.evaluate_program(&program, sim_seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Meter training runs two full simulations; keep one shared meter.
+    fn trained() -> CapacityMeter {
+        CapacityMeter::train(&MeterConfig::small_for_tests(1)).expect("training succeeds")
+    }
+
+    #[test]
+    fn trains_four_synopses_in_grid_order() {
+        let meter = trained();
+        assert_eq!(meter.synopses().len(), 4);
+        for (syn, (workload, tier)) in
+            meter.synopses().iter().zip(CapacityMeter::synopsis_grid())
+        {
+            assert_eq!(syn.spec().workload, workload);
+            assert_eq!(syn.spec().tier, tier);
+            assert_eq!(syn.spec().level, MetricLevel::Hpc);
+        }
+    }
+
+    #[test]
+    fn bottleneck_tier_synopses_are_accurate_in_cv() {
+        let meter = trained();
+        // Ordering/App and Browsing/Db are the bottleneck-tier synopses.
+        let ordering_app = &meter.synopses()[0];
+        let browsing_db = &meter.synopses()[3];
+        assert!(
+            ordering_app.cv_balanced_accuracy() > 0.8,
+            "ordering/app cv ba {}",
+            ordering_app.cv_balanced_accuracy()
+        );
+        // The browsing/DB problem is the hard one (small occupancy
+        // contrast); at the reduced test scale ~0.75 is expected, the
+        // full-scale benches reach the paper's ~0.95.
+        assert!(
+            browsing_db.cv_balanced_accuracy() > 0.7,
+            "browsing/db cv ba {}",
+            browsing_db.cv_balanced_accuracy()
+        );
+    }
+
+    #[test]
+    fn known_mix_evaluation_beats_chance_comfortably() {
+        let mut meter = trained();
+        let report = meter.evaluate_mix(Mix::ordering(), 777);
+        assert!(report.confusion.total() >= 8, "enough windows evaluated");
+        // Small-scale runs expose proportionally more knee-transition
+        // windows, whose labels genuinely flicker with the background
+        // interference; the full-scale benches assert the paper's ~0.9.
+        assert!(
+            report.balanced_accuracy() > 0.65,
+            "ordering BA {} (confusion {:?})",
+            report.balanced_accuracy(),
+            report.confusion
+        );
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut meter = trained();
+        let a = meter.evaluate_mix(Mix::ordering(), 10);
+        let b = meter.evaluate_mix(Mix::browsing(), 11);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.confusion.total(), a.confusion.total() + b.confusion.total());
+        assert_eq!(merged.results.len(), a.results.len() + b.results.len());
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut original = trained();
+        let json = original.to_json().expect("serializes");
+        let mut restored = CapacityMeter::from_json(&json).expect("deserializes");
+        assert_eq!(original.synopses().len(), restored.synopses().len());
+        for (a, b) in original.synopses().iter().zip(restored.synopses()) {
+            assert_eq!(a.spec(), b.spec());
+            assert_eq!(a.selected_names(), b.selected_names());
+        }
+        // Identical predictions on a fresh evaluation run.
+        let ra = original.evaluate_mix(Mix::ordering(), 555);
+        let rb = restored.evaluate_mix(Mix::ordering(), 555);
+        assert_eq!(ra.confusion, rb.confusion);
+        for (x, y) in ra.results.iter().zip(&rb.results) {
+            assert_eq!(x.predicted, y.predicted);
+            assert_eq!(x.predicted_bottleneck, y.predicted_bottleneck);
+        }
+    }
+
+    #[test]
+    fn config_builders_apply() {
+        let cfg = MeterConfig::small_for_tests(2)
+            .with_level(MetricLevel::Os)
+            .with_algorithm(Algorithm::NaiveBayes);
+        assert_eq!(cfg.level, MetricLevel::Os);
+        assert_eq!(cfg.algorithm, Algorithm::NaiveBayes);
+    }
+}

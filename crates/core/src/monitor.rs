@@ -1,0 +1,361 @@
+//! The measurement pipeline: run a traffic program on the simulated
+//! testbed, collect per-second hardware-counter and OS metrics on each
+//! tier, and aggregate them into labeled 30-second instances — the
+//! training/testing units of the paper (Section IV-A: "the average
+//! statistics over a 30 second interval combined with its corresponding
+//! high-level state formed an instance").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use webcap_hpc::{DerivedMetrics, HpcModel};
+use webcap_os::{OsCollector, OsSample};
+use webcap_sim::{SimConfig, Simulation, SystemSample, TierId};
+use webcap_tpcw::{MixId, TrafficProgram};
+
+use crate::oracle::{label_window, OracleConfig, WindowLabel};
+
+/// Which metric family a synopsis is built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MetricLevel {
+    /// The 64 Sysstat-like OS metrics.
+    Os,
+    /// Hardware performance counter metrics.
+    Hpc,
+    /// Both families concatenated — the extension the paper's conclusion
+    /// proposes for capturing I/O-related performance problems.
+    Combined,
+}
+
+impl MetricLevel {
+    /// The paper's two levels, in its table order (OS first).
+    pub const ALL: [MetricLevel; 2] = [MetricLevel::Os, MetricLevel::Hpc];
+
+    /// All levels including the combined extension.
+    pub const EXTENDED: [MetricLevel; 3] =
+        [MetricLevel::Os, MetricLevel::Hpc, MetricLevel::Combined];
+
+    /// Dense index (Os = 0, Hpc = 1, Combined = 2).
+    pub fn index(&self) -> usize {
+        match self {
+            MetricLevel::Os => 0,
+            MetricLevel::Hpc => 1,
+            MetricLevel::Combined => 2,
+        }
+    }
+
+    /// Report label matching the paper's table headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MetricLevel::Os => "OS Level",
+            MetricLevel::Hpc => "HPC Level",
+            MetricLevel::Combined => "Combined",
+        }
+    }
+}
+
+impl std::fmt::Display for MetricLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Feature names for one (level, tier) metric family.
+pub fn feature_names(level: MetricLevel, tier: TierId) -> Vec<String> {
+    if level == MetricLevel::Combined {
+        let mut names = feature_names(MetricLevel::Os, tier);
+        names.extend(feature_names(MetricLevel::Hpc, tier));
+        return names;
+    }
+    let prefix = format!("{}_{}_", tier.label().to_lowercase(), match level {
+        MetricLevel::Os => "os",
+        MetricLevel::Hpc => "hpc",
+        MetricLevel::Combined => unreachable!("handled above"),
+    });
+    match level {
+        MetricLevel::Os => OsSample::feature_names(&prefix),
+        MetricLevel::Hpc => DerivedMetrics::feature_names(&prefix),
+        MetricLevel::Combined => unreachable!("handled above"),
+    }
+}
+
+/// Everything recorded while driving one traffic program: application
+/// telemetry plus synthesized low-level metrics per second per tier.
+#[derive(Debug, Clone)]
+pub struct RunLog {
+    /// Per-second application/system telemetry.
+    pub samples: Vec<SystemSample>,
+    /// Per-second derived HPC metrics, indexed `[tier][second]`.
+    pub hpc: [Vec<DerivedMetrics>; 2],
+    /// Per-second OS metric samples, indexed `[tier][second]`.
+    pub os: [Vec<OsSample>; 2],
+}
+
+impl RunLog {
+    /// Per-second throughput series (completed requests / s).
+    pub fn throughput_series(&self) -> Vec<f64> {
+        self.samples.iter().map(SystemSample::throughput).collect()
+    }
+
+    /// Aggregate consecutive samples into labeled window instances.
+    ///
+    /// `len` is the window length in samples (the paper uses 30 one-second
+    /// samples); `stride` is the step between window starts — `stride ==
+    /// len` gives disjoint windows, smaller strides give overlapping
+    /// windows for more training data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `stride == 0`.
+    pub fn windows(&self, len: usize, stride: usize, oracle: &OracleConfig) -> Vec<WindowInstance> {
+        assert!(len > 0 && stride > 0, "window length and stride must be positive");
+        let n = self.samples.len();
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start + len <= n {
+            let range = start..start + len;
+            let slice = &self.samples[range.clone()];
+            let label = label_window(slice, oracle);
+
+            // Majority mix over the window.
+            let mut counts: Vec<(MixId, usize)> = Vec::new();
+            for s in slice {
+                match counts.iter_mut().find(|(m, _)| *m == s.mix_id) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((s.mix_id, 1)),
+                }
+            }
+            let mix =
+                counts.iter().max_by_key(|(_, c)| *c).map(|(m, _)| *m).expect("non-empty window");
+
+            let mut features: [[Vec<f64>; 2]; 3] = Default::default();
+            for tier in TierId::ALL {
+                features[MetricLevel::Hpc.index()][tier.index()] =
+                    mean_vectors(self.hpc[tier.index()][range.clone()].iter().map(|m| m.to_features()));
+                features[MetricLevel::Os.index()][tier.index()] = mean_vectors(
+                    self.os[tier.index()][range.clone()].iter().map(|s| s.values().to_vec()),
+                );
+                let mut combined = features[MetricLevel::Os.index()][tier.index()].clone();
+                combined
+                    .extend_from_slice(&features[MetricLevel::Hpc.index()][tier.index()]);
+                features[MetricLevel::Combined.index()][tier.index()] = combined;
+            }
+            let completed: u64 = slice.iter().map(|s| s.completed).sum();
+            let duration: f64 = slice.iter().map(|s| s.interval_s).sum();
+            out.push(WindowInstance {
+                label,
+                mix,
+                t_start_s: slice[0].t_s - slice[0].interval_s,
+                t_end_s: slice[len - 1].t_s,
+                throughput: completed as f64 / duration,
+                features,
+            });
+            start += stride;
+        }
+        out
+    }
+}
+
+fn mean_vectors<I: Iterator<Item = Vec<f64>>>(iter: I) -> Vec<f64> {
+    let mut acc: Vec<f64> = Vec::new();
+    let mut n = 0usize;
+    for v in iter {
+        if acc.is_empty() {
+            acc = v;
+        } else {
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a += x;
+            }
+        }
+        n += 1;
+    }
+    if n > 1 {
+        for a in &mut acc {
+            *a /= n as f64;
+        }
+    }
+    acc
+}
+
+/// One aggregated 30-second instance: the paper's `u* = (a1..an, C)` plus
+/// bookkeeping for evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowInstance {
+    /// Oracle verdict (class variable + bottleneck ground truth).
+    pub label: WindowLabel,
+    /// Majority traffic mix during the window.
+    pub mix: MixId,
+    /// Window start, seconds.
+    pub t_start_s: f64,
+    /// Window end, seconds.
+    pub t_end_s: f64,
+    /// Mean throughput over the window.
+    pub throughput: f64,
+    /// Aggregated features, indexed `[level][tier]`.
+    features: [[Vec<f64>; 2]; 3],
+}
+
+impl WindowInstance {
+    /// Assemble an instance from already-aggregated parts (used by the
+    /// online monitor, which aggregates incrementally).
+    pub fn from_parts(
+        label: WindowLabel,
+        mix: MixId,
+        t_start_s: f64,
+        t_end_s: f64,
+        throughput: f64,
+        features: [[Vec<f64>; 2]; 3],
+    ) -> WindowInstance {
+        WindowInstance { label, mix, t_start_s, t_end_s, throughput, features }
+    }
+
+    /// The feature vector of one (level, tier) family.
+    pub fn features(&self, level: MetricLevel, tier: TierId) -> &[f64] {
+        &self.features[level.index()][tier.index()]
+    }
+
+    /// Class variable: `true` = overload.
+    pub fn overloaded(&self) -> bool {
+        self.label.overloaded
+    }
+}
+
+/// Drive `program` through a simulation and collect the full metric log.
+///
+/// `metrics_seed` seeds the metric synthesizers independently of the
+/// simulation seed so collection noise can be varied while holding the
+/// underlying run fixed.
+pub fn collect_run(
+    cfg: &SimConfig,
+    program: &TrafficProgram,
+    hpc_model: &HpcModel,
+    metrics_seed: u64,
+) -> RunLog {
+    let output = Simulation::new(cfg.clone(), program.clone()).run();
+    let mut rng = StdRng::seed_from_u64(metrics_seed);
+    let mut os_collectors =
+        [OsCollector::new(TierId::App), OsCollector::new(TierId::Db)];
+    let mut hpc = [Vec::new(), Vec::new()];
+    let mut os = [Vec::new(), Vec::new()];
+    for sample in &output.samples {
+        for tier in TierId::ALL {
+            let ts = sample.tier(tier);
+            let counters = hpc_model.sample(tier, ts, sample.interval_s, &mut rng);
+            hpc[tier.index()].push(DerivedMetrics::from_sample(&counters));
+            os[tier.index()]
+                .push(os_collectors[tier.index()].sample(ts, sample.interval_s, &mut rng));
+        }
+    }
+    RunLog { samples: output.samples, hpc, os }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcap_tpcw::Mix;
+
+    fn small_log() -> RunLog {
+        let cfg = SimConfig::testbed(11);
+        let program = TrafficProgram::steady(Mix::shopping(), 30, 90.0);
+        collect_run(&cfg, &program, &HpcModel::testbed(), 7)
+    }
+
+    #[test]
+    fn collect_run_aligns_series() {
+        let log = small_log();
+        assert_eq!(log.samples.len(), 90);
+        for tier in TierId::ALL {
+            assert_eq!(log.hpc[tier.index()].len(), 90);
+            assert_eq!(log.os[tier.index()].len(), 90);
+        }
+    }
+
+    #[test]
+    fn windows_disjoint_and_overlapping() {
+        let log = small_log();
+        let oracle = OracleConfig::default();
+        let disjoint = log.windows(30, 30, &oracle);
+        assert_eq!(disjoint.len(), 3);
+        let overlapping = log.windows(30, 10, &oracle);
+        assert_eq!(overlapping.len(), 7);
+        assert!((disjoint[0].t_end_s - 30.0).abs() < 1e-6);
+        assert!((disjoint[1].t_start_s - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_features_have_consistent_widths() {
+        let log = small_log();
+        let w = &log.windows(30, 30, &OracleConfig::default())[0];
+        for level in MetricLevel::ALL {
+            for tier in TierId::ALL {
+                assert_eq!(
+                    w.features(level, tier).len(),
+                    feature_names(level, tier).len(),
+                    "{level} {tier}"
+                );
+            }
+        }
+        assert_eq!(w.features(MetricLevel::Os, TierId::App).len(), 64);
+        assert_eq!(w.features(MetricLevel::Hpc, TierId::Db).len(), 12);
+    }
+
+    #[test]
+    fn light_load_windows_are_underloaded() {
+        let log = small_log();
+        for w in log.windows(30, 30, &OracleConfig::default()) {
+            assert!(!w.overloaded(), "30 EBs should not overload");
+            assert!(w.throughput > 0.5);
+        }
+    }
+
+    #[test]
+    fn feature_names_are_prefixed_and_unique() {
+        let mut all = Vec::new();
+        for level in MetricLevel::ALL {
+            for tier in TierId::ALL {
+                all.extend(feature_names(level, tier));
+            }
+        }
+        assert_eq!(all.len(), 2 * (64 + 12));
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "names must be globally unique");
+        assert!(all[0].starts_with("app_os_"));
+    }
+
+    #[test]
+    fn metric_seed_changes_metrics_not_telemetry() {
+        let cfg = SimConfig::testbed(11);
+        let program = TrafficProgram::steady(Mix::shopping(), 30, 30.0);
+        let a = collect_run(&cfg, &program, &HpcModel::testbed(), 1);
+        let b = collect_run(&cfg, &program, &HpcModel::testbed(), 2);
+        assert_eq!(a.samples, b.samples, "same sim seed → same telemetry");
+        assert_ne!(a.hpc[0], b.hpc[0], "different metric noise");
+    }
+
+    #[test]
+    fn combined_level_concatenates_families() {
+        let log = small_log();
+        let w = &log.windows(30, 30, &OracleConfig::default())[0];
+        let os = w.features(MetricLevel::Os, TierId::Db);
+        let hpc = w.features(MetricLevel::Hpc, TierId::Db);
+        let combined = w.features(MetricLevel::Combined, TierId::Db);
+        assert_eq!(combined.len(), os.len() + hpc.len());
+        assert_eq!(&combined[..os.len()], os);
+        assert_eq!(&combined[os.len()..], hpc);
+        assert_eq!(
+            feature_names(MetricLevel::Combined, TierId::Db).len(),
+            combined.len()
+        );
+    }
+
+    #[test]
+    fn mix_id_majority_is_recorded() {
+        let cfg = SimConfig::testbed(3);
+        let program = TrafficProgram::steady(Mix::ordering(), 20, 60.0);
+        let log = collect_run(&cfg, &program, &HpcModel::testbed(), 3);
+        let w = log.windows(30, 30, &OracleConfig::default());
+        assert!(w.iter().all(|w| w.mix == MixId::Ordering));
+    }
+}

@@ -1,0 +1,255 @@
+//! The online deployment surface: an incremental monitor that consumes
+//! one telemetry sample per second and emits a coordinated prediction
+//! whenever an aggregation window completes.
+//!
+//! [`CapacityMeter::evaluate_program`] is the batch/offline path (run a
+//! whole program, then window it); a production front-end instead receives
+//! samples continuously and must decide *now*. [`OnlineMonitor`] wraps a
+//! trained meter with the rolling aggregation state: per-second HPC and OS
+//! collection, window assembly, and prediction — the paper's "no more than
+//! 50 ms for each on-line decision" loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use webcap_hpc::{DerivedMetrics, HpcModel};
+use webcap_os::OsCollector;
+use webcap_sim::{SystemSample, TierId};
+
+use crate::coordinator::CoordinatedPrediction;
+use crate::meter::CapacityMeter;
+use crate::monitor::{MetricLevel, WindowInstance};
+use crate::oracle::label_window;
+
+/// One emitted online decision.
+#[derive(Debug, Clone)]
+pub struct OnlineDecision {
+    /// The coordinated prediction for the just-completed window.
+    pub prediction: CoordinatedPrediction,
+    /// The aggregated window the prediction was made on (its oracle label
+    /// is available for post-hoc scoring when ground truth exists).
+    pub window: WindowInstance,
+}
+
+/// Incremental per-second monitor around a trained [`CapacityMeter`].
+#[derive(Debug)]
+pub struct OnlineMonitor {
+    meter: CapacityMeter,
+    hpc_model: HpcModel,
+    os_collectors: [OsCollector; 2],
+    rng: StdRng,
+    buffer: Vec<SystemSample>,
+    hpc_buffer: [Vec<DerivedMetrics>; 2],
+    os_buffer: [Vec<Vec<f64>>; 2],
+    samples_seen: u64,
+    decisions_made: u64,
+}
+
+impl OnlineMonitor {
+    /// Wrap a trained meter for online use. `metrics_seed` seeds the
+    /// metric-synthesis noise (on a real deployment the collectors would
+    /// read hardware).
+    pub fn new(meter: CapacityMeter, metrics_seed: u64) -> OnlineMonitor {
+        let hpc_model = meter.config().hpc_model.clone();
+        OnlineMonitor {
+            meter,
+            hpc_model,
+            os_collectors: [OsCollector::new(TierId::App), OsCollector::new(TierId::Db)],
+            rng: StdRng::seed_from_u64(metrics_seed),
+            buffer: Vec::new(),
+            hpc_buffer: [Vec::new(), Vec::new()],
+            os_buffer: [Vec::new(), Vec::new()],
+            samples_seen: 0,
+            decisions_made: 0,
+        }
+    }
+
+    /// Number of telemetry samples consumed.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Number of window decisions emitted.
+    pub fn decisions_made(&self) -> u64 {
+        self.decisions_made
+    }
+
+    /// The wrapped meter.
+    pub fn meter(&self) -> &CapacityMeter {
+        &self.meter
+    }
+
+    /// Consume the wrapped meter back (e.g. to persist it).
+    pub fn into_meter(self) -> CapacityMeter {
+        self.meter
+    }
+
+    /// Feed one per-second telemetry sample. Returns a decision when this
+    /// sample completes an aggregation window (every `window_len` samples,
+    /// disjoint windows — the paper's online regime).
+    pub fn push_sample(&mut self, sample: SystemSample) -> Option<OnlineDecision> {
+        for tier in TierId::ALL {
+            let ts = sample.tier(tier);
+            let counters = self.hpc_model.sample(tier, ts, sample.interval_s, &mut self.rng);
+            self.hpc_buffer[tier.index()].push(DerivedMetrics::from_sample(&counters));
+            self.os_buffer[tier.index()].push(
+                self.os_collectors[tier.index()]
+                    .sample(ts, sample.interval_s, &mut self.rng)
+                    .values()
+                    .to_vec(),
+            );
+        }
+        self.buffer.push(sample);
+        self.samples_seen += 1;
+
+        let window_len = self.meter.config().window_len;
+        if self.buffer.len() < window_len {
+            return None;
+        }
+
+        // Assemble the window instance from the buffered second-level data.
+        let label = label_window(&self.buffer, &self.meter.config().oracle);
+        let mix = self.buffer.last().expect("non-empty buffer").mix_id;
+        let mut features: [[Vec<f64>; 2]; 3] = Default::default();
+        for tier in TierId::ALL {
+            let hpc = mean_rows(self.hpc_buffer[tier.index()].iter().map(|m| m.to_features()));
+            let os = mean_rows(self.os_buffer[tier.index()].iter().cloned());
+            let mut combined = os.clone();
+            combined.extend_from_slice(&hpc);
+            features[MetricLevel::Hpc.index()][tier.index()] = hpc;
+            features[MetricLevel::Os.index()][tier.index()] = os;
+            features[MetricLevel::Combined.index()][tier.index()] = combined;
+        }
+        let completed: u64 = self.buffer.iter().map(|s| s.completed).sum();
+        let duration: f64 = self.buffer.iter().map(|s| s.interval_s).sum();
+        let window = WindowInstance::from_parts(
+            label,
+            mix,
+            self.buffer[0].t_s - self.buffer[0].interval_s,
+            self.buffer.last().expect("non-empty").t_s,
+            completed as f64 / duration.max(1e-9),
+            features,
+        );
+
+        self.buffer.clear();
+        for tier in TierId::ALL {
+            self.hpc_buffer[tier.index()].clear();
+            self.os_buffer[tier.index()].clear();
+        }
+
+        let prediction = self.meter.predict(&window);
+        self.decisions_made += 1;
+        Some(OnlineDecision { prediction, window })
+    }
+}
+
+fn mean_rows<I: Iterator<Item = Vec<f64>>>(iter: I) -> Vec<f64> {
+    let mut acc: Vec<f64> = Vec::new();
+    let mut n = 0usize;
+    for v in iter {
+        if acc.is_empty() {
+            acc = v;
+        } else {
+            for (a, x) in acc.iter_mut().zip(v) {
+                *a += x;
+            }
+        }
+        n += 1;
+    }
+    if n > 1 {
+        for a in &mut acc {
+            *a /= n as f64;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::MeterConfig;
+    use crate::workloads;
+    use webcap_sim::{Simulation, SimConfig};
+    use webcap_tpcw::Mix;
+
+    fn run_samples(cfg: &SimConfig, ebs: u32, duration: f64, seed: u64) -> Vec<SystemSample> {
+        let mut sim = cfg.clone();
+        sim.seed = seed;
+        let program = webcap_tpcw::TrafficProgram::steady(Mix::ordering(), ebs, duration);
+        Simulation::new(sim, program).run().samples
+    }
+
+    #[test]
+    fn emits_one_decision_per_window() {
+        let meter = CapacityMeter::train(&MeterConfig::small_for_tests(31)).unwrap();
+        let window = meter.config().window_len;
+        let cfg = meter.config().sim.clone();
+        let mut monitor = OnlineMonitor::new(meter, 7);
+        let samples = run_samples(&cfg, 60, 95.0, 400);
+        let mut decisions = 0;
+        for (i, s) in samples.into_iter().enumerate() {
+            let out = monitor.push_sample(s);
+            if (i + 1) % window == 0 {
+                assert!(out.is_some(), "sample {i} should complete a window");
+                decisions += 1;
+            } else {
+                assert!(out.is_none(), "sample {i} should not complete a window");
+            }
+        }
+        assert_eq!(decisions, 3);
+        assert_eq!(monitor.decisions_made(), 3);
+        assert_eq!(monitor.samples_seen(), 95);
+    }
+
+    #[test]
+    fn online_decisions_track_overload() {
+        let meter = CapacityMeter::train(&MeterConfig::small_for_tests(31)).unwrap();
+        let cfg = meter.config().sim.clone();
+        let knee = workloads::estimate_saturation_ebs(&cfg, &Mix::ordering());
+        let mut monitor = OnlineMonitor::new(meter, 8);
+
+        // Deeply overloaded steady state: later windows must be called
+        // overloaded with the APP bottleneck.
+        let samples = run_samples(&cfg, knee * 2, 240.0, 401);
+        let mut last = None;
+        for s in samples {
+            if let Some(d) = monitor.push_sample(s) {
+                last = Some(d);
+            }
+        }
+        let last = last.expect("decisions were emitted");
+        assert!(last.window.overloaded(), "oracle agrees the system is overloaded");
+        assert!(last.prediction.overloaded, "online prediction flags overload");
+        assert_eq!(last.prediction.bottleneck, Some(TierId::App));
+    }
+
+    #[test]
+    fn decision_latency_is_well_under_the_paper_budget() {
+        // The paper reports ≤ 50 ms per online decision; ours must be far
+        // below even in debug-ish environments.
+        let meter = CapacityMeter::train(&MeterConfig::small_for_tests(31)).unwrap();
+        let cfg = meter.config().sim.clone();
+        let mut monitor = OnlineMonitor::new(meter, 9);
+        let samples = run_samples(&cfg, 120, 150.0, 402);
+        let t0 = std::time::Instant::now();
+        let mut decisions = 0;
+        for s in samples {
+            if monitor.push_sample(s).is_some() {
+                decisions += 1;
+            }
+        }
+        let per_decision_ms =
+            t0.elapsed().as_secs_f64() * 1000.0 / f64::from(decisions.max(1));
+        assert!(decisions >= 5);
+        assert!(per_decision_ms < 50.0, "per-decision cost {per_decision_ms} ms");
+    }
+
+    #[test]
+    fn into_meter_round_trips() {
+        let meter = CapacityMeter::train(&MeterConfig::small_for_tests(31)).unwrap();
+        let n = meter.synopses().len();
+        let monitor = OnlineMonitor::new(meter, 1);
+        assert_eq!(monitor.meter().synopses().len(), n);
+        let back = monitor.into_meter();
+        assert_eq!(back.synopses().len(), n);
+    }
+}

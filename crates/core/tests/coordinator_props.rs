@@ -1,0 +1,153 @@
+//! Property-based tests of the two-level coordinated predictor's
+//! invariants.
+
+use proptest::prelude::*;
+use webcap_core::coordinator::{CoordinatedPredictor, CoordinatorConfig, TieScheme};
+use webcap_sim::TierId;
+
+/// Strategy: a training stream of (per-synopsis votes, label, bottleneck).
+fn training_stream(
+    m: usize,
+    len: usize,
+) -> impl Strategy<Value = Vec<(Vec<bool>, bool, TierId)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(any::<bool>(), m..=m),
+            any::<bool>(),
+            prop_oneof![Just(TierId::App), Just(TierId::Db)],
+        ),
+        0..len,
+    )
+}
+
+proptest! {
+    /// Counters never escape the clamp, the GPV is always in range, and
+    /// `peek` never mutates observable state.
+    #[test]
+    fn counters_stay_clamped_and_peek_is_pure(
+        stream in training_stream(3, 120),
+        delta in 0i32..8,
+        history_bits in 1usize..5,
+        pessimistic in any::<bool>(),
+    ) {
+        let cfg = CoordinatorConfig {
+            history_bits,
+            delta,
+            scheme: if pessimistic { TieScheme::Pessimistic } else { TieScheme::Optimistic },
+            counter_clamp: delta + 10,
+        };
+        let mut p = CoordinatedPredictor::new(3, cfg);
+        for (votes, label, bottleneck) in &stream {
+            p.train_instance(votes, *label, Some(*bottleneck));
+        }
+        for gpv in 0..(1usize << 3) {
+            for &hc in p.lht_row(gpv) {
+                prop_assert!(hc.abs() <= cfg.counter_clamp);
+            }
+            for &b in p.bpt_row(gpv) {
+                prop_assert!(b.abs() <= cfg.counter_clamp);
+            }
+        }
+        // peek is pure: repeated peeks agree and don't disturb predict.
+        let votes = vec![true, false, true];
+        let first = p.peek(&votes);
+        let second = p.peek(&votes);
+        prop_assert_eq!(&first, &second);
+        let predicted = p.predict(&votes);
+        prop_assert_eq!(first.overloaded, predicted.overloaded);
+        prop_assert!(first.gpv < 8);
+    }
+
+    /// Training order determinism: the same stream always produces the
+    /// same tables and predictions.
+    #[test]
+    fn training_is_deterministic(stream in training_stream(2, 80)) {
+        let build = || {
+            let mut p = CoordinatedPredictor::new(2, CoordinatorConfig::default());
+            for (votes, label, bottleneck) in &stream {
+                p.train_instance(votes, *label, Some(*bottleneck));
+            }
+            p
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(&a, &b);
+    }
+
+    /// The bottleneck answer is always one of the tiers, and only appears
+    /// when the state prediction is overloaded.
+    #[test]
+    fn bottleneck_is_consistent(
+        stream in training_stream(2, 100),
+        probes in prop::collection::vec(prop::collection::vec(any::<bool>(), 2..=2), 1..20),
+    ) {
+        let mut p = CoordinatedPredictor::new(2, CoordinatorConfig::default());
+        for (votes, label, bottleneck) in &stream {
+            p.train_instance(votes, *label, Some(*bottleneck));
+        }
+        for votes in &probes {
+            let out = p.predict(votes);
+            match (out.overloaded, out.bottleneck) {
+                (true, Some(t)) => prop_assert!(TierId::ALL.contains(&t)),
+                (false, None) => {}
+                other => prop_assert!(false, "inconsistent pair {:?}", other),
+            }
+        }
+    }
+
+    /// With δ = 0 there is no uncertainty band: any trained cell with a
+    /// nonzero counter yields a confident prediction matching its sign.
+    #[test]
+    fn zero_delta_predicts_counter_sign(
+        votes in prop::collection::vec(any::<bool>(), 2..=2),
+        label in any::<bool>(),
+        repeats in 1usize..10,
+    ) {
+        let cfg = CoordinatorConfig { delta: 0, ..CoordinatorConfig::default() };
+        let mut p = CoordinatedPredictor::new(2, cfg);
+        for _ in 0..repeats {
+            p.train_instance(&votes, label, Some(TierId::App));
+            p.reset_history();
+        }
+        let out = p.peek(&votes);
+        prop_assert!(out.confident);
+        prop_assert_eq!(out.overloaded, label);
+    }
+
+    /// A perfectly informative single synopsis dominates after enough
+    /// consistent training regardless of history length.
+    #[test]
+    fn informative_synopsis_dominates(
+        history_bits in 1usize..5,
+        labels in prop::collection::vec(any::<bool>(), 40..120),
+    ) {
+        let cfg = CoordinatorConfig {
+            history_bits,
+            delta: 2,
+            ..CoordinatorConfig::default()
+        };
+        let mut p = CoordinatedPredictor::new(1, cfg);
+        // Three epochs of a perfect predictor.
+        for _ in 0..3 {
+            p.reset_history();
+            for &label in &labels {
+                p.train_instance(&[label], label, Some(TierId::Db));
+            }
+        }
+        p.reset_history();
+        let mut correct = 0usize;
+        for &label in &labels {
+            if p.predict(&[label]).overloaded == label {
+                correct += 1;
+            }
+        }
+        // Allow a short warm-up worth of mistakes per distinct history.
+        let budget = (1 << history_bits) + 4;
+        prop_assert!(
+            labels.len() - correct <= budget,
+            "mistakes {} > budget {}",
+            labels.len() - correct,
+            budget
+        );
+    }
+}

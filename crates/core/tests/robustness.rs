@@ -1,0 +1,173 @@
+//! Failure injection and robustness: degenerate inputs, hostile metric
+//! values, and misconfigurations must fail loudly (typed errors, clear
+//! panics) or degrade gracefully — never silently corrupt results.
+
+use webcap_core::meter::{CapacityMeter, MeterConfig};
+use webcap_core::monitor::{feature_names, MetricLevel, WindowInstance};
+use webcap_core::oracle::{OracleConfig, WindowLabel};
+use webcap_core::synopsis::{PerformanceSynopsis, SynopsisSpec};
+use webcap_ml::select::SelectionOptions;
+use webcap_ml::{Algorithm, FitError};
+use webcap_sim::TierId;
+use webcap_tpcw::MixId;
+
+/// Build a synthetic window instance with the given HPC feature override
+/// applied to every tier/level (everything else is a benign constant).
+fn synthetic_instance(label: bool, value: f64) -> WindowInstance {
+    let mut features: [[Vec<f64>; 2]; 3] = Default::default();
+    for level in MetricLevel::EXTENDED {
+        for tier in TierId::ALL {
+            let width = feature_names(level, tier).len();
+            features[level.index()][tier.index()] = vec![value; width];
+        }
+    }
+    WindowInstance::from_parts(
+        WindowLabel {
+            overloaded: label,
+            bottleneck: TierId::App,
+            mean_response_time_s: if label { 3.0 } else { 0.1 },
+            p95_response_time_s: if label { 8.0 } else { 0.2 },
+            backlog_growth: 0.0,
+        },
+        MixId::Ordering,
+        0.0,
+        30.0,
+        10.0,
+        features,
+    )
+}
+
+fn spec(algorithm: Algorithm) -> SynopsisSpec {
+    SynopsisSpec {
+        tier: TierId::App,
+        workload: MixId::Ordering,
+        level: MetricLevel::Hpc,
+        algorithm,
+    }
+}
+
+#[test]
+fn constant_features_yield_typed_errors_or_valid_models() {
+    // All-identical feature vectors: no learner may panic; it either fits
+    // a (useless) model or reports a numeric failure.
+    let instances: Vec<WindowInstance> =
+        (0..40).map(|i| synthetic_instance(i % 2 == 0, 1.0)).collect();
+    for algorithm in Algorithm::PAPER_ORDER {
+        let result =
+            PerformanceSynopsis::train(spec(algorithm), &instances, &SelectionOptions::default());
+        match result {
+            Ok(syn) => {
+                // Whatever it learned, prediction must not panic.
+                let _ = syn.predict_instance(&instances[0]);
+            }
+            Err(FitError::Numeric(_)) => {}
+            Err(other) => panic!("{algorithm}: unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn nan_features_do_not_panic_any_learner() {
+    // Hostile metric stream: alternating NaN and huge values, separable
+    // labels. Learners must stay panic-free; predictions must be booleans
+    // (they always are — the point is reaching them).
+    let mut instances = Vec::new();
+    for i in 0..40 {
+        let v = if i % 4 == 0 { f64::NAN } else { (i % 2) as f64 * 1e12 };
+        instances.push(synthetic_instance(i % 2 == 0, v));
+    }
+    for algorithm in [Algorithm::NaiveBayes, Algorithm::Tan, Algorithm::LinearRegression] {
+        if let Ok(syn) =
+            PerformanceSynopsis::train(spec(algorithm), &instances, &SelectionOptions::default())
+        {
+            let _ = syn.predict_instance(&instances[1]);
+        }
+    }
+}
+
+#[test]
+fn empty_instances_is_a_typed_error() {
+    let err = PerformanceSynopsis::train(spec(Algorithm::Tan), &[], &SelectionOptions::default())
+        .unwrap_err();
+    assert_eq!(err, FitError::EmptyDataset);
+}
+
+#[test]
+fn single_class_is_a_typed_error_for_the_meter_pipeline() {
+    let instances: Vec<WindowInstance> =
+        (0..20).map(|_| synthetic_instance(false, 1.0)).collect();
+    let err = PerformanceSynopsis::train(spec(Algorithm::Tan), &instances, &SelectionOptions::default())
+        .unwrap_err();
+    assert_eq!(err, FitError::SingleClass(false));
+}
+
+#[test]
+fn meter_training_fails_cleanly_when_oracle_never_fires() {
+    // A misconfigured oracle whose thresholds can never be met labels the
+    // whole training run underloaded: training must return a typed
+    // SingleClass error, not hang or panic.
+    let mut cfg = MeterConfig::small_for_tests(77);
+    cfg.oracle.rt_overload_threshold_s = 1e9;
+    cfg.oracle.backlog_growth_threshold = 1e12;
+    let err = CapacityMeter::train(&cfg).unwrap_err();
+    assert!(matches!(err, FitError::SingleClass(false)), "got {err}");
+}
+
+#[test]
+fn corrupted_meter_json_is_rejected() {
+    assert!(CapacityMeter::from_json("{").is_err());
+    assert!(CapacityMeter::from_json("{\"synopses\": []}").is_err());
+    assert!(CapacityMeter::from_json("").is_err());
+}
+
+#[test]
+fn oracle_handles_pathological_windows() {
+    use webcap_core::oracle::label_window;
+    use webcap_sim::{RtHistogram, SystemSample, TierSample};
+
+    // Zero completions, zero utilization, zero everything.
+    let dead = SystemSample {
+        t_s: 1.0,
+        interval_s: 1.0,
+        ebs_target: 0,
+        ebs_active: 0,
+        mix_id: MixId::Browsing,
+        issued: 0,
+        issued_browse: 0,
+        completed: 0,
+        completed_browse: 0,
+        response_time_sum_s: 0.0,
+        response_time_max_s: 0.0,
+        in_flight: 0,
+        response_times: RtHistogram::new(),
+        app: TierSample::default(),
+        db: TierSample::default(),
+    };
+    let label = label_window(&[dead], &OracleConfig::default());
+    assert!(!label.overloaded);
+    assert_eq!(label.mean_response_time_s, 0.0);
+    assert_eq!(label.p95_response_time_s, 0.0);
+}
+
+#[test]
+fn prediction_on_mismatched_feature_width_panics_loudly() {
+    let instances: Vec<WindowInstance> =
+        (0..40).map(|i| synthetic_instance(i % 2 == 0, (i % 5) as f64)).collect();
+    let syn = PerformanceSynopsis::train(
+        spec(Algorithm::NaiveBayes),
+        &instances,
+        &SelectionOptions::default(),
+    );
+    // With these synthetic features training may legitimately fail; when
+    // it succeeds, feeding a too-narrow vector must panic (catch it).
+    if let Ok(syn) = syn {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            syn.predict_features(&[1.0]) // far narrower than any selection
+        }));
+        // Either a clean prediction (selected index 0 only) or a panic —
+        // never undefined behaviour. If it returned, it must be a bool.
+        if let Ok(v) = result {
+            let _: bool = v;
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Equal-frequency discretization of continuous attributes.
+//!
+//! TAN and the information-theoretic attribute scores operate on discrete
+//! attributes; the paper's WEKA pipeline discretizes continuous counters
+//! first. Bin boundaries are fitted on training data only and then applied
+//! to unseen values (clamping to the outer bins).
+
+use serde::{Deserialize, Serialize};
+
+/// Discretizer for one continuous column: maps a value to a bin index in
+/// `0..n_bins` using cut points chosen so each bin holds roughly the same
+/// number of training values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EqualFrequencyDiscretizer {
+    /// Ascending cut points; value `v` falls in the first bin whose cut
+    /// exceeds it. `cuts.len() + 1` bins exist conceptually, but duplicate
+    /// cuts are removed so the realized bin count may be smaller than
+    /// requested.
+    cuts: Vec<f64>,
+}
+
+impl EqualFrequencyDiscretizer {
+    /// Fit cut points from training values.
+    ///
+    /// `n_bins` is a target; ties in the data can reduce the realized
+    /// number of bins. With fewer distinct values than bins, one bin per
+    /// distinct value is produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bins == 0` or `values` is empty.
+    pub fn fit(values: &[f64], n_bins: usize) -> EqualFrequencyDiscretizer {
+        assert!(n_bins > 0, "n_bins must be positive");
+        assert!(!values.is_empty(), "cannot fit discretizer on no values");
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            // All non-finite: degenerate single bin.
+            return EqualFrequencyDiscretizer { cuts: Vec::new() };
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let n = sorted.len();
+        let mut cuts = Vec::with_capacity(n_bins.saturating_sub(1));
+        for k in 1..n_bins {
+            let idx = (k * n) / n_bins;
+            if idx == 0 || idx >= n {
+                continue;
+            }
+            // Midpoint between neighbours gives stable boundaries. A cut
+            // between equal values separates nothing — skip it (this also
+            // collapses constant columns to a single bin).
+            if sorted[idx - 1] < sorted[idx] {
+                cuts.push((sorted[idx - 1] + sorted[idx]) / 2.0);
+            }
+        }
+        cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        EqualFrequencyDiscretizer { cuts }
+    }
+
+    /// Number of bins this discretizer can emit.
+    pub fn n_bins(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// Map a value to its bin index in `0..self.n_bins()`. Infinities
+    /// clamp to the outer bins; NaN maps to bin 0.
+    pub fn bin(&self, value: f64) -> usize {
+        if value.is_nan() {
+            return 0;
+        }
+        // cuts are ascending; count how many cuts the value passes.
+        self.cuts.iter().take_while(|&&c| value > c).count()
+    }
+
+    /// The fitted cut points.
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+}
+
+/// Fit one discretizer per column of a feature matrix.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or ragged, or `n_bins == 0`.
+pub fn fit_columns(rows: &[Vec<f64>], n_bins: usize) -> Vec<EqualFrequencyDiscretizer> {
+    assert!(!rows.is_empty(), "no rows to discretize");
+    let width = rows[0].len();
+    (0..width)
+        .map(|c| {
+            let col: Vec<f64> = rows
+                .iter()
+                .map(|r| {
+                    assert_eq!(r.len(), width, "ragged feature rows");
+                    r[c]
+                })
+                .collect();
+            EqualFrequencyDiscretizer::fit(&col, n_bins)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn four_bins_quartiles() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = EqualFrequencyDiscretizer::fit(&values, 4);
+        assert_eq!(d.n_bins(), 4);
+        assert_eq!(d.bin(0.0), 0);
+        assert_eq!(d.bin(30.0), 1);
+        assert_eq!(d.bin(60.0), 2);
+        assert_eq!(d.bin(99.0), 3);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let values: Vec<f64> = (0..10).map(f64::from).collect();
+        let d = EqualFrequencyDiscretizer::fit(&values, 3);
+        assert_eq!(d.bin(-100.0), 0);
+        assert_eq!(d.bin(100.0), d.n_bins() - 1);
+    }
+
+    #[test]
+    fn constant_column_single_bin() {
+        let d = EqualFrequencyDiscretizer::fit(&[5.0; 20], 5);
+        assert_eq!(d.n_bins(), 1);
+        assert_eq!(d.bin(5.0), 0);
+        assert_eq!(d.bin(-1.0), 0);
+    }
+
+    #[test]
+    fn non_finite_values_go_to_bin_zero() {
+        let values: Vec<f64> = (0..10).map(f64::from).collect();
+        let d = EqualFrequencyDiscretizer::fit(&values, 3);
+        assert_eq!(d.bin(f64::NAN), 0);
+        assert_eq!(d.bin(f64::INFINITY), d.n_bins() - 1); // +inf passes all cuts
+    }
+
+    #[test]
+    fn fit_ignores_non_finite_training_values() {
+        let mut values: Vec<f64> = (0..50).map(f64::from).collect();
+        values.push(f64::NAN);
+        let d = EqualFrequencyDiscretizer::fit(&values, 2);
+        assert_eq!(d.n_bins(), 2);
+    }
+
+    #[test]
+    fn fit_columns_width() {
+        let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]];
+        let ds = fit_columns(&rows, 2);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].bin(1.0), 0);
+        assert_eq!(ds[0].bin(4.0), 1);
+        assert_eq!(ds[1].bin(40.0), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn bins_always_in_range(values in prop::collection::vec(-1e6f64..1e6, 1..200),
+                                probes in prop::collection::vec(-1e7f64..1e7, 1..50),
+                                n_bins in 1usize..10) {
+            let d = EqualFrequencyDiscretizer::fit(&values, n_bins);
+            prop_assert!(d.n_bins() >= 1 && d.n_bins() <= n_bins);
+            for p in probes {
+                prop_assert!(d.bin(p) < d.n_bins());
+            }
+        }
+
+        #[test]
+        fn binning_is_monotone(values in prop::collection::vec(-1e3f64..1e3, 2..100),
+                               n_bins in 2usize..8) {
+            let d = EqualFrequencyDiscretizer::fit(&values, n_bins);
+            let mut probes = values.clone();
+            probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut last = 0usize;
+            for p in probes {
+                let b = d.bin(p);
+                prop_assert!(b >= last, "bin decreased for increasing value");
+                last = b;
+            }
+        }
+
+        #[test]
+        fn cuts_are_strictly_ascending(values in prop::collection::vec(-1e3f64..1e3, 1..100),
+                                       n_bins in 1usize..10) {
+            let d = EqualFrequencyDiscretizer::fit(&values, n_bins);
+            for w in d.cuts().windows(2) {
+                prop_assert!(w[0] < w[1] + 1e-12);
+            }
+        }
+    }
+}

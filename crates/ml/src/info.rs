@@ -1,0 +1,191 @@
+//! Information-theoretic quantities over discretized attributes: entropy,
+//! information gain (the paper's attribute-relevance score, Section II-B.2)
+//! and conditional mutual information (the TAN tree weight).
+
+use std::collections::HashMap;
+
+/// Shannon entropy (base 2) of a discrete distribution given by counts.
+///
+/// Zero-count symbols contribute nothing; an empty or all-zero histogram
+/// has entropy 0.
+pub fn entropy_from_counts(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Shannon entropy (base 2) of a boolean label sequence.
+pub fn label_entropy(labels: &[bool]) -> f64 {
+    let pos = labels.iter().filter(|&&l| l).count();
+    entropy_from_counts(&[pos, labels.len() - pos])
+}
+
+/// Information gain `IG(C; A) = H(C) − H(C | A)` of a discretized
+/// attribute `A` (bin indices) about the boolean class `C`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn information_gain(bins: &[usize], labels: &[bool]) -> f64 {
+    assert_eq!(bins.len(), labels.len(), "attribute/label length mismatch");
+    if bins.is_empty() {
+        return 0.0;
+    }
+    let h_c = label_entropy(labels);
+    // Group labels by bin.
+    let mut groups: HashMap<usize, (usize, usize)> = HashMap::new();
+    for (&b, &l) in bins.iter().zip(labels) {
+        let e = groups.entry(b).or_insert((0, 0));
+        if l {
+            e.0 += 1;
+        } else {
+            e.1 += 1;
+        }
+    }
+    let n = bins.len() as f64;
+    let h_c_given_a: f64 = groups
+        .values()
+        .map(|&(pos, neg)| {
+            let w = (pos + neg) as f64 / n;
+            w * entropy_from_counts(&[pos, neg])
+        })
+        .sum();
+    (h_c - h_c_given_a).max(0.0)
+}
+
+/// Conditional mutual information `I(A; B | C)` between two discretized
+/// attributes given the boolean class, in bits. This is the edge weight of
+/// the Chow–Liu tree TAN builds.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn conditional_mutual_information(a: &[usize], b: &[usize], labels: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len(), "attribute length mismatch");
+    assert_eq!(a.len(), labels.len(), "attribute/label length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    // Joint counts per class.
+    let mut joint: HashMap<(bool, usize, usize), usize> = HashMap::new();
+    let mut marg_a: HashMap<(bool, usize), usize> = HashMap::new();
+    let mut marg_b: HashMap<(bool, usize), usize> = HashMap::new();
+    let mut class_count: HashMap<bool, usize> = HashMap::new();
+    for i in 0..n {
+        *joint.entry((labels[i], a[i], b[i])).or_insert(0) += 1;
+        *marg_a.entry((labels[i], a[i])).or_insert(0) += 1;
+        *marg_b.entry((labels[i], b[i])).or_insert(0) += 1;
+        *class_count.entry(labels[i]).or_insert(0) += 1;
+    }
+    let n_f = n as f64;
+    let mut cmi = 0.0;
+    for (&(c, ai, bi), &count) in &joint {
+        let p_abc = count as f64 / n_f;
+        let p_c = class_count[&c] as f64 / n_f;
+        let p_ac = marg_a[&(c, ai)] as f64 / n_f;
+        let p_bc = marg_b[&(c, bi)] as f64 / n_f;
+        // I = Σ p(a,b,c) log2( p(a,b,c)·p(c) / (p(a,c)·p(b,c)) )
+        cmi += p_abc * ((p_abc * p_c) / (p_ac * p_bc)).log2();
+    }
+    cmi.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn entropy_of_fair_coin_is_one() {
+        assert!((entropy_from_counts(&[5, 5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_certainty_is_zero() {
+        assert_eq!(entropy_from_counts(&[10, 0]), 0.0);
+        assert_eq!(entropy_from_counts(&[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_attribute_gains_full_entropy() {
+        let bins = vec![0, 0, 0, 1, 1, 1];
+        let labels = vec![false, false, false, true, true, true];
+        let ig = information_gain(&bins, &labels);
+        assert!((ig - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn irrelevant_attribute_gains_nothing() {
+        let bins = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let labels = vec![false, false, true, true, false, false, true, true];
+        let ig = information_gain(&bins, &labels);
+        assert!(ig.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_zero_for_conditionally_independent() {
+        // Given the class, A and B are both constant → CMI 0.
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 0, 1, 1];
+        let labels = vec![false, false, true, true];
+        // A and B are copies, but they are constant *within* each class,
+        // so conditioned on C there is no residual information.
+        let cmi = conditional_mutual_information(&a, &b, &labels);
+        assert!(cmi.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_positive_for_dependent_within_class() {
+        // Within each class, B copies A while A varies → strong CMI.
+        let a = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let labels = vec![false, false, false, false, true, true, true, true];
+        let cmi = conditional_mutual_information(&a, &b, &labels);
+        assert!(cmi > 0.9, "cmi {cmi}");
+    }
+
+    #[test]
+    fn label_entropy_matches_counts() {
+        assert!((label_entropy(&[true, false]) - 1.0).abs() < 1e-12);
+        assert_eq!(label_entropy(&[true, true]), 0.0);
+        assert_eq!(label_entropy(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn information_gain_bounded_by_class_entropy(
+            data in prop::collection::vec((0usize..4, any::<bool>()), 1..200)
+        ) {
+            let bins: Vec<usize> = data.iter().map(|d| d.0).collect();
+            let labels: Vec<bool> = data.iter().map(|d| d.1).collect();
+            let ig = information_gain(&bins, &labels);
+            let h = label_entropy(&labels);
+            prop_assert!(ig >= 0.0);
+            prop_assert!(ig <= h + 1e-9, "ig {} > H(C) {}", ig, h);
+        }
+
+        #[test]
+        fn cmi_is_nonnegative_and_symmetric(
+            data in prop::collection::vec((0usize..3, 0usize..3, any::<bool>()), 1..200)
+        ) {
+            let a: Vec<usize> = data.iter().map(|d| d.0).collect();
+            let b: Vec<usize> = data.iter().map(|d| d.1).collect();
+            let labels: Vec<bool> = data.iter().map(|d| d.2).collect();
+            let ab = conditional_mutual_information(&a, &b, &labels);
+            let ba = conditional_mutual_information(&b, &a, &labels);
+            prop_assert!(ab >= 0.0);
+            prop_assert!((ab - ba).abs() < 1e-9, "asymmetric: {} vs {}", ab, ba);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the ML crate's numerical and protocol
+//! invariants.
+
+use proptest::prelude::*;
+use webcap_ml::cv::cross_validate;
+use webcap_ml::data::{Dataset, Scaler};
+use webcap_ml::linalg::Matrix;
+use webcap_ml::{Algorithm, Learner, Model};
+
+fn dataset_from(rows: &[(Vec<f64>, bool)]) -> Dataset {
+    let width = rows[0].0.len();
+    let names = (0..width).map(|i| format!("f{i}")).collect();
+    let mut data = Dataset::new(names);
+    for (features, label) in rows {
+        data.push(features.clone(), *label);
+    }
+    data
+}
+
+/// Strategy: a dataset with both classes present and fixed width.
+fn two_class_rows(width: usize) -> impl Strategy<Value = Vec<(Vec<f64>, bool)>> {
+    prop::collection::vec(
+        (prop::collection::vec(-100.0f64..100.0, width..=width), any::<bool>()),
+        8..60,
+    )
+    .prop_filter("both classes", |rows| {
+        rows.iter().any(|r| r.1) && rows.iter().any(|r| !r.1)
+    })
+}
+
+proptest! {
+    /// Solving a random well-conditioned system reproduces the known
+    /// solution: build A·x for a random diagonally dominant A and x.
+    #[test]
+    fn linear_solver_recovers_known_solution(
+        x in prop::collection::vec(-10.0f64..10.0, 1..6),
+        noise in prop::collection::vec(-0.5f64..0.5, 36),
+    ) {
+        let n = x.len();
+        let mut rows = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                rows[i][j] = if i == j { 10.0 } else { noise[i * 6 + j] };
+            }
+        }
+        let a = Matrix::from_rows(&rows);
+        let b: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| rows[i][j] * x[j]).sum())
+            .collect();
+        let solved = a.solve(&b).expect("diagonally dominant");
+        for (got, want) in solved.iter().zip(&x) {
+            prop_assert!((got - want).abs() < 1e-8, "{} vs {}", got, want);
+        }
+    }
+
+    /// Scaler transform is exactly invertible in distribution: transformed
+    /// data has zero mean and unit variance per non-constant column.
+    #[test]
+    fn scaler_standardizes_any_dataset(rows in two_class_rows(3)) {
+        let data = dataset_from(&rows);
+        let scaler = Scaler::fit(&data);
+        let scaled = scaler.transform_dataset(&data);
+        for (c, (_, sd)) in data.column_stats().iter().enumerate() {
+            let stats = scaled.column_stats();
+            prop_assert!(stats[c].0.abs() < 1e-6, "column {} mean {}", c, stats[c].0);
+            if *sd > 1e-9 {
+                prop_assert!((stats[c].1 - 1.0).abs() < 1e-6, "column {} sd {}", c, stats[c].1);
+            }
+        }
+    }
+
+    /// Every learner either fits or returns a typed error on arbitrary
+    /// two-class data, and fitted models predict deterministically.
+    #[test]
+    fn learners_are_total_and_deterministic(rows in two_class_rows(2)) {
+        let data = dataset_from(&rows);
+        for alg in Algorithm::PAPER_ORDER {
+            match (alg.fit(&data), alg.fit(&data)) {
+                (Ok(m1), Ok(m2)) => {
+                    for (features, _) in rows.iter().take(10) {
+                        prop_assert_eq!(m1.predict(features), m2.predict(features), "{}", alg);
+                        prop_assert!(m1.decision(features).is_finite() || alg == Algorithm::Svm,
+                            "{} produced non-finite decision", alg);
+                    }
+                    prop_assert_eq!(m1.dimension(), 2);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                _ => prop_assert!(false, "{} fit nondeterministically", alg),
+            }
+        }
+    }
+
+    /// Cross validation covers every instance exactly once.
+    #[test]
+    fn cv_validates_each_instance_once(rows in two_class_rows(2), k in 2usize..8) {
+        let data = dataset_from(&rows);
+        let learner = Algorithm::NaiveBayes.learner();
+        if let Ok(out) = cross_validate(learner.as_ref(), &data, k, 7) {
+            let validated = out.confusion.total();
+            // Skipped folds lose their instances; with both classes and
+            // stratification, usually none are skipped.
+            prop_assert!(validated <= data.len());
+            if out.folds_skipped == 0 {
+                prop_assert_eq!(validated, data.len());
+            }
+        }
+    }
+
+    /// The perfectly-separable invariant: when classes are split by a
+    /// margin on feature 0, every learner classifies far points correctly.
+    #[test]
+    fn margin_separated_data_is_learned(
+        gap in 5.0f64..50.0,
+        n in 10usize..40,
+        seed_jitter in prop::collection::vec(0.0f64..1.0, 80),
+    ) {
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let j = seed_jitter[i % seed_jitter.len()];
+            rows.push((vec![j, seed_jitter[(i + 7) % seed_jitter.len()]], false));
+            rows.push((vec![gap + j, seed_jitter[(i + 3) % seed_jitter.len()]], true));
+        }
+        let data = dataset_from(&rows);
+        for alg in Algorithm::PAPER_ORDER {
+            let model = alg.fit(&data).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            if alg == Algorithm::Tan {
+                // TAN discretizes; with tiny adversarial datasets its bins
+                // can degenerate near the boundary. Require near-perfect
+                // in-sample accuracy instead of exact probe answers.
+                let correct = data
+                    .iter()
+                    .filter(|inst| model.predict(&inst.features) == inst.label)
+                    .count();
+                prop_assert!(
+                    correct * 10 >= data.len() * 9,
+                    "TAN in-sample accuracy {}/{}",
+                    correct,
+                    data.len()
+                );
+            } else {
+                prop_assert!(model.predict(&[gap + 0.5, 0.5]), "{} missed positive", alg);
+                prop_assert!(!model.predict(&[0.5, 0.5]), "{} missed negative", alg);
+            }
+        }
+    }
+}

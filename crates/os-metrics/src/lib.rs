@@ -1,0 +1,580 @@
+//! Sysstat-like OS-level metric synthesis for the webcap testbed.
+//!
+//! The paper's comparison baseline collects **64 OS-level metrics** with
+//! Sysstat 7.0.3 and finds them noticeably less accurate than hardware
+//! counters for capacity measurement, especially under browsing-mix
+//! traffic whose overload is caused by a few heavy database queries
+//! (Section V-B, observation 2). This crate reproduces both the metric
+//! surface and its limitations:
+//!
+//! * The 64 metrics ([`OS_METRIC_NAMES`]) span CPU, scheduler, memory,
+//!   swap, paging, disk, network, sockets, and kernel tables — most carry
+//!   little or no information about overload, exercising attribute
+//!   selection realistically.
+//! * CPU utilization **saturates at 100%**: once a tier is near its knee,
+//!   `%user`/`%idle` look the same whether the backlog is stable or
+//!   growing.
+//! * OS metrics are **coarse and noisy** — they are derived from sampled
+//!   scheduler snapshots and quantized the way sysstat reports them,
+//!   unlike exact hardware event counts. The default relative noise is an
+//!   order of magnitude larger than HPC counter noise.
+//! * OS metrics carry **long-memory disturbances**: daemon activity, log
+//!   rotation, checkpoint cycles and cache churn bias scheduler, disk and
+//!   paging metrics on a time scale of minutes, so the bias does *not*
+//!   average out within a 30-second aggregation window. Hardware event
+//!   *ratios* (IPC, miss rates) are immune — the events count the
+//!   workload itself.
+//! * OS metrics carry **no instruction-mix channel**: a heavy scan and a
+//!   burst of light transactions with the same CPU share are
+//!   indistinguishable, which is exactly the paper's diagnosis of why OS
+//!   metrics fail on browsing-mix overload.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use webcap_os::OsCollector;
+//! use webcap_sim::{TierId, TierSample};
+//!
+//! let mut collector = OsCollector::new(TierId::Db);
+//! let tier_state = TierSample { utilization: 0.95, ..Default::default() };
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let sample = collector.sample(&tier_state, 1.0, &mut rng);
+//! assert_eq!(sample.values().len(), 64);
+//! ```
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use webcap_sim::{TierId, TierSample};
+
+/// Names of the 64 collected OS metrics, in feature order (sysstat
+/// vocabulary).
+pub const OS_METRIC_NAMES: [&str; 64] = [
+    "pct_user",
+    "pct_nice",
+    "pct_system",
+    "pct_iowait",
+    "pct_steal",
+    "pct_idle",
+    "runq_sz",
+    "plist_sz",
+    "ldavg_1",
+    "ldavg_5",
+    "ldavg_15",
+    "blocked",
+    "proc_per_s",
+    "cswch_per_s",
+    "intr_per_s",
+    "kbmemfree",
+    "kbmemused",
+    "pct_memused",
+    "kbbuffers",
+    "kbcached",
+    "kbcommit",
+    "pct_commit",
+    "kbactive",
+    "kbinact",
+    "kbswpfree",
+    "kbswpused",
+    "pct_swpused",
+    "kbswpcad",
+    "pgpgin_per_s",
+    "pgpgout_per_s",
+    "fault_per_s",
+    "majflt_per_s",
+    "pgfree_per_s",
+    "pgscank_per_s",
+    "pgscand_per_s",
+    "pgsteal_per_s",
+    "tps",
+    "rtps",
+    "wtps",
+    "bread_per_s",
+    "bwrtn_per_s",
+    "rxpck_per_s",
+    "txpck_per_s",
+    "rxkb_per_s",
+    "txkb_per_s",
+    "rxcmp_per_s",
+    "txcmp_per_s",
+    "rxmcst_per_s",
+    "txmcst_per_s",
+    "totsck",
+    "tcpsck",
+    "udpsck",
+    "rawsck",
+    "ip_frag",
+    "tcp_tw",
+    "dentunusd",
+    "file_nr",
+    "inode_nr",
+    "pty_nr",
+    "rcvin_per_s",
+    "xmtin_per_s",
+    "frmpg_per_s",
+    "bufpg_per_s",
+    "campg_per_s",
+];
+
+/// One interval's worth of the 64 OS metrics on one tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OsSample {
+    values: Vec<f64>,
+}
+
+impl OsSample {
+    /// The 64 values, aligned with [`OS_METRIC_NAMES`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value of a named metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of [`OS_METRIC_NAMES`].
+    pub fn value(&self, name: &str) -> f64 {
+        let idx = OS_METRIC_NAMES
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or_else(|| panic!("unknown OS metric {name}"));
+        self.values[idx]
+    }
+
+    /// Feature names with a tier prefix, aligned with [`OsSample::values`].
+    pub fn feature_names(prefix: &str) -> Vec<String> {
+        OS_METRIC_NAMES.iter().map(|n| format!("{prefix}{n}")).collect()
+    }
+}
+
+/// A per-tier OS metric collector (the Sysstat analogue).
+///
+/// Stateful because load averages are exponentially weighted histories of
+/// the run-queue length.
+#[derive(Debug, Clone)]
+pub struct OsCollector {
+    tier: TierId,
+    noise_rel: f64,
+    bias_scale: f64,
+    ldavg: [f64; 3],
+    total_mem_kb: f64,
+    /// Per-metric slow multiplicative bias (OU process), index-aligned
+    /// with [`OS_METRIC_NAMES`].
+    bias: Vec<f64>,
+    bias_initialized: bool,
+}
+
+/// Stationary standard deviation of the slow bias of one metric: large
+/// for scheduler/disk/paging metrics (daemon and checkpoint interference),
+/// small for CPU percentages and memory levels.
+fn bias_amplitude(name: &str) -> f64 {
+    match name {
+        // Scheduler statistics are 1 Hz snapshots of an extremely bursty,
+        // strongly autocorrelated quantity: their window means carry large
+        // correlated errors.
+        "runq_sz" | "ldavg_1" | "ldavg_5" | "ldavg_15" | "blocked" => 0.60,
+        "cswch_per_s" | "intr_per_s" | "proc_per_s" => 0.40,
+        "tps" | "rtps" | "wtps" | "bread_per_s" | "bwrtn_per_s" => 0.40,
+        "pgpgin_per_s" | "pgpgout_per_s" | "fault_per_s" | "majflt_per_s"
+        | "pgfree_per_s" => 0.40,
+        // CPU accounting is exact jiffy counting in the kernel; it is
+        // saturating (its limitation), not biased.
+        "pct_user" | "pct_system" | "pct_iowait" | "pct_idle" | "pct_nice" => 0.0,
+        name if name.starts_with("kb") || name.contains("mem") || name.contains("commit") => {
+            0.04
+        }
+        _ => 0.15,
+    }
+}
+
+/// OU mean-reversion rate of the bias per second (τ ≈ 50 s, so the bias
+/// survives a 30-second window).
+const BIAS_REVERT: f64 = 0.02;
+
+impl OsCollector {
+    /// Create a collector for one tier with the default noise level.
+    pub fn new(tier: TierId) -> OsCollector {
+        let total_mem_kb = match tier {
+            TierId::App => 512.0 * 1024.0, // the paper's 512 MB app server
+            TierId::Db => 1024.0 * 1024.0, // and 1 GB DB server
+        };
+        OsCollector {
+            tier,
+            noise_rel: 0.18,
+            bias_scale: 1.0,
+            ldavg: [0.0; 3],
+            total_mem_kb,
+            bias: vec![0.0; 64],
+            bias_initialized: false,
+        }
+    }
+
+    /// Override the relative sampling noise of dynamic metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel` is negative or non-finite.
+    pub fn with_noise(mut self, rel: f64) -> OsCollector {
+        assert!(rel >= 0.0 && rel.is_finite(), "noise must be nonnegative");
+        self.noise_rel = rel;
+        self
+    }
+
+    /// Scale the slow-bias disturbances (0 disables them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative or non-finite.
+    pub fn with_bias_scale(mut self, scale: f64) -> OsCollector {
+        assert!(scale >= 0.0 && scale.is_finite(), "bias scale must be nonnegative");
+        self.bias_scale = scale;
+        self
+    }
+
+    /// The tier this collector watches.
+    pub fn tier(&self) -> TierId {
+        self.tier
+    }
+
+    /// Advance the per-metric slow biases by one interval.
+    fn step_bias<R: Rng + ?Sized>(&mut self, interval_s: f64, rng: &mut R) {
+        let steps = interval_s.max(1.0);
+        for (i, name) in OS_METRIC_NAMES.iter().enumerate() {
+            let amp = bias_amplitude(name) * self.bias_scale;
+            if amp == 0.0 {
+                continue;
+            }
+            if !self.bias_initialized {
+                // Start from the stationary distribution.
+                self.bias[i] = amp * Self::gauss(rng);
+                continue;
+            }
+            let step_sd = amp * (2.0 * BIAS_REVERT * steps).sqrt();
+            self.bias[i] += -BIAS_REVERT * steps * self.bias[i] + step_sd * Self::gauss(rng);
+            self.bias[i] = self.bias[i].clamp(-0.9, 3.0);
+        }
+        self.bias_initialized = true;
+    }
+
+    fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    fn noisy<R: Rng + ?Sized>(&self, v: f64, rng: &mut R) -> f64 {
+        (v * (1.0 + self.noise_rel * Self::gauss(rng))).max(0.0)
+    }
+
+    /// Collect one interval of OS metrics from the simulator tier state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s <= 0`.
+    pub fn sample<R: Rng + ?Sized>(
+        &mut self,
+        ts: &TierSample,
+        interval_s: f64,
+        rng: &mut R,
+    ) -> OsSample {
+        assert!(interval_s > 0.0, "interval must be positive");
+        self.step_bias(interval_s, rng);
+        let mut v = vec![0.0f64; 64];
+        // Load averages update first (stateful), the rest is functional.
+        let load_now = ts.avg_runnable + ts.disk_queue_avg;
+        for (i, minutes) in [1.0f64, 5.0, 15.0].iter().enumerate() {
+            let alpha = 1.0 - (-interval_s / (minutes * 60.0)).exp();
+            self.ldavg[i] += alpha * (load_now - self.ldavg[i]);
+        }
+        let ldavg = self.ldavg;
+
+        let mut set = |name: &str, value: f64| {
+            let idx = OS_METRIC_NAMES.iter().position(|n| *n == name).expect("known name");
+            v[idx] = value;
+        };
+
+        // --- CPU accounting (percent, quantized to sysstat's 0.01) ---
+        // Saturates: util near 1.0 reads as ~100% busy whether the backlog
+        // is stable or exploding.
+        let util = ts.utilization.clamp(0.0, 1.0);
+        let user = self.noisy(util * 82.0, rng).min(100.0);
+        let system = self.noisy(util * 12.0, rng).min(100.0 - user);
+        let iowait = self
+            .noisy(ts.disk_utilization * (1.0 - util) * 90.0, rng)
+            .min(100.0 - user - system);
+        let q = |x: f64| (x * 100.0).round() / 100.0;
+        set("pct_user", q(user));
+        set("pct_nice", q(self.noisy(0.3, rng)));
+        set("pct_system", q(system));
+        set("pct_iowait", q(iowait));
+        set("pct_steal", 0.0);
+        set("pct_idle", q((100.0 - user - system - iowait).max(0.0)));
+
+        // --- Scheduler ---
+        // runq is a *sampled* queue length: integer, very noisy for bursty
+        // loads.
+        set("runq_sz", self.noisy(ts.avg_runnable, rng).round());
+        // Tomcat pre-spawns its worker pool, so the app tier's process
+        // list barely moves with load; MySQL runs one thread per open
+        // connection, so the DB's process list tracks held connections.
+        let plist = match self.tier {
+            TierId::App => 92.0 + 130.0,
+            TierId::Db => 68.0 + ts.pool_in_use_avg,
+        };
+        set("plist_sz", self.noisy(plist, rng).round());
+        set("ldavg_1", (ldavg[0] * 100.0).round() / 100.0);
+        set("ldavg_5", (ldavg[1] * 100.0).round() / 100.0);
+        set("ldavg_15", (ldavg[2] * 100.0).round() / 100.0);
+        set("blocked", self.noisy(ts.disk_queue_avg, rng).round());
+
+        // --- Task churn ---
+        let req_rate = ts.arrivals as f64 / interval_s;
+        set("proc_per_s", self.noisy(0.4 + req_rate * 0.02, rng));
+        set("cswch_per_s", self.noisy(240.0 + req_rate * 45.0 + ts.avg_runnable * 130.0, rng));
+        set("intr_per_s", self.noisy(310.0 + req_rate * 22.0, rng));
+
+        // --- Memory ---
+        // The DB allocates per-connection buffers; the app tier's heap is
+        // dominated by the pre-sized JVM, so load barely shows.
+        let mem_per_token = match self.tier {
+            TierId::App => 0.0, // JVM heap is pre-sized
+            TierId::Db => 2048.0,
+        };
+        let used = (0.35 * self.total_mem_kb + ts.pool_in_use_avg * mem_per_token)
+            .min(self.total_mem_kb * 0.97);
+        let used = self.noisy(used, rng).min(self.total_mem_kb * 0.99);
+        set("kbmemfree", (self.total_mem_kb - used).round());
+        set("kbmemused", used.round());
+        set("pct_memused", q(used / self.total_mem_kb * 100.0));
+        set("kbbuffers", self.noisy(0.04 * self.total_mem_kb, rng).round());
+        set("kbcached", self.noisy(0.30 * self.total_mem_kb, rng).round());
+        set("kbcommit", self.noisy(used * 1.4, rng).round());
+        set("pct_commit", q(used * 1.4 / self.total_mem_kb * 100.0));
+        set("kbactive", self.noisy(used * 0.7, rng).round());
+        set("kbinact", self.noisy(used * 0.2, rng).round());
+
+        // --- Swap: effectively unused ---
+        let swap_total = 1024.0 * 1024.0;
+        set("kbswpfree", swap_total - 128.0);
+        set("kbswpused", 128.0);
+        set("pct_swpused", 0.01);
+        set("kbswpcad", 16.0);
+
+        // --- Paging ---
+        let disk_rate = ts.disk_ops as f64 / interval_s;
+        set("pgpgin_per_s", self.noisy(disk_rate * 36.0, rng));
+        set("pgpgout_per_s", self.noisy(6.0 + disk_rate * 9.0, rng));
+        set("fault_per_s", self.noisy(120.0 + req_rate * 14.0, rng));
+        set("majflt_per_s", self.noisy(disk_rate * 0.05, rng));
+        set("pgfree_per_s", self.noisy(180.0 + req_rate * 20.0, rng));
+        set("pgscank_per_s", 0.0);
+        set("pgscand_per_s", 0.0);
+        set("pgsteal_per_s", 0.0);
+
+        // --- Disk ---
+        set("tps", self.noisy(disk_rate, rng));
+        set("rtps", self.noisy(disk_rate * 0.8, rng));
+        set("wtps", self.noisy(disk_rate * 0.2 + 1.5, rng));
+        set("bread_per_s", self.noisy(disk_rate * 220.0, rng));
+        set("bwrtn_per_s", self.noisy(disk_rate * 48.0 + 30.0, rng));
+
+        // --- Network (requests and DB calls generate packets) ---
+        set("rxpck_per_s", self.noisy(12.0 + req_rate * 9.0, rng));
+        set("txpck_per_s", self.noisy(12.0 + req_rate * 11.0, rng));
+        set("rxkb_per_s", self.noisy(2.0 + req_rate * 3.0, rng));
+        set("txkb_per_s", self.noisy(2.0 + req_rate * 14.0, rng));
+        set("rxcmp_per_s", 0.0);
+        set("txcmp_per_s", 0.0);
+        set("rxmcst_per_s", self.noisy(0.2, rng));
+        set("txmcst_per_s", 0.0);
+
+        // --- Sockets ---
+        // The RBE closes connections after each interaction (HTTP/1.0
+        // style), so socket tables are dominated by time-wait churn — a
+        // request-rate signal, not a backlog signal.
+        set("totsck", self.noisy(120.0 + req_rate * 3.0, rng).round());
+        set("tcpsck", self.noisy(40.0 + req_rate * 2.5, rng).round());
+        set("udpsck", 6.0);
+        set("rawsck", 0.0);
+        set("ip_frag", 0.0);
+        set("tcp_tw", self.noisy(req_rate * 1.5, rng).round());
+
+        // --- Kernel tables, ttys, per-page churn ---
+        set("dentunusd", self.noisy(24_000.0, rng).round());
+        set("file_nr", self.noisy(2_500.0 + req_rate * 5.0, rng).round());
+        set("inode_nr", self.noisy(18_000.0, rng).round());
+        set("pty_nr", 2.0);
+        set("rcvin_per_s", 0.0);
+        set("xmtin_per_s", 0.0);
+        set("frmpg_per_s", self.noisy(req_rate * 0.5, rng) - self.noisy(req_rate * 0.5, rng));
+        set("bufpg_per_s", self.noisy(0.4, rng));
+        set("campg_per_s", self.noisy(1.8 + req_rate * 0.1, rng));
+
+        // Fold in the slow disturbances last: `set` closures borrow `v`.
+        for ((value, bias), name) in v.iter_mut().zip(&self.bias).zip(OS_METRIC_NAMES) {
+            *value = (*value * (1.0 + bias)).max(0.0);
+            if name.starts_with("pct_") {
+                *value = value.min(100.0);
+            }
+        }
+        OsSample { values: v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn state(util: f64, runnable: f64, pool: f64, queue_end: usize) -> TierSample {
+        TierSample {
+            utilization: util,
+            avg_runnable: runnable,
+            pool_in_use_avg: pool,
+            pool_queue_end: queue_end,
+            arrivals: 80,
+            completions: 80,
+            disk_ops: 20,
+            disk_utilization: 0.3,
+            disk_queue_avg: 0.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn names_are_64_and_unique() {
+        assert_eq!(OS_METRIC_NAMES.len(), 64);
+        let mut sorted = OS_METRIC_NAMES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64);
+    }
+
+    #[test]
+    fn sample_has_64_finite_values() {
+        let mut c = OsCollector::new(TierId::App);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = c.sample(&state(0.7, 4.0, 30.0, 0), 1.0, &mut rng);
+        assert_eq!(s.values().len(), 64);
+        for (name, v) in OS_METRIC_NAMES.iter().zip(s.values()) {
+            assert!(v.is_finite(), "{name} not finite");
+        }
+    }
+
+    #[test]
+    fn cpu_percentages_sum_to_at_most_100() {
+        let mut c = OsCollector::new(TierId::Db);
+        let mut rng = StdRng::seed_from_u64(2);
+        for util in [0.0, 0.5, 0.99, 1.0] {
+            let s = c.sample(&state(util, 10.0, 20.0, 0), 1.0, &mut rng);
+            let total = s.value("pct_user")
+                + s.value("pct_system")
+                + s.value("pct_iowait")
+                + s.value("pct_idle");
+            assert!(total <= 100.5, "total {total} at util {util}");
+        }
+    }
+
+    #[test]
+    fn utilization_saturates_near_knee() {
+        // The defining limitation: 0.97 and 1.0 utilization are barely
+        // distinguishable in CPU accounting.
+        let mut c = OsCollector::new(TierId::Db).with_noise(0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let near = c.sample(&state(0.97, 10.0, 20.0, 0), 1.0, &mut rng);
+        let over = c.sample(&state(1.0, 14.0, 32.0, 50), 1.0, &mut rng);
+        let rel =
+            (over.value("pct_user") - near.value("pct_user")).abs() / near.value("pct_user");
+        assert!(rel < 0.05, "pct_user should barely move: {rel}");
+    }
+
+    #[test]
+    fn load_average_lags_runq() {
+        let mut c = OsCollector::new(TierId::App).with_noise(0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Quiet for a while…
+        let mut calm = None;
+        for _ in 0..30 {
+            calm = Some(c.sample(&state(0.1, 0.5, 2.0, 0), 1.0, &mut rng));
+        }
+        let calm = calm.unwrap();
+        // …then a sudden burst: ldavg_1 rises but lags the raw queue.
+        let mut last = calm.clone();
+        for _ in 0..10 {
+            last = c.sample(&state(1.0, 40.0, 100.0, 10), 1.0, &mut rng);
+        }
+        assert!(last.value("ldavg_1") > calm.value("ldavg_1"));
+        assert!(last.value("ldavg_1") < 40.0, "one-minute average lags the spike");
+        assert!(last.value("ldavg_15") < last.value("ldavg_1"));
+    }
+
+    #[test]
+    fn runq_is_noisier_than_hpc_counters() {
+        let mut c = OsCollector::new(TierId::Db);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ts = state(0.95, 18.0, 30.0, 0);
+        let vals: Vec<f64> =
+            (0..200).map(|_| c.sample(&ts, 1.0, &mut rng).value("runq_sz")).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let sd =
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
+        let cv = sd / mean;
+        assert!(cv > 0.1, "OS sampling noise should be coarse, cv {cv}");
+    }
+
+    #[test]
+    fn db_memory_grows_with_connections_app_barely() {
+        // MySQL allocates per-connection buffers; the JVM heap is
+        // pre-sized, so the app tier's memory hardly moves with load.
+        let mut db = OsCollector::new(TierId::Db).with_noise(0.0).with_bias_scale(0.0);
+        let mut app = OsCollector::new(TierId::App).with_noise(0.0).with_bias_scale(0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let db_idle = db.sample(&state(0.2, 1.0, 2.0, 0), 1.0, &mut rng);
+        let db_busy = db.sample(&state(0.9, 6.0, 8.0, 30), 1.0, &mut rng);
+        let db_delta = db_busy.value("kbmemused") - db_idle.value("kbmemused");
+        assert!(db_delta > 10_000.0, "db delta {db_delta}");
+        let app_idle = app.sample(&state(0.2, 1.0, 5.0, 0), 1.0, &mut rng);
+        let app_busy = app.sample(&state(0.9, 10.0, 120.0, 30), 1.0, &mut rng);
+        let app_delta = app_busy.value("kbmemused") - app_idle.value("kbmemused");
+        assert_eq!(app_delta, 0.0, "pre-sized JVM heap: app {app_delta}");
+    }
+
+    #[test]
+    fn sockets_track_request_rate_not_backlog() {
+        let mut c = OsCollector::new(TierId::App).with_noise(0.0).with_bias_scale(0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Same request rate, wildly different backlog: sockets identical.
+        let calm = c.sample(&state(0.9, 2.0, 10.0, 0), 1.0, &mut rng);
+        let backed_up = c.sample(&state(1.0, 2.0, 128.0, 300), 1.0, &mut rng);
+        assert_eq!(calm.value("tcpsck"), backed_up.value("tcpsck"));
+    }
+
+    #[test]
+    fn feature_names_prefix() {
+        let names = OsSample::feature_names("app_os_");
+        assert_eq!(names.len(), 64);
+        assert_eq!(names[0], "app_os_pct_user");
+    }
+
+    #[test]
+    fn app_and_db_have_different_memory_sizes() {
+        assert_eq!(OsCollector::new(TierId::App).tier(), TierId::App);
+        let mut ca = OsCollector::new(TierId::App).with_noise(0.0);
+        let mut cd = OsCollector::new(TierId::Db).with_noise(0.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = state(0.5, 2.0, 10.0, 0);
+        let a = ca.sample(&s, 1.0, &mut rng);
+        let d = cd.sample(&s, 1.0, &mut rng);
+        assert!(d.value("kbmemfree") > a.value("kbmemfree"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown OS metric")]
+    fn unknown_metric_panics() {
+        let mut c = OsCollector::new(TierId::App);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = c.sample(&state(0.5, 2.0, 10.0, 0), 1.0, &mut rng);
+        let _ = s.value("nonexistent");
+    }
+}

@@ -1,0 +1,223 @@
+//! Logarithmic response-time histograms.
+//!
+//! Mean response time hides exactly the tail behaviour QoS management
+//! cares about (the paper's admission-control motivation is per-request
+//! response-time *guarantees*). Each telemetry interval carries a
+//! fixed-size log-bucketed histogram, cheap to record, merge, and query
+//! for quantiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets.
+const BUCKETS: usize = 48;
+/// Lower edge of bucket 0, seconds.
+const MIN_S: f64 = 0.001;
+/// Upper edge of the last finite bucket, seconds; larger values clamp.
+const MAX_S: f64 = 120.0;
+
+/// A fixed-size logarithmic histogram of response times.
+///
+/// Buckets are geometrically spaced between 1 ms and 120 s; values outside
+/// that range clamp to the outer buckets. Quantiles are resolved to the
+/// geometric midpoint of the containing bucket (≤ ~13% relative error,
+/// plenty for knee detection).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RtHistogram {
+    counts: Vec<u32>,
+    total: u64,
+}
+
+impl RtHistogram {
+    /// An empty histogram.
+    pub fn new() -> RtHistogram {
+        RtHistogram { counts: vec![0; BUCKETS], total: 0 }
+    }
+
+    fn bucket_of(seconds: f64) -> usize {
+        if !(seconds > MIN_S) {
+            return 0;
+        }
+        let ratio = (MAX_S / MIN_S).ln();
+        let frac = ((seconds / MIN_S).ln() / ratio).clamp(0.0, 1.0);
+        ((frac * BUCKETS as f64) as usize).min(BUCKETS - 1)
+    }
+
+    /// Lower edge of bucket `i`, seconds.
+    fn bucket_low(i: usize) -> f64 {
+        MIN_S * (MAX_S / MIN_S).powf(i as f64 / BUCKETS as f64)
+    }
+
+    /// Record one response time.
+    pub fn record(&mut self, seconds: f64) {
+        self.counts[Self::bucket_of(seconds)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &RtHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the geometric midpoint of the
+    /// containing bucket; `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += u64::from(c);
+            if seen >= rank {
+                let low = Self::bucket_low(i);
+                let high = Self::bucket_low(i + 1);
+                return Some((low * high).sqrt());
+            }
+        }
+        Some(MAX_S)
+    }
+
+    /// Convenience: the median.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Convenience: the 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Reset all counts.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+}
+
+impl Default for RtHistogram {
+    fn default() -> RtHistogram {
+        RtHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantiles_of_a_point_mass() {
+        let mut h = RtHistogram::new();
+        for _ in 0..100 {
+            h.record(0.25);
+        }
+        let p50 = h.p50().unwrap();
+        // Bucket resolution: within ~15%.
+        assert!((p50 - 0.25).abs() / 0.25 < 0.15, "p50 {p50}");
+        assert_eq!(h.len(), 100);
+    }
+
+    #[test]
+    fn tail_is_visible_where_the_mean_hides_it() {
+        let mut h = RtHistogram::new();
+        for _ in 0..95 {
+            h.record(0.1);
+        }
+        for _ in 0..5 {
+            h.record(10.0);
+        }
+        // Mean would be ~0.6 s; p95 must expose the multi-second tail.
+        assert!(h.p99().unwrap() > 5.0);
+        assert!(h.p50().unwrap() < 0.2);
+    }
+
+    #[test]
+    fn clamping_and_empty_behaviour() {
+        let mut h = RtHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p95(), None);
+        h.record(1e-9);
+        h.record(1e9);
+        assert_eq!(h.len(), 2);
+        assert!(h.quantile(1.0).unwrap() <= MAX_S * 1.01);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = RtHistogram::new();
+        let mut b = RtHistogram::new();
+        for _ in 0..10 {
+            a.record(0.05);
+            b.record(2.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 20);
+        assert!(a.p50().unwrap() < 0.5);
+        assert!(a.quantile(0.99).unwrap() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn zero_quantile_panics() {
+        let _ = RtHistogram::new().quantile(0.0);
+    }
+
+    proptest! {
+        /// Quantiles are monotone in q and bounded by the recorded range
+        /// up to bucket resolution.
+        #[test]
+        fn quantiles_are_monotone(values in prop::collection::vec(0.001f64..100.0, 1..200)) {
+            let mut h = RtHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let mut last = 0.0;
+            for &q in &qs {
+                let v = h.quantile(q).unwrap();
+                prop_assert!(v >= last, "quantile not monotone at {}", q);
+                last = v;
+            }
+            let max = values.iter().copied().fold(0.0f64, f64::max);
+            prop_assert!(last <= max * 1.3 + 1e-3, "q1.0 {} vs max {}", last, max);
+        }
+
+        /// Total count always equals the number of records after any merge
+        /// sequence.
+        #[test]
+        fn counts_are_conserved(
+            a in prop::collection::vec(0.001f64..50.0, 0..100),
+            b in prop::collection::vec(0.001f64..50.0, 0..100),
+        ) {
+            let mut ha = RtHistogram::new();
+            let mut hb = RtHistogram::new();
+            for &v in &a { ha.record(v); }
+            for &v in &b { hb.record(v); }
+            ha.merge(&hb);
+            prop_assert_eq!(ha.len(), (a.len() + b.len()) as u64);
+        }
+    }
+}

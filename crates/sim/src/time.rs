@@ -1,0 +1,181 @@
+//! Simulation time: a newtype over integer microseconds.
+//!
+//! Integer time keeps the event queue ordering exact and the simulation
+//! bit-for-bit reproducible across runs and platforms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time, in microseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole microseconds.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// Construct from seconds, rounding to the nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative, NaN, or too large to represent.
+    pub fn from_secs_f64(s: f64) -> SimTime {
+        assert!(s.is_finite() && s >= 0.0, "time must be a nonnegative finite number");
+        let us = (s * 1e6).round();
+        assert!(us <= u64::MAX as f64, "time overflow");
+        SimTime(us as u64)
+    }
+
+    /// Microseconds since simulation start.
+    pub fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference in seconds (`self − earlier`).
+    pub fn seconds_since(&self, earlier: SimTime) -> f64 {
+        (self.0.saturating_sub(earlier.0)) as f64 / 1e6
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A span of simulated time, in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole microseconds.
+    pub fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us)
+    }
+
+    /// Construct from seconds, rounding to the nearest microsecond and
+    /// clamping tiny positive values up to 1 µs so durations representing
+    /// real work never collapse to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or NaN.
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        assert!(s.is_finite() && s >= 0.0, "duration must be a nonnegative finite number");
+        let us = (s * 1e6).round() as u64;
+        if us == 0 && s > 0.0 {
+            SimDuration(1)
+        } else {
+            SimDuration(us)
+        }
+    }
+
+    /// Microseconds.
+    pub fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs_f64(2.0) + SimDuration::from_secs_f64(0.5);
+        assert_eq!(t, SimTime::from_secs_f64(2.5));
+        let d = SimTime::from_secs_f64(3.0) - SimTime::from_secs_f64(1.0);
+        assert_eq!(d, SimDuration::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let d = SimTime::from_secs_f64(1.0) - SimTime::from_secs_f64(5.0);
+        assert_eq!(d, SimDuration::ZERO);
+        assert_eq!(SimTime::from_secs_f64(1.0).seconds_since(SimTime::from_secs_f64(4.0)), 0.0);
+    }
+
+    #[test]
+    fn tiny_positive_duration_does_not_vanish() {
+        let d = SimDuration::from_secs_f64(1e-9);
+        assert_eq!(d.as_micros(), 1);
+        assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        assert!(SimTime::from_micros(5) < SimTime::from_micros(6));
+        assert_eq!(SimTime::ZERO, SimTime::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_time_panics() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs_f64(1.25).to_string(), "1.250s");
+    }
+}

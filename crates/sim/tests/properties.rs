@@ -1,0 +1,172 @@
+//! Property-based tests of the simulator's conservation laws and
+//! determinism guarantees.
+
+use proptest::prelude::*;
+use webcap_sim::resources::{FcfsDisk, PsCpu, TokenPool};
+use webcap_sim::{run, SimConfig, SimTime};
+use webcap_tpcw::{Mix, TrafficProgram};
+
+fn t(s: f64) -> SimTime {
+    SimTime::from_secs_f64(s)
+}
+
+proptest! {
+    /// Work conservation: every unit of demand pushed into a PS CPU is
+    /// eventually delivered, and the delivered-work accumulator matches.
+    #[test]
+    fn ps_cpu_conserves_work(
+        demands in prop::collection::vec(0.01f64..2.0, 1..20),
+        cores in 1u32..4,
+        alpha in 0.0f64..0.05,
+    ) {
+        let mut cpu = PsCpu::new(cores, 1.0, alpha);
+        let total: f64 = demands.iter().sum();
+        for (i, &d) in demands.iter().enumerate() {
+            cpu.push(t(0.0), i as u64, d);
+        }
+        let mut now = t(0.0);
+        let mut completed = 0usize;
+        while let Some(done) = cpu.next_completion(now) {
+            now = done;
+            cpu.pop_completed(now);
+            completed += 1;
+            prop_assert!(completed <= demands.len(), "more completions than jobs");
+        }
+        prop_assert_eq!(completed, demands.len());
+        let (_, delivered, _) = cpu.stats();
+        // Delivered work equals the demand sum (within µs rounding).
+        prop_assert!((delivered - total).abs() < 1e-3 * total + 1e-3,
+            "delivered {} vs demanded {}", delivered, total);
+    }
+
+    /// The job with the least remaining work always completes first, so
+    /// completion times are non-decreasing.
+    #[test]
+    fn ps_cpu_completions_are_ordered(
+        demands in prop::collection::vec(0.01f64..1.0, 2..15),
+    ) {
+        let mut cpu = PsCpu::new(1, 1.0, 0.0);
+        for (i, &d) in demands.iter().enumerate() {
+            cpu.push(t(0.0), i as u64, d);
+        }
+        let mut now = t(0.0);
+        let mut last = now;
+        while let Some(done) = cpu.next_completion(now) {
+            prop_assert!(done >= last);
+            last = done;
+            now = done;
+            cpu.pop_completed(now);
+        }
+    }
+
+    /// Token conservation: tokens held never exceed capacity, and every
+    /// waiter eventually receives a token in FIFO order.
+    #[test]
+    fn token_pool_is_conserving_and_fifo(
+        capacity in 1usize..8,
+        arrivals in prop::collection::vec(0u8..2, 1..40),
+    ) {
+        let mut pool = TokenPool::new(capacity);
+        let mut queued: Vec<u64> = Vec::new();
+        let mut granted: Vec<u64> = Vec::new();
+        let mut held = 0usize;
+        let mut next_id = 0u64;
+        let mut clock = 0.0;
+        for op in arrivals {
+            clock += 0.1;
+            if op == 0 || held == 0 {
+                // Arrival.
+                let id = next_id;
+                next_id += 1;
+                if pool.try_acquire(t(clock)) {
+                    held += 1;
+                    granted.push(id);
+                } else {
+                    pool.enqueue(t(clock), id);
+                    queued.push(id);
+                }
+            } else {
+                // Release.
+                match pool.release(t(clock)) {
+                    Some(waiter) => {
+                        // FIFO: must be the oldest queued id.
+                        prop_assert_eq!(Some(waiter), queued.first().copied());
+                        queued.remove(0);
+                        granted.push(waiter);
+                    }
+                    None => {
+                        held -= 1;
+                    }
+                }
+            }
+            prop_assert!(pool.in_use() <= capacity);
+            prop_assert_eq!(pool.queue_len(), queued.len());
+        }
+        // Granted ids are unique.
+        let mut sorted = granted.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), granted.len());
+    }
+
+    /// The disk serves operations one at a time in arrival order and its
+    /// busy time equals the service-time sum.
+    #[test]
+    fn disk_is_fcfs_and_accounts_busy_time(
+        services in prop::collection::vec(0.01f64..0.5, 1..20),
+    ) {
+        let mut disk = FcfsDisk::new();
+        let mut pending: Option<SimTime> = None;
+        for (i, &s) in services.iter().enumerate() {
+            if let Some(done) = disk.submit(t(0.0), i as u64, s) {
+                pending = Some(done);
+            }
+        }
+        let mut order = Vec::new();
+        while let Some(done) = pending {
+            let (finished, next) = disk.complete(done);
+            order.push(finished);
+            pending = next.map(|(_, d)| d);
+        }
+        prop_assert_eq!(order.len(), services.len());
+        for (i, &id) in order.iter().enumerate() {
+            prop_assert_eq!(id, i as u64, "FCFS order violated");
+        }
+        let total: f64 = services.iter().sum();
+        let (busy, _, ops) = disk.stats(t(1000.0));
+        prop_assert_eq!(ops, services.len() as u64);
+        // Each operation's service time is rounded to the microsecond grid.
+        let tolerance = 2e-6 * services.len() as f64;
+        prop_assert!((busy - total).abs() < tolerance, "busy {} vs {}", busy, total);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// End-to-end conservation and determinism over random small
+    /// workloads: issued = completed + in-flight, and same seed → same
+    /// telemetry.
+    #[test]
+    fn engine_conserves_requests_and_is_deterministic(
+        seed in 0u64..1000,
+        ebs in 5u32..60,
+        browse_blend in 0.0f64..1.0,
+    ) {
+        let mix = Mix::browsing().blend(&Mix::ordering(), browse_blend);
+        let program = TrafficProgram::steady(mix, ebs, 45.0);
+        let a = run(SimConfig::testbed(seed), program.clone());
+        let b = run(SimConfig::testbed(seed), program);
+        prop_assert_eq!(&a.samples, &b.samples);
+        let issued: u64 = a.samples.iter().map(|s| s.issued).sum();
+        let completed: u64 = a.samples.iter().map(|s| s.completed).sum();
+        let in_flight = a.samples.last().map_or(0, |s| s.in_flight) as u64;
+        prop_assert_eq!(issued, completed + in_flight);
+        // Utilizations are fractions.
+        for s in &a.samples {
+            prop_assert!((0.0..=1.0).contains(&s.app.utilization));
+            prop_assert!((0.0..=1.0).contains(&s.db.utilization));
+            prop_assert!((0.0..=1.0).contains(&s.db.disk_utilization));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Bottleneck dashboard: run an interleaved workload whose bottleneck
+//! keeps shifting between the application and database tiers, and print a
+//! live-style dashboard of the meter's online state and bottleneck calls
+//! next to the ground truth.
+//!
+//! ```sh
+//! cargo run --release --example bottleneck_dashboard
+//! ```
+
+use webcap::core::monitor::collect_run;
+use webcap::core::workloads;
+use webcap::core::{CapacityMeter, MeterConfig};
+use webcap::ml::FitError;
+use webcap::sim::TierId;
+
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+fn main() -> Result<(), FitError> {
+    println!("training the capacity meter...");
+    let config = MeterConfig::small_for_tests(5);
+    let mut meter = CapacityMeter::train(&config)?;
+
+    // An interleaved browsing/ordering program: the bottleneck shifts
+    // between DB and APP as the mix changes.
+    let program = workloads::interleaved_test(&config.sim, config.duration_scale);
+    let mut sim = config.sim.clone();
+    sim.seed = 31_337;
+    let log = collect_run(&sim, &program, &config.hpc_model, 99);
+    let instances = log.windows(config.window_len, config.window_len, &config.oracle);
+
+    println!("\ninterleaved workload: {:.0}s simulated, {} windows\n", program.duration_s(), instances.len());
+    println!(
+        "{:<7} {:<10} {:<14} {:<14} {:<11} {:<11} {:<9}",
+        "t(s)", "mix", "app util", "db util", "meter", "bottleneck", "truth"
+    );
+    meter.reset_history();
+    let mut state_correct = 0;
+    let mut bneck_correct = 0;
+    let mut bneck_total = 0;
+    for w in &instances {
+        let out = meter.predict(w);
+        let range = ((w.t_start_s as usize)..(w.t_end_s as usize).min(log.samples.len()))
+            .step_by(1);
+        let (mut app_u, mut db_u, mut n) = (0.0f64, 0.0f64, 0.0f64);
+        for i in range {
+            app_u += log.samples[i].tier(TierId::App).utilization;
+            db_u += log.samples[i].tier(TierId::Db).utilization;
+            n += 1.0;
+        }
+        app_u /= n.max(1.0);
+        db_u /= n.max(1.0);
+        let truth = if w.overloaded() {
+            format!("OVER/{}", w.label.bottleneck)
+        } else {
+            "ok".to_string()
+        };
+        if out.overloaded == w.overloaded() {
+            state_correct += 1;
+        }
+        if w.overloaded() && out.overloaded {
+            bneck_total += 1;
+            if out.bottleneck == Some(w.label.bottleneck) {
+                bneck_correct += 1;
+            }
+        }
+        println!(
+            "{:<7.0} {:<10} [{}] [{}] {:<11} {:<11} {:<9}",
+            w.t_end_s,
+            format!("{:?}", w.mix),
+            bar(app_u, 10),
+            bar(db_u, 10),
+            if out.overloaded { "OVERLOAD" } else { "ok" },
+            out.bottleneck.map_or("-".to_string(), |t| t.to_string()),
+            truth
+        );
+    }
+    println!(
+        "\nstate accuracy: {}/{}   bottleneck accuracy: {}/{}",
+        state_correct,
+        instances.len(),
+        bneck_correct,
+        bneck_total
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: train a capacity meter on the simulated two-tier bookstore
+//! and watch it classify an unseen traffic ramp online.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use webcap::core::{CapacityMeter, MeterConfig};
+use webcap::ml::FitError;
+use webcap::tpcw::Mix;
+
+fn main() -> Result<(), FitError> {
+    // A reduced configuration keeps this example under a minute; drop the
+    // `small_for_tests` for the paper-scale setup.
+    println!("training the capacity meter (2 workloads x ~6 min simulated time)...");
+    let config = MeterConfig::small_for_tests(7);
+    let mut meter = CapacityMeter::train(&config)?;
+
+    println!("\ntrained synopses:");
+    for synopsis in meter.synopses() {
+        println!(
+            "  {:<28} cv-BA {:.3}  attributes: {}",
+            synopsis.spec().to_string(),
+            synopsis.cv_balanced_accuracy(),
+            synopsis.selected_names().join(", ")
+        );
+    }
+
+    // Evaluate online on a knee-crossing ordering-mix ramp the meter has
+    // never seen (fresh simulation seed).
+    println!("\nonline evaluation on an unseen ordering-mix ramp:");
+    let report = meter.evaluate_mix(Mix::ordering(), 4242);
+    println!("  {:<8} {:<10} {:<10} {:<12} {:<10}", "t(s)", "actual", "predicted", "bottleneck", "confident");
+    for r in &report.results {
+        println!(
+            "  {:<8.0} {:<10} {:<10} {:<12} {:<10}",
+            r.t_end_s,
+            if r.actual { "OVERLOAD" } else { "ok" },
+            if r.predicted { "OVERLOAD" } else { "ok" },
+            r.predicted_bottleneck.map_or("-".to_string(), |t| t.to_string()),
+            r.confident
+        );
+    }
+    println!(
+        "\nbalanced accuracy: {:.3}   bottleneck accuracy: {}",
+        report.balanced_accuracy(),
+        report
+            .bottleneck_accuracy()
+            .map_or("n/a".to_string(), |a| format!("{a:.3}"))
+    );
+    Ok(())
+}

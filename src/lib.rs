@@ -1,0 +1,40 @@
+//! # webcap
+//!
+//! Online measurement of the capacity of multi-tier websites using hardware
+//! performance counters — a full reproduction of Rao & Xu, ICDCS 2008.
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`tpcw`] — TPC-W workload model and traffic programs.
+//! * [`sim`] — discrete-event simulator of a two-tier (app + DB) website.
+//! * [`hpc`] — hardware-performance-counter synthesis for simulated tiers.
+//! * [`os`] — sysstat-like OS-level metric synthesis.
+//! * [`ml`] — from-scratch learners (LR, naive Bayes, TAN, SVM) and
+//!   model-selection utilities.
+//! * [`core`] — the paper's contribution: productivity index, performance
+//!   synopses, and the two-level coordinated predictor.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use webcap::core::{CapacityMeter, MeterConfig};
+//! use webcap::tpcw::Mix;
+//!
+//! # fn main() -> Result<(), webcap::ml::FitError> {
+//! // Train a capacity meter on a small simulated testbed and classify the
+//! // system state of a held-out run online.
+//! let config = MeterConfig::small_for_tests(7);
+//! let mut meter = CapacityMeter::train(&config)?;
+//! let report = meter.evaluate_mix(Mix::ordering(), 42);
+//! assert!(report.balanced_accuracy() > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use webcap_core as core;
+pub use webcap_hpc as hpc;
+pub use webcap_ml as ml;
+pub use webcap_os as os;
+pub use webcap_sim as sim;
+pub use webcap_tpcw as tpcw;

@@ -1,0 +1,151 @@
+//! End-to-end integration tests across all workspace crates, exercised
+//! through the `webcap` facade: simulate → collect metrics → train →
+//! predict online.
+
+use webcap::core::monitor::{collect_run, MetricLevel};
+use webcap::core::oracle::OracleConfig;
+use webcap::core::workloads;
+use webcap::core::{CapacityMeter, MeterConfig};
+use webcap::hpc::HpcModel;
+use webcap::ml::Algorithm;
+use webcap::sim::{SimConfig, TierId};
+use webcap::tpcw::{Mix, MixId, TrafficProgram};
+
+/// Train one small meter per test binary run and share it.
+fn meter() -> CapacityMeter {
+    CapacityMeter::train(&MeterConfig::small_for_tests(99)).expect("meter trains")
+}
+
+#[test]
+fn full_pipeline_produces_online_predictions() {
+    let mut meter = meter();
+    let report = meter.evaluate_mix(Mix::ordering(), 1234);
+    assert!(report.confusion.total() >= 10);
+    assert!(
+        report.balanced_accuracy() > 0.6,
+        "end-to-end BA {}",
+        report.balanced_accuracy()
+    );
+    // Bottleneck calls on flagged overloads are overwhelmingly APP for an
+    // ordering ramp.
+    let app_calls = report
+        .results
+        .iter()
+        .filter(|r| r.predicted_bottleneck == Some(TierId::App))
+        .count();
+    let db_calls = report
+        .results
+        .iter()
+        .filter(|r| r.predicted_bottleneck == Some(TierId::Db))
+        .count();
+    assert!(app_calls > db_calls, "app {app_calls} vs db {db_calls}");
+}
+
+#[test]
+fn bottleneck_shifts_between_mixes() {
+    let mut meter = meter();
+    let ordering = meter.evaluate_mix(Mix::ordering(), 77);
+    let browsing = meter.evaluate_mix(Mix::browsing(), 78);
+    let majority_bottleneck = |r: &webcap::core::EvaluationReport| {
+        let app = r.results.iter().filter(|x| x.actual_bottleneck == TierId::App).count();
+        if app * 2 >= r.results.len() {
+            TierId::App
+        } else {
+            TierId::Db
+        }
+    };
+    assert_eq!(majority_bottleneck(&ordering), TierId::App);
+    assert_eq!(majority_bottleneck(&browsing), TierId::Db);
+}
+
+#[test]
+fn meter_is_reproducible_given_config() {
+    let a = CapacityMeter::train(&MeterConfig::small_for_tests(5)).unwrap();
+    let b = CapacityMeter::train(&MeterConfig::small_for_tests(5)).unwrap();
+    for (x, y) in a.synopses().iter().zip(b.synopses()) {
+        assert_eq!(x.spec(), y.spec());
+        assert_eq!(x.selected_names(), y.selected_names());
+        assert_eq!(x.cv_balanced_accuracy(), y.cv_balanced_accuracy());
+    }
+}
+
+#[test]
+fn os_level_meter_also_trains() {
+    let cfg = MeterConfig::small_for_tests(42)
+        .with_level(MetricLevel::Os)
+        .with_algorithm(Algorithm::NaiveBayes);
+    let mut meter = CapacityMeter::train(&cfg).expect("OS meter trains");
+    let report = meter.evaluate_mix(Mix::ordering(), 4242);
+    // The ordering mix is the case where OS metrics do work (Table I(b)).
+    assert!(report.balanced_accuracy() > 0.55, "OS BA {}", report.balanced_accuracy());
+}
+
+#[test]
+fn collected_run_is_internally_consistent() {
+    let cfg = SimConfig::testbed(7);
+    let program = TrafficProgram::steady(Mix::shopping(), 60, 120.0);
+    let log = collect_run(&cfg, &program, &HpcModel::testbed(), 3);
+    assert_eq!(log.samples.len(), 120);
+    // HPC instruction throughput must track delivered work across tiers.
+    for tier in TierId::ALL {
+        for (m, s) in log.hpc[tier.index()].iter().zip(&log.samples) {
+            let work = s.tier(tier).delivered_work_s;
+            if work > 0.05 {
+                let implied = m.instr_per_s / 3.5e9; // loose upper band
+                assert!(
+                    implied < work * 2.0 + 0.5,
+                    "instructions wildly exceed delivered work: {} vs {}",
+                    m.instr_per_s,
+                    work
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_and_workloads_agree_on_the_knee() {
+    // A run at 60% of the estimated knee must never be overloaded; a run
+    // at 200% must be overloaded most of the time.
+    let cfg = SimConfig::testbed(13);
+    let mix = Mix::ordering();
+    let knee = workloads::estimate_saturation_ebs(&cfg, &mix);
+    let oracle = OracleConfig::default();
+
+    let light = collect_run(
+        &cfg,
+        &TrafficProgram::steady(mix.clone(), knee * 6 / 10, 180.0),
+        &HpcModel::testbed(),
+        1,
+    );
+    let light_over = light
+        .windows(30, 30, &oracle)
+        .iter()
+        .filter(|w| w.overloaded())
+        .count();
+    assert_eq!(light_over, 0, "60% load must stay underloaded");
+
+    let heavy = collect_run(
+        &cfg,
+        &TrafficProgram::steady(mix, knee * 2, 180.0),
+        &HpcModel::testbed(),
+        2,
+    );
+    let windows = heavy.windows(30, 30, &oracle);
+    let heavy_over = windows.iter().filter(|w| w.overloaded()).count();
+    assert!(heavy_over * 10 >= windows.len() * 8, "200% load must be overloaded");
+    assert!(windows.iter().all(|w| w.mix == MixId::Ordering));
+}
+
+#[test]
+fn interleaved_program_shifts_ground_truth_bottleneck() {
+    let cfg = SimConfig::testbed(17);
+    let program = workloads::interleaved_test(&cfg, 0.5);
+    let log = collect_run(&cfg, &program, &HpcModel::testbed(), 5);
+    let windows = log.windows(30, 30, &OracleConfig::default());
+    let overloaded: Vec<_> = windows.iter().filter(|w| w.overloaded()).collect();
+    assert!(!overloaded.is_empty(), "interleaved test must overload sometimes");
+    let app = overloaded.iter().filter(|w| w.label.bottleneck == TierId::App).count();
+    let db = overloaded.len() - app;
+    assert!(app > 0 && db > 0, "bottleneck must shift: app {app}, db {db}");
+}
