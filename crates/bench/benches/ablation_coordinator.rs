@@ -37,11 +37,7 @@ fn main() {
                     .unwrap_or_else(|e| panic!("training h={history_bits} failed: {e}"));
                 let report = meter.evaluate_instances(&instances);
                 let ba = report.balanced_accuracy();
-                let confident = report
-                    .results
-                    .iter()
-                    .filter(|r| r.confident)
-                    .count() as f64
+                let confident = report.results.iter().filter(|r| r.confident).count() as f64
                     / report.results.len().max(1) as f64;
                 rows.push(vec![
                     history_bits.to_string(),
@@ -63,8 +59,7 @@ fn main() {
     // Paper claims: scheme has little impact; extra history beyond a few
     // bits is marginal.
     let mean = |f: &dyn Fn(&(usize, TieScheme, i32, f64)) -> bool| -> f64 {
-        let v: Vec<f64> =
-            by_config.iter().filter(|c| f(c)).map(|c| c.3).collect();
+        let v: Vec<f64> = by_config.iter().filter(|c| f(c)).map(|c| c.3).collect();
         v.iter().sum::<f64>() / v.len().max(1) as f64
     };
     let opt = mean(&|c| matches!(c.1, TieScheme::Optimistic));
@@ -74,11 +69,23 @@ fn main() {
     let h5 = mean(&|c| c.0 == 5);
 
     println!("\n== Shape checks ==");
-    println!("scheme impact:  optimistic {} vs pessimistic {} (paper: little impact)", pct(opt), pct(pess));
-    println!("history:        h=1 {}  h=3 {}  h=5 {} (paper: longer history marginal)", pct(h1), pct(h3), pct(h5));
+    println!(
+        "scheme impact:  optimistic {} vs pessimistic {} (paper: little impact)",
+        pct(opt),
+        pct(pess)
+    );
+    println!(
+        "history:        h=1 {}  h=3 {}  h=5 {} (paper: longer history marginal)",
+        pct(h1),
+        pct(h3),
+        pct(h5)
+    );
 
     if scale >= 0.7 {
-        assert!((opt - pess).abs() < 0.15, "schemes should not diverge wildly: {opt} vs {pess}");
+        assert!(
+            (opt - pess).abs() < 0.15,
+            "schemes should not diverge wildly: {opt} vs {pess}"
+        );
         assert!(
             (h5 - h3).abs() < 0.12,
             "history beyond a few bits should be marginal: h3 {h3} h5 {h5}"

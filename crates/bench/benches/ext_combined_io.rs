@@ -77,7 +77,12 @@ fn main() {
     let hpc = get(MetricLevel::Hpc);
     let combined = get(MetricLevel::Combined);
     println!("\npaper's prediction: HPC alone cannot reflect I/O-bound overload;");
-    println!("combined metrics recover it. measured: HPC {} OS {} Combined {}", pct(hpc), pct(os), pct(combined));
+    println!(
+        "combined metrics recover it. measured: HPC {} OS {} Combined {}",
+        pct(hpc),
+        pct(os),
+        pct(combined)
+    );
 
     if scale >= 0.7 {
         assert!(

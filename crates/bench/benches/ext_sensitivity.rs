@@ -58,9 +58,12 @@ fn main() {
 
     // --- Training volume sweep ---
     let mut rows = Vec::new();
-    for (label, factor, repeats) in
-        [("0.5x, 1 run", 0.5, 1usize), ("1x, 1 run", 1.0, 1), ("1x, 2 runs", 1.0, 2), ("1.5x, 2 runs", 1.5, 2)]
-    {
+    for (label, factor, repeats) in [
+        ("0.5x, 1 run", 0.5, 1usize),
+        ("1x, 1 run", 1.0, 1),
+        ("1x, 2 runs", 1.0, 2),
+        ("1.5x, 2 runs", 1.5, 2),
+    ] {
         let mut cfg = MeterConfig::new(base.seed);
         cfg.sim = base.clone();
         cfg.level = MetricLevel::Hpc;

@@ -76,7 +76,10 @@ fn run_mix(name: &str, mix: &Mix, tier: TierId, seed: u64) {
     };
 
     println!("\n--- Figure 3 ({name} mix, {tier} tier) ---");
-    println!("selected PI       : {} (Corr = {:.3})", selection.definition, selection.corr);
+    println!(
+        "selected PI       : {} (Corr = {:.3})",
+        selection.definition, selection.corr
+    );
     println!("normalized corr   : {corr_norm:.3}");
     println!(
         "lead correlation  : lag0 {:.3}  lag1 {:.3}  lag2 {:.3}",
@@ -107,7 +110,10 @@ fn run_mix(name: &str, mix: &Mix, tier: TierId, seed: u64) {
         "paper reference   : PI and throughput 'in high agreement'; every PI drop \
          coincides with a throughput drop; PI is more responsive in places."
     );
-    assert!(corr_norm > 0.5, "PI should track throughput (corr {corr_norm})");
+    assert!(
+        corr_norm > 0.5,
+        "PI should track throughput (corr {corr_norm})"
+    );
 }
 
 fn main() {

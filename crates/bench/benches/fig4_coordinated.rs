@@ -11,9 +11,9 @@
 //! mix; OS-level metrics trail badly wherever browsing traffic is
 //! involved. Bottleneck accuracy follows the same trend.
 
-use webcap_bench::{bench_scale, pct, print_table, test_instances, TestWorkload};
+use webcap_bench::{bench_scale, parallel_map, pct, print_table, test_instances, TestWorkload};
 use webcap_core::meter::{CapacityMeter, EvaluationReport, MeterConfig};
-use webcap_core::monitor::MetricLevel;
+use webcap_core::monitor::{MetricLevel, WindowInstance};
 use webcap_sim::SimConfig;
 
 /// Paper bar heights (approximate, read off Figure 4), as fractions.
@@ -66,17 +66,29 @@ fn main() {
         }
         let mut meter = CapacityMeter::train(&cfg)
             .unwrap_or_else(|e| panic!("training {level} meter failed: {e}"));
-        for workload in TestWorkload::ALL {
-            // Average several independent executions, as the paper does;
-            // a single run of ~32 windows carries ±7% binomial noise on
-            // top of the slow environmental disturbances.
-            let mut report = EvaluationReport::default();
-            for rep in 0u64..3 {
+        // Average several independent executions, as the paper does; a
+        // single run of ~32 windows carries ±7% binomial noise on top of
+        // the slow environmental disturbances. All 12 (workload, rep)
+        // runs are seeded independently, so collect them in one
+        // deterministic fan-out and evaluate in rep order afterwards.
+        let runs: Vec<(TestWorkload, u64)> = TestWorkload::ALL
+            .into_iter()
+            .flat_map(|w| (0u64..3).map(move |rep| (w, rep)))
+            .collect();
+        let collected: Vec<(TestWorkload, Vec<WindowInstance>)> =
+            parallel_map(runs, |(workload, rep)| {
                 let mut test_cfg = base.clone();
                 test_cfg.seed = base.seed ^ (0xF4 + 1000 * rep) ^ workload as u64;
                 let instances =
                     test_instances(workload, &test_cfg, scale, 0xF4 ^ workload as u64 ^ rep);
-                report.merge(&meter.evaluate_instances(&instances));
+                (workload, instances)
+            });
+        for workload in TestWorkload::ALL {
+            let mut report = EvaluationReport::default();
+            for (w, instances) in &collected {
+                if *w == workload {
+                    report.merge(&meter.evaluate_instances(instances));
+                }
             }
             measured.push((level, workload, report));
         }
@@ -141,16 +153,32 @@ fn main() {
     let os_browsing = get(MetricLevel::Os, TestWorkload::Browsing);
 
     println!("\n== Shape checks (Section V-C) ==");
-    println!("HPC known mixes >= ~90%:   ordering {} browsing {}", pct(hpc_ordering), pct(hpc_browsing));
+    println!(
+        "HPC known mixes >= ~90%:   ordering {} browsing {}",
+        pct(hpc_ordering),
+        pct(hpc_browsing)
+    );
     println!("HPC interleaved > 85%:     {}", pct(hpc_interleaved));
     println!("HPC unknown ~ 80%:         {}", pct(hpc_unknown));
     println!("OS poor on browsing:       {}", pct(os_browsing));
 
     if scale >= 0.7 {
-        assert!(hpc_ordering >= 0.85, "known-mix HPC accuracy too low: {hpc_ordering}");
-        assert!(hpc_browsing >= 0.85, "known-mix HPC accuracy too low: {hpc_browsing}");
-        assert!(hpc_interleaved >= 0.75, "interleaved HPC accuracy too low: {hpc_interleaved}");
-        assert!(hpc_unknown >= 0.65, "unknown-mix HPC accuracy too low: {hpc_unknown}");
+        assert!(
+            hpc_ordering >= 0.85,
+            "known-mix HPC accuracy too low: {hpc_ordering}"
+        );
+        assert!(
+            hpc_browsing >= 0.85,
+            "known-mix HPC accuracy too low: {hpc_browsing}"
+        );
+        assert!(
+            hpc_interleaved >= 0.75,
+            "interleaved HPC accuracy too low: {hpc_interleaved}"
+        );
+        assert!(
+            hpc_unknown >= 0.65,
+            "unknown-mix HPC accuracy too low: {hpc_unknown}"
+        );
         assert!(
             hpc_browsing > os_browsing,
             "HPC must beat OS on browsing: {hpc_browsing} vs {os_browsing}"

@@ -82,16 +82,38 @@ fn main() {
     ];
     print_table(
         "Normalized performance under metric collection, measured (paper)",
-        &["Collector", "thr req/s", "thr (norm)", "latency ms", "latency (norm)", "paper"],
+        &[
+            "Collector",
+            "thr req/s",
+            "thr (norm)",
+            "latency ms",
+            "latency (norm)",
+            "paper",
+        ],
         &rows,
     );
 
     let hpc_loss = 1.0 - thr_hpc / thr_none;
     let os_loss = 1.0 - thr_os / thr_none;
-    println!("\nHPC collection throughput loss: {:.2}% (paper < 0.5%)", hpc_loss * 100.0);
-    println!("OS  collection throughput loss: {:.2}% (paper ~ 4%)", os_loss * 100.0);
+    println!(
+        "\nHPC collection throughput loss: {:.2}% (paper < 0.5%)",
+        hpc_loss * 100.0
+    );
+    println!(
+        "OS  collection throughput loss: {:.2}% (paper ~ 4%)",
+        os_loss * 100.0
+    );
 
-    assert!(hpc_loss < 0.012, "HPC collection must be near-free: {hpc_loss}");
-    assert!(os_loss > hpc_loss, "OS collection must cost more than HPC: {os_loss} vs {hpc_loss}");
-    assert!(os_loss > 0.015 && os_loss < 0.10, "OS loss should be a few percent: {os_loss}");
+    assert!(
+        hpc_loss < 0.012,
+        "HPC collection must be near-free: {hpc_loss}"
+    );
+    assert!(
+        os_loss > hpc_loss,
+        "OS collection must cost more than HPC: {os_loss} vs {hpc_loss}"
+    );
+    assert!(
+        os_loss > 0.015 && os_loss < 0.10,
+        "OS loss should be a few percent: {os_loss}"
+    );
 }

@@ -13,8 +13,7 @@
 //! * TAN and SVM lead, Naive Bayes trails, LR is worst.
 
 use webcap_bench::{
-    ba3, bench_scale, parallel_map, print_table, test_instances, training_instances,
-    TestWorkload,
+    ba3, bench_scale, parallel_map, print_table, test_instances, training_instances, TestWorkload,
 };
 use webcap_core::monitor::{MetricLevel, WindowInstance};
 use webcap_core::synopsis::{PerformanceSynopsis, SynopsisSpec};
@@ -167,15 +166,23 @@ fn main() {
         for tier in TierId::ALL {
             for level in MetricLevel::ALL {
                 for algorithm in Algorithm::PAPER_ORDER {
-                    specs.push(SynopsisSpec { tier, workload: *workload, level, algorithm });
+                    specs.push(SynopsisSpec {
+                        tier,
+                        workload: *workload,
+                        level,
+                        algorithm,
+                    });
                 }
             }
         }
     }
     let selection = SelectionOptions::default();
     let synopses: Vec<PerformanceSynopsis> = parallel_map(specs, |spec| {
-        let instances =
-            &train.iter().find(|(m, _)| *m == spec.workload).expect("trained workload").1;
+        let instances = &train
+            .iter()
+            .find(|(m, _)| *m == spec.workload)
+            .expect("trained workload")
+            .1;
         PerformanceSynopsis::train(spec, instances, &selection)
             .unwrap_or_else(|e| panic!("training {spec} failed: {e}"))
     });
@@ -213,9 +220,16 @@ fn main() {
         print_table(
             &format!("Table I{sub} — measured (paper)"),
             &[
-                "Workload", "Tier", //
-                "OS/LR", "OS/Naive", "OS/SVM", "OS/TAN", //
-                "HPC/LR", "HPC/Naive", "HPC/SVM", "HPC/TAN",
+                "Workload",
+                "Tier", //
+                "OS/LR",
+                "OS/Naive",
+                "OS/SVM",
+                "OS/TAN", //
+                "HPC/LR",
+                "HPC/Naive",
+                "HPC/SVM",
+                "HPC/TAN",
             ],
             &rows,
         );
@@ -237,16 +251,46 @@ fn main() {
     let browsing_input = &tests[0].1;
     let ordering_input = &tests[1].1;
 
-    let b_db_hpc_tan =
-        evaluate(find(MixId::Browsing, TierId::Db, MetricLevel::Hpc, Algorithm::Tan), browsing_input);
-    let b_db_os_tan =
-        evaluate(find(MixId::Browsing, TierId::Db, MetricLevel::Os, Algorithm::Tan), browsing_input);
-    let b_wrong_tier =
-        evaluate(find(MixId::Ordering, TierId::App, MetricLevel::Hpc, Algorithm::Tan), browsing_input);
-    let o_app_hpc_tan =
-        evaluate(find(MixId::Ordering, TierId::App, MetricLevel::Hpc, Algorithm::Tan), ordering_input);
-    let o_app_os_tan =
-        evaluate(find(MixId::Ordering, TierId::App, MetricLevel::Os, Algorithm::Tan), ordering_input);
+    let b_db_hpc_tan = evaluate(
+        find(
+            MixId::Browsing,
+            TierId::Db,
+            MetricLevel::Hpc,
+            Algorithm::Tan,
+        ),
+        browsing_input,
+    );
+    let b_db_os_tan = evaluate(
+        find(MixId::Browsing, TierId::Db, MetricLevel::Os, Algorithm::Tan),
+        browsing_input,
+    );
+    let b_wrong_tier = evaluate(
+        find(
+            MixId::Ordering,
+            TierId::App,
+            MetricLevel::Hpc,
+            Algorithm::Tan,
+        ),
+        browsing_input,
+    );
+    let o_app_hpc_tan = evaluate(
+        find(
+            MixId::Ordering,
+            TierId::App,
+            MetricLevel::Hpc,
+            Algorithm::Tan,
+        ),
+        ordering_input,
+    );
+    let o_app_os_tan = evaluate(
+        find(
+            MixId::Ordering,
+            TierId::App,
+            MetricLevel::Os,
+            Algorithm::Tan,
+        ),
+        ordering_input,
+    );
 
     println!("\n== Shape checks (Section V-B observations) ==");
     println!(
@@ -271,13 +315,22 @@ fn main() {
     );
 
     if scale >= 0.7 {
-        assert!(b_db_hpc_tan > 0.85, "bottleneck HPC synopsis must be accurate: {b_db_hpc_tan}");
-        assert!(o_app_hpc_tan > 0.85, "bottleneck HPC synopsis must be accurate: {o_app_hpc_tan}");
+        assert!(
+            b_db_hpc_tan > 0.85,
+            "bottleneck HPC synopsis must be accurate: {b_db_hpc_tan}"
+        );
+        assert!(
+            o_app_hpc_tan > 0.85,
+            "bottleneck HPC synopsis must be accurate: {o_app_hpc_tan}"
+        );
         assert!(
             b_db_hpc_tan > b_db_os_tan + 0.05,
             "HPC must clearly beat OS on browsing input: {b_db_hpc_tan} vs {b_db_os_tan}"
         );
-        assert!(b_wrong_tier < 0.75, "wrong-tier synopsis must be poor: {b_wrong_tier}");
+        assert!(
+            b_wrong_tier < 0.75,
+            "wrong-tier synopsis must be poor: {b_wrong_tier}"
+        );
     } else {
         println!("(scale < 0.7: smoke run, shape assertions skipped)");
     }

@@ -69,8 +69,16 @@ fn print_paper_summary() {
     let data = paper_sized_dataset(3);
     let probe = vec![0.7; 8];
     println!("\n== Section V-B timing summary (measured vs paper, per algorithm) ==");
-    println!("{:<8} {:>14} {:>14} {:>16}", "alg", "build (ms)", "decide (us)", "paper build (ms)");
-    let paper = [("LR", 90.0), ("Naive", 10.0), ("SVM", 1710.0), ("TAN", 50.0)];
+    println!(
+        "{:<8} {:>14} {:>14} {:>16}",
+        "alg", "build (ms)", "decide (us)", "paper build (ms)"
+    );
+    let paper = [
+        ("LR", 90.0),
+        ("Naive", 10.0),
+        ("SVM", 1710.0),
+        ("TAN", 50.0),
+    ];
     let mut builds = Vec::new();
     for alg in Algorithm::PAPER_ORDER {
         let t0 = Instant::now();
@@ -91,7 +99,13 @@ fn print_paper_summary() {
             .find(|(n, _)| *n == alg.paper_name())
             .map(|(_, v)| *v)
             .unwrap_or(f64::NAN);
-        println!("{:<8} {:>14.2} {:>14.3} {:>16.0}", alg.paper_name(), build_ms, decide_us, paper_ms);
+        println!(
+            "{:<8} {:>14.2} {:>14.3} {:>16.0}",
+            alg.paper_name(),
+            build_ms,
+            decide_us,
+            paper_ms
+        );
         builds.push((alg, build_ms));
     }
     // Shape: SVM must dominate the cost ranking, as in the paper.

@@ -1,0 +1,73 @@
+//! **Parallel speedup** — wall-clock time of meter training and
+//! multi-run evaluation at 1/2/4/auto worker threads.
+//!
+//! The deterministic parallel layer must only change wall-clock time:
+//! this harness times each mode *and* asserts that every trained meter
+//! serializes to bytes identical to the sequential reference, so a
+//! speedup can never be bought with a result change.
+
+use std::time::Instant;
+
+use webcap_bench::{bench_scale, print_table};
+use webcap_core::{workloads, CapacityMeter, MeterConfig, Parallelism};
+use webcap_tpcw::{Mix, TrafficProgram};
+
+fn main() {
+    let scale = bench_scale();
+    println!("# Timing — deterministic parallel speedup (scale = {scale})");
+
+    let modes = [
+        Parallelism::Sequential,
+        Parallelism::Threads(2),
+        Parallelism::Threads(4),
+        Parallelism::Auto,
+    ];
+
+    let mut rows = Vec::new();
+    let mut reference: Option<String> = None;
+    let mut t_seq = 0.0f64;
+    for par in modes {
+        let mut cfg = MeterConfig::small_for_tests(77).with_parallelism(par);
+        cfg.duration_scale = (0.45 * scale).clamp(0.25, 2.0);
+
+        let t0 = Instant::now();
+        let meter = CapacityMeter::train(&cfg).expect("training succeeds");
+        let train_s = t0.elapsed().as_secs_f64();
+        let json = meter.to_json().expect("serializes");
+
+        let ramp = |mix: Mix| workloads::test_ramp(&cfg.sim, &mix, cfg.duration_scale);
+        let runs: Vec<(TrafficProgram, u64)> = vec![
+            (ramp(Mix::ordering()), 91),
+            (ramp(Mix::browsing()), 92),
+            (ramp(Mix::ordering()), 93),
+            (ramp(Mix::browsing()), 94),
+        ];
+        let t1 = Instant::now();
+        let reports = meter.evaluate_programs(&runs);
+        let eval_s = t1.elapsed().as_secs_f64();
+        assert_eq!(reports.len(), runs.len());
+
+        if let Some(r) = &reference {
+            assert_eq!(
+                r, &json,
+                "{par}: trained meter diverged from the sequential bytes"
+            );
+        } else {
+            reference = Some(json);
+            t_seq = train_s;
+        }
+        rows.push(vec![
+            par.to_string(),
+            format!("{train_s:.2}"),
+            format!("{eval_s:.2}"),
+            format!("{:.2}x", t_seq / train_s.max(1e-9)),
+        ]);
+    }
+
+    print_table(
+        "Wall-clock by worker count (trained meters byte-identical)",
+        &["parallelism", "train s", "eval s", "train speedup"],
+        &rows,
+    );
+    println!("\nAll modes produced byte-identical trained meters.");
+}

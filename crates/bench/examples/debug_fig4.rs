@@ -12,19 +12,52 @@ fn main() {
     cfg.duration_scale = 1.0;
     let mut meter = CapacityMeter::train(&cfg).unwrap();
     for syn in meter.synopses() {
-        println!("{} cv {:.3} {:?}", syn.spec(), syn.cv_balanced_accuracy(), syn.selected_names());
+        println!(
+            "{} cv {:.3} {:?}",
+            syn.spec(),
+            syn.cv_balanced_accuracy(),
+            syn.selected_names()
+        );
     }
-    let instances = test_instances(TestWorkload::Browsing, &base, 1.0, 0xF4 ^ TestWorkload::Browsing as u64);
+    let instances = test_instances(
+        TestWorkload::Browsing,
+        &base,
+        1.0,
+        0xF4 ^ TestWorkload::Browsing as u64,
+    );
     meter.reset_history();
-    println!("{:>6} {:>6} {:>6} {:>8} {:>5} {:>5}", "t", "actual", "pred", "votes", "gpv", "hc");
+    println!(
+        "{:>6} {:>6} {:>6} {:>8} {:>5} {:>5}",
+        "t", "actual", "pred", "votes", "gpv", "hc"
+    );
     for w in &instances {
-        let votes: Vec<bool> = meter.synopses().iter().map(|s| s.predict_instance(w)).collect();
+        let votes: Vec<bool> = meter
+            .synopses()
+            .iter()
+            .map(|s| s.predict_instance(w))
+            .collect();
         let out = meter.predict(w);
-        let vs: String = votes.iter().map(|&v| if v {'1'} else {'0'}).collect();
+        let vs: String = votes.iter().map(|&v| if v { '1' } else { '0' }).collect();
         if out.overloaded != w.overloaded() {
-            println!("{:>6.0} {:>6} {:>6} {:>8} {:>5} {:>5}  MISS", w.t_end_s, w.overloaded(), out.overloaded, vs, out.gpv, out.hc);
+            println!(
+                "{:>6.0} {:>6} {:>6} {:>8} {:>5} {:>5}  MISS",
+                w.t_end_s,
+                w.overloaded(),
+                out.overloaded,
+                vs,
+                out.gpv,
+                out.hc
+            );
         } else {
-            println!("{:>6.0} {:>6} {:>6} {:>8} {:>5} {:>5}", w.t_end_s, w.overloaded(), out.overloaded, vs, out.gpv, out.hc);
+            println!(
+                "{:>6.0} {:>6} {:>6} {:>8} {:>5} {:>5}",
+                w.t_end_s,
+                w.overloaded(),
+                out.overloaded,
+                vs,
+                out.gpv,
+                out.hc
+            );
         }
     }
 }

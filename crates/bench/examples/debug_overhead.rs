@@ -10,9 +10,11 @@ fn main() {
         let tail = &out.samples[120..];
         let thr: f64 = tail.iter().map(|s| s.throughput()).sum::<f64>() / tail.len() as f64;
         let app_util: f64 = tail.iter().map(|s| s.app.utilization).sum::<f64>() / tail.len() as f64;
-        let runnable: f64 = tail.iter().map(|s| s.app.avg_runnable).sum::<f64>() / tail.len() as f64;
+        let runnable: f64 =
+            tail.iter().map(|s| s.app.avg_runnable).sum::<f64>() / tail.len() as f64;
         let pool: f64 = tail.iter().map(|s| s.app.pool_in_use_avg).sum::<f64>() / tail.len() as f64;
-        let work: f64 = tail.iter().map(|s| s.app.delivered_work_s).sum::<f64>() / tail.len() as f64;
+        let work: f64 =
+            tail.iter().map(|s| s.app.delivered_work_s).sum::<f64>() / tail.len() as f64;
         println!("overhead {oh}: thr {thr:.2} app_util {app_util:.3} runnable {runnable:.1} pool {pool:.1} work {work:.3}");
     }
 }

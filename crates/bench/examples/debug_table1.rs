@@ -7,17 +7,46 @@ use webcap_tpcw::MixId;
 fn main() {
     let cfg = SimConfig::testbed(101);
     let scale = 1.0;
-    let train = training_instances(MixId::Browsing, &cfg, scale, 0x7AB1 ^ MixId::Browsing as u64);
+    let train = training_instances(
+        MixId::Browsing,
+        &cfg,
+        scale,
+        0x7AB1 ^ MixId::Browsing as u64,
+    );
     let test = test_instances(TestWorkload::Browsing, &cfg, scale, 0xB0);
     let names = webcap_core::monitor::feature_names(MetricLevel::Hpc, TierId::Db);
-    let miss_idx = names.iter().position(|n| n.ends_with("l2_miss_rate")).unwrap();
-    let instr_idx = names.iter().position(|n| n.ends_with("instr_per_s")).unwrap();
-    println!("train: {} instances, {} overloaded", train.len(), train.iter().filter(|w| w.overloaded()).count());
-    println!("test:  {} instances, {} overloaded", test.len(), test.iter().filter(|w| w.overloaded()).count());
-    println!("{:>6} {:>5} {:>8} {:>8} {:>10} {:>8}", "t", "over", "thr", "miss", "instr/s", "rt");
+    let miss_idx = names
+        .iter()
+        .position(|n| n.ends_with("l2_miss_rate"))
+        .unwrap();
+    let instr_idx = names
+        .iter()
+        .position(|n| n.ends_with("instr_per_s"))
+        .unwrap();
+    println!(
+        "train: {} instances, {} overloaded",
+        train.len(),
+        train.iter().filter(|w| w.overloaded()).count()
+    );
+    println!(
+        "test:  {} instances, {} overloaded",
+        test.len(),
+        test.iter().filter(|w| w.overloaded()).count()
+    );
+    println!(
+        "{:>6} {:>5} {:>8} {:>8} {:>10} {:>8}",
+        "t", "over", "thr", "miss", "instr/s", "rt"
+    );
     for w in &test {
         let f = w.features(MetricLevel::Hpc, TierId::Db);
-        println!("{:>6.0} {:>5} {:>8.2} {:>8.4} {:>10.3e} {:>8.2}",
-            w.t_end_s, w.overloaded(), w.throughput, f[miss_idx], f[instr_idx], w.label.mean_response_time_s);
+        println!(
+            "{:>6.0} {:>5} {:>8.2} {:>8.4} {:>10.3e} {:>8.2}",
+            w.t_end_s,
+            w.overloaded(),
+            w.throughput,
+            f[miss_idx],
+            f[instr_idx],
+            w.label.mean_response_time_s
+        );
     }
 }

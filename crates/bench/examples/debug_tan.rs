@@ -12,17 +12,37 @@ fn main() {
     let train = training_instances(MixId::Ordering, &cfg, 1.0, 0x7AB1 ^ MixId::Ordering as u64);
     let test = test_instances(TestWorkload::Ordering, &cfg, 1.0, 0xB1);
     for alg in [Algorithm::Tan, Algorithm::NaiveBayes] {
-        let spec = SynopsisSpec { tier: TierId::App, workload: MixId::Ordering, level: MetricLevel::Hpc, algorithm: alg };
+        let spec = SynopsisSpec {
+            tier: TierId::App,
+            workload: MixId::Ordering,
+            level: MetricLevel::Hpc,
+            algorithm: alg,
+        };
         let syn = PerformanceSynopsis::train(spec, &train, &SelectionOptions::default()).unwrap();
-        println!("{alg}: cv {:.3} attrs {:?}", syn.cv_balanced_accuracy(), syn.selected_names());
+        println!(
+            "{alg}: cv {:.3} attrs {:?}",
+            syn.cv_balanced_accuracy(),
+            syn.selected_names()
+        );
         let names = webcap_core::monitor::feature_names(MetricLevel::Hpc, TierId::App);
-        let idx: Vec<usize> = syn.selected_names().iter().map(|n| names.iter().position(|x| x == n).unwrap()).collect();
+        let idx: Vec<usize> = syn
+            .selected_names()
+            .iter()
+            .map(|n| names.iter().position(|x| x == n).unwrap())
+            .collect();
         for w in &test {
             let f = w.features(MetricLevel::Hpc, TierId::App);
             let sel: Vec<String> = idx.iter().map(|&i| format!("{:.4}", f[i])).collect();
             let pred = syn.predict_instance(w);
             if pred != w.overloaded() {
-                println!("  MISS t={:.0} actual={} vals={:?} thr={:.1} rt={:.2}", w.t_end_s, w.overloaded(), sel, w.throughput, w.label.mean_response_time_s);
+                println!(
+                    "  MISS t={:.0} actual={} vals={:?} thr={:.1} rt={:.2}",
+                    w.t_end_s,
+                    w.overloaded(),
+                    sel,
+                    w.throughput,
+                    w.label.mean_response_time_s
+                );
             }
         }
     }

@@ -14,6 +14,7 @@ use webcap_core::monitor::{collect_run, WindowInstance};
 use webcap_core::oracle::OracleConfig;
 use webcap_core::workloads;
 use webcap_hpc::HpcModel;
+use webcap_parallel::Parallelism;
 use webcap_sim::SimConfig;
 use webcap_tpcw::{Mix, MixId, TrafficProgram};
 
@@ -123,7 +124,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            s.push_str(&format!("{:<width$}  ", cell, width = widths.get(i).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:<width$}  ",
+                cell,
+                width = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", s.trim_end());
     };
@@ -137,35 +142,17 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Map `inputs` through `f` on scoped worker threads, preserving order.
 /// The grid experiments (32 synopses of Table I, the ablation sweep) are
 /// embarrassingly parallel.
+///
+/// A thin wrapper over the workspace-wide deterministic fan-out
+/// ([`webcap_parallel::par_map`]) at [`Parallelism::Auto`], which honours
+/// the `WEBCAP_JOBS` environment variable.
 pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n_workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-    let jobs: Vec<(usize, T)> = inputs.into_iter().enumerate().collect();
-    let queue = crossbeam::queue::SegQueue::new();
-    for job in jobs {
-        queue.push(job);
-    }
-    let mut results: Vec<Option<R>> = Vec::new();
-    let total = queue.len();
-    results.resize_with(total, || None);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
-        for _ in 0..n_workers.min(total.max(1)) {
-            scope.spawn(|_| {
-                while let Some((idx, input)) = queue.pop() {
-                    let out = f(input);
-                    let mut guard = results_mutex.lock().expect("no poisoned workers");
-                    guard[idx] = Some(out);
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-    results.into_iter().map(|r| r.expect("every job ran")).collect()
+    webcap_parallel::par_map(Parallelism::Auto, inputs, f)
 }
 
 /// Format a balanced accuracy as the paper prints it (three decimals).

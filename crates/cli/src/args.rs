@@ -7,6 +7,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use webcap_parallel::Parallelism;
+
 /// Parsed arguments: positionals in order plus `--key value` options.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
@@ -42,7 +44,11 @@ impl fmt::Display for ArgsError {
         match self {
             ArgsError::Duplicate(k) => write!(f, "option --{k} given twice"),
             ArgsError::MissingValue(k) => write!(f, "option --{k} needs a value"),
-            ArgsError::Invalid { key, value, expected } => {
+            ArgsError::Invalid {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "option --{key}: '{value}' is not a valid {expected}")
             }
             ArgsError::Unknown(k) => write!(f, "unknown option --{k}"),
@@ -83,7 +89,9 @@ impl Args {
                 }
                 let value = match inline {
                     Some(v) => v,
-                    None => iter.next().ok_or_else(|| ArgsError::MissingValue(key.clone()))?,
+                    None => iter
+                        .next()
+                        .ok_or_else(|| ArgsError::MissingValue(key.clone()))?,
                 };
                 if args.options.insert(key.clone(), value).is_some() {
                     return Err(ArgsError::Duplicate(key));
@@ -121,7 +129,8 @@ impl Args {
     ///
     /// [`ArgsError::Required`] when absent.
     pub fn require(&self, key: &str) -> Result<&str, ArgsError> {
-        self.get(key).ok_or_else(|| ArgsError::Required(key.to_string()))
+        self.get(key)
+            .ok_or_else(|| ArgsError::Required(key.to_string()))
     }
 
     /// A parsed numeric option with a default.
@@ -141,6 +150,24 @@ impl Args {
                 key: key.to_string(),
                 value: v.to_string(),
                 expected,
+            }),
+        }
+    }
+
+    /// The `--jobs` worker-thread option: `auto` or `0` →
+    /// [`Parallelism::Auto`], `1` → [`Parallelism::Sequential`], `n` →
+    /// [`Parallelism::Threads`]. Absent → `Auto`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgsError::Invalid`] when present but not a count or `auto`.
+    pub fn jobs(&self) -> Result<Parallelism, ArgsError> {
+        match self.get("jobs") {
+            None => Ok(Parallelism::Auto),
+            Some(v) => Parallelism::from_jobs(v).ok_or_else(|| ArgsError::Invalid {
+                key: "jobs".to_string(),
+                value: v.to_string(),
+                expected: "thread count or 'auto'",
             }),
         }
     }
@@ -192,7 +219,10 @@ mod tests {
 
     #[test]
     fn missing_value_is_an_error() {
-        assert_eq!(parse(&["--seed"]).err(), Some(ArgsError::MissingValue("seed".into())));
+        assert_eq!(
+            parse(&["--seed"]).err(),
+            Some(ArgsError::MissingValue("seed".into()))
+        );
     }
 
     #[test]
@@ -210,21 +240,55 @@ mod tests {
     #[test]
     fn unknown_option_rejection() {
         let a = parse(&["--seed", "1", "--oops", "2"]).unwrap();
-        assert_eq!(a.reject_unknown(&["seed"]).err(), Some(ArgsError::Unknown("oops".into())));
+        assert_eq!(
+            a.reject_unknown(&["seed"]).err(),
+            Some(ArgsError::Unknown("oops".into()))
+        );
         assert!(a.reject_unknown(&["seed", "oops"]).is_ok());
+    }
+
+    #[test]
+    fn jobs_resolves_to_parallelism() {
+        assert_eq!(parse(&[]).unwrap().jobs().unwrap(), Parallelism::Auto);
+        assert_eq!(
+            parse(&["--jobs", "auto"]).unwrap().jobs().unwrap(),
+            Parallelism::Auto
+        );
+        assert_eq!(
+            parse(&["--jobs", "1"]).unwrap().jobs().unwrap(),
+            Parallelism::Sequential
+        );
+        assert_eq!(
+            parse(&["--jobs", "4"]).unwrap().jobs().unwrap(),
+            Parallelism::Threads(4)
+        );
+        assert!(matches!(
+            parse(&["--jobs", "many"]).unwrap().jobs(),
+            Err(ArgsError::Invalid { .. })
+        ));
     }
 
     #[test]
     fn require_reports_missing() {
         let a = parse(&[]).unwrap();
-        assert_eq!(a.require("out").err(), Some(ArgsError::Required("out".into())));
+        assert_eq!(
+            a.require("out").err(),
+            Some(ArgsError::Required("out".into()))
+        );
     }
 
     #[test]
     fn error_messages_are_readable() {
-        assert_eq!(ArgsError::Required("out".into()).to_string(), "missing required option --out");
-        assert!(ArgsError::Invalid { key: "s".into(), value: "x".into(), expected: "number" }
-            .to_string()
-            .contains("not a valid number"));
+        assert_eq!(
+            ArgsError::Required("out".into()).to_string(),
+            "missing required option --out"
+        );
+        assert!(ArgsError::Invalid {
+            key: "s".into(),
+            value: "x".into(),
+            expected: "number"
+        }
+        .to_string()
+        .contains("not a valid number"));
     }
 }

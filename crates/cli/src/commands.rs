@@ -101,21 +101,27 @@ pub fn parse_algorithm(name: &str) -> Result<Algorithm, CliError> {
 }
 
 fn print_report(report: &EvaluationReport) {
-    println!("{:<8} {:<10} {:<10} {:<12} {:<10}", "t(s)", "actual", "predicted", "bottleneck", "hc");
+    println!(
+        "{:<8} {:<10} {:<10} {:<12} {:<10}",
+        "t(s)", "actual", "predicted", "bottleneck", "hc"
+    );
     for r in &report.results {
         println!(
             "{:<8.0} {:<10} {:<10} {:<12} {:<10}",
             r.t_end_s,
             if r.actual { "OVERLOAD" } else { "ok" },
             if r.predicted { "OVERLOAD" } else { "ok" },
-            r.predicted_bottleneck.map_or("-".to_string(), |t| t.to_string()),
+            r.predicted_bottleneck
+                .map_or("-".to_string(), |t| t.to_string()),
             if r.confident { "confident" } else { "in-band" },
         );
     }
     println!(
         "\nbalanced accuracy {:.3}   bottleneck accuracy {}   windows {}",
         report.balanced_accuracy(),
-        report.bottleneck_accuracy().map_or("n/a".to_string(), |a| format!("{a:.3}")),
+        report
+            .bottleneck_accuracy()
+            .map_or("n/a".to_string(), |a| format!("{a:.3}")),
         report.confusion.total()
     );
 }
@@ -130,10 +136,15 @@ pub fn simulate(args: &Args) -> Result<(), CliError> {
     let ebs = args.get_parsed("ebs", knee, "integer")?;
     let duration = args.get_parsed("duration", 300.0, "number")?;
     if duration < 30.0 {
-        return Err(CliError::Message("duration must be at least 30 seconds".into()));
+        return Err(CliError::Message(
+            "duration must be at least 30 seconds".into(),
+        ));
     }
 
-    println!("simulating {ebs} EBs of {} for {duration:.0}s (knee ≈ {knee} EBs)", args.get_or("mix", "shopping"));
+    println!(
+        "simulating {ebs} EBs of {} for {duration:.0}s (knee ≈ {knee} EBs)",
+        args.get_or("mix", "shopping")
+    );
     let program = TrafficProgram::steady(mix, ebs, duration);
     let log = collect_run(&cfg, &program, &HpcModel::testbed(), seed ^ 0xC11);
     let oracle = OracleConfig::default();
@@ -156,7 +167,11 @@ pub fn simulate(args: &Args) -> Result<(), CliError> {
             app,
             db,
             disk,
-            if label.overloaded { format!("OVER/{}", label.bottleneck) } else { "ok".into() }
+            if label.overloaded {
+                format!("OVER/{}", label.bottleneck)
+            } else {
+                "ok".into()
+            }
         );
     }
     Ok(())
@@ -164,11 +179,12 @@ pub fn simulate(args: &Args) -> Result<(), CliError> {
 
 /// `webcap train` — train a capacity meter and save it as JSON.
 pub fn train(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["out", "level", "algorithm", "seed", "scale"])?;
+    args.reject_unknown(&["out", "level", "algorithm", "seed", "scale", "jobs"])?;
     let out = args.require("out")?;
     let mut cfg = MeterConfig::new(args.get_parsed("seed", 1u64, "integer")?);
     cfg.level = parse_level(args.get_or("level", "hpc"))?;
     cfg.algorithm = parse_algorithm(args.get_or("algorithm", "tan"))?;
+    cfg.parallelism = args.jobs()?;
     cfg.duration_scale = args.get_parsed("scale", 1.0, "number")?;
     if cfg.duration_scale <= 0.0 {
         return Err(CliError::Message("scale must be positive".into()));
@@ -178,8 +194,8 @@ pub fn train(args: &Args) -> Result<(), CliError> {
     }
 
     println!(
-        "training {} / {} meter at scale {} ...",
-        cfg.level, cfg.algorithm, cfg.duration_scale
+        "training {} / {} meter at scale {} (jobs: {}) ...",
+        cfg.level, cfg.algorithm, cfg.duration_scale, cfg.parallelism
     );
     let meter = CapacityMeter::train(&cfg)?;
     for synopsis in meter.synopses() {
@@ -227,7 +243,10 @@ pub fn info(args: &Args) -> Result<(), CliError> {
         "coordinator  : h={} delta={} scheme={:?}",
         cfg.coordinator.history_bits, cfg.coordinator.delta, cfg.coordinator.scheme
     );
-    println!("window       : {}s x stride {}s", cfg.window_len, cfg.test_stride);
+    println!(
+        "window       : {}s x stride {}s",
+        cfg.window_len, cfg.test_stride
+    );
     println!("synopses     :");
     for synopsis in meter.synopses() {
         println!(
@@ -258,7 +277,11 @@ pub fn plan(args: &Args) -> Result<(), CliError> {
         let knee = workloads::estimate_saturation_ebs(&cfg, &mix);
         let app_rate = f64::from(cfg.app.cores) * cfg.app.effective_speed()
             / cfg.profile.mean_app_demand(&mix);
-        let bottleneck = if (app_rate - cap).abs() < 1e-9 { "APP" } else { "DB" };
+        let bottleneck = if (app_rate - cap).abs() < 1e-9 {
+            "APP"
+        } else {
+            "DB"
+        };
         println!("{name:<12} {cap:>12.1} {knee:>12} {bottleneck:>14}");
     }
     Ok(())
@@ -276,7 +299,9 @@ COMMANDS:
              --mix <browsing|shopping|ordering> --ebs <N> --duration <s> --seed <N>
   train      train a capacity meter and save it as JSON
              --out <file> [--level os|hpc|combined] [--algorithm lr|naive|tan|svm]
-             [--scale <f>] [--seed <N>]
+             [--scale <f>] [--seed <N>] [--jobs <N|auto>]
+             (--jobs only changes wall-clock time: training is
+             bit-for-bit deterministic at any thread count)
   evaluate   score a saved meter on a test workload
              --meter <file> [--workload ordering|browsing|interleaved|unknown]
              [--seed <N>] [--scale <f>]
@@ -319,7 +344,15 @@ mod tests {
 
     #[test]
     fn simulate_runs_small() {
-        simulate(&args(&["--mix", "shopping", "--ebs", "20", "--duration", "60"])).unwrap();
+        simulate(&args(&[
+            "--mix",
+            "shopping",
+            "--ebs",
+            "20",
+            "--duration",
+            "60",
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -340,9 +373,20 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("meter.json");
         let path_s = path.to_str().unwrap();
-        train(&args(&["--out", path_s, "--scale", "0.45", "--seed", "3"])).unwrap();
+        train(&args(&[
+            "--out", path_s, "--scale", "0.45", "--seed", "3", "--jobs", "2",
+        ]))
+        .unwrap();
         info(&args(&["--meter", path_s])).unwrap();
-        evaluate(&args(&["--meter", path_s, "--workload", "ordering", "--seed", "9"])).unwrap();
+        evaluate(&args(&[
+            "--meter",
+            path_s,
+            "--workload",
+            "ordering",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,45 @@
+//! Cross-crate smoke test: train a small meter through the public API,
+//! round-trip it through JSON the way `webcap train`/`webcap evaluate`
+//! do, and drive one online prediction through the incremental monitor.
+
+use webcap_core::{CapacityMeter, MeterConfig, OnlineMonitor, Parallelism};
+use webcap_sim::Simulation;
+use webcap_tpcw::{Mix, TrafficProgram};
+
+#[test]
+fn train_roundtrip_and_online_predict() {
+    // Train with an explicit worker count, as `webcap train --jobs 2`
+    // would configure it.
+    let config = MeterConfig::small_for_tests(5).with_parallelism(Parallelism::Threads(2));
+    let meter = CapacityMeter::train(&config).expect("training succeeds");
+    assert_eq!(meter.synopses().len(), 4);
+
+    // JSON round trip — the CLI's persistence format.
+    let json = meter.to_json().expect("serializes");
+    let restored = CapacityMeter::from_json(&json).expect("deserializes");
+    assert_eq!(
+        restored.to_json().expect("re-serializes"),
+        json,
+        "round trip is lossless"
+    );
+
+    // One full online window through the incremental monitor.
+    let window_len = restored.config().window_len;
+    let mut sim = restored.config().sim.clone();
+    sim.seed = 999;
+    let program = TrafficProgram::steady(Mix::ordering(), 60, (window_len + 5) as f64);
+    let samples = Simulation::new(sim, program).run().samples;
+    let mut monitor = OnlineMonitor::new(restored, 12);
+    let mut decisions = 0usize;
+    for sample in samples {
+        if let Some(decision) = monitor.push_sample(sample) {
+            decisions += 1;
+            assert!(
+                decision.prediction.bottleneck.is_none() || decision.prediction.overloaded,
+                "bottleneck is only named when overloaded"
+            );
+        }
+    }
+    assert_eq!(decisions, 1, "exactly one window completed");
+    assert_eq!(monitor.decisions_made(), 1);
+}

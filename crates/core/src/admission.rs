@@ -33,7 +33,12 @@ pub struct AdmissionConfig {
 
 impl Default for AdmissionConfig {
     fn default() -> AdmissionConfig {
-        AdmissionConfig { min_ebs: 20, increase_step: 25, decrease_factor: 0.75, segment_s: 60.0 }
+        AdmissionConfig {
+            min_ebs: 20,
+            increase_step: 25,
+            decrease_factor: 0.75,
+            segment_s: 60.0,
+        }
     }
 }
 
@@ -58,7 +63,10 @@ impl AdmissionController {
             "decrease factor must be in (0,1)"
         );
         assert!(cfg.segment_s > 0.0, "segment must be positive");
-        AdmissionController { cfg, cap: initial_cap.max(cfg.min_ebs) }
+        AdmissionController {
+            cfg,
+            cap: initial_cap.max(cfg.min_ebs),
+        }
     }
 
     /// Current admitted-session cap.
@@ -69,8 +77,7 @@ impl AdmissionController {
     /// Feed one overload prediction; returns the updated cap.
     pub fn on_prediction(&mut self, overloaded: bool) -> u32 {
         if overloaded {
-            self.cap =
-                ((self.cap as f64 * self.cfg.decrease_factor) as u32).max(self.cfg.min_ebs);
+            self.cap = ((self.cap as f64 * self.cfg.decrease_factor) as u32).max(self.cfg.min_ebs);
         } else {
             self.cap += self.cfg.increase_step;
         }
@@ -108,7 +115,10 @@ impl AdmissionOutcome {
         if self.segments.is_empty() {
             return 0.0;
         }
-        self.segments.iter().map(|s| s.mean_response_time_s).sum::<f64>()
+        self.segments
+            .iter()
+            .map(|s| s.mean_response_time_s)
+            .sum::<f64>()
             / self.segments.len() as f64
     }
 
@@ -148,7 +158,11 @@ pub fn run_admission_experiment(
     let window_len = meter.config().window_len;
     let mut out = Vec::with_capacity(segments);
     for i in 0..segments {
-        let admitted = if controlled { controller.cap().min(offered_ebs) } else { offered_ebs };
+        let admitted = if controlled {
+            controller.cap().min(offered_ebs)
+        } else {
+            offered_ebs
+        };
         let program = TrafficProgram::steady(mix.clone(), admitted, cfg.segment_s);
         let mut sim = meter.config().sim.clone();
         sim.seed = seed.wrapping_add(i as u64);
@@ -170,7 +184,11 @@ pub fn run_admission_experiment(
             predicted_overload: prediction.overloaded,
             actual_overload: w.overloaded(),
             throughput: completed as f64 / cfg.segment_s,
-            mean_response_time_s: if completed > 0 { rt_sum / completed as f64 } else { 0.0 },
+            mean_response_time_s: if completed > 0 {
+                rt_sum / completed as f64
+            } else {
+                0.0
+            },
         });
         if controlled {
             controller.on_prediction(prediction.overloaded);
@@ -195,7 +213,10 @@ mod tests {
 
     #[test]
     fn cap_never_drops_below_minimum() {
-        let cfg = AdmissionConfig { min_ebs: 50, ..AdmissionConfig::default() };
+        let cfg = AdmissionConfig {
+            min_ebs: 50,
+            ..AdmissionConfig::default()
+        };
         let mut c = AdmissionController::new(cfg, 60);
         for _ in 0..10 {
             c.on_prediction(true);
@@ -205,7 +226,10 @@ mod tests {
 
     #[test]
     fn initial_cap_clamps_up_to_minimum() {
-        let cfg = AdmissionConfig { min_ebs: 40, ..AdmissionConfig::default() };
+        let cfg = AdmissionConfig {
+            min_ebs: 40,
+            ..AdmissionConfig::default()
+        };
         let c = AdmissionController::new(cfg, 5);
         assert_eq!(c.cap(), 40);
     }
@@ -240,7 +264,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "decrease factor")]
     fn bad_decrease_factor_rejected() {
-        let cfg = AdmissionConfig { decrease_factor: 1.5, ..AdmissionConfig::default() };
+        let cfg = AdmissionConfig {
+            decrease_factor: 1.5,
+            ..AdmissionConfig::default()
+        };
         let _ = AdmissionController::new(cfg, 100);
     }
 }

@@ -1,0 +1,125 @@
+//! Shared window-aggregation helpers used by both the batch pipeline
+//! ([`crate::monitor::RunLog::windows`]) and the incremental online
+//! monitor ([`crate::online::OnlineMonitor`]), so the two paths cannot
+//! drift apart.
+
+use webcap_sim::SystemSample;
+use webcap_tpcw::MixId;
+
+/// Element-wise mean of equal-width rows; empty input yields an empty
+/// vector and a single row is returned unchanged.
+///
+/// # Panics
+///
+/// Panics if the rows have differing widths — a width mismatch upstream
+/// is a wiring bug that a silently truncating zip would hide.
+pub(crate) fn mean_rows<I: Iterator<Item = Vec<f64>>>(rows: I) -> Vec<f64> {
+    let mut acc: Vec<f64> = Vec::new();
+    let mut n = 0usize;
+    for row in rows {
+        if n == 0 {
+            acc = row;
+        } else {
+            assert_eq!(
+                acc.len(),
+                row.len(),
+                "mean_rows: mismatched row widths ({} vs {})",
+                acc.len(),
+                row.len()
+            );
+            for (a, x) in acc.iter_mut().zip(row) {
+                *a += x;
+            }
+        }
+        n += 1;
+    }
+    if n > 1 {
+        for a in &mut acc {
+            *a /= n as f64;
+        }
+    }
+    acc
+}
+
+/// The majority traffic mix over a window's samples. Ties break
+/// deterministically (by first-appearance order of the tied mixes), so
+/// the label never depends on execution order.
+///
+/// # Panics
+///
+/// Panics on an empty window.
+pub(crate) fn majority_mix(samples: &[SystemSample]) -> MixId {
+    let mut counts: Vec<(MixId, usize)> = Vec::new();
+    for s in samples {
+        match counts.iter_mut().find(|(m, _)| *m == s.mix_id) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((s.mix_id, 1)),
+        }
+    }
+    counts
+        .iter()
+        .max_by_key(|(_, c)| *c)
+        .map(|(m, _)| *m)
+        .expect("non-empty window")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_equal_width_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
+        assert_eq!(mean_rows(rows.into_iter()), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_vector() {
+        assert!(mean_rows(std::iter::empty::<Vec<f64>>()).is_empty());
+    }
+
+    #[test]
+    fn single_row_is_unchanged() {
+        assert_eq!(mean_rows(std::iter::once(vec![5.0, -1.0])), vec![5.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched row widths")]
+    fn mismatched_widths_panic() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0]];
+        let _ = mean_rows(rows.into_iter());
+    }
+
+    fn sample_with_mix(mix_id: MixId) -> SystemSample {
+        SystemSample {
+            t_s: 1.0,
+            interval_s: 1.0,
+            ebs_target: 0,
+            ebs_active: 0,
+            mix_id,
+            issued: 0,
+            issued_browse: 0,
+            completed: 0,
+            completed_browse: 0,
+            response_time_sum_s: 0.0,
+            response_time_max_s: 0.0,
+            in_flight: 0,
+            response_times: webcap_sim::RtHistogram::default(),
+            app: webcap_sim::TierSample::default(),
+            db: webcap_sim::TierSample::default(),
+        }
+    }
+
+    #[test]
+    fn majority_wins_over_last_sample() {
+        let mut samples = vec![sample_with_mix(MixId::Ordering); 20];
+        samples.extend(vec![sample_with_mix(MixId::Browsing); 10]);
+        assert_eq!(majority_mix(&samples), MixId::Ordering);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty window")]
+    fn empty_window_panics() {
+        let _ = majority_mix(&[]);
+    }
+}

@@ -139,8 +139,16 @@ impl CoordinatedPredictor {
     ///
     /// Panics if `predictions.len() != m`.
     pub fn gpv(&self, predictions: &[bool]) -> usize {
-        assert_eq!(predictions.len(), self.m, "expected {} synopsis predictions", self.m);
-        predictions.iter().enumerate().fold(0usize, |acc, (i, &p)| acc | (usize::from(p) << i))
+        assert_eq!(
+            predictions.len(),
+            self.m,
+            "expected {} synopsis predictions",
+            self.m
+        );
+        predictions
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (i, &p)| acc | (usize::from(p) << i))
     }
 
     fn clamp(&self, v: i32) -> i32 {
@@ -212,7 +220,13 @@ impl CoordinatedPredictor {
             (matches!(self.cfg.scheme, TieScheme::Pessimistic), false)
         };
         let bottleneck = overloaded.then(|| self.bottleneck_for(gpv));
-        CoordinatedPrediction { overloaded, confident, bottleneck, gpv, hc }
+        CoordinatedPrediction {
+            overloaded,
+            confident,
+            bottleneck,
+            gpv,
+            hc,
+        }
     }
 
     /// `λb(b_K..b_1) = argmax_i b_i` for one GPV row.
@@ -285,12 +299,18 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct * 10 >= total * 8, "coordinator should mask the bad synopsis: {correct}/{total}");
+        assert!(
+            correct * 10 >= total * 8,
+            "coordinator should mask the bad synopsis: {correct}/{total}"
+        );
     }
 
     #[test]
     fn delta_band_uses_tie_scheme() {
-        let cfg = CoordinatorConfig { delta: 5, ..CoordinatorConfig::default() };
+        let cfg = CoordinatorConfig {
+            delta: 5,
+            ..CoordinatorConfig::default()
+        };
         let mut optimistic = CoordinatedPredictor::new(1, cfg);
         // Train 3 overloads on the same (gpv, history) → Hc = 3 ≤ δ.
         for _ in 0..3 {
@@ -301,7 +321,10 @@ mod tests {
         assert!(!out.confident);
         assert!(!out.overloaded, "optimistic φ says underload");
 
-        let cfg = CoordinatorConfig { scheme: TieScheme::Pessimistic, ..cfg };
+        let cfg = CoordinatorConfig {
+            scheme: TieScheme::Pessimistic,
+            ..cfg
+        };
         let mut pessimistic = CoordinatedPredictor::new(1, cfg);
         for _ in 0..3 {
             pessimistic.train_instance(&[true], true, Some(TierId::Db));
@@ -314,7 +337,10 @@ mod tests {
 
     #[test]
     fn counters_saturate_at_clamp() {
-        let cfg = CoordinatorConfig { counter_clamp: 8, ..CoordinatorConfig::default() };
+        let cfg = CoordinatorConfig {
+            counter_clamp: 8,
+            ..CoordinatorConfig::default()
+        };
         let mut p = CoordinatedPredictor::new(1, cfg);
         for _ in 0..100 {
             p.train_instance(&[true], true, Some(TierId::App));
@@ -355,7 +381,10 @@ mod tests {
         // instance i equals the synopsis's *previous* vote. The current
         // GPV is therefore uninformative, but one history bit identifies
         // the state exactly.
-        let cfg = CoordinatorConfig { history_bits: 1, ..CoordinatorConfig::default() };
+        let cfg = CoordinatorConfig {
+            history_bits: 1,
+            ..CoordinatorConfig::default()
+        };
         let mut p = CoordinatedPredictor::new(1, cfg);
         for i in 0..200usize {
             let vote = i % 2 == 0;
@@ -365,13 +394,24 @@ mod tests {
         // The alternating stream visits (gpv=0, hist=1) on overloaded
         // instances and (gpv=1, hist=0) on underloaded ones: the history
         // bit, not the current vote, carries the class.
-        assert!(p.lht_row(0)[1] > 0, "after a positive vote comes overload: {:?}", p.lht_row(0));
-        assert!(p.lht_row(1)[0] < 0, "after a negative vote comes underload: {:?}", p.lht_row(1));
+        assert!(
+            p.lht_row(0)[1] > 0,
+            "after a positive vote comes overload: {:?}",
+            p.lht_row(0)
+        );
+        assert!(
+            p.lht_row(1)[0] < 0,
+            "after a negative vote comes underload: {:?}",
+            p.lht_row(1)
+        );
     }
 
     #[test]
     fn table_sizes_match_spec() {
-        let cfg = CoordinatorConfig { history_bits: 3, ..CoordinatorConfig::default() };
+        let cfg = CoordinatorConfig {
+            history_bits: 3,
+            ..CoordinatorConfig::default()
+        };
         let p = CoordinatedPredictor::new(4, cfg);
         assert_eq!(p.lht_row(0).len(), 8, "2^h entries per LHT");
         assert_eq!(p.bpt_row(0).len(), 2, "one counter per tier");
@@ -388,7 +428,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "clamp must exceed delta")]
     fn clamp_below_delta_rejected() {
-        let cfg = CoordinatorConfig { delta: 10, counter_clamp: 5, ..CoordinatorConfig::default() };
+        let cfg = CoordinatorConfig {
+            delta: 10,
+            counter_clamp: 5,
+            ..CoordinatorConfig::default()
+        };
         let _ = CoordinatedPredictor::new(1, cfg);
     }
 }

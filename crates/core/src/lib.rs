@@ -39,6 +39,7 @@
 //! ```
 
 pub mod admission;
+mod agg;
 pub mod coordinator;
 pub mod meter;
 pub mod monitor;
@@ -55,3 +56,4 @@ pub use online::{OnlineDecision, OnlineMonitor};
 pub use oracle::{label_window, OracleConfig, WindowLabel};
 pub use pi::{correlation, select_pi, PiDefinition, PiSelection};
 pub use synopsis::{PerformanceSynopsis, SynopsisSpec};
+pub use webcap_parallel::Parallelism;

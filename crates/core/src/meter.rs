@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use webcap_hpc::HpcModel;
 use webcap_ml::select::SelectionOptions;
 use webcap_ml::{Algorithm, ConfusionMatrix, FitError};
+use webcap_parallel::{par_map, Parallelism};
 use webcap_sim::{SimConfig, TierId};
 use webcap_tpcw::{Mix, MixId, TrafficProgram};
 
@@ -59,6 +60,15 @@ pub struct MeterConfig {
     pub metrics_seed: u64,
     /// Passes over the training instances when training the coordinator.
     pub coordinator_epochs: usize,
+    /// Worker threads for the independent training executions, synopsis
+    /// inductions, selection trials, and multi-run evaluations. Results
+    /// are bit-identical at every setting; this only changes wall-clock
+    /// time. Deliberately **not serialized**: a trained meter's JSON must
+    /// not depend on how many threads trained it, and a persisted meter
+    /// re-resolves the setting on load (skipped fields deserialize to
+    /// [`Parallelism::Auto`]).
+    #[serde(skip)]
+    pub parallelism: Parallelism,
 }
 
 impl MeterConfig {
@@ -81,6 +91,7 @@ impl MeterConfig {
             training_repeats: 2,
             metrics_seed: seed ^ 0x5eed_cafe,
             coordinator_epochs: 4,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -89,8 +100,11 @@ impl MeterConfig {
     pub fn small_for_tests(seed: u64) -> MeterConfig {
         let mut cfg = MeterConfig::new(seed);
         cfg.duration_scale = 0.45;
-        cfg.selection =
-            SelectionOptions { folds: 5, max_attributes: 4, ..SelectionOptions::default() };
+        cfg.selection = SelectionOptions {
+            folds: 5,
+            max_attributes: 4,
+            ..SelectionOptions::default()
+        };
         // With ~10x less training data than the full-scale runs, the
         // paper's delta = 5 confidence band leaves knee-region patterns
         // permanently uncertain; scale it down with the data volume.
@@ -107,6 +121,12 @@ impl MeterConfig {
     /// Builder-style override of the learning algorithm.
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> MeterConfig {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Builder-style override of the worker-thread policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> MeterConfig {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -169,7 +189,7 @@ impl EvaluationReport {
 ///
 /// Serializable: train offline, persist with [`CapacityMeter::to_json`],
 /// and deploy the deserialized meter online.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CapacityMeter {
     config: MeterConfig,
     synopses: Vec<PerformanceSynopsis>,
@@ -190,71 +210,116 @@ impl CapacityMeter {
     /// Train the meter: run the two training workloads, induce the four
     /// synopses, and train the coordinated predictor over their outputs.
     ///
+    /// The expensive stages fan out over
+    /// [`MeterConfig::parallelism`] worker threads: the independent
+    /// `(workload, repeat)` training executions, then the four synopsis
+    /// inductions. Every execution's simulation and metric seeds are
+    /// pre-derived from the config alone and results are merged in the
+    /// fixed grid order, so the trained meter is bit-identical at every
+    /// thread count.
+    ///
     /// # Errors
     ///
     /// Returns a [`FitError`] if any synopsis cannot be induced (e.g. a
     /// training program too light to produce overloaded windows).
     pub fn train(config: &MeterConfig) -> Result<CapacityMeter, FitError> {
-        let mut synopses = Vec::with_capacity(4);
-        let mut run_instances: Vec<Vec<WindowInstance>> = Vec::with_capacity(2);
+        let par = config.parallelism;
+        let mixes = [Mix::ordering(), Mix::browsing()];
+        let programs: Vec<TrafficProgram> = mixes
+            .iter()
+            .map(|mix| {
+                workloads::training_program(
+                    &config.sim,
+                    mix,
+                    config.duration_scale * config.train_duration_factor.max(0.1),
+                )
+            })
+            .collect();
 
-        for (i, (workload, mix)) in
-            [(MixId::Ordering, Mix::ordering()), (MixId::Browsing, Mix::browsing())]
-                .into_iter()
-                .enumerate()
-        {
-            let program = workloads::training_program(
-                &config.sim,
-                &mix,
-                config.duration_scale * config.train_duration_factor.max(0.1),
+        // Phase A — several independent executions of each workload's
+        // program: distinct simulation seeds and metric-disturbance
+        // trajectories, all pre-derived from the config, collected
+        // workload-major / repeat-minor exactly as the sequential loop
+        // ordered them.
+        let repeats = config.training_repeats.max(1);
+        let tasks: Vec<(usize, usize)> = (0..mixes.len())
+            .flat_map(|i| (0..repeats).map(move |rep| (i, rep)))
+            .collect();
+        let run_instances: Vec<Vec<WindowInstance>> = par_map(par, tasks, |(i, rep)| {
+            let mut sim = config.sim.clone();
+            sim.seed = config.sim.seed.wrapping_add((i + 10 * rep) as u64);
+            let log = collect_run(
+                &sim,
+                &programs[i],
+                &config.hpc_model,
+                config.metrics_seed.wrapping_add((i + 100 * rep) as u64),
             );
-            // Several independent executions: distinct simulation seeds and
-            // metric-disturbance trajectories.
-            let mut all = Vec::new();
-            for rep in 0..config.training_repeats.max(1) {
-                let mut sim = config.sim.clone();
-                sim.seed = config.sim.seed.wrapping_add((i + 10 * rep) as u64);
-                let log = collect_run(
-                    &sim,
-                    &program,
-                    &config.hpc_model,
-                    config.metrics_seed.wrapping_add((i + 100 * rep) as u64),
-                );
-                let instances =
-                    log.windows(config.window_len, config.train_stride, &config.oracle);
-                run_instances.push(instances.clone());
-                all.extend(instances);
-            }
-            for tier in TierId::ALL {
+            log.windows(config.window_len, config.train_stride, &config.oracle)
+        });
+        let per_workload: Vec<Vec<WindowInstance>> = run_instances
+            .chunks(repeats)
+            .map(|runs| runs.iter().flatten().cloned().collect())
+            .collect();
+
+        // Phase B — one synopsis per (workload, tier) grid cell, each an
+        // independent induction over its workload's pooled executions.
+        // Errors surface in grid order, matching the sequential loop's
+        // first failure.
+        let trained: Vec<Result<PerformanceSynopsis, FitError>> = par_map(
+            par,
+            CapacityMeter::synopsis_grid().to_vec(),
+            |(workload, tier)| {
                 let spec = SynopsisSpec {
                     tier,
                     workload,
                     level: config.level,
                     algorithm: config.algorithm,
                 };
-                synopses.push(PerformanceSynopsis::train(spec, &all, &config.selection)?);
-            }
+                let pooled = if workload == MixId::Ordering {
+                    &per_workload[0]
+                } else {
+                    &per_workload[1]
+                };
+                PerformanceSynopsis::train_par(spec, pooled, &config.selection, par)
+            },
+        );
+        let mut synopses = Vec::with_capacity(4);
+        for result in trained {
+            synopses.push(result?);
         }
 
+        // Phase C — the coordinator folds the runs' temporal sequences
+        // into its pattern tables; history order matters, so it stays
+        // sequential (it is also cheap relative to phases A and B).
         let mut coordinator = CoordinatedPredictor::new(synopses.len(), config.coordinator);
         for _ in 0..config.coordinator_epochs.max(1) {
             for run in &run_instances {
                 coordinator.reset_history();
                 for w in run {
-                    let preds: Vec<bool> =
-                        synopses.iter().map(|s| s.predict_instance(w)).collect();
+                    let preds: Vec<bool> = synopses.iter().map(|s| s.predict_instance(w)).collect();
                     coordinator.train_instance(&preds, w.overloaded(), Some(w.label.bottleneck));
                 }
             }
         }
         coordinator.reset_history();
 
-        Ok(CapacityMeter { config: config.clone(), synopses, coordinator })
+        Ok(CapacityMeter {
+            config: config.clone(),
+            synopses,
+            coordinator,
+        })
     }
 
     /// The meter's configuration.
     pub fn config(&self) -> &MeterConfig {
         &self.config
+    }
+
+    /// Override the worker-thread policy of a trained meter — e.g. after
+    /// [`CapacityMeter::from_json`], where the (unserialized) field
+    /// deserializes to [`Parallelism::Auto`].
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.config.parallelism = parallelism;
     }
 
     /// Serialize the trained meter (synopses, pattern tables, and config)
@@ -286,7 +351,11 @@ impl CapacityMeter {
     /// Predict the system state of one window online (advances the
     /// predictor's temporal history).
     pub fn predict(&mut self, window: &WindowInstance) -> CoordinatedPrediction {
-        let preds: Vec<bool> = self.synopses.iter().map(|s| s.predict_instance(window)).collect();
+        let preds: Vec<bool> = self
+            .synopses
+            .iter()
+            .map(|s| s.predict_instance(window))
+            .collect();
         self.coordinator.predict(&preds)
     }
 
@@ -322,7 +391,11 @@ impl CapacityMeter {
 
     /// Run `program` on a fresh simulation (seeded by `sim_seed`) and
     /// evaluate the meter's online predictions over it.
-    pub fn evaluate_program(&mut self, program: &TrafficProgram, sim_seed: u64) -> EvaluationReport {
+    pub fn evaluate_program(
+        &mut self,
+        program: &TrafficProgram,
+        sim_seed: u64,
+    ) -> EvaluationReport {
         let mut sim = self.config.sim.clone();
         sim.seed = sim_seed;
         let log = collect_run(
@@ -331,9 +404,28 @@ impl CapacityMeter {
             &self.config.hpc_model,
             self.config.metrics_seed.wrapping_add(sim_seed),
         );
-        let instances =
-            log.windows(self.config.window_len, self.config.test_stride, &self.config.oracle);
+        let instances = log.windows(
+            self.config.window_len,
+            self.config.test_stride,
+            &self.config.oracle,
+        );
         self.evaluate_instances(&instances)
+    }
+
+    /// Evaluate several independent `(program, sim_seed)` runs, fanned
+    /// out over [`MeterConfig::parallelism`] worker threads.
+    ///
+    /// Each run is evaluated by its own clone of the meter. Because
+    /// [`CapacityMeter::evaluate_program`] resets the temporal history at
+    /// the start of every run and online prediction never mutates the
+    /// trained tables, the reports are bit-identical to calling
+    /// [`CapacityMeter::evaluate_program`] in a loop, in input order.
+    pub fn evaluate_programs(&self, runs: &[(TrafficProgram, u64)]) -> Vec<EvaluationReport> {
+        par_map(self.config.parallelism, (0..runs.len()).collect(), |i| {
+            let mut meter = self.clone();
+            let (program, sim_seed) = &runs[i];
+            meter.evaluate_program(program, *sim_seed)
+        })
     }
 
     /// Evaluate on a knee-crossing test ramp of the given mix.
@@ -356,9 +448,7 @@ mod tests {
     fn trains_four_synopses_in_grid_order() {
         let meter = trained();
         assert_eq!(meter.synopses().len(), 4);
-        for (syn, (workload, tier)) in
-            meter.synopses().iter().zip(CapacityMeter::synopsis_grid())
-        {
+        for (syn, (workload, tier)) in meter.synopses().iter().zip(CapacityMeter::synopsis_grid()) {
             assert_eq!(syn.spec().workload, workload);
             assert_eq!(syn.spec().tier, tier);
             assert_eq!(syn.spec().level, MetricLevel::Hpc);
@@ -409,7 +499,10 @@ mod tests {
         let b = meter.evaluate_mix(Mix::browsing(), 11);
         let mut merged = a.clone();
         merged.merge(&b);
-        assert_eq!(merged.confusion.total(), a.confusion.total() + b.confusion.total());
+        assert_eq!(
+            merged.confusion.total(),
+            a.confusion.total() + b.confusion.total()
+        );
         assert_eq!(merged.results.len(), a.results.len() + b.results.len());
     }
 
@@ -437,8 +530,41 @@ mod tests {
     fn config_builders_apply() {
         let cfg = MeterConfig::small_for_tests(2)
             .with_level(MetricLevel::Os)
-            .with_algorithm(Algorithm::NaiveBayes);
+            .with_algorithm(Algorithm::NaiveBayes)
+            .with_parallelism(Parallelism::Threads(3));
         assert_eq!(cfg.level, MetricLevel::Os);
         assert_eq!(cfg.algorithm, Algorithm::NaiveBayes);
+        assert_eq!(cfg.parallelism, Parallelism::Threads(3));
+    }
+
+    #[test]
+    fn parallel_multi_run_evaluation_matches_sequential_loop() {
+        let meter = trained();
+        let cfg = meter.config().clone();
+        let ramp = |mix: Mix| workloads::test_ramp(&cfg.sim, &mix, cfg.duration_scale);
+        let runs = vec![
+            (ramp(Mix::ordering()), 31u64),
+            (ramp(Mix::browsing()), 32),
+            (ramp(Mix::ordering()), 33),
+        ];
+        let mut sequential = meter.clone();
+        let expected: Vec<EvaluationReport> = runs
+            .iter()
+            .map(|(p, s)| sequential.evaluate_program(p, *s))
+            .collect();
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::Threads(2),
+            Parallelism::Threads(8),
+        ] {
+            let mut m = meter.clone();
+            m.set_parallelism(par);
+            let got = m.evaluate_programs(&runs);
+            assert_eq!(got.len(), expected.len(), "{par}");
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.confusion, e.confusion, "{par}");
+                assert_eq!(g.results, e.results, "{par}");
+            }
+        }
     }
 }

@@ -13,6 +13,7 @@ use webcap_os::{OsCollector, OsSample};
 use webcap_sim::{SimConfig, Simulation, SystemSample, TierId};
 use webcap_tpcw::{MixId, TrafficProgram};
 
+use crate::agg::{majority_mix, mean_rows};
 use crate::oracle::{label_window, OracleConfig, WindowLabel};
 
 /// Which metric family a synopsis is built on.
@@ -67,11 +68,15 @@ pub fn feature_names(level: MetricLevel, tier: TierId) -> Vec<String> {
         names.extend(feature_names(MetricLevel::Hpc, tier));
         return names;
     }
-    let prefix = format!("{}_{}_", tier.label().to_lowercase(), match level {
-        MetricLevel::Os => "os",
-        MetricLevel::Hpc => "hpc",
-        MetricLevel::Combined => unreachable!("handled above"),
-    });
+    let prefix = format!(
+        "{}_{}_",
+        tier.label().to_lowercase(),
+        match level {
+            MetricLevel::Os => "os",
+            MetricLevel::Hpc => "hpc",
+            MetricLevel::Combined => unreachable!("handled above"),
+        }
+    );
     match level {
         MetricLevel::Os => OsSample::feature_names(&prefix),
         MetricLevel::Hpc => DerivedMetrics::feature_names(&prefix),
@@ -108,7 +113,10 @@ impl RunLog {
     ///
     /// Panics if `len == 0` or `stride == 0`.
     pub fn windows(&self, len: usize, stride: usize, oracle: &OracleConfig) -> Vec<WindowInstance> {
-        assert!(len > 0 && stride > 0, "window length and stride must be positive");
+        assert!(
+            len > 0 && stride > 0,
+            "window length and stride must be positive"
+        );
         let n = self.samples.len();
         let mut out = Vec::new();
         let mut start = 0;
@@ -116,28 +124,22 @@ impl RunLog {
             let range = start..start + len;
             let slice = &self.samples[range.clone()];
             let label = label_window(slice, oracle);
-
-            // Majority mix over the window.
-            let mut counts: Vec<(MixId, usize)> = Vec::new();
-            for s in slice {
-                match counts.iter_mut().find(|(m, _)| *m == s.mix_id) {
-                    Some((_, c)) => *c += 1,
-                    None => counts.push((s.mix_id, 1)),
-                }
-            }
-            let mix =
-                counts.iter().max_by_key(|(_, c)| *c).map(|(m, _)| *m).expect("non-empty window");
+            let mix = majority_mix(slice);
 
             let mut features: [[Vec<f64>; 2]; 3] = Default::default();
             for tier in TierId::ALL {
-                features[MetricLevel::Hpc.index()][tier.index()] =
-                    mean_vectors(self.hpc[tier.index()][range.clone()].iter().map(|m| m.to_features()));
-                features[MetricLevel::Os.index()][tier.index()] = mean_vectors(
-                    self.os[tier.index()][range.clone()].iter().map(|s| s.values().to_vec()),
+                features[MetricLevel::Hpc.index()][tier.index()] = mean_rows(
+                    self.hpc[tier.index()][range.clone()]
+                        .iter()
+                        .map(|m| m.to_features()),
+                );
+                features[MetricLevel::Os.index()][tier.index()] = mean_rows(
+                    self.os[tier.index()][range.clone()]
+                        .iter()
+                        .map(|s| s.values().to_vec()),
                 );
                 let mut combined = features[MetricLevel::Os.index()][tier.index()].clone();
-                combined
-                    .extend_from_slice(&features[MetricLevel::Hpc.index()][tier.index()]);
+                combined.extend_from_slice(&features[MetricLevel::Hpc.index()][tier.index()]);
                 features[MetricLevel::Combined.index()][tier.index()] = combined;
             }
             let completed: u64 = slice.iter().map(|s| s.completed).sum();
@@ -154,27 +156,6 @@ impl RunLog {
         }
         out
     }
-}
-
-fn mean_vectors<I: Iterator<Item = Vec<f64>>>(iter: I) -> Vec<f64> {
-    let mut acc: Vec<f64> = Vec::new();
-    let mut n = 0usize;
-    for v in iter {
-        if acc.is_empty() {
-            acc = v;
-        } else {
-            for (a, x) in acc.iter_mut().zip(v) {
-                *a += x;
-            }
-        }
-        n += 1;
-    }
-    if n > 1 {
-        for a in &mut acc {
-            *a /= n as f64;
-        }
-    }
-    acc
 }
 
 /// One aggregated 30-second instance: the paper's `u* = (a1..an, C)` plus
@@ -206,7 +187,14 @@ impl WindowInstance {
         throughput: f64,
         features: [[Vec<f64>; 2]; 3],
     ) -> WindowInstance {
-        WindowInstance { label, mix, t_start_s, t_end_s, throughput, features }
+        WindowInstance {
+            label,
+            mix,
+            t_start_s,
+            t_end_s,
+            throughput,
+            features,
+        }
     }
 
     /// The feature vector of one (level, tier) family.
@@ -233,8 +221,7 @@ pub fn collect_run(
 ) -> RunLog {
     let output = Simulation::new(cfg.clone(), program.clone()).run();
     let mut rng = StdRng::seed_from_u64(metrics_seed);
-    let mut os_collectors =
-        [OsCollector::new(TierId::App), OsCollector::new(TierId::Db)];
+    let mut os_collectors = [OsCollector::new(TierId::App), OsCollector::new(TierId::Db)];
     let mut hpc = [Vec::new(), Vec::new()];
     let mut os = [Vec::new(), Vec::new()];
     for sample in &output.samples {
@@ -242,11 +229,18 @@ pub fn collect_run(
             let ts = sample.tier(tier);
             let counters = hpc_model.sample(tier, ts, sample.interval_s, &mut rng);
             hpc[tier.index()].push(DerivedMetrics::from_sample(&counters));
-            os[tier.index()]
-                .push(os_collectors[tier.index()].sample(ts, sample.interval_s, &mut rng));
+            os[tier.index()].push(os_collectors[tier.index()].sample(
+                ts,
+                sample.interval_s,
+                &mut rng,
+            ));
         }
     }
-    RunLog { samples: output.samples, hpc, os }
+    RunLog {
+        samples: output.samples,
+        hpc,
+        os,
+    }
 }
 
 #[cfg(test)]

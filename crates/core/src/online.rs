@@ -15,6 +15,7 @@ use webcap_hpc::{DerivedMetrics, HpcModel};
 use webcap_os::OsCollector;
 use webcap_sim::{SystemSample, TierId};
 
+use crate::agg::{majority_mix, mean_rows};
 use crate::coordinator::CoordinatedPrediction;
 use crate::meter::CapacityMeter;
 use crate::monitor::{MetricLevel, WindowInstance};
@@ -89,7 +90,9 @@ impl OnlineMonitor {
     pub fn push_sample(&mut self, sample: SystemSample) -> Option<OnlineDecision> {
         for tier in TierId::ALL {
             let ts = sample.tier(tier);
-            let counters = self.hpc_model.sample(tier, ts, sample.interval_s, &mut self.rng);
+            let counters = self
+                .hpc_model
+                .sample(tier, ts, sample.interval_s, &mut self.rng);
             self.hpc_buffer[tier.index()].push(DerivedMetrics::from_sample(&counters));
             self.os_buffer[tier.index()].push(
                 self.os_collectors[tier.index()]
@@ -107,11 +110,18 @@ impl OnlineMonitor {
         }
 
         // Assemble the window instance from the buffered second-level data.
+        // The mix label is the *majority* mix over the window, matching
+        // `RunLog::windows` — the last sample alone would mislabel any
+        // window that straddles a mix switch.
         let label = label_window(&self.buffer, &self.meter.config().oracle);
-        let mix = self.buffer.last().expect("non-empty buffer").mix_id;
+        let mix = majority_mix(&self.buffer);
         let mut features: [[Vec<f64>; 2]; 3] = Default::default();
         for tier in TierId::ALL {
-            let hpc = mean_rows(self.hpc_buffer[tier.index()].iter().map(|m| m.to_features()));
+            let hpc = mean_rows(
+                self.hpc_buffer[tier.index()]
+                    .iter()
+                    .map(|m| m.to_features()),
+            );
             let os = mean_rows(self.os_buffer[tier.index()].iter().cloned());
             let mut combined = os.clone();
             combined.extend_from_slice(&hpc);
@@ -142,33 +152,12 @@ impl OnlineMonitor {
     }
 }
 
-fn mean_rows<I: Iterator<Item = Vec<f64>>>(iter: I) -> Vec<f64> {
-    let mut acc: Vec<f64> = Vec::new();
-    let mut n = 0usize;
-    for v in iter {
-        if acc.is_empty() {
-            acc = v;
-        } else {
-            for (a, x) in acc.iter_mut().zip(v) {
-                *a += x;
-            }
-        }
-        n += 1;
-    }
-    if n > 1 {
-        for a in &mut acc {
-            *a /= n as f64;
-        }
-    }
-    acc
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::meter::MeterConfig;
     use crate::workloads;
-    use webcap_sim::{Simulation, SimConfig};
+    use webcap_sim::{SimConfig, Simulation};
     use webcap_tpcw::Mix;
 
     fn run_samples(cfg: &SimConfig, ebs: u32, duration: f64, seed: u64) -> Vec<SystemSample> {
@@ -217,8 +206,14 @@ mod tests {
             }
         }
         let last = last.expect("decisions were emitted");
-        assert!(last.window.overloaded(), "oracle agrees the system is overloaded");
-        assert!(last.prediction.overloaded, "online prediction flags overload");
+        assert!(
+            last.window.overloaded(),
+            "oracle agrees the system is overloaded"
+        );
+        assert!(
+            last.prediction.overloaded,
+            "online prediction flags overload"
+        );
         assert_eq!(last.prediction.bottleneck, Some(TierId::App));
     }
 
@@ -237,10 +232,51 @@ mod tests {
                 decisions += 1;
             }
         }
-        let per_decision_ms =
-            t0.elapsed().as_secs_f64() * 1000.0 / f64::from(decisions.max(1));
+        let per_decision_ms = t0.elapsed().as_secs_f64() * 1000.0 / f64::from(decisions.max(1));
         assert!(decisions >= 5);
-        assert!(per_decision_ms < 50.0, "per-decision cost {per_decision_ms} ms");
+        assert!(
+            per_decision_ms < 50.0,
+            "per-decision cost {per_decision_ms} ms"
+        );
+    }
+
+    #[test]
+    fn online_mix_label_agrees_with_batch_majority_across_a_switch() {
+        let meter = CapacityMeter::train(&MeterConfig::small_for_tests(31)).unwrap();
+        let window = meter.config().window_len;
+        let cfg = meter.config().sim.clone();
+        let hpc_model = meter.config().hpc_model.clone();
+        let oracle = meter.config().oracle.clone();
+        // The mix switches 20 s into the 30 s window: the majority mix is
+        // the *pre*-switch one while the last sample carries the
+        // post-switch one — exactly the case last-sample labeling got
+        // wrong.
+        let program = webcap_tpcw::TrafficProgram::steady(Mix::ordering(), 60, 20.0).then_steady(
+            Mix::browsing(),
+            60,
+            10.0,
+        );
+        let log = crate::monitor::collect_run(&cfg, &program, &hpc_model, 5);
+        let batch = log.windows(window, window, &oracle);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(
+            batch[0].mix,
+            webcap_tpcw::MixId::Ordering,
+            "batch majority is the pre-switch mix"
+        );
+
+        let mut monitor = OnlineMonitor::new(meter, 5);
+        let mut decision = None;
+        for s in log.samples.clone() {
+            if let Some(d) = monitor.push_sample(s) {
+                decision = Some(d);
+            }
+        }
+        let d = decision.expect("the window completed");
+        assert_eq!(
+            d.window.mix, batch[0].mix,
+            "online label matches batch majority"
+        );
     }
 
     #[test]

@@ -84,7 +84,11 @@ pub fn label_window(samples: &[SystemSample], cfg: &OracleConfig) -> WindowLabel
     assert!(!samples.is_empty(), "cannot label an empty window");
     let completed: u64 = samples.iter().map(|s| s.completed).sum();
     let rt_sum: f64 = samples.iter().map(|s| s.response_time_sum_s).sum();
-    let mean_rt = if completed > 0 { rt_sum / completed as f64 } else { 0.0 };
+    let mean_rt = if completed > 0 {
+        rt_sum / completed as f64
+    } else {
+        0.0
+    };
     let mut rt_hist = webcap_sim::RtHistogram::new();
     for s in samples {
         rt_hist.merge(&s.response_times);
@@ -99,7 +103,11 @@ pub fn label_window(samples: &[SystemSample], cfg: &OracleConfig) -> WindowLabel
 
     let app_stress = tier_stress(samples, TierId::App);
     let db_stress = tier_stress(samples, TierId::Db);
-    let bottleneck = if app_stress >= db_stress { TierId::App } else { TierId::Db };
+    let bottleneck = if app_stress >= db_stress {
+        TierId::App
+    } else {
+        TierId::Db
+    };
 
     WindowLabel {
         overloaded,
@@ -116,7 +124,13 @@ mod tests {
     use webcap_sim::TierSample;
     use webcap_tpcw::MixId;
 
-    fn sample(rt_mean: f64, completed: u64, in_flight: u32, app_util: f64, db_util: f64) -> SystemSample {
+    fn sample(
+        rt_mean: f64,
+        completed: u64,
+        in_flight: u32,
+        app_util: f64,
+        db_util: f64,
+    ) -> SystemSample {
         let mut response_times = webcap_sim::RtHistogram::new();
         for _ in 0..completed {
             response_times.record(rt_mean);
@@ -135,8 +149,14 @@ mod tests {
             response_time_max_s: rt_mean * 2.0,
             in_flight,
             response_times,
-            app: TierSample { utilization: app_util, ..Default::default() },
-            db: TierSample { utilization: db_util, ..Default::default() },
+            app: TierSample {
+                utilization: app_util,
+                ..Default::default()
+            },
+            db: TierSample {
+                utilization: db_util,
+                ..Default::default()
+            },
         }
     }
 
@@ -171,9 +191,15 @@ mod tests {
     #[test]
     fn bottleneck_follows_utilization() {
         let w: Vec<_> = (0..10).map(|_| sample(2.0, 40, 100, 0.4, 0.99)).collect();
-        assert_eq!(label_window(&w, &OracleConfig::default()).bottleneck, TierId::Db);
+        assert_eq!(
+            label_window(&w, &OracleConfig::default()).bottleneck,
+            TierId::Db
+        );
         let w: Vec<_> = (0..10).map(|_| sample(2.0, 40, 100, 0.99, 0.4)).collect();
-        assert_eq!(label_window(&w, &OracleConfig::default()).bottleneck, TierId::App);
+        assert_eq!(
+            label_window(&w, &OracleConfig::default()).bottleneck,
+            TierId::App
+        );
     }
 
     #[test]
@@ -183,7 +209,10 @@ mod tests {
             s.db.disk_utilization = 1.0;
             s.db.disk_queue_avg = 30.0;
         }
-        assert_eq!(label_window(&w, &OracleConfig::default()).bottleneck, TierId::Db);
+        assert_eq!(
+            label_window(&w, &OracleConfig::default()).bottleneck,
+            TierId::Db
+        );
     }
 
     #[test]
@@ -204,7 +233,10 @@ mod tests {
             p95_overload_threshold_s: Some(0.2),
             ..OracleConfig::default()
         };
-        assert!(label_window(&w, &strict).overloaded, "tail criterion must fire");
+        assert!(
+            label_window(&w, &strict).overloaded,
+            "tail criterion must fire"
+        );
     }
 
     #[test]

@@ -25,8 +25,11 @@ pub enum YieldMetric {
 
 impl YieldMetric {
     /// All candidates.
-    pub const ALL: [YieldMetric; 3] =
-        [YieldMetric::Ipc, YieldMetric::Upc, YieldMetric::InstructionRate];
+    pub const ALL: [YieldMetric; 3] = [
+        YieldMetric::Ipc,
+        YieldMetric::Upc,
+        YieldMetric::InstructionRate,
+    ];
 
     /// Extract the metric value.
     pub fn value(&self, m: &DerivedMetrics) -> f64 {
@@ -118,7 +121,12 @@ impl PiDefinition {
 
 impl std::fmt::Display for PiDefinition {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} / {}", self.yield_metric.label(), self.cost_metric.label())
+        write!(
+            f,
+            "{} / {}",
+            self.yield_metric.label(),
+            self.cost_metric.label()
+        )
     }
 }
 
@@ -176,7 +184,10 @@ pub fn select_pi(metrics: &[DerivedMetrics], throughput: &[f64]) -> PiSelection 
     let mut candidates = Vec::new();
     for y in YieldMetric::ALL {
         for c in CostMetric::ALL {
-            let def = PiDefinition { yield_metric: y, cost_metric: c };
+            let def = PiDefinition {
+                yield_metric: y,
+                cost_metric: c,
+            };
             let corr = correlation(&def.series(metrics), throughput);
             candidates.push((def, corr));
         }
@@ -186,7 +197,11 @@ pub fn select_pi(metrics: &[DerivedMetrics], throughput: &[f64]) -> PiSelection 
         .copied()
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("correlations are finite"))
         .expect("candidate list is non-empty");
-    PiSelection { definition, corr, candidates }
+    PiSelection {
+        definition,
+        corr,
+        candidates,
+    }
 }
 
 /// Normalize a series by its geometric mean — the paper's Figure 3
@@ -194,7 +209,12 @@ pub fn select_pi(metrics: &[DerivedMetrics], throughput: &[f64]) -> PiSelection 
 /// means"). Non-positive values are excluded from the mean and normalized
 /// as-is against it.
 pub fn normalize_by_geometric_mean(series: &[f64]) -> Vec<f64> {
-    let logs: Vec<f64> = series.iter().copied().filter(|v| *v > 0.0).map(f64::ln).collect();
+    let logs: Vec<f64> = series
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0)
+        .map(f64::ln)
+        .collect();
     if logs.is_empty() {
         return series.to_vec();
     }
@@ -241,8 +261,10 @@ mod tests {
 
     #[test]
     fn pi_evaluates_yield_over_cost() {
-        let def =
-            PiDefinition { yield_metric: YieldMetric::Ipc, cost_metric: CostMetric::L2MissRate };
+        let def = PiDefinition {
+            yield_metric: YieldMetric::Ipc,
+            cost_metric: CostMetric::L2MissRate,
+        };
         let m = metrics_with(1.2, 0.06, 0.2);
         assert!((def.evaluate(&m) - 20.0).abs() < 1e-9);
         assert_eq!(def.to_string(), "IPC / L2 miss rate");
@@ -250,8 +272,10 @@ mod tests {
 
     #[test]
     fn pi_floors_zero_cost() {
-        let def =
-            PiDefinition { yield_metric: YieldMetric::Ipc, cost_metric: CostMetric::L2MissRate };
+        let def = PiDefinition {
+            yield_metric: YieldMetric::Ipc,
+            cost_metric: CostMetric::L2MissRate,
+        };
         let m = metrics_with(1.0, 0.0, 0.2);
         assert!(def.evaluate(&m).is_finite());
     }
@@ -269,7 +293,11 @@ mod tests {
             let load = i as f64 / 20.0; // 0..2, knee at 1.0
             let util = load.min(1.0);
             let congested = (load - 1.0).max(0.0);
-            let t = if load <= 1.0 { load } else { 1.0 - 0.35 * congested };
+            let t = if load <= 1.0 {
+                load
+            } else {
+                1.0 - 0.35 * congested
+            };
             thr.push(t * 100.0);
             let ipc = 1.3 / (1.0 + 0.55 * congested);
             let mut m = metrics_with(ipc, 0.05 * (1.0 + 2.0 * congested), 0.15);
@@ -285,7 +313,11 @@ mod tests {
             "instruction throughput is the yield that tracks completed work"
         );
         // The best candidate should beat a mediocre one.
-        let worst = sel.candidates.iter().map(|c| c.1).fold(f64::INFINITY, f64::min);
+        let worst = sel
+            .candidates
+            .iter()
+            .map(|c| c.1)
+            .fold(f64::INFINITY, f64::min);
         assert!(sel.corr > worst);
     }
 

@@ -9,7 +9,9 @@
 
 use serde::{Deserialize, Serialize};
 use webcap_ml::select::SelectionOptions;
-use webcap_ml::{forward_select, Algorithm, Dataset, FitError, Model, TrainedModel};
+use webcap_ml::{
+    forward_select_par, Algorithm, Dataset, FitError, Model, Parallelism, TrainedModel,
+};
 use webcap_sim::TierId;
 use webcap_tpcw::MixId;
 
@@ -31,7 +33,11 @@ pub struct SynopsisSpec {
 
 impl std::fmt::Display for SynopsisSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}/{}/{}/{}", self.workload, self.tier, self.level, self.algorithm)
+        write!(
+            f,
+            "{}/{}/{}/{}",
+            self.workload, self.tier, self.level, self.algorithm
+        )
     }
 }
 
@@ -68,6 +74,9 @@ pub struct PerformanceSynopsis {
 impl PerformanceSynopsis {
     /// Train a synopsis from workload-specific training instances.
     ///
+    /// Equivalent to [`PerformanceSynopsis::train_par`] with
+    /// [`Parallelism::Sequential`].
+    ///
     /// # Errors
     ///
     /// Returns a [`FitError`] if the training set is empty, single-class,
@@ -77,9 +86,26 @@ impl PerformanceSynopsis {
         instances: &[WindowInstance],
         selection: &SelectionOptions,
     ) -> Result<PerformanceSynopsis, FitError> {
+        PerformanceSynopsis::train_par(spec, instances, selection, Parallelism::Sequential)
+    }
+
+    /// [`PerformanceSynopsis::train`] with the attribute-selection trials
+    /// fanned out over `par` worker threads. The trained synopsis is
+    /// bit-identical at every thread count (see
+    /// [`webcap_ml::forward_select_par`]).
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`PerformanceSynopsis::train`].
+    pub fn train_par(
+        spec: SynopsisSpec,
+        instances: &[WindowInstance],
+        selection: &SelectionOptions,
+        par: Parallelism,
+    ) -> Result<PerformanceSynopsis, FitError> {
         let data = dataset_from_instances(instances, spec.tier, spec.level);
         let learner = spec.algorithm.learner();
-        let report = forward_select(learner.as_ref(), &data, selection)?;
+        let report = forward_select_par(learner.as_ref(), &data, selection, par)?;
         let projected = data.project(&report.selected);
         let model = spec.algorithm.fit_trained(&projected)?;
         Ok(PerformanceSynopsis {
@@ -147,14 +173,22 @@ mod tests {
     }
 
     fn quick_selection() -> SelectionOptions {
-        SelectionOptions { folds: 5, max_attributes: 4, ..SelectionOptions::default() }
+        SelectionOptions {
+            folds: 5,
+            max_attributes: 4,
+            ..SelectionOptions::default()
+        }
     }
 
     #[test]
     fn trains_and_predicts_on_bottleneck_tier() {
         let instances = ordering_instances();
         let n_over = instances.iter().filter(|w| w.overloaded()).count();
-        assert!(n_over >= 3, "need overloaded windows, got {n_over}/{}", instances.len());
+        assert!(
+            n_over >= 3,
+            "need overloaded windows, got {n_over}/{}",
+            instances.len()
+        );
         assert!(n_over < instances.len(), "need underloaded windows too");
 
         let spec = SynopsisSpec {

@@ -22,10 +22,14 @@ use webcap_tpcw::{Mix, TrafficProgram};
 pub fn estimate_capacity_rps(cfg: &SimConfig, mix: &Mix) -> f64 {
     let app_rate =
         f64::from(cfg.app.cores) * cfg.app.effective_speed() / cfg.profile.mean_app_demand(mix);
-    let db_cpu_rate = f64::from(cfg.db.cores) * cfg.db.effective_speed()
-        / cfg.profile.mean_db_cpu_demand(mix);
+    let db_cpu_rate =
+        f64::from(cfg.db.cores) * cfg.db.effective_speed() / cfg.profile.mean_db_cpu_demand(mix);
     let disk_demand = cfg.profile.mean_db_disk_demand(mix);
-    let disk_rate = if disk_demand > 0.0 { 1.0 / disk_demand } else { f64::INFINITY };
+    let disk_rate = if disk_demand > 0.0 {
+        1.0 / disk_demand
+    } else {
+        f64::INFINITY
+    };
     app_rate.min(db_cpu_rate).min(disk_rate)
 }
 
@@ -108,8 +112,7 @@ pub fn interleaved_test(cfg: &SimConfig, duration_scale: f64) -> TrafficProgram 
     // temporal (history) patterns within each regime dominate the
     // unavoidable contamination at regime switches.
     let period = (240.0 * duration_scale).max(60.0);
-    let mut program =
-        TrafficProgram::steady(browsing.clone(), (0.5 * b_knee) as u32, period);
+    let mut program = TrafficProgram::steady(browsing.clone(), (0.5 * b_knee) as u32, period);
     for _ in 0..2 {
         program = program
             .then_steady(browsing.clone(), (1.5 * b_knee) as u32, period)
@@ -174,7 +177,10 @@ mod tests {
             .max()
             .unwrap();
         assert!(start < knee);
-        assert!(peak > 2 * knee - knee / 4, "spike should be extreme: {peak} vs knee {knee}");
+        assert!(
+            peak > 2 * knee - knee / 4,
+            "spike should be extreme: {peak} vs knee {knee}"
+        );
     }
 
     #[test]
@@ -207,6 +213,9 @@ mod tests {
         let long = training_program(&cfg, &Mix::browsing(), 1.0);
         let short = training_program(&cfg, &Mix::browsing(), 0.4);
         assert!(short.duration_s() < long.duration_s());
-        assert!(short.duration_s() >= 180.0, "phase floors keep windows viable");
+        assert!(
+            short.duration_s() >= 180.0,
+            "phase floors keep windows viable"
+        );
     }
 }

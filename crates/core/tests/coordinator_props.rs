@@ -6,10 +6,7 @@ use webcap_core::coordinator::{CoordinatedPredictor, CoordinatorConfig, TieSchem
 use webcap_sim::TierId;
 
 /// Strategy: a training stream of (per-synopsis votes, label, bottleneck).
-fn training_stream(
-    m: usize,
-    len: usize,
-) -> impl Strategy<Value = Vec<(Vec<bool>, bool, TierId)>> {
+fn training_stream(m: usize, len: usize) -> impl Strategy<Value = Vec<(Vec<bool>, bool, TierId)>> {
     prop::collection::vec(
         (
             prop::collection::vec(any::<bool>(), m..=m),

@@ -50,8 +50,9 @@ fn spec(algorithm: Algorithm) -> SynopsisSpec {
 fn constant_features_yield_typed_errors_or_valid_models() {
     // All-identical feature vectors: no learner may panic; it either fits
     // a (useless) model or reports a numeric failure.
-    let instances: Vec<WindowInstance> =
-        (0..40).map(|i| synthetic_instance(i % 2 == 0, 1.0)).collect();
+    let instances: Vec<WindowInstance> = (0..40)
+        .map(|i| synthetic_instance(i % 2 == 0, 1.0))
+        .collect();
     for algorithm in Algorithm::PAPER_ORDER {
         let result =
             PerformanceSynopsis::train(spec(algorithm), &instances, &SelectionOptions::default());
@@ -73,10 +74,18 @@ fn nan_features_do_not_panic_any_learner() {
     // (they always are — the point is reaching them).
     let mut instances = Vec::new();
     for i in 0..40 {
-        let v = if i % 4 == 0 { f64::NAN } else { (i % 2) as f64 * 1e12 };
+        let v = if i % 4 == 0 {
+            f64::NAN
+        } else {
+            (i % 2) as f64 * 1e12
+        };
         instances.push(synthetic_instance(i % 2 == 0, v));
     }
-    for algorithm in [Algorithm::NaiveBayes, Algorithm::Tan, Algorithm::LinearRegression] {
+    for algorithm in [
+        Algorithm::NaiveBayes,
+        Algorithm::Tan,
+        Algorithm::LinearRegression,
+    ] {
         if let Ok(syn) =
             PerformanceSynopsis::train(spec(algorithm), &instances, &SelectionOptions::default())
         {
@@ -94,10 +103,13 @@ fn empty_instances_is_a_typed_error() {
 
 #[test]
 fn single_class_is_a_typed_error_for_the_meter_pipeline() {
-    let instances: Vec<WindowInstance> =
-        (0..20).map(|_| synthetic_instance(false, 1.0)).collect();
-    let err = PerformanceSynopsis::train(spec(Algorithm::Tan), &instances, &SelectionOptions::default())
-        .unwrap_err();
+    let instances: Vec<WindowInstance> = (0..20).map(|_| synthetic_instance(false, 1.0)).collect();
+    let err = PerformanceSynopsis::train(
+        spec(Algorithm::Tan),
+        &instances,
+        &SelectionOptions::default(),
+    )
+    .unwrap_err();
     assert_eq!(err, FitError::SingleClass(false));
 }
 
@@ -151,8 +163,9 @@ fn oracle_handles_pathological_windows() {
 
 #[test]
 fn prediction_on_mismatched_feature_width_panics_loudly() {
-    let instances: Vec<WindowInstance> =
-        (0..40).map(|i| synthetic_instance(i % 2 == 0, (i % 5) as f64)).collect();
+    let instances: Vec<WindowInstance> = (0..40)
+        .map(|i| synthetic_instance(i % 2 == 0, (i % 5) as f64))
+        .collect();
     let syn = PerformanceSynopsis::train(
         spec(Algorithm::NaiveBayes),
         &instances,

@@ -70,7 +70,10 @@ impl HpcEvent {
 
     /// Dense index aligned with [`HpcEvent::ALL`].
     pub fn index(&self) -> usize {
-        HpcEvent::ALL.iter().position(|e| e == self).expect("event is in ALL")
+        HpcEvent::ALL
+            .iter()
+            .position(|e| e == self)
+            .expect("event is in ALL")
     }
 
     /// PerfCtr-style event mnemonic.

@@ -240,7 +240,11 @@ impl HpcModel {
     /// The paper-like default: P4 app server, Pentium D DB server, 2 %
     /// counter noise.
     pub fn testbed() -> HpcModel {
-        HpcModel { app: TierArch::pentium4_app(), db: TierArch::pentium_d_db(), noise_sigma: 0.02 }
+        HpcModel {
+            app: TierArch::pentium4_app(),
+            db: TierArch::pentium_d_db(),
+            noise_sigma: 0.02,
+        }
     }
 
     /// Override the noise level.
@@ -249,7 +253,10 @@ impl HpcModel {
     ///
     /// Panics if `sigma` is negative or not finite.
     pub fn with_noise(mut self, sigma: f64) -> HpcModel {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "noise must be nonnegative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "noise must be nonnegative"
+        );
         self.noise_sigma = sigma;
         self
     }
@@ -315,8 +322,7 @@ impl HpcModel {
         let ipc_ref = arch.base_ipc * (1.0 - mix_ipc_penalty);
         let work_floor = 0.003 * cores * arch.sim_speed * interval_s;
         let work = ts.delivered_work_s.max(work_floor);
-        let instr =
-            work / arch.sim_speed * ipc_ref * arch.clock_hz * self.noise(rng);
+        let instr = work / arch.sim_speed * ipc_ref * arch.clock_hz * self.noise(rng);
 
         let l2_ref = instr * arch.l2_ref_per_instr * (1.0 + 0.25 * browse) * self.noise(rng);
         let mix_miss_boost = match tier {
@@ -341,8 +347,7 @@ impl HpcModel {
         let itlb = instr * 0.0004 * (1.0 + 0.10 * pollution) * self.noise(rng);
         let dtlb = instr * 0.0015 * (1.0 + 0.20 * pollution) * self.noise(rng);
         let branches = instr * 0.18 * self.noise(rng);
-        let mispredicts =
-            branches * (0.045 * (1.0 + 0.12 * pollution)).min(0.25) * self.noise(rng);
+        let mispredicts = branches * (0.045 * (1.0 + 0.12 * pollution)).min(0.25) * self.noise(rng);
         let bus = (l2_miss * 1.15 + instr * 0.0005) * self.noise(rng);
         let uops = instr * 1.45 * self.noise(rng);
         let loads = instr * 0.32 * self.noise(rng);
@@ -408,8 +413,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let lo = m.sample(TierId::App, &tier_sample(0.2, 3.0, 1.0, 0.5), 1.0, &mut rng);
         let hi = m.sample(TierId::App, &tier_sample(0.9, 3.0, 1.0, 0.5), 1.0, &mut rng);
-        let ratio = hi.count(HpcEvent::CyclesUnhalted) as f64
-            / lo.count(HpcEvent::CyclesUnhalted) as f64;
+        let ratio =
+            hi.count(HpcEvent::CyclesUnhalted) as f64 / lo.count(HpcEvent::CyclesUnhalted) as f64;
         assert!((ratio - 4.5).abs() < 0.05, "ratio {ratio}");
     }
 
@@ -418,10 +423,20 @@ mod tests {
         let m = HpcModel::testbed().with_noise(0.0);
         let mut rng = StdRng::seed_from_u64(2);
         let light = m.sample(TierId::Db, &tier_sample(0.95, 6.0, 3.0, 0.8), 1.0, &mut rng);
-        let heavy = m.sample(TierId::Db, &tier_sample(1.0, 32.0, 22.0, 0.8), 1.0, &mut rng);
+        let heavy = m.sample(
+            TierId::Db,
+            &tier_sample(1.0, 32.0, 22.0, 0.8),
+            1.0,
+            &mut rng,
+        );
         let dl = DerivedMetrics::from_sample(&light);
         let dh = DerivedMetrics::from_sample(&heavy);
-        assert!(dh.l2_miss_rate > 1.15 * dl.l2_miss_rate, "{} vs {}", dh.l2_miss_rate, dl.l2_miss_rate);
+        assert!(
+            dh.l2_miss_rate > 1.15 * dl.l2_miss_rate,
+            "{} vs {}",
+            dh.l2_miss_rate,
+            dl.l2_miss_rate
+        );
         assert!(dh.ipc < dl.ipc);
         assert!(dh.stall_fraction > dl.stall_fraction);
     }
@@ -444,7 +459,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         for util in [0.0, 0.3, 1.0] {
             for pool in [0.0, 16.0, 128.0] {
-                let s = m.sample(TierId::App, &tier_sample(util, pool, pool / 2.0, 0.5), 1.0, &mut rng);
+                let s = m.sample(
+                    TierId::App,
+                    &tier_sample(util, pool, pool / 2.0, 0.5),
+                    1.0,
+                    &mut rng,
+                );
                 let d = DerivedMetrics::from_sample(&s);
                 for v in d.to_features() {
                     assert!(v.is_finite() && v >= 0.0, "bad feature {v}");

@@ -49,7 +49,12 @@ impl CounterReader {
     /// Open a reader for one tier (analogous to opening the PerfCtr
     /// device on that machine).
     pub fn open(model: HpcModel, tier: TierId) -> CounterReader {
-        CounterReader { model, tier, totals: [0; HpcEvent::COUNT], last_interval: None }
+        CounterReader {
+            model,
+            tier,
+            totals: [0; HpcEvent::COUNT],
+            last_interval: None,
+        }
     }
 
     /// Advance the counters by one simulator interval.
@@ -61,8 +66,7 @@ impl CounterReader {
     ) {
         let sample = self.model.sample(self.tier, ts, interval_s, rng);
         for e in HpcEvent::ALL {
-            self.totals[e.index()] =
-                (self.totals[e.index()] + sample.count(e)) % COUNTER_MODULUS;
+            self.totals[e.index()] = (self.totals[e.index()] + sample.count(e)) % COUNTER_MODULUS;
         }
         self.last_interval = Some(sample);
     }
@@ -122,7 +126,10 @@ mod tests {
         for _ in 0..5 {
             reader.advance(&busy_sample(), 1.0, &mut rng);
             for e in HpcEvent::ALL {
-                assert!(reader.total(e) < COUNTER_MODULUS, "{e} exceeded register width");
+                assert!(
+                    reader.total(e) < COUNTER_MODULUS,
+                    "{e} exceeded register width"
+                );
             }
         }
         assert!(reader.total(HpcEvent::InstructionsRetired) > 0);
@@ -173,6 +180,9 @@ mod tests {
             assert!(delta > 1e9 as u64 && delta < 8e9 as u64, "delta {delta}");
             prev = cur;
         }
-        assert!(wrapped, "the cycle counter should have wrapped in ~400 busy seconds");
+        assert!(
+            wrapped,
+            "the cycle counter should have wrapped in ~400 busy seconds"
+        );
     }
 }

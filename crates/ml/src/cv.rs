@@ -3,6 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use webcap_parallel::{par_map, Parallelism};
 
 use crate::data::Dataset;
 use crate::metrics::ConfusionMatrix;
@@ -27,35 +28,16 @@ impl CvOutcome {
     }
 }
 
-/// Run stratified k-fold cross validation of `learner` on `data`.
+/// Stratified fold assignment: instances of each class are shuffled
+/// (seeded Fisher–Yates) and dealt round-robin into `k` folds so every
+/// fold preserves the class balance. Returns the fold index of every
+/// instance, position-aligned with `data`.
 ///
-/// Instances of each class are shuffled (seeded) and dealt round-robin into
-/// `k` folds so every fold preserves the class balance. Folds whose
-/// training portion cannot be fitted (e.g. single-class) are skipped and
-/// counted in [`CvOutcome::folds_skipped`].
-///
-/// # Errors
-///
-/// Returns [`FitError::EmptyDataset`] for an empty dataset. Per-fold fit
-/// errors are not fatal — they only skip folds — but if *every* fold fails,
-/// the last error is returned.
-///
-/// # Panics
-///
-/// Panics if `k < 2`.
-pub fn cross_validate(
-    learner: &dyn Learner,
-    data: &Dataset,
-    k: usize,
-    seed: u64,
-) -> Result<CvOutcome, FitError> {
-    assert!(k >= 2, "need at least 2 folds");
-    if data.is_empty() {
-        return Err(FitError::EmptyDataset);
-    }
-    let k = k.min(data.len());
-
-    // Stratified assignment: shuffle indices of each class, deal them out.
+/// The assignment is a pure function of `(data, k, seed)` — it is
+/// computed once, up front, on the calling thread, which is what lets the
+/// fold loop itself run on any number of workers without changing which
+/// instance lands in which fold.
+pub fn fold_assignment(data: &Dataset, k: usize, seed: u64) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut fold_of = vec![0usize; data.len()];
     for class in [false, true] {
@@ -74,38 +56,118 @@ pub fn cross_validate(
             fold_of[i] = pos % k;
         }
     }
+    fold_of
+}
 
-    let mut confusion = ConfusionMatrix::new();
-    let mut folds_run = 0;
-    let mut folds_skipped = 0;
-    let mut last_err = None;
-    for fold in 0..k {
-        let train_rows: Vec<usize> =
-            (0..data.len()).filter(|&i| fold_of[i] != fold).collect();
+/// What one fold produced; merged in fold order so the aggregate outcome
+/// is independent of execution order.
+enum FoldOutcome {
+    Ran(ConfusionMatrix),
+    Skipped(Option<FitError>),
+}
+
+/// Run stratified k-fold cross validation of `learner` on `data`.
+///
+/// Folds whose training portion cannot be fitted (e.g. single-class) are
+/// skipped and counted in [`CvOutcome::folds_skipped`]. Equivalent to
+/// [`cross_validate_par`] with [`Parallelism::Sequential`].
+///
+/// # Errors
+///
+/// Returns [`FitError::EmptyDataset`] for an empty dataset. Per-fold fit
+/// errors are not fatal — they only skip folds — but if *every* fold fails,
+/// the last error is returned.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn cross_validate(
+    learner: &dyn Learner,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Result<CvOutcome, FitError> {
+    cross_validate_par(learner, data, k, seed, Parallelism::Sequential)
+}
+
+/// [`cross_validate`] with the fold loop fanned out over `par` worker
+/// threads.
+///
+/// The stratified fold assignment is pre-computed on the calling thread
+/// ([`fold_assignment`]) and each fold's fit/validate is a pure function
+/// of `(data, assignment, fold)`, so the outcome — fold assignments,
+/// aggregate confusion matrix, skip counts, and error choice — is
+/// identical at every thread count.
+///
+/// # Errors
+///
+/// Identical to [`cross_validate`]: the *last* failing fold's error (in
+/// fold order) when every fold fails.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn cross_validate_par(
+    learner: &dyn Learner,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    par: Parallelism,
+) -> Result<CvOutcome, FitError> {
+    assert!(k >= 2, "need at least 2 folds");
+    if data.is_empty() {
+        return Err(FitError::EmptyDataset);
+    }
+    let k = k.min(data.len());
+    let fold_of = fold_assignment(data, k, seed);
+
+    let outcomes: Vec<FoldOutcome> = par_map(par, (0..k).collect(), |fold| {
+        let train_rows: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] != fold).collect();
         let test_rows: Vec<usize> = (0..data.len()).filter(|&i| fold_of[i] == fold).collect();
         if train_rows.is_empty() || test_rows.is_empty() {
-            folds_skipped += 1;
-            continue;
+            return FoldOutcome::Skipped(None);
         }
         let train = data.select_rows(&train_rows);
         match learner.fit(&train) {
             Ok(model) => {
+                let mut confusion = ConfusionMatrix::new();
                 for &r in &test_rows {
                     let inst = &data.instances()[r];
                     confusion.record(inst.label, model.predict(&inst.features));
                 }
+                FoldOutcome::Ran(confusion)
+            }
+            Err(e) => FoldOutcome::Skipped(Some(e)),
+        }
+    });
+
+    // Merge in fold order — same aggregation the sequential loop performs.
+    let mut confusion = ConfusionMatrix::new();
+    let mut folds_run = 0;
+    let mut folds_skipped = 0;
+    let mut last_err = None;
+    for outcome in outcomes {
+        match outcome {
+            FoldOutcome::Ran(fold_confusion) => {
+                confusion.merge(&fold_confusion);
                 folds_run += 1;
             }
-            Err(e) => {
+            FoldOutcome::Skipped(err) => {
                 folds_skipped += 1;
-                last_err = Some(e);
+                if err.is_some() {
+                    last_err = err;
+                }
             }
         }
     }
     if folds_run == 0 {
         return Err(last_err.unwrap_or(FitError::EmptyDataset));
     }
-    Ok(CvOutcome { confusion, folds_run, folds_skipped })
+    Ok(CvOutcome {
+        confusion,
+        folds_run,
+        folds_skipped,
+    })
 }
 
 #[cfg(test)]
@@ -124,11 +186,14 @@ mod tests {
     #[test]
     fn ten_fold_on_separable_data_is_accurate() {
         let data = separable(200);
-        let out =
-            cross_validate(Algorithm::NaiveBayes.learner().as_ref(), &data, 10, 1).unwrap();
+        let out = cross_validate(Algorithm::NaiveBayes.learner().as_ref(), &data, 10, 1).unwrap();
         assert_eq!(out.folds_run, 10);
         assert_eq!(out.folds_skipped, 0);
-        assert!(out.balanced_accuracy() > 0.9, "ba {}", out.balanced_accuracy());
+        assert!(
+            out.balanced_accuracy() > 0.9,
+            "ba {}",
+            out.balanced_accuracy()
+        );
         assert_eq!(out.confusion.total(), 200);
     }
 
@@ -139,16 +204,14 @@ mod tests {
         for i in 0..100 {
             data.push(vec![i as f64], i >= 90);
         }
-        let out =
-            cross_validate(Algorithm::NaiveBayes.learner().as_ref(), &data, 5, 2).unwrap();
+        let out = cross_validate(Algorithm::NaiveBayes.learner().as_ref(), &data, 5, 2).unwrap();
         assert_eq!(out.folds_run, 5);
     }
 
     #[test]
     fn k_clamps_to_dataset_size() {
         let data = separable(4);
-        let out =
-            cross_validate(Algorithm::NaiveBayes.learner().as_ref(), &data, 10, 3).unwrap();
+        let out = cross_validate(Algorithm::NaiveBayes.learner().as_ref(), &data, 10, 3).unwrap();
         assert!(out.folds_run + out.folds_skipped <= 4);
     }
 
@@ -172,5 +235,39 @@ mod tests {
     fn one_fold_rejected() {
         let data = separable(10);
         let _ = cross_validate(Algorithm::NaiveBayes.learner().as_ref(), &data, 1, 0);
+    }
+
+    #[test]
+    fn parallel_folds_match_sequential_exactly() {
+        let data = separable(120);
+        let learner = Algorithm::Tan.learner();
+        let seq = cross_validate(learner.as_ref(), &data, 10, 77).unwrap();
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(8),
+            Parallelism::Auto,
+        ] {
+            let out = cross_validate_par(learner.as_ref(), &data, 10, 77, par).unwrap();
+            assert_eq!(out.confusion, seq.confusion, "{par}");
+            assert_eq!(out.folds_run, seq.folds_run, "{par}");
+            assert_eq!(out.folds_skipped, seq.folds_skipped, "{par}");
+        }
+    }
+
+    #[test]
+    fn fold_assignment_is_stratified_and_deterministic() {
+        let data = separable(100);
+        let a = fold_assignment(&data, 10, 5);
+        let b = fold_assignment(&data, 10, 5);
+        assert_eq!(a, b, "same seed, same assignment");
+        for fold in 0..10 {
+            let members: Vec<usize> = (0..data.len()).filter(|&i| a[i] == fold).collect();
+            let positives = members
+                .iter()
+                .filter(|&&i| data.instances()[i].label)
+                .count();
+            assert_eq!(members.len(), 10);
+            assert_eq!(positives, 5, "fold {fold} keeps the class balance");
+        }
     }
 }

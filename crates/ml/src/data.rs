@@ -26,7 +26,10 @@ pub struct Dataset {
 impl Dataset {
     /// Create an empty dataset with the given feature schema.
     pub fn new(feature_names: Vec<String>) -> Self {
-        Dataset { feature_names, instances: Vec::new() }
+        Dataset {
+            feature_names,
+            instances: Vec::new(),
+        }
     }
 
     /// Append an instance.
@@ -127,7 +130,10 @@ impl Dataset {
             .collect();
         let mut out = Dataset::new(names);
         for inst in &self.instances {
-            out.push(columns.iter().map(|&c| inst.features[c]).collect(), inst.label);
+            out.push(
+                columns.iter().map(|&c| inst.features[c]).collect(),
+                inst.label,
+            );
         }
         out
     }
@@ -206,7 +212,9 @@ pub struct Scaler {
 impl Scaler {
     /// Fit a scaler to a dataset's columns.
     pub fn fit(data: &Dataset) -> Scaler {
-        Scaler { stats: data.column_stats() }
+        Scaler {
+            stats: data.column_stats(),
+        }
     }
 
     /// Standardize one feature vector.
@@ -215,7 +223,11 @@ impl Scaler {
     ///
     /// Panics if the width differs from the fitted width.
     pub fn transform(&self, features: &[f64]) -> Vec<f64> {
-        assert_eq!(features.len(), self.stats.len(), "width mismatch in transform");
+        assert_eq!(
+            features.len(),
+            self.stats.len(),
+            "width mismatch in transform"
+        );
         features
             .iter()
             .zip(&self.stats)

@@ -149,7 +149,12 @@ mod tests {
 
     #[test]
     fn fit_columns_width() {
-        let rows = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0], vec![4.0, 40.0]];
+        let rows = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ];
         let ds = fit_columns(&rows, 2);
         assert_eq!(ds.len(), 2);
         assert_eq!(ds[0].bin(1.0), 0);

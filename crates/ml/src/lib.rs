@@ -48,19 +48,20 @@ pub mod tan;
 
 use std::fmt;
 
-pub use cv::{cross_validate, CvOutcome};
-pub use linreg::LinearModel;
-pub use naive_bayes::NaiveBayesModel;
-pub use svm::SvmModel;
-pub use tan::TanModel;
+pub use cv::{cross_validate, cross_validate_par, fold_assignment, CvOutcome};
 pub use data::{Dataset, Instance};
 pub use discretize::EqualFrequencyDiscretizer;
+pub use linreg::LinearModel;
 pub use linreg::RidgeRegression;
 pub use metrics::{balanced_accuracy, ConfusionMatrix};
 pub use naive_bayes::GaussianNaiveBayes;
-pub use select::{forward_select, SelectionReport};
+pub use naive_bayes::NaiveBayesModel;
+pub use select::{forward_select, forward_select_par, SelectionReport};
+pub use svm::SvmModel;
 pub use svm::{Kernel, SmoSvm};
+pub use tan::TanModel;
 pub use tan::TreeAugmentedNaiveBayes;
+pub use webcap_parallel::Parallelism;
 
 /// Error returned when a learner cannot be fitted to a dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,7 +91,10 @@ impl fmt::Display for FitError {
             }
             FitError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
             FitError::DimensionMismatch { expected, found } => {
-                write!(f, "dimension mismatch: expected {expected} features, found {found}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} features, found {found}"
+                )
             }
         }
     }
@@ -125,7 +129,12 @@ pub trait Model: Send + Sync + fmt::Debug {
 }
 
 /// A learning algorithm: fits a [`Model`] from a [`Dataset`].
-pub trait Learner {
+///
+/// Learners are stateless hyper-parameter bundles; the `Send + Sync`
+/// bound lets one learner be shared by the parallel cross-validation and
+/// attribute-selection paths ([`cv::cross_validate_par`],
+/// [`select::forward_select_par`]).
+pub trait Learner: Send + Sync {
     /// Fit a model to the dataset.
     ///
     /// # Errors
@@ -145,9 +154,7 @@ pub trait Learner {
 /// linear regression, Gaussian class-conditional densities for naive Bayes,
 /// equal-frequency discretization for TAN, and `C = 1` with a linear kernel
 /// for the SVM.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Algorithm {
     /// Least-squares linear regression on the {0,1} class indicator with a
     /// small ridge term; classify by thresholding at 1/2.
@@ -201,9 +208,7 @@ impl Algorithm {
             Algorithm::LinearRegression => {
                 TrainedModel::Linear(RidgeRegression::default().fit_model(data)?)
             }
-            Algorithm::NaiveBayes => {
-                TrainedModel::NaiveBayes(GaussianNaiveBayes.fit_model(data)?)
-            }
+            Algorithm::NaiveBayes => TrainedModel::NaiveBayes(GaussianNaiveBayes.fit_model(data)?),
             Algorithm::Tan => {
                 TrainedModel::Tan(TreeAugmentedNaiveBayes::default().fit_model(data)?)
             }
@@ -346,7 +351,10 @@ mod tests {
 
     #[test]
     fn fit_error_display_is_informative() {
-        let e = FitError::DimensionMismatch { expected: 3, found: 2 };
+        let e = FitError::DimensionMismatch {
+            expected: 3,
+            found: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
         assert!(FitError::EmptyDataset.to_string().contains("empty"));
         assert!(FitError::SingleClass(true).to_string().contains("true"));

@@ -20,7 +20,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -101,10 +105,16 @@ impl Matrix {
     /// square, or if `b` has the wrong length.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
         if self.rows != self.cols {
-            return Err(SingularMatrix::NotSquare { rows: self.rows, cols: self.cols });
+            return Err(SingularMatrix::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         if b.len() != self.rows {
-            return Err(SingularMatrix::BadRhs { expected: self.rows, found: b.len() });
+            return Err(SingularMatrix::BadRhs {
+                expected: self.rows,
+                found: b.len(),
+            });
         }
         let n = self.rows;
         let mut a = self.data.clone();
@@ -162,14 +172,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -271,13 +287,19 @@ mod tests {
     #[test]
     fn singular_detected() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(SingularMatrix::Singular { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(SingularMatrix::Singular { .. })
+        ));
     }
 
     #[test]
     fn not_square_detected() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
-        assert!(matches!(a.solve(&[1.0]), Err(SingularMatrix::NotSquare { .. })));
+        assert!(matches!(
+            a.solve(&[1.0]),
+            Err(SingularMatrix::NotSquare { .. })
+        ));
     }
 
     #[test]

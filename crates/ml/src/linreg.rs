@@ -25,7 +25,10 @@ impl RidgeRegression {
     ///
     /// Panics if `ridge` is negative or non-finite.
     pub fn new(ridge: f64) -> RidgeRegression {
-        assert!(ridge.is_finite() && ridge >= 0.0, "ridge must be a nonnegative finite value");
+        assert!(
+            ridge.is_finite() && ridge >= 0.0,
+            "ridge must be a nonnegative finite value"
+        );
         RidgeRegression { ridge }
     }
 
@@ -71,7 +74,10 @@ impl RidgeRegression {
             })
             .collect();
         let x = Matrix::from_rows(&rows);
-        let y: Vec<f64> = scaled.iter().map(|i| if i.label { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = scaled
+            .iter()
+            .map(|i| if i.label { 1.0 } else { 0.0 })
+            .collect();
 
         // (XᵀX + λI) w = Xᵀy ; do not penalize the intercept.
         let mut gram = x.gram();

@@ -38,7 +38,11 @@ impl ConfusionMatrix {
     ///
     /// Panics if the slices have different lengths.
     pub fn from_labels(actual: &[bool], predicted: &[bool]) -> ConfusionMatrix {
-        assert_eq!(actual.len(), predicted.len(), "label slices differ in length");
+        assert_eq!(
+            actual.len(),
+            predicted.len(),
+            "label slices differ in length"
+        );
         let mut m = ConfusionMatrix::new();
         for (&a, &p) in actual.iter().zip(predicted) {
             m.record(a, p);

@@ -39,7 +39,10 @@ impl GaussianNaiveBayes {
         let n = data.len() as f64;
         let priors = [stats[0].count as f64 / n, stats[1].count as f64 / n];
         let params: [Vec<(f64, f64)>; 2] = [stats[0].finish(), stats[1].finish()];
-        Ok(NaiveBayesModel { log_priors: [priors[0].ln(), priors[1].ln()], params })
+        Ok(NaiveBayesModel {
+            log_priors: [priors[0].ln(), priors[1].ln()],
+            params,
+        })
     }
 }
 
@@ -62,7 +65,11 @@ struct ClassStats {
 
 impl ClassStats {
     fn new(d: usize) -> ClassStats {
-        ClassStats { count: 0, sum: vec![0.0; d], sum_sq: vec![0.0; d] }
+        ClassStats {
+            count: 0,
+            sum: vec![0.0; d],
+            sum_sq: vec![0.0; d],
+        }
     }
 
     fn accumulate(&mut self, features: &[f64]) {
@@ -136,8 +143,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut data = Dataset::new(vec!["x".into(), "y".into()]);
         for _ in 0..200 {
-            data.push(vec![gaussian(&mut rng, 0.0, 1.0), gaussian(&mut rng, 0.0, 1.0)], false);
-            data.push(vec![gaussian(&mut rng, 4.0, 1.0), gaussian(&mut rng, 4.0, 1.0)], true);
+            data.push(
+                vec![gaussian(&mut rng, 0.0, 1.0), gaussian(&mut rng, 0.0, 1.0)],
+                false,
+            );
+            data.push(
+                vec![gaussian(&mut rng, 4.0, 1.0), gaussian(&mut rng, 4.0, 1.0)],
+                true,
+            );
         }
         data
     }

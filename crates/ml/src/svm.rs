@@ -54,7 +54,13 @@ impl SmoSvm {
     /// Panics if `c <= 0` or `tolerance <= 0`.
     pub fn new(c: f64, kernel: Kernel) -> SmoSvm {
         assert!(c > 0.0 && c.is_finite(), "C must be positive");
-        SmoSvm { c, kernel, tolerance: 1e-3, max_passes: 5, seed: 0x5eed }
+        SmoSvm {
+            c,
+            kernel,
+            tolerance: 1e-3,
+            max_passes: 5,
+            seed: 0x5eed,
+        }
     }
 
     /// Override the KKT tolerance.
@@ -108,7 +114,10 @@ impl SmoSvm {
         }
         let scaler = Scaler::fit(data);
         let x: Vec<Vec<f64>> = data.iter().map(|i| scaler.transform(&i.features)).collect();
-        let y: Vec<f64> = data.iter().map(|i| if i.label { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = data
+            .iter()
+            .map(|i| if i.label { 1.0 } else { -1.0 })
+            .collect();
         let n = x.len();
         let d = data.n_features();
         let gamma = match self.kernel {
@@ -186,10 +195,12 @@ impl SmoSvm {
                     let a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j);
                     alpha[i] = a_i;
                     alpha[j] = a_j;
-                    let b1 = b - e_i
+                    let b1 = b
+                        - e_i
                         - y[i] * (a_i - a_i_old) * kij(i, i)
                         - y[j] * (a_j - a_j_old) * kij(i, j);
-                    let b2 = b - e_j
+                    let b2 = b
+                        - e_j
                         - y[i] * (a_i - a_i_old) * kij(i, j)
                         - y[j] * (a_j - a_j_old) * kij(j, j);
                     b = if a_i > 0.0 && a_i < self.c {
@@ -213,13 +224,23 @@ impl SmoSvm {
         let mut support = Vec::new();
         for i in 0..n {
             if alpha[i] > 1e-8 {
-                support.push(SupportVector { x: x[i].clone(), coef: alpha[i] * y[i] });
+                support.push(SupportVector {
+                    x: x[i].clone(),
+                    coef: alpha[i] * y[i],
+                });
             }
         }
         if support.is_empty() {
             return Err(FitError::Numeric("SMO produced no support vectors".into()));
         }
-        Ok(SvmModel { scaler, kernel: self.kernel, gamma, bias: b, support, dim: d })
+        Ok(SvmModel {
+            scaler,
+            kernel: self.kernel,
+            gamma,
+            bias: b,
+            support,
+            dim: d,
+        })
     }
 }
 
@@ -300,10 +321,16 @@ mod tests {
         for _ in 0..300 {
             let angle = rng.random::<f64>() * std::f64::consts::TAU;
             let inner: bool = rng.random();
-            let r = if inner { rng.random::<f64>() * 1.0 } else { 2.0 + rng.random::<f64>() };
+            let r = if inner {
+                rng.random::<f64>() * 1.0
+            } else {
+                2.0 + rng.random::<f64>()
+            };
             data.push(vec![r * angle.cos(), r * angle.sin()], !inner);
         }
-        let model = SmoSvm::new(1.0, Kernel::Rbf { gamma: Some(1.0) }).fit(&data).unwrap();
+        let model = SmoSvm::new(1.0, Kernel::Rbf { gamma: Some(1.0) })
+            .fit(&data)
+            .unwrap();
         assert!(model.predict(&[2.5, 0.0]));
         assert!(model.predict(&[0.0, -2.5]));
         assert!(!model.predict(&[0.1, 0.1]));
@@ -312,8 +339,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = linear_dataset(7, 80);
-        let m1 = SmoSvm::new(1.0, Kernel::Linear).with_seed(9).fit(&data).unwrap();
-        let m2 = SmoSvm::new(1.0, Kernel::Linear).with_seed(9).fit(&data).unwrap();
+        let m1 = SmoSvm::new(1.0, Kernel::Linear)
+            .with_seed(9)
+            .fit(&data)
+            .unwrap();
+        let m2 = SmoSvm::new(1.0, Kernel::Linear)
+            .with_seed(9)
+            .fit(&data)
+            .unwrap();
         for probe in [[0.0, 0.0], [5.0, 5.1], [10.0, 10.0]] {
             assert_eq!(m1.decision(&probe), m2.decision(&probe));
         }

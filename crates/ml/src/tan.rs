@@ -63,10 +63,16 @@ impl TreeAugmentedNaiveBayes {
         let labels: Vec<bool> = data.iter().map(|i| i.label).collect();
 
         // 1. Discretize each column.
-        let discretizers: Vec<EqualFrequencyDiscretizer> =
-            (0..d).map(|c| EqualFrequencyDiscretizer::fit(&data.column(c), self.n_bins)).collect();
+        let discretizers: Vec<EqualFrequencyDiscretizer> = (0..d)
+            .map(|c| EqualFrequencyDiscretizer::fit(&data.column(c), self.n_bins))
+            .collect();
         let bins: Vec<Vec<usize>> = (0..d)
-            .map(|c| data.column(c).iter().map(|&v| discretizers[c].bin(v)).collect())
+            .map(|c| {
+                data.column(c)
+                    .iter()
+                    .map(|&v| discretizers[c].bin(v))
+                    .collect()
+            })
             .collect();
 
         // 2. Chow–Liu maximum spanning tree over CMI weights (Prim).
@@ -100,10 +106,17 @@ impl TreeAugmentedNaiveBayes {
                     }
                 }
             }
-            tables.push(Cpt { parent: parents[i], log_prob: counts });
+            tables.push(Cpt {
+                parent: parents[i],
+                log_prob: counts,
+            });
         }
 
-        Ok(TanModel { discretizers, log_prior, tables })
+        Ok(TanModel {
+            discretizers,
+            log_prior,
+            tables,
+        })
     }
 }
 
@@ -190,8 +203,11 @@ impl TanModel {
 impl Model for TanModel {
     fn decision(&self, features: &[f64]) -> f64 {
         assert_eq!(features.len(), self.dimension(), "feature width mismatch");
-        let bins: Vec<usize> =
-            features.iter().zip(&self.discretizers).map(|(&v, d)| d.bin(v)).collect();
+        let bins: Vec<usize> = features
+            .iter()
+            .zip(&self.discretizers)
+            .map(|(&v, d)| d.bin(v))
+            .collect();
         self.class_log_posterior(1, &bins) - self.class_log_posterior(0, &bins)
     }
 
@@ -232,8 +248,12 @@ mod tests {
         }
         let model = TreeAugmentedNaiveBayes::new(2).fit(&data).unwrap();
         let mut correct = 0;
-        let cases =
-            [(0.2, 0.2, false), (0.8, 0.8, false), (0.2, 0.8, true), (0.8, 0.2, true)];
+        let cases = [
+            (0.2, 0.2, false),
+            (0.8, 0.8, false),
+            (0.2, 0.8, true),
+            (0.8, 0.2, true),
+        ];
         for (a, b, want) in cases {
             if model.predict(&[a, b]) == want {
                 correct += 1;

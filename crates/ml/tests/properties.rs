@@ -2,10 +2,11 @@
 //! invariants.
 
 use proptest::prelude::*;
-use webcap_ml::cv::cross_validate;
+use webcap_ml::cv::{cross_validate, cross_validate_par, fold_assignment};
 use webcap_ml::data::{Dataset, Scaler};
 use webcap_ml::linalg::Matrix;
-use webcap_ml::{Algorithm, Learner, Model};
+use webcap_ml::select::{forward_select, forward_select_par, SelectionOptions};
+use webcap_ml::{Algorithm, Learner, Model, Parallelism};
 
 fn dataset_from(rows: &[(Vec<f64>, bool)]) -> Dataset {
     let width = rows[0].0.len();
@@ -20,7 +21,10 @@ fn dataset_from(rows: &[(Vec<f64>, bool)]) -> Dataset {
 /// Strategy: a dataset with both classes present and fixed width.
 fn two_class_rows(width: usize) -> impl Strategy<Value = Vec<(Vec<f64>, bool)>> {
     prop::collection::vec(
-        (prop::collection::vec(-100.0f64..100.0, width..=width), any::<bool>()),
+        (
+            prop::collection::vec(-100.0f64..100.0, width..=width),
+            any::<bool>(),
+        ),
         8..60,
     )
     .prop_filter("both classes", |rows| {
@@ -103,6 +107,71 @@ proptest! {
             if out.folds_skipped == 0 {
                 prop_assert_eq!(validated, data.len());
             }
+        }
+    }
+
+    /// Parallel cross validation is bit-identical to sequential: same
+    /// fold assignments, same aggregate confusion matrix, same skip
+    /// counts — for any dataset, fold count, seed, and thread count.
+    #[test]
+    fn parallel_cv_equals_sequential(
+        rows in two_class_rows(2),
+        k in 2usize..8,
+        seed in any::<u64>(),
+        threads in 2usize..9,
+    ) {
+        let data = dataset_from(&rows);
+        let assignment = fold_assignment(&data, k.min(data.len()), seed);
+        prop_assert_eq!(&assignment, &fold_assignment(&data, k.min(data.len()), seed));
+        let learner = Algorithm::NaiveBayes.learner();
+        let seq = cross_validate(learner.as_ref(), &data, k, seed);
+        let par = cross_validate_par(
+            learner.as_ref(), &data, k, seed, Parallelism::Threads(threads),
+        );
+        match (seq, par) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.confusion, b.confusion);
+                prop_assert_eq!(a.folds_run, b.folds_run);
+                prop_assert_eq!(a.folds_skipped, b.folds_skipped);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "diverged: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    /// Parallel forward selection returns the same selected attribute
+    /// set, gains, and balanced accuracy as the sequential greedy loop.
+    #[test]
+    fn parallel_selection_equals_sequential(
+        rows in two_class_rows(4),
+        threads in 2usize..9,
+        max_attributes in 1usize..5,
+    ) {
+        let data = dataset_from(&rows);
+        let opts = SelectionOptions {
+            folds: 3,
+            max_attributes,
+            max_candidates: 4,
+            ..SelectionOptions::default()
+        };
+        let learner = Algorithm::NaiveBayes.learner();
+        let seq = forward_select(learner.as_ref(), &data, &opts);
+        let par = forward_select_par(
+            learner.as_ref(), &data, &opts, Parallelism::Threads(threads),
+        );
+        match (seq, par) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.selected, b.selected);
+                prop_assert_eq!(
+                    a.cv_balanced_accuracy.to_bits(),
+                    b.cv_balanced_accuracy.to_bits()
+                );
+                let ga: Vec<u64> = a.gains.iter().map(|g| g.to_bits()).collect();
+                let gb: Vec<u64> = b.gains.iter().map(|g| g.to_bits()).collect();
+                prop_assert_eq!(ga, gb);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "diverged: {:?} vs {:?}", a.is_ok(), b.is_ok()),
         }
     }
 

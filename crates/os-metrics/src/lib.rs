@@ -143,7 +143,10 @@ impl OsSample {
 
     /// Feature names with a tier prefix, aligned with [`OsSample::values`].
     pub fn feature_names(prefix: &str) -> Vec<String> {
-        OS_METRIC_NAMES.iter().map(|n| format!("{prefix}{n}")).collect()
+        OS_METRIC_NAMES
+            .iter()
+            .map(|n| format!("{prefix}{n}"))
+            .collect()
     }
 }
 
@@ -175,14 +178,11 @@ fn bias_amplitude(name: &str) -> f64 {
         "runq_sz" | "ldavg_1" | "ldavg_5" | "ldavg_15" | "blocked" => 0.60,
         "cswch_per_s" | "intr_per_s" | "proc_per_s" => 0.40,
         "tps" | "rtps" | "wtps" | "bread_per_s" | "bwrtn_per_s" => 0.40,
-        "pgpgin_per_s" | "pgpgout_per_s" | "fault_per_s" | "majflt_per_s"
-        | "pgfree_per_s" => 0.40,
+        "pgpgin_per_s" | "pgpgout_per_s" | "fault_per_s" | "majflt_per_s" | "pgfree_per_s" => 0.40,
         // CPU accounting is exact jiffy counting in the kernel; it is
         // saturating (its limitation), not biased.
         "pct_user" | "pct_system" | "pct_iowait" | "pct_idle" | "pct_nice" => 0.0,
-        name if name.starts_with("kb") || name.contains("mem") || name.contains("commit") => {
-            0.04
-        }
+        name if name.starts_with("kb") || name.contains("mem") || name.contains("commit") => 0.04,
         _ => 0.15,
     }
 }
@@ -226,7 +226,10 @@ impl OsCollector {
     ///
     /// Panics if `scale` is negative or non-finite.
     pub fn with_bias_scale(mut self, scale: f64) -> OsCollector {
-        assert!(scale >= 0.0 && scale.is_finite(), "bias scale must be nonnegative");
+        assert!(
+            scale >= 0.0 && scale.is_finite(),
+            "bias scale must be nonnegative"
+        );
         self.bias_scale = scale;
         self
     }
@@ -289,7 +292,10 @@ impl OsCollector {
         let ldavg = self.ldavg;
 
         let mut set = |name: &str, value: f64| {
-            let idx = OS_METRIC_NAMES.iter().position(|n| *n == name).expect("known name");
+            let idx = OS_METRIC_NAMES
+                .iter()
+                .position(|n| *n == name)
+                .expect("known name");
             v[idx] = value;
         };
 
@@ -330,7 +336,10 @@ impl OsCollector {
         // --- Task churn ---
         let req_rate = ts.arrivals as f64 / interval_s;
         set("proc_per_s", self.noisy(0.4 + req_rate * 0.02, rng));
-        set("cswch_per_s", self.noisy(240.0 + req_rate * 45.0 + ts.avg_runnable * 130.0, rng));
+        set(
+            "cswch_per_s",
+            self.noisy(240.0 + req_rate * 45.0 + ts.avg_runnable * 130.0, rng),
+        );
         set("intr_per_s", self.noisy(310.0 + req_rate * 22.0, rng));
 
         // --- Memory ---
@@ -346,8 +355,14 @@ impl OsCollector {
         set("kbmemfree", (self.total_mem_kb - used).round());
         set("kbmemused", used.round());
         set("pct_memused", q(used / self.total_mem_kb * 100.0));
-        set("kbbuffers", self.noisy(0.04 * self.total_mem_kb, rng).round());
-        set("kbcached", self.noisy(0.30 * self.total_mem_kb, rng).round());
+        set(
+            "kbbuffers",
+            self.noisy(0.04 * self.total_mem_kb, rng).round(),
+        );
+        set(
+            "kbcached",
+            self.noisy(0.30 * self.total_mem_kb, rng).round(),
+        );
         set("kbcommit", self.noisy(used * 1.4, rng).round());
         set("pct_commit", q(used * 1.4 / self.total_mem_kb * 100.0));
         set("kbactive", self.noisy(used * 0.7, rng).round());
@@ -406,7 +421,10 @@ impl OsCollector {
         set("pty_nr", 2.0);
         set("rcvin_per_s", 0.0);
         set("xmtin_per_s", 0.0);
-        set("frmpg_per_s", self.noisy(req_rate * 0.5, rng) - self.noisy(req_rate * 0.5, rng));
+        set(
+            "frmpg_per_s",
+            self.noisy(req_rate * 0.5, rng) - self.noisy(req_rate * 0.5, rng),
+        );
         set("bufpg_per_s", self.noisy(0.4, rng));
         set("campg_per_s", self.noisy(1.8 + req_rate * 0.1, rng));
 
@@ -484,8 +502,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let near = c.sample(&state(0.97, 10.0, 20.0, 0), 1.0, &mut rng);
         let over = c.sample(&state(1.0, 14.0, 32.0, 50), 1.0, &mut rng);
-        let rel =
-            (over.value("pct_user") - near.value("pct_user")).abs() / near.value("pct_user");
+        let rel = (over.value("pct_user") - near.value("pct_user")).abs() / near.value("pct_user");
         assert!(rel < 0.05, "pct_user should barely move: {rel}");
     }
 
@@ -505,7 +522,10 @@ mod tests {
             last = c.sample(&state(1.0, 40.0, 100.0, 10), 1.0, &mut rng);
         }
         assert!(last.value("ldavg_1") > calm.value("ldavg_1"));
-        assert!(last.value("ldavg_1") < 40.0, "one-minute average lags the spike");
+        assert!(
+            last.value("ldavg_1") < 40.0,
+            "one-minute average lags the spike"
+        );
         assert!(last.value("ldavg_15") < last.value("ldavg_1"));
     }
 
@@ -514,11 +534,11 @@ mod tests {
         let mut c = OsCollector::new(TierId::Db);
         let mut rng = StdRng::seed_from_u64(5);
         let ts = state(0.95, 18.0, 30.0, 0);
-        let vals: Vec<f64> =
-            (0..200).map(|_| c.sample(&ts, 1.0, &mut rng).value("runq_sz")).collect();
+        let vals: Vec<f64> = (0..200)
+            .map(|_| c.sample(&ts, 1.0, &mut rng).value("runq_sz"))
+            .collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        let sd =
-            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
+        let sd = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
         let cv = sd / mean;
         assert!(cv > 0.1, "OS sampling noise should be coarse, cv {cv}");
     }
@@ -527,8 +547,12 @@ mod tests {
     fn db_memory_grows_with_connections_app_barely() {
         // MySQL allocates per-connection buffers; the JVM heap is
         // pre-sized, so the app tier's memory hardly moves with load.
-        let mut db = OsCollector::new(TierId::Db).with_noise(0.0).with_bias_scale(0.0);
-        let mut app = OsCollector::new(TierId::App).with_noise(0.0).with_bias_scale(0.0);
+        let mut db = OsCollector::new(TierId::Db)
+            .with_noise(0.0)
+            .with_bias_scale(0.0);
+        let mut app = OsCollector::new(TierId::App)
+            .with_noise(0.0)
+            .with_bias_scale(0.0);
         let mut rng = StdRng::seed_from_u64(6);
         let db_idle = db.sample(&state(0.2, 1.0, 2.0, 0), 1.0, &mut rng);
         let db_busy = db.sample(&state(0.9, 6.0, 8.0, 30), 1.0, &mut rng);
@@ -542,7 +566,9 @@ mod tests {
 
     #[test]
     fn sockets_track_request_rate_not_backlog() {
-        let mut c = OsCollector::new(TierId::App).with_noise(0.0).with_bias_scale(0.0);
+        let mut c = OsCollector::new(TierId::App)
+            .with_noise(0.0)
+            .with_bias_scale(0.0);
         let mut rng = StdRng::seed_from_u64(9);
         // Same request rate, wildly different backlog: sockets identical.
         let calm = c.sample(&state(0.9, 2.0, 10.0, 0), 1.0, &mut rng);

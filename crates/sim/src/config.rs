@@ -81,7 +81,12 @@ pub struct BackgroundLoad {
 impl BackgroundLoad {
     /// No background interference at all.
     pub fn none() -> BackgroundLoad {
-        BackgroundLoad { mean: 0.0, step_sd: 0.0, revert: 1.0, max: 0.0 }
+        BackgroundLoad {
+            mean: 0.0,
+            step_sd: 0.0,
+            revert: 1.0,
+            max: 0.0,
+        }
     }
 
     /// The default testbed interference: 5% mean with a slow wander of
@@ -89,7 +94,12 @@ impl BackgroundLoad {
     /// the fluctuation survives 30-second aggregation like the GC/daemon
     /// activity it stands in for).
     pub fn testbed() -> BackgroundLoad {
-        BackgroundLoad { mean: 0.05, step_sd: 0.02, revert: 0.06, max: 0.30 }
+        BackgroundLoad {
+            mean: 0.05,
+            step_sd: 0.02,
+            revert: 0.06,
+            max: 0.30,
+        }
     }
 
     fn validate(&self, name: &str) {
@@ -97,8 +107,14 @@ impl BackgroundLoad {
             (0.0..=0.95).contains(&self.mean) && self.max <= 0.95 && self.mean <= self.max + 1e-12,
             "{name}: background mean must be within [0, max]"
         );
-        assert!(self.step_sd >= 0.0 && self.step_sd.is_finite(), "{name}: bad step_sd");
-        assert!((0.0..=1.0).contains(&self.revert), "{name}: revert must be in [0,1]");
+        assert!(
+            self.step_sd >= 0.0 && self.step_sd.is_finite(),
+            "{name}: bad step_sd"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.revert),
+            "{name}: revert must be in [0,1]"
+        );
     }
 }
 
@@ -111,8 +127,14 @@ impl TierConfig {
     fn validate(&self, name: &str) {
         self.background.validate(name);
         assert!(self.cores > 0, "{name}: need at least one core");
-        assert!(self.speed > 0.0 && self.speed.is_finite(), "{name}: speed must be positive");
-        assert!(self.contention_alpha >= 0.0, "{name}: alpha must be nonnegative");
+        assert!(
+            self.speed > 0.0 && self.speed.is_finite(),
+            "{name}: speed must be positive"
+        );
+        assert!(
+            self.contention_alpha >= 0.0,
+            "{name}: alpha must be nonnegative"
+        );
         assert!(self.pool_size > 0, "{name}: pool must be nonempty");
         assert!(
             (0.0..1.0).contains(&self.collector_overhead),

@@ -61,8 +61,12 @@ impl DemandProfile {
     /// The calibrated two-tier bookstore profile described in DESIGN.md.
     pub fn testbed() -> DemandProfile {
         use RequestType as T;
-        let mut demands = [Demand { app_cpu_s: 0.0, db_cpu_s: 0.0, db_disk_s: 0.0, db_calls: 1 };
-            14];
+        let mut demands = [Demand {
+            app_cpu_s: 0.0,
+            db_cpu_s: 0.0,
+            db_disk_s: 0.0,
+            db_calls: 1,
+        }; 14];
         let table: [(T, f64, f64, f64, u32); 14] = [
             (T::Home, 0.004, 0.005, 0.001, 1),
             (T::NewProducts, 0.005, 0.050, 0.015, 1),
@@ -80,10 +84,17 @@ impl DemandProfile {
             (T::AdminConfirm, 0.015, 0.025, 0.006, 2),
         ];
         for (t, app, db, disk, calls) in table {
-            demands[t.index()] =
-                Demand { app_cpu_s: app, db_cpu_s: db, db_disk_s: disk, db_calls: calls };
+            demands[t.index()] = Demand {
+                app_cpu_s: app,
+                db_cpu_s: db,
+                db_disk_s: disk,
+                db_calls: calls,
+            };
         }
-        let profile = DemandProfile { demands, gamma_shape: 4 };
+        let profile = DemandProfile {
+            demands,
+            gamma_shape: 4,
+        };
         for d in &profile.demands {
             d.validate();
         }
@@ -109,7 +120,10 @@ impl DemandProfile {
     ///
     /// Panics if `factor` is negative or non-finite.
     pub fn with_disk_scale(mut self, factor: f64) -> DemandProfile {
-        assert!(factor >= 0.0 && factor.is_finite(), "disk scale must be nonnegative");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "disk scale must be nonnegative"
+        );
         for d in &mut self.demands {
             d.db_disk_s *= factor;
         }
@@ -154,12 +168,18 @@ impl DemandProfile {
 
     /// Mean DB-tier CPU work per request under `mix`.
     pub fn mean_db_cpu_demand(&self, mix: &Mix) -> f64 {
-        RequestType::ALL.iter().map(|&t| mix.probability(t) * self.demand(t).db_cpu_s).sum()
+        RequestType::ALL
+            .iter()
+            .map(|&t| mix.probability(t) * self.demand(t).db_cpu_s)
+            .sum()
     }
 
     /// Mean DB disk time per request under `mix`.
     pub fn mean_db_disk_demand(&self, mix: &Mix) -> f64 {
-        RequestType::ALL.iter().map(|&t| mix.probability(t) * self.demand(t).db_disk_s).sum()
+        RequestType::ALL
+            .iter()
+            .map(|&t| mix.probability(t) * self.demand(t).db_disk_s)
+            .sum()
     }
 }
 
@@ -183,7 +203,10 @@ mod tests {
         // pressure.
         let app = p.mean_app_demand(&mix);
         let db = p.mean_db_cpu_demand(&mix) / 2.0;
-        assert!(db > 2.0 * app, "browsing: db/core {db} should dominate app {app}");
+        assert!(
+            db > 2.0 * app,
+            "browsing: db/core {db} should dominate app {app}"
+        );
     }
 
     #[test]
@@ -192,7 +215,10 @@ mod tests {
         let mix = Mix::ordering();
         let app = p.mean_app_demand(&mix);
         let db = p.mean_db_cpu_demand(&mix) / 2.0;
-        assert!(app > 2.0 * db, "ordering: app {app} should dominate db/core {db}");
+        assert!(
+            app > 2.0 * db,
+            "ordering: app {app} should dominate db/core {db}"
+        );
     }
 
     #[test]
@@ -230,7 +256,12 @@ mod tests {
     #[test]
     fn set_demand_round_trips() {
         let mut p = DemandProfile::testbed();
-        let d = Demand { app_cpu_s: 0.5, db_cpu_s: 0.1, db_disk_s: 0.0, db_calls: 4 };
+        let d = Demand {
+            app_cpu_s: 0.5,
+            db_cpu_s: 0.1,
+            db_disk_s: 0.0,
+            db_calls: 4,
+        };
         p.set_demand(RequestType::Home, d);
         assert_eq!(p.demand(RequestType::Home), d);
     }
@@ -241,10 +272,12 @@ mod tests {
         let scaled = DemandProfile::testbed().with_disk_scale(5.0);
         let mix = Mix::browsing();
         assert!(
-            (scaled.mean_db_disk_demand(&mix) - 5.0 * base.mean_db_disk_demand(&mix)).abs()
-                < 1e-12
+            (scaled.mean_db_disk_demand(&mix) - 5.0 * base.mean_db_disk_demand(&mix)).abs() < 1e-12
         );
-        assert_eq!(scaled.mean_db_cpu_demand(&mix), base.mean_db_cpu_demand(&mix));
+        assert_eq!(
+            scaled.mean_db_cpu_demand(&mix),
+            base.mean_db_cpu_demand(&mix)
+        );
         assert_eq!(scaled.mean_app_demand(&mix), base.mean_app_demand(&mix));
     }
 
@@ -254,7 +287,12 @@ mod tests {
         let mut p = DemandProfile::testbed();
         p.set_demand(
             RequestType::Home,
-            Demand { app_cpu_s: 0.1, db_cpu_s: 0.1, db_disk_s: 0.0, db_calls: 0 },
+            Demand {
+                app_cpu_s: 0.1,
+                db_cpu_s: 0.1,
+                db_disk_s: 0.0,
+                db_calls: 0,
+            },
         );
     }
 }

@@ -165,9 +165,16 @@ impl Simulation {
     /// Panics if `cfg` fails validation (see [`SimConfig::validate`]).
     pub fn new(cfg: SimConfig, program: TrafficProgram) -> Simulation {
         cfg.validate();
-        let app_cpu =
-            PsCpu::new(cfg.app.cores, cfg.app.effective_speed(), cfg.app.contention_alpha);
-        let db_cpu = PsCpu::new(cfg.db.cores, cfg.db.effective_speed(), cfg.db.contention_alpha);
+        let app_cpu = PsCpu::new(
+            cfg.app.cores,
+            cfg.app.effective_speed(),
+            cfg.app.contention_alpha,
+        );
+        let db_cpu = PsCpu::new(
+            cfg.db.cores,
+            cfg.db.effective_speed(),
+            cfg.db.contention_alpha,
+        );
         let app_pool = TokenPool::new(cfg.app.pool_size);
         let db_pool = TokenPool::new(cfg.db.pool_size);
         let end = SimTime::from_secs_f64(program.duration_s());
@@ -221,12 +228,19 @@ impl Simulation {
             self.dispatch(next.event);
         }
         let summary = RunSummary::from_samples(&self.samples);
-        SimOutput { samples: self.samples, summary }
+        SimOutput {
+            samples: self.samples,
+            summary,
+        }
     }
 
     fn schedule(&mut self, time: SimTime, event: Event) {
         self.seq += 1;
-        self.events.push(Reverse(Scheduled { time, seq: self.seq, event }));
+        self.events.push(Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        }));
     }
 
     fn schedule_after(&mut self, delay_s: f64, event: Event) {
@@ -260,7 +274,9 @@ impl Simulation {
             return;
         }
         let snapshot = self.program.at(self.clock.as_secs_f64());
-        let rtype = self.ebs[eb].browser.next_request(&snapshot.mix, &mut self.rng);
+        let rtype = self.ebs[eb]
+            .browser
+            .next_request(&snapshot.mix, &mut self.rng);
         let class = rtype.class();
         self.counters.issued += 1;
         if class == RequestClass::Browse {
@@ -304,7 +320,10 @@ impl Simulation {
         if let Some(waiter) = self.app_pool.release(self.clock) {
             self.start_app_burst(waiter);
         }
-        let req = self.requests.remove(&req_id).expect("finishing unknown request");
+        let req = self
+            .requests
+            .remove(&req_id)
+            .expect("finishing unknown request");
         self.counters.app_completions += 1;
         self.counters.completed += 1;
         if req.class == RequestClass::Browse {
@@ -349,7 +368,10 @@ impl Simulation {
         }
         let (req_id, _) = self.app_cpu.pop_completed(self.clock);
         self.reschedule_app_cpu();
-        let req = self.requests.get_mut(&req_id).expect("unknown request on app CPU");
+        let req = self
+            .requests
+            .get_mut(&req_id)
+            .expect("unknown request on app CPU");
         if req.db_calls_left > 0 {
             req.db_calls_left -= 1;
             let delay = self.cfg.network_delay_s;
@@ -497,10 +519,18 @@ impl Simulation {
         self.prev[tier.index()] = cum;
         let c = &self.counters;
         let (arrivals, completions, browse_w, order_w) = match tier {
-            TierId::App => {
-                (c.app_arrivals, c.app_completions, c.app_browse_work, c.app_order_work)
-            }
-            TierId::Db => (c.db_arrivals, c.db_completions, c.db_browse_work, c.db_order_work),
+            TierId::App => (
+                c.app_arrivals,
+                c.app_completions,
+                c.app_browse_work,
+                c.app_order_work,
+            ),
+            TierId::Db => (
+                c.db_arrivals,
+                c.db_completions,
+                c.db_browse_work,
+                c.db_order_work,
+            ),
         };
         let (pool_in_use_end, pool_queue_end) = match tier {
             TierId::App => (self.app_pool.in_use(), self.app_pool.queue_len()),
@@ -610,7 +640,11 @@ mod tests {
         let program = TrafficProgram::steady(Mix::shopping(), 20, 60.0);
         let out = run(quick_cfg(1), program);
         assert_eq!(out.samples.len(), 60);
-        assert!(out.summary.completed > 50, "completed {}", out.summary.completed);
+        assert!(
+            out.summary.completed > 50,
+            "completed {}",
+            out.summary.completed
+        );
         // At 20 EBs the system is far below capacity: sub-100 ms responses.
         assert!(
             out.summary.mean_response_time_s < 0.2,
@@ -642,8 +676,14 @@ mod tests {
 
     #[test]
     fn throughput_grows_with_load_when_underloaded() {
-        let low = run(quick_cfg(3), TrafficProgram::steady(Mix::shopping(), 20, 120.0));
-        let high = run(quick_cfg(3), TrafficProgram::steady(Mix::shopping(), 80, 120.0));
+        let low = run(
+            quick_cfg(3),
+            TrafficProgram::steady(Mix::shopping(), 20, 120.0),
+        );
+        let high = run(
+            quick_cfg(3),
+            TrafficProgram::steady(Mix::shopping(), 80, 120.0),
+        );
         assert!(
             high.summary.mean_throughput > 2.5 * low.summary.mean_throughput,
             "low {} high {}",
@@ -658,14 +698,15 @@ mod tests {
         let program = TrafficProgram::steady(Mix::ordering(), 700, 180.0);
         let out = run(quick_cfg(4), program);
         let tail = &out.samples[120..];
-        let app_util: f64 =
-            tail.iter().map(|s| s.app.utilization).sum::<f64>() / tail.len() as f64;
-        let db_util: f64 =
-            tail.iter().map(|s| s.db.utilization).sum::<f64>() / tail.len() as f64;
+        let app_util: f64 = tail.iter().map(|s| s.app.utilization).sum::<f64>() / tail.len() as f64;
+        let db_util: f64 = tail.iter().map(|s| s.db.utilization).sum::<f64>() / tail.len() as f64;
         assert!(app_util > 0.98, "app util {app_util}");
         assert!(db_util < 0.85, "db util {db_util} should not saturate");
         // Response times inflate well past think-free levels.
-        let rt: f64 = tail.iter().filter_map(|s| s.mean_response_time_s()).sum::<f64>()
+        let rt: f64 = tail
+            .iter()
+            .filter_map(|s| s.mean_response_time_s())
+            .sum::<f64>()
             / tail.len() as f64;
         assert!(rt > 1.0, "rt {rt}");
     }
@@ -676,10 +717,8 @@ mod tests {
         let program = TrafficProgram::steady(Mix::browsing(), 1000, 180.0);
         let out = run(quick_cfg(5), program);
         let tail = &out.samples[120..];
-        let db_util: f64 =
-            tail.iter().map(|s| s.db.utilization).sum::<f64>() / tail.len() as f64;
-        let app_util: f64 =
-            tail.iter().map(|s| s.app.utilization).sum::<f64>() / tail.len() as f64;
+        let db_util: f64 = tail.iter().map(|s| s.db.utilization).sum::<f64>() / tail.len() as f64;
+        let app_util: f64 = tail.iter().map(|s| s.app.utilization).sum::<f64>() / tail.len() as f64;
         assert!(db_util > 0.97, "db util {db_util}");
         assert!(app_util < 0.8, "app util {app_util} should not saturate");
     }
@@ -693,16 +732,27 @@ mod tests {
         );
         let out = run(quick_cfg(6), program);
         let mid = &out.samples[55];
-        assert!(mid.ebs_active > 80, "ramp should have grown: {}", mid.ebs_active);
+        assert!(
+            mid.ebs_active > 80,
+            "ramp should have grown: {}",
+            mid.ebs_active
+        );
         let last = out.samples.last().unwrap();
         // Retirement is lazy (EBs finish their think first) but a minute in
         // the population must have come back down.
-        assert!(last.ebs_active <= 12, "retire should shrink: {}", last.ebs_active);
+        assert!(
+            last.ebs_active <= 12,
+            "retire should shrink: {}",
+            last.ebs_active
+        );
     }
 
     #[test]
     fn sample_times_are_regular() {
-        let out = run(quick_cfg(7), TrafficProgram::steady(Mix::shopping(), 10, 10.0));
+        let out = run(
+            quick_cfg(7),
+            TrafficProgram::steady(Mix::shopping(), 10, 10.0),
+        );
         for (i, s) in out.samples.iter().enumerate() {
             assert!((s.t_s - (i + 1) as f64).abs() < 1e-6);
             assert!((s.interval_s - 1.0).abs() < 1e-6);
@@ -721,7 +771,10 @@ mod tests {
         let a = run(cheap, program.clone());
         let b = run(costly, program);
         let ratio = b.summary.mean_throughput / a.summary.mean_throughput;
-        assert!(ratio < 0.97, "10% overhead should cost ≥3% throughput, ratio {ratio}");
+        assert!(
+            ratio < 0.97,
+            "10% overhead should cost ≥3% throughput, ratio {ratio}"
+        );
     }
 
     #[test]

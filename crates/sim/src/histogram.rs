@@ -30,7 +30,10 @@ pub struct RtHistogram {
 impl RtHistogram {
     /// An empty histogram.
     pub fn new() -> RtHistogram {
-        RtHistogram { counts: vec![0; BUCKETS], total: 0 }
+        RtHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
     }
 
     fn bucket_of(seconds: f64) -> usize {

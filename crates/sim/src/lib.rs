@@ -38,7 +38,7 @@ pub mod time;
 
 pub use config::{SimConfig, TierConfig, TierId};
 pub use demand::{Demand, DemandProfile};
-pub use histogram::RtHistogram;
 pub use engine::{run, SimOutput, Simulation};
+pub use histogram::RtHistogram;
 pub use telemetry::{RunSummary, SystemSample, TierSample};
 pub use time::{SimDuration, SimTime};

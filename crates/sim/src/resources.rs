@@ -82,7 +82,10 @@ impl PsCpu {
     ///
     /// Panics if `background` is not within `[0, 0.95]`.
     pub fn set_background(&mut self, now: SimTime, background: f64) -> u64 {
-        assert!((0.0..=0.95).contains(&background), "background must be in [0, 0.95]");
+        assert!(
+            (0.0..=0.95).contains(&background),
+            "background must be in [0, 0.95]"
+        );
         self.advance(now);
         self.background = background;
         self.generation += 1;
@@ -154,8 +157,7 @@ impl PsCpu {
             return None;
         }
         let rate = self.capacity(n) / n as f64;
-        let min_remaining =
-            self.jobs.iter().map(|j| j.1).fold(f64::INFINITY, f64::min);
+        let min_remaining = self.jobs.iter().map(|j| j.1).fold(f64::INFINITY, f64::min);
         // Round *up* to the next microsecond so at the event time the
         // remaining work has truly reached zero.
         let us = (min_remaining / rate * 1e6).ceil().max(1.0) as u64;
@@ -185,13 +187,20 @@ impl PsCpu {
 
     /// Remaining work of the job closest to completion (for tests).
     pub fn min_remaining(&self) -> Option<f64> {
-        self.jobs.iter().map(|j| j.1).min_by(|a, b| a.partial_cmp(b).expect("finite"))
+        self.jobs
+            .iter()
+            .map(|j| j.1)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
 
     /// Cumulative statistics: `(busy_time_s, delivered_work_s,
     /// job_time_integral)`.
     pub fn stats(&self) -> (f64, f64, f64) {
-        (self.busy_time_s, self.delivered_work_s, self.job_time_integral)
+        (
+            self.busy_time_s,
+            self.delivered_work_s,
+            self.job_time_integral,
+        )
     }
 }
 
@@ -296,7 +305,11 @@ impl TokenPool {
     /// elapsed span.
     pub fn stats(&mut self, now: SimTime) -> (f64, f64, u64) {
         self.advance(now);
-        (self.in_use_integral, self.queue_integral, self.total_acquisitions)
+        (
+            self.in_use_integral,
+            self.queue_integral,
+            self.total_acquisitions,
+        )
     }
 }
 
@@ -348,7 +361,10 @@ impl FcfsDisk {
     /// Panics if `service_s <= 0` (zero-length I/O should be skipped by
     /// the caller) or non-finite.
     pub fn submit(&mut self, now: SimTime, id: JobId, service_s: f64) -> Option<SimTime> {
-        assert!(service_s > 0.0 && service_s.is_finite(), "disk service must be positive");
+        assert!(
+            service_s > 0.0 && service_s.is_finite(),
+            "disk service must be positive"
+        );
         self.advance(now);
         if self.busy.is_none() {
             self.busy = Some(id);
@@ -437,14 +453,20 @@ mod tests {
         cpu.push(t(0.0), 1, 1.0);
         cpu.push(t(0.0), 2, 1.0);
         let done = cpu.next_completion(t(0.0)).unwrap();
-        assert!((done.as_secs_f64() - 1.0).abs() < 1e-5, "2 cores → no sharing penalty");
+        assert!(
+            (done.as_secs_f64() - 1.0).abs() < 1e-5,
+            "2 cores → no sharing penalty"
+        );
     }
 
     #[test]
     fn contention_degrades_capacity() {
         let cpu = PsCpu::new(1, 1.0, 0.1);
         assert_eq!(cpu.capacity(1), 1.0);
-        assert!((cpu.capacity(11) - 1.0 / 2.0).abs() < 1e-12, "10 excess at α=0.1 halves");
+        assert!(
+            (cpu.capacity(11) - 1.0 / 2.0).abs() < 1e-12,
+            "10 excess at α=0.1 halves"
+        );
         assert!(cpu.capacity(21) < cpu.capacity(11));
     }
 
@@ -509,7 +531,9 @@ mod tests {
     #[test]
     fn disk_serializes_operations() {
         let mut disk = FcfsDisk::new();
-        let done1 = disk.submit(t(0.0), 1, 0.5).expect("idle disk starts at once");
+        let done1 = disk
+            .submit(t(0.0), 1, 0.5)
+            .expect("idle disk starts at once");
         assert!((done1.as_secs_f64() - 0.5).abs() < 1e-9);
         assert_eq!(disk.submit(t(0.1), 2, 0.25), None, "second op queues");
         assert_eq!(disk.queue_len(), 1);

@@ -28,7 +28,10 @@ impl SimTime {
     ///
     /// Panics if `s` is negative, NaN, or too large to represent.
     pub fn from_secs_f64(s: f64) -> SimTime {
-        assert!(s.is_finite() && s >= 0.0, "time must be a nonnegative finite number");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "time must be a nonnegative finite number"
+        );
         let us = (s * 1e6).round();
         assert!(us <= u64::MAX as f64, "time overflow");
         SimTime(us as u64)
@@ -101,7 +104,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or NaN.
     pub fn from_secs_f64(s: f64) -> SimDuration {
-        assert!(s.is_finite() && s >= 0.0, "duration must be a nonnegative finite number");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be a nonnegative finite number"
+        );
         let us = (s * 1e6).round() as u64;
         if us == 0 && s > 0.0 {
             SimDuration(1)
@@ -152,7 +158,10 @@ mod tests {
     fn subtraction_saturates() {
         let d = SimTime::from_secs_f64(1.0) - SimTime::from_secs_f64(5.0);
         assert_eq!(d, SimDuration::ZERO);
-        assert_eq!(SimTime::from_secs_f64(1.0).seconds_since(SimTime::from_secs_f64(4.0)), 0.0);
+        assert_eq!(
+            SimTime::from_secs_f64(1.0).seconds_since(SimTime::from_secs_f64(4.0)),
+            0.0
+        );
     }
 
     #[test]

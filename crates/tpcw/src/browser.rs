@@ -77,7 +77,12 @@ impl EmulatedBrowser {
 
     /// Create an EB with a custom think-time distribution.
     pub fn with_think_time(id: u64, think: ThinkTime) -> EmulatedBrowser {
-        EmulatedBrowser { id, think, last: None, requests_issued: 0 }
+        EmulatedBrowser {
+            id,
+            think,
+            last: None,
+            requests_issued: 0,
+        }
     }
 
     /// This EB's identifier.
@@ -171,9 +176,7 @@ mod tests {
         let mix = Mix::browsing();
         let n = 20_000;
         let browse = (0..n)
-            .filter(|_| {
-                eb.next_request(&mix, &mut rng).class() == crate::RequestClass::Browse
-            })
+            .filter(|_| eb.next_request(&mix, &mut rng).class() == crate::RequestClass::Browse)
             .count();
         let frac = browse as f64 / n as f64;
         assert!((frac - 0.95).abs() < 0.01, "browse fraction {frac}");
@@ -186,11 +189,17 @@ mod tests {
         let mut eb = EmulatedBrowser::new(1);
         let mut rng = StdRng::seed_from_u64(9);
         let first = eb.next_request_markov(&chain, &mut rng);
-        assert!(matches!(first, crate::RequestType::Home | crate::RequestType::SearchRequest));
+        assert!(matches!(
+            first,
+            crate::RequestType::Home | crate::RequestType::SearchRequest
+        ));
         for _ in 0..50 {
             let prev = eb.last_request().unwrap();
             let next = eb.next_request_markov(&chain, &mut rng);
-            assert!(chain.row(prev)[next.index()] > 0.0, "illegal edge {prev:?}->{next:?}");
+            assert!(
+                chain.row(prev)[next.index()] > 0.0,
+                "illegal edge {prev:?}->{next:?}"
+            );
         }
         assert_eq!(eb.requests_issued(), 51);
     }

@@ -83,7 +83,10 @@ impl RequestType {
 
     /// Dense index in `0..14`, aligned with [`RequestType::ALL`].
     pub fn index(&self) -> usize {
-        RequestType::ALL.iter().position(|t| t == self).expect("type is in ALL")
+        RequestType::ALL
+            .iter()
+            .position(|t| t == self)
+            .expect("type is in ALL")
     }
 
     /// Construct from a dense index.
@@ -153,8 +156,10 @@ mod tests {
 
     #[test]
     fn six_browse_eight_order() {
-        let browse =
-            RequestType::ALL.iter().filter(|t| t.class() == RequestClass::Browse).count();
+        let browse = RequestType::ALL
+            .iter()
+            .filter(|t| t.class() == RequestClass::Browse)
+            .count();
         assert_eq!(browse, 6);
         assert_eq!(RequestType::COUNT - browse, 8);
     }

@@ -79,7 +79,10 @@ impl TrafficProgram {
     /// Panics if `phases` is empty or any phase has a non-positive
     /// duration.
     pub fn new(phases: Vec<Phase>) -> TrafficProgram {
-        assert!(!phases.is_empty(), "a traffic program needs at least one phase");
+        assert!(
+            !phases.is_empty(),
+            "a traffic program needs at least one phase"
+        );
         for (i, p) in phases.iter().enumerate() {
             assert!(
                 p.duration_s > 0.0 && p.duration_s.is_finite(),
@@ -109,7 +112,11 @@ impl TrafficProgram {
 
     /// Append a steady phase.
     pub fn then_steady(mut self, mix: Mix, ebs: u32, duration_s: f64) -> TrafficProgram {
-        self.phases.push(Phase { mix, shape: PopulationShape::Steady { ebs }, duration_s });
+        self.phases.push(Phase {
+            mix,
+            shape: PopulationShape::Steady { ebs },
+            duration_s,
+        });
         self
     }
 
@@ -117,7 +124,11 @@ impl TrafficProgram {
     /// population.
     pub fn then_ramp(mut self, mix: Mix, to: u32, duration_s: f64) -> TrafficProgram {
         let from = self.final_ebs();
-        self.phases.push(Phase { mix, shape: PopulationShape::Ramp { from, to }, duration_s });
+        self.phases.push(Phase {
+            mix,
+            shape: PopulationShape::Ramp { from, to },
+            duration_s,
+        });
         self
     }
 
@@ -207,7 +218,12 @@ impl TrafficProgram {
 
 impl fmt::Display for TrafficProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "TrafficProgram[{} phases, {:.0}s]", self.phases.len(), self.duration_s())
+        write!(
+            f,
+            "TrafficProgram[{} phases, {:.0}s]",
+            self.phases.len(),
+            self.duration_s()
+        )
     }
 }
 
@@ -238,23 +254,16 @@ mod tests {
 
     #[test]
     fn then_ramp_continues_from_previous_population() {
-        let p = TrafficProgram::steady(Mix::browsing(), 80, 10.0).then_ramp(
-            Mix::browsing(),
-            160,
-            10.0,
-        );
+        let p =
+            TrafficProgram::steady(Mix::browsing(), 80, 10.0).then_ramp(Mix::browsing(), 160, 10.0);
         assert_eq!(p.at(10.0).ebs, 80);
         assert_eq!(p.at(20.0).ebs, 160);
     }
 
     #[test]
     fn interleaved_alternates_mixes() {
-        let p = TrafficProgram::interleaved(
-            (Mix::browsing(), 100),
-            (Mix::ordering(), 200),
-            30.0,
-            3,
-        );
+        let p =
+            TrafficProgram::interleaved((Mix::browsing(), 100), (Mix::ordering(), 200), 30.0, 3);
         assert_eq!(p.phases().len(), 6);
         assert_eq!(p.at(10.0).mix.id(), crate::MixId::Browsing);
         assert_eq!(p.at(40.0).mix.id(), crate::MixId::Ordering);
@@ -270,8 +279,8 @@ mod tests {
 
     #[test]
     fn phase_boundaries_accumulate() {
-        let p = TrafficProgram::steady(Mix::browsing(), 1, 10.0)
-            .then_steady(Mix::browsing(), 2, 20.0);
+        let p =
+            TrafficProgram::steady(Mix::browsing(), 1, 10.0).then_steady(Mix::browsing(), 2, 20.0);
         assert_eq!(p.phase_boundaries(), vec![10.0, 30.0]);
     }
 

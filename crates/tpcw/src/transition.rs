@@ -179,10 +179,13 @@ impl TransitionModel {
 
     /// Verify row-stochasticity (used by tests and after deserialization).
     pub fn is_valid(&self) -> bool {
-        self.rows.iter().chain(std::iter::once(&self.initial)).all(|row| {
-            let total: f64 = row.iter().sum();
-            row.iter().all(|p| (0.0..=1.0 + 1e-9).contains(p)) && (total - 1.0).abs() < 1e-6
-        })
+        self.rows
+            .iter()
+            .chain(std::iter::once(&self.initial))
+            .all(|row| {
+                let total: f64 = row.iter().sum();
+                row.iter().all(|p| (0.0..=1.0 + 1e-9).contains(p)) && (total - 1.0).abs() < 1e-6
+            })
     }
 }
 
@@ -262,7 +265,10 @@ mod tests {
         // Session starts are Home or SearchRequest.
         for _ in 0..200 {
             let first = t.sample(None, &mut rng);
-            assert!(matches!(first, RequestType::Home | RequestType::SearchRequest));
+            assert!(matches!(
+                first,
+                RequestType::Home | RequestType::SearchRequest
+            ));
         }
     }
 

@@ -19,8 +19,7 @@ fn main() -> Result<(), FitError> {
 
     // A flash crowd: 60% more sessions than the ordering-mix capacity.
     let mix = Mix::ordering();
-    let offered =
-        webcap::core::workloads::estimate_saturation_ebs(&config.sim, &mix) * 16 / 10;
+    let offered = webcap::core::workloads::estimate_saturation_ebs(&config.sim, &mix) * 16 / 10;
     let cfg = AdmissionConfig::default();
     let segments = 14;
 
@@ -32,8 +31,7 @@ fn main() -> Result<(), FitError> {
     print_trace(&uncontrolled);
 
     println!("\n-- with AIMD admission control driven by the meter --");
-    let controlled =
-        run_admission_experiment(&mut meter, cfg, &mix, offered, segments, true, 900);
+    let controlled = run_admission_experiment(&mut meter, cfg, &mix, offered, segments, true, 900);
     print_trace(&controlled);
 
     println!("\n-- comparison --");
@@ -65,7 +63,11 @@ fn print_trace(outcome: &webcap::core::admission::AdmissionOutcome) {
             "{:<6} {:>9} {:>11} {:>10} {:>9.1} {:>8.2}s",
             s.segment,
             s.admitted_ebs,
-            if s.predicted_overload { "OVERLOAD" } else { "ok" },
+            if s.predicted_overload {
+                "OVERLOAD"
+            } else {
+                "ok"
+            },
             if s.actual_overload { "OVERLOAD" } else { "ok" },
             s.throughput,
             s.mean_response_time_s

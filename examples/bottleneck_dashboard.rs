@@ -31,7 +31,11 @@ fn main() -> Result<(), FitError> {
     let log = collect_run(&sim, &program, &config.hpc_model, 99);
     let instances = log.windows(config.window_len, config.window_len, &config.oracle);
 
-    println!("\ninterleaved workload: {:.0}s simulated, {} windows\n", program.duration_s(), instances.len());
+    println!(
+        "\ninterleaved workload: {:.0}s simulated, {} windows\n",
+        program.duration_s(),
+        instances.len()
+    );
     println!(
         "{:<7} {:<10} {:<14} {:<14} {:<11} {:<11} {:<9}",
         "t(s)", "mix", "app util", "db util", "meter", "bottleneck", "truth"
@@ -42,8 +46,8 @@ fn main() -> Result<(), FitError> {
     let mut bneck_total = 0;
     for w in &instances {
         let out = meter.predict(w);
-        let range = ((w.t_start_s as usize)..(w.t_end_s as usize).min(log.samples.len()))
-            .step_by(1);
+        let range =
+            ((w.t_start_s as usize)..(w.t_end_s as usize).min(log.samples.len())).step_by(1);
         let (mut app_u, mut db_u, mut n) = (0.0f64, 0.0f64, 0.0f64);
         for i in range {
             app_u += log.samples[i].tier(TierId::App).utilization;

@@ -24,9 +24,18 @@ fn main() {
     let cfg = SimConfig::testbed(11);
     let oracle = OracleConfig::default();
     let plans = [
-        MixPlan { name: "Browsing (95/5)", mix: Mix::browsing() },
-        MixPlan { name: "Shopping (80/20)", mix: Mix::shopping() },
-        MixPlan { name: "Ordering (50/50)", mix: Mix::ordering() },
+        MixPlan {
+            name: "Browsing (95/5)",
+            mix: Mix::browsing(),
+        },
+        MixPlan {
+            name: "Shopping (80/20)",
+            mix: Mix::shopping(),
+        },
+        MixPlan {
+            name: "Ordering (50/50)",
+            mix: Mix::ordering(),
+        },
     ];
 
     println!("capacity plan for the default two-tier testbed\n");
@@ -53,8 +62,7 @@ fn main() {
         for start in (0..log.samples.len().saturating_sub(30)).step_by(30) {
             let slice = &log.samples[start..start + 30];
             let label = label_window(slice, &oracle);
-            let thr =
-                slice.iter().map(|s| s.completed).sum::<u64>() as f64 / 30.0;
+            let thr = slice.iter().map(|s| s.completed).sum::<u64>() as f64 / 30.0;
             peak_thr = peak_thr.max(thr);
             if label.overloaded && measured_knee_ebs.is_none() {
                 measured_knee_ebs = Some(slice[0].ebs_target);
@@ -62,15 +70,21 @@ fn main() {
         }
 
         // PI evidence on the bottleneck tier.
-        let tier = if plan.mix.browse_fraction() > 0.7 { TierId::Db } else { TierId::App };
+        let tier = if plan.mix.browse_fraction() > 0.7 {
+            TierId::Db
+        } else {
+            TierId::App
+        };
         let window = 30;
         let thr_series: Vec<f64> = log
             .throughput_series()
             .chunks(window)
             .map(|c| c.iter().sum::<f64>() / c.len() as f64)
             .collect();
-        let metrics: Vec<DerivedMetrics> =
-            log.hpc[tier.index()].chunks(window).map(DerivedMetrics::mean).collect();
+        let metrics: Vec<DerivedMetrics> = log.hpc[tier.index()]
+            .chunks(window)
+            .map(DerivedMetrics::mean)
+            .collect();
         let pi_sel = select_pi(&metrics, &thr_series);
 
         println!(

@@ -19,7 +19,11 @@ fn main() {
     let mix = Mix::browsing();
     let knee = workloads::estimate_saturation_ebs(&cfg, &mix);
     let program = TrafficProgram::ramp(mix, knee / 2, knee * 3 / 2, 300.0);
-    println!("ramping browsing mix {}→{} EBs over 300s (knee ≈ {knee})\n", knee / 2, knee * 3 / 2);
+    println!(
+        "ramping browsing mix {}→{} EBs over 300s (knee ≈ {knee})\n",
+        knee / 2,
+        knee * 3 / 2
+    );
     let samples = Simulation::new(cfg, program).run().samples;
 
     let mut reader = CounterReader::open(HpcModel::testbed(), TierId::Db);
@@ -28,7 +32,15 @@ fn main() {
 
     println!(
         "{:>5} {:>16} {:>16} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
-        "t", "instr (raw reg)", "cycles (raw reg)", "ipc", "l2miss", "stall", "runq", "%user", "iowait"
+        "t",
+        "instr (raw reg)",
+        "cycles (raw reg)",
+        "ipc",
+        "l2miss",
+        "stall",
+        "runq",
+        "%user",
+        "iowait"
     );
     let mut prev = reader.read();
     for (i, s) in samples.iter().enumerate() {
@@ -40,8 +52,10 @@ fn main() {
             continue;
         }
         let cur = reader.read();
-        let instr =
-            counter_delta(prev[HpcEvent::InstructionsRetired.index()], cur[HpcEvent::InstructionsRetired.index()]);
+        let instr = counter_delta(
+            prev[HpcEvent::InstructionsRetired.index()],
+            cur[HpcEvent::InstructionsRetired.index()],
+        );
         let derived = DerivedMetrics::from_sample(reader.last_interval().expect("advanced"));
         println!(
             "{:>5.0} {:>16} {:>16} {:>7.3} {:>7.4} {:>7.3} | {:>7.0} {:>7.1} {:>7.1}",

@@ -30,14 +30,18 @@ fn main() -> Result<(), FitError> {
     // never seen (fresh simulation seed).
     println!("\nonline evaluation on an unseen ordering-mix ramp:");
     let report = meter.evaluate_mix(Mix::ordering(), 4242);
-    println!("  {:<8} {:<10} {:<10} {:<12} {:<10}", "t(s)", "actual", "predicted", "bottleneck", "confident");
+    println!(
+        "  {:<8} {:<10} {:<10} {:<12} {:<10}",
+        "t(s)", "actual", "predicted", "bottleneck", "confident"
+    );
     for r in &report.results {
         println!(
             "  {:<8.0} {:<10} {:<10} {:<12} {:<10}",
             r.t_end_s,
             if r.actual { "OVERLOAD" } else { "ok" },
             if r.predicted { "OVERLOAD" } else { "ok" },
-            r.predicted_bottleneck.map_or("-".to_string(), |t| t.to_string()),
+            r.predicted_bottleneck
+                .map_or("-".to_string(), |t| t.to_string()),
             r.confident
         );
     }

@@ -47,7 +47,11 @@ fn bottleneck_shifts_between_mixes() {
     let ordering = meter.evaluate_mix(Mix::ordering(), 77);
     let browsing = meter.evaluate_mix(Mix::browsing(), 78);
     let majority_bottleneck = |r: &webcap::core::EvaluationReport| {
-        let app = r.results.iter().filter(|x| x.actual_bottleneck == TierId::App).count();
+        let app = r
+            .results
+            .iter()
+            .filter(|x| x.actual_bottleneck == TierId::App)
+            .count();
         if app * 2 >= r.results.len() {
             TierId::App
         } else {
@@ -77,7 +81,11 @@ fn os_level_meter_also_trains() {
     let mut meter = CapacityMeter::train(&cfg).expect("OS meter trains");
     let report = meter.evaluate_mix(Mix::ordering(), 4242);
     // The ordering mix is the case where OS metrics do work (Table I(b)).
-    assert!(report.balanced_accuracy() > 0.55, "OS BA {}", report.balanced_accuracy());
+    assert!(
+        report.balanced_accuracy() > 0.55,
+        "OS BA {}",
+        report.balanced_accuracy()
+    );
 }
 
 #[test]
@@ -133,7 +141,10 @@ fn oracle_and_workloads_agree_on_the_knee() {
     );
     let windows = heavy.windows(30, 30, &oracle);
     let heavy_over = windows.iter().filter(|w| w.overloaded()).count();
-    assert!(heavy_over * 10 >= windows.len() * 8, "200% load must be overloaded");
+    assert!(
+        heavy_over * 10 >= windows.len() * 8,
+        "200% load must be overloaded"
+    );
     assert!(windows.iter().all(|w| w.mix == MixId::Ordering));
 }
 
@@ -144,8 +155,17 @@ fn interleaved_program_shifts_ground_truth_bottleneck() {
     let log = collect_run(&cfg, &program, &HpcModel::testbed(), 5);
     let windows = log.windows(30, 30, &OracleConfig::default());
     let overloaded: Vec<_> = windows.iter().filter(|w| w.overloaded()).collect();
-    assert!(!overloaded.is_empty(), "interleaved test must overload sometimes");
-    let app = overloaded.iter().filter(|w| w.label.bottleneck == TierId::App).count();
+    assert!(
+        !overloaded.is_empty(),
+        "interleaved test must overload sometimes"
+    );
+    let app = overloaded
+        .iter()
+        .filter(|w| w.label.bottleneck == TierId::App)
+        .count();
     let db = overloaded.len() - app;
-    assert!(app > 0 && db > 0, "bottleneck must shift: app {app}, db {db}");
+    assert!(
+        app > 0 && db > 0,
+        "bottleneck must shift: app {app}, db {db}"
+    );
 }

@@ -14,7 +14,10 @@ fn train_persist_reload_and_monitor_online() {
     let config = MeterConfig::small_for_tests(2024);
     let meter = CapacityMeter::train(&config).expect("training succeeds");
     let json = meter.to_json().expect("serializes");
-    assert!(json.len() > 1000, "serialized meter should carry real state");
+    assert!(
+        json.len() > 1000,
+        "serialized meter should carry real state"
+    );
 
     // 2. "Another process": reload from the serialized form only.
     let restored = CapacityMeter::from_json(&json).expect("deserializes");
@@ -42,11 +45,20 @@ fn train_persist_reload_and_monitor_online() {
 
     // Early windows (light phase) mostly healthy; late windows (2× knee)
     // must be called overloaded with the app tier named.
-    let early_over = decisions[..3].iter().filter(|d| d.prediction.overloaded).count();
-    assert!(early_over <= 1, "light phase mostly healthy: {early_over}/3");
+    let early_over = decisions[..3]
+        .iter()
+        .filter(|d| d.prediction.overloaded)
+        .count();
+    assert!(
+        early_over <= 1,
+        "light phase mostly healthy: {early_over}/3"
+    );
     let late = &decisions[8..];
     let late_over = late.iter().filter(|d| d.prediction.overloaded).count();
-    assert!(late_over >= 3, "deep overload must be flagged: {late_over}/4");
+    assert!(
+        late_over >= 3,
+        "deep overload must be flagged: {late_over}/4"
+    );
     for d in late.iter().filter(|d| d.prediction.overloaded) {
         assert_eq!(d.prediction.bottleneck, Some(TierId::App));
     }
