@@ -1,4 +1,5 @@
-//! The CLI subcommands: simulate, train, evaluate, info, plan.
+//! The CLI subcommands: simulate, train, evaluate, info, plan, agent,
+//! collect.
 
 use std::fmt;
 
@@ -8,7 +9,11 @@ use webcap_core::oracle::{label_window, OracleConfig};
 use webcap_core::workloads;
 use webcap_hpc::HpcModel;
 use webcap_ml::Algorithm;
-use webcap_sim::SimConfig;
+use webcap_net::{
+    run_agent, run_collector, AgentConfig, CollectorConfig, Endpoint, FaultKnobs, Listener,
+    ScriptedSource,
+};
+use webcap_sim::{SimConfig, Simulation, TierId};
 use webcap_tpcw::{Mix, TrafficProgram};
 
 use crate::args::{Args, ArgsError};
@@ -287,6 +292,123 @@ pub fn plan(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parse a tier name.
+pub fn parse_tier(name: &str) -> Result<TierId, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "app" => Ok(TierId::App),
+        "db" => Ok(TierId::Db),
+        other => Err(CliError::Message(format!(
+            "unknown tier '{other}' (expected app or db)"
+        ))),
+    }
+}
+
+/// `webcap agent` — run one tier's telemetry agent against a collector.
+///
+/// Today the agent replays the meter's simulated testbed (one shared
+/// `--run-seed` makes both tiers' agents replay the same run); the
+/// `SampleSource` seam in `webcap-net` is where real perf-counter
+/// readers plug in. Fault knobs come from the `WEBCAP_NET_*` env vars.
+pub fn agent(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "tier", "connect", "meter", "mix", "ebs", "duration", "seed", "run-seed",
+    ])?;
+    let tier = parse_tier(args.require("tier")?)?;
+    let endpoint = Endpoint::parse(args.require("connect")?)?;
+    let meter = CapacityMeter::from_json(&std::fs::read_to_string(args.require("meter")?)?)?;
+    let mix_name = args.get_or("mix", "ordering").to_ascii_lowercase();
+    let mix = parse_mix(&mix_name)?;
+    let seed = args.get_parsed("seed", 17u64, "integer")?;
+    let run_seed = args.get_parsed("run-seed", 400u64, "integer")?;
+    let duration = args.get_parsed("duration", 240.0, "number")?;
+    if duration < f64::from(meter.config().window_len as u32) {
+        return Err(CliError::Message(format!(
+            "duration must cover at least one {}-second window",
+            meter.config().window_len
+        )));
+    }
+    let mut sim = meter.config().sim.clone();
+    sim.seed = run_seed;
+    let knee = workloads::estimate_saturation_ebs(&sim, &mix);
+    let ebs = args.get_parsed("ebs", knee, "integer")?;
+
+    println!(
+        "agent[{tier}]: replaying {ebs} EBs of {mix_name} for {duration:.0}s into {endpoint}"
+    );
+    let samples = Simulation::new(sim, TrafficProgram::steady(mix, ebs, duration))
+        .run()
+        .samples;
+    let cfg = AgentConfig {
+        faults: FaultKnobs::from_env(),
+        ..AgentConfig::new(tier, endpoint, seed)
+    };
+    let hpc_model = meter.config().hpc_model.clone();
+    let mut source = ScriptedSource::new(tier, samples);
+    let report = run_agent(&cfg, hpc_model, &mut source)?;
+    println!(
+        "agent[{tier}]: {} frames sent over {} session(s), {} acked, \
+         {} fault-dropped, {} queue-evicted, {} heartbeats",
+        report.frames_sent,
+        report.sessions,
+        report.acks_received,
+        report.frames_dropped,
+        report.queue_dropped,
+        report.heartbeats_sent,
+    );
+    Ok(())
+}
+
+/// `webcap collect` — run the front-end collector, printing one line per
+/// intact window as its prediction comes out of the meter.
+pub fn collect(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["listen", "meter"])?;
+    let endpoint = Endpoint::parse(args.require("listen")?)?;
+    let meter = CapacityMeter::from_json(&std::fs::read_to_string(args.require("meter")?)?)?;
+    let listener = Listener::bind(&endpoint)?;
+    let cfg = CollectorConfig::default();
+    println!(
+        "collector: listening on {} for {} tier agents",
+        listener.local_endpoint()?,
+        cfg.expected_tiers
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12}",
+        "window", "t(s)", "thr", "state", "hc"
+    );
+    let report = run_collector(listener, meter, &cfg, |window, decision| {
+        println!(
+            "{:<8} {:>10.0} {:>10.1} {:>10} {:>12}",
+            window,
+            decision.window.t_end_s,
+            decision.window.throughput,
+            if decision.prediction.overloaded {
+                decision
+                    .prediction
+                    .bottleneck
+                    .map_or("OVERLOAD".to_string(), |t| format!("OVER/{t}"))
+            } else {
+                "ok".to_string()
+            },
+            if decision.prediction.confident {
+                "confident"
+            } else {
+                "in-band"
+            },
+        );
+    })?;
+    println!(
+        "collector: {} decisions, {} windows quarantined, {} still partial, \
+         {} anomalies, sessions app={} db={}",
+        report.decisions.len(),
+        report.poisoned_windows.len(),
+        report.pending_windows.len(),
+        report.anomalies,
+        report.sessions[0],
+        report.sessions[1],
+    );
+    Ok(())
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 webcap — online capacity measurement of multi-tier websites (ICDCS'08 reproduction)
@@ -309,6 +431,15 @@ COMMANDS:
              --meter <file>
   plan       analytic capacity of the testbed per canonical mix
              [--seed <N>]
+  collect    run the front-end collector of the distributed telemetry
+             plane; prints one prediction per intact 30 s window
+             --listen <tcp:host:port|unix:/path> --meter <file>
+  agent      run one tier's telemetry agent against a collector
+             --tier <app|db> --connect <endpoint> --meter <file>
+             [--mix <m>] [--ebs <N>] [--duration <s>] [--seed <N>]
+             [--run-seed <N>]
+             (fault injection: WEBCAP_NET_DROP_EVERY, WEBCAP_NET_DELAY_MS,
+             WEBCAP_NET_RECONNECT_EVERY)
 ";
 
 #[cfg(test)]
@@ -329,6 +460,21 @@ mod tests {
         assert_eq!(parse_algorithm("tan").unwrap(), Algorithm::Tan);
         assert_eq!(parse_algorithm("nb").unwrap(), Algorithm::NaiveBayes);
         assert!(parse_algorithm("zz").is_err());
+    }
+
+    #[test]
+    fn tier_parsing() {
+        assert_eq!(parse_tier("App").unwrap(), TierId::App);
+        assert_eq!(parse_tier("db").unwrap(), TierId::Db);
+        assert!(parse_tier("cache").is_err());
+    }
+
+    #[test]
+    fn agent_and_collect_require_their_endpoints() {
+        let err = agent(&args(&["--tier", "app"])).unwrap_err();
+        assert!(err.to_string().contains("--connect"));
+        let err = collect(&args(&[])).unwrap_err();
+        assert!(err.to_string().contains("--listen"));
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! Run `webcap` with no arguments for usage.
 
 use webcap_cli::args::Args;
-use webcap_cli::commands::{evaluate, info, plan, simulate, train, CliError, USAGE};
+use webcap_cli::commands::{
+    agent, collect, evaluate, info, plan, simulate, train, CliError, USAGE,
+};
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +22,8 @@ fn main() {
             "evaluate" => evaluate(&args),
             "info" => info(&args),
             "plan" => plan(&args),
+            "agent" => agent(&args),
+            "collect" => collect(&args),
             other => Err(CliError::Message(format!(
                 "unknown command '{other}'; run `webcap --help`"
             ))),

@@ -1,8 +1,12 @@
 //! Cross-crate smoke test: train a small meter through the public API,
 //! round-trip it through JSON the way `webcap train`/`webcap evaluate`
-//! do, and drive one online prediction through the incremental monitor.
+//! do, drive one online prediction through the incremental monitor, and
+//! run the distributed telemetry plane end to end over a Unix socket the
+//! way `webcap agent` / `webcap collect` deploy it.
 
 use webcap_core::{CapacityMeter, MeterConfig, OnlineMonitor, Parallelism};
+use webcap_net::loopback::{all_windows, replay_windows, run_loopback};
+use webcap_net::{Endpoint, FaultKnobs};
 use webcap_sim::Simulation;
 use webcap_tpcw::{Mix, TrafficProgram};
 
@@ -42,4 +46,47 @@ fn train_roundtrip_and_online_predict() {
     }
     assert_eq!(decisions, 1, "exactly one window completed");
     assert_eq!(monitor.decisions_made(), 1);
+}
+
+/// The agent ↔ collector round trip: two tier agents stream a recorded
+/// run over a Unix socket to a collector whose predictions must be
+/// byte-identical to what an in-process `OnlineMonitor` says about the
+/// same samples.
+#[cfg(unix)]
+#[test]
+fn distributed_loopback_matches_the_in_process_monitor() {
+    let config = MeterConfig::small_for_tests(5);
+    let meter = CapacityMeter::train(&config).expect("training succeeds");
+    let window_len = meter.config().window_len;
+    let mut sim = meter.config().sim.clone();
+    sim.seed = 999;
+    let program = TrafficProgram::steady(Mix::ordering(), 60, (window_len * 2) as f64);
+    let samples = Simulation::new(sim, program).run().samples;
+
+    let dir = std::env::temp_dir().join(format!("webcap-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sock = dir.join("loopback.sock");
+    let out = run_loopback(
+        &meter,
+        &samples,
+        &Endpoint::Unix(sock.clone()),
+        12,
+        FaultKnobs::NONE,
+    )
+    .expect("loopback deployment runs");
+    let _ = std::fs::remove_file(&sock);
+
+    assert_eq!(out.collector.decisions.len(), 2, "two full windows");
+    assert!(out.collector.poisoned_windows.is_empty());
+    let baseline = replay_windows(&meter, &samples, 12, &all_windows(samples.len(), window_len));
+    assert_eq!(
+        serde_json::to_string(&out.collector.decisions[0].1).expect("decision serializes"),
+        serde_json::to_string(&baseline[0].1).expect("baseline serializes"),
+        "the collector's first prediction equals the in-process monitor's"
+    );
+    assert_eq!(
+        serde_json::to_string(&out.collector.decisions).expect("decisions serialize"),
+        serde_json::to_string(&baseline).expect("baseline serializes"),
+        "every prediction matches byte-for-byte"
+    );
 }

@@ -42,6 +42,59 @@ impl Default for AdmissionConfig {
     }
 }
 
+/// Why an [`AdmissionConfig`] was rejected.
+///
+/// Each variant names the degenerate parameter and carries the offending
+/// value, so a front-end can surface exactly what to fix instead of a
+/// generic "bad config".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionConfigError {
+    /// `min_ebs == 0`: the AIMD floor would admit nobody and the
+    /// multiplicative decrease could collapse the cap to zero forever.
+    ZeroMinEbs,
+    /// `decrease_factor` outside the open interval `(0, 1)`: at `>= 1`
+    /// overload would never shrink the cap (or would grow it); at `<= 0`
+    /// one overload would zero it. NaN is rejected by the same arm.
+    DecreaseFactorOutOfRange(f64),
+    /// `segment_s <= 0` (or NaN): a control segment must span positive
+    /// time for the meter to observe anything.
+    NonPositiveSegment(f64),
+}
+
+impl std::fmt::Display for AdmissionConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionConfigError::ZeroMinEbs => f.write_str("min_ebs must be positive"),
+            AdmissionConfigError::DecreaseFactorOutOfRange(v) => {
+                write!(f, "decrease factor must be in (0,1), got {v}")
+            }
+            AdmissionConfigError::NonPositiveSegment(v) => {
+                write!(f, "segment must be positive, got {v} s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionConfigError {}
+
+impl AdmissionConfig {
+    /// Check every parameter, returning the first violation.
+    pub fn validate(&self) -> Result<(), AdmissionConfigError> {
+        if self.min_ebs == 0 {
+            return Err(AdmissionConfigError::ZeroMinEbs);
+        }
+        if !(self.decrease_factor > 0.0 && self.decrease_factor < 1.0) {
+            return Err(AdmissionConfigError::DecreaseFactorOutOfRange(
+                self.decrease_factor,
+            ));
+        }
+        if !(self.segment_s > 0.0) {
+            return Err(AdmissionConfigError::NonPositiveSegment(self.segment_s));
+        }
+        Ok(())
+    }
+}
+
 /// The AIMD controller state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdmissionController {
@@ -50,23 +103,28 @@ pub struct AdmissionController {
 }
 
 impl AdmissionController {
+    /// Create a controller with an initial admitted-session cap,
+    /// rejecting degenerate configurations with a typed error.
+    pub fn try_new(
+        cfg: AdmissionConfig,
+        initial_cap: u32,
+    ) -> Result<AdmissionController, AdmissionConfigError> {
+        cfg.validate()?;
+        Ok(AdmissionController {
+            cfg,
+            cap: initial_cap.max(cfg.min_ebs),
+        })
+    }
+
     /// Create a controller with an initial admitted-session cap.
     ///
     /// # Panics
     ///
     /// Panics if the config is degenerate (`decrease_factor` outside
-    /// `(0, 1)`, `min_ebs == 0`, or non-positive segment length).
+    /// `(0, 1)`, `min_ebs == 0`, or non-positive segment length). Use
+    /// [`AdmissionController::try_new`] to handle the error instead.
     pub fn new(cfg: AdmissionConfig, initial_cap: u32) -> AdmissionController {
-        assert!(cfg.min_ebs > 0, "min_ebs must be positive");
-        assert!(
-            cfg.decrease_factor > 0.0 && cfg.decrease_factor < 1.0,
-            "decrease factor must be in (0,1)"
-        );
-        assert!(cfg.segment_s > 0.0, "segment must be positive");
-        AdmissionController {
-            cfg,
-            cap: initial_cap.max(cfg.min_ebs),
-        }
+        AdmissionController::try_new(cfg, initial_cap).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Current admitted-session cap.
@@ -269,5 +327,71 @@ mod tests {
             ..AdmissionConfig::default()
         };
         let _ = AdmissionController::new(cfg, 100);
+    }
+
+    #[test]
+    fn zero_min_ebs_rejected_with_typed_error() {
+        let cfg = AdmissionConfig {
+            min_ebs: 0,
+            ..AdmissionConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(AdmissionConfigError::ZeroMinEbs));
+        assert_eq!(
+            AdmissionController::try_new(cfg, 100).unwrap_err(),
+            AdmissionConfigError::ZeroMinEbs
+        );
+    }
+
+    #[test]
+    fn out_of_range_decrease_factor_rejected_with_typed_error() {
+        for bad in [0.0, 1.0, 1.5, -0.5, f64::NAN] {
+            let cfg = AdmissionConfig {
+                decrease_factor: bad,
+                ..AdmissionConfig::default()
+            };
+            match AdmissionController::try_new(cfg, 100) {
+                Err(AdmissionConfigError::DecreaseFactorOutOfRange(v)) => {
+                    assert!(v.is_nan() == bad.is_nan() && (v.is_nan() || v == bad));
+                }
+                other => panic!("decrease_factor={bad} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_positive_segment_rejected_with_typed_error() {
+        for bad in [0.0, -60.0, f64::NAN] {
+            let cfg = AdmissionConfig {
+                segment_s: bad,
+                ..AdmissionConfig::default()
+            };
+            match cfg.validate() {
+                Err(AdmissionConfigError::NonPositiveSegment(v)) => {
+                    assert!(v.is_nan() == bad.is_nan() && (v.is_nan() || v == bad));
+                }
+                other => panic!("segment_s={bad} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn valid_config_passes_validation() {
+        assert_eq!(AdmissionConfig::default().validate(), Ok(()));
+        let c = AdmissionController::try_new(AdmissionConfig::default(), 100).unwrap();
+        assert_eq!(c.cap(), 100);
+    }
+
+    #[test]
+    fn error_messages_name_the_parameter() {
+        assert_eq!(
+            AdmissionConfigError::ZeroMinEbs.to_string(),
+            "min_ebs must be positive"
+        );
+        assert!(AdmissionConfigError::DecreaseFactorOutOfRange(1.5)
+            .to_string()
+            .contains("decrease factor must be in (0,1)"));
+        assert!(AdmissionConfigError::NonPositiveSegment(-1.0)
+            .to_string()
+            .contains("segment must be positive"));
     }
 }

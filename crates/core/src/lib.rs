@@ -49,6 +49,7 @@ pub mod pi;
 pub mod synopsis;
 pub mod workloads;
 
+pub use admission::{AdmissionConfig, AdmissionConfigError, AdmissionController};
 pub use coordinator::{CoordinatedPrediction, CoordinatedPredictor, CoordinatorConfig, TieScheme};
 pub use meter::{CapacityMeter, EvaluationReport, MeterConfig};
 pub use monitor::{collect_run, MetricLevel, RunLog, WindowInstance};

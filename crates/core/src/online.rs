@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use webcap_hpc::{DerivedMetrics, HpcModel};
 use webcap_os::OsCollector;
 use webcap_sim::{SystemSample, TierId};
@@ -22,7 +23,7 @@ use crate::monitor::{MetricLevel, WindowInstance};
 use crate::oracle::label_window;
 
 /// One emitted online decision.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnlineDecision {
     /// The coordinated prediction for the just-completed window.
     pub prediction: CoordinatedPrediction,
@@ -38,8 +39,9 @@ pub struct OnlineMonitor {
     hpc_model: HpcModel,
     os_collectors: [OsCollector; 2],
     rng: StdRng,
+    metrics_seed: u64,
     buffer: Vec<SystemSample>,
-    hpc_buffer: [Vec<DerivedMetrics>; 2],
+    hpc_buffer: [Vec<Vec<f64>>; 2],
     os_buffer: [Vec<Vec<f64>>; 2],
     samples_seen: u64,
     decisions_made: u64,
@@ -56,6 +58,7 @@ impl OnlineMonitor {
             hpc_model,
             os_collectors: [OsCollector::new(TierId::App), OsCollector::new(TierId::Db)],
             rng: StdRng::seed_from_u64(metrics_seed),
+            metrics_seed,
             buffer: Vec::new(),
             hpc_buffer: [Vec::new(), Vec::new()],
             os_buffer: [Vec::new(), Vec::new()],
@@ -84,22 +87,77 @@ impl OnlineMonitor {
         self.meter
     }
 
-    /// Feed one per-second telemetry sample. Returns a decision when this
-    /// sample completes an aggregation window (every `window_len` samples,
-    /// disjoint windows — the paper's online regime).
+    /// Number of samples buffered toward the next (partial) window.
+    pub fn pending_samples(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Discard all partial-window aggregation state and return the monitor
+    /// to its construction-time behavior: the sample buffers are cleared,
+    /// the metric-synthesis RNG is re-seeded from the original
+    /// `metrics_seed`, the stateful OS collectors are replaced by fresh
+    /// ones, and the meter's temporal prediction history is zeroed (after
+    /// a telemetry discontinuity the history register no longer describes
+    /// the *previous* window, so carrying it forward would index the LHT
+    /// with a stale context).
+    ///
+    /// A distributed collector calls this after a sequence gap or an agent
+    /// reconnection; the decisions that follow a reset are identical to a
+    /// freshly constructed monitor's on the same samples. The cumulative
+    /// [`OnlineMonitor::samples_seen`] / [`OnlineMonitor::decisions_made`]
+    /// counters are deliberately preserved — they are telemetry about the
+    /// monitor itself, not aggregation state.
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        for tier in TierId::ALL {
+            self.hpc_buffer[tier.index()].clear();
+            self.os_buffer[tier.index()].clear();
+        }
+        self.rng = StdRng::seed_from_u64(self.metrics_seed);
+        self.os_collectors = [OsCollector::new(TierId::App), OsCollector::new(TierId::Db)];
+        self.meter.reset_history();
+    }
+
+    /// Feed one per-second telemetry sample, synthesizing the low-level
+    /// metrics in-process (the single-host deployment). Returns a decision
+    /// when this sample completes an aggregation window (every
+    /// `window_len` samples, disjoint windows — the paper's online
+    /// regime).
     pub fn push_sample(&mut self, sample: SystemSample) -> Option<OnlineDecision> {
+        let mut hpc: [Vec<f64>; 2] = Default::default();
+        let mut os: [Vec<f64>; 2] = Default::default();
         for tier in TierId::ALL {
             let ts = sample.tier(tier);
             let counters = self
                 .hpc_model
                 .sample(tier, ts, sample.interval_s, &mut self.rng);
-            self.hpc_buffer[tier.index()].push(DerivedMetrics::from_sample(&counters));
-            self.os_buffer[tier.index()].push(
-                self.os_collectors[tier.index()]
-                    .sample(ts, sample.interval_s, &mut self.rng)
-                    .values()
-                    .to_vec(),
-            );
+            hpc[tier.index()] = DerivedMetrics::from_sample(&counters).to_features();
+            os[tier.index()] = self.os_collectors[tier.index()]
+                .sample(ts, sample.interval_s, &mut self.rng)
+                .values()
+                .to_vec();
+        }
+        self.push_collected(sample, hpc, os)
+    }
+
+    /// Feed one per-second telemetry sample whose low-level metric rows
+    /// were collected *externally* — the distributed deployment, where
+    /// per-tier agents sample counters next to the hardware and stream
+    /// `(HPC features, OS metric values)` rows to a front-end collector.
+    /// The monitor's own synthesis models and RNG are not consulted.
+    ///
+    /// `hpc[tier]` must be the tier's derived-HPC feature vector and
+    /// `os[tier]` its OS metric values for this second, index-aligned
+    /// with [`crate::monitor::feature_names`].
+    pub fn push_collected(
+        &mut self,
+        sample: SystemSample,
+        hpc: [Vec<f64>; 2],
+        os: [Vec<f64>; 2],
+    ) -> Option<OnlineDecision> {
+        for tier in TierId::ALL {
+            self.hpc_buffer[tier.index()].push(hpc[tier.index()].clone());
+            self.os_buffer[tier.index()].push(os[tier.index()].clone());
         }
         self.buffer.push(sample);
         self.samples_seen += 1;
@@ -117,11 +175,7 @@ impl OnlineMonitor {
         let mix = majority_mix(&self.buffer);
         let mut features: [[Vec<f64>; 2]; 3] = Default::default();
         for tier in TierId::ALL {
-            let hpc = mean_rows(
-                self.hpc_buffer[tier.index()]
-                    .iter()
-                    .map(|m| m.to_features()),
-            );
+            let hpc = mean_rows(self.hpc_buffer[tier.index()].iter().cloned());
             let os = mean_rows(self.os_buffer[tier.index()].iter().cloned());
             let mut combined = os.clone();
             combined.extend_from_slice(&hpc);
@@ -277,6 +331,91 @@ mod tests {
             d.window.mix, batch[0].mix,
             "online label matches batch majority"
         );
+    }
+
+    #[test]
+    fn reset_matches_fresh_monitor() {
+        let meter = CapacityMeter::train(&MeterConfig::small_for_tests(31)).unwrap();
+        let window = meter.config().window_len;
+        let cfg = meter.config().sim.clone();
+        let samples = run_samples(&cfg, 60, 95.0, 403);
+
+        // Feed one full window (advancing the meter's temporal history)
+        // plus half of the next, then hit a simulated telemetry
+        // discontinuity.
+        let mut survivor = OnlineMonitor::new(meter.clone(), 11);
+        let prefix = window + window / 2;
+        for s in samples.iter().take(prefix).cloned() {
+            survivor.push_sample(s);
+        }
+        assert!(survivor.pending_samples() > 0, "mid-window before reset");
+        survivor.reset();
+        assert_eq!(survivor.pending_samples(), 0);
+
+        // After the reset, the survivor must behave exactly like a monitor
+        // constructed fresh from the same meter and seed: same window
+        // boundaries, byte-identical decision JSON.
+        let mut fresh = OnlineMonitor::new(meter, 11);
+        let mut compared = 0;
+        for s in samples.iter().take(window).cloned() {
+            match (survivor.push_sample(s.clone()), fresh.push_sample(s)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(
+                        serde_json::to_string(&a).unwrap(),
+                        serde_json::to_string(&b).unwrap(),
+                        "post-reset decision differs from a fresh monitor's"
+                    );
+                    compared += 1;
+                }
+                _ => panic!("monitors disagree on window completion"),
+            }
+        }
+        assert_eq!(compared, 1, "exactly one full window was compared");
+
+        // The cumulative counters are telemetry, not aggregation state:
+        // they survive the reset.
+        assert_eq!(survivor.samples_seen(), (prefix + window) as u64);
+        assert_eq!(survivor.decisions_made(), 2);
+    }
+
+    #[test]
+    fn push_collected_is_the_push_sample_substrate() {
+        // push_sample == synthesize + push_collected: feeding the same
+        // stream through a mirror monitor that synthesizes externally
+        // (with its own RNG clone) must reproduce the decisions.
+        let meter = CapacityMeter::train(&MeterConfig::small_for_tests(31)).unwrap();
+        let window = meter.config().window_len;
+        let cfg = meter.config().sim.clone();
+        let hpc_model = meter.config().hpc_model.clone();
+        let samples = run_samples(&cfg, 60, 2.0 * window as f64, 404);
+
+        let mut inline = OnlineMonitor::new(meter.clone(), 13);
+        let mut external = OnlineMonitor::new(meter, 13);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut collectors = [OsCollector::new(TierId::App), OsCollector::new(TierId::Db)];
+        for s in samples {
+            let mut hpc: [Vec<f64>; 2] = Default::default();
+            let mut os: [Vec<f64>; 2] = Default::default();
+            for tier in TierId::ALL {
+                let ts = s.tier(tier);
+                let counters = hpc_model.sample(tier, ts, s.interval_s, &mut rng);
+                hpc[tier.index()] = DerivedMetrics::from_sample(&counters).to_features();
+                os[tier.index()] = collectors[tier.index()]
+                    .sample(ts, s.interval_s, &mut rng)
+                    .values()
+                    .to_vec();
+            }
+            let a = inline.push_sample(s.clone());
+            let b = external.push_collected(s, hpc, os);
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "externally collected metrics diverged from inline synthesis"
+            );
+        }
+        assert_eq!(inline.decisions_made(), 2);
+        assert_eq!(external.decisions_made(), 2);
     }
 
     #[test]

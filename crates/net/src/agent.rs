@@ -1,0 +1,451 @@
+//! The per-tier telemetry agent: sample, synthesize, frame, stream.
+//!
+//! One agent process runs next to each tier. Its loop is single-
+//! threaded by design — poll the [`SampleSource`], synthesize the metric
+//! rows ([`TierSampler`]), enqueue, send — with exactly one helper
+//! thread per connection that drains the collector's acknowledgments so
+//! the peer's write buffer can never fill and deadlock the pair.
+//!
+//! Robustness model:
+//!
+//! * **Bounded queue, drop-oldest.** Samples produced while the
+//!   collector is unreachable accumulate in a bounded queue; when it
+//!   overflows the *oldest* sample is dropped, because the freshest data
+//!   is what an online capacity decision needs. Every drop becomes a
+//!   sequence gap the collector detects and quarantines.
+//! * **Reconnect with jittered exponential backoff.** Dial failures
+//!   back off exponentially (capped), with a ±25% deterministic jitter
+//!   derived from the agent seed so a fleet of agents does not dial a
+//!   recovering collector in lockstep.
+//! * **Fault injection.** [`FaultKnobs`] (env:
+//!   `WEBCAP_NET_DROP_EVERY`, `WEBCAP_NET_DELAY_MS`,
+//!   `WEBCAP_NET_RECONNECT_EVERY`) silently discard every Nth sample
+//!   frame, delay each send, and force a clean reconnect after every
+//!   Nth sent frame — the knobs the CI fault matrix and the
+//!   fault-injection acceptance test turn.
+
+use std::collections::VecDeque;
+use std::io::{self};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use webcap_hpc::HpcModel;
+use webcap_parallel::derive_seed;
+use webcap_sim::TierId;
+
+use crate::frame::{metric_schema_hash, read_frame, write_frame, Frame, WireSample, PROTO_VERSION};
+use crate::source::{SampleSource, SourcePoll, TierSampler};
+use crate::transport::{is_timeout, Conn, Endpoint};
+
+/// Seed-derivation namespace for backoff jitter (local to the agent; the
+/// metric-synthesis domain lives in `webcap_parallel::seed_domain`).
+const BACKOFF_DOMAIN: u64 = 0x62_6b_6f_66; // "bkof"
+
+/// Induced-fault knobs for exercising the loss/reconnect machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultKnobs {
+    /// Silently discard every Nth sample frame (1-based count of send
+    /// attempts), producing sequence gaps.
+    pub drop_every: Option<u64>,
+    /// Sleep this long before each sample send (network lag).
+    pub delay: Option<Duration>,
+    /// Force a clean shutdown + reconnect after every Nth *sent* sample
+    /// frame of a connection.
+    pub reconnect_every: Option<u64>,
+}
+
+impl FaultKnobs {
+    /// No induced faults.
+    pub const NONE: FaultKnobs = FaultKnobs {
+        drop_every: None,
+        delay: None,
+        reconnect_every: None,
+    };
+
+    /// Read the knobs from `WEBCAP_NET_DROP_EVERY`,
+    /// `WEBCAP_NET_DELAY_MS`, and `WEBCAP_NET_RECONNECT_EVERY`.
+    /// Unparsable or zero values mean "off".
+    pub fn from_env() -> FaultKnobs {
+        fn positive(var: &str) -> Option<u64> {
+            std::env::var(var)
+                .ok()?
+                .trim()
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+        }
+        FaultKnobs {
+            drop_every: positive("WEBCAP_NET_DROP_EVERY"),
+            delay: positive("WEBCAP_NET_DELAY_MS").map(Duration::from_millis),
+            reconnect_every: positive("WEBCAP_NET_RECONNECT_EVERY"),
+        }
+    }
+
+    /// Whether any knob is turned.
+    pub fn any(&self) -> bool {
+        *self != FaultKnobs::NONE
+    }
+}
+
+/// Agent runtime configuration.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// The tier this agent measures.
+    pub tier: TierId,
+    /// Collector endpoint to dial.
+    pub endpoint: Endpoint,
+    /// Bounded send-queue capacity (drop-oldest beyond it).
+    pub queue_capacity: usize,
+    /// First dial-retry backoff.
+    pub backoff_initial: Duration,
+    /// Backoff growth cap.
+    pub backoff_max: Duration,
+    /// Consecutive dial/handshake failures before giving up.
+    pub max_dial_attempts: u32,
+    /// Read timeout on the connection (handshake reply, ack drain).
+    pub read_timeout: Duration,
+    /// Send a heartbeat after this long without frames while idle.
+    pub heartbeat: Duration,
+    /// Deployment-wide base seed: metric-synthesis noise and backoff
+    /// jitter both derive from it.
+    pub seed: u64,
+    /// Induced faults.
+    pub faults: FaultKnobs,
+}
+
+impl AgentConfig {
+    /// Defaults tuned for tests and the local demo: snappy timeouts,
+    /// 256-sample queue.
+    pub fn new(tier: TierId, endpoint: Endpoint, seed: u64) -> AgentConfig {
+        AgentConfig {
+            tier,
+            endpoint,
+            queue_capacity: 256,
+            backoff_initial: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(1),
+            max_dial_attempts: 40,
+            read_timeout: Duration::from_millis(500),
+            heartbeat: Duration::from_millis(500),
+            seed,
+            faults: FaultKnobs::NONE,
+        }
+    }
+}
+
+/// What an agent did over its lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AgentReport {
+    /// Samples pulled from the source.
+    pub samples_produced: u64,
+    /// Sample frames that reached the wire.
+    pub frames_sent: u64,
+    /// Sample frames discarded by the `drop_every` fault knob.
+    pub frames_dropped: u64,
+    /// Samples evicted by drop-oldest queue backpressure.
+    pub queue_dropped: u64,
+    /// Connections established (reconnects = `sessions - 1`).
+    pub sessions: u64,
+    /// Acknowledgment frames observed.
+    pub acks_received: u64,
+    /// Heartbeat frames sent.
+    pub heartbeats_sent: u64,
+}
+
+/// Push with bounded capacity, evicting the oldest entry when full.
+/// Returns the number of evictions (0 or 1).
+fn push_bounded(queue: &mut VecDeque<WireSample>, item: WireSample, capacity: usize) -> u64 {
+    let mut evicted = 0;
+    while queue.len() >= capacity.max(1) {
+        queue.pop_front();
+        evicted += 1;
+    }
+    queue.push_back(item);
+    evicted
+}
+
+/// Backoff before dial attempt `attempt` (1-based): exponential from
+/// `initial`, capped at `max`, scaled by a deterministic jitter in
+/// [0.75, 1.25) derived from `(seed, attempt)`.
+fn backoff_delay(initial: Duration, max: Duration, seed: u64, attempt: u32) -> Duration {
+    let exp = initial
+        .saturating_mul(1u32 << attempt.saturating_sub(1).min(20))
+        .min(max);
+    let jitter_bits = derive_seed(BACKOFF_DOMAIN, u64::from(attempt), seed) % 1000;
+    let factor = 0.75 + 0.5 * (jitter_bits as f64 / 1000.0);
+    exp.mul_f64(factor)
+}
+
+/// Outcome of one connected session.
+enum SessionEnd {
+    /// Source exhausted and queue flushed; `Bye` sent.
+    Done,
+    /// Connection lost or fault-forced; redial and continue.
+    Reconnect,
+}
+
+/// Dial and handshake, retrying with backoff. Returns the connected,
+/// acknowledged stream.
+fn dial(cfg: &AgentConfig, dial_attempts: &mut u32) -> io::Result<Conn> {
+    loop {
+        *dial_attempts += 1;
+        let attempt = *dial_attempts;
+        match try_handshake(cfg) {
+            Ok(conn) => {
+                *dial_attempts = 0;
+                return Ok(conn);
+            }
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused
+                || e.kind() == io::ErrorKind::NotFound
+                || e.kind() == io::ErrorKind::UnexpectedEof
+                || e.kind() == io::ErrorKind::ConnectionReset
+                || is_timeout(&e) =>
+            {
+                if attempt >= cfg.max_dial_attempts {
+                    return Err(e);
+                }
+                std::thread::sleep(backoff_delay(
+                    cfg.backoff_initial,
+                    cfg.backoff_max,
+                    cfg.seed,
+                    attempt,
+                ));
+            }
+            // Reject, version mismatch, unsupported endpoint: won't heal.
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn try_handshake(cfg: &AgentConfig) -> io::Result<Conn> {
+    let mut conn = Conn::connect(&cfg.endpoint)?;
+    conn.set_read_timeout(Some(cfg.read_timeout))?;
+    write_frame(
+        &mut conn,
+        &Frame::Hello {
+            tier: cfg.tier,
+            proto_version: PROTO_VERSION,
+            metric_schema_hash: metric_schema_hash(cfg.tier),
+        },
+    )?;
+    match read_frame(&mut conn)? {
+        Frame::Ack { seq: 0 } => Ok(conn),
+        Frame::Reject { reason } => Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("collector rejected {} agent: {reason}", cfg.tier.label()),
+        )),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected handshake reply: {other:?}"),
+        )),
+    }
+}
+
+/// Run an agent until its source is exhausted (graceful `Bye`) or the
+/// collector stays unreachable past the retry budget.
+pub fn run_agent(
+    cfg: &AgentConfig,
+    hpc_model: HpcModel,
+    source: &mut dyn SampleSource,
+) -> io::Result<AgentReport> {
+    let mut sampler = TierSampler::new(cfg.tier, hpc_model, cfg.seed);
+    let mut queue: VecDeque<WireSample> = VecDeque::new();
+    let mut report = AgentReport::default();
+    let mut source_done = false;
+    let mut last_seq: u64 = 0;
+    // 1-based count of sample-send attempts across the whole run — the
+    // denominator of the `drop_every` fault knob, and what an external
+    // oracle (the fault-injection test) replays to predict exactly which
+    // sequences went missing.
+    let mut attempts: u64 = 0;
+    let mut dial_attempts: u32 = 0;
+
+    loop {
+        let conn = dial(cfg, &mut dial_attempts)?;
+        report.sessions += 1;
+
+        let acks = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let ack_conn = conn.try_clone()?;
+        let mut conn = conn;
+        let end = std::thread::scope(|scope| -> io::Result<SessionEnd> {
+            scope.spawn(|| {
+                let mut ack_conn = ack_conn;
+                loop {
+                    match read_frame(&mut ack_conn) {
+                        Ok(Frame::Ack { .. }) => {
+                            acks.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {}
+                        Err(e) if is_timeout(&e) => {
+                            if done.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+
+            let mut conn_sent: u64 = 0;
+            let mut idle_polls: u32 = 0;
+            let end = loop {
+                if queue.is_empty() {
+                    if source_done {
+                        // Flushed everything the source will ever give:
+                        // announce the final sequence so the collector can
+                        // detect trailing loss, and end gracefully.
+                        write_frame(&mut conn, &Frame::Bye { last_seq })?;
+                        break SessionEnd::Done;
+                    }
+                    match source.next_sample() {
+                        SourcePoll::Ready(s) => {
+                            report.samples_produced += 1;
+                            last_seq = s.seq;
+                            let ws = sampler.wire_sample(s);
+                            report.queue_dropped +=
+                                push_bounded(&mut queue, ws, cfg.queue_capacity);
+                            idle_polls = 0;
+                        }
+                        SourcePoll::Idle => {
+                            // Nothing due: heartbeat so the collector's
+                            // read timeout knows we are alive, then yield.
+                            idle_polls += 1;
+                            let poll_sleep = Duration::from_millis(5);
+                            if poll_sleep * idle_polls >= cfg.heartbeat {
+                                write_frame(&mut conn, &Frame::Heartbeat { seq: last_seq })?;
+                                report.heartbeats_sent += 1;
+                                idle_polls = 0;
+                            }
+                            std::thread::sleep(poll_sleep);
+                            continue;
+                        }
+                        SourcePoll::Exhausted => {
+                            source_done = true;
+                            continue;
+                        }
+                    }
+                }
+
+                let ws = queue.front().expect("non-empty queue");
+                attempts += 1;
+                if cfg.faults.drop_every.is_some_and(|n| attempts % n == 0) {
+                    queue.pop_front();
+                    report.frames_dropped += 1;
+                    continue;
+                }
+                if let Some(delay) = cfg.faults.delay {
+                    std::thread::sleep(delay);
+                }
+                if write_frame(&mut conn, &Frame::Sample(ws.clone())).is_err() {
+                    // The frame stays queued; resend on the next session.
+                    // Undo the attempt so a retried frame faces the same
+                    // drop verdict it already passed.
+                    attempts -= 1;
+                    break SessionEnd::Reconnect;
+                }
+                queue.pop_front();
+                report.frames_sent += 1;
+                conn_sent += 1;
+                if cfg.faults.reconnect_every.is_some_and(|n| conn_sent >= n) {
+                    break SessionEnd::Reconnect;
+                }
+            };
+            done.store(true, Ordering::Relaxed);
+            let _ = conn.shutdown();
+            Ok(end)
+        })?;
+        report.acks_received += acks.load(Ordering::Relaxed);
+
+        match end {
+            SessionEnd::Done => return Ok(report),
+            SessionEnd::Reconnect => continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcap_sim::TierSample;
+
+    fn ws(seq: u64) -> WireSample {
+        WireSample {
+            seq,
+            t_s: seq as f64 + 1.0,
+            interval_s: 1.0,
+            tier: TierSample::default(),
+            hpc: vec![],
+            os: vec![],
+            app: None,
+        }
+    }
+
+    #[test]
+    fn bounded_queue_drops_oldest() {
+        let mut q = VecDeque::new();
+        let mut evicted = 0;
+        for seq in 0..5 {
+            evicted += push_bounded(&mut q, ws(seq), 3);
+        }
+        assert_eq!(evicted, 2);
+        let kept: Vec<u64> = q.iter().map(|w| w.seq).collect();
+        assert_eq!(kept, vec![2, 3, 4], "newest samples survive");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_capped_and_jittered() {
+        let initial = Duration::from_millis(20);
+        let max = Duration::from_millis(500);
+        let mut prev_nominal = Duration::ZERO;
+        for attempt in 1..=10 {
+            let d = backoff_delay(initial, max, 7, attempt);
+            let nominal = initial
+                .saturating_mul(1u32 << (attempt - 1).min(20))
+                .min(max);
+            assert!(nominal >= prev_nominal, "nominal backoff never shrinks");
+            prev_nominal = nominal;
+            assert!(d >= nominal.mul_f64(0.75), "attempt {attempt}: {d:?}");
+            assert!(d <= nominal.mul_f64(1.25), "attempt {attempt}: {d:?}");
+        }
+        // Deterministic per (seed, attempt); seeds decorrelate.
+        assert_eq!(
+            backoff_delay(initial, max, 7, 3),
+            backoff_delay(initial, max, 7, 3)
+        );
+        assert_ne!(
+            backoff_delay(initial, max, 7, 3),
+            backoff_delay(initial, max, 8, 3)
+        );
+    }
+
+    #[test]
+    fn fault_knobs_parse_from_env() {
+        std::env::set_var("WEBCAP_NET_DROP_EVERY", "37");
+        std::env::set_var("WEBCAP_NET_DELAY_MS", "2");
+        std::env::set_var("WEBCAP_NET_RECONNECT_EVERY", "0");
+        let knobs = FaultKnobs::from_env();
+        assert_eq!(knobs.drop_every, Some(37));
+        assert_eq!(knobs.delay, Some(Duration::from_millis(2)));
+        assert_eq!(knobs.reconnect_every, None, "zero means off");
+        assert!(knobs.any());
+        std::env::remove_var("WEBCAP_NET_DROP_EVERY");
+        std::env::remove_var("WEBCAP_NET_DELAY_MS");
+        std::env::remove_var("WEBCAP_NET_RECONNECT_EVERY");
+    }
+
+    #[test]
+    fn agent_gives_up_after_the_dial_budget() {
+        // Nothing listens on this port; the agent must back off and then
+        // surface the dial error instead of spinning forever.
+        let mut cfg = AgentConfig::new(
+            TierId::App,
+            Endpoint::parse("127.0.0.1:9").unwrap(),
+            3,
+        );
+        cfg.max_dial_attempts = 2;
+        cfg.backoff_initial = Duration::from_millis(1);
+        cfg.backoff_max = Duration::from_millis(2);
+        let mut source = crate::source::ScriptedSource::new(TierId::App, Vec::new());
+        assert!(run_agent(&cfg, webcap_hpc::HpcModel::testbed(), &mut source).is_err());
+    }
+}

@@ -1,0 +1,706 @@
+//! The front-end collector: accept one connection per tier, reassemble
+//! per-second [`SystemSample`]s by timestamp alignment, quarantine any
+//! window touched by loss or reconnection, and feed the surviving
+//! windows to the online meter.
+//!
+//! # Gap semantics
+//!
+//! The collector **never averages over holes**. Aggregation windows are
+//! fixed spans of `window_len` consecutive second-keys (`key =
+//! round(t_s)`), anchored at `window_origin`; window `w` covers keys
+//! `origin + w·len ..= origin + (w+1)·len − 1`. A window is *poisoned* —
+//! permanently excluded from prediction — when:
+//!
+//! * **a sequence gap** on either tier skips keys: every window
+//!   containing a missing key is poisoned (detected the moment the
+//!   first post-gap sample arrives, and at `Bye` for trailing loss);
+//! * **a reconnection** straddles it: the window holding the last
+//!   pre-disconnect key (unless that key ends its window) and the
+//!   window holding the first post-reconnect key (unless that key
+//!   starts its window) are poisoned, so no emitted window ever mixes
+//!   two sessions mid-stream.
+//!
+//! Because each tier's frames arrive in order on one connection and a
+//! window only completes when *both* tiers have delivered *all* of its
+//! keys, every poisoning event for a window is observed before the
+//! window could complete — a window is never un-emitted. The emitted
+//! decision stream is therefore a pure function of the two per-tier
+//! frame sequences, which is what lets the fault-injection test demand
+//! byte-identical JSON against an in-process replay.
+//!
+//! On any discontinuity the partial-window state is discarded via
+//! [`OnlineMonitor::reset`]: the monitor is reset before feeding window
+//! `w` unless `w − 1` was the previously fed window.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use webcap_core::{CapacityMeter, OnlineDecision, OnlineMonitor};
+use webcap_sim::TierId;
+
+use crate::frame::{metric_schema_hash, read_frame, write_frame, Frame, WireSample, PROTO_VERSION};
+use crate::transport::{is_timeout, Conn, Listener};
+
+/// Collector runtime configuration.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Second-key of the first sample of the deployment's stream
+    /// (`round(t_s)` of sequence 0); anchors window boundaries. The
+    /// simulator's first per-second sample ends at `t = 1 s`.
+    pub window_origin: i64,
+    /// Read timeout for the handshake `Hello`.
+    pub handshake_timeout: Duration,
+    /// Per-connection read timeout; a session silent for longer (no
+    /// samples, no heartbeats) is dropped.
+    pub read_timeout: Duration,
+    /// Stop when no events arrive for this long and no session is
+    /// active.
+    pub idle_timeout: Duration,
+    /// Number of distinct tiers expected to say `Bye` before the
+    /// collector concludes the run.
+    pub expected_tiers: usize,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> CollectorConfig {
+        CollectorConfig {
+            window_origin: 1,
+            handshake_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(10),
+            expected_tiers: 2,
+        }
+    }
+}
+
+/// End-of-run account of what the collector saw and decided.
+#[derive(Debug, Clone)]
+pub struct CollectorReport {
+    /// Emitted decisions, in window order.
+    pub decisions: Vec<(i64, OnlineDecision)>,
+    /// Windows quarantined by gaps or reconnections.
+    pub poisoned_windows: Vec<i64>,
+    /// Windows still partially buffered at shutdown (incomplete, never
+    /// emitted).
+    pub pending_windows: Vec<i64>,
+    /// Sessions accepted per tier (reconnects show up here).
+    pub sessions: [u64; 2],
+    /// Sample frames received per tier.
+    pub samples: [u64; 2],
+    /// Connections refused at handshake (version/schema mismatch).
+    pub rejected_handshakes: u64,
+    /// Protocol-order surprises survived (duplicate keys, data for
+    /// finalized windows); nonzero values indicate a misbehaving agent.
+    pub anomalies: u64,
+}
+
+/// The pure reassembly state machine, single-threaded and fully
+/// deterministic — the socketed [`run_collector`] drives it, and unit
+/// tests drive it directly.
+#[derive(Debug)]
+pub struct Assembler {
+    monitor: OnlineMonitor,
+    window_len: i64,
+    origin: i64,
+    /// key → per-tier sample, for windows still being joined.
+    pending: BTreeMap<i64, [Option<WireSample>; 2]>,
+    /// window → count of keys with both tiers present.
+    joined: BTreeMap<i64, i64>,
+    poisoned: BTreeSet<i64>,
+    last_key: [Option<i64>; 2],
+    fresh_session: [bool; 2],
+    had_session: [bool; 2],
+    prev_fed: Option<i64>,
+    emitted: BTreeSet<i64>,
+    anomalies: u64,
+}
+
+impl Assembler {
+    /// Wrap a trained meter; `origin` is the key of the stream's first
+    /// sample (see [`CollectorConfig::window_origin`]).
+    pub fn new(meter: CapacityMeter, origin: i64) -> Assembler {
+        let window_len = meter.config().window_len as i64;
+        Assembler {
+            // The monitor seed is irrelevant on the collected-metrics
+            // path (agents synthesize); zero by convention.
+            monitor: OnlineMonitor::new(meter, 0),
+            window_len,
+            origin,
+            pending: BTreeMap::new(),
+            joined: BTreeMap::new(),
+            poisoned: BTreeSet::new(),
+            last_key: [None, None],
+            fresh_session: [false, false],
+            had_session: [false, false],
+            prev_fed: None,
+            emitted: BTreeSet::new(),
+            anomalies: 0,
+        }
+    }
+
+    /// Window index holding `key`.
+    pub fn window_of(&self, key: i64) -> i64 {
+        (key - self.origin).div_euclid(self.window_len)
+    }
+
+    fn first_key(&self, window: i64) -> i64 {
+        self.origin + window * self.window_len
+    }
+
+    fn last_key_of(&self, window: i64) -> i64 {
+        self.first_key(window) + self.window_len - 1
+    }
+
+    /// Note a (re)connection on `tier`. The first session is just the
+    /// stream starting; later ones arm the straddle-poisoning rules,
+    /// applied when the session's first sample shows where the
+    /// discontinuity fell.
+    pub fn on_session_start(&mut self, tier: TierId) {
+        let t = tier.index();
+        if self.had_session[t] {
+            self.fresh_session[t] = true;
+        } else {
+            self.had_session[t] = true;
+        }
+    }
+
+    fn poison(&mut self, window: i64) {
+        if window < 0 || self.emitted.contains(&window) {
+            // Emitted-then-poisoned cannot happen for ordered per-tier
+            // streams (see module docs); count it rather than trust it.
+            self.anomalies += 1;
+            return;
+        }
+        if self.poisoned.insert(window) {
+            let keys: Vec<i64> = self
+                .pending
+                .range(self.first_key(window)..=self.last_key_of(window))
+                .map(|(k, _)| *k)
+                .collect();
+            for k in keys {
+                self.pending.remove(&k);
+            }
+            self.joined.remove(&window);
+        }
+    }
+
+    /// Feed one received sample; emitted decisions go to `sink`.
+    pub fn on_sample(
+        &mut self,
+        tier: TierId,
+        ws: WireSample,
+        sink: &mut dyn FnMut(i64, &OnlineDecision),
+    ) {
+        let t = tier.index();
+        let key = ws.t_s.round() as i64;
+
+        if self.fresh_session[t] {
+            self.fresh_session[t] = false;
+            if let Some(k_old) = self.last_key[t] {
+                if k_old != self.last_key_of(self.window_of(k_old)) {
+                    self.poison(self.window_of(k_old));
+                }
+            }
+            if key != self.first_key(self.window_of(key)) {
+                self.poison(self.window_of(key));
+            }
+        }
+
+        let expected = self.last_key[t].map_or(self.origin, |l| l + 1);
+        if key < expected {
+            // Duplicate or out-of-order: impossible on one ordered
+            // stream, so never silently fold it into an aggregate.
+            self.anomalies += 1;
+            return;
+        }
+        if key > expected {
+            for w in self.window_of(expected)..=self.window_of(key - 1) {
+                self.poison(w);
+            }
+        }
+        self.last_key[t] = Some(key);
+
+        let window = self.window_of(key);
+        if self.poisoned.contains(&window) {
+            return;
+        }
+        let entry = self.pending.entry(key).or_default();
+        if entry[t].is_some() {
+            self.anomalies += 1;
+            return;
+        }
+        entry[t] = Some(ws);
+        if entry.iter().all(Option::is_some) {
+            let joined = self.joined.entry(window).or_insert(0);
+            *joined += 1;
+            if *joined == self.window_len {
+                self.emit(window, sink);
+            }
+        }
+    }
+
+    /// A tier finished cleanly, announcing its final sequence; detect
+    /// trailing loss (frames dropped after the last one we received).
+    pub fn on_bye(&mut self, tier: TierId, last_seq: u64) {
+        let t = tier.index();
+        let final_key = self.origin + last_seq as i64;
+        let expected = self.last_key[t].map_or(self.origin, |l| l + 1);
+        if final_key >= expected {
+            for w in self.window_of(expected)..=self.window_of(final_key) {
+                self.poison(w);
+            }
+            self.last_key[t] = Some(final_key);
+        }
+    }
+
+    fn emit(&mut self, window: i64, sink: &mut dyn FnMut(i64, &OnlineDecision)) {
+        // Collect the window's joined pairs first: a protocol violation
+        // (app-tier sample without front-end stats) must poison the
+        // window *before* anything is fed to the monitor.
+        let mut pairs = Vec::with_capacity(self.window_len as usize);
+        for key in self.first_key(window)..=self.last_key_of(window) {
+            let Some(entry) = self.pending.remove(&key) else {
+                self.anomalies += 1;
+                self.poison(window);
+                return;
+            };
+            let [Some(app), Some(db)] = entry else {
+                self.anomalies += 1;
+                self.poison(window);
+                return;
+            };
+            if app.app.is_none() {
+                self.anomalies += 1;
+                self.poison(window);
+                return;
+            }
+            pairs.push((app, db));
+        }
+        self.joined.remove(&window);
+
+        // Partial-window / stale-history reset on any discontinuity.
+        if self.prev_fed != Some(window - 1) {
+            self.monitor.reset();
+        }
+        let mut decision = None;
+        for (app, db) in pairs {
+            let stats = app.app.clone().expect("validated above");
+            let sample = stats.into_sample(app.t_s, app.interval_s, app.tier, db.tier);
+            decision = self
+                .monitor
+                .push_collected(sample, [app.hpc, db.hpc], [app.os, db.os]);
+        }
+        let decision = decision.expect("window_len samples complete a window");
+        self.prev_fed = Some(window);
+        self.emitted.insert(window);
+        sink(window, &decision);
+    }
+
+    /// Windows quarantined so far.
+    pub fn poisoned_windows(&self) -> Vec<i64> {
+        self.poisoned.iter().copied().collect()
+    }
+
+    /// Windows with partial data still buffered.
+    pub fn pending_windows(&self) -> Vec<i64> {
+        let mut out = BTreeSet::new();
+        for key in self.pending.keys() {
+            out.insert(self.window_of(*key));
+        }
+        out.into_iter().collect()
+    }
+
+    /// Protocol-order surprises counted.
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies
+    }
+}
+
+enum Event {
+    SessionStart { tier: TierId },
+    Sample { tier: TierId, ws: Box<WireSample> },
+    Bye { tier: TierId, last_seq: u64 },
+    SessionEnd { tier: TierId },
+    Rejected,
+}
+
+/// Handshake an accepted connection: expect `Hello`, check the dialect,
+/// answer `Ack{0}` or `Reject`. Returns the agent's tier.
+fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<TierId> {
+    conn.set_nonblocking(false)?;
+    conn.set_read_timeout(Some(cfg.handshake_timeout))?;
+    let hello = read_frame(conn)?;
+    let Frame::Hello {
+        tier,
+        proto_version,
+        metric_schema_hash: hash,
+    } = hello
+    else {
+        let reason = "expected Hello".to_string();
+        let _ = write_frame(conn, &Frame::Reject { reason: reason.clone() });
+        return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
+    };
+    if proto_version != PROTO_VERSION {
+        let reason = format!("protocol version {proto_version} != {PROTO_VERSION}");
+        let _ = write_frame(conn, &Frame::Reject { reason: reason.clone() });
+        return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
+    }
+    let expected_hash = metric_schema_hash(tier);
+    if hash != expected_hash {
+        let reason = format!(
+            "metric schema hash {hash:#018x} != {expected_hash:#018x} for {}",
+            tier.label()
+        );
+        let _ = write_frame(conn, &Frame::Reject { reason: reason.clone() });
+        return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
+    }
+    write_frame(conn, &Frame::Ack { seq: 0 })?;
+    Ok(tier)
+}
+
+/// Per-connection reader: forward samples (acking each) until the
+/// session dies or says `Bye`.
+fn reader_loop(mut conn: Conn, tier: TierId, cfg: &CollectorConfig, tx: &mpsc::Sender<Event>) {
+    let _ = conn.set_read_timeout(Some(cfg.read_timeout));
+    loop {
+        match read_frame(&mut conn) {
+            Ok(Frame::Sample(ws)) => {
+                let seq = ws.seq;
+                if tx
+                    .send(Event::Sample {
+                        tier,
+                        ws: Box::new(ws),
+                    })
+                    .is_err()
+                    || write_frame(&mut conn, &Frame::Ack { seq }).is_err()
+                {
+                    break;
+                }
+            }
+            Ok(Frame::Heartbeat { seq }) => {
+                if write_frame(&mut conn, &Frame::Ack { seq }).is_err() {
+                    break;
+                }
+            }
+            Ok(Frame::Bye { last_seq }) => {
+                let _ = tx.send(Event::Bye { tier, last_seq });
+                break;
+            }
+            Ok(_) => break,
+            // A session silent past the read timeout is dead: a live
+            // idle agent heartbeats well inside it.
+            Err(_) => break,
+        }
+    }
+    let _ = conn.shutdown();
+    let _ = tx.send(Event::SessionEnd { tier });
+}
+
+/// Accept loop: handshake each connection and hand it a reader thread.
+/// Readers are serialized **per tier** — the previous session's reader
+/// is joined before the replacement starts — so the assembler sees each
+/// tier's events in connection order.
+fn accept_loop(
+    listener: Listener,
+    cfg: CollectorConfig,
+    tx: mpsc::Sender<Event>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = listener.set_nonblocking(true);
+    let mut readers: [Option<std::thread::JoinHandle<()>>; 2] = [None, None];
+    while !shutdown.load(Ordering::Relaxed) {
+        let mut conn = match listener.accept() {
+            Ok(c) => c,
+            Err(e) if is_timeout(&e) => {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            Err(_) => break,
+        };
+        let tier = match handshake(&mut conn, &cfg) {
+            Ok(t) => t,
+            Err(_) => {
+                let _ = tx.send(Event::Rejected);
+                let _ = conn.shutdown();
+                continue;
+            }
+        };
+        if let Some(old) = readers[tier.index()].take() {
+            let _ = old.join();
+        }
+        if tx.send(Event::SessionStart { tier }).is_err() {
+            break;
+        }
+        let tx_reader = tx.clone();
+        let cfg_reader = cfg.clone();
+        readers[tier.index()] = Some(std::thread::spawn(move || {
+            reader_loop(conn, tier, &cfg_reader, &tx_reader);
+        }));
+    }
+    for r in readers.iter_mut() {
+        if let Some(h) = r.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Run the collector on a bound listener until every expected tier says
+/// `Bye` (or the idle timeout passes with no live session). Each
+/// emitted decision is also streamed to `on_decision` as it happens.
+pub fn run_collector(
+    listener: Listener,
+    meter: CapacityMeter,
+    cfg: &CollectorConfig,
+    mut on_decision: impl FnMut(i64, &OnlineDecision),
+) -> io::Result<CollectorReport> {
+    let (tx, rx) = mpsc::channel();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_handle = {
+        let cfg = cfg.clone();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || accept_loop(listener, cfg, tx, shutdown))
+    };
+
+    let mut assembler = Assembler::new(meter, cfg.window_origin);
+    let mut decisions: Vec<(i64, OnlineDecision)> = Vec::new();
+    let mut sessions = [0u64; 2];
+    let mut samples = [0u64; 2];
+    let mut rejected = 0u64;
+    let mut byes: BTreeSet<usize> = BTreeSet::new();
+    let mut active: i64 = 0;
+
+    loop {
+        match rx.recv_timeout(cfg.idle_timeout) {
+            Ok(Event::SessionStart { tier }) => {
+                active += 1;
+                sessions[tier.index()] += 1;
+                assembler.on_session_start(tier);
+            }
+            Ok(Event::Sample { tier, ws }) => {
+                samples[tier.index()] += 1;
+                assembler.on_sample(tier, *ws, &mut |w, d| {
+                    decisions.push((w, d.clone()));
+                    on_decision(w, d);
+                });
+            }
+            Ok(Event::Bye { tier, last_seq }) => {
+                assembler.on_bye(tier, last_seq);
+                byes.insert(tier.index());
+                if byes.len() >= cfg.expected_tiers {
+                    break;
+                }
+            }
+            Ok(Event::SessionEnd { .. }) => {
+                active -= 1;
+            }
+            Ok(Event::Rejected) => {
+                rejected += 1;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if active <= 0 {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    shutdown.store(true, Ordering::Relaxed);
+    let _ = accept_handle.join();
+
+    Ok(CollectorReport {
+        poisoned_windows: assembler.poisoned_windows(),
+        pending_windows: assembler.pending_windows(),
+        anomalies: assembler.anomalies(),
+        decisions,
+        sessions,
+        samples,
+        rejected_handshakes: rejected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webcap_core::MeterConfig;
+    use webcap_sim::TierSample;
+
+    fn tiny_assembler(window_len: usize) -> Assembler {
+        // One shared trained meter (training is seconds, cloning is
+        // cheap); every test here uses the default 30-sample window.
+        static METER: std::sync::OnceLock<CapacityMeter> = std::sync::OnceLock::new();
+        let meter = METER
+            .get_or_init(|| {
+                CapacityMeter::train(&MeterConfig::small_for_tests(31)).expect("test meter trains")
+            })
+            .clone();
+        assert_eq!(meter.config().window_len, window_len, "shared test meter");
+        Assembler::new(meter, 1)
+    }
+
+    fn wire(seq: u64, with_app: bool) -> WireSample {
+        WireSample {
+            seq,
+            t_s: seq as f64 + 1.0,
+            interval_s: 1.0,
+            tier: TierSample {
+                utilization: 0.3,
+                delivered_work_s: 0.3,
+                arrivals: 20,
+                completions: 20,
+                ..TierSample::default()
+            },
+            hpc: vec![0.5; 12],
+            os: vec![0.1; 64],
+            app: with_app.then(|| {
+                crate::frame::AppStats {
+                    ebs_target: 10,
+                    ebs_active: 10,
+                    mix_id: webcap_tpcw::MixId::Ordering,
+                    issued: 20,
+                    issued_browse: 10,
+                    completed: 20,
+                    completed_browse: 10,
+                    response_time_sum_s: 2.0,
+                    response_time_max_s: 0.4,
+                    in_flight: 1,
+                    response_times: webcap_sim::RtHistogram::new(),
+                }
+            }),
+        }
+    }
+
+    #[test]
+    fn window_math_is_origin_anchored() {
+        let a = tiny_assembler(30);
+        assert_eq!(a.window_of(1), 0);
+        assert_eq!(a.window_of(30), 0);
+        assert_eq!(a.window_of(31), 1);
+        assert_eq!(a.first_key(1), 31);
+        assert_eq!(a.last_key_of(1), 60);
+    }
+
+    #[test]
+    fn complete_windows_emit_and_gaps_poison() {
+        let mut a = tiny_assembler(30);
+        let mut emitted = Vec::new();
+        a.on_session_start(TierId::App);
+        a.on_session_start(TierId::Db);
+        // Window 0 complete on both tiers; window 1 has a one-frame gap
+        // on the DB tier (seq 35 dropped); window 2 complete again.
+        for seq in 0..90u64 {
+            let mut sink = |w: i64, _: &OnlineDecision| emitted.push(w);
+            a.on_sample(TierId::App, wire(seq, true), &mut sink);
+            if seq != 35 {
+                a.on_sample(TierId::Db, wire(seq, false), &mut sink);
+            }
+        }
+        a.on_bye(TierId::App, 89);
+        a.on_bye(TierId::Db, 89);
+        assert_eq!(emitted, vec![0, 2]);
+        assert_eq!(a.poisoned_windows(), vec![1]);
+        assert_eq!(a.pending_windows(), Vec::<i64>::new());
+        assert_eq!(a.anomalies(), 0);
+    }
+
+    #[test]
+    fn reconnect_mid_window_poisons_the_straddled_window() {
+        let mut a = tiny_assembler(30);
+        let mut emitted = Vec::new();
+        a.on_session_start(TierId::App);
+        a.on_session_start(TierId::Db);
+        for seq in 0..90u64 {
+            let mut sink = |w: i64, _: &OnlineDecision| emitted.push(w);
+            if seq == 40 {
+                // The APP agent reconnects between seq 39 and 40 — both
+                // inside window 1 — losing nothing, but the session
+                // boundary still quarantines the straddled window.
+                a.on_session_start(TierId::App);
+            }
+            a.on_sample(TierId::App, wire(seq, true), &mut sink);
+            a.on_sample(TierId::Db, wire(seq, false), &mut sink);
+        }
+        a.on_bye(TierId::App, 89);
+        a.on_bye(TierId::Db, 89);
+        assert_eq!(emitted, vec![0, 2]);
+        assert_eq!(a.poisoned_windows(), vec![1]);
+    }
+
+    #[test]
+    fn reconnect_on_a_window_boundary_poisons_nothing() {
+        let mut a = tiny_assembler(30);
+        let mut emitted = Vec::new();
+        a.on_session_start(TierId::App);
+        a.on_session_start(TierId::Db);
+        for seq in 0..60u64 {
+            let mut sink = |w: i64, _: &OnlineDecision| emitted.push(w);
+            if seq == 30 {
+                // Clean break exactly between windows 0 and 1.
+                a.on_session_start(TierId::Db);
+            }
+            a.on_sample(TierId::App, wire(seq, true), &mut sink);
+            a.on_sample(TierId::Db, wire(seq, false), &mut sink);
+        }
+        assert_eq!(emitted, vec![0, 1]);
+        assert!(a.poisoned_windows().is_empty());
+    }
+
+    #[test]
+    fn trailing_loss_is_detected_at_bye() {
+        let mut a = tiny_assembler(30);
+        let mut emitted = Vec::new();
+        a.on_session_start(TierId::App);
+        a.on_session_start(TierId::Db);
+        // DB tier's last two frames (seqs 58, 59) never arrive; its Bye
+        // announces last_seq 59, exposing the trailing gap.
+        for seq in 0..60u64 {
+            let mut sink = |w: i64, _: &OnlineDecision| emitted.push(w);
+            a.on_sample(TierId::App, wire(seq, true), &mut sink);
+            if seq < 58 {
+                a.on_sample(TierId::Db, wire(seq, false), &mut sink);
+            }
+        }
+        a.on_bye(TierId::App, 59);
+        a.on_bye(TierId::Db, 59);
+        assert_eq!(emitted, vec![0]);
+        assert_eq!(a.poisoned_windows(), vec![1]);
+    }
+
+    #[test]
+    fn leading_loss_poisons_the_first_window() {
+        let mut a = tiny_assembler(30);
+        let mut emitted = Vec::new();
+        a.on_session_start(TierId::App);
+        a.on_session_start(TierId::Db);
+        // The APP tier's very first frame went missing.
+        for seq in 0..60u64 {
+            let mut sink = |w: i64, _: &OnlineDecision| emitted.push(w);
+            if seq != 0 {
+                a.on_sample(TierId::App, wire(seq, true), &mut sink);
+            }
+            a.on_sample(TierId::Db, wire(seq, false), &mut sink);
+        }
+        assert_eq!(emitted, vec![1]);
+        assert_eq!(a.poisoned_windows(), vec![0]);
+    }
+
+    #[test]
+    fn app_sample_without_front_end_stats_poisons_not_panics() {
+        let mut a = tiny_assembler(30);
+        let mut emitted = Vec::new();
+        a.on_session_start(TierId::App);
+        a.on_session_start(TierId::Db);
+        for seq in 0..30u64 {
+            let mut sink = |w: i64, _: &OnlineDecision| emitted.push(w);
+            // Protocol violation: app tier omits AppStats.
+            a.on_sample(TierId::App, wire(seq, false), &mut sink);
+            a.on_sample(TierId::Db, wire(seq, false), &mut sink);
+        }
+        assert!(emitted.is_empty());
+        assert_eq!(a.poisoned_windows(), vec![0]);
+        assert!(a.anomalies() > 0);
+    }
+}

@@ -1,0 +1,363 @@
+//! The versioned, length-prefixed wire protocol between per-tier agents
+//! and the front-end collector.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! +-------------------+-------------------+--------------------+
+//! | magic  u32 LE     | length u32 LE     | payload (JSON)     |
+//! | 0x5743_4150 "WCAP"| payload byte count| one serde [`Frame`]|
+//! +-------------------+-------------------+--------------------+
+//! ```
+//!
+//! The magic word rejects cross-talk from non-webcap peers at the first
+//! eight bytes; the length prefix makes frames self-delimiting over a
+//! byte stream; the payload is `serde_json` — self-describing, and its
+//! `f64` round-trip is bit-exact, which the byte-identity acceptance test
+//! relies on. Payloads above [`MAX_FRAME_LEN`] are refused on both ends
+//! so a corrupt length cannot trigger an unbounded allocation.
+//!
+//! A session is `Hello → Ack{0}` (or `Reject`) followed by any number of
+//! `Sample`/`Heartbeat` frames, each acknowledged, and closed by
+//! `Bye{last_seq}`. Version negotiation is deliberately one-shot: the
+//! agent announces [`PROTO_VERSION`] and its tier's
+//! [`metric_schema_hash`]; the collector either speaks that exact dialect
+//! or rejects with a reason — per-field downgrade dances are not worth
+//! their failure modes at this protocol size.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+use webcap_core::monitor::feature_names;
+use webcap_core::MetricLevel;
+use webcap_sim::{RtHistogram, SystemSample, TierId, TierSample};
+use webcap_tpcw::MixId;
+
+/// Protocol version announced in `Hello`. Bump on any frame-layout or
+/// semantic change; the collector rejects mismatches outright.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Frame magic word, `"WCAP"` as big-endian bytes written little-endian.
+pub const FRAME_MAGIC: u32 = 0x5743_4150;
+
+/// Upper bound on an encoded payload. A `Sample` frame is a few KiB; the
+/// cap only exists so a corrupted or hostile length prefix cannot demand
+/// an arbitrary allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// System-wide (front-end visible) per-second statistics that only the
+/// application-tier agent can observe: request counts, response times,
+/// and the traffic program's state. Mirrors the non-tier fields of
+/// [`SystemSample`] so the collector can reassemble the full sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppStats {
+    /// Traffic program's target EB population.
+    pub ebs_target: u32,
+    /// EBs actually active.
+    pub ebs_active: u32,
+    /// Identifier of the traffic mix active at the interval end.
+    pub mix_id: MixId,
+    /// Requests issued during the interval.
+    pub issued: u64,
+    /// Issued requests of Browse class.
+    pub issued_browse: u64,
+    /// Requests completed during the interval.
+    pub completed: u64,
+    /// Completed requests of Browse class.
+    pub completed_browse: u64,
+    /// Sum of response times of completed requests, seconds.
+    pub response_time_sum_s: f64,
+    /// Maximum response time among completed requests, seconds.
+    pub response_time_max_s: f64,
+    /// Requests in flight at the interval end.
+    pub in_flight: u32,
+    /// Histogram of the response times completed this interval.
+    pub response_times: RtHistogram,
+}
+
+impl AppStats {
+    /// Extract the front-end-visible statistics from a full sample.
+    pub fn from_sample(s: &SystemSample) -> AppStats {
+        AppStats {
+            ebs_target: s.ebs_target,
+            ebs_active: s.ebs_active,
+            mix_id: s.mix_id,
+            issued: s.issued,
+            issued_browse: s.issued_browse,
+            completed: s.completed,
+            completed_browse: s.completed_browse,
+            response_time_sum_s: s.response_time_sum_s,
+            response_time_max_s: s.response_time_max_s,
+            in_flight: s.in_flight,
+            response_times: s.response_times.clone(),
+        }
+    }
+
+    /// Reassemble a full [`SystemSample`] from these statistics and the
+    /// two tiers' samples.
+    pub fn into_sample(
+        self,
+        t_s: f64,
+        interval_s: f64,
+        app: TierSample,
+        db: TierSample,
+    ) -> SystemSample {
+        SystemSample {
+            t_s,
+            interval_s,
+            ebs_target: self.ebs_target,
+            ebs_active: self.ebs_active,
+            mix_id: self.mix_id,
+            issued: self.issued,
+            issued_browse: self.issued_browse,
+            completed: self.completed,
+            completed_browse: self.completed_browse,
+            response_time_sum_s: self.response_time_sum_s,
+            response_time_max_s: self.response_time_max_s,
+            in_flight: self.in_flight,
+            response_times: self.response_times,
+            app,
+            db,
+        }
+    }
+}
+
+/// One per-second measurement from one tier's agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSample {
+    /// Monotonic sample sequence number (gaps ⇒ dropped frames).
+    pub seq: u64,
+    /// Interval end, seconds since run start — the cross-tier alignment
+    /// key.
+    pub t_s: f64,
+    /// Interval length, seconds.
+    pub interval_s: f64,
+    /// The tier's application-telemetry sample.
+    pub tier: TierSample,
+    /// Derived HPC feature row for this second, index-aligned with
+    /// `feature_names(MetricLevel::Hpc, tier)`.
+    pub hpc: Vec<f64>,
+    /// OS metric values for this second, index-aligned with
+    /// `feature_names(MetricLevel::Os, tier)`.
+    pub os: Vec<f64>,
+    /// Front-end statistics; `Some` only from the application tier.
+    pub app: Option<AppStats>,
+}
+
+/// A protocol frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// Session opener: who I am and what dialect I speak.
+    Hello {
+        /// The tier this agent measures.
+        tier: TierId,
+        /// The agent's [`PROTO_VERSION`].
+        proto_version: u32,
+        /// [`metric_schema_hash`] of the tier's metric layout, so a
+        /// collector never averages mis-indexed feature rows.
+        metric_schema_hash: u64,
+    },
+    /// One per-second measurement.
+    Sample(WireSample),
+    /// Liveness signal while the source is idle; `seq` is the last
+    /// sample sequence produced.
+    Heartbeat {
+        /// Last sample sequence produced by the agent.
+        seq: u64,
+    },
+    /// Receipt acknowledgment; `Ack { seq: 0 }` answers `Hello`.
+    Ack {
+        /// Sequence being acknowledged.
+        seq: u64,
+    },
+    /// Handshake refusal (version or schema mismatch, unexpected tier).
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Graceful end of stream; `last_seq` is the final sequence the
+    /// source produced (whether or not its frame survived the queue), so
+    /// the collector can detect trailing loss.
+    Bye {
+        /// Final sample sequence produced by the agent.
+        last_seq: u64,
+    },
+}
+
+/// FNV-1a hash over a tier's metric schema: every OS metric name, then
+/// every HPC feature name, in index order with a separator byte. Two
+/// endpoints agree on this hash iff their feature rows are index-aligned
+/// — the property the synopses' attribute indices depend on.
+pub fn metric_schema_hash(tier: TierId) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let names = feature_names(MetricLevel::Os, tier)
+        .into_iter()
+        .chain(feature_names(MetricLevel::Hpc, tier));
+    for name in names {
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        h = (h ^ 0x1f).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Encode and write one frame (magic, length, payload) and flush.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let payload = serde_json::to_vec(frame).map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame payload of {} bytes exceeds the cap", payload.len()),
+        ));
+    }
+    w.write_all(&FRAME_MAGIC.to_le_bytes())?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Read and decode one frame. `UnexpectedEof` on a cleanly closed peer;
+/// `InvalidData` on a bad magic word, oversized length, or malformed
+/// payload.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame magic {magic:#010x}"),
+        ));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    serde_json::from_slice(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Frame {
+        Frame::Sample(WireSample {
+            seq: 42,
+            t_s: 43.0,
+            interval_s: 1.0,
+            tier: TierSample {
+                utilization: 0.5,
+                ..TierSample::default()
+            },
+            hpc: vec![1.0, 2.5, -0.125],
+            os: vec![0.0, 9.75],
+            app: None,
+        })
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            Frame::Hello {
+                tier: TierId::Db,
+                proto_version: PROTO_VERSION,
+                metric_schema_hash: metric_schema_hash(TierId::Db),
+            },
+            sample_frame(),
+            Frame::Heartbeat { seq: 7 },
+            Frame::Ack { seq: 42 },
+            Frame::Reject {
+                reason: "nope".to_string(),
+            },
+            Frame::Bye { last_seq: 99 },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = buf.as_slice();
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Heartbeat { seq: 1 }).unwrap();
+        buf[0] ^= 0xff;
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn oversized_length_is_refused_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("cap"));
+    }
+
+    #[test]
+    fn truncated_payload_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample_frame()).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert_eq!(
+            read_frame(&mut buf.as_slice()).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn schema_hash_distinguishes_tiers_and_is_stable() {
+        assert_eq!(metric_schema_hash(TierId::App), metric_schema_hash(TierId::App));
+        assert_ne!(metric_schema_hash(TierId::App), metric_schema_hash(TierId::Db));
+    }
+
+    #[test]
+    fn app_stats_reassembly_round_trips() {
+        let mut s = SystemSample {
+            t_s: 30.0,
+            interval_s: 1.0,
+            ebs_target: 80,
+            ebs_active: 78,
+            mix_id: MixId::Browsing,
+            issued: 100,
+            issued_browse: 60,
+            completed: 97,
+            completed_browse: 58,
+            response_time_sum_s: 12.5,
+            response_time_max_s: 2.25,
+            in_flight: 3,
+            response_times: RtHistogram::new(),
+            app: TierSample {
+                utilization: 0.9,
+                ..TierSample::default()
+            },
+            db: TierSample {
+                utilization: 0.4,
+                ..TierSample::default()
+            },
+        };
+        s.response_times.record(0.125);
+        let stats = AppStats::from_sample(&s);
+        let back = stats.into_sample(s.t_s, s.interval_s, s.app, s.db);
+        assert_eq!(back, s);
+    }
+}

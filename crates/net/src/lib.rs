@@ -1,0 +1,47 @@
+//! Distributed telemetry plane for the webcap online capacity meter.
+//!
+//! The in-process pipeline (`webcap-core`'s `OnlineMonitor`) assumes it
+//! observes every per-second sample of every tier. This crate relaxes
+//! that to a deployment shape the paper actually describes: one
+//! lightweight **agent** beside each tier samples its hardware and OS
+//! counters, frames them, and streams them to a front-end **collector**
+//! that reassembles per-second system samples, quarantines any
+//! 30-second window touched by loss or reconnection, and feeds only
+//! intact windows to the online meter and admission controller.
+//!
+//! The crate is organized by layer:
+//!
+//! * [`frame`] — the versioned, length-prefixed wire protocol
+//!   (`Hello` / `Sample` / `Heartbeat` / `Ack` / `Reject` / `Bye`).
+//! * [`transport`] — the same framed protocol over TCP or Unix-domain
+//!   sockets, behind one [`Endpoint`] grammar.
+//! * [`source`] — the [`SampleSource`] seam an agent measures through,
+//!   and the replayable per-tier metric synthesis ([`TierSampler`]).
+//! * [`agent`] — the agent runtime: bounded drop-oldest queueing,
+//!   heartbeats, jittered-backoff reconnect, fault knobs.
+//! * [`collector`] — the accept/reader threads and the deterministic
+//!   window [`Assembler`] with its gap-poisoning rules.
+//! * [`loopback`] — in-process deployments plus the replay/oracle
+//!   baselines the integration tests check the plane against.
+//!
+//! The load-bearing property, proved window-by-window in the
+//! fault-injection tests: the collector **never** emits a decision from
+//! a window with missing or suspect samples, and on the windows it does
+//! emit, its decisions are byte-identical (as JSON) to an in-process
+//! monitor fed the same data.
+
+pub mod agent;
+pub mod collector;
+pub mod frame;
+pub mod loopback;
+pub mod source;
+pub mod transport;
+
+pub use agent::{run_agent, AgentConfig, AgentReport, FaultKnobs};
+pub use collector::{run_collector, Assembler, CollectorConfig, CollectorReport};
+pub use frame::{metric_schema_hash, AppStats, Frame, WireSample, PROTO_VERSION};
+pub use loopback::{
+    all_windows, predicted_surviving_windows, replay_windows, run_loopback, LoopbackOutcome,
+};
+pub use source::{SampleSource, ScriptedSource, SourcePoll, SourceSample, TierSampler};
+pub use transport::{Conn, Endpoint, Listener};

@@ -1,0 +1,279 @@
+//! In-process loopback deployments and replay baselines.
+//!
+//! [`run_loopback`] stands up a real collector plus one real agent per
+//! tier inside one process, wired over an actual socket (TCP or Unix) —
+//! the integration surface the smoke and fault-injection tests drive.
+//!
+//! Two pure companions make its output *checkable*:
+//!
+//! * [`replay_windows`] — an in-process [`OnlineMonitor`] fed exactly
+//!   the chosen windows with the same externally-synthesized metric
+//!   rows the agents produce. The collector's decisions must be
+//!   byte-identical (JSON) to this replay on the windows it emits.
+//! * [`predicted_surviving_windows`] — an independent oracle that
+//!   replays the agent's documented fault counters and the collector's
+//!   documented poisoning rules to predict, from the knob values alone,
+//!   exactly which windows survive. It shares no code with either side,
+//!   so the test cross-validates two implementations of the semantics.
+
+use std::collections::BTreeSet;
+use std::io;
+
+use webcap_core::{CapacityMeter, OnlineDecision, OnlineMonitor};
+use webcap_sim::{SystemSample, TierId};
+
+use crate::agent::{run_agent, AgentConfig, AgentReport, FaultKnobs};
+use crate::collector::{run_collector, CollectorConfig, CollectorReport};
+use crate::source::{ScriptedSource, TierSampler};
+use crate::transport::{Endpoint, Listener};
+
+/// What a loopback deployment produced.
+#[derive(Debug, Clone)]
+pub struct LoopbackOutcome {
+    /// The collector's end-of-run report.
+    pub collector: CollectorReport,
+    /// Per-tier agent reports, `[App, Db]`.
+    pub agents: [AgentReport; 2],
+}
+
+/// Run a two-agent + collector deployment over `endpoint` inside this
+/// process, streaming `samples` (each tier sees its own view), and
+/// return everything both sides reported. `base_seed` is the
+/// deployment-wide metrics seed; `faults` applies to both agents.
+pub fn run_loopback(
+    meter: &CapacityMeter,
+    samples: &[SystemSample],
+    endpoint: &Endpoint,
+    base_seed: u64,
+    faults: FaultKnobs,
+) -> io::Result<LoopbackOutcome> {
+    let listener = Listener::bind(endpoint)?;
+    let dial = listener.local_endpoint()?;
+    let hpc_model = meter.config().hpc_model.clone();
+    let collector_cfg = CollectorConfig::default();
+    std::thread::scope(|scope| {
+        let meter_clone = meter.clone();
+        let collector_cfg = &collector_cfg;
+        let collector = scope
+            .spawn(move || run_collector(listener, meter_clone, collector_cfg, |_, _| {}));
+        let mut agent_handles = Vec::new();
+        for tier in TierId::ALL {
+            let dial = dial.clone();
+            let hpc_model = hpc_model.clone();
+            let tier_samples = samples.to_vec();
+            agent_handles.push(scope.spawn(move || {
+                let mut cfg = AgentConfig::new(tier, dial, base_seed);
+                cfg.faults = faults;
+                let mut source = ScriptedSource::new(tier, tier_samples);
+                run_agent(&cfg, hpc_model, &mut source)
+            }));
+        }
+        let mut agents = Vec::new();
+        for handle in agent_handles {
+            agents.push(handle.join().expect("agent thread completes")?);
+        }
+        let collector = collector.join().expect("collector thread completes")?;
+        let db = agents.pop().expect("two agents");
+        let app = agents.pop().expect("two agents");
+        Ok(LoopbackOutcome {
+            collector,
+            agents: [app, db],
+        })
+    })
+}
+
+/// Feed `samples` through an in-process monitor exactly the way a
+/// collector feeds surviving windows: agent-style external metric
+/// synthesis for **every** sample in order (the OS synthesizer carries
+/// state across drops), but only the listed windows pushed, with a
+/// [`OnlineMonitor::reset`] before every non-consecutive window.
+pub fn replay_windows(
+    meter: &CapacityMeter,
+    samples: &[SystemSample],
+    base_seed: u64,
+    windows: &BTreeSet<i64>,
+) -> Vec<(i64, OnlineDecision)> {
+    let window_len = meter.config().window_len;
+    let hpc_model = meter.config().hpc_model.clone();
+    let mut samplers = [
+        TierSampler::new(TierId::App, hpc_model.clone(), base_seed),
+        TierSampler::new(TierId::Db, hpc_model, base_seed),
+    ];
+    let mut monitor = OnlineMonitor::new(meter.clone(), 0);
+    let mut prev_fed: Option<i64> = None;
+    let mut out = Vec::new();
+    for (i, s) in samples.iter().enumerate() {
+        let mut hpc: [Vec<f64>; 2] = Default::default();
+        let mut os: [Vec<f64>; 2] = Default::default();
+        for tier in TierId::ALL {
+            let (h, o) = samplers[tier.index()].rows(i as u64, s.tier(tier), s.interval_s);
+            hpc[tier.index()] = h;
+            os[tier.index()] = o;
+        }
+        let window = (i / window_len) as i64;
+        if !windows.contains(&window) {
+            continue;
+        }
+        if i % window_len == 0 && prev_fed != Some(window - 1) {
+            monitor.reset();
+        }
+        if let Some(d) = monitor.push_collected(s.clone(), hpc, os) {
+            out.push((window, d));
+            prev_fed = Some(window);
+        }
+    }
+    out
+}
+
+/// Every full window of a `total`-sample stream — the no-fault window
+/// set for [`replay_windows`].
+pub fn all_windows(total: usize, window_len: usize) -> BTreeSet<i64> {
+    (0..(total / window_len) as i64).collect()
+}
+
+/// Predict `(survivors, poisoned)` for a loopback run of `total`
+/// samples under `faults`, from the documented semantics alone:
+///
+/// * the agent attempts every sample once, in order; the `drop_every`
+///   knob discards attempts whose 1-based index is a multiple of N;
+/// * the `reconnect_every` knob forces a session break after every Nth
+///   frame that reached the wire;
+/// * the collector poisons every window containing a missing key, plus
+///   the windows straddled by a session break (unless the break falls
+///   exactly on a window boundary);
+/// * a full window survives iff it is not poisoned.
+pub fn predicted_surviving_windows(
+    total: u64,
+    faults: &FaultKnobs,
+    window_len: usize,
+    origin: i64,
+) -> (BTreeSet<i64>, BTreeSet<i64>) {
+    let window_len = window_len as i64;
+    let window_of = |key: i64| (key - origin).div_euclid(window_len);
+    let first_key = |w: i64| origin + w * window_len;
+    let last_key = |w: i64| first_key(w) + window_len - 1;
+
+    // The agent's send schedule (both tiers run the same knobs, so one
+    // schedule describes both): keys that reach the wire, grouped by
+    // connection.
+    let mut sessions: Vec<Vec<i64>> = vec![Vec::new()];
+    let mut conn_sent = 0u64;
+    for seq in 0..total {
+        let attempt = seq + 1;
+        if faults.drop_every.is_some_and(|n| attempt % n == 0) {
+            continue;
+        }
+        sessions.last_mut().expect("non-empty").push(origin + seq as i64);
+        conn_sent += 1;
+        if faults.reconnect_every.is_some_and(|n| conn_sent >= n) {
+            sessions.push(Vec::new());
+            conn_sent = 0;
+        }
+    }
+
+    // The collector's poisoning rules over that schedule.
+    let mut poisoned = BTreeSet::new();
+    let mut last: Option<i64> = None;
+    let mut fresh = false;
+    for (si, session) in sessions.iter().enumerate() {
+        if si > 0 {
+            fresh = true;
+        }
+        for &key in session {
+            if fresh {
+                fresh = false;
+                if let Some(l) = last {
+                    if l != last_key(window_of(l)) {
+                        poisoned.insert(window_of(l));
+                    }
+                }
+                if key != first_key(window_of(key)) {
+                    poisoned.insert(window_of(key));
+                }
+            }
+            let expected = last.map_or(origin, |l| l + 1);
+            if key > expected {
+                for w in window_of(expected)..=window_of(key - 1) {
+                    poisoned.insert(w);
+                }
+            }
+            last = Some(key);
+        }
+    }
+    if total > 0 {
+        // Bye announces the final sequence; trailing drops surface here.
+        let final_key = origin + (total as i64) - 1;
+        let expected = last.map_or(origin, |l| l + 1);
+        if final_key >= expected {
+            for w in window_of(expected)..=window_of(final_key) {
+                poisoned.insert(w);
+            }
+        }
+    }
+
+    let full_windows = total as i64 / window_len;
+    let survivors = (0..full_windows)
+        .filter(|w| !poisoned.contains(w))
+        .collect();
+    (survivors, poisoned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_means_every_full_window_survives() {
+        let (survivors, poisoned) =
+            predicted_surviving_windows(240, &FaultKnobs::NONE, 30, 1);
+        assert_eq!(survivors, (0..8).collect::<BTreeSet<i64>>());
+        assert!(poisoned.is_empty());
+    }
+
+    #[test]
+    fn default_fault_schedule_is_the_hand_computed_one() {
+        // drop_every=37 discards seqs 36, 73, 110, 147, 184, 221 →
+        // keys 37, 74, 111, 148, 185, 222 → windows 1, 2, 3, 4, 6, 7.
+        // reconnect_every=101 breaks after keys 103 and 207, both
+        // mid-window (3 and 6, already poisoned). Windows 0 and 5
+        // survive.
+        let faults = FaultKnobs {
+            drop_every: Some(37),
+            delay: None,
+            reconnect_every: Some(101),
+        };
+        let (survivors, poisoned) = predicted_surviving_windows(240, &faults, 30, 1);
+        assert_eq!(survivors, [0, 5].into_iter().collect::<BTreeSet<i64>>());
+        assert_eq!(
+            poisoned,
+            [1, 2, 3, 4, 6, 7].into_iter().collect::<BTreeSet<i64>>()
+        );
+    }
+
+    #[test]
+    fn boundary_aligned_reconnects_poison_nothing() {
+        // Sends 30 frames per connection with no drops: every break
+        // falls exactly between windows.
+        let faults = FaultKnobs {
+            drop_every: None,
+            delay: None,
+            reconnect_every: Some(30),
+        };
+        let (survivors, poisoned) = predicted_surviving_windows(120, &faults, 30, 1);
+        assert_eq!(survivors.len(), 4);
+        assert!(poisoned.is_empty());
+    }
+
+    #[test]
+    fn trailing_drop_poisons_the_final_window() {
+        // 60 samples, drop_every=60 → only seq 59 (key 60, window 1).
+        let faults = FaultKnobs {
+            drop_every: Some(60),
+            delay: None,
+            reconnect_every: None,
+        };
+        let (survivors, poisoned) = predicted_surviving_windows(60, &faults, 30, 1);
+        assert_eq!(survivors, [0].into_iter().collect::<BTreeSet<i64>>());
+        assert_eq!(poisoned, [1].into_iter().collect::<BTreeSet<i64>>());
+    }
+}

@@ -1,0 +1,241 @@
+//! What an agent measures: the [`SampleSource`] seam and the per-tier
+//! metric synthesis that turns application telemetry into HPC/OS rows.
+//!
+//! Today every source is backed by `webcap-sim` telemetry; a production
+//! agent would implement [`SampleSource`] over real perf-counter and
+//! procfs readers (the `webcap-hpc` crate's `CounterSample` is the
+//! natural meeting point). The agent runtime only sees the trait.
+//!
+//! # Replayable synthesis
+//!
+//! [`TierSampler`] deliberately does **not** draw from one long-lived
+//! RNG stream. The in-process [`webcap_core::OnlineMonitor`] can do that
+//! because it observes every sample; a distributed agent's frames can be
+//! dropped, and any baseline that wants to check the collector's output
+//! must be able to regenerate the exact metric rows of the *surviving*
+//! samples. So each sample's noise comes from its own RNG seeded by
+//! `derive_seed(AGENT_METRICS + tier, seq, base_seed)` — a pure function
+//! of the sample's identity. The OS collector itself stays stateful
+//! (load averages decay, slow environmental disturbances drift), which
+//! is why replays must still call [`TierSampler::rows`] for every
+//! sequence **in order**, even for samples they intend to discard.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use webcap_hpc::{DerivedMetrics, HpcModel};
+use webcap_os::OsCollector;
+use webcap_parallel::{derive_seed, seed_domain};
+use webcap_sim::{SystemSample, TierId, TierSample};
+
+use crate::frame::{AppStats, WireSample};
+
+/// One measurement handed to the agent runtime, before metric synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSample {
+    /// Monotonic sequence number, starting at 0.
+    pub seq: u64,
+    /// Interval end, seconds since run start.
+    pub t_s: f64,
+    /// Interval length, seconds.
+    pub interval_s: f64,
+    /// The tier's telemetry for the interval.
+    pub tier: TierSample,
+    /// Front-end statistics; `Some` only on the application tier.
+    pub app: Option<AppStats>,
+}
+
+/// One poll of a [`SampleSource`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourcePoll {
+    /// A measurement is ready.
+    Ready(SourceSample),
+    /// Nothing due yet (a timer-driven source between ticks); the agent
+    /// heartbeats and polls again.
+    Idle,
+    /// The source has ended; the agent says `Bye` and shuts down.
+    Exhausted,
+}
+
+/// Where an agent's per-second measurements come from.
+pub trait SampleSource {
+    /// Poll for the next measurement. Must not block: a timer-driven
+    /// implementation returns [`SourcePoll::Idle`] until its next tick
+    /// so the agent loop can interleave heartbeats.
+    fn next_sample(&mut self) -> SourcePoll;
+}
+
+/// Deterministic synthesis of one tier's HPC/OS metric rows from its
+/// telemetry, replayable sample-by-sample (see the module docs).
+#[derive(Debug)]
+pub struct TierSampler {
+    tier: TierId,
+    hpc_model: HpcModel,
+    base_seed: u64,
+    os: OsCollector,
+}
+
+impl TierSampler {
+    /// A sampler for `tier`. `hpc_model` must match the collector's
+    /// meter configuration; `base_seed` is the deployment-wide metrics
+    /// seed both agents and any replay baseline share.
+    pub fn new(tier: TierId, hpc_model: HpcModel, base_seed: u64) -> TierSampler {
+        TierSampler {
+            tier,
+            hpc_model,
+            base_seed,
+            os: OsCollector::new(tier),
+        }
+    }
+
+    /// Synthesize the `(HPC features, OS values)` rows for one sample.
+    /// Must be called for every sequence in order — the OS collector
+    /// carries state across calls.
+    pub fn rows(&mut self, seq: u64, ts: &TierSample, interval_s: f64) -> (Vec<f64>, Vec<f64>) {
+        let seed = derive_seed(
+            seed_domain::AGENT_METRICS + self.tier.index() as u64,
+            seq,
+            self.base_seed,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counters = self.hpc_model.sample(self.tier, ts, interval_s, &mut rng);
+        let hpc = DerivedMetrics::from_sample(&counters).to_features();
+        let os = self.os.sample(ts, interval_s, &mut rng).values().to_vec();
+        (hpc, os)
+    }
+
+    /// Synthesize a full wire sample from a source measurement.
+    pub fn wire_sample(&mut self, s: SourceSample) -> WireSample {
+        let (hpc, os) = self.rows(s.seq, &s.tier, s.interval_s);
+        WireSample {
+            seq: s.seq,
+            t_s: s.t_s,
+            interval_s: s.interval_s,
+            tier: s.tier,
+            hpc,
+            os,
+            app: s.app,
+        }
+    }
+}
+
+/// A [`SampleSource`] replaying a pre-recorded run — one tier's view of
+/// a `Vec<SystemSample>`. The loopback harness, integration tests, and
+/// the `webcap agent` subcommand all feed agents this way today.
+#[derive(Debug)]
+pub struct ScriptedSource {
+    tier: TierId,
+    samples: std::vec::IntoIter<SystemSample>,
+    next_seq: u64,
+}
+
+impl ScriptedSource {
+    /// `tier`'s view of `samples`, sequenced from 0 in order.
+    pub fn new(tier: TierId, samples: Vec<SystemSample>) -> ScriptedSource {
+        ScriptedSource {
+            tier,
+            samples: samples.into_iter(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl SampleSource for ScriptedSource {
+    fn next_sample(&mut self) -> SourcePoll {
+        let Some(s) = self.samples.next() else {
+            return SourcePoll::Exhausted;
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        SourcePoll::Ready(SourceSample {
+            seq,
+            t_s: s.t_s,
+            interval_s: s.interval_s,
+            tier: *s.tier(self.tier),
+            app: (self.tier == TierId::App).then(|| AppStats::from_sample(&s)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_tier() -> TierSample {
+        TierSample {
+            utilization: 0.6,
+            delivered_work_s: 0.6,
+            avg_runnable: 1.2,
+            arrivals: 40,
+            completions: 39,
+            ..TierSample::default()
+        }
+    }
+
+    #[test]
+    fn rows_are_replayable_per_sequence() {
+        let ts = busy_tier();
+        let mut a = TierSampler::new(TierId::App, HpcModel::testbed(), 99);
+        let mut b = TierSampler::new(TierId::App, HpcModel::testbed(), 99);
+        // Same seq stream, called in order → identical rows, even though
+        // the OS collector is stateful.
+        for seq in 0..20 {
+            assert_eq!(a.rows(seq, &ts, 1.0), b.rows(seq, &ts, 1.0), "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn rows_depend_on_seq_not_call_count() {
+        let ts = busy_tier();
+        let mut a = TierSampler::new(TierId::Db, HpcModel::testbed(), 7);
+        let mut b = TierSampler::new(TierId::Db, HpcModel::testbed(), 7);
+        let (a_hpc, _) = a.rows(5, &ts, 1.0);
+        b.rows(4, &ts, 1.0);
+        let (b_hpc, _) = b.rows(5, &ts, 1.0);
+        // The HPC row is a pure function of (tier, seq, base seed,
+        // telemetry) — an extra prior call on `b` cannot shift it.
+        assert_eq!(a_hpc, b_hpc);
+    }
+
+    #[test]
+    fn tiers_draw_independent_noise() {
+        let ts = busy_tier();
+        let mut app = TierSampler::new(TierId::App, HpcModel::testbed(), 7);
+        let mut db = TierSampler::new(TierId::Db, HpcModel::testbed(), 7);
+        assert_ne!(app.rows(0, &ts, 1.0).0, db.rows(0, &ts, 1.0).0);
+    }
+
+    #[test]
+    fn scripted_source_splits_per_tier_views() {
+        let base = SystemSample {
+            t_s: 1.0,
+            interval_s: 1.0,
+            ebs_target: 10,
+            ebs_active: 10,
+            mix_id: webcap_tpcw::MixId::Shopping,
+            issued: 5,
+            issued_browse: 2,
+            completed: 4,
+            completed_browse: 2,
+            response_time_sum_s: 0.5,
+            response_time_max_s: 0.2,
+            in_flight: 1,
+            response_times: webcap_sim::RtHistogram::new(),
+            app: busy_tier(),
+            db: TierSample::default(),
+        };
+        let mut app_src = ScriptedSource::new(TierId::App, vec![base.clone()]);
+        let mut db_src = ScriptedSource::new(TierId::Db, vec![base.clone()]);
+        let SourcePoll::Ready(a) = app_src.next_sample() else {
+            panic!("app sample ready");
+        };
+        let SourcePoll::Ready(d) = db_src.next_sample() else {
+            panic!("db sample ready");
+        };
+        assert_eq!(a.seq, 0);
+        assert_eq!(a.tier, base.app);
+        assert!(a.app.is_some(), "app tier carries front-end stats");
+        assert_eq!(d.tier, base.db);
+        assert!(d.app.is_none(), "db tier does not");
+        assert_eq!(app_src.next_sample(), SourcePoll::Exhausted);
+    }
+}

@@ -1,0 +1,163 @@
+//! Fault-injection acceptance tests for the distributed telemetry plane.
+//!
+//! The contract under test: with every Nth frame dropped and reconnects
+//! forced mid-run, the collector never emits a prediction from a gapped
+//! window, and the predictions it does emit are byte-identical (JSON) to
+//! an in-process `OnlineMonitor` fed the same surviving windows.
+//!
+//! `WEBCAP_NET_DROP_EVERY` / `WEBCAP_NET_DELAY_MS` /
+//! `WEBCAP_NET_RECONNECT_EVERY` override the built-in fault schedule so
+//! CI can sweep other knob values through the same assertions.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use webcap_core::{CapacityMeter, MeterConfig};
+use webcap_net::loopback::{
+    all_windows, predicted_surviving_windows, replay_windows, run_loopback,
+};
+use webcap_net::{Endpoint, FaultKnobs};
+use webcap_sim::{Simulation, SystemSample};
+use webcap_tpcw::{Mix, TrafficProgram};
+
+const BASE_SEED: u64 = 17;
+const TOTAL_SAMPLES: usize = 240;
+
+fn trained_meter() -> CapacityMeter {
+    static METER: std::sync::OnceLock<CapacityMeter> = std::sync::OnceLock::new();
+    METER
+        .get_or_init(|| {
+            CapacityMeter::train(&MeterConfig::small_for_tests(31)).expect("test meter trains")
+        })
+        .clone()
+}
+
+/// A steady 240 s run of the meter's own testbed — 8 full 30-sample
+/// windows for the plane to carry.
+fn steady_samples(meter: &CapacityMeter) -> Vec<SystemSample> {
+    let mut sim = meter.config().sim.clone();
+    sim.seed = 400;
+    let program = TrafficProgram::steady(Mix::ordering(), 60, TOTAL_SAMPLES as f64);
+    let samples = Simulation::new(sim, program).run().samples;
+    assert_eq!(samples.len(), TOTAL_SAMPLES);
+    samples
+}
+
+fn decisions_json(decisions: &[(i64, webcap_core::OnlineDecision)]) -> String {
+    serde_json::to_string(decisions).expect("decisions serialize")
+}
+
+#[test]
+fn clean_run_is_byte_identical_to_the_in_process_monitor() {
+    let meter = trained_meter();
+    let window_len = meter.config().window_len;
+    let samples = steady_samples(&meter);
+
+    let out = run_loopback(
+        &meter,
+        &samples,
+        &Endpoint::parse("127.0.0.1:0").expect("tcp endpoint"),
+        BASE_SEED,
+        FaultKnobs::NONE,
+    )
+    .expect("loopback runs");
+
+    for (i, agent) in out.agents.iter().enumerate() {
+        assert_eq!(agent.samples_produced, TOTAL_SAMPLES as u64, "agent {i}");
+        assert_eq!(agent.frames_sent, TOTAL_SAMPLES as u64, "agent {i}");
+        assert_eq!(agent.frames_dropped, 0, "agent {i}");
+        assert_eq!(agent.sessions, 1, "agent {i}");
+    }
+    assert!(out.collector.poisoned_windows.is_empty());
+    assert_eq!(out.collector.anomalies, 0);
+
+    let emitted: Vec<i64> = out.collector.decisions.iter().map(|(w, _)| *w).collect();
+    assert_eq!(
+        emitted,
+        (0..(TOTAL_SAMPLES / window_len) as i64).collect::<Vec<i64>>(),
+        "every full window emits, in order"
+    );
+
+    let baseline = replay_windows(
+        &meter,
+        &samples,
+        BASE_SEED,
+        &all_windows(TOTAL_SAMPLES, window_len),
+    );
+    assert_eq!(
+        decisions_json(&out.collector.decisions),
+        decisions_json(&baseline),
+        "collector decisions are byte-identical to the in-process monitor"
+    );
+}
+
+#[test]
+fn dropped_frames_and_forced_reconnects_poison_exactly_the_gapped_windows() {
+    // The built-in schedule; the env knobs (CI's fault matrix) override
+    // it, and every assertion below holds for any knob values because
+    // the expectations come from the oracle, not from hand-computed
+    // window lists.
+    let env_knobs = FaultKnobs::from_env();
+    let faults = if env_knobs.any() {
+        env_knobs
+    } else {
+        FaultKnobs {
+            drop_every: Some(37),
+            delay: Some(Duration::from_millis(1)),
+            reconnect_every: Some(101),
+        }
+    };
+
+    let meter = trained_meter();
+    let window_len = meter.config().window_len;
+    let samples = steady_samples(&meter);
+
+    let (survivors, poisoned) =
+        predicted_surviving_windows(TOTAL_SAMPLES as u64, &faults, window_len, 1);
+    if !env_knobs.any() {
+        // Sanity-pin the built-in schedule so a silent oracle regression
+        // cannot hollow out the test.
+        assert_eq!(survivors, [0, 5].into_iter().collect::<BTreeSet<i64>>());
+    }
+
+    let dir = std::env::temp_dir().join(format!("webcap-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sock = dir.join("collector.sock");
+    let out = run_loopback(
+        &meter,
+        &samples,
+        &Endpoint::Unix(sock.clone()),
+        BASE_SEED,
+        faults,
+    )
+    .expect("loopback survives induced faults");
+    let _ = std::fs::remove_file(&sock);
+
+    let emitted: BTreeSet<i64> = out.collector.decisions.iter().map(|(w, _)| *w).collect();
+    assert_eq!(
+        emitted, survivors,
+        "exactly the windows the fault schedule leaves intact emit"
+    );
+    assert!(
+        emitted.is_disjoint(&poisoned),
+        "no prediction ever comes from a gapped window"
+    );
+    let quarantined: BTreeSet<i64> = out.collector.poisoned_windows.iter().copied().collect();
+    assert_eq!(
+        quarantined, poisoned,
+        "the collector quarantined exactly the predicted windows"
+    );
+    if faults.reconnect_every.is_some() {
+        assert!(
+            out.agents.iter().all(|a| a.sessions > 1),
+            "forced reconnects actually happened"
+        );
+    }
+
+    let baseline = replay_windows(&meter, &samples, BASE_SEED, &survivors);
+    assert_eq!(
+        decisions_json(&out.collector.decisions),
+        decisions_json(&baseline),
+        "surviving-window predictions are byte-identical to the in-process monitor"
+    );
+}

@@ -101,6 +101,12 @@ pub mod seed_domain {
     pub const EVALUATION_RUN: u64 = 0x65_76_61_6c; // "eval"
     /// Benchmark grid cells.
     pub const BENCH_CELL: u64 = 0x63_65_6c_6c; // "cell"
+    /// Per-tier telemetry agents' metric synthesis (`webcap-net`): the
+    /// per-sample seed is derived from `(AGENT_METRICS + tier index,
+    /// sample seq, base seed)`, so a replayed or re-sent sample always
+    /// regenerates identical metric rows regardless of what was dropped
+    /// before it.
+    pub const AGENT_METRICS: u64 = 0x61_67_6e_74; // "agnt"
 }
 
 /// Derive an independent `StdRng`-ready seed for one parallel task,

@@ -14,6 +14,9 @@
 //!   model-selection utilities.
 //! * [`core`] — the paper's contribution: productivity index, performance
 //!   synopses, and the two-level coordinated predictor.
+//! * [`net`] — the distributed telemetry plane: per-tier agents, the
+//!   framed wire protocol, and the fault-tolerant collector feeding the
+//!   online meter.
 //!
 //! # Quick start
 //!
@@ -35,6 +38,7 @@
 pub use webcap_core as core;
 pub use webcap_hpc as hpc;
 pub use webcap_ml as ml;
+pub use webcap_net as net;
 pub use webcap_os as os;
 pub use webcap_sim as sim;
 pub use webcap_tpcw as tpcw;
