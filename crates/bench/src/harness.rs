@@ -1,0 +1,450 @@
+//! Machine-readable performance harness behind `webcap bench`.
+//!
+//! The criterion benches under `benches/` regenerate the *paper's* tables;
+//! this module instead measures the *reproduction's own* hot paths — the
+//! costs the paper argues must stay small for online capacity measurement
+//! to be viable — and emits a versioned JSON report (`BENCH_webcap.json`)
+//! that CI diffs against a checked-in baseline (see [`crate::regression`]).
+//!
+//! The suite is fixed and fully seeded: every repetition re-runs an
+//! identical deterministic workload, so the only variance between
+//! repetitions is scheduling noise, which the median/p95 summary absorbs.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use webcap_core::synopsis::{dataset_from_instances, PerformanceSynopsis, SynopsisSpec};
+use webcap_core::{
+    CapacityMeter, CoordinatedPredictor, CoordinatorConfig, MeterConfig, MetricLevel,
+};
+use webcap_ml::select::SelectionOptions;
+use webcap_ml::{forward_select, Algorithm};
+use webcap_net::{AppStats, Assembler, WireSample};
+use webcap_sim::{RtHistogram, SimConfig, TierId, TierSample};
+use webcap_tpcw::{Mix, MixId};
+
+use crate::training_instances;
+
+/// Version of the report schema. Bump on any change to the report shape
+/// or to the meaning of an existing field.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Identifiers of every bench in the suite, in execution order. The
+/// suite hash is derived from this list, so renaming, adding, or removing
+/// a bench invalidates old baselines loudly instead of silently.
+pub const BENCH_IDS: [&str; 8] = [
+    "sim_engine_steps",
+    "synopsis_train_lr",
+    "synopsis_train_nb",
+    "synopsis_train_tan",
+    "synopsis_train_svm",
+    "forward_selection",
+    "coordinated_predictor_updates",
+    "collector_window_assembly",
+];
+
+/// Workload size of a suite run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchTier {
+    /// Small workloads, few repetitions — the CI regression gate.
+    Quick,
+    /// Larger workloads and more repetitions for local investigation.
+    Full,
+}
+
+impl BenchTier {
+    /// The tier label recorded in the report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BenchTier::Quick => "quick",
+            BenchTier::Full => "full",
+        }
+    }
+
+    /// Timed repetitions per bench (odd, so the median is an observed
+    /// sample).
+    pub fn reps(&self) -> usize {
+        match self {
+            BenchTier::Quick => 5,
+            BenchTier::Full => 9,
+        }
+    }
+
+    fn sim_scale(&self) -> f64 {
+        match self {
+            BenchTier::Quick => 0.15,
+            BenchTier::Full => 0.6,
+        }
+    }
+
+    fn instance_scale(&self) -> f64 {
+        match self {
+            BenchTier::Quick => 0.15,
+            BenchTier::Full => 0.4,
+        }
+    }
+
+    fn selection(&self) -> SelectionOptions {
+        match self {
+            BenchTier::Quick => SelectionOptions {
+                folds: 5,
+                max_attributes: 3,
+                max_candidates: 12,
+                ..SelectionOptions::default()
+            },
+            BenchTier::Full => SelectionOptions {
+                folds: 10,
+                max_attributes: 6,
+                ..SelectionOptions::default()
+            },
+        }
+    }
+
+    fn predictor_updates(&self) -> u64 {
+        match self {
+            BenchTier::Quick => 200_000,
+            BenchTier::Full => 1_000_000,
+        }
+    }
+
+    fn collector_windows(&self) -> u64 {
+        match self {
+            BenchTier::Quick => 20,
+            BenchTier::Full => 100,
+        }
+    }
+}
+
+/// Summary of one bench: wall-clock medians over the repetitions plus the
+/// amount of work each repetition performed, so consumers can derive
+/// throughput (`work_units / median_ns`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchResult {
+    /// Stable bench identifier (one of [`BENCH_IDS`]).
+    pub id: String,
+    /// Timed repetitions.
+    pub reps: usize,
+    /// Work performed per repetition (samples simulated, instances
+    /// trained on, predictor updates, wire samples ingested, …).
+    pub work_units: u64,
+    /// Median wall time of one repetition, nanoseconds.
+    pub median_ns: u64,
+    /// 95th-percentile wall time of one repetition, nanoseconds.
+    pub p95_ns: u64,
+}
+
+/// The versioned machine-readable report `webcap bench` emits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Hash of the suite composition ([`suite_hash`]); baselines with a
+    /// different hash are stale and must be refreshed, not compared.
+    pub suite_hash: String,
+    /// Workspace git revision the suite ran on (`unknown` outside a git
+    /// checkout).
+    pub git_rev: String,
+    /// Workload tier the suite ran at (`quick` or `full`).
+    pub tier: String,
+    /// One entry per bench, in [`BENCH_IDS`] order.
+    pub results: Vec<BenchResult>,
+}
+
+/// FNV-1a hash of the suite composition (schema version + ordered bench
+/// ids), formatted as 16 hex digits. Matches the FNV idiom of the wire
+/// protocol's metric-schema hash.
+pub fn suite_hash() -> String {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h ^= u64::from(0x1fu8);
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    eat(SCHEMA_VERSION.to_string().as_bytes());
+    for id in BENCH_IDS {
+        eat(id.as_bytes());
+    }
+    format!("{h:016x}")
+}
+
+/// The workspace git revision, or `unknown` when git is unavailable.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Time `reps` repetitions of `work` (which returns the work units it
+/// performed) and summarize them.
+fn measure(id: &str, reps: usize, mut work: impl FnMut() -> u64) -> BenchResult {
+    assert!(reps > 0, "at least one repetition");
+    let mut times: Vec<u64> = Vec::with_capacity(reps);
+    let mut work_units = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        work_units = black_box(work());
+        let dt = t0.elapsed().as_nanos();
+        times.push(u64::try_from(dt).unwrap_or(u64::MAX));
+    }
+    times.sort_unstable();
+    let median_ns = times[times.len() / 2];
+    let p95_idx = ((times.len() as f64) * 0.95).ceil() as usize;
+    let p95_ns = times[p95_idx.saturating_sub(1).min(times.len() - 1)];
+    BenchResult {
+        id: id.to_string(),
+        reps,
+        work_units,
+        median_ns,
+        p95_ns,
+    }
+}
+
+/// Simulator stepping: run the ordering-mix training program end to end.
+fn bench_sim_engine(tier: BenchTier) -> BenchResult {
+    let cfg = SimConfig::testbed(0xB0);
+    let program =
+        webcap_core::workloads::training_program(&cfg, &Mix::ordering(), tier.sim_scale());
+    measure("sim_engine_steps", tier.reps(), || {
+        let out = webcap_sim::run(cfg.clone(), program.clone());
+        out.samples.len() as u64
+    })
+}
+
+/// Synopsis training (forward selection + final fit) for one learner.
+fn bench_synopsis_train(
+    id: &'static str,
+    algorithm: Algorithm,
+    tier: BenchTier,
+    instances: &[webcap_core::WindowInstance],
+) -> BenchResult {
+    let spec = SynopsisSpec {
+        tier: TierId::App,
+        workload: MixId::Ordering,
+        level: MetricLevel::Hpc,
+        algorithm,
+    };
+    let selection = tier.selection();
+    measure(id, tier.reps(), || {
+        let syn = PerformanceSynopsis::train(spec, instances, &selection)
+            .expect("bench workload trains");
+        black_box(syn.cv_balanced_accuracy());
+        instances.len() as u64
+    })
+}
+
+/// Forward attribute selection alone (gain ranking + CV trials).
+fn bench_forward_selection(
+    tier: BenchTier,
+    instances: &[webcap_core::WindowInstance],
+) -> BenchResult {
+    let data = dataset_from_instances(instances, TierId::App, MetricLevel::Hpc);
+    let learner = Algorithm::NaiveBayes.learner();
+    let selection = tier.selection();
+    measure("forward_selection", tier.reps(), || {
+        let report = forward_select(learner.as_ref(), &data, &selection)
+            .expect("bench workload selects attributes");
+        black_box(report.selected.len());
+        data.len() as u64
+    })
+}
+
+/// Coordinated-predictor train/predict update rate.
+fn bench_predictor_updates(tier: BenchTier) -> BenchResult {
+    let updates = tier.predictor_updates();
+    measure("coordinated_predictor_updates", tier.reps(), || {
+        let mut predictor = CoordinatedPredictor::new(4, CoordinatorConfig::default());
+        // Deterministic pseudo-random stream (LCG); no RNG dependency.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..updates {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let bits = (state >> 33) as usize;
+            let preds = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0];
+            let label = bits & 16 != 0;
+            let bottleneck = if label {
+                Some(if bits & 32 != 0 { TierId::App } else { TierId::Db })
+            } else {
+                None
+            };
+            predictor.train_instance(&preds, label, bottleneck);
+            black_box(predictor.predict(&preds).overloaded);
+        }
+        black_box(predictor.trained_instances());
+        updates
+    })
+}
+
+/// One synthetic per-second wire sample for the collector bench.
+fn collector_sample(seq: u64, with_app: bool) -> WireSample {
+    WireSample {
+        seq,
+        t_s: seq as f64 + 1.0,
+        interval_s: 1.0,
+        tier: TierSample {
+            utilization: 0.3,
+            delivered_work_s: 0.3,
+            arrivals: 20,
+            completions: 20,
+            ..TierSample::default()
+        },
+        hpc: vec![0.5; 12],
+        os: vec![0.1; 64],
+        app: with_app.then(|| AppStats {
+            ebs_target: 10,
+            ebs_active: 10,
+            mix_id: MixId::Ordering,
+            issued: 20,
+            issued_browse: 10,
+            completed: 20,
+            completed_browse: 10,
+            response_time_sum_s: 2.0,
+            response_time_max_s: 0.4,
+            in_flight: 1,
+            response_times: RtHistogram::new(),
+        }),
+    }
+}
+
+/// Collector window-assembly throughput: feed gap-free two-tier streams
+/// through a fresh [`Assembler`] and count ingested wire samples.
+fn bench_collector_assembly(tier: BenchTier, meter: &CapacityMeter) -> BenchResult {
+    let window_len = meter.config().window_len as u64;
+    let windows = tier.collector_windows();
+    let total = windows * window_len;
+    measure("collector_window_assembly", tier.reps(), || {
+        let mut assembler = Assembler::new(meter.clone(), 1);
+        assembler.on_session_start(TierId::App);
+        assembler.on_session_start(TierId::Db);
+        let mut decisions = 0u64;
+        {
+            let mut sink = |_w: i64, _d: &webcap_core::OnlineDecision| decisions += 1;
+            for seq in 0..total {
+                assembler.on_sample(TierId::App, collector_sample(seq, true), &mut sink);
+                assembler.on_sample(TierId::Db, collector_sample(seq, false), &mut sink);
+            }
+        }
+        assert_eq!(decisions, windows, "all windows emit");
+        assert_eq!(assembler.anomalies(), 0);
+        total * 2
+    })
+}
+
+/// Run the full suite at `tier` and assemble the report.
+///
+/// Workload preparation (simulating training instances, training the
+/// collector bench's meter) happens outside the timed regions.
+///
+/// # Panics
+///
+/// Panics if a bench workload fails to train — the workloads are fixed
+/// and seeded, so that is a code bug, not an input error.
+pub fn run_suite(tier: BenchTier) -> BenchReport {
+    let cfg = SimConfig::testbed(7);
+    let instances = training_instances(MixId::Ordering, &cfg, tier.instance_scale(), 5);
+    let meter =
+        CapacityMeter::train(&MeterConfig::small_for_tests(31)).expect("bench meter trains");
+
+    let results = vec![
+        bench_sim_engine(tier),
+        bench_synopsis_train(
+            "synopsis_train_lr",
+            Algorithm::LinearRegression,
+            tier,
+            &instances,
+        ),
+        bench_synopsis_train("synopsis_train_nb", Algorithm::NaiveBayes, tier, &instances),
+        bench_synopsis_train("synopsis_train_tan", Algorithm::Tan, tier, &instances),
+        bench_synopsis_train("synopsis_train_svm", Algorithm::Svm, tier, &instances),
+        bench_forward_selection(tier, &instances),
+        bench_predictor_updates(tier),
+        bench_collector_assembly(tier, &meter),
+    ];
+    debug_assert_eq!(results.len(), BENCH_IDS.len());
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        suite_hash: suite_hash(),
+        git_rev: git_rev(),
+        tier: tier.label().to_string(),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_hash_is_stable_and_hex() {
+        let h = suite_hash();
+        assert_eq!(h.len(), 16);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(h, suite_hash(), "pure function of the suite composition");
+    }
+
+    #[test]
+    fn measure_summarizes_reps() {
+        let mut calls = 0u64;
+        let r = measure("toy", 5, || {
+            calls += 1;
+            42
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(r.reps, 5);
+        assert_eq!(r.work_units, 42);
+        assert!(r.median_ns <= r.p95_ns);
+    }
+
+    #[test]
+    fn tier_knobs_are_ordered() {
+        assert!(BenchTier::Quick.reps() < BenchTier::Full.reps());
+        assert!(BenchTier::Quick.predictor_updates() < BenchTier::Full.predictor_updates());
+        assert!(BenchTier::Quick.collector_windows() < BenchTier::Full.collector_windows());
+        assert_eq!(BenchTier::Quick.label(), "quick");
+        assert_eq!(BenchTier::Full.label(), "full");
+    }
+
+    #[test]
+    fn predictor_bench_runs_small() {
+        // Exercise the cheapest real bench end to end.
+        let r = bench_predictor_updates(BenchTier::Quick);
+        assert_eq!(r.id, "coordinated_predictor_updates");
+        assert_eq!(r.work_units, BenchTier::Quick.predictor_updates());
+        assert!(r.median_ns > 0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            schema_version: SCHEMA_VERSION,
+            suite_hash: suite_hash(),
+            git_rev: "deadbeef".into(),
+            tier: "quick".into(),
+            results: vec![BenchResult {
+                id: "toy".into(),
+                reps: 5,
+                work_units: 10,
+                median_ns: 100,
+                p95_ns: 120,
+            }],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, report.schema_version);
+        assert_eq!(back.suite_hash, report.suite_hash);
+        assert_eq!(back.results.len(), 1);
+        assert_eq!(back.results[0].id, "toy");
+    }
+}

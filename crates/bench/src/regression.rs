@@ -1,0 +1,258 @@
+//! Perf-regression gate: compare a fresh [`BenchReport`] against a
+//! checked-in baseline (`BENCH_baseline.json`).
+//!
+//! CI runs `webcap bench --quick --baseline BENCH_baseline.json` and fails
+//! the job when any bench's median wall time regresses by more than the
+//! tolerance (default 25%, overridable via `WEBCAP_BENCH_TOLERANCE`).
+//! Comparisons are only meaningful between runs of the *same* suite doing
+//! the *same* work, so a schema/suite/tier/work mismatch is a hard error
+//! telling the operator to refresh the baseline, never a silent pass.
+
+use crate::harness::BenchReport;
+
+/// Default allowed slowdown before a bench counts as regressed (0.25 =
+/// 25% over the baseline median).
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Environment variable overriding [`DEFAULT_TOLERANCE`].
+pub const TOLERANCE_ENV: &str = "WEBCAP_BENCH_TOLERANCE";
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone)]
+pub struct RegressionOutcome {
+    /// Tolerance the comparison used.
+    pub tolerance: f64,
+    /// Benches compared.
+    pub compared: usize,
+    /// One human-readable line per regressed bench (empty = gate passes).
+    pub regressions: Vec<String>,
+    /// One line per bench that *improved* past the tolerance — worth
+    /// refreshing the baseline to ratchet the gate down.
+    pub improvements: Vec<String>,
+}
+
+impl RegressionOutcome {
+    /// Whether the gate passes (no bench regressed past the tolerance).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Parse the allowed-slowdown fraction, preferring `env_value` (the
+/// content of [`TOLERANCE_ENV`]) over [`DEFAULT_TOLERANCE`].
+///
+/// # Errors
+///
+/// Returns a clear message when the value is set but not a finite
+/// nonnegative number — a malformed gate knob must fail the gate, not
+/// silently run with the default.
+pub fn parse_tolerance(env_value: Option<&str>) -> Result<f64, String> {
+    match env_value {
+        None => Ok(DEFAULT_TOLERANCE),
+        Some(raw) => {
+            let trimmed = raw.trim();
+            match trimmed.parse::<f64>() {
+                Ok(v) if v.is_finite() && v >= 0.0 => Ok(v),
+                _ => Err(format!(
+                    "{TOLERANCE_ENV}='{raw}' is not a nonnegative number \
+                     (expected an allowed-slowdown fraction like 0.25)"
+                )),
+            }
+        }
+    }
+}
+
+/// Read [`TOLERANCE_ENV`] from the process environment and parse it.
+///
+/// # Errors
+///
+/// Propagates [`parse_tolerance`]'s error for malformed values.
+pub fn tolerance_from_env() -> Result<f64, String> {
+    parse_tolerance(std::env::var(TOLERANCE_ENV).ok().as_deref())
+}
+
+/// Compare `current` against `baseline` with `tolerance`.
+///
+/// # Errors
+///
+/// Returns a message (not an outcome) when the two reports are not
+/// comparable: schema-version or suite-hash mismatch (the suite changed —
+/// refresh the baseline), tier mismatch, a bench missing from either
+/// side, or differing per-bench work units.
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+) -> Result<RegressionOutcome, String> {
+    if baseline.schema_version != current.schema_version {
+        return Err(format!(
+            "baseline schema v{} != current schema v{}; refresh BENCH_baseline.json",
+            baseline.schema_version, current.schema_version
+        ));
+    }
+    if baseline.suite_hash != current.suite_hash {
+        return Err(format!(
+            "suite hash changed ({} -> {}); the bench suite was modified — \
+             refresh BENCH_baseline.json",
+            baseline.suite_hash, current.suite_hash
+        ));
+    }
+    if baseline.tier != current.tier {
+        return Err(format!(
+            "baseline ran at tier '{}' but current ran at '{}'",
+            baseline.tier, current.tier
+        ));
+    }
+    let mut outcome = RegressionOutcome {
+        tolerance,
+        compared: 0,
+        regressions: Vec::new(),
+        improvements: Vec::new(),
+    };
+    for cur in &current.results {
+        let base = baseline
+            .results
+            .iter()
+            .find(|b| b.id == cur.id)
+            .ok_or_else(|| {
+                format!(
+                    "bench '{}' missing from the baseline; refresh BENCH_baseline.json",
+                    cur.id
+                )
+            })?;
+        if base.work_units != cur.work_units {
+            return Err(format!(
+                "bench '{}' does {} work units but the baseline did {}; \
+                 refresh BENCH_baseline.json",
+                cur.id, cur.work_units, base.work_units
+            ));
+        }
+        outcome.compared += 1;
+        let ratio = cur.median_ns as f64 / (base.median_ns as f64).max(1.0);
+        if ratio > 1.0 + tolerance {
+            outcome.regressions.push(format!(
+                "{}: {:.0}ns -> {:.0}ns ({:+.1}% > +{:.1}% allowed)",
+                cur.id,
+                base.median_ns as f64,
+                cur.median_ns as f64,
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        } else if ratio < 1.0 / (1.0 + tolerance) {
+            outcome.improvements.push(format!(
+                "{}: {:.0}ns -> {:.0}ns ({:.2}x faster)",
+                cur.id,
+                base.median_ns as f64,
+                cur.median_ns as f64,
+                1.0 / ratio
+            ));
+        }
+    }
+    for base in &baseline.results {
+        if !current.results.iter().any(|c| c.id == base.id) {
+            return Err(format!(
+                "bench '{}' present in the baseline but not in the current run; \
+                 refresh BENCH_baseline.json",
+                base.id
+            ));
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{suite_hash, BenchResult, SCHEMA_VERSION};
+
+    fn report(tier: &str, results: Vec<(&str, u64, u64)>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            suite_hash: suite_hash(),
+            git_rev: "test".into(),
+            tier: tier.into(),
+            results: results
+                .into_iter()
+                .map(|(id, work, median)| BenchResult {
+                    id: id.into(),
+                    reps: 5,
+                    work_units: work,
+                    median_ns: median,
+                    p95_ns: median + median / 10,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report("quick", vec![("x", 10, 1000), ("y", 20, 2000)]);
+        let out = compare(&a, &a, DEFAULT_TOLERANCE).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.compared, 2);
+        assert!(out.improvements.is_empty());
+    }
+
+    #[test]
+    fn slowdown_past_tolerance_fails() {
+        let base = report("quick", vec![("x", 10, 1000)]);
+        let cur = report("quick", vec![("x", 10, 1300)]);
+        let out = compare(&base, &cur, 0.25).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.regressions.len(), 1);
+        assert!(out.regressions[0].contains("x:"), "{:?}", out.regressions);
+    }
+
+    #[test]
+    fn slowdown_within_tolerance_passes() {
+        let base = report("quick", vec![("x", 10, 1000)]);
+        let cur = report("quick", vec![("x", 10, 1200)]);
+        assert!(compare(&base, &cur, 0.25).unwrap().passed());
+    }
+
+    #[test]
+    fn speedup_is_reported_as_improvement() {
+        let base = report("quick", vec![("x", 10, 3000)]);
+        let cur = report("quick", vec![("x", 10, 1000)]);
+        let out = compare(&base, &cur, 0.25).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.improvements.len(), 1);
+    }
+
+    #[test]
+    fn suite_hash_mismatch_is_an_error() {
+        let base = report("quick", vec![("x", 10, 1000)]);
+        let mut cur = report("quick", vec![("x", 10, 1000)]);
+        cur.suite_hash = "0000000000000000".into();
+        let err = compare(&base, &cur, 0.25).unwrap_err();
+        assert!(err.contains("refresh"), "{err}");
+    }
+
+    #[test]
+    fn tier_and_work_mismatches_are_errors() {
+        let base = report("quick", vec![("x", 10, 1000)]);
+        let full = report("full", vec![("x", 10, 1000)]);
+        assert!(compare(&base, &full, 0.25).is_err());
+        let more_work = report("quick", vec![("x", 99, 1000)]);
+        assert!(compare(&base, &more_work, 0.25).is_err());
+    }
+
+    #[test]
+    fn missing_benches_are_errors_both_ways() {
+        let two = report("quick", vec![("x", 10, 1000), ("y", 20, 2000)]);
+        let one = report("quick", vec![("x", 10, 1000)]);
+        assert!(compare(&two, &one, 0.25).is_err(), "baseline-only bench");
+        assert!(compare(&one, &two, 0.25).is_err(), "current-only bench");
+    }
+
+    #[test]
+    fn tolerance_parsing_is_typed() {
+        assert_eq!(parse_tolerance(None).unwrap(), DEFAULT_TOLERANCE);
+        assert_eq!(parse_tolerance(Some("0.5")).unwrap(), 0.5);
+        assert_eq!(parse_tolerance(Some(" 0 ")).unwrap(), 0.0);
+        for bad in ["", "abc", "-0.1", "NaN", "inf"] {
+            let err = parse_tolerance(Some(bad)).unwrap_err();
+            assert!(err.contains(TOLERANCE_ENV), "{err}");
+        }
+    }
+}

@@ -1,7 +1,10 @@
 //! The CLI subcommands: simulate, train, evaluate, info, plan, agent,
-//! collect.
+//! collect, bench.
 
 use std::fmt;
+
+use webcap_bench::harness::{run_suite, BenchReport, BenchTier, BENCH_IDS};
+use webcap_bench::regression;
 
 use webcap_core::meter::{CapacityMeter, EvaluationReport, MeterConfig};
 use webcap_core::monitor::{collect_run, MetricLevel};
@@ -321,6 +324,10 @@ pub fn agent(args: &Args) -> Result<(), CliError> {
     let seed = args.get_parsed("seed", 17u64, "integer")?;
     let run_seed = args.get_parsed("run-seed", 400u64, "integer")?;
     let duration = args.get_parsed("duration", 240.0, "number")?;
+    // Parse the fault knobs up front so a typo'd env var fails here,
+    // before the replay simulation runs, instead of silently meaning
+    // "no faults".
+    let faults = FaultKnobs::try_from_env().map_err(CliError::Message)?;
     if duration < f64::from(meter.config().window_len as u32) {
         return Err(CliError::Message(format!(
             "duration must cover at least one {}-second window",
@@ -339,7 +346,7 @@ pub fn agent(args: &Args) -> Result<(), CliError> {
         .run()
         .samples;
     let cfg = AgentConfig {
-        faults: FaultKnobs::from_env(),
+        faults,
         ..AgentConfig::new(tier, endpoint, seed)
     };
     let hpc_model = meter.config().hpc_model.clone();
@@ -409,6 +416,95 @@ pub fn collect(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Format nanoseconds for the human-readable bench table.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// `webcap bench` — run the fixed performance suite, emit the
+/// machine-readable report, and optionally gate against a baseline.
+pub fn bench(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["quick", "full", "out", "baseline"])?;
+    if args.flag("quick") && args.flag("full") {
+        return Err(CliError::Message(
+            "--quick and --full are mutually exclusive".into(),
+        ));
+    }
+    let tier = if args.flag("full") {
+        BenchTier::Full
+    } else {
+        BenchTier::Quick
+    };
+    let out = args.get_or("out", "BENCH_webcap.json");
+
+    println!(
+        "running the {} bench suite ({} benches, {} repetitions each) ...",
+        tier.label(),
+        BENCH_IDS.len(),
+        tier.reps()
+    );
+    let report = run_suite(tier);
+    println!(
+        "{:<32} {:>10} {:>10} {:>12} {:>12}",
+        "bench", "median", "p95", "work units", "per unit"
+    );
+    for r in &report.results {
+        println!(
+            "{:<32} {:>10} {:>10} {:>12} {:>12}",
+            r.id,
+            fmt_ns(r.median_ns),
+            fmt_ns(r.p95_ns),
+            r.work_units,
+            fmt_ns((r.median_ns as f64 / r.work_units.max(1) as f64) as u64),
+        );
+    }
+    let mut json = serde_json::to_string_pretty(&report)?;
+    json.push('\n');
+    std::fs::write(out, json)?;
+    println!(
+        "report written to {out} (suite {}, rev {})",
+        report.suite_hash, report.git_rev
+    );
+
+    if let Some(base_path) = args.get("baseline") {
+        let baseline: BenchReport = serde_json::from_str(&std::fs::read_to_string(base_path)?)?;
+        let tolerance = regression::tolerance_from_env().map_err(CliError::Message)?;
+        let outcome =
+            regression::compare(&baseline, &report, tolerance).map_err(CliError::Message)?;
+        for line in &outcome.improvements {
+            println!("improved: {line}");
+        }
+        if !outcome.passed() {
+            for line in &outcome.regressions {
+                eprintln!("regressed: {line}");
+            }
+            return Err(CliError::Message(format!(
+                "{} of {} benches regressed more than {:.0}% past the baseline \
+                 (tolerance via {})",
+                outcome.regressions.len(),
+                outcome.compared,
+                tolerance * 100.0,
+                regression::TOLERANCE_ENV,
+            )));
+        }
+        println!(
+            "regression gate passed: {} benches within +{:.0}% of {base_path}",
+            outcome.compared,
+            tolerance * 100.0
+        );
+    }
+    Ok(())
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 webcap — online capacity measurement of multi-tier websites (ICDCS'08 reproduction)
@@ -440,6 +536,10 @@ COMMANDS:
              [--run-seed <N>]
              (fault injection: WEBCAP_NET_DROP_EVERY, WEBCAP_NET_DELAY_MS,
              WEBCAP_NET_RECONNECT_EVERY)
+  bench      run the fixed performance suite and write BENCH_webcap.json
+             [--quick|--full] [--out <file>] [--baseline <file>]
+             (--baseline gates: exit nonzero if any bench median regresses
+             more than WEBCAP_BENCH_TOLERANCE, default 0.25, past it)
 ";
 
 #[cfg(test)]

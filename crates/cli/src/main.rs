@@ -4,7 +4,7 @@
 
 use webcap_cli::args::Args;
 use webcap_cli::commands::{
-    agent, collect, evaluate, info, plan, simulate, train, CliError, USAGE,
+    agent, bench, collect, evaluate, info, plan, simulate, train, CliError, USAGE,
 };
 
 fn main() {
@@ -13,8 +13,20 @@ fn main() {
         print!("{USAGE}");
         return;
     }
+    // Every `Parallelism::Auto` fan-out consults WEBCAP_JOBS; validate
+    // it once at startup so a typo is a clear error here rather than a
+    // panic in the middle of a run.
+    if let Err(e) = webcap_parallel::jobs_from_env() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
     let command = raw.remove(0);
-    let result = Args::parse(raw, &[])
+    // `bench` is the only subcommand with bare (value-less) flags.
+    let bare_flags: &[&str] = match command.as_str() {
+        "bench" => &["quick", "full"],
+        _ => &[],
+    };
+    let result = Args::parse(raw, bare_flags)
         .map_err(CliError::from)
         .and_then(|args| match command.as_str() {
             "simulate" => simulate(&args),
@@ -24,6 +36,7 @@ fn main() {
             "plan" => plan(&args),
             "agent" => agent(&args),
             "collect" => collect(&args),
+            "bench" => bench(&args),
             other => Err(CliError::Message(format!(
                 "unknown command '{other}'; run `webcap --help`"
             ))),

@@ -41,6 +41,66 @@ pub(crate) fn mean_rows<I: Iterator<Item = Vec<f64>>>(rows: I) -> Vec<f64> {
     acc
 }
 
+/// Incremental element-wise mean with the exact float-operation order of
+/// [`mean_rows`]: the first row seeds the accumulator (moved, not
+/// cloned), later rows are added element-wise in arrival order, and one
+/// division per element happens at [`RowMeanAccumulator::finish`].
+/// Feeding rows one at a time is therefore bit-identical to buffering
+/// them and calling `mean_rows` — without keeping every per-second row
+/// alive until the window closes.
+#[derive(Debug, Default)]
+pub(crate) struct RowMeanAccumulator {
+    acc: Vec<f64>,
+    n: usize,
+}
+
+impl RowMeanAccumulator {
+    /// Fold one row in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch, with the same message as
+    /// [`mean_rows`].
+    pub(crate) fn push(&mut self, row: Vec<f64>) {
+        if self.n == 0 {
+            self.acc = row;
+        } else {
+            assert_eq!(
+                self.acc.len(),
+                row.len(),
+                "mean_rows: mismatched row widths ({} vs {})",
+                self.acc.len(),
+                row.len()
+            );
+            for (a, x) in self.acc.iter_mut().zip(row) {
+                *a += x;
+            }
+        }
+        self.n += 1;
+    }
+
+    /// Complete the mean and reset the accumulator for the next window.
+    /// Like [`mean_rows`], zero rows yield an empty vector and a single
+    /// row is returned unchanged (no division).
+    pub(crate) fn finish(&mut self) -> Vec<f64> {
+        let mut acc = std::mem::take(&mut self.acc);
+        if self.n > 1 {
+            let n = self.n as f64;
+            for a in &mut acc {
+                *a /= n;
+            }
+        }
+        self.n = 0;
+        acc
+    }
+
+    /// Discard any partial state.
+    pub(crate) fn clear(&mut self) {
+        self.acc = Vec::new();
+        self.n = 0;
+    }
+}
+
 /// The majority traffic mix over a window's samples. Ties break
 /// deterministically (by first-appearance order of the tied mixes), so
 /// the label never depends on execution order.
@@ -88,6 +148,49 @@ mod tests {
     fn mismatched_widths_panic() {
         let rows = vec![vec![1.0, 2.0], vec![3.0]];
         let _ = mean_rows(rows.into_iter());
+    }
+
+    #[test]
+    fn accumulator_is_bit_identical_to_mean_rows() {
+        // Values chosen so summation order matters at the ulp level if it
+        // were ever changed.
+        let rows = vec![
+            vec![1e16, 3.0, -7.5],
+            vec![1.0, 0.1, 2.25],
+            vec![-1e16, 0.2, 4.5],
+            vec![2.0, 0.7, -0.125],
+        ];
+        for take in 0..=rows.len() {
+            let mut acc = RowMeanAccumulator::default();
+            for row in rows.iter().take(take) {
+                acc.push(row.clone());
+            }
+            let incremental = acc.finish();
+            let batched = mean_rows(rows.iter().take(take).cloned());
+            assert_eq!(
+                incremental.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                batched.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "take {take}"
+            );
+            assert!(acc.finish().is_empty(), "finish resets");
+        }
+    }
+
+    #[test]
+    fn accumulator_clear_discards_partial_state() {
+        let mut acc = RowMeanAccumulator::default();
+        acc.push(vec![1.0, 2.0]);
+        acc.clear();
+        acc.push(vec![10.0, 20.0]);
+        assert_eq!(acc.finish(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched row widths")]
+    fn accumulator_width_mismatch_panics() {
+        let mut acc = RowMeanAccumulator::default();
+        acc.push(vec![1.0, 2.0]);
+        acc.push(vec![3.0]);
     }
 
     fn sample_with_mix(mix_id: MixId) -> SystemSample {

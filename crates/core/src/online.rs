@@ -16,7 +16,7 @@ use webcap_hpc::{DerivedMetrics, HpcModel};
 use webcap_os::OsCollector;
 use webcap_sim::{SystemSample, TierId};
 
-use crate::agg::{majority_mix, mean_rows};
+use crate::agg::{majority_mix, RowMeanAccumulator};
 use crate::coordinator::CoordinatedPrediction;
 use crate::meter::CapacityMeter;
 use crate::monitor::{MetricLevel, WindowInstance};
@@ -41,8 +41,12 @@ pub struct OnlineMonitor {
     rng: StdRng,
     metrics_seed: u64,
     buffer: Vec<SystemSample>,
-    hpc_buffer: [Vec<Vec<f64>>; 2],
-    os_buffer: [Vec<Vec<f64>>; 2],
+    /// Running per-tier means of the HPC/OS metric rows. The incoming
+    /// rows are folded in on arrival (in the exact float order of
+    /// `mean_rows`, so results are bit-identical to buffering) instead of
+    /// being cloned and kept until the window closes.
+    hpc_mean: [RowMeanAccumulator; 2],
+    os_mean: [RowMeanAccumulator; 2],
     samples_seen: u64,
     decisions_made: u64,
 }
@@ -53,15 +57,16 @@ impl OnlineMonitor {
     /// read hardware).
     pub fn new(meter: CapacityMeter, metrics_seed: u64) -> OnlineMonitor {
         let hpc_model = meter.config().hpc_model.clone();
+        let window_len = meter.config().window_len;
         OnlineMonitor {
             meter,
             hpc_model,
             os_collectors: [OsCollector::new(TierId::App), OsCollector::new(TierId::Db)],
             rng: StdRng::seed_from_u64(metrics_seed),
             metrics_seed,
-            buffer: Vec::new(),
-            hpc_buffer: [Vec::new(), Vec::new()],
-            os_buffer: [Vec::new(), Vec::new()],
+            buffer: Vec::with_capacity(window_len),
+            hpc_mean: Default::default(),
+            os_mean: Default::default(),
             samples_seen: 0,
             decisions_made: 0,
         }
@@ -110,8 +115,8 @@ impl OnlineMonitor {
     pub fn reset(&mut self) {
         self.buffer.clear();
         for tier in TierId::ALL {
-            self.hpc_buffer[tier.index()].clear();
-            self.os_buffer[tier.index()].clear();
+            self.hpc_mean[tier.index()].clear();
+            self.os_mean[tier.index()].clear();
         }
         self.rng = StdRng::seed_from_u64(self.metrics_seed);
         self.os_collectors = [OsCollector::new(TierId::App), OsCollector::new(TierId::Db)];
@@ -155,10 +160,12 @@ impl OnlineMonitor {
         hpc: [Vec<f64>; 2],
         os: [Vec<f64>; 2],
     ) -> Option<OnlineDecision> {
-        for tier in TierId::ALL {
-            self.hpc_buffer[tier.index()].push(hpc[tier.index()].clone());
-            self.os_buffer[tier.index()].push(os[tier.index()].clone());
-        }
+        let [hpc_app, hpc_db] = hpc;
+        let [os_app, os_db] = os;
+        self.hpc_mean[TierId::App.index()].push(hpc_app);
+        self.hpc_mean[TierId::Db.index()].push(hpc_db);
+        self.os_mean[TierId::App.index()].push(os_app);
+        self.os_mean[TierId::Db.index()].push(os_db);
         self.buffer.push(sample);
         self.samples_seen += 1;
 
@@ -175,8 +182,8 @@ impl OnlineMonitor {
         let mix = majority_mix(&self.buffer);
         let mut features: [[Vec<f64>; 2]; 3] = Default::default();
         for tier in TierId::ALL {
-            let hpc = mean_rows(self.hpc_buffer[tier.index()].iter().cloned());
-            let os = mean_rows(self.os_buffer[tier.index()].iter().cloned());
+            let hpc = self.hpc_mean[tier.index()].finish();
+            let os = self.os_mean[tier.index()].finish();
             let mut combined = os.clone();
             combined.extend_from_slice(&hpc);
             features[MetricLevel::Hpc.index()][tier.index()] = hpc;
@@ -194,11 +201,9 @@ impl OnlineMonitor {
             features,
         );
 
+        // The mean accumulators were reset by `finish`; only the sample
+        // buffer still holds the window.
         self.buffer.clear();
-        for tier in TierId::ALL {
-            self.hpc_buffer[tier.index()].clear();
-            self.os_buffer[tier.index()].clear();
-        }
 
         let prediction = self.meter.predict(&window);
         self.decisions_made += 1;

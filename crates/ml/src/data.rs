@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::linalg::Matrix;
+
 /// A single labeled observation: one aggregated sampling interval in the
 /// paper's protocol (a 30-second average of per-second metric snapshots
 /// plus the high-level state of that interval).
@@ -162,6 +164,22 @@ impl Dataset {
         self.instances.extend(other.instances.iter().cloned());
     }
 
+    /// Copy the feature vectors into one contiguous row-major [`Matrix`]
+    /// (row `r` = instance `r`). Hot paths iterate this instead of chasing
+    /// one heap pointer per instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has no instances or no features.
+    pub fn to_matrix(&self) -> Matrix {
+        let cols = self.n_features();
+        let mut data = Vec::with_capacity(self.len() * cols);
+        for inst in &self.instances {
+            data.extend_from_slice(&inst.features);
+        }
+        Matrix::from_flat(self.len(), cols, data)
+    }
+
     /// Per-column mean and standard deviation (population), used for
     /// feature standardization. Columns with zero variance get σ = 1 so
     /// that scaling is a no-op for them.
@@ -242,6 +260,29 @@ impl Scaler {
             out.push(self.transform(&inst.features), inst.label);
         }
         out
+    }
+
+    /// Standardize a whole dataset directly into a contiguous row-major
+    /// [`Matrix`], skipping the per-instance `Vec` allocations of
+    /// [`Scaler::transform_dataset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or its width differs from the
+    /// fitted width.
+    pub fn transform_matrix(&self, data: &Dataset) -> Matrix {
+        let mut out = Vec::with_capacity(data.len() * self.stats.len());
+        for inst in data {
+            assert_eq!(
+                inst.features.len(),
+                self.stats.len(),
+                "width mismatch in transform"
+            );
+            for (v, (m, s)) in inst.features.iter().zip(&self.stats) {
+                out.push((v - m) / s);
+            }
+        }
+        Matrix::from_flat(data.len(), self.stats.len(), out)
     }
 
     /// Number of columns the scaler was fitted on.
@@ -333,6 +374,28 @@ mod tests {
         assert_eq!(d.positive_rate(), None);
         d.push(vec![0.0], true);
         assert_eq!(d.classes(), vec![true]);
+    }
+
+    #[test]
+    fn to_matrix_preserves_rows() {
+        let d = sample();
+        let m = d.to_matrix();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        for (r, inst) in d.iter().enumerate() {
+            assert_eq!(m.row(r), inst.features.as_slice());
+        }
+    }
+
+    #[test]
+    fn transform_matrix_matches_transform_dataset() {
+        let d = sample();
+        let scaler = Scaler::fit(&d);
+        let m = scaler.transform_matrix(&d);
+        let t = scaler.transform_dataset(&d);
+        for (r, inst) in t.iter().enumerate() {
+            assert_eq!(m.row(r), inst.features.as_slice());
+        }
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! first. Bin boundaries are fitted on training data only and then applied
 //! to unseen values (clamping to the outer bins).
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
 use serde::{Deserialize, Serialize};
 
 /// Discretizer for one continuous column: maps a value to a bin index in
@@ -75,6 +78,50 @@ impl EqualFrequencyDiscretizer {
     pub fn cuts(&self) -> &[f64] {
         &self.cuts
     }
+}
+
+/// Cache key for [`fit_cached`]: the exact bit patterns of the training
+/// values plus the bin target. A hit can only occur for bit-identical
+/// input, so the cached discretizer is exactly what a fresh fit would
+/// produce — the cache can never change results, only skip work.
+#[derive(PartialEq, Eq, Hash)]
+struct FitKey {
+    n_bins: usize,
+    value_bits: Vec<u64>,
+}
+
+static FIT_CACHE: OnceLock<Mutex<HashMap<FitKey, EqualFrequencyDiscretizer>>> = OnceLock::new();
+
+/// Entry cap for the fit memo; on overflow the memo resets rather than
+/// growing without bound (a refit is cheap, unbounded memory is not).
+const FIT_CACHE_CAP: usize = 1024;
+
+/// Memoized [`EqualFrequencyDiscretizer::fit`].
+///
+/// Cross-validated forward selection re-discretizes identical fold
+/// columns once per candidate attribute set (dozens of times per round);
+/// this turns every repeat into a hash lookup. Safe under concurrency:
+/// the key is the full input, so hits are referentially transparent.
+///
+/// # Panics
+///
+/// Same as [`EqualFrequencyDiscretizer::fit`].
+pub fn fit_cached(values: &[f64], n_bins: usize) -> EqualFrequencyDiscretizer {
+    let key = FitKey {
+        n_bins,
+        value_bits: values.iter().map(|v| v.to_bits()).collect(),
+    };
+    let cache = FIT_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("fit cache poisoned").get(&key) {
+        return hit.clone();
+    }
+    let fitted = EqualFrequencyDiscretizer::fit(values, n_bins);
+    let mut map = cache.lock().expect("fit cache poisoned");
+    if map.len() >= FIT_CACHE_CAP {
+        map.clear();
+    }
+    map.insert(key, fitted.clone());
+    fitted
 }
 
 /// Fit one discretizer per column of a feature matrix.
@@ -162,7 +209,31 @@ mod tests {
         assert_eq!(ds[1].bin(40.0), 1);
     }
 
+    #[test]
+    fn fit_cached_repeat_calls_agree() {
+        let values: Vec<f64> = (0..40).map(|i| f64::from(i % 13)).collect();
+        let first = fit_cached(&values, 4);
+        let second = fit_cached(&values, 4);
+        assert_eq!(first, second);
+        assert_eq!(first, EqualFrequencyDiscretizer::fit(&values, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "no values")]
+    fn fit_cached_rejects_empty_input() {
+        let _ = fit_cached(&[], 3);
+    }
+
     proptest! {
+        #[test]
+        fn fit_cached_matches_fit(values in prop::collection::vec(-1e6f64..1e6, 1..120),
+                                  n_bins in 1usize..10) {
+            prop_assert_eq!(
+                fit_cached(&values, n_bins),
+                EqualFrequencyDiscretizer::fit(&values, n_bins)
+            );
+        }
+
         #[test]
         fn bins_always_in_range(values in prop::collection::vec(-1e6f64..1e6, 1..200),
                                 probes in prop::collection::vec(-1e7f64..1e7, 1..50),

@@ -1,8 +1,11 @@
 //! Information-theoretic quantities over discretized attributes: entropy,
 //! information gain (the paper's attribute-relevance score, Section II-B.2)
 //! and conditional mutual information (the TAN tree weight).
-
-use std::collections::HashMap;
+//!
+//! Bin indices are small (equal-frequency discretization produces at most
+//! a handful of bins), so all counting uses dense bin-indexed arrays:
+//! no hashing on the hot path, and summation order is a fixed function of
+//! the bin indices rather than of a hash map's iteration order.
 
 /// Shannon entropy (base 2) of a discrete distribution given by counts.
 ///
@@ -42,19 +45,20 @@ pub fn information_gain(bins: &[usize], labels: &[bool]) -> f64 {
         return 0.0;
     }
     let h_c = label_entropy(labels);
-    // Group labels by bin.
-    let mut groups: HashMap<usize, (usize, usize)> = HashMap::new();
+    // Dense (pos, neg) label counts per bin, indexed by bin.
+    let k = bins.iter().copied().max().unwrap_or(0) + 1;
+    let mut groups: Vec<(usize, usize)> = vec![(0, 0); k];
     for (&b, &l) in bins.iter().zip(labels) {
-        let e = groups.entry(b).or_insert((0, 0));
         if l {
-            e.0 += 1;
+            groups[b].0 += 1;
         } else {
-            e.1 += 1;
+            groups[b].1 += 1;
         }
     }
     let n = bins.len() as f64;
     let h_c_given_a: f64 = groups
-        .values()
+        .iter()
+        .filter(|&&(pos, neg)| pos + neg > 0)
         .map(|&(pos, neg)| {
             let w = (pos + neg) as f64 / n;
             w * entropy_from_counts(&[pos, neg])
@@ -77,26 +81,44 @@ pub fn conditional_mutual_information(a: &[usize], b: &[usize], labels: &[bool])
     if n == 0 {
         return 0.0;
     }
-    // Joint counts per class.
-    let mut joint: HashMap<(bool, usize, usize), usize> = HashMap::new();
-    let mut marg_a: HashMap<(bool, usize), usize> = HashMap::new();
-    let mut marg_b: HashMap<(bool, usize), usize> = HashMap::new();
-    let mut class_count: HashMap<bool, usize> = HashMap::new();
-    for i in 0..n {
-        *joint.entry((labels[i], a[i], b[i])).or_insert(0) += 1;
-        *marg_a.entry((labels[i], a[i])).or_insert(0) += 1;
-        *marg_b.entry((labels[i], b[i])).or_insert(0) += 1;
-        *class_count.entry(labels[i]).or_insert(0) += 1;
+    // Dense joint and marginal counts, indexed by (class, bin).
+    let ka = a.iter().copied().max().unwrap_or(0) + 1;
+    let kb = b.iter().copied().max().unwrap_or(0) + 1;
+    let mut joint: Vec<usize> = vec![0; 2 * ka * kb];
+    let mut marg_a: Vec<usize> = vec![0; 2 * ka];
+    let mut marg_b: Vec<usize> = vec![0; 2 * kb];
+    let mut class_count = [0usize; 2];
+    for ((&ai, &bi), &l) in a.iter().zip(b).zip(labels) {
+        let c = usize::from(l);
+        joint[(c * ka + ai) * kb + bi] += 1;
+        marg_a[c * ka + ai] += 1;
+        marg_b[c * kb + bi] += 1;
+        class_count[c] += 1;
     }
     let n_f = n as f64;
     let mut cmi = 0.0;
-    for (&(c, ai, bi), &count) in &joint {
-        let p_abc = count as f64 / n_f;
-        let p_c = class_count[&c] as f64 / n_f;
-        let p_ac = marg_a[&(c, ai)] as f64 / n_f;
-        let p_bc = marg_b[&(c, bi)] as f64 / n_f;
-        // I = Σ p(a,b,c) log2( p(a,b,c)·p(c) / (p(a,c)·p(b,c)) )
-        cmi += p_abc * ((p_abc * p_c) / (p_ac * p_bc)).log2();
+    for (c, &cc) in class_count.iter().enumerate() {
+        if cc == 0 {
+            continue;
+        }
+        let p_c = cc as f64 / n_f;
+        for ai in 0..ka {
+            let ac = marg_a[c * ka + ai];
+            if ac == 0 {
+                continue;
+            }
+            let p_ac = ac as f64 / n_f;
+            for bi in 0..kb {
+                let count = joint[(c * ka + ai) * kb + bi];
+                if count == 0 {
+                    continue;
+                }
+                let p_abc = count as f64 / n_f;
+                let p_bc = marg_b[c * kb + bi] as f64 / n_f;
+                // I = Σ p(a,b,c) log2( p(a,b,c)·p(c) / (p(a,c)·p(b,c)) )
+                cmi += p_abc * ((p_abc * p_c) / (p_ac * p_bc)).log2();
+            }
+        }
     }
     cmi.max(0.0)
 }
@@ -186,6 +208,98 @@ mod tests {
             let ba = conditional_mutual_information(&b, &a, &labels);
             prop_assert!(ab >= 0.0);
             prop_assert!((ab - ba).abs() < 1e-9, "asymmetric: {} vs {}", ab, ba);
+        }
+    }
+
+    mod dense_counting_equivalence {
+        //! The dense bin-indexed counters must agree with the original
+        //! hash-map-grouped implementations (up to summation-order ulps).
+        use super::super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        /// The pre-optimization information gain: group label counts per
+        /// bin in a hash map.
+        fn reference_information_gain(bins: &[usize], labels: &[bool]) -> f64 {
+            if bins.is_empty() {
+                return 0.0;
+            }
+            let h_c = label_entropy(labels);
+            let mut groups: HashMap<usize, (usize, usize)> = HashMap::new();
+            for (&b, &l) in bins.iter().zip(labels) {
+                let e = groups.entry(b).or_insert((0, 0));
+                if l {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+            let n = bins.len() as f64;
+            let h_c_given_a: f64 = groups
+                .values()
+                .map(|&(pos, neg)| {
+                    let w = (pos + neg) as f64 / n;
+                    w * entropy_from_counts(&[pos, neg])
+                })
+                .sum();
+            (h_c - h_c_given_a).max(0.0)
+        }
+
+        /// The pre-optimization CMI: joint and marginal counts in hash
+        /// maps, summing over the joint entries.
+        fn reference_cmi(a: &[usize], b: &[usize], labels: &[bool]) -> f64 {
+            let n = a.len();
+            if n == 0 {
+                return 0.0;
+            }
+            let mut joint: HashMap<(usize, usize, usize), usize> = HashMap::new();
+            let mut marg_a: HashMap<(usize, usize), usize> = HashMap::new();
+            let mut marg_b: HashMap<(usize, usize), usize> = HashMap::new();
+            let mut class_count = [0usize; 2];
+            for ((&ai, &bi), &l) in a.iter().zip(b).zip(labels) {
+                let c = usize::from(l);
+                *joint.entry((c, ai, bi)).or_insert(0) += 1;
+                *marg_a.entry((c, ai)).or_insert(0) += 1;
+                *marg_b.entry((c, bi)).or_insert(0) += 1;
+                class_count[c] += 1;
+            }
+            let n_f = n as f64;
+            let mut cmi = 0.0;
+            for (&(c, ai, bi), &count) in &joint {
+                let p_abc = count as f64 / n_f;
+                let p_c = class_count[c] as f64 / n_f;
+                let p_ac = marg_a[&(c, ai)] as f64 / n_f;
+                let p_bc = marg_b[&(c, bi)] as f64 / n_f;
+                cmi += p_abc * ((p_abc * p_c) / (p_ac * p_bc)).log2();
+            }
+            cmi.max(0.0)
+        }
+
+        proptest! {
+            #[test]
+            fn information_gain_matches_hashmap_reference(
+                data in prop::collection::vec((0usize..6, any::<bool>()), 0..200)
+            ) {
+                let bins: Vec<usize> = data.iter().map(|d| d.0).collect();
+                let labels: Vec<bool> = data.iter().map(|d| d.1).collect();
+                let dense = information_gain(&bins, &labels);
+                let reference = reference_information_gain(&bins, &labels);
+                prop_assert!((dense - reference).abs() < 1e-9,
+                             "ig {} vs {}", dense, reference);
+            }
+
+            #[test]
+            fn cmi_matches_hashmap_reference(
+                data in prop::collection::vec((0usize..4, 0usize..4, any::<bool>()), 0..200)
+            ) {
+                let a: Vec<usize> = data.iter().map(|d| d.0).collect();
+                let b: Vec<usize> = data.iter().map(|d| d.1).collect();
+                let labels: Vec<bool> = data.iter().map(|d| d.2).collect();
+                let dense = conditional_mutual_information(&a, &b, &labels);
+                let reference = reference_cmi(&a, &b, &labels);
+                prop_assert!((dense - reference).abs() < 1e-9,
+                             "cmi {} vs {}", dense, reference);
+            }
         }
     }
 }

@@ -55,6 +55,32 @@ impl Matrix {
         m
     }
 
+    /// Build from a flat row-major buffer (`data[r * cols + c]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "flat buffer length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Borrow row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterate over the rows as contiguous slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -322,5 +348,35 @@ mod tests {
     fn dot_and_distance() {
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
         assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn rows_are_contiguous_views() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(a.row(0), &[1.0, 2.0]);
+        assert_eq!(a.row(2), &[5.0, 6.0]);
+        let collected: Vec<&[f64]> = a.row_iter().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[1], &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_flat_matches_from_rows() {
+        let flat = Matrix::from_flat(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let rows = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(flat, rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat buffer length mismatch")]
+    fn from_flat_rejects_bad_lengths() {
+        let _ = Matrix::from_flat(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_bounds_checked() {
+        let a = Matrix::from_rows(&[vec![1.0]]);
+        let _ = a.row(1);
     }
 }

@@ -33,8 +33,19 @@ impl GaussianNaiveBayes {
         }
         let d = data.n_features();
         let mut stats = [ClassStats::new(d), ClassStats::new(d)];
-        for inst in data {
-            stats[usize::from(inst.label)].accumulate(&inst.features);
+        if d > 0 {
+            // One contiguous row-major pass. The accumulation visits the
+            // same values in the same instance order as iterating the
+            // per-instance `Vec`s, so the fitted parameters are
+            // bit-identical; only the memory layout changes.
+            let x = data.to_matrix();
+            for (row, inst) in x.row_iter().zip(data) {
+                stats[usize::from(inst.label)].accumulate(row);
+            }
+        } else {
+            for inst in data {
+                stats[usize::from(inst.label)].count += 1;
+            }
         }
         let n = data.len() as f64;
         let priors = [stats[0].count as f64 / n, stats[1].count as f64 / n];
@@ -202,5 +213,60 @@ mod tests {
         let data = two_blob_dataset(4);
         let model = GaussianNaiveBayes.fit(&data).unwrap();
         assert!(model.decision(&[1e9, -1e9]).is_finite());
+    }
+
+    mod matrix_equivalence {
+        //! The contiguous-matrix fit must produce bit-identical parameters
+        //! and log-likelihoods to the original `Vec<Vec<f64>>` row path.
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// The pre-matrix fit path: accumulate per-instance rows directly.
+        fn reference_model(rows: &[Vec<f64>], labels: &[bool]) -> NaiveBayesModel {
+            let d = rows[0].len();
+            let mut stats = [ClassStats::new(d), ClassStats::new(d)];
+            for (r, &l) in rows.iter().zip(labels) {
+                stats[usize::from(l)].accumulate(r);
+            }
+            let n = rows.len() as f64;
+            NaiveBayesModel {
+                log_priors: [
+                    (stats[0].count as f64 / n).ln(),
+                    (stats[1].count as f64 / n).ln(),
+                ],
+                params: [stats[0].finish(), stats[1].finish()],
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn matrix_fit_matches_vec_of_vec_reference(
+                rows in (1usize..5).prop_flat_map(|cols| {
+                    prop::collection::vec(
+                        prop::collection::vec(-100.0f64..100.0, cols),
+                        2..30,
+                    )
+                }),
+                flips in prop::collection::vec(any::<bool>(), 30),
+            ) {
+                let n = rows.len();
+                let mut labels: Vec<bool> = flips[..n].to_vec();
+                // Guarantee both classes are present.
+                labels[0] = false;
+                labels[n - 1] = true;
+                let names = (0..rows[0].len()).map(|i| format!("f{i}")).collect();
+                let mut data = Dataset::new(names);
+                for (r, &l) in rows.iter().zip(&labels) {
+                    data.push(r.clone(), l);
+                }
+                let model = GaussianNaiveBayes.fit_model(&data).unwrap();
+                let reference = reference_model(&rows, &labels);
+                prop_assert_eq!(&model.log_priors, &reference.log_priors);
+                prop_assert_eq!(&model.params, &reference.params);
+                for probe in rows.iter().take(3) {
+                    prop_assert_eq!(model.decision(probe), reference.decision(probe));
+                }
+            }
+        }
     }
 }

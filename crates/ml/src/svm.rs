@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::data::{Dataset, Scaler};
-use crate::linalg::{dot, squared_distance};
+use crate::linalg::{dot, squared_distance, Matrix};
 use crate::{FitError, Learner, Model};
 
 /// Kernel functions supported by [`SmoSvm`].
@@ -34,6 +34,41 @@ impl Kernel {
             Kernel::Rbf { .. } => (-gamma * squared_distance(a, b)).exp(),
         }
     }
+}
+
+/// Fill the dense `n × n` training kernel matrix from contiguous feature
+/// rows. Linear caches each pairwise dot product directly; RBF derives the
+/// squared distance from cached squared norms and the same dot-product
+/// cache (`‖xᵢ − xⱼ‖² = ‖xᵢ‖² + ‖xⱼ‖² − 2·xᵢ·xⱼ`), so both kernels walk
+/// each row pair exactly once over contiguous memory.
+pub(crate) fn kernel_matrix(kernel: Kernel, gamma: f64, x: &Matrix) -> Vec<f64> {
+    let n = x.rows();
+    let mut k = vec![0.0f64; n * n];
+    match kernel {
+        Kernel::Linear => {
+            for i in 0..n {
+                let ri = x.row(i);
+                for j in i..n {
+                    let v = dot(ri, x.row(j));
+                    k[i * n + j] = v;
+                    k[j * n + i] = v;
+                }
+            }
+        }
+        Kernel::Rbf { .. } => {
+            let norms: Vec<f64> = (0..n).map(|i| dot(x.row(i), x.row(i))).collect();
+            for i in 0..n {
+                let ri = x.row(i);
+                for j in i..n {
+                    let d2 = (norms[i] + norms[j] - 2.0 * dot(ri, x.row(j))).max(0.0);
+                    let v = (-gamma * d2).exp();
+                    k[i * n + j] = v;
+                    k[j * n + i] = v;
+                }
+            }
+        }
+    }
+    k
 }
 
 /// SMO-trained soft-margin SVM learner.
@@ -113,12 +148,12 @@ impl SmoSvm {
             return Err(FitError::SingleClass(classes[0]));
         }
         let scaler = Scaler::fit(data);
-        let x: Vec<Vec<f64>> = data.iter().map(|i| scaler.transform(&i.features)).collect();
+        let x = scaler.transform_matrix(data);
         let y: Vec<f64> = data
             .iter()
             .map(|i| if i.label { 1.0 } else { -1.0 })
             .collect();
-        let n = x.len();
+        let n = x.rows();
         let d = data.n_features();
         let gamma = match self.kernel {
             Kernel::Rbf { gamma } => gamma.unwrap_or(1.0 / d as f64),
@@ -127,14 +162,7 @@ impl SmoSvm {
 
         // Precompute the kernel matrix; training sets here are at most a
         // few thousand instances, so O(n²) memory is acceptable.
-        let mut k = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in i..n {
-                let v = self.kernel.eval(gamma, &x[i], &x[j]);
-                k[i * n + j] = v;
-                k[j * n + i] = v;
-            }
-        }
+        let k = kernel_matrix(self.kernel, gamma, &x);
         let kij = |i: usize, j: usize| k[i * n + j];
 
         let mut alpha = vec![0.0f64; n];
@@ -225,7 +253,7 @@ impl SmoSvm {
         for i in 0..n {
             if alpha[i] > 1e-8 {
                 support.push(SupportVector {
-                    x: x[i].clone(),
+                    x: x.row(i).to_vec(),
                     coef: alpha[i] * y[i],
                 });
             }
@@ -380,5 +408,60 @@ mod tests {
     #[should_panic(expected = "C must be positive")]
     fn zero_c_rejected() {
         let _ = SmoSvm::new(0.0, Kernel::Linear);
+    }
+
+    mod kernel_equivalence {
+        //! The cached-dot-product kernel fill must agree with the original
+        //! per-pair `Kernel::eval` over `Vec<Vec<f64>>` rows.
+        use super::super::*;
+        use proptest::prelude::*;
+
+        fn reference_kernel(kernel: Kernel, gamma: f64, rows: &[Vec<f64>]) -> Vec<f64> {
+            let n = rows.len();
+            let mut k = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    k[i * n + j] = kernel.eval(gamma, &rows[i], &rows[j]);
+                }
+            }
+            k
+        }
+
+        fn row_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+            (1usize..6).prop_flat_map(|cols| {
+                prop::collection::vec(prop::collection::vec(-50.0f64..50.0, cols), 1..12)
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn linear_kernel_rows_match_reference(rows in row_strategy()) {
+                let x = Matrix::from_rows(&rows);
+                let fast = kernel_matrix(Kernel::Linear, 0.0, &x);
+                let slow = reference_kernel(Kernel::Linear, 0.0, &rows);
+                for (f, s) in fast.iter().zip(&slow) {
+                    prop_assert_eq!(f, s, "linear kernel entry drifted");
+                }
+            }
+
+            #[test]
+            fn rbf_kernel_rows_match_reference(rows in row_strategy(), gamma in 0.01f64..2.0) {
+                let x = Matrix::from_rows(&rows);
+                let fast = kernel_matrix(Kernel::Rbf { gamma: Some(gamma) }, gamma, &x);
+                let slow = reference_kernel(Kernel::Rbf { gamma: Some(gamma) }, gamma, &rows);
+                for (&f, &s) in fast.iter().zip(&slow) {
+                    prop_assert!((f - s).abs() <= 1e-9, "rbf entry {f} vs {s}");
+                }
+            }
+        }
+
+        #[test]
+        fn rbf_diagonal_is_exactly_one() {
+            let x = Matrix::from_rows(&[vec![1.5, -2.0], vec![0.25, 7.0], vec![3.0, 3.0]]);
+            let k = kernel_matrix(Kernel::Rbf { gamma: Some(0.5) }, 0.5, &x);
+            for i in 0..3 {
+                assert_eq!(k[i * 3 + i], 1.0);
+            }
+        }
     }
 }

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::data::Dataset;
-use crate::discretize::EqualFrequencyDiscretizer;
+use crate::discretize::{fit_cached, EqualFrequencyDiscretizer};
 use crate::info::conditional_mutual_information;
 use crate::{FitError, Learner, Model};
 
@@ -62,18 +62,18 @@ impl TreeAugmentedNaiveBayes {
         let d = data.n_features();
         let labels: Vec<bool> = data.iter().map(|i| i.label).collect();
 
-        // 1. Discretize each column.
-        let discretizers: Vec<EqualFrequencyDiscretizer> = (0..d)
-            .map(|c| EqualFrequencyDiscretizer::fit(&data.column(c), self.n_bins))
-            .collect();
-        let bins: Vec<Vec<usize>> = (0..d)
-            .map(|c| {
-                data.column(c)
-                    .iter()
-                    .map(|&v| discretizers[c].bin(v))
-                    .collect()
-            })
-            .collect();
+        // 1. Discretize each column. Bin-edge fits are memoized: forward
+        // selection refits identical fold columns for every candidate
+        // attribute set, and each column is extracted once and reused for
+        // both the fit and the binning pass.
+        let mut discretizers: Vec<EqualFrequencyDiscretizer> = Vec::with_capacity(d);
+        let mut bins: Vec<Vec<usize>> = Vec::with_capacity(d);
+        for c in 0..d {
+            let col = data.column(c);
+            let disc = fit_cached(&col, self.n_bins);
+            bins.push(col.iter().map(|&v| disc.bin(v)).collect());
+            discretizers.push(disc);
+        }
 
         // 2. Chow–Liu maximum spanning tree over CMI weights (Prim).
         let parents = chow_liu_parents(&bins, &labels);

@@ -41,6 +41,23 @@ use crate::transport::{is_timeout, Conn, Endpoint};
 /// metric-synthesis domain lives in `webcap_parallel::seed_domain`).
 const BACKOFF_DOMAIN: u64 = 0x62_6b_6f_66; // "bkof"
 
+/// Parse one fault-knob value. Pure, so each knob's error path is
+/// unit-testable without mutating process environment.
+///
+/// `"0"` means "off" (`Ok(None)`), matching unset — the CI fault matrix
+/// passes explicit zeros to disable individual knobs. Anything that is
+/// not a non-negative integer is an error naming the variable and the
+/// offending value. Leading/trailing whitespace is tolerated.
+fn parse_fault_knob(var: &str, raw: &str) -> Result<Option<u64>, String> {
+    match raw.trim().parse::<u64>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "invalid {var} value {raw:?}: expected a non-negative integer"
+        )),
+    }
+}
+
 /// Induced-fault knobs for exercising the loss/reconnect machinery.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultKnobs {
@@ -64,21 +81,27 @@ impl FaultKnobs {
 
     /// Read the knobs from `WEBCAP_NET_DROP_EVERY`,
     /// `WEBCAP_NET_DELAY_MS`, and `WEBCAP_NET_RECONNECT_EVERY`.
-    /// Unparsable or zero values mean "off".
-    pub fn from_env() -> FaultKnobs {
-        fn positive(var: &str) -> Option<u64> {
-            std::env::var(var)
-                .ok()?
-                .trim()
-                .parse::<u64>()
-                .ok()
-                .filter(|&n| n > 0)
+    ///
+    /// Unset and `0` both mean "off". A set-but-unparseable value is an
+    /// error — it used to be silently treated as "off", which made a
+    /// typo like `WEBCAP_NET_DROP_EVERY=ten` indistinguishable from a
+    /// fault-free run. Entry points parse once at startup so the error
+    /// surfaces before any agent dials out.
+    pub fn try_from_env() -> Result<FaultKnobs, String> {
+        fn knob(var: &str) -> Result<Option<u64>, String> {
+            match std::env::var(var) {
+                Ok(raw) => parse_fault_knob(var, &raw),
+                Err(std::env::VarError::NotPresent) => Ok(None),
+                Err(std::env::VarError::NotUnicode(_)) => {
+                    Err(format!("invalid {var} value: not valid UTF-8"))
+                }
+            }
         }
-        FaultKnobs {
-            drop_every: positive("WEBCAP_NET_DROP_EVERY"),
-            delay: positive("WEBCAP_NET_DELAY_MS").map(Duration::from_millis),
-            reconnect_every: positive("WEBCAP_NET_RECONNECT_EVERY"),
-        }
+        Ok(FaultKnobs {
+            drop_every: knob("WEBCAP_NET_DROP_EVERY")?,
+            delay: knob("WEBCAP_NET_DELAY_MS")?.map(Duration::from_millis),
+            reconnect_every: knob("WEBCAP_NET_RECONNECT_EVERY")?,
+        })
     }
 
     /// Whether any knob is turned.
@@ -419,18 +442,40 @@ mod tests {
     }
 
     #[test]
+    fn each_fault_knob_parses_valid_off_and_invalid_values() {
+        for var in [
+            "WEBCAP_NET_DROP_EVERY",
+            "WEBCAP_NET_DELAY_MS",
+            "WEBCAP_NET_RECONNECT_EVERY",
+        ] {
+            assert_eq!(parse_fault_knob(var, "0"), Ok(None), "{var}: zero is off");
+            assert_eq!(parse_fault_knob(var, " 42 "), Ok(Some(42)), "{var}");
+            for bad in ["", "ten", "-1", "1.5", "3x"] {
+                let err = parse_fault_knob(var, bad)
+                    .expect_err("unparseable value must not silently mean off");
+                assert!(err.contains(var), "{err}");
+            }
+        }
+    }
+
+    #[test]
     fn fault_knobs_parse_from_env() {
         std::env::set_var("WEBCAP_NET_DROP_EVERY", "37");
         std::env::set_var("WEBCAP_NET_DELAY_MS", "2");
         std::env::set_var("WEBCAP_NET_RECONNECT_EVERY", "0");
-        let knobs = FaultKnobs::from_env();
+        let knobs = FaultKnobs::try_from_env().expect("all values valid");
         assert_eq!(knobs.drop_every, Some(37));
         assert_eq!(knobs.delay, Some(Duration::from_millis(2)));
         assert_eq!(knobs.reconnect_every, None, "zero means off");
         assert!(knobs.any());
+        std::env::set_var("WEBCAP_NET_DELAY_MS", "two");
+        let err = FaultKnobs::try_from_env().expect_err("unparseable knob is an error");
+        assert!(err.contains("WEBCAP_NET_DELAY_MS"), "{err}");
+        assert!(err.contains("two"), "{err}");
         std::env::remove_var("WEBCAP_NET_DROP_EVERY");
         std::env::remove_var("WEBCAP_NET_DELAY_MS");
         std::env::remove_var("WEBCAP_NET_RECONNECT_EVERY");
+        assert_eq!(FaultKnobs::try_from_env(), Ok(FaultKnobs::NONE));
     }
 
     #[test]

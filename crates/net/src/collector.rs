@@ -117,6 +117,9 @@ pub struct Assembler {
     prev_fed: Option<i64>,
     emitted: BTreeSet<i64>,
     anomalies: u64,
+    /// Reusable pair buffer for [`Assembler::emit`]: one allocation for
+    /// the whole run instead of one per emitted window.
+    scratch: Vec<(WireSample, WireSample)>,
 }
 
 impl Assembler {
@@ -139,6 +142,7 @@ impl Assembler {
             prev_fed: None,
             emitted: BTreeSet::new(),
             anomalies: 0,
+            scratch: Vec::with_capacity(window_len.max(0) as usize),
         }
     }
 
@@ -260,25 +264,27 @@ impl Assembler {
     fn emit(&mut self, window: i64, sink: &mut dyn FnMut(i64, &OnlineDecision)) {
         // Collect the window's joined pairs first: a protocol violation
         // (app-tier sample without front-end stats) must poison the
-        // window *before* anything is fed to the monitor.
-        let mut pairs = Vec::with_capacity(self.window_len as usize);
+        // window *before* anything is fed to the monitor. The pair
+        // buffer is taken from (and handed back to) `scratch`, so its
+        // allocation is reused across windows.
+        let mut pairs = std::mem::take(&mut self.scratch);
+        pairs.clear();
+        let mut complete = true;
         for key in self.first_key(window)..=self.last_key_of(window) {
-            let Some(entry) = self.pending.remove(&key) else {
-                self.anomalies += 1;
-                self.poison(window);
-                return;
-            };
-            let [Some(app), Some(db)] = entry else {
-                self.anomalies += 1;
-                self.poison(window);
-                return;
-            };
-            if app.app.is_none() {
-                self.anomalies += 1;
-                self.poison(window);
-                return;
+            match self.pending.remove(&key) {
+                Some([Some(app), Some(db)]) if app.app.is_some() => pairs.push((app, db)),
+                _ => {
+                    complete = false;
+                    break;
+                }
             }
-            pairs.push((app, db));
+        }
+        if !complete {
+            self.anomalies += 1;
+            self.poison(window);
+            pairs.clear();
+            self.scratch = pairs;
+            return;
         }
         self.joined.remove(&window);
 
@@ -287,13 +293,14 @@ impl Assembler {
             self.monitor.reset();
         }
         let mut decision = None;
-        for (app, db) in pairs {
-            let stats = app.app.clone().expect("validated above");
+        for (app, db) in pairs.drain(..) {
+            let stats = app.app.expect("validated above");
             let sample = stats.into_sample(app.t_s, app.interval_s, app.tier, db.tier);
             decision = self
                 .monitor
                 .push_collected(sample, [app.hpc, db.hpc], [app.os, db.os]);
         }
+        self.scratch = pairs;
         let decision = decision.expect("window_len samples complete a window");
         self.prev_fed = Some(window);
         self.emitted.insert(window);

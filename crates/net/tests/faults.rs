@@ -97,7 +97,7 @@ fn dropped_frames_and_forced_reconnects_poison_exactly_the_gapped_windows() {
     // it, and every assertion below holds for any knob values because
     // the expectations come from the oracle, not from hand-computed
     // window lists.
-    let env_knobs = FaultKnobs::from_env();
+    let env_knobs = FaultKnobs::try_from_env().expect("fault matrix sets valid knob values");
     let faults = if env_knobs.any() {
         env_knobs
     } else {

@@ -19,6 +19,7 @@
 //! the whole test suite at 1, 2, and 8 threads.
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// How many worker threads a fan-out point may use.
 ///
@@ -34,13 +35,58 @@ pub enum Parallelism {
     /// Use exactly this many worker threads (clamped to at least 1;
     /// `Threads(1)` is equivalent to `Sequential`).
     Threads(usize),
-    /// Size the pool from the host: `WEBCAP_JOBS` if set, otherwise the
-    /// available hardware parallelism, capped at [`MAX_AUTO_THREADS`].
+    /// Size the pool from the host: `WEBCAP_JOBS` if set (an unparseable
+    /// value is a startup error, not a silent fallback — see
+    /// [`jobs_from_env`]), otherwise the available hardware parallelism,
+    /// capped at [`MAX_AUTO_THREADS`].
     Auto,
 }
 
 /// Upper bound on the thread count `Parallelism::Auto` will pick.
 pub const MAX_AUTO_THREADS: usize = 16;
+
+/// Parse one `WEBCAP_JOBS` value. Pure so the error path is unit-testable
+/// without touching process environment.
+///
+/// `"auto"` (any case) and `"0"` mean "size from the hardware"
+/// (`Ok(None)`); a positive integer pins the thread count
+/// (`Ok(Some(n))`); anything else is an error naming the variable and
+/// the offending value. Leading/trailing whitespace is tolerated.
+pub fn parse_jobs_env(raw: &str) -> Result<Option<usize>, String> {
+    let trimmed = raw.trim();
+    if trimmed.eq_ignore_ascii_case("auto") {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "invalid WEBCAP_JOBS value {raw:?}: expected a non-negative integer or \"auto\""
+        )),
+    }
+}
+
+/// Read and parse `WEBCAP_JOBS` exactly once per process.
+///
+/// Unset means "size from the hardware" (`Ok(None)`), exactly like
+/// `WEBCAP_JOBS=0` or `WEBCAP_JOBS=auto`. A set-but-unparseable value is
+/// an error — it used to be silently ignored, which made typos like
+/// `WEBCAP_JOBS=eight` look identical to auto-sizing. Entry points
+/// should call this at startup so the error surfaces before any fan-out
+/// runs; [`Parallelism::worker_count`] panics with the same message as a
+/// backstop if an invalid value survives to a fan-out point.
+pub fn jobs_from_env() -> Result<Option<usize>, String> {
+    static JOBS_ENV: OnceLock<Result<Option<usize>, String>> = OnceLock::new();
+    JOBS_ENV
+        .get_or_init(|| match std::env::var("WEBCAP_JOBS") {
+            Ok(raw) => parse_jobs_env(&raw),
+            Err(std::env::VarError::NotPresent) => Ok(None),
+            Err(std::env::VarError::NotUnicode(_)) => {
+                Err("invalid WEBCAP_JOBS value: not valid UTF-8".to_string())
+            }
+        })
+        .clone()
+}
 
 impl Default for Parallelism {
     fn default() -> Parallelism {
@@ -55,10 +101,8 @@ impl Parallelism {
         let raw = match self {
             Parallelism::Sequential => 1,
             Parallelism::Threads(n) => n.max(1),
-            Parallelism::Auto => std::env::var("WEBCAP_JOBS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n > 0)
+            Parallelism::Auto => jobs_from_env()
+                .unwrap_or_else(|e| panic!("{e}"))
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
                 .min(MAX_AUTO_THREADS),
         };
@@ -220,6 +264,20 @@ mod tests {
         assert_eq!(Parallelism::Threads(8).worker_count(3), 3);
         let auto = Parallelism::Auto.worker_count(1000);
         assert!((1..=MAX_AUTO_THREADS).contains(&auto));
+    }
+
+    #[test]
+    fn jobs_env_parsing() {
+        assert_eq!(parse_jobs_env("auto"), Ok(None));
+        assert_eq!(parse_jobs_env("AUTO"), Ok(None));
+        assert_eq!(parse_jobs_env("0"), Ok(None));
+        assert_eq!(parse_jobs_env(" 8 "), Ok(Some(8)));
+        assert_eq!(parse_jobs_env("1"), Ok(Some(1)));
+        for bad in ["", "eight", "1.5", "-2", "2x"] {
+            let err = parse_jobs_env(bad).expect_err(bad);
+            assert!(err.contains("WEBCAP_JOBS"), "{err}");
+            assert!(err.contains(bad.trim()) || bad.trim().is_empty(), "{err}");
+        }
     }
 
     #[test]

@@ -178,6 +178,9 @@ impl Simulation {
         let app_pool = TokenPool::new(cfg.app.pool_size);
         let db_pool = TokenPool::new(cfg.db.pool_size);
         let end = SimTime::from_secs_f64(program.duration_s());
+        // One sample per period: reserve the whole run's telemetry up
+        // front instead of growing through repeated reallocation.
+        let expected_samples = (program.duration_s() / cfg.sample_period_s).ceil() as usize + 1;
         let rng = StdRng::seed_from_u64(cfg.seed);
         let sim_cfg_bg_app = cfg.app.background.mean;
         let sim_cfg_bg_db = cfg.db.background.mean;
@@ -201,7 +204,7 @@ impl Simulation {
             next_request_id: 0,
             counters: IntervalCounters::default(),
             prev: [TierCumulative::default(); 2],
-            samples: Vec::new(),
+            samples: Vec::with_capacity(expected_samples),
             in_flight: 0,
             target_ebs: 0,
             last_tick: SimTime::ZERO,

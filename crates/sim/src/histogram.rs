@@ -21,9 +21,13 @@ const MAX_S: f64 = 120.0;
 /// that range clamp to the outer buckets. Quantiles are resolved to the
 /// geometric midpoint of the containing bucket (≤ ~13% relative error,
 /// plenty for knee detection).
+/// The bucket array lives inline (`[u32; BUCKETS]`, no heap allocation),
+/// so creating or resetting a histogram is free — the simulator makes one
+/// per telemetry interval. Serde serializes a fixed array exactly like a
+/// `Vec` of the same length, so the wire/JSON shape is unchanged.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RtHistogram {
-    counts: Vec<u32>,
+    counts: [u32; BUCKETS],
     total: u64,
 }
 
@@ -31,7 +35,7 @@ impl RtHistogram {
     /// An empty histogram.
     pub fn new() -> RtHistogram {
         RtHistogram {
-            counts: vec![0; BUCKETS],
+            counts: [0; BUCKETS],
             total: 0,
         }
     }
@@ -166,6 +170,18 @@ mod tests {
         h.record(1e9);
         assert_eq!(h.len(), 2);
         assert!(h.quantile(1.0).unwrap() <= MAX_S * 1.01);
+    }
+
+    #[test]
+    fn json_shape_matches_a_plain_sequence() {
+        // The inline bucket array must keep serializing as a JSON array,
+        // byte-compatible with the previous `Vec<u32>` field.
+        let mut h = RtHistogram::new();
+        h.record(0.05);
+        let json = serde_json::to_string(&h).unwrap();
+        assert!(json.starts_with("{\"counts\":[0,"), "json {json}");
+        let back: RtHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
     }
 
     #[test]
