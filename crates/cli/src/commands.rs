@@ -1,7 +1,8 @@
 //! The CLI subcommands: simulate, train, evaluate, info, plan, agent,
-//! collect, bench.
+//! collect, snapshot, bench.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 use webcap_bench::harness::{run_suite, BenchReport, BenchTier, BENCH_IDS};
 use webcap_bench::regression;
@@ -10,11 +11,12 @@ use webcap_core::meter::{CapacityMeter, EvaluationReport, MeterConfig};
 use webcap_core::monitor::{collect_run, MetricLevel};
 use webcap_core::oracle::{label_window, OracleConfig};
 use webcap_core::workloads;
+use webcap_core::{read_snapshot, AdmissionConfig, AdmissionController, SnapshotHeader};
 use webcap_hpc::HpcModel;
 use webcap_ml::Algorithm;
 use webcap_net::{
-    run_agent, run_collector, AgentConfig, CollectorConfig, Endpoint, FaultKnobs, Listener,
-    ScriptedSource,
+    run_agent, run_supervised_collector, AgentConfig, CollectorConfig, CollectorSnapshot, Endpoint,
+    FaultKnobs, Listener, ResumeOutcome, ScriptedSource, SupervisedReport, SupervisorConfig,
 };
 use webcap_sim::{SimConfig, Simulation, TierId};
 use webcap_tpcw::{Mix, TrafficProgram};
@@ -314,7 +316,15 @@ pub fn parse_tier(name: &str) -> Result<TierId, CliError> {
 /// readers plug in. Fault knobs come from the `WEBCAP_NET_*` env vars.
 pub fn agent(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
-        "tier", "connect", "meter", "mix", "ebs", "duration", "seed", "run-seed",
+        "tier",
+        "connect",
+        "meter",
+        "mix",
+        "ebs",
+        "duration",
+        "seed",
+        "run-seed",
+        "start-seq",
     ])?;
     let tier = parse_tier(args.require("tier")?)?;
     let endpoint = Endpoint::parse(args.require("connect")?)?;
@@ -324,6 +334,7 @@ pub fn agent(args: &Args) -> Result<(), CliError> {
     let seed = args.get_parsed("seed", 17u64, "integer")?;
     let run_seed = args.get_parsed("run-seed", 400u64, "integer")?;
     let duration = args.get_parsed("duration", 240.0, "number")?;
+    let start_seq = args.get_parsed("start-seq", 0u64, "integer")?;
     // Parse the fault knobs up front so a typo'd env var fails here,
     // before the replay simulation runs, instead of silently meaning
     // "no faults".
@@ -340,17 +351,32 @@ pub fn agent(args: &Args) -> Result<(), CliError> {
     let ebs = args.get_parsed("ebs", knee, "integer")?;
 
     println!(
-        "agent[{tier}]: replaying {ebs} EBs of {mix_name} for {duration:.0}s into {endpoint}"
+        "agent[{tier}]: replaying {ebs} EBs of {mix_name} for {duration:.0}s into {endpoint}{}",
+        if start_seq > 0 {
+            format!(" (warm-up through seq {start_seq})")
+        } else {
+            String::new()
+        }
     );
     let samples = Simulation::new(sim, TrafficProgram::steady(mix, ebs, duration))
         .run()
         .samples;
+    if start_seq as usize >= samples.len() {
+        return Err(CliError::Message(format!(
+            "--start-seq {start_seq} must be below the replay length ({} samples); \
+             raise --duration so the resumed run has something left to send",
+            samples.len()
+        )));
+    }
     let cfg = AgentConfig {
         faults,
         ..AgentConfig::new(tier, endpoint, seed)
     };
     let hpc_model = meter.config().hpc_model.clone();
-    let mut source = ScriptedSource::new(tier, samples);
+    // With a nonzero start-seq, history below it is synthesized for the
+    // stateful OS model but never sent — the collector (resumed from its
+    // snapshot) already consumed those sequences in a previous process.
+    let mut source = ScriptedSource::with_start_seq(tier, samples, start_seq);
     let report = run_agent(&cfg, hpc_model, &mut source)?;
     println!(
         "agent[{tier}]: {} frames sent over {} session(s), {} acked, \
@@ -365,44 +391,25 @@ pub fn agent(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `webcap collect` — run the front-end collector, printing one line per
-/// intact window as its prediction comes out of the meter.
+/// `webcap collect` — run the supervised front-end collector, printing
+/// one line per intact window as its prediction comes out of the meter.
 pub fn collect(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["listen", "meter"])?;
-    let endpoint = Endpoint::parse(args.require("listen")?)?;
-    let meter = CapacityMeter::from_json(&std::fs::read_to_string(args.require("meter")?)?)?;
-    let listener = Listener::bind(&endpoint)?;
-    let cfg = CollectorConfig::default();
-    println!(
-        "collector: listening on {} for {} tier agents",
-        listener.local_endpoint()?,
-        cfg.expected_tiers
-    );
-    println!(
-        "{:<8} {:>10} {:>10} {:>10} {:>12}",
-        "window", "t(s)", "thr", "state", "hc"
-    );
-    let report = run_collector(listener, meter, &cfg, |window, decision| {
-        println!(
-            "{:<8} {:>10.0} {:>10.1} {:>10} {:>12}",
-            window,
-            decision.window.t_end_s,
-            decision.window.throughput,
-            if decision.prediction.overloaded {
-                decision
-                    .prediction
-                    .bottleneck
-                    .map_or("OVERLOAD".to_string(), |t| format!("OVER/{t}"))
-            } else {
-                "ok".to_string()
-            },
-            if decision.prediction.confident {
-                "confident"
-            } else {
-                "in-band"
-            },
-        );
-    })?;
+    let report = collect_report(args)?;
+    match &report.resume {
+        ResumeOutcome::Fresh => {}
+        ResumeOutcome::Resumed {
+            samples_seen,
+            decisions_made,
+            emitted_windows,
+            ..
+        } => println!(
+            "collector: resumed from snapshot — {emitted_windows} window(s) already \
+             emitted before the restart ({samples_seen} samples, {decisions_made} decisions)"
+        ),
+        ResumeOutcome::Rejected(e) => {
+            println!("collector: snapshot rejected ({e}); fresh start in safe-mode")
+        }
+    }
     println!(
         "collector: {} decisions, {} windows quarantined, {} still partial, \
          {} anomalies, sessions app={} db={}",
@@ -412,6 +419,155 @@ pub fn collect(args: &Args) -> Result<(), CliError> {
         report.anomalies,
         report.sessions[0],
         report.sessions[1],
+    );
+    println!(
+        "collector: health {}, admission cap {} EBs, {} snapshot(s) written",
+        report.health, report.final_cap, report.snapshots_written,
+    );
+    Ok(())
+}
+
+/// The body of `webcap collect`, returning the full supervised report
+/// (the CLI smoke tests drive the deployment through this seam).
+///
+/// # Errors
+///
+/// Argument validation, meter IO, and socket errors.
+pub fn collect_report(args: &Args) -> Result<SupervisedReport, CliError> {
+    args.reject_unknown(&[
+        "listen",
+        "meter",
+        "snapshot",
+        "resume",
+        "safe-cap",
+        "snapshot-every",
+    ])?;
+    let endpoint = Endpoint::parse(args.require("listen")?)?;
+    let snapshot = args.get("snapshot").map(PathBuf::from);
+    let resume = args.flag("resume");
+    if resume {
+        let Some(path) = snapshot.as_deref() else {
+            return Err(CliError::Message(
+                "--resume requires --snapshot <file> to resume from".into(),
+            ));
+        };
+        if !path.exists() {
+            return Err(CliError::Message(format!(
+                "--resume: snapshot file {} does not exist",
+                path.display()
+            )));
+        }
+    }
+    let meter = CapacityMeter::from_json(&std::fs::read_to_string(args.require("meter")?)?)?;
+    run_collect(&endpoint, meter, snapshot.as_deref(), resume, args)
+}
+
+fn run_collect(
+    endpoint: &Endpoint,
+    meter: CapacityMeter,
+    snapshot: Option<&Path>,
+    resume: bool,
+    args: &Args,
+) -> Result<SupervisedReport, CliError> {
+    let defaults = SupervisorConfig::default();
+    let sup_cfg = SupervisorConfig {
+        safe_cap: args.get_parsed("safe-cap", defaults.safe_cap, "integer")?,
+        snapshot_every: args.get_parsed("snapshot-every", defaults.snapshot_every, "integer")?,
+        ..defaults
+    };
+    let admission = AdmissionController::try_new(AdmissionConfig::default(), 400)
+        .map_err(|e| CliError::Message(e.to_string()))?;
+    let listener = Listener::bind(endpoint)?;
+    let cfg = CollectorConfig::default();
+    let snapshot_note = match snapshot {
+        Some(p) => format!(" (snapshots to {})", p.display()),
+        None => String::new(),
+    };
+    println!(
+        "collector: listening on {} for {} tier agents{snapshot_note}",
+        listener.local_endpoint()?,
+        cfg.expected_tiers,
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12}",
+        "window", "t(s)", "thr", "state", "hc"
+    );
+    let report = run_supervised_collector(
+        listener,
+        meter,
+        &cfg,
+        sup_cfg,
+        admission,
+        snapshot,
+        resume,
+        |window, decision| {
+            println!(
+                "{:<8} {:>10.0} {:>10.1} {:>10} {:>12}",
+                window,
+                decision.window.t_end_s,
+                decision.window.throughput,
+                if decision.prediction.overloaded {
+                    decision
+                        .prediction
+                        .bottleneck
+                        .map_or("OVERLOAD".to_string(), |t| format!("OVER/{t}"))
+                } else {
+                    "ok".to_string()
+                },
+                if decision.prediction.confident {
+                    "confident"
+                } else {
+                    "in-band"
+                },
+            );
+        },
+    )?;
+    Ok(report)
+}
+
+/// `webcap snapshot inspect <file>` — verify a collector snapshot's
+/// envelope and describe the state inside without loading it into a
+/// collector.
+pub fn snapshot(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[])?;
+    let (action, path) = match args.positional() {
+        [action, path] => (action.as_str(), Path::new(path)),
+        _ => {
+            return Err(CliError::Message(
+                "usage: webcap snapshot inspect <file>".into(),
+            ))
+        }
+    };
+    if action != "inspect" {
+        return Err(CliError::Message(format!(
+            "unknown snapshot action '{action}' (expected inspect)"
+        )));
+    }
+    let (snap, header): (CollectorSnapshot, SnapshotHeader) =
+        read_snapshot(path).map_err(|e| CliError::Message(format!("{}: {e}", path.display())))?;
+    let cfg = snap.state.meter.config();
+    println!(
+        "envelope  : version {}, {} payload bytes, fnv1a {:016x}",
+        header.version, header.payload_len, header.hash
+    );
+    println!("health    : {}", snap.health);
+    println!("origin    : t = {} s", snap.origin);
+    println!(
+        "windows   : {} emitted, {} poisoned, {} anomalies",
+        snap.assembler.emitted.len(),
+        snap.assembler.poisoned.len(),
+        snap.assembler.anomalies
+    );
+    println!(
+        "monitor   : {} samples seen, {} decisions made",
+        snap.state.samples_seen, snap.state.decisions_made
+    );
+    println!("admission : cap {} EBs", snap.state.admission.cap());
+    println!(
+        "meter     : {} / {}, {} trained synopses",
+        cfg.level,
+        cfg.algorithm,
+        snap.state.meter.synopses().len()
     );
     Ok(())
 }
@@ -527,13 +683,24 @@ COMMANDS:
              --meter <file>
   plan       analytic capacity of the testbed per canonical mix
              [--seed <N>]
-  collect    run the front-end collector of the distributed telemetry
-             plane; prints one prediction per intact 30 s window
+  collect    run the supervised front-end collector of the distributed
+             telemetry plane; prints one prediction per intact 30 s
+             window, tracks health (healthy/degraded/safe-mode), and
+             drives the admission cap
              --listen <tcp:host:port|unix:/path> --meter <file>
+             [--snapshot <file>] [--resume] [--safe-cap <N>]
+             [--snapshot-every <windows>]
+             (--snapshot persists crash-safe state; --resume restores it
+             and re-enters service at degraded health; a corrupt
+             snapshot is rejected into safe-mode, never trusted)
+  snapshot   inspect a collector snapshot file
+             inspect <file>   verify the envelope and describe the state
   agent      run one tier's telemetry agent against a collector
              --tier <app|db> --connect <endpoint> --meter <file>
              [--mix <m>] [--ebs <N>] [--duration <s>] [--seed <N>]
-             [--run-seed <N>]
+             [--run-seed <N>] [--start-seq <N>]
+             (--start-seq resumes a replay: history below N is
+             synthesized for warm-up but not re-sent)
              (fault injection: WEBCAP_NET_DROP_EVERY, WEBCAP_NET_DELAY_MS,
              WEBCAP_NET_RECONNECT_EVERY)
   bench      run the fixed performance suite and write BENCH_webcap.json
@@ -580,6 +747,43 @@ mod tests {
     #[test]
     fn plan_runs() {
         plan(&args(&[])).unwrap();
+    }
+
+    #[test]
+    fn collect_resume_requires_an_existing_snapshot() {
+        let resume_args = |tokens: &[&str]| {
+            Args::parse(tokens.iter().map(|s| s.to_string()), &["resume"]).unwrap()
+        };
+        let err = collect(&resume_args(&[
+            "--listen",
+            "tcp:127.0.0.1:0",
+            "--meter",
+            "meter.json",
+            "--resume",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--snapshot"), "{err}");
+        let err = collect(&resume_args(&[
+            "--listen",
+            "tcp:127.0.0.1:0",
+            "--meter",
+            "meter.json",
+            "--snapshot",
+            "/nonexistent/webcap.snap",
+            "--resume",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_inspect_validates_its_arguments() {
+        let err = snapshot(&args(&[])).unwrap_err();
+        assert!(err.to_string().contains("usage"), "{err}");
+        let err = snapshot(&args(&["wipe", "some-file"])).unwrap_err();
+        assert!(err.to_string().contains("unknown snapshot action"), "{err}");
+        let err = snapshot(&args(&["inspect", "/nonexistent/webcap.snap"])).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent"), "{err}");
     }
 
     #[test]

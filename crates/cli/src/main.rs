@@ -4,7 +4,7 @@
 
 use webcap_cli::args::Args;
 use webcap_cli::commands::{
-    agent, bench, collect, evaluate, info, plan, simulate, train, CliError, USAGE,
+    agent, bench, collect, evaluate, info, plan, simulate, snapshot, train, CliError, USAGE,
 };
 
 fn main() {
@@ -21,9 +21,10 @@ fn main() {
         std::process::exit(1);
     }
     let command = raw.remove(0);
-    // `bench` is the only subcommand with bare (value-less) flags.
+    // Subcommands with bare (value-less) flags.
     let bare_flags: &[&str] = match command.as_str() {
         "bench" => &["quick", "full"],
+        "collect" => &["resume"],
         _ => &[],
     };
     let result = Args::parse(raw, bare_flags)
@@ -36,6 +37,7 @@ fn main() {
             "plan" => plan(&args),
             "agent" => agent(&args),
             "collect" => collect(&args),
+            "snapshot" => snapshot(&args),
             "bench" => bench(&args),
             other => Err(CliError::Message(format!(
                 "unknown command '{other}'; run `webcap --help`"

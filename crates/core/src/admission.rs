@@ -23,6 +23,12 @@ use crate::monitor::collect_run;
 pub struct AdmissionConfig {
     /// Lower bound on the admitted-session cap.
     pub min_ebs: u32,
+    /// Upper bound on the admitted-session cap. Defaults to a value far
+    /// above any realistic offered load — effectively unbounded — so
+    /// existing configs keep their behavior; a deployment that knows
+    /// its front-end limit sets it explicitly.
+    #[serde(default = "default_max_ebs")]
+    pub max_ebs: u32,
     /// Additive increase per underloaded interval.
     pub increase_step: u32,
     /// Multiplicative decrease factor applied on predicted overload.
@@ -31,10 +37,17 @@ pub struct AdmissionConfig {
     pub segment_s: f64,
 }
 
+/// Serde default for [`AdmissionConfig::max_ebs`]: effectively
+/// unbounded, preserving pre-`max_ebs` behavior.
+fn default_max_ebs() -> u32 {
+    100_000
+}
+
 impl Default for AdmissionConfig {
     fn default() -> AdmissionConfig {
         AdmissionConfig {
             min_ebs: 20,
+            max_ebs: default_max_ebs(),
             increase_step: 25,
             decrease_factor: 0.75,
             segment_s: 60.0,
@@ -59,6 +72,13 @@ pub enum AdmissionConfigError {
     /// `segment_s <= 0` (or NaN): a control segment must span positive
     /// time for the meter to observe anything.
     NonPositiveSegment(f64),
+    /// `max_ebs < min_ebs`: the admissible-cap interval is empty.
+    MaxBelowMin {
+        /// Configured floor.
+        min_ebs: u32,
+        /// Configured ceiling.
+        max_ebs: u32,
+    },
 }
 
 impl std::fmt::Display for AdmissionConfigError {
@@ -71,6 +91,9 @@ impl std::fmt::Display for AdmissionConfigError {
             AdmissionConfigError::NonPositiveSegment(v) => {
                 write!(f, "segment must be positive, got {v} s")
             }
+            AdmissionConfigError::MaxBelowMin { min_ebs, max_ebs } => {
+                write!(f, "max_ebs ({max_ebs}) must be >= min_ebs ({min_ebs})")
+            }
         }
     }
 }
@@ -82,6 +105,12 @@ impl AdmissionConfig {
     pub fn validate(&self) -> Result<(), AdmissionConfigError> {
         if self.min_ebs == 0 {
             return Err(AdmissionConfigError::ZeroMinEbs);
+        }
+        if self.max_ebs < self.min_ebs {
+            return Err(AdmissionConfigError::MaxBelowMin {
+                min_ebs: self.min_ebs,
+                max_ebs: self.max_ebs,
+            });
         }
         if !(self.decrease_factor > 0.0 && self.decrease_factor < 1.0) {
             return Err(AdmissionConfigError::DecreaseFactorOutOfRange(
@@ -112,7 +141,7 @@ impl AdmissionController {
         cfg.validate()?;
         Ok(AdmissionController {
             cfg,
-            cap: initial_cap.max(cfg.min_ebs),
+            cap: initial_cap.clamp(cfg.min_ebs, cfg.max_ebs),
         })
     }
 
@@ -132,13 +161,28 @@ impl AdmissionController {
         self.cap
     }
 
+    /// The policy parameters this controller runs.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
     /// Feed one overload prediction; returns the updated cap.
     pub fn on_prediction(&mut self, overloaded: bool) -> u32 {
         if overloaded {
             self.cap = ((self.cap as f64 * self.cfg.decrease_factor) as u32).max(self.cfg.min_ebs);
         } else {
-            self.cap += self.cfg.increase_step;
+            self.cap = self
+                .cap
+                .saturating_add(self.cfg.increase_step)
+                .min(self.cfg.max_ebs);
         }
+        self.cap
+    }
+
+    /// Force the cap to `cap`, clamped into `[min_ebs, max_ebs]` —
+    /// the supervisor's SafeMode override. Returns the resulting cap.
+    pub fn clamp_to(&mut self, cap: u32) -> u32 {
+        self.cap = cap.clamp(self.cfg.min_ebs, self.cfg.max_ebs);
         self.cap
     }
 }
@@ -372,6 +416,66 @@ mod tests {
                 other => panic!("segment_s={bad} gave {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn max_below_min_rejected_with_typed_error() {
+        let cfg = AdmissionConfig {
+            min_ebs: 50,
+            max_ebs: 40,
+            ..AdmissionConfig::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(AdmissionConfigError::MaxBelowMin {
+                min_ebs: 50,
+                max_ebs: 40
+            })
+        );
+        let msg = AdmissionConfigError::MaxBelowMin {
+            min_ebs: 50,
+            max_ebs: 40,
+        }
+        .to_string();
+        assert!(msg.contains("max_ebs"), "{msg}");
+    }
+
+    #[test]
+    fn cap_never_exceeds_maximum() {
+        let cfg = AdmissionConfig {
+            max_ebs: 90,
+            ..AdmissionConfig::default()
+        };
+        let mut c = AdmissionController::new(cfg, 500);
+        assert_eq!(c.cap(), 90, "initial cap clamps down to max_ebs");
+        for _ in 0..5 {
+            c.on_prediction(false);
+        }
+        assert_eq!(c.cap(), 90, "additive increase saturates at max_ebs");
+    }
+
+    #[test]
+    fn clamp_to_respects_both_bounds() {
+        let cfg = AdmissionConfig {
+            min_ebs: 20,
+            max_ebs: 200,
+            ..AdmissionConfig::default()
+        };
+        let mut c = AdmissionController::new(cfg, 100);
+        assert_eq!(c.clamp_to(5), 20, "clamp floor");
+        assert_eq!(c.clamp_to(1000), 200, "clamp ceiling");
+        assert_eq!(c.clamp_to(42), 42, "in-range value sticks");
+        assert_eq!(c.cap(), 42);
+        assert_eq!(c.config().min_ebs, 20);
+    }
+
+    #[test]
+    fn config_without_max_ebs_deserializes_with_default() {
+        // Configs serialized before `max_ebs` existed must keep loading.
+        let json = r#"{"min_ebs":20,"increase_step":25,"decrease_factor":0.75,"segment_s":60.0}"#;
+        let cfg: AdmissionConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.max_ebs, 100_000);
+        assert_eq!(cfg.validate(), Ok(()));
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * [`workloads`] — calibrated training/testing traffic programs.
 //! * [`admission`] — a measurement-based admission controller built on
 //!   the meter (the paper's motivating application).
+//! * [`snapshot`] — crash-safe, checksummed persistence of the full
+//!   meter/admission/monitor state (atomic writes, typed load errors).
+//! * [`retry`] — the shared jittered-backoff [`RetryPolicy`] used by
+//!   snapshot IO and the telemetry agents' redial loop.
 //!
 //! # Example
 //!
@@ -46,6 +50,8 @@ pub mod monitor;
 pub mod online;
 pub mod oracle;
 pub mod pi;
+pub mod retry;
+pub mod snapshot;
 pub mod synopsis;
 pub mod workloads;
 
@@ -56,5 +62,10 @@ pub use monitor::{collect_run, MetricLevel, RunLog, WindowInstance};
 pub use online::{OnlineDecision, OnlineMonitor};
 pub use oracle::{label_window, OracleConfig, WindowLabel};
 pub use pi::{correlation, select_pi, PiDefinition, PiSelection};
+pub use retry::RetryPolicy;
+pub use snapshot::{
+    fnv1a, read_snapshot, write_snapshot, write_snapshot_with_retry, MeterSnapshot, SnapshotError,
+    SnapshotHeader, SNAPSHOT_VERSION,
+};
 pub use synopsis::{PerformanceSynopsis, SynopsisSpec};
 pub use webcap_parallel::Parallelism;

@@ -348,6 +348,12 @@ impl CapacityMeter {
         &self.synopses
     }
 
+    /// The trained two-level coordinated predictor (read-only — e.g. for
+    /// `snapshot inspect` to report trained-instance counts).
+    pub fn coordinator(&self) -> &CoordinatedPredictor {
+        &self.coordinator
+    }
+
     /// Predict the system state of one window online (advances the
     /// predictor's temporal history).
     pub fn predict(&mut self, window: &WindowInstance) -> CoordinatedPrediction {

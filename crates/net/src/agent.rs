@@ -29,17 +29,13 @@ use std::io::{self};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
+use webcap_core::RetryPolicy;
 use webcap_hpc::HpcModel;
-use webcap_parallel::derive_seed;
 use webcap_sim::TierId;
 
 use crate::frame::{metric_schema_hash, read_frame, write_frame, Frame, WireSample, PROTO_VERSION};
 use crate::source::{SampleSource, SourcePoll, TierSampler};
 use crate::transport::{is_timeout, Conn, Endpoint};
-
-/// Seed-derivation namespace for backoff jitter (local to the agent; the
-/// metric-synthesis domain lives in `webcap_parallel::seed_domain`).
-const BACKOFF_DOMAIN: u64 = 0x62_6b_6f_66; // "bkof"
 
 /// Parse one fault-knob value. Pure, so each knob's error path is
 /// unit-testable without mutating process environment.
@@ -119,12 +115,9 @@ pub struct AgentConfig {
     pub endpoint: Endpoint,
     /// Bounded send-queue capacity (drop-oldest beyond it).
     pub queue_capacity: usize,
-    /// First dial-retry backoff.
-    pub backoff_initial: Duration,
-    /// Backoff growth cap.
-    pub backoff_max: Duration,
-    /// Consecutive dial/handshake failures before giving up.
-    pub max_dial_attempts: u32,
+    /// Redial posture: jittered backoff, attempt budget, and the
+    /// per-attempt handshake timeout.
+    pub retry: RetryPolicy,
     /// Read timeout on the connection (handshake reply, ack drain).
     pub read_timeout: Duration,
     /// Send a heartbeat after this long without frames while idle.
@@ -144,9 +137,7 @@ impl AgentConfig {
             tier,
             endpoint,
             queue_capacity: 256,
-            backoff_initial: Duration::from_millis(25),
-            backoff_max: Duration::from_secs(1),
-            max_dial_attempts: 40,
+            retry: RetryPolicy::dial_defaults(),
             read_timeout: Duration::from_millis(500),
             heartbeat: Duration::from_millis(500),
             seed,
@@ -170,6 +161,9 @@ pub struct AgentReport {
     pub sessions: u64,
     /// Acknowledgment frames observed.
     pub acks_received: u64,
+    /// Mid-session `Reject` frames observed (the collector refusing a
+    /// frame it could not parse).
+    pub rejects_received: u64,
     /// Heartbeat frames sent.
     pub heartbeats_sent: u64,
 }
@@ -186,18 +180,6 @@ fn push_bounded(queue: &mut VecDeque<WireSample>, item: WireSample, capacity: us
     evicted
 }
 
-/// Backoff before dial attempt `attempt` (1-based): exponential from
-/// `initial`, capped at `max`, scaled by a deterministic jitter in
-/// [0.75, 1.25) derived from `(seed, attempt)`.
-fn backoff_delay(initial: Duration, max: Duration, seed: u64, attempt: u32) -> Duration {
-    let exp = initial
-        .saturating_mul(1u32 << attempt.saturating_sub(1).min(20))
-        .min(max);
-    let jitter_bits = derive_seed(BACKOFF_DOMAIN, u64::from(attempt), seed) % 1000;
-    let factor = 0.75 + 0.5 * (jitter_bits as f64 / 1000.0);
-    exp.mul_f64(factor)
-}
-
 /// Outcome of one connected session.
 enum SessionEnd {
     /// Source exhausted and queue flushed; `Bye` sent.
@@ -206,42 +188,28 @@ enum SessionEnd {
     Reconnect,
 }
 
-/// Dial and handshake, retrying with backoff. Returns the connected,
+/// Whether a dial/handshake failure is worth retrying: the collector
+/// being down (refused, socket file missing), dying mid-handshake
+/// (EOF, reset), or slow to answer (timeout) all heal with backoff;
+/// version mismatches and unsupported endpoints do not.
+fn dial_retryable(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::ConnectionRefused
+        || e.kind() == io::ErrorKind::NotFound
+        || e.kind() == io::ErrorKind::UnexpectedEof
+        || e.kind() == io::ErrorKind::ConnectionReset
+        || is_timeout(e)
+}
+
+/// Dial and handshake, retrying per `cfg.retry`. Returns the connected,
 /// acknowledged stream.
-fn dial(cfg: &AgentConfig, dial_attempts: &mut u32) -> io::Result<Conn> {
-    loop {
-        *dial_attempts += 1;
-        let attempt = *dial_attempts;
-        match try_handshake(cfg) {
-            Ok(conn) => {
-                *dial_attempts = 0;
-                return Ok(conn);
-            }
-            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused
-                || e.kind() == io::ErrorKind::NotFound
-                || e.kind() == io::ErrorKind::UnexpectedEof
-                || e.kind() == io::ErrorKind::ConnectionReset
-                || is_timeout(&e) =>
-            {
-                if attempt >= cfg.max_dial_attempts {
-                    return Err(e);
-                }
-                std::thread::sleep(backoff_delay(
-                    cfg.backoff_initial,
-                    cfg.backoff_max,
-                    cfg.seed,
-                    attempt,
-                ));
-            }
-            // Reject, version mismatch, unsupported endpoint: won't heal.
-            Err(e) => return Err(e),
-        }
-    }
+fn dial(cfg: &AgentConfig) -> io::Result<Conn> {
+    cfg.retry
+        .run(cfg.seed, dial_retryable, |_| try_handshake(cfg))
 }
 
 fn try_handshake(cfg: &AgentConfig) -> io::Result<Conn> {
     let mut conn = Conn::connect(&cfg.endpoint)?;
-    conn.set_read_timeout(Some(cfg.read_timeout))?;
+    conn.set_read_timeout(Some(cfg.retry.attempt_timeout))?;
     write_frame(
         &mut conn,
         &Frame::Hello {
@@ -280,13 +248,14 @@ pub fn run_agent(
     // oracle (the fault-injection test) replays to predict exactly which
     // sequences went missing.
     let mut attempts: u64 = 0;
-    let mut dial_attempts: u32 = 0;
 
     loop {
-        let conn = dial(cfg, &mut dial_attempts)?;
+        let conn = dial(cfg)?;
+        conn.set_read_timeout(Some(cfg.read_timeout))?;
         report.sessions += 1;
 
         let acks = AtomicU64::new(0);
+        let rejects = AtomicU64::new(0);
         let done = AtomicBool::new(false);
         let ack_conn = conn.try_clone()?;
         let mut conn = conn;
@@ -298,8 +267,11 @@ pub fn run_agent(
                         Ok(Frame::Ack { .. }) => {
                             acks.fetch_add(1, Ordering::Relaxed);
                         }
+                        Ok(Frame::Reject { .. }) => {
+                            rejects.fetch_add(1, Ordering::Relaxed);
+                        }
                         Ok(_) => {}
-                        Err(e) if is_timeout(&e) => {
+                        Err(e) if e.is_timeout() => {
                             if done.load(Ordering::Relaxed) {
                                 break;
                             }
@@ -322,11 +294,18 @@ pub fn run_agent(
                     }
                     match source.next_sample() {
                         SourcePoll::Ready(s) => {
-                            report.samples_produced += 1;
+                            let warmup = s.warmup;
                             last_seq = s.seq;
+                            // Warm-up samples are synthesized like any
+                            // other (the OS synthesizer carries state)
+                            // but never queued: a previous process
+                            // already delivered those sequences.
                             let ws = sampler.wire_sample(s);
-                            report.queue_dropped +=
-                                push_bounded(&mut queue, ws, cfg.queue_capacity);
+                            if !warmup {
+                                report.samples_produced += 1;
+                                report.queue_dropped +=
+                                    push_bounded(&mut queue, ws, cfg.queue_capacity);
+                            }
                             idle_polls = 0;
                         }
                         SourcePoll::Idle => {
@@ -349,7 +328,10 @@ pub fn run_agent(
                     }
                 }
 
-                let ws = queue.front().expect("non-empty queue");
+                // The queue is non-empty here (the refill branch above
+                // `continue`s otherwise), but a `let-else` keeps this
+                // loop panic-free by construction.
+                let Some(ws) = queue.front() else { continue };
                 attempts += 1;
                 if cfg.faults.drop_every.is_some_and(|n| attempts % n == 0) {
                     queue.pop_front();
@@ -378,6 +360,7 @@ pub fn run_agent(
             Ok(end)
         })?;
         report.acks_received += acks.load(Ordering::Relaxed);
+        report.rejects_received += rejects.load(Ordering::Relaxed);
 
         match end {
             SessionEnd::Done => return Ok(report),
@@ -413,32 +396,6 @@ mod tests {
         assert_eq!(evicted, 2);
         let kept: Vec<u64> = q.iter().map(|w| w.seq).collect();
         assert_eq!(kept, vec![2, 3, 4], "newest samples survive");
-    }
-
-    #[test]
-    fn backoff_grows_exponentially_capped_and_jittered() {
-        let initial = Duration::from_millis(20);
-        let max = Duration::from_millis(500);
-        let mut prev_nominal = Duration::ZERO;
-        for attempt in 1..=10 {
-            let d = backoff_delay(initial, max, 7, attempt);
-            let nominal = initial
-                .saturating_mul(1u32 << (attempt - 1).min(20))
-                .min(max);
-            assert!(nominal >= prev_nominal, "nominal backoff never shrinks");
-            prev_nominal = nominal;
-            assert!(d >= nominal.mul_f64(0.75), "attempt {attempt}: {d:?}");
-            assert!(d <= nominal.mul_f64(1.25), "attempt {attempt}: {d:?}");
-        }
-        // Deterministic per (seed, attempt); seeds decorrelate.
-        assert_eq!(
-            backoff_delay(initial, max, 7, 3),
-            backoff_delay(initial, max, 7, 3)
-        );
-        assert_ne!(
-            backoff_delay(initial, max, 7, 3),
-            backoff_delay(initial, max, 8, 3)
-        );
     }
 
     #[test]
@@ -482,14 +439,10 @@ mod tests {
     fn agent_gives_up_after_the_dial_budget() {
         // Nothing listens on this port; the agent must back off and then
         // surface the dial error instead of spinning forever.
-        let mut cfg = AgentConfig::new(
-            TierId::App,
-            Endpoint::parse("127.0.0.1:9").unwrap(),
-            3,
-        );
-        cfg.max_dial_attempts = 2;
-        cfg.backoff_initial = Duration::from_millis(1);
-        cfg.backoff_max = Duration::from_millis(2);
+        let mut cfg = AgentConfig::new(TierId::App, Endpoint::parse("127.0.0.1:9").unwrap(), 3);
+        cfg.retry.max_attempts = 2;
+        cfg.retry.initial = Duration::from_millis(1);
+        cfg.retry.max = Duration::from_millis(2);
         let mut source = crate::source::ScriptedSource::new(TierId::App, Vec::new());
         assert!(run_agent(&cfg, webcap_hpc::HpcModel::testbed(), &mut source).is_err());
     }

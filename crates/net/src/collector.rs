@@ -39,6 +39,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
+use serde::{Deserialize, Serialize};
 use webcap_core::{CapacityMeter, OnlineDecision, OnlineMonitor};
 use webcap_sim::TierId;
 
@@ -294,14 +295,31 @@ impl Assembler {
         }
         let mut decision = None;
         for (app, db) in pairs.drain(..) {
-            let stats = app.app.expect("validated above");
+            // `complete` already verified every app sample carries
+            // stats, but stay panic-free: treat a miss as the protocol
+            // violation it is. (Draining on break still empties the
+            // buffer — `drain`'s drop removes the whole range.)
+            let Some(stats) = app.app else {
+                decision = None;
+                break;
+            };
             let sample = stats.into_sample(app.t_s, app.interval_s, app.tier, db.tier);
             decision = self
                 .monitor
                 .push_collected(sample, [app.hpc, db.hpc], [app.os, db.os]);
         }
+        pairs.clear();
         self.scratch = pairs;
-        let decision = decision.expect("window_len samples complete a window");
+        // `window_len` samples complete a window, so the monitor must
+        // have produced a decision; if it somehow did not, quarantine
+        // the window rather than panic the collector.
+        let Some(decision) = decision else {
+            self.anomalies += 1;
+            self.monitor.reset();
+            self.prev_fed = None;
+            self.poison(window);
+            return;
+        };
         self.prev_fed = Some(window);
         self.emitted.insert(window);
         sink(window, &decision);
@@ -325,9 +343,88 @@ impl Assembler {
     pub fn anomalies(&self) -> u64 {
         self.anomalies
     }
+
+    /// The wrapped monitor's lifetime counters `(samples_seen,
+    /// decisions_made)` — what a snapshot persists.
+    pub fn monitor_counters(&self) -> (u64, u64) {
+        (self.monitor.samples_seen(), self.monitor.decisions_made())
+    }
+
+    /// The trained meter inside the monitor (read-only, for
+    /// snapshotting).
+    pub fn meter(&self) -> &CapacityMeter {
+        self.monitor.meter()
+    }
+
+    /// Capture the boundary-persistent reassembly state for a snapshot.
+    ///
+    /// Partial-window buffers (`pending`, `joined`) are deliberately
+    /// *not* captured: a snapshot is only ever restored across a process
+    /// boundary, where every agent reconnects, and the straddle-
+    /// poisoning rules already quarantine any window cut by that
+    /// discontinuity — exactly as they do for a mid-run reconnect. What
+    /// must survive is the per-tier stream position (`last_key`,
+    /// `had_session`), the monitor-feed continuity marker (`prev_fed`),
+    /// and the emitted/poisoned ledgers that keep a restarted collector
+    /// from re-emitting or un-poisoning a window.
+    pub fn export_state(&self) -> AssemblerState {
+        AssemblerState {
+            last_key: self.last_key,
+            had_session: self.had_session,
+            prev_fed: self.prev_fed,
+            emitted: self.emitted.iter().copied().collect(),
+            poisoned: self.poisoned.iter().copied().collect(),
+            anomalies: self.anomalies,
+        }
+    }
+
+    /// Rebuild an assembler from a snapshot: a fresh assembler around
+    /// the persisted meter, with the boundary state restored and every
+    /// tier that had a session marked `fresh_session` — so each tier's
+    /// first post-restart sample runs the same straddle-poisoning rules
+    /// as a mid-run reconnect. A restart at a window boundary therefore
+    /// continues byte-identically; a restart mid-window quarantines
+    /// exactly the cut windows.
+    pub fn resume(
+        meter: CapacityMeter,
+        origin: i64,
+        state: &AssemblerState,
+        samples_seen: u64,
+        decisions_made: u64,
+    ) -> Assembler {
+        let mut a = Assembler::new(meter, origin);
+        a.monitor.restore_counters(samples_seen, decisions_made);
+        a.last_key = state.last_key;
+        a.had_session = state.had_session;
+        a.fresh_session = state.had_session;
+        a.prev_fed = state.prev_fed;
+        a.emitted = state.emitted.iter().copied().collect();
+        a.poisoned = state.poisoned.iter().copied().collect();
+        a.anomalies = state.anomalies;
+        a
+    }
 }
 
-enum Event {
+/// The part of [`Assembler`] state that survives a collector restart
+/// (see [`Assembler::export_state`] for what is excluded and why).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssemblerState {
+    /// Last key received per tier.
+    pub last_key: [Option<i64>; 2],
+    /// Whether each tier ever had a session.
+    pub had_session: [bool; 2],
+    /// The window most recently fed to the monitor, if the feed is
+    /// continuous.
+    pub prev_fed: Option<i64>,
+    /// Windows already emitted (never to be re-emitted).
+    pub emitted: Vec<i64>,
+    /// Windows quarantined (never to be trusted).
+    pub poisoned: Vec<i64>,
+    /// Protocol-order surprises counted so far.
+    pub anomalies: u64,
+}
+
+pub(crate) enum Event {
     SessionStart { tier: TierId },
     Sample { tier: TierId, ws: Box<WireSample> },
     Bye { tier: TierId, last_seq: u64 },
@@ -337,10 +434,26 @@ enum Event {
 
 /// Handshake an accepted connection: expect `Hello`, check the dialect,
 /// answer `Ack{0}` or `Reject`. Returns the agent's tier.
-fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<TierId> {
+pub(crate) fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<TierId> {
     conn.set_nonblocking(false)?;
     conn.set_read_timeout(Some(cfg.handshake_timeout))?;
-    let hello = read_frame(conn)?;
+    let hello = match read_frame(conn) {
+        Ok(frame) => frame,
+        Err(e) => {
+            // A peer speaking bytes we cannot parse gets a Reject (it
+            // may still be listening) before the connection drops; a
+            // transport error gets nothing — the peer is gone.
+            if e.is_corrupt() {
+                let _ = write_frame(
+                    conn,
+                    &Frame::Reject {
+                        reason: format!("malformed handshake: {e}"),
+                    },
+                );
+            }
+            return Err(e.into());
+        }
+    };
     let Frame::Hello {
         tier,
         proto_version,
@@ -348,12 +461,22 @@ fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<TierId> {
     } = hello
     else {
         let reason = "expected Hello".to_string();
-        let _ = write_frame(conn, &Frame::Reject { reason: reason.clone() });
+        let _ = write_frame(
+            conn,
+            &Frame::Reject {
+                reason: reason.clone(),
+            },
+        );
         return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
     };
     if proto_version != PROTO_VERSION {
         let reason = format!("protocol version {proto_version} != {PROTO_VERSION}");
-        let _ = write_frame(conn, &Frame::Reject { reason: reason.clone() });
+        let _ = write_frame(
+            conn,
+            &Frame::Reject {
+                reason: reason.clone(),
+            },
+        );
         return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
     }
     let expected_hash = metric_schema_hash(tier);
@@ -362,7 +485,12 @@ fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<TierId> {
             "metric schema hash {hash:#018x} != {expected_hash:#018x} for {}",
             tier.label()
         );
-        let _ = write_frame(conn, &Frame::Reject { reason: reason.clone() });
+        let _ = write_frame(
+            conn,
+            &Frame::Reject {
+                reason: reason.clone(),
+            },
+        );
         return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
     }
     write_frame(conn, &Frame::Ack { seq: 0 })?;
@@ -371,7 +499,12 @@ fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<TierId> {
 
 /// Per-connection reader: forward samples (acking each) until the
 /// session dies or says `Bye`.
-fn reader_loop(mut conn: Conn, tier: TierId, cfg: &CollectorConfig, tx: &mpsc::Sender<Event>) {
+pub(crate) fn reader_loop(
+    mut conn: Conn,
+    tier: TierId,
+    cfg: &CollectorConfig,
+    tx: &mpsc::Sender<Event>,
+) {
     let _ = conn.set_read_timeout(Some(cfg.read_timeout));
     loop {
         match read_frame(&mut conn) {
@@ -398,9 +531,21 @@ fn reader_loop(mut conn: Conn, tier: TierId, cfg: &CollectorConfig, tx: &mpsc::S
                 break;
             }
             Ok(_) => break,
-            // A session silent past the read timeout is dead: a live
-            // idle agent heartbeats well inside it.
-            Err(_) => break,
+            Err(e) => {
+                // A corrupt frame earns the peer a Reject naming the
+                // parse failure before the session drops; a transport
+                // error (timeout included — a live idle agent
+                // heartbeats well inside it) means the session is dead.
+                if e.is_corrupt() {
+                    let _ = write_frame(
+                        &mut conn,
+                        &Frame::Reject {
+                            reason: format!("unreadable frame: {e}"),
+                        },
+                    );
+                }
+                break;
+            }
         }
     }
     let _ = conn.shutdown();
@@ -411,7 +556,7 @@ fn reader_loop(mut conn: Conn, tier: TierId, cfg: &CollectorConfig, tx: &mpsc::S
 /// Readers are serialized **per tier** — the previous session's reader
 /// is joined before the replacement starts — so the assembler sees each
 /// tier's events in connection order.
-fn accept_loop(
+pub(crate) fn accept_loop(
     listener: Listener,
     cfg: CollectorConfig,
     tx: mpsc::Sender<Event>,
@@ -562,20 +707,18 @@ mod tests {
             },
             hpc: vec![0.5; 12],
             os: vec![0.1; 64],
-            app: with_app.then(|| {
-                crate::frame::AppStats {
-                    ebs_target: 10,
-                    ebs_active: 10,
-                    mix_id: webcap_tpcw::MixId::Ordering,
-                    issued: 20,
-                    issued_browse: 10,
-                    completed: 20,
-                    completed_browse: 10,
-                    response_time_sum_s: 2.0,
-                    response_time_max_s: 0.4,
-                    in_flight: 1,
-                    response_times: webcap_sim::RtHistogram::new(),
-                }
+            app: with_app.then(|| crate::frame::AppStats {
+                ebs_target: 10,
+                ebs_active: 10,
+                mix_id: webcap_tpcw::MixId::Ordering,
+                issued: 20,
+                issued_browse: 10,
+                completed: 20,
+                completed_browse: 10,
+                response_time_sum_s: 2.0,
+                response_time_max_s: 0.4,
+                in_flight: 1,
+                response_times: webcap_sim::RtHistogram::new(),
             }),
         }
     }
@@ -692,6 +835,80 @@ mod tests {
         }
         assert_eq!(emitted, vec![1]);
         assert_eq!(a.poisoned_windows(), vec![0]);
+    }
+
+    #[test]
+    fn boundary_resume_replays_byte_identically() {
+        // Uninterrupted run over two windows...
+        let mut full = tiny_assembler(30);
+        let mut full_decisions = Vec::new();
+        full.on_session_start(TierId::App);
+        full.on_session_start(TierId::Db);
+        for seq in 0..60u64 {
+            let mut sink = |w: i64, d: &OnlineDecision| {
+                full_decisions.push((w, serde_json::to_string(d).unwrap()));
+            };
+            full.on_sample(TierId::App, wire(seq, true), &mut sink);
+            full.on_sample(TierId::Db, wire(seq, false), &mut sink);
+        }
+        // ...versus a crash exactly at the window-0 boundary.
+        let mut first = tiny_assembler(30);
+        let mut resumed_decisions = Vec::new();
+        first.on_session_start(TierId::App);
+        first.on_session_start(TierId::Db);
+        for seq in 0..30u64 {
+            let mut sink = |w: i64, d: &OnlineDecision| {
+                resumed_decisions.push((w, serde_json::to_string(d).unwrap()));
+            };
+            first.on_sample(TierId::App, wire(seq, true), &mut sink);
+            first.on_sample(TierId::Db, wire(seq, false), &mut sink);
+        }
+        let state = first.export_state();
+        let (seen, made) = first.monitor_counters();
+        let meter = first.meter().clone();
+        let mut second = Assembler::resume(meter, 1, &state, seen, made);
+        // Restart means both agents reconnect.
+        second.on_session_start(TierId::App);
+        second.on_session_start(TierId::Db);
+        for seq in 30..60u64 {
+            let mut sink = |w: i64, d: &OnlineDecision| {
+                resumed_decisions.push((w, serde_json::to_string(d).unwrap()));
+            };
+            second.on_sample(TierId::App, wire(seq, true), &mut sink);
+            second.on_sample(TierId::Db, wire(seq, false), &mut sink);
+        }
+        assert_eq!(full_decisions, resumed_decisions);
+        assert!(second.poisoned_windows().is_empty());
+        let (seen2, made2) = second.monitor_counters();
+        assert_eq!((seen2, made2), (60, 2), "counters are cumulative");
+    }
+
+    #[test]
+    fn mid_window_resume_quarantines_the_cut_window() {
+        let mut first = tiny_assembler(30);
+        let mut emitted = Vec::new();
+        first.on_session_start(TierId::App);
+        first.on_session_start(TierId::Db);
+        // Crash mid-window-1 (after seq 44).
+        for seq in 0..45u64 {
+            let mut sink = |w: i64, _: &OnlineDecision| emitted.push(w);
+            first.on_sample(TierId::App, wire(seq, true), &mut sink);
+            first.on_sample(TierId::Db, wire(seq, false), &mut sink);
+        }
+        let state = first.export_state();
+        let (seen, made) = first.monitor_counters();
+        let mut second = Assembler::resume(first.meter().clone(), 1, &state, seen, made);
+        second.on_session_start(TierId::App);
+        second.on_session_start(TierId::Db);
+        for seq in 45..90u64 {
+            let mut sink = |w: i64, _: &OnlineDecision| emitted.push(w);
+            second.on_sample(TierId::App, wire(seq, true), &mut sink);
+            second.on_sample(TierId::Db, wire(seq, false), &mut sink);
+        }
+        second.on_bye(TierId::App, 89);
+        second.on_bye(TierId::Db, 89);
+        assert_eq!(emitted, vec![0, 2], "cut window 1 never emits");
+        assert_eq!(second.poisoned_windows(), vec![1]);
     }
 
     #[test]

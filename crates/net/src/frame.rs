@@ -25,6 +25,7 @@
 //! or rejects with a reason — per-field downgrade dances are not worth
 //! their failure modes at this protocol size.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
 use serde::{Deserialize, Serialize};
@@ -184,6 +185,86 @@ pub enum Frame {
     },
 }
 
+/// Why a frame could not be read or written.
+///
+/// The corruption variants ([`FrameError::BadMagic`],
+/// [`FrameError::Oversized`], [`FrameError::Malformed`]) mean the peer
+/// is speaking bytes this protocol cannot parse — the reader should
+/// `Reject` and drop the connection. [`FrameError::Io`] carries the
+/// transport verdict unchanged (clean EOF, timeout, reset), which the
+/// retry machinery inspects by kind.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure (EOF, timeout, reset, ...).
+    Io(io::Error),
+    /// The first four bytes are not [`FRAME_MAGIC`] — cross-talk from a
+    /// non-webcap peer or a desynchronized stream.
+    BadMagic(u32),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`]; refused before any
+    /// allocation.
+    Oversized {
+        /// Length the prefix claimed.
+        len: usize,
+    },
+    /// The payload is not a valid JSON [`Frame`].
+    Malformed(serde_json::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io error: {e}"),
+            FrameError::BadMagic(magic) => write!(f, "bad frame magic {magic:#010x}"),
+            FrameError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the cap")
+            }
+            FrameError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Collapse a [`FrameError`] back into an [`io::Error`] so frame IO
+/// composes with `io::Result` plumbing: transport errors pass through
+/// unchanged (preserving their kind for retry decisions); corruption
+/// variants become `InvalidData` with the typed error as message.
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> io::Error {
+        match e {
+            FrameError::Io(inner) => inner,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+impl FrameError {
+    /// Clean end of stream (peer closed between frames or mid-frame).
+    pub fn is_eof(&self) -> bool {
+        matches!(self, FrameError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof)
+    }
+
+    /// Read-timeout verdict (WouldBlock / TimedOut, platform-dependent).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, FrameError::Io(e) if crate::transport::is_timeout(e))
+    }
+
+    /// The peer sent bytes this protocol cannot parse — grounds for a
+    /// `Reject`, never for a retry.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(
+            self,
+            FrameError::BadMagic(_) | FrameError::Oversized { .. } | FrameError::Malformed(_)
+        )
+    }
+}
+
 /// FNV-1a hash over a tier's metric schema: every OS metric name, then
 /// every HPC feature name, in index order with a separator byte. Two
 /// endpoints agree on this hash iff their feature rows are index-aligned
@@ -205,43 +286,36 @@ pub fn metric_schema_hash(tier: TierId) -> u64 {
 }
 
 /// Encode and write one frame (magic, length, payload) and flush.
-pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
-    let payload = serde_json::to_vec(frame).map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), FrameError> {
+    let payload = serde_json::to_vec(frame).map_err(FrameError::Malformed)?;
     if payload.len() > MAX_FRAME_LEN {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame payload of {} bytes exceeds the cap", payload.len()),
-        ));
+        return Err(FrameError::Oversized { len: payload.len() });
     }
     w.write_all(&FRAME_MAGIC.to_le_bytes())?;
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(&payload)?;
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
-/// Read and decode one frame. `UnexpectedEof` on a cleanly closed peer;
-/// `InvalidData` on a bad magic word, oversized length, or malformed
-/// payload.
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+/// Read and decode one frame. [`FrameError::Io`] with `UnexpectedEof`
+/// on a cleanly closed peer; a corruption variant on a bad magic word,
+/// oversized length, or malformed payload. Never panics, whatever the
+/// bytes.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
     let mut header = [0u8; 8];
     r.read_exact(&mut header)?;
-    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
     if magic != FRAME_MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("bad frame magic {magic:#010x}"),
-        ));
+        return Err(FrameError::BadMagic(magic));
     }
-    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
     if len > MAX_FRAME_LEN {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds the cap"),
-        ));
+        return Err(FrameError::Oversized { len });
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    serde_json::from_slice(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    serde_json::from_slice(&payload).map_err(FrameError::Malformed)
 }
 
 #[cfg(test)]
@@ -287,20 +361,23 @@ mod tests {
         for f in &frames {
             assert_eq!(&read_frame(&mut r).unwrap(), f);
         }
-        assert_eq!(
-            read_frame(&mut r).unwrap_err().kind(),
-            io::ErrorKind::UnexpectedEof
-        );
+        let err = read_frame(&mut r).unwrap_err();
+        assert!(err.is_eof(), "{err}");
+        assert!(!err.is_corrupt());
     }
 
     #[test]
-    fn bad_magic_is_invalid_data() {
+    fn bad_magic_is_a_typed_corruption_error() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &Frame::Heartbeat { seq: 1 }).unwrap();
         buf[0] ^= 0xff;
         let err = read_frame(&mut buf.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, FrameError::BadMagic(_)), "{err}");
+        assert!(err.is_corrupt());
         assert!(err.to_string().contains("magic"));
+        // The io::Error conversion keeps the corruption verdict visible.
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
@@ -309,7 +386,11 @@ mod tests {
         buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         let err = read_frame(&mut buf.as_slice()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            matches!(err, FrameError::Oversized { len } if len == u32::MAX as usize),
+            "{err}"
+        );
+        assert!(err.is_corrupt());
         assert!(err.to_string().contains("cap"));
     }
 
@@ -318,16 +399,31 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, &sample_frame()).unwrap();
         buf.truncate(buf.len() - 3);
-        assert_eq!(
-            read_frame(&mut buf.as_slice()).unwrap_err().kind(),
-            io::ErrorKind::UnexpectedEof
-        );
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(err.is_eof(), "{err}");
+    }
+
+    #[test]
+    fn garbage_payload_is_malformed_not_a_panic() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(b"{{{{");
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+        assert!(err.is_corrupt());
     }
 
     #[test]
     fn schema_hash_distinguishes_tiers_and_is_stable() {
-        assert_eq!(metric_schema_hash(TierId::App), metric_schema_hash(TierId::App));
-        assert_ne!(metric_schema_hash(TierId::App), metric_schema_hash(TierId::Db));
+        assert_eq!(
+            metric_schema_hash(TierId::App),
+            metric_schema_hash(TierId::App)
+        );
+        assert_ne!(
+            metric_schema_hash(TierId::App),
+            metric_schema_hash(TierId::Db)
+        );
     }
 
     #[test]
@@ -359,5 +455,60 @@ mod tests {
         let stats = AppStats::from_sample(&s);
         let back = stats.into_sample(s.t_s, s.interval_s, s.app, s.db);
         assert_eq!(back, s);
+    }
+
+    mod corruption_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A valid multi-frame stream to mutate.
+        fn valid_stream() -> Vec<u8> {
+            let mut buf = Vec::new();
+            write_frame(
+                &mut buf,
+                &Frame::Hello {
+                    tier: TierId::App,
+                    proto_version: PROTO_VERSION,
+                    metric_schema_hash: metric_schema_hash(TierId::App),
+                },
+            )
+            .unwrap();
+            write_frame(&mut buf, &sample_frame()).unwrap();
+            write_frame(&mut buf, &Frame::Bye { last_seq: 42 }).unwrap();
+            buf
+        }
+
+        proptest! {
+            /// Decoding any byte-mutated (flipped and/or truncated)
+            /// variant of a valid stream must return frames or typed
+            /// errors — never panic, never allocate past the cap. The
+            /// drain loop terminates because every successful read
+            /// consumes at least the 8 header bytes.
+            #[test]
+            fn mutated_streams_decode_without_panicking(
+                flips in proptest::collection::vec((any::<usize>(), 1u8..=255), 0..8),
+                truncate_to in any::<usize>(),
+            ) {
+                let mut bytes = valid_stream();
+                for (pos, mask) in flips {
+                    let idx = pos % bytes.len();
+                    bytes[idx] ^= mask;
+                }
+                let keep = truncate_to % (bytes.len() + 1);
+                bytes.truncate(keep);
+                let mut r = bytes.as_slice();
+                loop {
+                    match read_frame(&mut r) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            // Exercise the classification paths too.
+                            let _ = (e.is_eof(), e.is_timeout(), e.is_corrupt());
+                            let _ = e.to_string();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -21,6 +21,9 @@
 //!   heartbeats, jittered-backoff reconnect, fault knobs.
 //! * [`collector`] — the accept/reader threads and the deterministic
 //!   window [`Assembler`] with its gap-poisoning rules.
+//! * [`supervisor`] — the Healthy → Degraded → SafeMode health state
+//!   machine over telemetry quality, safe-mode admission clamping,
+//!   periodic crash-safe snapshots, and resume-from-snapshot.
 //! * [`loopback`] — in-process deployments plus the replay/oracle
 //!   baselines the integration tests check the plane against.
 //!
@@ -35,13 +38,19 @@ pub mod collector;
 pub mod frame;
 pub mod loopback;
 pub mod source;
+pub mod supervisor;
 pub mod transport;
 
 pub use agent::{run_agent, AgentConfig, AgentReport, FaultKnobs};
-pub use collector::{run_collector, Assembler, CollectorConfig, CollectorReport};
-pub use frame::{metric_schema_hash, AppStats, Frame, WireSample, PROTO_VERSION};
+pub use collector::{run_collector, Assembler, AssemblerState, CollectorConfig, CollectorReport};
+pub use frame::{metric_schema_hash, AppStats, Frame, FrameError, WireSample, PROTO_VERSION};
 pub use loopback::{
-    all_windows, predicted_surviving_windows, replay_windows, run_loopback, LoopbackOutcome,
+    all_windows, predicted_surviving_windows, replay_windows, run_loopback,
+    run_supervised_loopback, LoopbackOutcome,
 };
 pub use source::{SampleSource, ScriptedSource, SourcePoll, SourceSample, TierSampler};
+pub use supervisor::{
+    run_supervised_collector, AdmissionPoint, CollectorSnapshot, HealthState, HealthTransition,
+    ResumeOutcome, SupervisedCollector, SupervisedReport, Supervisor, SupervisorConfig,
+};
 pub use transport::{Conn, Endpoint, Listener};

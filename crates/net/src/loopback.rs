@@ -18,13 +18,15 @@
 
 use std::collections::BTreeSet;
 use std::io;
+use std::path::Path;
 
-use webcap_core::{CapacityMeter, OnlineDecision, OnlineMonitor};
+use webcap_core::{AdmissionController, CapacityMeter, OnlineDecision, OnlineMonitor};
 use webcap_sim::{SystemSample, TierId};
 
 use crate::agent::{run_agent, AgentConfig, AgentReport, FaultKnobs};
 use crate::collector::{run_collector, CollectorConfig, CollectorReport};
 use crate::source::{ScriptedSource, TierSampler};
+use crate::supervisor::{run_supervised_collector, SupervisedReport, SupervisorConfig};
 use crate::transport::{Endpoint, Listener};
 
 /// What a loopback deployment produced.
@@ -54,8 +56,8 @@ pub fn run_loopback(
     std::thread::scope(|scope| {
         let meter_clone = meter.clone();
         let collector_cfg = &collector_cfg;
-        let collector = scope
-            .spawn(move || run_collector(listener, meter_clone, collector_cfg, |_, _| {}));
+        let collector =
+            scope.spawn(move || run_collector(listener, meter_clone, collector_cfg, |_, _| {}));
         let mut agent_handles = Vec::new();
         for tier in TierId::ALL {
             let dial = dial.clone();
@@ -79,6 +81,68 @@ pub fn run_loopback(
             collector,
             agents: [app, db],
         })
+    })
+}
+
+/// [`run_loopback`] with the supervised collector: same two agents,
+/// same wire, but the collector runs the health state machine,
+/// safe-mode admission, and (when `snapshot_path` is set) periodic
+/// snapshots / resume. `start_seq` puts both agents' scripted sources
+/// into warm-up replay below that sequence (synthesize, don't send),
+/// so a resumed deployment continues the stream where the previous
+/// process left off with byte-identical wire samples.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_loopback(
+    meter: &CapacityMeter,
+    samples: &[SystemSample],
+    endpoint: &Endpoint,
+    base_seed: u64,
+    faults: FaultKnobs,
+    sup_cfg: SupervisorConfig,
+    admission: AdmissionController,
+    snapshot_path: Option<&Path>,
+    resume: bool,
+    start_seq: u64,
+) -> io::Result<(SupervisedReport, [AgentReport; 2])> {
+    let listener = Listener::bind(endpoint)?;
+    let dial = listener.local_endpoint()?;
+    let hpc_model = meter.config().hpc_model.clone();
+    let collector_cfg = CollectorConfig::default();
+    std::thread::scope(|scope| {
+        let meter_clone = meter.clone();
+        let collector_cfg = &collector_cfg;
+        let collector = scope.spawn(move || {
+            run_supervised_collector(
+                listener,
+                meter_clone,
+                collector_cfg,
+                sup_cfg,
+                admission,
+                snapshot_path,
+                resume,
+                |_, _| {},
+            )
+        });
+        let mut agent_handles = Vec::new();
+        for tier in TierId::ALL {
+            let dial = dial.clone();
+            let hpc_model = hpc_model.clone();
+            let tier_samples = samples.to_vec();
+            agent_handles.push(scope.spawn(move || {
+                let mut cfg = AgentConfig::new(tier, dial, base_seed);
+                cfg.faults = faults;
+                let mut source = ScriptedSource::with_start_seq(tier, tier_samples, start_seq);
+                run_agent(&cfg, hpc_model, &mut source)
+            }));
+        }
+        let mut agents = Vec::new();
+        for handle in agent_handles {
+            agents.push(handle.join().expect("agent thread completes")?);
+        }
+        let report = collector.join().expect("collector thread completes")?;
+        let db = agents.pop().expect("two agents");
+        let app = agents.pop().expect("two agents");
+        Ok((report, [app, db]))
     })
 }
 
@@ -163,7 +227,10 @@ pub fn predicted_surviving_windows(
         if faults.drop_every.is_some_and(|n| attempt % n == 0) {
             continue;
         }
-        sessions.last_mut().expect("non-empty").push(origin + seq as i64);
+        sessions
+            .last_mut()
+            .expect("non-empty")
+            .push(origin + seq as i64);
         conn_sent += 1;
         if faults.reconnect_every.is_some_and(|n| conn_sent >= n) {
             sessions.push(Vec::new());
@@ -224,8 +291,7 @@ mod tests {
 
     #[test]
     fn no_faults_means_every_full_window_survives() {
-        let (survivors, poisoned) =
-            predicted_surviving_windows(240, &FaultKnobs::NONE, 30, 1);
+        let (survivors, poisoned) = predicted_surviving_windows(240, &FaultKnobs::NONE, 30, 1);
         assert_eq!(survivors, (0..8).collect::<BTreeSet<i64>>());
         assert!(poisoned.is_empty());
     }

@@ -42,6 +42,12 @@ pub struct SourceSample {
     pub tier: TierSample,
     /// Front-end statistics; `Some` only on the application tier.
     pub app: Option<AppStats>,
+    /// Warm-up replay after a restart: the sample exists only to advance
+    /// the stateful parts of metric synthesis (the OS collector's load
+    /// averages and slow biases). The agent must synthesize it like any
+    /// other sample and then discard the result instead of sending it —
+    /// the collector consumed this sequence in a previous process.
+    pub warmup: bool,
 }
 
 /// One poll of a [`SampleSource`].
@@ -126,6 +132,9 @@ pub struct ScriptedSource {
     tier: TierId,
     samples: std::vec::IntoIter<SystemSample>,
     next_seq: u64,
+    /// Sequences below this are yielded as warm-up (synthesized, never
+    /// sent) — see [`ScriptedSource::with_start_seq`].
+    emit_from: u64,
 }
 
 impl ScriptedSource {
@@ -135,6 +144,28 @@ impl ScriptedSource {
             tier,
             samples: samples.into_iter(),
             next_seq: 0,
+            emit_from: 0,
+        }
+    }
+
+    /// Resume `tier`'s view of `samples` from `start_seq` after a
+    /// restart. Every sample is still yielded in order — metric
+    /// synthesis is stateful, so skipping history would change the OS
+    /// rows of everything after it (see the module docs) — but samples
+    /// before `start_seq` are marked [`SourceSample::warmup`] so the
+    /// agent rebuilds its sampler state without re-sending sequences
+    /// the collector already consumed. A resumed deployment therefore
+    /// produces byte-identical wire samples from `start_seq` on.
+    pub fn with_start_seq(
+        tier: TierId,
+        samples: Vec<SystemSample>,
+        start_seq: u64,
+    ) -> ScriptedSource {
+        ScriptedSource {
+            tier,
+            samples: samples.into_iter(),
+            next_seq: 0,
+            emit_from: start_seq,
         }
     }
 }
@@ -152,6 +183,7 @@ impl SampleSource for ScriptedSource {
             interval_s: s.interval_s,
             tier: *s.tier(self.tier),
             app: (self.tier == TierId::App).then(|| AppStats::from_sample(&s)),
+            warmup: seq < self.emit_from,
         })
     }
 }
@@ -237,5 +269,56 @@ mod tests {
         assert_eq!(d.tier, base.db);
         assert!(d.app.is_none(), "db tier does not");
         assert_eq!(app_src.next_sample(), SourcePoll::Exhausted);
+    }
+
+    #[test]
+    fn warmup_replay_is_byte_identical_from_start_seq() {
+        let base = SystemSample {
+            t_s: 1.0,
+            interval_s: 1.0,
+            ebs_target: 10,
+            ebs_active: 10,
+            mix_id: webcap_tpcw::MixId::Shopping,
+            issued: 5,
+            issued_browse: 2,
+            completed: 4,
+            completed_browse: 2,
+            response_time_sum_s: 0.5,
+            response_time_max_s: 0.2,
+            in_flight: 1,
+            response_times: webcap_sim::RtHistogram::new(),
+            app: busy_tier(),
+            db: TierSample::default(),
+        };
+        let samples: Vec<SystemSample> = (0..10)
+            .map(|i| SystemSample {
+                t_s: i as f64 + 1.0,
+                ..base.clone()
+            })
+            .collect();
+        // An uninterrupted agent's view of the stream…
+        let mut full = ScriptedSource::new(TierId::App, samples.clone());
+        let mut full_sampler = TierSampler::new(TierId::App, HpcModel::testbed(), 99);
+        let mut full_wire = Vec::new();
+        while let SourcePoll::Ready(s) = full.next_sample() {
+            assert!(!s.warmup, "plain sources never warm up");
+            full_wire.push(full_sampler.wire_sample(s));
+        }
+        // …and a restarted agent resuming at seq 6: the first six
+        // samples come back marked warm-up, and after synthesizing
+        // them (never sending), the remaining wire samples — OS rows
+        // included, despite the stateful collector — are identical.
+        let mut resumed = ScriptedSource::with_start_seq(TierId::App, samples, 6);
+        let mut resumed_sampler = TierSampler::new(TierId::App, HpcModel::testbed(), 99);
+        let mut resumed_wire = Vec::new();
+        while let SourcePoll::Ready(s) = resumed.next_sample() {
+            assert_eq!(s.warmup, s.seq < 6, "seq {}", s.seq);
+            let warmup = s.warmup;
+            let ws = resumed_sampler.wire_sample(s);
+            if !warmup {
+                resumed_wire.push(ws);
+            }
+        }
+        assert_eq!(resumed_wire, full_wire[6..].to_vec());
     }
 }

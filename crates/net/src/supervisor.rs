@@ -1,0 +1,949 @@
+//! Collector supervision: a health state machine over telemetry
+//! quality, safe-mode admission, periodic snapshotting, and
+//! resume-from-snapshot.
+//!
+//! The plain [`run_collector`](crate::collector::run_collector) trusts
+//! its inputs: every surviving window becomes a prediction, and whoever
+//! consumes those predictions (the admission controller) steers traffic
+//! as if the telemetry plane were healthy. This module wraps the same
+//! assembler in a **supervisor** that watches observable quality
+//! signals — the poisoned-window rate over a sliding window of recent
+//! window outcomes, reconnect storms, stale sessions — and walks a
+//! three-state machine:
+//!
+//! ```text
+//!            poison rate ≥ degraded threshold,
+//!            reconnect storm, or stale session          poison rate
+//!  +---------+ ----------------------------> +----------+ ≥ safe  +----------+
+//!  | Healthy |                               | Degraded | ------> | SafeMode |
+//!  +---------+ <---- clean streak ---------- +----------+         +----------+
+//!       ^                                                              |
+//!       +----- clean streak (one level per streak, with hysteresis) ---+
+//! ```
+//!
+//! Admission policy per state:
+//!
+//! * **Healthy** — predictions drive the AIMD controller normally.
+//! * **Degraded** — predictions are *recorded but not trusted*: the cap
+//!   holds. The meter still sees every clean window (its temporal
+//!   history must track reality for the recovery to be seamless).
+//! * **SafeMode** — on entry the cap is clamped to a conservative
+//!   floor; it holds there until health recovers.
+//!
+//! Recovery is hysteretic: a streak of `recover_after` consecutive
+//! clean windows steps the state down one level (SafeMode → Degraded →
+//! Healthy), and the streak resets on every step, so one good window
+//! after a storm never re-opens the throttle.
+//!
+//! Every `snapshot_every` emitted windows the supervisor persists a
+//! [`CollectorSnapshot`] (meter + admission + assembler boundary state
+//! + health) via the crash-safe snapshot envelope; a restarted
+//! collector resumes from it. A snapshot that fails integrity checks is
+//! *rejected*: the collector starts fresh — in SafeMode, because losing
+//! state is itself a degraded condition — instead of panicking.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use webcap_core::snapshot::{
+    read_snapshot, write_snapshot_with_retry, MeterSnapshot, SnapshotError, SnapshotHeader,
+};
+use webcap_core::{AdmissionController, CapacityMeter, OnlineDecision, RetryPolicy};
+use webcap_sim::TierId;
+
+use crate::collector::{accept_loop, Assembler, AssemblerState, CollectorConfig, Event};
+use crate::transport::Listener;
+
+/// Collector health, ordered by severity (the derived `Ord` follows
+/// declaration order, so `max` escalates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Telemetry quality is good; predictions drive admission.
+    Healthy,
+    /// Quality is suspect (losses, churn, or staleness); predictions
+    /// are recorded but the admission cap holds.
+    Degraded,
+    /// Quality collapsed (or state was lost); admission is clamped to
+    /// the conservative safe cap.
+    SafeMode,
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::SafeMode => "safe-mode",
+        })
+    }
+}
+
+/// Supervisor policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Sliding window of recent window outcomes (emitted vs. poisoned)
+    /// the poison rate is computed over.
+    pub quality_window: usize,
+    /// Poison rate (fraction of recent outcomes) at or above which the
+    /// state escalates to at least Degraded.
+    pub degraded_poison_rate: f64,
+    /// Poison rate at or above which the state escalates to SafeMode.
+    pub safe_poison_rate: f64,
+    /// Minimum outcomes observed before the SafeMode rate triggers
+    /// (one early poisoned window must not slam the throttle shut).
+    pub min_observations: usize,
+    /// Reconnects within the sliding window that count as a storm
+    /// (escalates to at least Degraded).
+    pub reconnect_storm: usize,
+    /// Consecutive clean (emitted) windows required to step the health
+    /// state down one level.
+    pub recover_after: usize,
+    /// The admission cap SafeMode clamps to (further clamped into the
+    /// controller's own `[min_ebs, max_ebs]`).
+    pub safe_cap: u32,
+    /// Persist a snapshot every this many emitted windows (0 disables
+    /// periodic snapshots; a final snapshot is still written at
+    /// shutdown when a path is configured).
+    pub snapshot_every: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            quality_window: 8,
+            degraded_poison_rate: 0.25,
+            safe_poison_rate: 0.5,
+            min_observations: 4,
+            reconnect_storm: 3,
+            recover_after: 3,
+            safe_cap: 20,
+            snapshot_every: 2,
+        }
+    }
+}
+
+/// One health transition, for the audit log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthTransition {
+    /// Quality-event tick the transition happened at (monotonic count
+    /// of window outcomes, reconnects, and staleness events).
+    pub tick: u64,
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+/// The health state machine. Pure and deterministic: feed it window
+/// outcomes, reconnects, and staleness events; read the state.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    state: HealthState,
+    /// Recent window outcomes, `true` = poisoned; bounded to
+    /// `quality_window`.
+    recent: VecDeque<bool>,
+    /// Outcome-tick of each recent reconnect; pruned once older than
+    /// `quality_window` outcomes.
+    reconnect_marks: VecDeque<u64>,
+    /// Total window outcomes observed (the reconnect-pruning clock).
+    outcomes_seen: u64,
+    clean_streak: usize,
+    tick: u64,
+    transitions: Vec<HealthTransition>,
+}
+
+impl Supervisor {
+    /// A supervisor starting Healthy.
+    pub fn new(cfg: SupervisorConfig) -> Supervisor {
+        Supervisor {
+            cfg,
+            state: HealthState::Healthy,
+            recent: VecDeque::new(),
+            reconnect_marks: VecDeque::new(),
+            outcomes_seen: 0,
+            clean_streak: 0,
+            tick: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// A supervisor starting in `state` (e.g. after a resume), with the
+    /// initial transition recorded when the state is not Healthy.
+    pub fn with_initial(cfg: SupervisorConfig, state: HealthState, reason: &str) -> Supervisor {
+        let mut s = Supervisor::new(cfg);
+        if state != HealthState::Healthy {
+            s.transitions.push(HealthTransition {
+                tick: 0,
+                from: HealthState::Healthy,
+                to: state,
+                reason: reason.to_string(),
+            });
+            s.state = state;
+        }
+        s
+    }
+
+    /// Current health.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// The policy knobs.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    /// The transition log so far.
+    pub fn transitions(&self) -> &[HealthTransition] {
+        &self.transitions
+    }
+
+    /// Poison rate over the sliding window.
+    pub fn poison_rate(&self) -> f64 {
+        if self.recent.is_empty() {
+            return 0.0;
+        }
+        self.recent.iter().filter(|&&p| p).count() as f64 / self.recent.len() as f64
+    }
+
+    fn transition(&mut self, to: HealthState, reason: String) {
+        if to == self.state {
+            return;
+        }
+        self.transitions.push(HealthTransition {
+            tick: self.tick,
+            from: self.state,
+            to,
+            reason,
+        });
+        self.state = to;
+    }
+
+    /// The state the quality signals demand right now (ignoring
+    /// hysteresis — de-escalation additionally needs a clean streak).
+    fn desired(&self) -> HealthState {
+        let n = self.recent.len();
+        let rate = self.poison_rate();
+        if n >= self.cfg.min_observations && rate >= self.cfg.safe_poison_rate {
+            return HealthState::SafeMode;
+        }
+        if (n > 0 && rate >= self.cfg.degraded_poison_rate)
+            || self.reconnect_marks.len() >= self.cfg.reconnect_storm
+        {
+            return HealthState::Degraded;
+        }
+        HealthState::Healthy
+    }
+
+    /// Escalate immediately if the signals demand a worse state than
+    /// the current one. Never de-escalates (that path runs only on
+    /// clean windows, with hysteresis).
+    fn escalate_if_needed(&mut self) {
+        let desired = self.desired();
+        if desired > self.state {
+            let reason = format!(
+                "poison rate {:.2} over {} outcomes, {} reconnects in window",
+                self.poison_rate(),
+                self.recent.len(),
+                self.reconnect_marks.len()
+            );
+            self.transition(desired, reason);
+        }
+    }
+
+    fn prune(&mut self) {
+        while self.recent.len() > self.cfg.quality_window.max(1) {
+            self.recent.pop_front();
+        }
+        let horizon = self
+            .outcomes_seen
+            .saturating_sub(self.cfg.quality_window.max(1) as u64);
+        while self
+            .reconnect_marks
+            .front()
+            .is_some_and(|&mark| mark < horizon)
+        {
+            self.reconnect_marks.pop_front();
+        }
+    }
+
+    /// An agent reconnected (any session after a tier's first).
+    pub fn on_reconnect(&mut self) {
+        self.tick += 1;
+        self.clean_streak = 0;
+        self.reconnect_marks.push_back(self.outcomes_seen);
+        self.prune();
+        self.escalate_if_needed();
+    }
+
+    /// No events arrived within the collector's read horizon while
+    /// sessions were live — the plane is stale.
+    pub fn on_stale(&mut self) {
+        self.tick += 1;
+        self.clean_streak = 0;
+        if self.state == HealthState::Healthy {
+            self.transition(
+                HealthState::Degraded,
+                "stale telemetry: no events within the read horizon".to_string(),
+            );
+        }
+    }
+
+    /// A window completed and was emitted (a clean outcome). May step
+    /// the health state *down* one level when the clean streak clears
+    /// the hysteresis bar.
+    pub fn on_window_emitted(&mut self) {
+        self.tick += 1;
+        self.outcomes_seen += 1;
+        self.recent.push_back(false);
+        self.clean_streak += 1;
+        self.prune();
+        self.escalate_if_needed();
+        let desired = self.desired();
+        if self.state > desired && self.clean_streak >= self.cfg.recover_after.max(1) {
+            let next = match self.state {
+                HealthState::SafeMode => HealthState::Degraded,
+                _ => HealthState::Healthy,
+            };
+            let next = next.max(desired);
+            let reason = format!(
+                "clean streak of {} windows (poison rate {:.2})",
+                self.clean_streak,
+                self.poison_rate()
+            );
+            self.clean_streak = 0;
+            self.transition(next, reason);
+        }
+    }
+
+    /// A window was poisoned (loss, reconnect straddle, or protocol
+    /// violation touched it).
+    pub fn on_window_poisoned(&mut self) {
+        self.tick += 1;
+        self.outcomes_seen += 1;
+        self.recent.push_back(true);
+        self.clean_streak = 0;
+        self.prune();
+        self.escalate_if_needed();
+    }
+}
+
+/// One admission step in the audit trace: which window, under which
+/// health, whether the prediction was allowed to drive the cap, and the
+/// cap after the step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionPoint {
+    /// Window index the decision came from (or -1 for a SafeMode clamp
+    /// not tied to a window).
+    pub window: i64,
+    /// Health at the moment of the step.
+    pub health: HealthState,
+    /// Whether the meter's prediction drove the cap (true only when
+    /// Healthy).
+    pub from_prediction: bool,
+    /// Admission cap after the step.
+    pub cap: u32,
+}
+
+/// Everything a supervised collector persists: the meter-side state,
+/// the assembler's boundary state, and the health at snapshot time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectorSnapshot {
+    /// Meter, admission controller, and monitor counters.
+    pub state: MeterSnapshot,
+    /// Assembler boundary state (stream positions, ledgers).
+    pub assembler: AssemblerState,
+    /// Window origin the assembler was anchored at.
+    pub origin: i64,
+    /// Health at snapshot time.
+    pub health: HealthState,
+}
+
+/// How a supervised collector started.
+#[derive(Debug)]
+pub enum ResumeOutcome {
+    /// No snapshot was configured or none existed; fresh start.
+    Fresh,
+    /// A snapshot loaded and verified; state restored.
+    Resumed {
+        /// The verified envelope header.
+        header: SnapshotHeader,
+        /// Restored monitor sample counter.
+        samples_seen: u64,
+        /// Restored monitor decision counter.
+        decisions_made: u64,
+        /// Windows already emitted before the restart.
+        emitted_windows: usize,
+    },
+    /// A snapshot existed but failed verification; fresh start in
+    /// SafeMode.
+    Rejected(SnapshotError),
+}
+
+/// End-of-run account of a supervised collector.
+#[derive(Debug)]
+pub struct SupervisedReport {
+    /// Emitted decisions, in window order (this process's run only —
+    /// windows emitted before a restart are in the snapshot ledger).
+    pub decisions: Vec<(i64, OnlineDecision)>,
+    /// Windows quarantined by gaps or reconnections.
+    pub poisoned_windows: Vec<i64>,
+    /// Windows still partially buffered at shutdown.
+    pub pending_windows: Vec<i64>,
+    /// Protocol-order surprises survived.
+    pub anomalies: u64,
+    /// Sessions accepted per tier.
+    pub sessions: [u64; 2],
+    /// Sample frames received per tier.
+    pub samples: [u64; 2],
+    /// Connections refused at handshake.
+    pub rejected_handshakes: u64,
+    /// Final health state.
+    pub health: HealthState,
+    /// The full health-transition log.
+    pub transitions: Vec<HealthTransition>,
+    /// The admission audit trace, one point per cap-affecting step.
+    pub admission_trace: Vec<AdmissionPoint>,
+    /// Admission cap at shutdown.
+    pub final_cap: u32,
+    /// Monitor lifetime sample counter (cumulative across resumes).
+    pub samples_seen: u64,
+    /// Monitor lifetime decision counter (cumulative across resumes).
+    pub decisions_made: u64,
+    /// Snapshots successfully written this run.
+    pub snapshots_written: u64,
+    /// Snapshot write failures (never fatal; the run continues).
+    pub snapshot_errors: Vec<String>,
+    /// How this run started.
+    pub resume: ResumeOutcome,
+}
+
+/// The supervised assembler: drives an [`Assembler`], a [`Supervisor`],
+/// and an [`AdmissionController`] from the same event stream, with
+/// periodic crash-safe snapshots. Deterministic given the event
+/// sequence — the chaos harness drives it directly.
+pub struct SupervisedCollector {
+    assembler: Assembler,
+    supervisor: Supervisor,
+    admission: AdmissionController,
+    snapshot_path: Option<PathBuf>,
+    snapshot_retry: RetryPolicy,
+    seed: u64,
+    origin: i64,
+    sessions: [u64; 2],
+    samples: [u64; 2],
+    rejected: u64,
+    decisions: Vec<(i64, OnlineDecision)>,
+    admission_trace: Vec<AdmissionPoint>,
+    /// Poisoned-window count already accounted to the supervisor.
+    known_poisoned: usize,
+    last_health: HealthState,
+    /// Tiers that had a live session before the restart this run
+    /// resumed from (their next connect is a *re*connect).
+    resumed_had_session: [bool; 2],
+    emitted_since_snapshot: u64,
+    snapshots_written: u64,
+    snapshot_errors: Vec<String>,
+    resume: ResumeOutcome,
+}
+
+impl SupervisedCollector {
+    /// Build a supervised collector. When `resume` is set and
+    /// `snapshot_path` names a verifiable snapshot, state is restored
+    /// from it (the `meter` argument is the fallback for fresh starts);
+    /// a corrupt snapshot starts fresh in SafeMode with the cap
+    /// clamped.
+    pub fn start(
+        meter: CapacityMeter,
+        origin: i64,
+        sup_cfg: SupervisorConfig,
+        admission: AdmissionController,
+        snapshot_path: Option<&Path>,
+        resume: bool,
+    ) -> SupervisedCollector {
+        let safe_cap = sup_cfg.safe_cap;
+        let (assembler, supervisor, admission, resume_outcome, resumed_had_session) =
+            match snapshot_path {
+                Some(path) if resume && path.exists() => {
+                    match read_snapshot::<CollectorSnapshot>(path) {
+                        Ok((snap, header)) => {
+                            let assembler = Assembler::resume(
+                                snap.state.meter,
+                                snap.origin,
+                                &snap.assembler,
+                                snap.state.samples_seen,
+                                snap.state.decisions_made,
+                            );
+                            // A restart is itself a telemetry
+                            // discontinuity: resume at least Degraded,
+                            // re-earning Healthy through the clean-streak
+                            // hysteresis.
+                            let floor = snap.health.max(HealthState::Degraded);
+                            let supervisor =
+                                Supervisor::with_initial(sup_cfg, floor, "resumed from snapshot");
+                            let outcome = ResumeOutcome::Resumed {
+                                header,
+                                samples_seen: snap.state.samples_seen,
+                                decisions_made: snap.state.decisions_made,
+                                emitted_windows: snap.assembler.emitted.len(),
+                            };
+                            (
+                                assembler,
+                                supervisor,
+                                snap.state.admission,
+                                outcome,
+                                snap.assembler.had_session,
+                            )
+                        }
+                        Err(e) => {
+                            let mut admission = admission;
+                            admission.clamp_to(safe_cap);
+                            let supervisor = Supervisor::with_initial(
+                                sup_cfg,
+                                HealthState::SafeMode,
+                                "snapshot rejected: starting fresh with no trusted state",
+                            );
+                            (
+                                Assembler::new(meter, origin),
+                                supervisor,
+                                admission,
+                                ResumeOutcome::Rejected(e),
+                                [false, false],
+                            )
+                        }
+                    }
+                }
+                _ => (
+                    Assembler::new(meter, origin),
+                    Supervisor::new(sup_cfg),
+                    admission,
+                    ResumeOutcome::Fresh,
+                    [false, false],
+                ),
+            };
+        let last_health = supervisor.state();
+        let mut this = SupervisedCollector {
+            assembler,
+            supervisor,
+            admission,
+            snapshot_path: snapshot_path.map(Path::to_path_buf),
+            snapshot_retry: RetryPolicy::snapshot_io(),
+            seed: 0x736e_6170, // "snap": jitter seed for snapshot IO retries
+            origin,
+            sessions: [0, 0],
+            samples: [0, 0],
+            rejected: 0,
+            decisions: Vec::new(),
+            admission_trace: Vec::new(),
+            known_poisoned: 0,
+            last_health,
+            resumed_had_session,
+            emitted_since_snapshot: 0,
+            snapshots_written: 0,
+            snapshot_errors: Vec::new(),
+            resume: resume_outcome,
+        };
+        this.known_poisoned = this.assembler.poisoned_windows().len();
+        if matches!(this.resume, ResumeOutcome::Rejected(_)) {
+            // Record the clamp the rejected-snapshot path applied.
+            this.admission_trace.push(AdmissionPoint {
+                window: -1,
+                health: HealthState::SafeMode,
+                from_prediction: false,
+                cap: this.admission.cap(),
+            });
+        }
+        this
+    }
+
+    /// Current health.
+    pub fn health(&self) -> HealthState {
+        self.supervisor.state()
+    }
+
+    /// Current admission cap.
+    pub fn cap(&self) -> u32 {
+        self.admission.cap()
+    }
+
+    /// Decisions emitted so far this run.
+    pub fn decisions(&self) -> &[(i64, OnlineDecision)] {
+        &self.decisions
+    }
+
+    /// Number of decisions emitted so far this run.
+    pub fn decisions_len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// How this run started.
+    pub fn resume_outcome(&self) -> &ResumeOutcome {
+        &self.resume
+    }
+
+    /// Feed newly poisoned windows to the supervisor and react to any
+    /// health change. Runs after every assembler-touching event;
+    /// within one event all poisonings precede any emission, so
+    /// accounting poisons first keeps supervisor order faithful.
+    fn after_event(&mut self) {
+        let poisoned_now = self.assembler.poisoned_windows().len();
+        for _ in self.known_poisoned..poisoned_now {
+            self.supervisor.on_window_poisoned();
+        }
+        self.known_poisoned = poisoned_now;
+        self.sync_health();
+    }
+
+    /// Apply state-entry side effects when health changed: entering
+    /// SafeMode clamps the cap.
+    fn sync_health(&mut self) {
+        let health = self.supervisor.state();
+        if health == self.last_health {
+            return;
+        }
+        if health == HealthState::SafeMode {
+            let cap = self.admission.clamp_to(self.supervisor.config().safe_cap);
+            self.admission_trace.push(AdmissionPoint {
+                window: -1,
+                health,
+                from_prediction: false,
+                cap,
+            });
+        }
+        self.last_health = health;
+    }
+
+    /// One emitted decision: tell the supervisor, then let the
+    /// prediction drive admission iff Healthy.
+    fn note_decision(&mut self, window: i64, decision: OnlineDecision) {
+        self.supervisor.on_window_emitted();
+        self.sync_health();
+        let health = self.supervisor.state();
+        let (cap, from_prediction) = if health == HealthState::Healthy {
+            (
+                self.admission.on_prediction(decision.prediction.overloaded),
+                true,
+            )
+        } else {
+            // Degraded/SafeMode: record, don't trust — the cap holds.
+            (self.admission.cap(), false)
+        };
+        self.admission_trace.push(AdmissionPoint {
+            window,
+            health,
+            from_prediction,
+            cap,
+        });
+        self.decisions.push((window, decision));
+        let every = self.supervisor.config().snapshot_every;
+        self.emitted_since_snapshot += 1;
+        if every > 0 && self.emitted_since_snapshot >= every {
+            self.write_snapshot_now();
+        }
+    }
+
+    /// Persist the current state. Failures are recorded, never fatal —
+    /// a collector that cannot write its snapshot must keep measuring.
+    fn write_snapshot_now(&mut self) {
+        let Some(path) = self.snapshot_path.clone() else {
+            return;
+        };
+        let (samples_seen, decisions_made) = self.assembler.monitor_counters();
+        let snap = CollectorSnapshot {
+            state: MeterSnapshot {
+                meter: self.assembler.meter().clone(),
+                admission: self.admission,
+                samples_seen,
+                decisions_made,
+            },
+            assembler: self.assembler.export_state(),
+            origin: self.origin,
+            health: self.supervisor.state(),
+        };
+        match write_snapshot_with_retry(&path, &snap, &self.snapshot_retry, self.seed) {
+            Ok(_) => {
+                self.snapshots_written += 1;
+                self.emitted_since_snapshot = 0;
+            }
+            Err(e) => self.snapshot_errors.push(e.to_string()),
+        }
+    }
+
+    /// A tier's session started (or restarted).
+    pub fn on_session_start(&mut self, tier: TierId) {
+        let t = tier.index();
+        let is_reconnect = self.sessions[t] > 0 || self.resumed_had_session[t];
+        self.sessions[t] += 1;
+        self.assembler.on_session_start(tier);
+        if is_reconnect {
+            self.supervisor.on_reconnect();
+        }
+        self.after_event();
+    }
+
+    /// One sample arrived.
+    pub fn on_sample(&mut self, tier: TierId, ws: crate::frame::WireSample) {
+        self.samples[tier.index()] += 1;
+        let mut fresh: Vec<(i64, OnlineDecision)> = Vec::new();
+        self.assembler
+            .on_sample(tier, ws, &mut |w, d| fresh.push((w, d.clone())));
+        // Poisonings this event precede its emissions (the assembler
+        // poisons on the *arriving* sample before any window completes).
+        self.after_event();
+        for (w, d) in fresh {
+            self.note_decision(w, d);
+        }
+        self.sync_health();
+    }
+
+    /// A tier said `Bye`.
+    pub fn on_bye(&mut self, tier: TierId, last_seq: u64) {
+        self.assembler.on_bye(tier, last_seq);
+        self.after_event();
+    }
+
+    /// The event loop timed out with live sessions — stale telemetry.
+    pub fn on_stale(&mut self) {
+        self.supervisor.on_stale();
+        self.sync_health();
+    }
+
+    /// A connection was refused at handshake.
+    pub fn on_rejected(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Finish the run: write a final snapshot (when configured) and
+    /// produce the report.
+    pub fn finish(mut self) -> SupervisedReport {
+        if self.snapshot_path.is_some() {
+            self.write_snapshot_now();
+        }
+        let (samples_seen, decisions_made) = self.assembler.monitor_counters();
+        SupervisedReport {
+            poisoned_windows: self.assembler.poisoned_windows(),
+            pending_windows: self.assembler.pending_windows(),
+            anomalies: self.assembler.anomalies(),
+            decisions: self.decisions,
+            sessions: self.sessions,
+            samples: self.samples,
+            rejected_handshakes: self.rejected,
+            health: self.supervisor.state(),
+            transitions: self.supervisor.transitions().to_vec(),
+            admission_trace: self.admission_trace,
+            final_cap: self.admission.cap(),
+            samples_seen,
+            decisions_made,
+            snapshots_written: self.snapshots_written,
+            snapshot_errors: self.snapshot_errors,
+            resume: self.resume,
+        }
+    }
+}
+
+/// Run a supervised collector on a bound listener: the socketed wiring
+/// of [`run_collector`](crate::collector::run_collector) around a
+/// [`SupervisedCollector`]. Each emitted decision is also streamed to
+/// `on_decision`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_collector(
+    listener: Listener,
+    meter: CapacityMeter,
+    cfg: &CollectorConfig,
+    sup_cfg: SupervisorConfig,
+    admission: AdmissionController,
+    snapshot_path: Option<&Path>,
+    resume: bool,
+    mut on_decision: impl FnMut(i64, &OnlineDecision),
+) -> io::Result<SupervisedReport> {
+    let (tx, rx) = mpsc::channel();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_handle = {
+        let cfg = cfg.clone();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || accept_loop(listener, cfg, tx, shutdown))
+    };
+
+    let mut sc = SupervisedCollector::start(
+        meter,
+        cfg.window_origin,
+        sup_cfg,
+        admission,
+        snapshot_path,
+        resume,
+    );
+    let mut byes: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    let mut active: i64 = 0;
+
+    loop {
+        match rx.recv_timeout(cfg.idle_timeout) {
+            Ok(Event::SessionStart { tier }) => {
+                active += 1;
+                sc.on_session_start(tier);
+            }
+            Ok(Event::Sample { tier, ws }) => {
+                let before = sc.decisions_len();
+                sc.on_sample(tier, *ws);
+                for (w, d) in sc.decisions()[before..].to_vec() {
+                    on_decision(w, &d);
+                }
+            }
+            Ok(Event::Bye { tier, last_seq }) => {
+                sc.on_bye(tier, last_seq);
+                byes.insert(tier.index());
+                if byes.len() >= cfg.expected_tiers {
+                    break;
+                }
+            }
+            Ok(Event::SessionEnd { .. }) => {
+                active -= 1;
+            }
+            Ok(Event::Rejected) => {
+                sc.on_rejected();
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if active <= 0 {
+                    break;
+                }
+                sc.on_stale();
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    shutdown.store(true, Ordering::Relaxed);
+    let _ = accept_handle.join();
+
+    Ok(sc.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SupervisorConfig {
+        SupervisorConfig::default()
+    }
+
+    #[test]
+    fn health_severity_order_escalates_with_max() {
+        assert!(HealthState::Degraded > HealthState::Healthy);
+        assert!(HealthState::SafeMode > HealthState::Degraded);
+        assert_eq!(
+            HealthState::Healthy.max(HealthState::Degraded),
+            HealthState::Degraded
+        );
+    }
+
+    #[test]
+    fn poison_rate_escalates_to_degraded_then_safemode() {
+        let mut s = Supervisor::new(cfg());
+        assert_eq!(s.state(), HealthState::Healthy);
+        // One poisoned window out of one: rate 1.0 ≥ 0.25 → Degraded,
+        // but n < min_observations keeps SafeMode locked out.
+        s.on_window_poisoned();
+        assert_eq!(s.state(), HealthState::Degraded);
+        s.on_window_emitted();
+        s.on_window_poisoned();
+        // Four outcomes, two poisoned: rate 0.5 ≥ 0.5 with n ≥ 4 → SafeMode.
+        s.on_window_poisoned();
+        assert_eq!(s.state(), HealthState::SafeMode);
+        assert!(s.transitions().len() >= 2);
+    }
+
+    #[test]
+    fn recovery_is_hysteretic_and_steps_one_level() {
+        let mut s = Supervisor::new(cfg());
+        for _ in 0..4 {
+            s.on_window_poisoned();
+        }
+        assert_eq!(s.state(), HealthState::SafeMode);
+        // Clean windows 1–4: the streak clears the bar (recover_after=3)
+        // but the sliding rate (4 poisons of ≤8 outcomes ≥ 0.5) still
+        // *demands* SafeMode, so no step down yet.
+        for _ in 0..4 {
+            s.on_window_emitted();
+            assert_eq!(s.state(), HealthState::SafeMode);
+        }
+        // Clean window 5 ages the first poison out (rate 3/8 < 0.5) and
+        // the accumulated streak steps exactly one level down.
+        s.on_window_emitted();
+        assert_eq!(s.state(), HealthState::Degraded);
+        // Windows 6–7 dilute further (rate < 0.25 at window 7) but the
+        // streak reset on the step; window 8 completes a fresh streak
+        // of 3 and recovers Healthy.
+        s.on_window_emitted();
+        s.on_window_emitted();
+        assert_eq!(s.state(), HealthState::Degraded);
+        s.on_window_emitted();
+        assert_eq!(s.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn a_poisoned_window_resets_the_clean_streak() {
+        let mut s = Supervisor::new(cfg());
+        for _ in 0..4 {
+            s.on_window_poisoned();
+        }
+        assert_eq!(s.state(), HealthState::SafeMode);
+        s.on_window_emitted();
+        s.on_window_emitted();
+        s.on_window_poisoned();
+        s.on_window_emitted();
+        s.on_window_emitted();
+        // Streak broke at the poison; only two clean since.
+        assert_eq!(s.state(), HealthState::SafeMode);
+    }
+
+    #[test]
+    fn reconnect_storm_degrades_and_old_reconnects_age_out() {
+        let mut s = Supervisor::new(cfg());
+        s.on_reconnect();
+        s.on_reconnect();
+        assert_eq!(s.state(), HealthState::Healthy, "two reconnects tolerated");
+        s.on_reconnect();
+        assert_eq!(s.state(), HealthState::Degraded, "three is a storm");
+        // A full quality window of clean outcomes ages the marks out
+        // and recovers.
+        for _ in 0..cfg().quality_window + 1 {
+            s.on_window_emitted();
+        }
+        assert_eq!(s.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn staleness_degrades_from_healthy_only() {
+        let mut s = Supervisor::new(cfg());
+        s.on_stale();
+        assert_eq!(s.state(), HealthState::Degraded);
+        let transitions_before = s.transitions().len();
+        s.on_stale();
+        assert_eq!(s.state(), HealthState::Degraded);
+        assert_eq!(s.transitions().len(), transitions_before, "no churn");
+    }
+
+    #[test]
+    fn with_initial_records_the_non_healthy_start() {
+        let s = Supervisor::with_initial(cfg(), HealthState::SafeMode, "testing");
+        assert_eq!(s.state(), HealthState::SafeMode);
+        assert_eq!(s.transitions().len(), 1);
+        assert_eq!(s.transitions()[0].reason, "testing");
+        let h = Supervisor::with_initial(cfg(), HealthState::Healthy, "noop");
+        assert!(h.transitions().is_empty());
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(HealthState::Healthy.to_string(), "healthy");
+        assert_eq!(HealthState::Degraded.to_string(), "degraded");
+        assert_eq!(HealthState::SafeMode.to_string(), "safe-mode");
+    }
+}

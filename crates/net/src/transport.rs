@@ -100,9 +100,9 @@ impl Listener {
             #[cfg(unix)]
             Listener::Unix(l) => {
                 let addr = l.local_addr()?;
-                let path = addr.as_pathname().ok_or_else(|| {
-                    io::Error::new(io::ErrorKind::Other, "unnamed unix listener")
-                })?;
+                let path = addr
+                    .as_pathname()
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::Other, "unnamed unix listener"))?;
                 Ok(Endpoint::Unix(path.to_path_buf()))
             }
         }

@@ -10,12 +10,17 @@
 //! CI can sweep other knob values through the same assertions.
 
 use std::collections::BTreeSet;
+use std::io::Write;
 use std::time::Duration;
 
-use webcap_core::{CapacityMeter, MeterConfig};
+use webcap_core::{AdmissionConfig, AdmissionController, CapacityMeter, MeterConfig};
+use webcap_net::collector::{run_collector, CollectorConfig};
+use webcap_net::frame::{read_frame, Frame};
 use webcap_net::loopback::{
-    all_windows, predicted_surviving_windows, replay_windows, run_loopback,
+    all_windows, predicted_surviving_windows, replay_windows, run_loopback, run_supervised_loopback,
 };
+use webcap_net::supervisor::{HealthState, SupervisorConfig};
+use webcap_net::transport::{Conn, Listener};
 use webcap_net::{Endpoint, FaultKnobs};
 use webcap_sim::{Simulation, SystemSample};
 use webcap_tpcw::{Mix, TrafficProgram};
@@ -160,4 +165,159 @@ fn dropped_frames_and_forced_reconnects_poison_exactly_the_gapped_windows() {
         decisions_json(&baseline),
         "surviving-window predictions are byte-identical to the in-process monitor"
     );
+}
+
+#[test]
+fn a_rogue_connection_is_rejected_and_the_run_completes() {
+    let meter = trained_meter();
+    let samples = steady_samples(&meter)[..60].to_vec();
+    let listener = Listener::bind(&Endpoint::parse("127.0.0.1:0").expect("tcp endpoint"))
+        .expect("listener binds");
+    let dial = listener.local_endpoint().expect("bound endpoint");
+    let cfg = CollectorConfig::default();
+
+    let out = std::thread::scope(|scope| {
+        let meter_clone = meter.clone();
+        let cfg_ref = &cfg;
+        let collector =
+            scope.spawn(move || run_collector(listener, meter_clone, cfg_ref, |_, _| {}));
+
+        // A peer that speaks HTTP at a telemetry port: the collector
+        // must answer with a typed Reject and keep serving, not panic
+        // or wedge the accept loop.
+        let mut rogue = Conn::connect(&dial).expect("rogue connects");
+        rogue
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout set");
+        rogue
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: collector\r\n\r\n")
+            .expect("garbage written");
+        match read_frame(&mut rogue).expect("collector answers the rogue peer") {
+            Frame::Reject { reason } => {
+                assert!(reason.contains("malformed handshake"), "{reason}");
+            }
+            other => panic!("expected Reject, got {other:?}"),
+        }
+        drop(rogue);
+
+        // Real agents on the same listener still complete the run.
+        let mut agent_handles = Vec::new();
+        for tier in webcap_sim::TierId::ALL {
+            let dial = dial.clone();
+            let hpc_model = meter.config().hpc_model.clone();
+            let tier_samples = samples.clone();
+            agent_handles.push(scope.spawn(move || {
+                let cfg = webcap_net::AgentConfig::new(tier, dial, BASE_SEED);
+                let mut source = webcap_net::ScriptedSource::new(tier, tier_samples);
+                webcap_net::run_agent(&cfg, hpc_model, &mut source)
+            }));
+        }
+        for handle in agent_handles {
+            handle
+                .join()
+                .expect("agent thread completes")
+                .expect("agent runs");
+        }
+        collector
+            .join()
+            .expect("collector thread completes")
+            .expect("collector runs")
+    });
+
+    assert_eq!(out.rejected_handshakes, 1, "the rogue peer was counted");
+    let emitted: Vec<i64> = out.decisions.iter().map(|(w, _)| *w).collect();
+    assert_eq!(emitted, vec![0, 1], "real traffic was unaffected");
+    assert!(out.poisoned_windows.is_empty());
+}
+
+#[test]
+fn supervised_plane_matches_the_oracle_and_never_admits_from_suspect_state() {
+    // Same knob-sensitive contract as the unsupervised matrix test,
+    // plus the supervision invariants: predictions only drive admission
+    // while Healthy, and never from a loss-touched window.
+    let env_knobs = FaultKnobs::try_from_env().expect("fault matrix sets valid knob values");
+    let faults = if env_knobs.any() {
+        env_knobs
+    } else {
+        FaultKnobs {
+            drop_every: Some(37),
+            delay: Some(Duration::from_millis(1)),
+            reconnect_every: Some(101),
+        }
+    };
+
+    let meter = trained_meter();
+    let window_len = meter.config().window_len;
+    let samples = steady_samples(&meter);
+    let (survivors, poisoned) =
+        predicted_surviving_windows(TOTAL_SAMPLES as u64, &faults, window_len, 1);
+
+    let admission =
+        AdmissionController::try_new(AdmissionConfig::default(), 400).expect("valid config");
+    let sup_cfg = SupervisorConfig::default();
+    let (report, _agents) = run_supervised_loopback(
+        &meter,
+        &samples,
+        &Endpoint::parse("127.0.0.1:0").expect("tcp endpoint"),
+        BASE_SEED,
+        faults,
+        sup_cfg,
+        admission,
+        None,
+        false,
+        0,
+    )
+    .expect("supervised loopback survives induced faults");
+
+    let emitted: BTreeSet<i64> = report.decisions.iter().map(|(w, _)| *w).collect();
+    assert_eq!(
+        emitted, survivors,
+        "the supervised assembler emits exactly the oracle's survivors"
+    );
+    let quarantined: BTreeSet<i64> = report.poisoned_windows.iter().copied().collect();
+    assert_eq!(quarantined, poisoned);
+
+    let baseline = replay_windows(&meter, &samples, BASE_SEED, &survivors);
+    assert_eq!(
+        decisions_json(&report.decisions),
+        decisions_json(&baseline),
+        "supervision never alters the decision stream itself"
+    );
+
+    // Admission purity: a prediction drives the cap only while Healthy,
+    // and only ever from a window the oracle says survived.
+    let (min_ebs, max_ebs) = (
+        AdmissionConfig::default().min_ebs,
+        AdmissionConfig::default().max_ebs,
+    );
+    for point in &report.admission_trace {
+        assert!(
+            (min_ebs..=max_ebs).contains(&point.cap),
+            "cap {} escaped [{min_ebs}, {max_ebs}]",
+            point.cap
+        );
+        if point.from_prediction {
+            assert_eq!(
+                point.health,
+                HealthState::Healthy,
+                "window {} drove the cap while {}",
+                point.window,
+                point.health
+            );
+            assert!(
+                survivors.contains(&point.window),
+                "window {} drove the cap but is not an oracle survivor",
+                point.window
+            );
+        }
+    }
+    // Every emitted window left exactly one trace point.
+    let traced: Vec<i64> = report
+        .admission_trace
+        .iter()
+        .filter(|p| p.window >= 0)
+        .map(|p| p.window)
+        .collect();
+    let emitted_in_order: Vec<i64> = report.decisions.iter().map(|(w, _)| *w).collect();
+    assert_eq!(traced, emitted_in_order);
 }
