@@ -1,5 +1,5 @@
 //! The CLI subcommands: simulate, train, evaluate, info, plan, agent,
-//! collect, snapshot, bench.
+//! collect, snapshot, bench, lint.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -661,6 +661,65 @@ pub fn bench(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `webcap lint` — run the workspace invariant analyzer and diff its
+/// findings against the committed baseline allowlist.
+pub fn lint(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["root", "format", "baseline", "out", "write-baseline"])?;
+    let root = PathBuf::from(args.get_or("root", "."));
+    let format = args.get_or("format", "human");
+    if format != "human" && format != "json" {
+        return Err(CliError::Message(format!(
+            "unknown format '{format}' (expected human or json)"
+        )));
+    }
+    let baseline_path = args.get_or("baseline", "lint-baseline.toml");
+
+    if args.flag("write-baseline") {
+        let findings =
+            webcap_lint::all_findings(&root).map_err(|e| CliError::Message(e.to_string()))?;
+        std::fs::write(baseline_path, webcap_lint::Baseline::render(&findings))?;
+        println!(
+            "baseline with {} finding(s) written to {baseline_path}; \
+             record why each is accepted in its `note`",
+            findings.len()
+        );
+        return Ok(());
+    }
+
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => webcap_lint::Baseline::parse(&text)
+            .map_err(|e| CliError::Message(format!("{baseline_path}: {e}")))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => webcap_lint::Baseline::default(),
+        Err(e) => return Err(CliError::Io(e)),
+    };
+    let report = webcap_lint::lint_workspace(&root, &baseline)
+        .map_err(|e| CliError::Message(e.to_string()))?;
+    let rendered = match format {
+        "json" => webcap_lint::report::to_json(&report),
+        _ => webcap_lint::report::to_human(&report),
+    };
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered)?;
+            println!(
+                "lint report written to {path}: {} file(s), {} new finding(s), {} baselined",
+                report.files_scanned,
+                report.new_findings.len(),
+                report.baselined_findings.len()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    if report.failed() {
+        return Err(CliError::Message(format!(
+            "{} non-baselined lint finding(s); fix them or consciously \
+             accept them via --write-baseline",
+            report.new_findings.len()
+        )));
+    }
+    Ok(())
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 webcap — online capacity measurement of multi-tier websites (ICDCS'08 reproduction)
@@ -707,6 +766,12 @@ COMMANDS:
              [--quick|--full] [--out <file>] [--baseline <file>]
              (--baseline gates: exit nonzero if any bench median regresses
              more than WEBCAP_BENCH_TOLERANCE, default 0.25, past it)
+  lint       run the workspace invariant analyzer (determinism,
+             panic-safety, wire-protocol, and config-validation rules)
+             [--root <dir>] [--format human|json] [--out <file>]
+             [--baseline <file>] [--write-baseline]
+             (exits nonzero on any finding not recorded in the baseline,
+             default lint-baseline.toml; --write-baseline regenerates it)
 ";
 
 #[cfg(test)]

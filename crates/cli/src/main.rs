@@ -4,7 +4,7 @@
 
 use webcap_cli::args::Args;
 use webcap_cli::commands::{
-    agent, bench, collect, evaluate, info, plan, simulate, snapshot, train, CliError, USAGE,
+    agent, bench, collect, evaluate, info, lint, plan, simulate, snapshot, train, CliError, USAGE,
 };
 
 fn main() {
@@ -25,6 +25,7 @@ fn main() {
     let bare_flags: &[&str] = match command.as_str() {
         "bench" => &["quick", "full"],
         "collect" => &["resume"],
+        "lint" => &["write-baseline"],
         _ => &[],
     };
     let result = Args::parse(raw, bare_flags)
@@ -39,6 +40,7 @@ fn main() {
             "collect" => collect(&args),
             "snapshot" => snapshot(&args),
             "bench" => bench(&args),
+            "lint" => lint(&args),
             other => Err(CliError::Message(format!(
                 "unknown command '{other}'; run `webcap --help`"
             ))),

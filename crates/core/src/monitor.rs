@@ -63,24 +63,15 @@ impl std::fmt::Display for MetricLevel {
 
 /// Feature names for one (level, tier) metric family.
 pub fn feature_names(level: MetricLevel, tier: TierId) -> Vec<String> {
-    if level == MetricLevel::Combined {
-        let mut names = feature_names(MetricLevel::Os, tier);
-        names.extend(feature_names(MetricLevel::Hpc, tier));
-        return names;
-    }
-    let prefix = format!(
-        "{}_{}_",
-        tier.label().to_lowercase(),
-        match level {
-            MetricLevel::Os => "os",
-            MetricLevel::Hpc => "hpc",
-            MetricLevel::Combined => unreachable!("handled above"),
-        }
-    );
+    let tier_label = tier.label().to_lowercase();
     match level {
-        MetricLevel::Os => OsSample::feature_names(&prefix),
-        MetricLevel::Hpc => DerivedMetrics::feature_names(&prefix),
-        MetricLevel::Combined => unreachable!("handled above"),
+        MetricLevel::Combined => {
+            let mut names = feature_names(MetricLevel::Os, tier);
+            names.extend(feature_names(MetricLevel::Hpc, tier));
+            names
+        }
+        MetricLevel::Os => OsSample::feature_names(&format!("{tier_label}_os_")),
+        MetricLevel::Hpc => DerivedMetrics::feature_names(&format!("{tier_label}_hpc_")),
     }
 }
 

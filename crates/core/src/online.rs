@@ -184,6 +184,14 @@ impl OnlineMonitor {
             return None;
         }
 
+        // Window boundaries up front: an empty buffer (window_len == 0)
+        // never forms a window, and extracting these here keeps the
+        // labeling below panic-free on any buffer state.
+        let (start_t, end_t) = match (self.buffer.first(), self.buffer.last()) {
+            (Some(first), Some(last)) => (first.t_s - first.interval_s, last.t_s),
+            _ => return None,
+        };
+
         // Assemble the window instance from the buffered second-level data.
         // The mix label is the *majority* mix over the window, matching
         // `RunLog::windows` — the last sample alone would mislabel any
@@ -205,8 +213,8 @@ impl OnlineMonitor {
         let window = WindowInstance::from_parts(
             label,
             mix,
-            self.buffer[0].t_s - self.buffer[0].interval_s,
-            self.buffer.last().expect("non-empty").t_s,
+            start_t,
+            end_t,
             completed as f64 / duration.max(1e-9),
             features,
         );

@@ -94,8 +94,10 @@ pub fn label_window(samples: &[SystemSample], cfg: &OracleConfig) -> WindowLabel
         rt_hist.merge(&s.response_times);
     }
     let p95 = rt_hist.p95().unwrap_or(0.0);
-    let backlog_growth =
-        samples.last().expect("non-empty").in_flight as f64 - samples[0].in_flight as f64;
+    let backlog_growth = match (samples.first(), samples.last()) {
+        (Some(first), Some(last)) => last.in_flight as f64 - first.in_flight as f64,
+        _ => 0.0,
+    };
 
     let overloaded = mean_rt > cfg.rt_overload_threshold_s
         || backlog_growth >= cfg.backlog_growth_threshold

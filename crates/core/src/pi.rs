@@ -176,12 +176,16 @@ pub struct PiSelection {
 /// Choose the PI definition whose series correlates most strongly with
 /// observed throughput (Eq. 2 applied over all yield/cost candidates).
 ///
+/// Ties and NaNs resolve by IEEE total order, so selection is
+/// deterministic whatever the correlations.
+///
 /// # Panics
 ///
 /// Panics if the series lengths differ.
 pub fn select_pi(metrics: &[DerivedMetrics], throughput: &[f64]) -> PiSelection {
     assert_eq!(metrics.len(), throughput.len(), "series length mismatch");
     let mut candidates = Vec::new();
+    let mut best: Option<(PiDefinition, f64)> = None;
     for y in YieldMetric::ALL {
         for c in CostMetric::ALL {
             let def = PiDefinition {
@@ -189,14 +193,21 @@ pub fn select_pi(metrics: &[DerivedMetrics], throughput: &[f64]) -> PiSelection 
                 cost_metric: c,
             };
             let corr = correlation(&def.series(metrics), throughput);
+            if best.is_none_or(|b| corr.total_cmp(&b.1).is_gt()) {
+                best = Some((def, corr));
+            }
             candidates.push((def, corr));
         }
     }
-    let (definition, corr) = candidates
-        .iter()
-        .copied()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("correlations are finite"))
-        .expect("candidate list is non-empty");
+    // The candidate grids are non-empty consts, so `best` is always set;
+    // the fallback is the paper's canonical pair.
+    let (definition, corr) = best.unwrap_or((
+        PiDefinition {
+            yield_metric: YieldMetric::Ipc,
+            cost_metric: CostMetric::L2MissRate,
+        },
+        0.0,
+    ));
     PiSelection {
         definition,
         corr,

@@ -1,0 +1,315 @@
+//! The committed allowlist: known findings tracked as explicit debt.
+//!
+//! The baseline file is a TOML subset — an optional header comment and
+//! a sequence of `[[finding]]` tables with string/integer keys:
+//!
+//! ```toml
+//! [[finding]]
+//! rule = "panic-unwrap"
+//! file = "crates/core/src/agg.rs"
+//! line = 123
+//! note = "documented panic: pub(crate) caller guarantees non-empty"
+//! ```
+//!
+//! Findings are matched against the baseline on `(rule, file, line)`.
+//! Only *new* findings fail the lint run; baseline entries that no
+//! longer match anything are reported as stale (a warning, not a
+//! failure) so the allowlist shrinks over time instead of fossilizing.
+//!
+//! Parsing is hand-rolled (the crate is dependency-free by design) and
+//! deliberately strict: unknown keys, non-`[[finding]]` tables, or
+//! malformed lines are errors rather than silently ignored allowances.
+
+use std::fmt;
+
+use crate::Finding;
+
+/// One allowlisted finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule identifier, e.g. `panic-unwrap`.
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Why this finding is accepted (required: debt needs a reason).
+    pub note: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Baseline parse failure with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// Line in the baseline file where parsing failed.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl Baseline {
+    /// Parse the TOML-subset baseline format.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let err = |line: u32, msg: String| BaselineError { line, msg };
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        let mut open: Option<(BaselineEntry, u32, bool)> = None; // entry, start line, has_line
+
+        let flush = |open: &mut Option<(BaselineEntry, u32, bool)>,
+                     entries: &mut Vec<BaselineEntry>|
+         -> Result<(), BaselineError> {
+            if let Some((entry, at, has_line)) = open.take() {
+                entries.push(finish_entry_full(entry, at, has_line)?);
+            }
+            Ok(())
+        };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[finding]]" {
+                flush(&mut open, &mut entries)?;
+                open = Some((
+                    BaselineEntry {
+                        rule: String::new(),
+                        file: String::new(),
+                        line: 0,
+                        note: String::new(),
+                    },
+                    lineno,
+                    false,
+                ));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(err(lineno, format!("unexpected table `{line}`")));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let Some((entry, _, has_line)) = open.as_mut() else {
+                return Err(err(lineno, format!("`{key}` outside a [[finding]] table")));
+            };
+            match key {
+                "rule" => entry.rule = unquote(value).map_err(|m| err(lineno, m))?,
+                "file" => entry.file = unquote(value).map_err(|m| err(lineno, m))?,
+                "note" => entry.note = unquote(value).map_err(|m| err(lineno, m))?,
+                "line" => {
+                    entry.line = value
+                        .parse::<u32>()
+                        .map_err(|_| err(lineno, format!("`line` is not an integer: `{value}`")))?;
+                    *has_line = true;
+                }
+                other => return Err(err(lineno, format!("unknown key `{other}`"))),
+            }
+        }
+        flush(&mut open, &mut entries)?;
+        Ok(Baseline { entries })
+    }
+
+    /// Render a findings list as a baseline file (`--write-baseline`).
+    /// Output is deterministic: entries sorted by `(file, line, rule)`.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut sorted: Vec<&Finding> = findings.iter().collect();
+        sorted.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+        let mut out = String::from(
+            "# webcap lint baseline — explicitly tracked findings.\n\
+             # Regenerate with: webcap lint --write-baseline\n\
+             # Matching is on (rule, file, line); `note` records why the\n\
+             # finding is accepted. Shrink this file, never grow it silently.\n",
+        );
+        for f in sorted {
+            out.push('\n');
+            out.push_str("[[finding]]\n");
+            out.push_str(&format!("rule = {}\n", quote(f.rule)));
+            out.push_str(&format!("file = {}\n", quote(&f.file)));
+            out.push_str(&format!("line = {}\n", f.line));
+            out.push_str(&format!("note = {}\n", quote(&f.note)));
+        }
+        out
+    }
+
+    /// True if `f` matches an entry on `(rule, file, line)`.
+    pub fn covers(&self, f: &Finding) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == f.rule && e.file == f.file && e.line == f.line)
+    }
+
+    /// Entries that no longer match any current finding — stale debt
+    /// that should be deleted from the baseline file.
+    pub fn stale<'a>(&'a self, findings: &[Finding]) -> Vec<&'a BaselineEntry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                !findings
+                    .iter()
+                    .any(|f| e.rule == f.rule && e.file == f.file && e.line == f.line)
+            })
+            .collect()
+    }
+}
+
+fn finish_entry_full(
+    entry: BaselineEntry,
+    at: u32,
+    has_line: bool,
+) -> Result<BaselineEntry, BaselineError> {
+    let missing = |what: &str| BaselineError {
+        line: at,
+        msg: format!("[[finding]] is missing `{what}`"),
+    };
+    if entry.rule.is_empty() {
+        return Err(missing("rule"));
+    }
+    if entry.file.is_empty() {
+        return Err(missing("file"));
+    }
+    if !has_line {
+        return Err(missing("line"));
+    }
+    if entry.note.is_empty() {
+        return Err(missing("note"));
+    }
+    Ok(entry)
+}
+
+/// Strip surrounding double quotes and resolve `\"` / `\\` escapes.
+fn unquote(v: &str) -> Result<String, String> {
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a double-quoted string, got `{v}`"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => return Err(format!("unsupported escape `\\{other}`")),
+                None => return Err("dangling backslash".to_string()),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Double-quote a string, escaping quotes and backslashes.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            note: "why".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let findings = vec![
+            finding("panic-unwrap", "crates/core/src/agg.rs", 123),
+            finding("nondet-time", "crates/bench/src/harness.rs", 196),
+        ];
+        let text = Baseline::render(&findings);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries.len(), 2);
+        // Render sorts by (file, line, rule).
+        assert_eq!(parsed.entries[0].file, "crates/bench/src/harness.rs");
+        assert!(parsed.covers(&findings[0]));
+        assert!(parsed.covers(&findings[1]));
+        assert!(!parsed.covers(&finding("panic-unwrap", "crates/core/src/agg.rs", 124)));
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let text = Baseline::render(&[finding("panic-unwrap", "crates/core/src/agg.rs", 1)]);
+        let parsed = Baseline::parse(&text).unwrap();
+        let stale = parsed.stale(&[]);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].file, "crates/core/src/agg.rs");
+        assert!(parsed
+            .stale(&[finding("panic-unwrap", "crates/core/src/agg.rs", 1)])
+            .is_empty());
+    }
+
+    #[test]
+    fn missing_keys_and_unknown_keys_are_errors() {
+        let missing = "[[finding]]\nrule = \"r\"\nfile = \"f\"\nline = 3\n";
+        let e = Baseline::parse(missing).unwrap_err();
+        assert!(e.msg.contains("note"), "{e}");
+        let unknown = "[[finding]]\nrule = \"r\"\nseverity = \"error\"\n";
+        let e = Baseline::parse(unknown).unwrap_err();
+        assert!(e.msg.contains("unknown key"), "{e}");
+        let outside = "rule = \"r\"\n";
+        let e = Baseline::parse(outside).unwrap_err();
+        assert!(e.msg.contains("outside"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# header\n\n[[finding]]\nrule = \"r\"\nfile = \"f\"\nline = 1\nnote = \"n\"\n";
+        let parsed = Baseline::parse(text).unwrap();
+        assert_eq!(parsed.entries.len(), 1);
+        assert_eq!(parsed.entries[0].rule, "r");
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let f = Finding {
+            rule: "panic-unwrap",
+            severity: Severity::Error,
+            file: "crates/core/src/x.rs".to_string(),
+            line: 1,
+            note: "quote \" and backslash \\ and\nnewline".to_string(),
+        };
+        let parsed = Baseline::parse(&Baseline::render(&[f.clone()])).unwrap();
+        assert_eq!(parsed.entries[0].note, f.note);
+    }
+}

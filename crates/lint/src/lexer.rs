@@ -1,0 +1,422 @@
+//! A minimal Rust lexer — just enough structure for token-level lint
+//! rules.
+//!
+//! This is deliberately not a parser: every rule in [`crate::rules`]
+//! works on short token patterns (`Ident "Instant"`, `::`, `"now"`),
+//! brace matching, and attribute spans. What the lexer must get exactly
+//! right is what would *corrupt* those patterns: comments (line, nested
+//! block, doc), string literals (escaped, raw, byte), char literals vs
+//! lifetimes, and line numbers. Everything else — precedence, types,
+//! name resolution — is out of scope by design; the fixture tests in
+//! `tests/fixtures.rs` pin the contract.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_`).
+    Ident,
+    /// Punctuation; common multi-character operators (`::`, `=>`, `..`)
+    /// arrive merged as one token.
+    Punct,
+    /// Numeric literal.
+    Num,
+    /// String literal of any flavor (escaped, raw, byte); text is the
+    /// raw source slice including quotes.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (for `Str`, includes the quotes).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True if this is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// Three-character operators merged into a single `Punct` token.
+const PUNCT3: &[&str] = &["..=", "<<=", ">>=", "..."];
+
+/// Two-character operators merged into a single `Punct` token. `::`,
+/// `=>`, and `->` matter to the rules; the rest are merged so they can
+/// never be half-matched as their one-character prefixes.
+const PUNCT2: &[&str] = &[
+    "::", "=>", "->", "..", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "^=", "|=", "&=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens, skipping whitespace and all comment forms.
+///
+/// The lexer never fails: unterminated strings or comments simply
+/// consume the rest of the file (the workspace it scans is code that
+/// already compiles, so this arm is for fixture robustness, not
+/// correctness-critical paths).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes: Vec<char> = src.chars().collect();
+    let n = bytes.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advance `idx` to `to`, counting newlines into `line`.
+    let count_lines = |from: usize, to: usize, line: &mut u32, bytes: &[char]| {
+        for &c in &bytes[from..to] {
+            if c == '\n' {
+                *line += 1;
+            }
+        }
+    };
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments: line (`//`, `///`, `//!`) and nested block (`/*`).
+        if c == '/' && i + 1 < n {
+            if bytes[i + 1] == '/' {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                let mut depth = 1usize;
+                let start = i;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                count_lines(start, i, &mut line, &bytes);
+                continue;
+            }
+        }
+        // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (skip, raw) = match (c, bytes[i + 1]) {
+                ('r', '"') | ('r', '#') => (1, true),
+                ('b', '"') => (1, false),
+                ('b', 'r') if i + 2 < n && (bytes[i + 2] == '"' || bytes[i + 2] == '#') => {
+                    (2, true)
+                }
+                _ => (0, false),
+            };
+            // Only a string prefix when the hashes (if any) lead to `"`.
+            let mut j = i + skip;
+            let mut hashes = 0usize;
+            while raw && j < n && bytes[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if skip > 0 && j < n && bytes[j] == '"' {
+                let start = i;
+                let start_line = line;
+                i = j + 1;
+                if raw {
+                    // Ends at `"` followed by `hashes` hashes; no escapes.
+                    'raw: while i < n {
+                        if bytes[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < n && bytes[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                } else {
+                    // Byte string: ordinary escape rules.
+                    while i < n {
+                        if bytes[i] == '\\' {
+                            i += 2;
+                        } else if bytes[i] == '"' {
+                            i += 1;
+                            break;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                count_lines(start, i.min(n), &mut line, &bytes);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: bytes[start..i.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                continue;
+            }
+            if c == 'b' && i + 1 < n && bytes[i + 1] == '\'' {
+                // Byte char b'x' / b'\n'.
+                let start = i;
+                i += 2;
+                if i < n && bytes[i] == '\\' {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                if i < n && bytes[i] == '\'' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: bytes[start..i.min(n)].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+        }
+        // Ordinary string.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                if bytes[i] == '\\' {
+                    i += 2;
+                } else if bytes[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            count_lines(start, i.min(n), &mut line, &bytes);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: bytes[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let is_char = if i + 1 < n && bytes[i + 1] == '\\' {
+                true
+            } else {
+                // 'x' is a char when the quote closes right after one
+                // character; otherwise it is a lifetime.
+                i + 2 < n && bytes[i + 2] == '\''
+            };
+            if is_char {
+                let start = i;
+                i += 1;
+                if i < n && bytes[i] == '\\' {
+                    i += 2;
+                    // Escapes like \u{1F600} span to the closing quote.
+                    while i < n && bytes[i] != '\'' {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+                if i < n && bytes[i] == '\'' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: bytes[start..i.min(n)].iter().collect(),
+                    line,
+                });
+            } else {
+                let start = i;
+                i += 1;
+                while i < n && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: bytes[start..i].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_continue(bytes[i])) {
+                // `1e-9` / `2E+10`: the sign belongs to the exponent.
+                if (bytes[i] == 'e' || bytes[i] == 'E')
+                    && i + 2 < n
+                    && (bytes[i + 1] == '+' || bytes[i + 1] == '-')
+                    && bytes[i + 2].is_ascii_digit()
+                {
+                    i += 2;
+                }
+                i += 1;
+            }
+            // A decimal point only when followed by a digit (so `0..n`
+            // and `0.max(x)` stay separate tokens).
+            if i < n && bytes[i] == '.' && i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && is_ident_continue(bytes[i]) {
+                    if (bytes[i] == 'e' || bytes[i] == 'E')
+                        && i + 2 < n
+                        && (bytes[i + 1] == '+' || bytes[i + 1] == '-')
+                        && bytes[i + 2].is_ascii_digit()
+                    {
+                        i += 2;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: bytes[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: bytes[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Punctuation, longest merge first.
+        let rest3: String = bytes[i..n.min(i + 3)].iter().collect();
+        if PUNCT3.contains(&rest3.as_str()) {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: rest3,
+                line,
+            });
+            i += 3;
+            continue;
+        }
+        let rest2: String = bytes[i..n.min(i + 2)].iter().collect();
+        if PUNCT2.contains(&rest2.as_str()) {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: rest2,
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        assert_eq!(
+            texts("Instant::now()"),
+            vec!["Instant", "::", "now", "(", ")"]
+        );
+        assert_eq!(texts("a => b"), vec!["a", "=>", "b"]);
+        assert_eq!(texts("x.unwrap()"), vec!["x", ".", "unwrap", "(", ")"]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let toks = lex("// SystemTime::now()\n/* Instant::now()\n */ ok");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "ok");
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = "Instant::now() _ =>";"#);
+        assert!(toks.iter().all(|t| t.text != "Instant"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_do_not_escape() {
+        // In a raw string the backslash is literal, so the quote after
+        // it terminates the literal.
+        let toks = lex(r###"let s = r#"a \ " quote inside"# ; tail"###);
+        assert_eq!(toks.last().map(|t| t.text.as_str()), Some("tail"));
+        let toks = lex("let s = r\"\\\"; x.unwrap()");
+        assert!(toks.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn chars_and_lifetimes_are_distinguished() {
+        let toks = lex("fn f<'a>(c: char) { let x = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            1
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        assert_eq!(texts("0..n"), vec!["0", "..", "n"]);
+        assert_eq!(texts("1.5e-9"), vec!["1.5e-9"]);
+        assert_eq!(texts("0.max(x)"), vec!["0", ".", "max", "(", "x", ")"]);
+    }
+
+    #[test]
+    fn underscore_is_an_ident() {
+        let toks = lex("_ => {}");
+        assert!(toks[0].is_ident("_"));
+        assert!(toks[1].is_punct("=>"));
+    }
+}

@@ -1,0 +1,310 @@
+//! `webcap-lint` — the workspace invariant analyzer.
+//!
+//! PRs 1–4 established the properties this codebase depends on:
+//! byte-identical determinism in the measurement/training pipeline, an
+//! unwrap-free runtime in the capacity-critical crates, an exhaustively
+//! matched and versioned wire protocol, and validated configuration.
+//! Each was enforced by a one-off manual audit. This crate turns those
+//! audits into a machine-checked pass: a dependency-free, token-level
+//! static analyzer that walks every workspace source file, applies the
+//! project-specific rules in [`rules`], and diffs the findings against
+//! the committed `lint-baseline.toml` allowlist so pre-existing,
+//! documented debt is tracked explicitly and only *new* findings fail.
+//!
+//! Entry points:
+//! - [`lint_workspace`] — walk a workspace root and produce a [`Report`]
+//!   (what the `webcap lint` subcommand calls);
+//! - [`lint_source`] — lint one in-memory file against an index (the
+//!   seam the fixture tests use to pin exact `file:line` findings).
+//!
+//! The analyzer is deliberately dependency-free — not even `syn` — so
+//! it builds in hermetic environments and can never be the reason the
+//! workspace fails to resolve. The hand-rolled [`lexer`] is sufficient
+//! for every token-level rule the workspace needs; rules that would
+//! require full type resolution belong in clippy, not here.
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use baseline::{Baseline, BaselineEntry, BaselineError};
+
+/// Finding severity. Every current rule is [`Severity::Error`]; the
+/// distinction exists so future advisory rules can ride the same
+/// report without gating CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported, never fails the run.
+    Warning,
+    /// Violation of an enforced invariant: fails the run unless
+    /// baselined.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (e.g. `panic-unwrap`); static because rules are
+    /// compiled in.
+    pub rule: &'static str,
+    /// Severity of the violation.
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation including which invariant is at risk.
+    pub note: String,
+}
+
+/// Cross-file facts gathered before per-file linting: currently the
+/// set of validated config types (name, defining file) used by the
+/// `config-bypass` rule.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceIndex {
+    /// `(type name, workspace-relative defining file)` for every
+    /// `*Config` type with a `try_new`/`validate` impl.
+    pub validated_configs: Vec<(String, String)>,
+}
+
+/// The outcome of a lint run, after baseline diffing.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings not covered by the baseline — these fail the run.
+    pub new_findings: Vec<Finding>,
+    /// Findings covered by the baseline — reported, never failing.
+    pub baselined_findings: Vec<Finding>,
+    /// Baseline entries matching no current finding — stale debt to
+    /// delete from the allowlist (warned, never failing).
+    pub stale_baseline: Vec<BaselineEntry>,
+}
+
+impl Report {
+    /// True when the run should exit nonzero.
+    pub fn failed(&self) -> bool {
+        !self.new_findings.is_empty()
+    }
+}
+
+/// Errors from walking or reading the workspace.
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem failure, with the path that produced it.
+    Io(PathBuf, io::Error),
+    /// The workspace root doesn't look like this workspace.
+    BadRoot(PathBuf),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            LintError::BadRoot(path) => write!(
+                f,
+                "{} does not contain a `crates/` directory; pass the workspace root via --root",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Lint a single in-memory source file. `rel_path` selects which rules
+/// apply (crate scoping, protocol-file detection, test-file exemption).
+/// This is the seam the fixture tests use.
+pub fn lint_source(rel_path: &str, source: &str, index: &WorkspaceIndex) -> Vec<Finding> {
+    let ctx = rules::FileCtx::new(rel_path, source);
+    rules::lint_file(&ctx, index)
+}
+
+/// Collect every workspace `.rs` source file under `root`, as
+/// `(workspace-relative path, absolute path)` pairs sorted by relative
+/// path. Covers `crates/*/src/**` and the root facade's `src/**`;
+/// `target/` and hidden directories are never entered.
+pub fn workspace_sources(root: &Path) -> Result<Vec<(String, PathBuf)>, LintError> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(LintError::BadRoot(root.to_path_buf()));
+    }
+    let mut files = Vec::new();
+    let mut roots: Vec<PathBuf> = vec![root.join("src")];
+    let entries = fs::read_dir(&crates_dir).map_err(|e| LintError::Io(crates_dir.clone(), e))?;
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(crates_dir.clone(), e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            crate_dirs.push(path);
+        }
+    }
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        // Only src/ trees: integration tests and benches are linted by
+        // rustc/clippy, and the rules exempt them anyway.
+        roots.push(dir.join("src"));
+    }
+    for sub in roots {
+        if sub.is_dir() {
+            walk_rs(root, &sub, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> Result<(), LintError> {
+    let entries = fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            walk_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Build the cross-file [`WorkspaceIndex`] from already-loaded sources.
+pub fn build_index(sources: &[(String, String)]) -> WorkspaceIndex {
+    let mut validated_configs = Vec::new();
+    for (rel, text) in sources {
+        let ctx = rules::FileCtx::new(rel, text);
+        validated_configs.extend(rules::collect_validated_configs(&ctx));
+    }
+    validated_configs.sort();
+    validated_configs.dedup();
+    WorkspaceIndex { validated_configs }
+}
+
+/// Lint every workspace source under `root` and diff against
+/// `baseline`. Findings are deterministic: sorted by
+/// `(file, line, rule)` and deduplicated.
+pub fn lint_workspace(root: &Path, baseline: &Baseline) -> Result<Report, LintError> {
+    let files = workspace_sources(root)?;
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
+    for (rel, abs) in &files {
+        let text = fs::read_to_string(abs).map_err(|e| LintError::Io(abs.clone(), e))?;
+        sources.push((rel.clone(), text));
+    }
+    let index = build_index(&sources);
+    let mut findings: Vec<Finding> = Vec::new();
+    for (rel, text) in &sources {
+        findings.extend(lint_source(rel, text, &index));
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.file == b.file && a.line == b.line);
+
+    let mut new_findings = Vec::new();
+    let mut baselined_findings = Vec::new();
+    for f in findings.iter() {
+        if baseline.covers(f) {
+            baselined_findings.push(f.clone());
+        } else {
+            new_findings.push(f.clone());
+        }
+    }
+    let stale_baseline = baseline.stale(&findings).into_iter().cloned().collect();
+    Ok(Report {
+        files_scanned: sources.len(),
+        new_findings,
+        baselined_findings,
+        stale_baseline,
+    })
+}
+
+/// All findings for a workspace ignoring any baseline — what
+/// `--write-baseline` renders.
+pub fn all_findings(root: &Path) -> Result<Vec<Finding>, LintError> {
+    let report = lint_workspace(root, &Baseline::default())?;
+    Ok(report.new_findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_applies_crate_scoping() {
+        let index = WorkspaceIndex::default();
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(lint_source("crates/core/src/x.rs", src, &index).len(), 1);
+        assert!(lint_source("crates/net/src/x.rs", src, &index).is_empty());
+    }
+
+    #[test]
+    fn report_failed_tracks_new_findings_only() {
+        let mut r = Report::default();
+        assert!(!r.failed());
+        r.baselined_findings.push(Finding {
+            rule: "panic-unwrap",
+            severity: Severity::Error,
+            file: "f".into(),
+            line: 1,
+            note: "n".into(),
+        });
+        assert!(!r.failed());
+        r.new_findings.push(Finding {
+            rule: "panic-unwrap",
+            severity: Severity::Error,
+            file: "f".into(),
+            line: 2,
+            note: "n".into(),
+        });
+        assert!(r.failed());
+    }
+
+    #[test]
+    fn build_index_collects_configs_across_files() {
+        let sources = vec![(
+            "crates/core/src/cfg.rs".to_string(),
+            "pub struct TierConfig { pub n: u32 }\n\
+             impl TierConfig { pub fn try_new(n: u32) -> Result<Self, ()> { Ok(TierConfig { n }) } }"
+                .to_string(),
+        )];
+        let index = build_index(&sources);
+        assert_eq!(
+            index.validated_configs,
+            vec![(
+                "TierConfig".to_string(),
+                "crates/core/src/cfg.rs".to_string()
+            )]
+        );
+    }
+}

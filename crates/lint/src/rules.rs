@@ -1,0 +1,845 @@
+//! The project-specific rules — each one makes a PR's manually-audited
+//! invariant machine-checked.
+//!
+//! | rule | crates | guards |
+//! |------|--------|--------|
+//! | `nondet-time` | core, ml, sim, parallel, bench | PR 1's byte-identical determinism: no wall clocks or entropy in deterministic paths |
+//! | `nondet-iteration` | core, ml, sim, parallel, bench | PR 1/3: no unordered `HashMap`/`HashSet` iteration that could reorder serialized output |
+//! | `panic-unwrap` | core, net | PR 4's audit: no `unwrap`/`expect`/`panic!` in runtime paths |
+//! | `panic-indexing` | core, net | PR 4: no direct indexing (`x[i]`) that can panic in runtime paths |
+//! | `protocol-wildcard-match` | net/src/frame.rs | PR 2: wire-enum matches stay exhaustive so a new `Frame` variant forces every site to be revisited |
+//! | `protocol-wire-registry` | net/src/frame.rs | PR 2: every serialized wire type is consciously registered (and `PROTO_VERSION` bumped) |
+//! | `config-bypass` | workspace | PR 2/4: validated config structs are built through their checked constructors, not struct literals |
+//!
+//! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt
+//! from the determinism and panic rules: tests legitimately unwrap.
+
+use crate::lexer::{Tok, TokKind};
+use crate::{Finding, Severity, WorkspaceIndex};
+
+/// Crates whose outputs must be byte-identical across runs and thread
+/// counts (the PR 1 determinism harness covers exactly these).
+pub const DETERMINISTIC_CRATES: &[&str] = &["core", "ml", "sim", "parallel", "bench"];
+
+/// Crates whose runtime paths must be panic-free (the PR 4 audit).
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "net"];
+
+/// The wire-protocol definition file; the `protocol-*` rules apply here.
+pub const PROTOCOL_FILE_SUFFIX: &str = "net/src/frame.rs";
+
+/// Registered wire types in the protocol file. Adding a `Serialize`
+/// type to `frame.rs` without listing it here (and bumping
+/// `PROTO_VERSION`) is a finding: serialized layout changes must be
+/// conscious, versioned decisions — the metric-schema hash only covers
+/// feature rows, not frame shapes.
+pub const WIRE_TYPE_REGISTRY: &[&str] = &["AppStats", "WireSample", "Frame"];
+
+/// Methods whose calls on a hash collection iterate it in
+/// nondeterministic order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`let [a, b] = ..`, `return [x]`, `in [1, 2]`, ...).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "return", "if", "else", "match", "mut", "ref", "move", "as", "const", "static",
+    "where", "for", "while", "loop", "break", "continue", "use", "pub", "fn", "type", "struct",
+    "enum", "impl", "trait", "mod", "dyn", "unsafe", "box", "await", "yield",
+];
+
+/// A lexed file plus everything the rules need to scope themselves.
+pub struct FileCtx {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Crate short name (`core`, `net`, ... or `webcap` for the root).
+    pub crate_name: String,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// Per-token test-code mask (`#[cfg(test)]` / `#[test]` regions).
+    pub exempt: Vec<bool>,
+}
+
+impl FileCtx {
+    /// Lex `source` and compute the test-exemption mask.
+    pub fn new(rel_path: &str, source: &str) -> FileCtx {
+        let toks = crate::lexer::lex(source);
+        let exempt = test_exempt_mask(&toks);
+        FileCtx {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_of(rel_path),
+            toks,
+            exempt,
+        }
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, note: String) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            file: self.rel_path.clone(),
+            line,
+            note,
+        }
+    }
+}
+
+/// Short crate name for a workspace-relative path: `crates/net/src/..`
+/// → `net`; the root package's `src/..` → `webcap`.
+pub fn crate_of(rel_path: &str) -> String {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        match rest.split('/').next() {
+            Some(name) => name.to_string(),
+            None => "webcap".to_string(),
+        }
+    } else {
+        "webcap".to_string()
+    }
+}
+
+/// For each `{` token index, the index of its matching `}`.
+fn brace_matches(toks: &[Tok]) -> Vec<Option<usize>> {
+    let mut out = vec![None; toks.len()];
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct("{") {
+            stack.push(i);
+        } else if t.is_punct("}") {
+            if let Some(open) = stack.pop() {
+                out[open] = Some(i);
+            }
+        }
+    }
+    out
+}
+
+/// Mark every token inside a `#[cfg(test)]` / `#[test]`-guarded block
+/// as exempt. The attribute applies to the next braced item (`mod` or
+/// `fn`); an attribute consumed by a non-block item (`use`, `const`)
+/// clears at its `;`.
+fn test_exempt_mask(toks: &[Tok]) -> Vec<bool> {
+    let matches = brace_matches(toks);
+    let mut exempt = vec![false; toks.len()];
+    let mut pending = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[") {
+            // Scan the attribute to its matching `]`.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut has_test = false;
+            while j < toks.len() {
+                let a = &toks[j];
+                if a.is_punct("[") {
+                    depth += 1;
+                } else if a.is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if a.is_ident("test") {
+                    has_test = true;
+                }
+                j += 1;
+            }
+            if has_test {
+                pending = true;
+            }
+            i = j + 1;
+            continue;
+        }
+        if pending {
+            if t.is_punct("{") {
+                if let Some(close) = matches[i] {
+                    for e in exempt.iter_mut().take(close + 1).skip(i) {
+                        *e = true;
+                    }
+                    pending = false;
+                    i = close + 1;
+                    continue;
+                }
+                // Unbalanced file: exempt the rest.
+                for e in exempt.iter_mut().skip(i) {
+                    *e = true;
+                }
+                return exempt;
+            }
+            if t.is_punct(";") {
+                pending = false;
+            }
+        }
+        i += 1;
+    }
+    exempt
+}
+
+/// Run every applicable rule over one file.
+pub fn lint_file(ctx: &FileCtx, index: &WorkspaceIndex) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Files outside `src/` trees (integration tests, benches, examples)
+    // are test-adjacent by construction.
+    if ctx.rel_path.contains("/tests/")
+        || ctx.rel_path.contains("/benches/")
+        || ctx.rel_path.contains("/examples/")
+        || ctx.rel_path.starts_with("tests/")
+        || ctx.rel_path.starts_with("examples/")
+    {
+        return findings;
+    }
+    if DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()) {
+        rule_nondet_time(ctx, &mut findings);
+        rule_nondet_iteration(ctx, &mut findings);
+    }
+    if PANIC_FREE_CRATES.contains(&ctx.crate_name.as_str()) {
+        rule_panic_unwrap(ctx, &mut findings);
+        rule_panic_indexing(ctx, &mut findings);
+    }
+    if ctx.rel_path.ends_with(PROTOCOL_FILE_SUFFIX) {
+        rule_protocol_wildcard_match(ctx, &mut findings);
+        rule_protocol_wire_registry(ctx, &mut findings);
+    }
+    rule_config_bypass(ctx, index, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    findings
+}
+
+/// `nondet-time`: wall clocks and entropy sources are banned in the
+/// deterministic crates — one `Instant::now()` in a training path and
+/// the byte-identity harness can no longer hold.
+fn rule_nondet_time(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.exempt[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `SystemTime::now` / `Instant::now`.
+        if (t.is_ident("SystemTime") || t.is_ident("Instant"))
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct("::")
+            && toks[i + 2].is_ident("now")
+        {
+            findings.push(ctx.finding(
+                "nondet-time",
+                t.line,
+                format!(
+                    "{}::now() in deterministic crate `{}`: results must be \
+                     byte-identical across runs (PR 1 invariant)",
+                    t.text, ctx.crate_name
+                ),
+            ));
+        }
+        // Ambient entropy: `thread_rng`, `rand::rng`, `from_entropy`,
+        // `from_os_rng`, `OsRng`.
+        let ambient = t.is_ident("thread_rng")
+            || t.is_ident("from_entropy")
+            || t.is_ident("from_os_rng")
+            || t.is_ident("OsRng")
+            || (t.is_ident("rand")
+                && i + 2 < toks.len()
+                && toks[i + 1].is_punct("::")
+                && toks[i + 2].is_ident("rng"));
+        if ambient {
+            findings.push(ctx.finding(
+                "nondet-time",
+                t.line,
+                format!(
+                    "ambient entropy (`{}`) in deterministic crate `{}`: seed \
+                     explicitly so runs replay byte-identically (PR 1 invariant)",
+                    t.text, ctx.crate_name
+                ),
+            ));
+        }
+    }
+}
+
+/// `nondet-iteration`: iterating a `HashMap`/`HashSet` yields a
+/// platform- and run-dependent order; if that order reaches serialized
+/// output the byte-identity promise breaks. Names are resolved
+/// lexically: any binding, field, or static declared with a hash type
+/// in this file is tracked, and iteration-shaped uses of it flagged.
+fn rule_nondet_iteration(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    // Pass 1: names declared with a hash-collection type.
+    let mut hash_names: Vec<String> = Vec::new();
+    let note_name = |name: &str, hash_names: &mut Vec<String>| {
+        if !hash_names.iter().any(|n| n == name) {
+            hash_names.push(name.to_string());
+        }
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if ctx.exempt[i] || !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            // A name declared inside test code is out of scope for
+            // runtime code; collecting it would only manufacture
+            // false positives (e.g. a test-only HashMap reference
+            // implementation shadowing a runtime Vec of the same name).
+            continue;
+        }
+        // `name: [&[mut]] [std::collections::] HashMap<..>` — walk back
+        // over the optional path and reference tokens to the `:`.
+        let mut j = i;
+        while j > 0 {
+            let p = &toks[j - 1];
+            if p.is_punct("::")
+                || p.is_ident("std")
+                || p.is_ident("collections")
+                || p.is_punct("&")
+                || p.is_ident("mut")
+                || p.kind == TokKind::Lifetime
+            {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j >= 2 && toks[j - 1].is_punct(":") && toks[j - 2].kind == TokKind::Ident {
+            note_name(&toks[j - 2].text, &mut hash_names);
+        }
+        // `name = HashMap::new()` / `= HashSet::from(..)`.
+        if j >= 2 && toks[j - 1].is_punct("=") && toks[j - 2].kind == TokKind::Ident {
+            note_name(&toks[j - 2].text, &mut hash_names);
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+    // Pass 2: iteration-shaped uses of those names.
+    for i in 0..toks.len() {
+        if ctx.exempt[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !hash_names.iter().any(|n| *n == t.text) {
+            continue;
+        }
+        // `name.iter()` and friends.
+        if i + 2 < toks.len()
+            && toks[i + 1].is_punct(".")
+            && toks[i + 2].kind == TokKind::Ident
+            && HASH_ITER_METHODS.contains(&toks[i + 2].text.as_str())
+        {
+            findings.push(ctx.finding(
+                "nondet-iteration",
+                t.line,
+                format!(
+                    "`{}.{}()` iterates a hash collection in arbitrary order in \
+                     deterministic crate `{}`; use a BTreeMap/BTreeSet, sort \
+                     first, or count densely (PR 1/3 invariant)",
+                    t.text,
+                    toks[i + 2].text,
+                    ctx.crate_name
+                ),
+            ));
+        }
+        // `for k in [&[mut]] name {`.
+        let mut back = i;
+        while back > 0 && (toks[back - 1].is_punct("&") || toks[back - 1].is_ident("mut")) {
+            back -= 1;
+        }
+        if back > 0
+            && toks[back - 1].is_ident("in")
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct("{")
+        {
+            findings.push(ctx.finding(
+                "nondet-iteration",
+                t.line,
+                format!(
+                    "`for .. in {}` iterates a hash collection in arbitrary \
+                     order in deterministic crate `{}` (PR 1/3 invariant)",
+                    t.text, ctx.crate_name
+                ),
+            ));
+        }
+    }
+}
+
+/// `panic-unwrap`: `unwrap`/`expect` calls and panicking macros in the
+/// runtime paths of the panic-free crates.
+fn rule_panic_unwrap(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.exempt[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_punct(".")
+            && i + 2 < toks.len()
+            && (toks[i + 1].is_ident("unwrap") || toks[i + 1].is_ident("expect"))
+            && toks[i + 2].is_punct("(")
+        {
+            findings.push(ctx.finding(
+                "panic-unwrap",
+                toks[i + 1].line,
+                format!(
+                    "`.{}()` in a runtime path of `{}`: return a typed error or \
+                     handle the None/Err arm (PR 4 invariant)",
+                    toks[i + 1].text,
+                    ctx.crate_name
+                ),
+            ));
+        }
+        let panicky = t.is_ident("panic")
+            || t.is_ident("unreachable")
+            || t.is_ident("todo")
+            || t.is_ident("unimplemented");
+        if panicky && i + 1 < toks.len() && toks[i + 1].is_punct("!") {
+            findings.push(ctx.finding(
+                "panic-unwrap",
+                t.line,
+                format!(
+                    "`{}!` in a runtime path of `{}`: runtime code must fail \
+                     with typed errors, not panics (PR 4 invariant)",
+                    t.text, ctx.crate_name
+                ),
+            ));
+        }
+    }
+}
+
+/// `panic-indexing`: `x[i]` / `x[a..b]` panics on out-of-bounds; in the
+/// panic-free crates every such site is either rewritten (`get`,
+/// iterators) or consciously baselined with a bounds argument.
+fn rule_panic_indexing(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    for i in 1..toks.len() {
+        if ctx.exempt[i] {
+            continue;
+        }
+        if !toks[i].is_punct("[") {
+            continue;
+        }
+        let prev = &toks[i - 1];
+        let indexes = match prev.kind {
+            TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+            TokKind::Punct => prev.text == ")" || prev.text == "]",
+            _ => false,
+        };
+        if indexes {
+            findings.push(ctx.finding(
+                "panic-indexing",
+                toks[i].line,
+                format!(
+                    "direct indexing in a runtime path of `{}`: out-of-bounds \
+                     panics here; prefer `get`/iterators, or baseline with a \
+                     bounds argument (PR 4 invariant)",
+                    ctx.crate_name
+                ),
+            ));
+        }
+    }
+}
+
+/// `protocol-wildcard-match`: a `_ =>` arm in the protocol file
+/// silently swallows future `Frame` variants instead of forcing every
+/// match site to be revisited when the wire dialect grows.
+fn rule_protocol_wildcard_match(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.exempt[i] {
+            continue;
+        }
+        if toks[i].is_ident("_") && i + 1 < toks.len() && toks[i + 1].is_punct("=>") {
+            findings.push(
+                ctx.finding(
+                    "protocol-wildcard-match",
+                    toks[i].line,
+                    "wildcard `_ =>` arm in the wire-protocol file: matches on wire \
+                 enums must stay exhaustive so adding a Frame variant is a \
+                 compile-time event at every site (PR 2 invariant)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// `protocol-wire-registry`: every `Serialize`/`Deserialize` type in
+/// the protocol file must be listed in [`WIRE_TYPE_REGISTRY`] — the
+/// reviewable ledger of what bytes cross the wire.
+fn rule_protocol_wire_registry(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut is_serde_derive = false;
+        let mut saw_derive = false;
+        while j < toks.len() {
+            let a = &toks[j];
+            if a.is_punct("[") {
+                depth += 1;
+            } else if a.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if a.is_ident("derive") {
+                saw_derive = true;
+            } else if saw_derive && (a.is_ident("Serialize") || a.is_ident("Deserialize")) {
+                is_serde_derive = true;
+            }
+            j += 1;
+        }
+        let attr_exempt = ctx.exempt[i];
+        i = j + 1;
+        if !is_serde_derive || attr_exempt {
+            continue;
+        }
+        // Find the struct/enum name this derive applies to, skipping
+        // further attributes and visibility.
+        let mut k = i;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct("#") && k + 1 < toks.len() && toks[k + 1].is_punct("[") {
+                let mut d = 0usize;
+                let mut m = k + 1;
+                while m < toks.len() {
+                    if toks[m].is_punct("[") {
+                        d += 1;
+                    } else if toks[m].is_punct("]") {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                k = m + 1;
+                continue;
+            }
+            if (t.is_ident("struct") || t.is_ident("enum"))
+                && k + 1 < toks.len()
+                && toks[k + 1].kind == TokKind::Ident
+            {
+                let name = &toks[k + 1];
+                if !WIRE_TYPE_REGISTRY.contains(&name.text.as_str()) {
+                    findings.push(ctx.finding(
+                        "protocol-wire-registry",
+                        name.line,
+                        format!(
+                            "serialized wire type `{}` is not in the wire-type \
+                             registry: register it in webcap-lint's \
+                             WIRE_TYPE_REGISTRY and bump PROTO_VERSION so the \
+                             layout change is a conscious, versioned decision \
+                             (PR 2 invariant)",
+                            name.text
+                        ),
+                    ));
+                }
+                break;
+            }
+            if t.is_ident("pub")
+                || t.is_punct("(")
+                || t.is_punct(")")
+                || t.is_ident("crate")
+                || t.is_ident("super")
+            {
+                k += 1;
+                continue;
+            }
+            break;
+        }
+    }
+}
+
+/// `config-bypass`: struct-literal construction of a validated config
+/// type outside its defining file skips `validate()` — exactly the bug
+/// class `try_new` exists to prevent.
+fn rule_config_bypass(ctx: &FileCtx, index: &WorkspaceIndex, findings: &mut Vec<Finding>) {
+    if index.validated_configs.is_empty() {
+        return;
+    }
+    let toks = &ctx.toks;
+    for i in 0..toks.len() {
+        if ctx.exempt[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some((_, def_file)) = index
+            .validated_configs
+            .iter()
+            .find(|(name, _)| *name == t.text)
+        else {
+            continue;
+        };
+        if *def_file == ctx.rel_path {
+            continue;
+        }
+        if i + 1 >= toks.len() || !toks[i + 1].is_punct("{") {
+            continue;
+        }
+        // Walk back past item-definition keywords: `struct X {`,
+        // `impl X {`, `impl T for X {` are definitions, and
+        // `fn f() -> X {` is a return type followed by the body brace —
+        // none of them literals.
+        let mut back = i;
+        let mut is_definition = false;
+        let mut steps = 0;
+        while back > 0 && steps < 8 {
+            let p = &toks[back - 1];
+            if p.is_punct("->") {
+                is_definition = true;
+                break;
+            }
+            if p.is_punct("{")
+                || p.is_punct("}")
+                || p.is_punct(";")
+                || p.is_punct("(")
+                || p.is_punct(",")
+                || p.is_punct("=")
+            {
+                break;
+            }
+            if p.kind == TokKind::Ident
+                && matches!(
+                    p.text.as_str(),
+                    "struct" | "enum" | "impl" | "trait" | "mod" | "for" | "fn" | "union"
+                )
+            {
+                is_definition = true;
+                break;
+            }
+            back -= 1;
+            steps += 1;
+        }
+        if !is_definition {
+            findings.push(ctx.finding(
+                "config-bypass",
+                t.line,
+                format!(
+                    "struct-literal construction of validated config `{}` \
+                     bypasses its checked constructor; build it via \
+                     Default/try_new and mutate fields, or call validate() \
+                     (PR 2/4 invariant)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Scan one file for validated config types: any `impl X {{ .. }}`
+/// block containing `fn try_new` or `fn validate`, where `X` ends in
+/// `Config`, marks `X` as validated (defined in this file).
+pub fn collect_validated_configs(ctx: &FileCtx) -> Vec<(String, String)> {
+    let toks = &ctx.toks;
+    let matches = brace_matches(toks);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Collect the impl target: idents at angle-depth 0 between
+        // `impl` and `{`; `for` resets (trait impl target follows it);
+        // `where` ends the scan.
+        let mut angle: i32 = 0;
+        let mut target: Option<String> = None;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("{") && angle <= 0 {
+                break;
+            }
+            if t.is_punct(";") {
+                break;
+            }
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                "for" if t.kind == TokKind::Ident && angle <= 0 => target = None,
+                "where" if t.kind == TokKind::Ident && angle <= 0 => break,
+                _ => {
+                    if t.kind == TokKind::Ident && angle <= 0 {
+                        target = Some(t.text.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+        let Some(name) = target else {
+            i = j + 1;
+            continue;
+        };
+        if !(toks.get(j).is_some_and(|t| t.is_punct("{")) && name.ends_with("Config")) {
+            i = j + 1;
+            continue;
+        }
+        let close = matches[j].unwrap_or(toks.len().saturating_sub(1));
+        let mut has_validated_ctor = false;
+        let mut k = j;
+        while k + 1 <= close {
+            if toks[k].is_ident("fn")
+                && (toks[k + 1].is_ident("try_new") || toks[k + 1].is_ident("validate"))
+            {
+                has_validated_ctor = true;
+                break;
+            }
+            k += 1;
+        }
+        if has_validated_ctor {
+            out.push((name, ctx.rel_path.clone()));
+        }
+        i = close + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str, src: &str) -> FileCtx {
+        FileCtx::new(path, src)
+    }
+
+    fn rules_on(path: &str, src: &str) -> Vec<Finding> {
+        lint_file(&ctx(path, src), &WorkspaceIndex::default())
+    }
+
+    #[test]
+    fn crate_names_resolve_from_paths() {
+        assert_eq!(crate_of("crates/net/src/frame.rs"), "net");
+        assert_eq!(crate_of("src/lib.rs"), "webcap");
+    }
+
+    #[test]
+    fn instant_now_flagged_in_deterministic_crate_only() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let hits = rules_on("crates/sim/src/engine.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "nondet-time");
+        assert_eq!(hits[0].line, 1);
+        // `net` is not a deterministic crate (wall clocks are part of
+        // its job: timeouts, heartbeats).
+        assert!(rules_on("crates/net/src/agent.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); let t = Instant::now(); }\n}";
+        assert!(rules_on("crates/core/src/meter.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_flagged_by_declared_name() {
+        let src = "struct S { counts: HashMap<u32, u32> }\n\
+                   fn f(s: &S) -> String { s.counts.iter().map(|_| String::new()).collect() }";
+        let hits = rules_on("crates/ml/src/info.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "nondet-iteration");
+        assert_eq!(hits[0].line, 2);
+        // Keyed access is fine.
+        let keyed = "fn f(m: &HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }";
+        assert!(rules_on("crates/ml/src/info.rs", keyed).is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_panic_flagged_in_panic_free_crates() {
+        let src = "fn f(v: Vec<u32>) -> u32 {\n let x = v.first().unwrap();\n panic!(\"no\")\n}";
+        let hits = rules_on("crates/net/src/agent.rs", src);
+        let at: Vec<(&str, u32)> = hits.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(at, vec![("panic-unwrap", 2), ("panic-unwrap", 3)]);
+        // unwrap_or is not unwrap.
+        let ok = "fn f(v: Vec<u32>) -> u32 { v.first().copied().unwrap_or(0) }";
+        assert!(rules_on("crates/net/src/agent.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_but_slice_patterns_are_not() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] }";
+        let hits = rules_on("crates/core/src/agg.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "panic-indexing");
+        let pat = "fn f(v: [u32; 2]) -> u32 { let [a, _b] = v; a }";
+        assert!(rules_on("crates/core/src/agg.rs", pat).is_empty());
+        let arr = "fn f() -> [u32; 2] { [1, 2] }";
+        assert!(rules_on("crates/core/src/agg.rs", arr).is_empty());
+    }
+
+    #[test]
+    fn wildcard_arm_flagged_only_in_protocol_file() {
+        let src = "fn f(x: u32) -> u32 { match x { 1 => 0, _ => 1 } }";
+        let hits = rules_on("crates/net/src/frame.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "protocol-wildcard-match");
+        assert!(rules_on("crates/net/src/collector.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unregistered_wire_type_flagged() {
+        let src = "#[derive(Debug, Serialize, Deserialize)]\npub struct Sneaky { x: u32 }";
+        let hits = rules_on("crates/net/src/frame.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "protocol-wire-registry");
+        assert_eq!(hits[0].line, 2);
+        let ok = "#[derive(Debug, Serialize, Deserialize)]\npub struct WireSample { x: u32 }";
+        assert!(rules_on("crates/net/src/frame.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn config_bypass_flagged_outside_defining_file() {
+        let index = WorkspaceIndex {
+            validated_configs: vec![(
+                "AdmissionConfig".to_string(),
+                "crates/core/src/admission.rs".to_string(),
+            )],
+        };
+        let src = "fn f() { let c = AdmissionConfig { min_ebs: 0 }; }";
+        let hits = lint_file(&ctx("crates/cli/src/commands.rs", src), &index);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "config-bypass");
+        // The defining file may construct literals (Default impl).
+        assert!(lint_file(&ctx("crates/core/src/admission.rs", src), &index).is_empty());
+        // try_new is not a literal.
+        let ok = "fn f() { let c = AdmissionController::try_new(AdmissionConfig::default(), 1); }";
+        assert!(lint_file(&ctx("crates/cli/src/commands.rs", ok), &index).is_empty());
+        // A return type followed by the body brace is not a literal.
+        let ret = "fn f() -> AdmissionConfig { AdmissionConfig::default() }";
+        assert!(lint_file(&ctx("crates/cli/src/commands.rs", ret), &index).is_empty());
+    }
+
+    #[test]
+    fn validated_config_collection_sees_validate_impls() {
+        let src = "pub struct FooConfig { pub x: u32 }\n\
+                   impl FooConfig { pub fn validate(&self) -> Result<(), ()> { Ok(()) } }\n\
+                   pub struct Bar;\n\
+                   impl Bar { pub fn try_new() -> Result<Bar, ()> { Ok(Bar) } }";
+        let got = collect_validated_configs(&ctx("crates/core/src/x.rs", src));
+        // Bar has try_new but is not a *Config type.
+        assert_eq!(
+            got,
+            vec![("FooConfig".to_string(), "crates/core/src/x.rs".to_string())]
+        );
+    }
+
+    #[test]
+    fn integration_test_files_are_fully_exempt() {
+        let src = "fn f() { x.unwrap(); let t = Instant::now(); }";
+        assert!(rules_on("crates/core/tests/determinism.rs", src).is_empty());
+    }
+}

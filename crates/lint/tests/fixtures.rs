@@ -1,0 +1,136 @@
+//! Fixture tests: each known-bad snippet under `tests/fixtures/` must
+//! produce exactly the expected `(rule, line)` findings when linted
+//! under its intended virtual path — proving every rule fires, at the
+//! right place, and nowhere else.
+
+use webcap_lint::{lint_source, WorkspaceIndex};
+
+/// Lint a fixture under a virtual workspace path and return the
+/// `(rule, line)` pairs it produces, in report order.
+fn run(fixture: &str, as_path: &str, index: &WorkspaceIndex) -> Vec<(String, u32)> {
+    lint_source(as_path, fixture, index)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+fn expect(fixture: &str, as_path: &str, expected: &[(&str, u32)]) {
+    let got = run(fixture, as_path, &WorkspaceIndex::default());
+    let want: Vec<(String, u32)> = expected.iter().map(|(r, l)| (r.to_string(), *l)).collect();
+    assert_eq!(got, want, "fixture linted as {as_path}");
+}
+
+#[test]
+fn nondet_time_fires_on_clocks_and_entropy() {
+    expect(
+        include_str!("fixtures/nondet_time.rs"),
+        "crates/sim/src/fixture.rs",
+        &[("nondet-time", 6), ("nondet-time", 7), ("nondet-time", 12)],
+    );
+}
+
+#[test]
+fn nondet_time_is_scoped_to_deterministic_crates() {
+    // The same snippet in `net` (wall clocks are part of its job) is clean.
+    let got = run(
+        include_str!("fixtures/nondet_time.rs"),
+        "crates/net/src/fixture.rs",
+        &WorkspaceIndex::default(),
+    );
+    assert_eq!(got, Vec::<(String, u32)>::new());
+}
+
+#[test]
+fn nondet_iteration_fires_on_hash_iteration_only() {
+    expect(
+        include_str!("fixtures/nondet_iteration.rs"),
+        "crates/ml/src/fixture.rs",
+        &[("nondet-iteration", 7), ("nondet-iteration", 15)],
+    );
+}
+
+#[test]
+fn panic_unwrap_fires_on_each_construct() {
+    expect(
+        include_str!("fixtures/panic_unwrap.rs"),
+        "crates/net/src/fixture.rs",
+        &[
+            ("panic-unwrap", 5),
+            ("panic-unwrap", 6),
+            ("panic-unwrap", 12),
+            ("panic-unwrap", 15),
+            ("panic-unwrap", 16),
+        ],
+    );
+}
+
+#[test]
+fn panic_indexing_fires_on_index_expressions_only() {
+    expect(
+        include_str!("fixtures/panic_indexing.rs"),
+        "crates/core/src/fixture.rs",
+        &[
+            ("panic-indexing", 5),
+            ("panic-indexing", 6),
+            ("panic-indexing", 10),
+        ],
+    );
+}
+
+#[test]
+fn protocol_wildcard_fires_in_the_protocol_file_only() {
+    let fixture = include_str!("fixtures/protocol_wildcard.rs");
+    expect(
+        fixture,
+        "crates/net/src/frame.rs",
+        &[("protocol-wildcard-match", 13)],
+    );
+    // The same match elsewhere in `net` is ordinary Rust.
+    let got = run(
+        fixture,
+        "crates/net/src/collector.rs",
+        &WorkspaceIndex::default(),
+    );
+    assert_eq!(got, Vec::<(String, u32)>::new());
+}
+
+#[test]
+fn protocol_registry_flags_unregistered_wire_types() {
+    expect(
+        include_str!("fixtures/protocol_registry.rs"),
+        "crates/net/src/frame.rs",
+        &[("protocol-wire-registry", 5)],
+    );
+}
+
+#[test]
+fn config_bypass_flags_literal_construction() {
+    let index = WorkspaceIndex {
+        validated_configs: vec![(
+            "AdmissionConfig".to_string(),
+            "crates/core/src/admission.rs".to_string(),
+        )],
+    };
+    let got = run(
+        include_str!("fixtures/config_bypass.rs"),
+        "crates/cli/src/fixture.rs",
+        &index,
+    );
+    assert_eq!(got, vec![("config-bypass".to_string(), 6)]);
+    // The defining file itself may build literals (its Default impl).
+    let got = run(
+        include_str!("fixtures/config_bypass.rs"),
+        "crates/core/src/admission.rs",
+        &index,
+    );
+    assert_eq!(got, Vec::<(String, u32)>::new());
+}
+
+#[test]
+fn clean_fixture_passes_the_strictest_scope() {
+    expect(
+        include_str!("fixtures/clean.rs"),
+        "crates/core/src/fixture.rs",
+        &[],
+    );
+}

@@ -1,0 +1,28 @@
+// Fixture: code every rule accepts, in the strictest scope (a
+// deterministic and panic-free crate). Linted as crates/core/src/fixture.rs.
+use std::collections::BTreeMap;
+
+fn ordered_iteration(counts: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+fn checked_access(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0) + v.iter().sum::<u32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let t = Instant::now();
+        let v = vec![1u32];
+        assert_eq!(v[0], 1);
+        let _ = t.elapsed();
+    }
+}

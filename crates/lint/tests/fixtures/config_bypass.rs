@@ -1,0 +1,14 @@
+// Fixture: struct-literal construction of a validated config outside
+// its defining file. Linted as crates/cli/src/fixture.rs against an
+// index that maps AdmissionConfig to crates/core/src/admission.rs.
+
+fn bypasses_validation() -> AdmissionConfig {
+    AdmissionConfig {
+        min_ebs: 0,
+        max_ebs: 0,
+    }
+}
+
+fn validated_path_is_fine() -> AdmissionConfig {
+    AdmissionConfig::default()
+}

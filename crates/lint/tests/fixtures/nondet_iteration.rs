@@ -1,0 +1,23 @@
+// Fixture: unordered hash-collection iteration in a deterministic
+// crate. Linted as crates/ml/src/fixture.rs.
+use std::collections::{HashMap, HashSet};
+
+fn serialize_counts(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts.iter() {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+fn visit_all(seen: HashSet<u64>) -> u64 {
+    let mut sum = 0;
+    for v in seen {
+        sum += v;
+    }
+    sum
+}
+
+fn keyed_lookup_is_fine(counts: &HashMap<String, u64>) -> u64 {
+    counts.get("total").copied().unwrap_or(0)
+}

@@ -1,0 +1,22 @@
+// Fixture: wall clocks and ambient entropy in a deterministic crate.
+// Linted as crates/sim/src/fixture.rs.
+use std::time::{Instant, SystemTime};
+
+fn wall_clocks() -> u64 {
+    let started = Instant::now();
+    let _ = SystemTime::now();
+    started.elapsed().as_nanos() as u64
+}
+
+fn ambient_entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.random()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: direct indexing in a panic-free crate's runtime path.
+// Linted as crates/core/src/fixture.rs.
+
+fn indexes(v: &[u32], i: usize) -> u32 {
+    let head = v[0];
+    head + v[i]
+}
+
+fn slices(v: &[u32]) -> &[u32] {
+    &v[1..]
+}
+
+fn patterns_and_literals_are_fine(pair: [u32; 2]) -> [u32; 2] {
+    let [a, b] = pair;
+    [b, a]
+}

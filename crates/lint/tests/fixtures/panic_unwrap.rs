@@ -1,0 +1,32 @@
+// Fixture: panicking constructs in a panic-free crate's runtime path.
+// Linted as crates/net/src/fixture.rs.
+
+fn unwraps(v: Vec<u32>) -> u32 {
+    let first = v.first().unwrap();
+    let last = v.last().expect("non-empty");
+    first + last
+}
+
+fn macros(x: u32) -> u32 {
+    if x > 10 {
+        panic!("too big");
+    }
+    match x {
+        0 => todo!(),
+        1 => unreachable!(),
+        _ => x,
+    }
+}
+
+fn handled_is_fine(v: Vec<u32>) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u32];
+        let _ = v.first().unwrap();
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: a serialized wire type missing from the registry. Linted as
+// crates/net/src/frame.rs (the protocol file).
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SneakyExtra {
+    pub value: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireSample {
+    pub registered: bool,
+}

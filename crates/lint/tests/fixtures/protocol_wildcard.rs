@@ -1,0 +1,15 @@
+// Fixture: a wildcard arm swallowing wire-enum variants. Linted as
+// crates/net/src/frame.rs (the protocol file).
+
+enum Frame {
+    Hello,
+    Sample,
+    Goodbye,
+}
+
+fn dispatch(frame: Frame) -> u32 {
+    match frame {
+        Frame::Hello => 1,
+        _ => 0,
+    }
+}

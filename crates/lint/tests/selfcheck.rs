@@ -1,0 +1,79 @@
+//! Self-check: the committed workspace must be clean modulo the
+//! committed `lint-baseline.toml`, and injecting a known-bad snippet
+//! into a scratch workspace must produce a failing report — the two
+//! directions of the CI gate.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use webcap_lint::{lint_workspace, Baseline};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn workspace_is_clean_modulo_the_committed_baseline() {
+    let root = workspace_root();
+    let baseline_path = root.join("lint-baseline.toml");
+    let text = fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", baseline_path.display()));
+    let baseline = Baseline::parse(&text).expect("committed baseline parses");
+    let report = lint_workspace(&root, &baseline).expect("workspace lints");
+    assert!(report.files_scanned > 10, "workspace walk found the crates");
+    assert!(
+        report.new_findings.is_empty(),
+        "non-baselined findings — fix them or consciously baseline them:\n{}",
+        report
+            .new_findings
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.note))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.stale_baseline.is_empty(),
+        "stale baseline entries — delete them from lint-baseline.toml:\n{}",
+        report
+            .stale_baseline
+            .iter()
+            .map(|e| format!("  {}:{}: {}", e.file, e.line, e.rule))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn injected_finding_fails_a_scratch_workspace() {
+    // A minimal workspace with one bad file; unique per test process so
+    // parallel runs never collide.
+    let scratch =
+        std::env::temp_dir().join(format!("webcap-lint-selfcheck-{}", std::process::id()));
+    let src_dir = scratch.join("crates").join("core").join("src");
+    fs::create_dir_all(&src_dir).expect("scratch workspace dirs");
+    fs::write(
+        src_dir.join("lib.rs"),
+        "//! Scratch crate.\npub fn f(v: Vec<u32>) -> u32 { v.first().unwrap() + v[1] }\n",
+    )
+    .expect("scratch source");
+
+    let report = lint_workspace(&scratch, &Baseline::default()).expect("scratch lints");
+    assert!(report.failed(), "injected snippet must fail the run");
+    let rules: Vec<(&str, u32)> = report
+        .new_findings
+        .iter()
+        .map(|f| (f.rule, f.line))
+        .collect();
+    assert_eq!(rules, vec![("panic-indexing", 2), ("panic-unwrap", 2)]);
+
+    // Baselining exactly those findings turns the same workspace green.
+    let baseline =
+        Baseline::parse(&Baseline::render(&report.new_findings)).expect("rendered baseline parses");
+    let green = lint_workspace(&scratch, &baseline).expect("scratch lints again");
+    assert!(!green.failed(), "baselined findings must not fail");
+    assert_eq!(green.baselined_findings.len(), 2);
+    assert!(green.stale_baseline.is_empty());
+
+    fs::remove_dir_all(&scratch).ok();
+}

@@ -305,11 +305,12 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), FrameError>
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
     let mut header = [0u8; 8];
     r.read_exact(&mut header)?;
-    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let [m0, m1, m2, m3, l0, l1, l2, l3] = header;
+    let magic = u32::from_le_bytes([m0, m1, m2, m3]);
     if magic != FRAME_MAGIC {
         return Err(FrameError::BadMagic(magic));
     }
-    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if len > MAX_FRAME_LEN {
         return Err(FrameError::Oversized { len });
     }

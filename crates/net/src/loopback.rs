@@ -72,11 +72,17 @@ pub fn run_loopback(
         }
         let mut agents = Vec::new();
         for handle in agent_handles {
-            agents.push(handle.join().expect("agent thread completes")?);
+            let report = handle
+                .join()
+                .map_err(|_| io::Error::other("agent thread panicked"))??;
+            agents.push(report);
         }
-        let collector = collector.join().expect("collector thread completes")?;
-        let db = agents.pop().expect("two agents");
-        let app = agents.pop().expect("two agents");
+        let collector = collector
+            .join()
+            .map_err(|_| io::Error::other("collector thread panicked"))??;
+        let (Some(db), Some(app)) = (agents.pop(), agents.pop()) else {
+            return Err(io::Error::other("expected one report per tier"));
+        };
         Ok(LoopbackOutcome {
             collector,
             agents: [app, db],
@@ -137,11 +143,17 @@ pub fn run_supervised_loopback(
         }
         let mut agents = Vec::new();
         for handle in agent_handles {
-            agents.push(handle.join().expect("agent thread completes")?);
+            let agent_report = handle
+                .join()
+                .map_err(|_| io::Error::other("agent thread panicked"))??;
+            agents.push(agent_report);
         }
-        let report = collector.join().expect("collector thread completes")?;
-        let db = agents.pop().expect("two agents");
-        let app = agents.pop().expect("two agents");
+        let report = collector
+            .join()
+            .map_err(|_| io::Error::other("collector thread panicked"))??;
+        let (Some(db), Some(app)) = (agents.pop(), agents.pop()) else {
+            return Err(io::Error::other("expected one report per tier"));
+        };
         Ok((report, [app, db]))
     })
 }
@@ -227,10 +239,9 @@ pub fn predicted_surviving_windows(
         if faults.drop_every.is_some_and(|n| attempt % n == 0) {
             continue;
         }
-        sessions
-            .last_mut()
-            .expect("non-empty")
-            .push(origin + seq as i64);
+        if let Some(session) = sessions.last_mut() {
+            session.push(origin + seq as i64);
+        }
         conn_sent += 1;
         if faults.reconnect_every.is_some_and(|n| conn_sent >= n) {
             sessions.push(Vec::new());
