@@ -1,0 +1,212 @@
+//! Variance-aware baseline capture.
+//!
+//! A regression gate is only as good as its baseline: a single noisy
+//! run recorded as "the" baseline either hides real regressions (if it
+//! was slow) or fails every future run (if it was lucky). This module
+//! aggregates several measured suite rounds into one baseline report
+//! and *refuses* the capture when any bench's median varies too much
+//! across rounds — the machine is too noisy to arm a gate from.
+//!
+//! The accepted baseline takes, per bench, the median across rounds of
+//! the per-round medians (and likewise for p95), which is robust to a
+//! single disturbed round without averaging noise into the numbers.
+
+use crate::harness::BenchReport;
+
+/// Default acceptance threshold for the coefficient of variation
+/// (standard deviation / mean) of each bench's median across rounds.
+pub const DEFAULT_MAX_CV: f64 = 0.15;
+
+/// An accepted capture: the aggregated baseline plus the observed
+/// per-bench variability that justified accepting it.
+#[derive(Debug, Clone)]
+pub struct CaptureOutcome {
+    /// The aggregated report to commit as `BENCH_baseline.json`.
+    pub baseline: BenchReport,
+    /// Coefficient of variation of each bench's median across rounds,
+    /// in suite order.
+    pub cv_by_bench: Vec<(String, f64)>,
+}
+
+fn median_u64(values: &mut [u64]) -> u64 {
+    values.sort_unstable();
+    values[values.len() / 2]
+}
+
+fn coefficient_of_variation(values: &[u64]) -> f64 {
+    let n = values.len() as f64;
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+/// Aggregate `rounds` identically-shaped suite reports into one
+/// baseline, rejecting the capture if any bench's median CV exceeds
+/// `max_cv`.
+///
+/// # Errors
+///
+/// * fewer than two rounds — variance cannot be estimated;
+/// * rounds disagreeing on schema, suite hash, tier, bench set, or
+///   work units — they measured different things;
+/// * any bench whose median CV exceeds `max_cv` — the error lists every
+///   offender so the operator can see how far off the machine is.
+pub fn aggregate_rounds(rounds: &[BenchReport], max_cv: f64) -> Result<CaptureOutcome, String> {
+    let Some(first) = rounds.first() else {
+        return Err("no rounds to aggregate".to_string());
+    };
+    if rounds.len() < 2 {
+        return Err("need at least 2 measured rounds to estimate variance".to_string());
+    }
+    for (i, round) in rounds.iter().enumerate() {
+        if round.schema_version != first.schema_version
+            || round.suite_hash != first.suite_hash
+            || round.tier != first.tier
+        {
+            return Err(format!(
+                "round {} does not match round 1 (schema/suite/tier); \
+                 captures must come from one suite invocation",
+                i + 1
+            ));
+        }
+        if round.results.len() != first.results.len()
+            || round
+                .results
+                .iter()
+                .zip(&first.results)
+                .any(|(a, b)| a.id != b.id || a.work_units != b.work_units)
+        {
+            return Err(format!(
+                "round {} ran a different bench set or workload than round 1",
+                i + 1
+            ));
+        }
+    }
+
+    let mut baseline = first.clone();
+    let mut cv_by_bench = Vec::with_capacity(first.results.len());
+    let mut offenders: Vec<String> = Vec::new();
+    for (bi, slot) in baseline.results.iter_mut().enumerate() {
+        let mut medians: Vec<u64> = rounds.iter().map(|r| r.results[bi].median_ns).collect();
+        let cv = coefficient_of_variation(&medians);
+        if cv > max_cv {
+            offenders.push(format!("{} (CV {:.1}%)", slot.id, cv * 100.0));
+        }
+        slot.median_ns = median_u64(&mut medians);
+        let mut p95s: Vec<u64> = rounds.iter().map(|r| r.results[bi].p95_ns).collect();
+        slot.p95_ns = median_u64(&mut p95s);
+        cv_by_bench.push((slot.id.clone(), cv));
+    }
+    if !offenders.is_empty() {
+        return Err(format!(
+            "capture rejected: median varies more than {:.1}% across rounds for \
+             {}; quiesce the machine (or raise --max-cv deliberately) and retry",
+            max_cv * 100.0,
+            offenders.join(", ")
+        ));
+    }
+    Ok(CaptureOutcome {
+        baseline,
+        cv_by_bench,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{suite_hash, BenchResult, SCHEMA_VERSION};
+
+    fn round(medians: &[u64]) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            suite_hash: suite_hash(),
+            git_rev: "test".into(),
+            tier: "quick".into(),
+            results: medians
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| BenchResult {
+                    id: format!("bench_{i}"),
+                    reps: 5,
+                    work_units: 100,
+                    median_ns: m,
+                    p95_ns: m + m / 10,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn quiet_rounds_aggregate_to_the_median() {
+        let rounds = [
+            round(&[100, 1000]),
+            round(&[104, 960]),
+            round(&[98, 1020]),
+            round(&[102, 990]),
+            round(&[101, 1005]),
+        ];
+        let outcome = aggregate_rounds(&rounds, DEFAULT_MAX_CV).expect("quiet capture");
+        assert_eq!(outcome.baseline.results[0].median_ns, 101);
+        assert_eq!(outcome.baseline.results[1].median_ns, 1000);
+        assert_eq!(outcome.cv_by_bench.len(), 2);
+        assert!(outcome.cv_by_bench.iter().all(|(_, cv)| *cv < 0.05));
+    }
+
+    #[test]
+    fn noisy_rounds_are_rejected_naming_the_offender() {
+        let rounds = [round(&[100, 1000]), round(&[100, 2500]), round(&[100, 900])];
+        let err = aggregate_rounds(&rounds, DEFAULT_MAX_CV).unwrap_err();
+        assert!(err.contains("bench_1"), "{err}");
+        assert!(!err.contains("bench_0"), "{err}");
+    }
+
+    #[test]
+    fn single_disturbed_round_does_not_skew_the_baseline() {
+        // One slow outlier within tolerance: median-of-medians ignores it.
+        let rounds = [
+            round(&[100]),
+            round(&[100]),
+            round(&[100]),
+            round(&[100]),
+            round(&[128]),
+        ];
+        let outcome = aggregate_rounds(&rounds, DEFAULT_MAX_CV).expect("capture");
+        assert_eq!(outcome.baseline.results[0].median_ns, 100);
+    }
+
+    #[test]
+    fn mismatched_rounds_are_rejected() {
+        assert!(aggregate_rounds(&[], DEFAULT_MAX_CV).is_err());
+        assert!(aggregate_rounds(&[round(&[100])], DEFAULT_MAX_CV).is_err());
+
+        let mut other_tier = round(&[100]);
+        other_tier.tier = "full".into();
+        let err = aggregate_rounds(&[round(&[100]), other_tier], DEFAULT_MAX_CV).unwrap_err();
+        assert!(err.contains("schema/suite/tier"), "{err}");
+
+        let mut other_work = round(&[100]);
+        other_work.results[0].work_units = 999;
+        let err = aggregate_rounds(&[round(&[100]), other_work], DEFAULT_MAX_CV).unwrap_err();
+        assert!(err.contains("different bench set"), "{err}");
+    }
+
+    #[test]
+    fn aggregated_baseline_gates_against_itself() {
+        // The captured baseline must be comparable by the existing gate.
+        let rounds = [round(&[100, 1000]), round(&[101, 1001]), round(&[99, 999])];
+        let outcome = aggregate_rounds(&rounds, DEFAULT_MAX_CV).expect("capture");
+        let gate = crate::regression::compare(&outcome.baseline, &rounds[0], 0.25)
+            .expect("comparable reports");
+        assert!(gate.passed());
+    }
+}

@@ -14,6 +14,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+use webcap_capsearch::{search_scenario, SearchConfig, SimExecutor};
 use webcap_core::synopsis::{dataset_from_instances, PerformanceSynopsis, SynopsisSpec};
 use webcap_core::{
     CapacityMeter, CoordinatedPredictor, CoordinatorConfig, MeterConfig, MetricLevel,
@@ -33,7 +34,7 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// Identifiers of every bench in the suite, in execution order. The
 /// suite hash is derived from this list, so renaming, adding, or removing
 /// a bench invalidates old baselines loudly instead of silently.
-pub const BENCH_IDS: [&str; 8] = [
+pub const BENCH_IDS: [&str; 9] = [
     "sim_engine_steps",
     "synopsis_train_lr",
     "synopsis_train_nb",
@@ -42,6 +43,7 @@ pub const BENCH_IDS: [&str; 8] = [
     "forward_selection",
     "coordinated_predictor_updates",
     "collector_window_assembly",
+    "capsearch_bisection",
 ];
 
 /// Workload size of a suite run.
@@ -112,6 +114,13 @@ impl BenchTier {
         match self {
             BenchTier::Quick => 20,
             BenchTier::Full => 100,
+        }
+    }
+
+    fn capsearch_probes(&self) -> u32 {
+        match self {
+            BenchTier::Quick => 4,
+            BenchTier::Full => 8,
         }
     }
 }
@@ -237,8 +246,8 @@ fn bench_synopsis_train(
     };
     let selection = tier.selection();
     measure(id, tier.reps(), || {
-        let syn = PerformanceSynopsis::train(spec, instances, &selection)
-            .expect("bench workload trains");
+        let syn =
+            PerformanceSynopsis::train(spec, instances, &selection).expect("bench workload trains");
         black_box(syn.cv_balanced_accuracy());
         instances.len() as u64
     })
@@ -275,7 +284,11 @@ fn bench_predictor_updates(tier: BenchTier) -> BenchResult {
             let preds = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0];
             let label = bits & 16 != 0;
             let bottleneck = if label {
-                Some(if bits & 32 != 0 { TierId::App } else { TierId::Db })
+                Some(if bits & 32 != 0 {
+                    TierId::App
+                } else {
+                    TierId::Db
+                })
             } else {
                 None
             };
@@ -342,6 +355,33 @@ fn bench_collector_assembly(tier: BenchTier, meter: &CapacityMeter) -> BenchResu
     })
 }
 
+/// End-to-end capacity bisection through the in-process executor: the
+/// cost of answering "what is this site's capacity" online. Work units
+/// are the windows scored across all probes — deterministic, so the
+/// regression gate can compare per-unit cost across machines.
+fn bench_capsearch_bisection(tier: BenchTier, meter: &CapacityMeter) -> BenchResult {
+    let scenario =
+        webcap_capsearch::scenario::find("steady-shopping").expect("library scenario exists");
+    let cfg = SearchConfig {
+        initial_lo: 16,
+        initial_hi: 96,
+        tolerance: 24,
+        max_probes: tier.capsearch_probes(),
+        max_ebs: 256,
+    };
+    measure("capsearch_bisection", tier.reps(), || {
+        let mut executor = SimExecutor::new(meter);
+        let report =
+            search_scenario(&scenario, &mut executor, &cfg).expect("bench capacity search runs");
+        black_box(report.capacity_ebs);
+        report
+            .probes
+            .iter()
+            .map(|p| u64::from(p.windows_scored))
+            .sum()
+    })
+}
+
 /// Run the full suite at `tier` and assemble the report.
 ///
 /// Workload preparation (simulating training instances, training the
@@ -371,6 +411,7 @@ pub fn run_suite(tier: BenchTier) -> BenchReport {
         bench_forward_selection(tier, &instances),
         bench_predictor_updates(tier),
         bench_collector_assembly(tier, &meter),
+        bench_capsearch_bisection(tier, &meter),
     ];
     debug_assert_eq!(results.len(), BENCH_IDS.len());
     BenchReport {

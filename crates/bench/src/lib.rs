@@ -10,6 +10,7 @@
 //! Set `WEBCAP_BENCH_SCALE` (default `1.0`) to shrink simulated durations
 //! for quick smoke runs, e.g. `WEBCAP_BENCH_SCALE=0.3 cargo bench`.
 
+pub mod baseline;
 pub mod harness;
 pub mod regression;
 

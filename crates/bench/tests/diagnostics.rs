@@ -156,7 +156,12 @@ fn tan_and_naive_bayes_train_the_ordering_app_synopsis() {
 fn browsing_instances_carry_both_classes_and_db_counters() {
     let cfg = SimConfig::testbed(101);
     let scale = 1.0;
-    let train = training_instances(MixId::Browsing, &cfg, scale, 0x7AB1 ^ MixId::Browsing as u64);
+    let train = training_instances(
+        MixId::Browsing,
+        &cfg,
+        scale,
+        0x7AB1 ^ MixId::Browsing as u64,
+    );
     let test = test_instances(TestWorkload::Browsing, &cfg, scale, 0xB0);
     let names = webcap_core::monitor::feature_names(MetricLevel::Hpc, TierId::Db);
     let miss_idx = names

@@ -1,0 +1,825 @@
+//! Seeded, pure-data scenarios and their constrained TOML codec.
+//!
+//! A [`Scenario`] is everything a capacity search needs to be replayed
+//! bit-for-bit anywhere: a seed, an SLO, a load curve expressed as
+//! *fractions of the probe level* (so one scenario describes the shape
+//! of the traffic at every probed population), a mix timeline, and a
+//! schedule of telemetry faults. It deliberately contains no behavior
+//! beyond translation into the existing building blocks: a
+//! [`TrafficProgram`] for the simulator and a pair of
+//! [`FaultSchedule`]s for the `webcap-net` agents.
+//!
+//! The on-disk format is a small, strict subset of TOML — four section
+//! kinds (`[scenario]`, `[slo]`, `[[phase]]`, `[[fault]]`), `key =
+//! value` pairs, `#` comments. [`Scenario::to_toml`] renders floats
+//! with Rust's shortest-roundtrip formatting, so
+//! TOML → [`Scenario`] → TOML is byte-lossless (property-tested).
+//! Unknown keys, duplicate keys, and missing required keys are errors:
+//! a scenario that drives a capacity claim must not silently ignore a
+//! typo.
+
+use std::fmt;
+
+use webcap_net::FaultSchedule;
+use webcap_sim::TierId;
+use webcap_tpcw::{Mix, Phase, TrafficProgram};
+
+/// The service-level objective a probe is judged against.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct Slo {
+    /// Response-time deadline, seconds: a completed request slower than
+    /// this counts as an error.
+    pub timeout_s: f64,
+    /// Maximum tolerated fraction of errors (requests past the
+    /// deadline) over the scored windows.
+    pub max_error_fraction: f64,
+    /// Maximum tolerated 99th-percentile response time, seconds.
+    pub max_p99_s: f64,
+}
+
+/// The named TPC-W mixes a scenario phase can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum ScenarioMix {
+    /// TPC-W browsing mix (95% browse interactions).
+    Browsing,
+    /// TPC-W shopping mix (80% browse interactions).
+    Shopping,
+    /// TPC-W ordering mix (50% browse interactions).
+    Ordering,
+}
+
+impl ScenarioMix {
+    /// The lowercase name used in scenario files.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioMix::Browsing => "browsing",
+            ScenarioMix::Shopping => "shopping",
+            ScenarioMix::Ordering => "ordering",
+        }
+    }
+
+    /// The full mix definition.
+    pub fn mix(&self) -> Mix {
+        match self {
+            ScenarioMix::Browsing => Mix::browsing(),
+            ScenarioMix::Shopping => Mix::shopping(),
+            ScenarioMix::Ordering => Mix::ordering(),
+        }
+    }
+
+    fn parse(name: &str) -> Option<ScenarioMix> {
+        match name {
+            "browsing" => Some(ScenarioMix::Browsing),
+            "shopping" => Some(ScenarioMix::Shopping),
+            "ordering" => Some(ScenarioMix::Ordering),
+            _ => None,
+        }
+    }
+}
+
+/// One phase of a scenario's load curve. `from`/`to` are fractions of
+/// the probed population: a probe at `P` EBs runs this phase from
+/// `round(from * P)` to `round(to * P)` emulated browsers (at least 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioPhase {
+    /// Mix active during the phase.
+    pub mix: ScenarioMix,
+    /// Load fraction at phase start.
+    pub from: f64,
+    /// Load fraction at phase end (equal to `from` = steady phase).
+    pub to: f64,
+    /// Phase duration, seconds.
+    pub duration_s: f64,
+}
+
+/// A scheduled telemetry fault, in sample-sequence time (sequence `s`
+/// is the per-tier sample covering simulated second `s+1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// One tier's agent drops every sample with sequence in
+    /// `[from_s, until_s)` — a silent outage the collector must
+    /// quarantine.
+    AgentDown {
+        /// Affected tier.
+        tier: TierId,
+        /// First dropped sequence (inclusive).
+        from_s: u64,
+        /// First sequence sent again (exclusive bound).
+        until_s: u64,
+    },
+    /// One tier's agent tears its connection down and reconnects
+    /// immediately before sending sequence `at_s`.
+    Reconnect {
+        /// Affected tier.
+        tier: TierId,
+        /// Sequence the new session starts with.
+        at_s: u64,
+    },
+}
+
+impl FaultEvent {
+    fn tier(&self) -> TierId {
+        match self {
+            FaultEvent::AgentDown { tier, .. } | FaultEvent::Reconnect { tier, .. } => *tier,
+        }
+    }
+}
+
+fn tier_label(tier: TierId) -> &'static str {
+    match tier {
+        TierId::App => "app",
+        TierId::Db => "db",
+    }
+}
+
+fn tier_parse(name: &str) -> Option<TierId> {
+    match name {
+        "app" => Some(TierId::App),
+        "db" => Some(TierId::Db),
+        _ => None,
+    }
+}
+
+/// A complete, replayable capacity-search scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Unique scenario name (also the golden-report file stem).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// Seed for the simulation run and the metric synthesis.
+    pub seed: u64,
+    /// Leading seconds excluded from SLO scoring (closed-loop warm-up).
+    pub warmup_s: u32,
+    /// The SLO defining the capacity boundary.
+    pub slo: Slo,
+    /// The load curve, as fractions of the probe level.
+    pub phases: Vec<ScenarioPhase>,
+    /// Scheduled telemetry faults (sorted canonically by the codec).
+    pub faults: Vec<FaultEvent>,
+}
+
+impl Scenario {
+    /// Total scenario duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_s).sum()
+    }
+
+    /// The traffic program for a probe at `probe_ebs` emulated
+    /// browsers: every phase's fractions scaled by the probe level.
+    pub fn program(&self, probe_ebs: u32) -> TrafficProgram {
+        let scale = |frac: f64| ((frac * f64::from(probe_ebs)).round() as u32).max(1);
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                let (from, to) = (scale(p.from), scale(p.to));
+                let shape = if from == to {
+                    webcap_tpcw::traffic::PopulationShape::Steady { ebs: from }
+                } else {
+                    webcap_tpcw::traffic::PopulationShape::Ramp { from, to }
+                };
+                Phase {
+                    mix: p.mix.mix(),
+                    shape,
+                    duration_s: p.duration_s,
+                }
+            })
+            .collect();
+        TrafficProgram::new(phases)
+    }
+
+    /// The per-tier fault schedules (`[App, Db]`) for the loopback
+    /// plane, and for the pure poisoning oracle the sim executor uses.
+    pub fn schedules(&self) -> [FaultSchedule; 2] {
+        let mut schedules = [FaultSchedule::NONE, FaultSchedule::NONE];
+        for event in &self.faults {
+            let slot = match event.tier() {
+                TierId::App => &mut schedules[0],
+                TierId::Db => &mut schedules[1],
+            };
+            match *event {
+                FaultEvent::AgentDown {
+                    from_s, until_s, ..
+                } => {
+                    slot.drop_ranges.push((from_s, until_s.saturating_sub(1)));
+                }
+                FaultEvent::Reconnect { at_s, .. } => slot.reconnect_before.push(at_s),
+            }
+        }
+        for schedule in &mut schedules {
+            schedule.drop_ranges.sort_unstable();
+            schedule.reconnect_before.sort_unstable();
+        }
+        schedules
+    }
+
+    /// Render the scenario in the canonical on-disk form. The output is
+    /// a pure function of the scenario, and [`Scenario::from_toml`] of
+    /// it reconstructs the scenario exactly.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[scenario]\n");
+        out.push_str(&format!("name = \"{}\"\n", self.name));
+        out.push_str(&format!("description = \"{}\"\n", self.description));
+        out.push_str(&format!("seed = {}\n", self.seed));
+        out.push_str(&format!("warmup_s = {}\n", self.warmup_s));
+        out.push_str("\n[slo]\n");
+        out.push_str(&format!("timeout_s = {:?}\n", self.slo.timeout_s));
+        out.push_str(&format!(
+            "max_error_fraction = {:?}\n",
+            self.slo.max_error_fraction
+        ));
+        out.push_str(&format!("max_p99_s = {:?}\n", self.slo.max_p99_s));
+        for phase in &self.phases {
+            out.push_str("\n[[phase]]\n");
+            out.push_str(&format!("mix = \"{}\"\n", phase.mix.label()));
+            out.push_str(&format!("from = {:?}\n", phase.from));
+            out.push_str(&format!("to = {:?}\n", phase.to));
+            out.push_str(&format!("duration_s = {:?}\n", phase.duration_s));
+        }
+        for fault in &self.faults {
+            out.push_str("\n[[fault]]\n");
+            match *fault {
+                FaultEvent::AgentDown {
+                    tier,
+                    from_s,
+                    until_s,
+                } => {
+                    out.push_str("kind = \"agent-down\"\n");
+                    out.push_str(&format!("tier = \"{}\"\n", tier_label(tier)));
+                    out.push_str(&format!("from_s = {from_s}\n"));
+                    out.push_str(&format!("until_s = {until_s}\n"));
+                }
+                FaultEvent::Reconnect { tier, at_s } => {
+                    out.push_str("kind = \"reconnect\"\n");
+                    out.push_str(&format!("tier = \"{}\"\n", tier_label(tier)));
+                    out.push_str(&format!("at_s = {at_s}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the on-disk form, validating strictly.
+    ///
+    /// # Errors
+    ///
+    /// Syntax errors, unknown or duplicate keys, missing required keys,
+    /// and semantically invalid values (non-positive durations,
+    /// non-finite numbers, empty phase lists, inverted fault ranges)
+    /// are all reported with the offending line number.
+    pub fn from_toml(text: &str) -> Result<Scenario, ScenarioParseError> {
+        Parser::new(text).parse()
+    }
+}
+
+/// A parse/validation failure, pointing at the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioParseError {
+    /// 1-based line number (0 for whole-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioParseError {}
+
+/// Raw `key = value` pairs of one section instance.
+struct Section {
+    kind: SectionKind,
+    line: usize,
+    entries: Vec<(String, Value, usize)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SectionKind {
+    Scenario,
+    Slo,
+    Phase,
+    Fault,
+}
+
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    Num(String),
+}
+
+struct Parser<'a> {
+    text: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser { text }
+    }
+
+    fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ScenarioParseError> {
+        Err(ScenarioParseError {
+            line,
+            message: message.into(),
+        })
+    }
+
+    fn lex(&self) -> Result<Vec<Section>, ScenarioParseError> {
+        let mut sections: Vec<Section> = Vec::new();
+        for (i, raw) in self.text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                let kind = match header {
+                    "phase" => SectionKind::Phase,
+                    "fault" => SectionKind::Fault,
+                    other => return Self::err(line_no, format!("unknown section [[{other}]]")),
+                };
+                sections.push(Section {
+                    kind,
+                    line: line_no,
+                    entries: Vec::new(),
+                });
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let kind = match header {
+                    "scenario" => SectionKind::Scenario,
+                    "slo" => SectionKind::Slo,
+                    other => return Self::err(line_no, format!("unknown section [{other}]")),
+                };
+                if sections.iter().any(|s| s.kind == kind) {
+                    return Self::err(line_no, format!("duplicate section [{header}]"));
+                }
+                sections.push(Section {
+                    kind,
+                    line: line_no,
+                    entries: Vec::new(),
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Self::err(line_no, format!("expected `key = value`, got `{line}`"));
+            };
+            let key = key.trim();
+            if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Self::err(line_no, format!("invalid key `{key}`"));
+            }
+            let value = Self::lex_value(value.trim(), line_no)?;
+            let Some(section) = sections.last_mut() else {
+                return Self::err(line_no, "key/value before any section header");
+            };
+            if section.entries.iter().any(|(k, _, _)| k == key) {
+                return Self::err(line_no, format!("duplicate key `{key}`"));
+            }
+            section.entries.push((key.to_string(), value, line_no));
+        }
+        Ok(sections)
+    }
+
+    fn lex_value(raw: &str, line_no: usize) -> Result<Value, ScenarioParseError> {
+        if let Some(inner) = raw.strip_prefix('"') {
+            let Some(inner) = inner.strip_suffix('"') else {
+                return Self::err(line_no, "unterminated string");
+            };
+            if inner.contains('"') || !inner.chars().all(|c| (' '..='~').contains(&c)) {
+                return Self::err(
+                    line_no,
+                    "strings must be printable ASCII without embedded quotes",
+                );
+            }
+            return Ok(Value::Str(inner.to_string()));
+        }
+        if raw.is_empty() {
+            return Self::err(line_no, "empty value");
+        }
+        Ok(Value::Num(raw.to_string()))
+    }
+
+    fn parse(self) -> Result<Scenario, ScenarioParseError> {
+        let sections = self.lex()?;
+        let mut scenario: Option<ScenarioHeader> = None;
+        let mut slo: Option<Slo> = None;
+        let mut phases: Vec<ScenarioPhase> = Vec::new();
+        let mut faults: Vec<FaultEvent> = Vec::new();
+        for section in &sections {
+            match section.kind {
+                SectionKind::Scenario => scenario = Some(parse_scenario_header(section)?),
+                SectionKind::Slo => slo = Some(parse_slo(section)?),
+                SectionKind::Phase => phases.push(parse_phase(section)?),
+                SectionKind::Fault => faults.push(parse_fault(section)?),
+            }
+        }
+        let Some(header) = scenario else {
+            return Self::err(0, "missing [scenario] section");
+        };
+        let Some(slo) = slo else {
+            return Self::err(0, "missing [slo] section");
+        };
+        if phases.is_empty() {
+            return Self::err(0, "a scenario needs at least one [[phase]]");
+        }
+        Ok(Scenario {
+            name: header.name,
+            description: header.description,
+            seed: header.seed,
+            warmup_s: header.warmup_s,
+            slo,
+            phases,
+            faults,
+        })
+    }
+}
+
+struct ScenarioHeader {
+    name: String,
+    description: String,
+    seed: u64,
+    warmup_s: u32,
+}
+
+/// Pull the entries of `section` into typed fields, rejecting unknown
+/// keys and reporting missing ones.
+struct Fields<'s> {
+    section: &'s Section,
+    taken: Vec<&'s str>,
+}
+
+impl<'s> Fields<'s> {
+    fn new(section: &'s Section) -> Fields<'s> {
+        Fields {
+            section,
+            taken: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: &'static str) -> Result<(&'s Value, usize), ScenarioParseError> {
+        self.taken.push(key);
+        match self.section.entries.iter().find(|(k, _, _)| k == key) {
+            Some((_, v, line)) => Ok((v, *line)),
+            None => Parser::err(self.section.line, format!("missing required key `{key}`")),
+        }
+    }
+
+    fn string(&mut self, key: &'static str) -> Result<(String, usize), ScenarioParseError> {
+        match self.get(key)? {
+            (Value::Str(s), line) => Ok((s.clone(), line)),
+            (Value::Num(_), line) => Parser::err(line, format!("`{key}` must be a string")),
+        }
+    }
+
+    fn u64(&mut self, key: &'static str) -> Result<(u64, usize), ScenarioParseError> {
+        match self.get(key)? {
+            (Value::Num(raw), line) => match raw.parse::<u64>() {
+                Ok(v) => Ok((v, line)),
+                Err(_) => Parser::err(line, format!("`{key}` must be a nonnegative integer")),
+            },
+            (Value::Str(_), line) => Parser::err(line, format!("`{key}` must be an integer")),
+        }
+    }
+
+    fn f64(&mut self, key: &'static str) -> Result<(f64, usize), ScenarioParseError> {
+        match self.get(key)? {
+            (Value::Num(raw), line) => match raw.parse::<f64>() {
+                Ok(v) if v.is_finite() => Ok((v, line)),
+                _ => Parser::err(line, format!("`{key}` must be a finite number")),
+            },
+            (Value::Str(_), line) => Parser::err(line, format!("`{key}` must be a number")),
+        }
+    }
+
+    fn finish(self) -> Result<(), ScenarioParseError> {
+        for (key, _, line) in &self.section.entries {
+            if !self.taken.iter().any(|t| t == key) {
+                return Parser::err(*line, format!("unknown key `{key}`"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_scenario_header(section: &Section) -> Result<ScenarioHeader, ScenarioParseError> {
+    let mut fields = Fields::new(section);
+    let (name, name_line) = fields.string("name")?;
+    let (description, _) = fields.string("description")?;
+    let (seed, _) = fields.u64("seed")?;
+    let (warmup, warmup_line) = fields.u64("warmup_s")?;
+    fields.finish()?;
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    {
+        return Parser::err(
+            name_line,
+            "scenario names are nonempty kebab-case ([a-z0-9-])",
+        );
+    }
+    let Ok(warmup_s) = u32::try_from(warmup) else {
+        return Parser::err(warmup_line, "`warmup_s` out of range");
+    };
+    Ok(ScenarioHeader {
+        name,
+        description,
+        seed,
+        warmup_s,
+    })
+}
+
+fn parse_slo(section: &Section) -> Result<Slo, ScenarioParseError> {
+    let mut fields = Fields::new(section);
+    let (timeout_s, t_line) = fields.f64("timeout_s")?;
+    let (max_error_fraction, e_line) = fields.f64("max_error_fraction")?;
+    let (max_p99_s, p_line) = fields.f64("max_p99_s")?;
+    fields.finish()?;
+    if timeout_s <= 0.0 {
+        return Parser::err(t_line, "`timeout_s` must be positive");
+    }
+    if !(0.0..=1.0).contains(&max_error_fraction) {
+        return Parser::err(e_line, "`max_error_fraction` must be within [0, 1]");
+    }
+    if max_p99_s <= 0.0 {
+        return Parser::err(p_line, "`max_p99_s` must be positive");
+    }
+    Ok(Slo {
+        timeout_s,
+        max_error_fraction,
+        max_p99_s,
+    })
+}
+
+fn parse_phase(section: &Section) -> Result<ScenarioPhase, ScenarioParseError> {
+    let mut fields = Fields::new(section);
+    let (mix_name, mix_line) = fields.string("mix")?;
+    let (from, from_line) = fields.f64("from")?;
+    let (to, to_line) = fields.f64("to")?;
+    let (duration_s, d_line) = fields.f64("duration_s")?;
+    fields.finish()?;
+    let Some(mix) = ScenarioMix::parse(&mix_name) else {
+        return Parser::err(
+            mix_line,
+            format!("unknown mix \"{mix_name}\" (expected browsing, shopping, or ordering)"),
+        );
+    };
+    for (value, line, key) in [(from, from_line, "from"), (to, to_line, "to")] {
+        if !(value > 0.0 && value <= 16.0) {
+            return Parser::err(line, format!("`{key}` must be within (0, 16]"));
+        }
+    }
+    if duration_s <= 0.0 {
+        return Parser::err(d_line, "`duration_s` must be positive");
+    }
+    Ok(ScenarioPhase {
+        mix,
+        from,
+        to,
+        duration_s,
+    })
+}
+
+fn parse_fault(section: &Section) -> Result<FaultEvent, ScenarioParseError> {
+    let mut fields = Fields::new(section);
+    let (kind, kind_line) = fields.string("kind")?;
+    let (tier_name, tier_line) = fields.string("tier")?;
+    let Some(tier) = tier_parse(&tier_name) else {
+        return Parser::err(
+            tier_line,
+            format!("unknown tier \"{tier_name}\" (expected app or db)"),
+        );
+    };
+    let event = match kind.as_str() {
+        "agent-down" => {
+            let (from_s, _) = fields.u64("from_s")?;
+            let (until_s, until_line) = fields.u64("until_s")?;
+            if until_s <= from_s {
+                return Parser::err(until_line, "`until_s` must exceed `from_s`");
+            }
+            FaultEvent::AgentDown {
+                tier,
+                from_s,
+                until_s,
+            }
+        }
+        "reconnect" => {
+            let (at_s, _) = fields.u64("at_s")?;
+            FaultEvent::Reconnect { tier, at_s }
+        }
+        other => {
+            return Parser::err(
+                kind_line,
+                format!("unknown fault kind \"{other}\" (expected agent-down or reconnect)"),
+            )
+        }
+    };
+    fields.finish()?;
+    Ok(event)
+}
+
+fn steady(mix: ScenarioMix, frac: f64, duration_s: f64) -> ScenarioPhase {
+    ScenarioPhase {
+        mix,
+        from: frac,
+        to: frac,
+        duration_s,
+    }
+}
+
+fn ramp(mix: ScenarioMix, from: f64, to: f64, duration_s: f64) -> ScenarioPhase {
+    ScenarioPhase {
+        mix,
+        from,
+        to,
+        duration_s,
+    }
+}
+
+/// The built-in scenario library — six seeded schedules well beyond the
+/// paper's three steady mixes, in canonical order.
+pub fn library() -> Vec<Scenario> {
+    let slo = Slo {
+        timeout_s: 1.5,
+        max_error_fraction: 0.08,
+        max_p99_s: 2.5,
+    };
+    vec![
+        Scenario {
+            name: "steady-shopping".into(),
+            description: "steady shopping mix at the probe level".into(),
+            seed: 101,
+            warmup_s: 30,
+            slo,
+            phases: vec![steady(ScenarioMix::Shopping, 1.0, 180.0)],
+            faults: Vec::new(),
+        },
+        Scenario {
+            name: "flash-crowd".into(),
+            description: "quiet shopping traffic with a 60 s burst to the probe level".into(),
+            seed: 102,
+            warmup_s: 30,
+            slo: Slo {
+                max_error_fraction: 0.12,
+                ..slo
+            },
+            phases: vec![
+                steady(ScenarioMix::Shopping, 0.45, 60.0),
+                steady(ScenarioMix::Shopping, 1.0, 60.0),
+                steady(ScenarioMix::Shopping, 0.45, 60.0),
+            ],
+            faults: Vec::new(),
+        },
+        Scenario {
+            name: "diurnal-ramp".into(),
+            description: "browsing load ramping up to the probe level and back down".into(),
+            seed: 103,
+            warmup_s: 30,
+            slo,
+            phases: vec![
+                ramp(ScenarioMix::Browsing, 0.35, 1.0, 90.0),
+                steady(ScenarioMix::Browsing, 1.0, 30.0),
+                ramp(ScenarioMix::Browsing, 1.0, 0.35, 90.0),
+            ],
+            faults: Vec::new(),
+        },
+        Scenario {
+            name: "mix-drift".into(),
+            description: "ordering traffic drifting to browsing mid-run at constant load".into(),
+            seed: 104,
+            warmup_s: 30,
+            slo,
+            phases: vec![
+                steady(ScenarioMix::Ordering, 1.0, 90.0),
+                steady(ScenarioMix::Browsing, 1.0, 90.0),
+            ],
+            faults: Vec::new(),
+        },
+        Scenario {
+            name: "slow-leak".into(),
+            description: "ordering load creeping from 75% to 100% of the probe level".into(),
+            seed: 105,
+            warmup_s: 30,
+            slo,
+            phases: vec![ramp(ScenarioMix::Ordering, 0.75, 1.0, 240.0)],
+            faults: Vec::new(),
+        },
+        Scenario {
+            name: "replica-failure".into(),
+            description: "steady shopping peak with a db agent outage and an app reconnect".into(),
+            seed: 106,
+            warmup_s: 30,
+            slo,
+            phases: vec![steady(ScenarioMix::Shopping, 1.0, 180.0)],
+            faults: vec![
+                FaultEvent::AgentDown {
+                    tier: TierId::Db,
+                    from_s: 90,
+                    until_s: 105,
+                },
+                FaultEvent::Reconnect {
+                    tier: TierId::App,
+                    at_s: 160,
+                },
+            ],
+        },
+    ]
+}
+
+/// Look a built-in scenario up by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    library().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_is_well_formed() {
+        let lib = library();
+        assert!(lib.len() >= 6, "at least six scenarios");
+        let mut names: Vec<&str> = lib.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), lib.len(), "names are unique");
+        for s in &lib {
+            assert!(s.duration_s() >= 120.0, "{}: long enough to score", s.name);
+            assert_eq!(s.duration_s() % 30.0, 0.0, "{}: whole windows only", s.name);
+            assert!(s.warmup_s > 0, "{}: warm-up excluded", s.name);
+            // Every scenario must replay through both executors.
+            let program = s.program(50);
+            assert!(program.duration_s() > 0.0);
+            let _ = s.schedules();
+        }
+    }
+
+    #[test]
+    fn library_round_trips_through_toml() {
+        for s in library() {
+            let toml = s.to_toml();
+            let back = Scenario::from_toml(&toml).unwrap_or_else(|e| {
+                panic!("{}: {e}\n{toml}", s.name);
+            });
+            assert_eq!(back, s, "{}", s.name);
+            assert_eq!(back.to_toml(), toml, "{}: canonical form", s.name);
+        }
+    }
+
+    #[test]
+    fn program_scales_fractions_by_the_probe() {
+        let s = find("flash-crowd").unwrap();
+        let program = s.program(100);
+        // 0.45 * 100 → 45 EBs in the quiet phases, 100 at the burst.
+        let quiet = program.at(10.0);
+        let burst = program.at(90.0);
+        assert_eq!(quiet.ebs, 45);
+        assert_eq!(burst.ebs, 100);
+    }
+
+    #[test]
+    fn schedules_map_seconds_to_sequences() {
+        let s = find("replica-failure").unwrap();
+        let [app, db] = s.schedules();
+        assert_eq!(db.drop_ranges, vec![(90, 104)], "inclusive upper bound");
+        assert!(db.reconnect_before.is_empty());
+        assert_eq!(app.reconnect_before, vec![160]);
+        assert!(app.drop_ranges.is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        let base = find("steady-shopping").unwrap().to_toml();
+        // Unknown key.
+        let bad = format!("{base}\n[[phase]]\nmix = \"shopping\"\nfrom = 1.0\nto = 1.0\nduration_s = 30.0\nbogus = 1\n");
+        assert!(Scenario::from_toml(&bad).is_err());
+        // Duplicate section.
+        let bad = format!("{base}\n[scenario]\n");
+        assert!(Scenario::from_toml(&bad).is_err());
+        // Missing required key.
+        assert!(Scenario::from_toml("[scenario]\nname = \"x\"\n").is_err());
+        // Inverted fault range.
+        let bad = format!(
+            "{base}\n[[fault]]\nkind = \"agent-down\"\ntier = \"db\"\nfrom_s = 10\nuntil_s = 10\n"
+        );
+        assert!(Scenario::from_toml(&bad).is_err());
+        // Non-finite number.
+        let bad = base.replace("timeout_s = 1.5", "timeout_s = inf");
+        assert!(Scenario::from_toml(&bad).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = Scenario::from_toml("[scenario]\nname = \"x\"\nname = \"y\"\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("duplicate key"), "{err}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Sim-vs-loopback equivalence, per library scenario.
+//!
+//! The same capacity search runs twice: once through [`SimExecutor`]
+//! (pure in-process poisoning oracle + window replay) and once through
+//! [`LoopbackExecutor`] (real agents and collector over a TCP socket,
+//! scenario faults injected on schedule). The planes must agree on
+//! everything except the executor label: the converged capacity, every
+//! probe measure in order — including each probe's poisoned-window
+//! set — and the bottleneck attribution.
+//!
+//! This is the end-to-end extension of the PR 3 invariant (collector
+//! decisions byte-identical to in-process replay on surviving windows)
+//! up through the capacity number itself.
+
+use std::sync::OnceLock;
+
+use webcap_capsearch::{
+    search_scenario, CapacityReport, LoopbackExecutor, SearchConfig, SimExecutor,
+};
+use webcap_core::{CapacityMeter, MeterConfig};
+use webcap_net::Endpoint;
+
+fn meter() -> &'static CapacityMeter {
+    static METER: OnceLock<CapacityMeter> = OnceLock::new();
+    METER.get_or_init(|| {
+        CapacityMeter::train(&MeterConfig::small_for_tests(31)).expect("meter trains")
+    })
+}
+
+/// Coarse on purpose: each loopback probe spins a real collector and
+/// two agent threads, so keep the probe count small while still
+/// exercising expansion and at least one halving step.
+fn coarse() -> SearchConfig {
+    SearchConfig {
+        initial_lo: 16,
+        initial_hi: 96,
+        tolerance: 24,
+        max_probes: 6,
+        max_ebs: 256,
+    }
+}
+
+fn check_equivalence(name: &str) {
+    let scenario = webcap_capsearch::scenario::find(name).expect("library scenario");
+    let cfg = coarse();
+    let meter = meter();
+
+    let mut sim = SimExecutor::new(meter);
+    let sim_report = search_scenario(&scenario, &mut sim, &cfg).expect("sim search");
+
+    let endpoint = Endpoint::parse("tcp:127.0.0.1:0").expect("endpoint");
+    let mut loopback = LoopbackExecutor::new(meter, endpoint);
+    let loop_report = search_scenario(&scenario, &mut loopback, &cfg).expect("loopback search");
+
+    assert_agreement(name, &sim_report, &loop_report);
+}
+
+fn assert_agreement(name: &str, sim: &CapacityReport, loopback: &CapacityReport) {
+    assert_eq!(sim.executor, "sim");
+    assert_eq!(loopback.executor, "loopback");
+    assert_eq!(
+        sim.capacity_ebs, loopback.capacity_ebs,
+        "{name}: planes disagree on capacity"
+    );
+    assert_eq!(
+        sim.bracket_failing_ebs, loopback.bracket_failing_ebs,
+        "{name}: planes disagree on the bracketing failure"
+    );
+    assert_eq!(sim.converged, loopback.converged, "{name}: convergence");
+    assert_eq!(sim.bottleneck, loopback.bottleneck, "{name}: bottleneck");
+    assert_eq!(
+        sim.config_hash, loopback.config_hash,
+        "{name}: same question"
+    );
+    // Probe-by-probe: identical sequences, verdicts, measures, and
+    // poisoned-window sets. Serialize for a readable failure.
+    let render =
+        |r: &CapacityReport| serde_json::to_string_pretty(&r.probes).expect("probes serialize");
+    assert_eq!(
+        render(sim),
+        render(loopback),
+        "{name}: probe traces diverge"
+    );
+}
+
+#[test]
+fn equivalence_steady_shopping() {
+    check_equivalence("steady-shopping");
+}
+
+#[test]
+fn equivalence_flash_crowd() {
+    check_equivalence("flash-crowd");
+}
+
+#[test]
+fn equivalence_diurnal_ramp() {
+    check_equivalence("diurnal-ramp");
+}
+
+#[test]
+fn equivalence_mix_drift() {
+    check_equivalence("mix-drift");
+}
+
+#[test]
+fn equivalence_slow_leak() {
+    check_equivalence("slow-leak");
+}
+
+#[test]
+fn equivalence_replica_failure() {
+    check_equivalence("replica-failure");
+}

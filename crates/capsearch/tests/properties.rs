@@ -1,0 +1,216 @@
+//! Property suite for the capacity search.
+//!
+//! * Bisection against an exact threshold probe converges to within the
+//!   tolerance, inside the probe budget, never probing one population
+//!   twice.
+//! * At tolerance 1, bisection is exact — and therefore monotone: a
+//!   higher threshold never yields a smaller capacity.
+//! * The scenario TOML codec is lossless: TOML → `Scenario` → TOML is
+//!   byte-identical, and `Scenario` → TOML → `Scenario` is `==`.
+//! * Through the real simulator, tightening the SLO never raises the
+//!   measured capacity by more than the bracket tolerance.
+
+use std::convert::Infallible;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use webcap_capsearch::{
+    bisect, search_scenario, FaultEvent, Scenario, ScenarioMix, ScenarioPhase, SearchConfig,
+    SimExecutor, Slo,
+};
+use webcap_core::{CapacityMeter, MeterConfig};
+use webcap_sim::TierId;
+
+fn run_threshold(cfg: &SearchConfig, t: u32) -> webcap_capsearch::BisectOutcome {
+    match bisect(cfg, |ebs| Ok::<bool, Infallible>(ebs <= t)) {
+        Ok(outcome) => outcome,
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = SearchConfig> {
+    (1u32..64, 1u32..512, 1u32..32, 64u32..4096).prop_map(|(lo, hi, tolerance, max_ebs)| {
+        SearchConfig {
+            initial_lo: lo,
+            initial_hi: hi,
+            tolerance,
+            max_probes: 64,
+            max_ebs,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn bisection_converges_within_tolerance_and_budget(
+        cfg in arb_config(),
+        threshold in 0u32..6000,
+    ) {
+        let out = run_threshold(&cfg, threshold);
+        let max_ebs = cfg.max_ebs.max(1);
+        prop_assert!(out.probes.len() as u32 <= cfg.max_probes.max(2));
+        // No population is ever probed twice.
+        let mut seen: Vec<u32> = out.probes.iter().map(|&(e, _)| e).collect();
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), before);
+        // The claim is always backed by a passing probe (or nothing passed).
+        prop_assert!(out.capacity <= threshold.min(max_ebs));
+        if out.converged {
+            // Converged means the boundary is bracketed within tolerance.
+            prop_assert!(out.capacity + cfg.tolerance >= threshold.min(max_ebs));
+        } else {
+            // With a 64-probe budget the only non-convergence is the
+            // boundary sitting above the probe ceiling.
+            prop_assert_eq!(out.capacity, max_ebs);
+            prop_assert!(threshold >= max_ebs);
+        }
+    }
+
+    #[test]
+    fn tolerance_one_bisection_is_exact_and_monotone(
+        (t1, t2) in (1u32..2000, 1u32..2000),
+        lo in 1u32..64,
+        hi in 1u32..512,
+    ) {
+        let cfg = SearchConfig {
+            initial_lo: lo,
+            initial_hi: hi,
+            tolerance: 1,
+            max_probes: 64,
+            max_ebs: 2048,
+        };
+        let (t_lo, t_hi) = (t1.min(t2), t1.max(t2));
+        let out_lo = run_threshold(&cfg, t_lo);
+        let out_hi = run_threshold(&cfg, t_hi);
+        prop_assert_eq!(out_lo.capacity, t_lo, "tolerance 1 is exact");
+        prop_assert_eq!(out_hi.capacity, t_hi);
+        prop_assert!(out_lo.capacity <= out_hi.capacity);
+    }
+}
+
+fn arb_slo() -> impl Strategy<Value = Slo> {
+    (0.1f64..10.0, 0.0f64..=1.0, 0.1f64..10.0).prop_map(|(timeout_s, err, p99)| Slo {
+        timeout_s,
+        max_error_fraction: err,
+        max_p99_s: p99,
+    })
+}
+
+fn arb_mix() -> impl Strategy<Value = ScenarioMix> {
+    prop_oneof![
+        Just(ScenarioMix::Browsing),
+        Just(ScenarioMix::Shopping),
+        Just(ScenarioMix::Ordering),
+    ]
+}
+
+fn arb_phase() -> impl Strategy<Value = ScenarioPhase> {
+    (arb_mix(), 0.01f64..16.0, 0.01f64..16.0, 1.0f64..300.0).prop_map(
+        |(mix, from, to, duration_s)| ScenarioPhase {
+            mix,
+            from,
+            to,
+            duration_s,
+        },
+    )
+}
+
+fn arb_tier() -> impl Strategy<Value = TierId> {
+    prop_oneof![Just(TierId::App), Just(TierId::Db)]
+}
+
+fn arb_fault() -> impl Strategy<Value = FaultEvent> {
+    prop_oneof![
+        (arb_tier(), 0u64..500, 1u64..100).prop_map(|(tier, from_s, len)| {
+            FaultEvent::AgentDown {
+                tier,
+                from_s,
+                until_s: from_s + len,
+            }
+        }),
+        (arb_tier(), 0u64..600).prop_map(|(tier, at_s)| FaultEvent::Reconnect { tier, at_s }),
+    ]
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        "[a-z][a-z0-9-]{0,14}",
+        "[ !#-~]{0,40}",
+        any::<u64>(),
+        0u32..120,
+        arb_slo(),
+        proptest::collection::vec(arb_phase(), 1..4),
+        proptest::collection::vec(arb_fault(), 0..3),
+    )
+        .prop_map(
+            |(name, description, seed, warmup_s, slo, phases, faults)| Scenario {
+                name,
+                description,
+                seed,
+                warmup_s,
+                slo,
+                phases,
+                faults,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn scenario_toml_round_trip_is_lossless(scenario in arb_scenario()) {
+        let toml = scenario.to_toml();
+        let parsed = Scenario::from_toml(&toml)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{toml}")))?;
+        prop_assert_eq!(&parsed, &scenario);
+        prop_assert_eq!(parsed.to_toml(), toml, "canonical form is a fixed point");
+    }
+}
+
+fn meter() -> &'static CapacityMeter {
+    static METER: OnceLock<CapacityMeter> = OnceLock::new();
+    METER.get_or_init(|| {
+        CapacityMeter::train(&MeterConfig::small_for_tests(31)).expect("meter trains")
+    })
+}
+
+#[test]
+fn tightening_the_slo_never_raises_capacity() {
+    let base = webcap_capsearch::scenario::find("steady-shopping").expect("library scenario");
+    let cfg = SearchConfig::quick();
+    // Strictly tightening SLO ladder: only the acceptance thresholds
+    // move, so any probe passing a tighter SLO passes every looser one.
+    let slos = [
+        Slo {
+            timeout_s: base.slo.timeout_s,
+            max_error_fraction: 0.20,
+            max_p99_s: 4.0,
+        },
+        Slo {
+            timeout_s: base.slo.timeout_s,
+            max_error_fraction: 0.08,
+            max_p99_s: 2.5,
+        },
+        Slo {
+            timeout_s: base.slo.timeout_s,
+            max_error_fraction: 0.02,
+            max_p99_s: 1.2,
+        },
+    ];
+    let mut capacities = Vec::new();
+    for slo in slos {
+        let scenario = Scenario {
+            slo,
+            ..base.clone()
+        };
+        let mut executor = SimExecutor::new(meter());
+        let report = search_scenario(&scenario, &mut executor, &cfg).expect("sim search");
+        capacities.push(report.capacity_ebs);
+    }
+    for pair in capacities.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + cfg.tolerance,
+            "tightening the SLO must not raise capacity: {capacities:?}"
+        );
+    }
+}

@@ -1,11 +1,16 @@
 //! The CLI subcommands: simulate, train, evaluate, info, plan, agent,
-//! collect, snapshot, bench, lint.
+//! collect, snapshot, bench, capsearch, lint.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use webcap_bench::baseline;
 use webcap_bench::harness::{run_suite, BenchReport, BenchTier, BENCH_IDS};
 use webcap_bench::regression;
+use webcap_capsearch::{
+    search_scenario, CapacityReport, LoopbackExecutor, Scenario, ScenarioExecutor, SearchConfig,
+    SimExecutor,
+};
 
 use webcap_core::meter::{CapacityMeter, EvaluationReport, MeterConfig};
 use webcap_core::monitor::{collect_run, MetricLevel};
@@ -589,7 +594,16 @@ fn fmt_ns(ns: u64) -> String {
 /// `webcap bench` — run the fixed performance suite, emit the
 /// machine-readable report, and optionally gate against a baseline.
 pub fn bench(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["quick", "full", "out", "baseline"])?;
+    args.reject_unknown(&[
+        "quick",
+        "full",
+        "out",
+        "baseline",
+        "capture-baseline",
+        "rounds",
+        "warmup-rounds",
+        "max-cv",
+    ])?;
     if args.flag("quick") && args.flag("full") {
         return Err(CliError::Message(
             "--quick and --full are mutually exclusive".into(),
@@ -600,6 +614,23 @@ pub fn bench(args: &Args) -> Result<(), CliError> {
     } else {
         BenchTier::Quick
     };
+    if args.flag("capture-baseline") {
+        if args.get("baseline").is_some() {
+            return Err(CliError::Message(
+                "--capture-baseline records a new baseline and cannot gate \
+                 against one; drop --baseline"
+                    .into(),
+            ));
+        }
+        return bench_capture(args, tier);
+    }
+    for key in ["rounds", "warmup-rounds", "max-cv"] {
+        if args.get(key).is_some() {
+            return Err(CliError::Message(format!(
+                "--{key} only applies with --capture-baseline"
+            )));
+        }
+    }
     let out = args.get_or("out", "BENCH_webcap.json");
 
     println!(
@@ -659,6 +690,220 @@ pub fn bench(args: &Args) -> Result<(), CliError> {
         );
     }
     Ok(())
+}
+
+/// `webcap bench --capture-baseline` — run the suite several times,
+/// refuse noisy machines, and record the variance-aware median as the
+/// committed regression baseline.
+fn bench_capture(args: &Args, tier: BenchTier) -> Result<(), CliError> {
+    let rounds: u32 = args.get_parsed("rounds", 5, "a round count of at least 2")?;
+    let warmup_rounds: u32 = args.get_parsed("warmup-rounds", 1, "a round count")?;
+    let max_cv: f64 = args.get_parsed("max-cv", baseline::DEFAULT_MAX_CV, "a fraction")?;
+    if rounds < 2 {
+        return Err(CliError::Message(
+            "--rounds must be at least 2 to estimate variance".into(),
+        ));
+    }
+    if !(max_cv > 0.0 && max_cv.is_finite()) {
+        return Err(CliError::Message(
+            "--max-cv must be a positive fraction".into(),
+        ));
+    }
+    let out = args.get_or("out", "BENCH_baseline.json");
+
+    println!(
+        "capturing a {} baseline: {warmup_rounds} warm-up + {rounds} measured \
+         round(s), acceptance max CV {:.1}%",
+        tier.label(),
+        max_cv * 100.0
+    );
+    for i in 0..warmup_rounds {
+        println!("warm-up round {}/{warmup_rounds} ...", i + 1);
+        let _ = run_suite(tier);
+    }
+    let mut reports = Vec::with_capacity(rounds as usize);
+    for i in 0..rounds {
+        println!("measured round {}/{rounds} ...", i + 1);
+        reports.push(run_suite(tier));
+    }
+    let outcome = baseline::aggregate_rounds(&reports, max_cv).map_err(CliError::Message)?;
+    println!("{:<32} {:>10} {:>8}", "bench", "median", "CV");
+    for (id, cv) in &outcome.cv_by_bench {
+        let median = outcome
+            .baseline
+            .results
+            .iter()
+            .find(|r| &r.id == id)
+            .map_or(0, |r| r.median_ns);
+        println!("{:<32} {:>10} {:>7.2}%", id, fmt_ns(median), cv * 100.0);
+    }
+    let mut json = serde_json::to_string_pretty(&outcome.baseline)?;
+    json.push('\n');
+    std::fs::write(out, json)?;
+    println!(
+        "baseline written to {out} (suite {}, rev {}); commit it to arm the \
+         CI regression gate",
+        outcome.baseline.suite_hash, outcome.baseline.git_rev
+    );
+    Ok(())
+}
+
+/// `webcap capsearch` — search scenarios for their SLO-boundary
+/// capacity and emit byte-stable reports.
+pub fn capsearch(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "list",
+        "loopback",
+        "bless",
+        "scenario",
+        "scenario-file",
+        "seed",
+        "meter",
+        "out",
+        "golden-dir",
+        "endpoint",
+        "lo",
+        "hi",
+        "tolerance",
+        "max-probes",
+        "max-ebs",
+        "jobs",
+    ])?;
+    if args.flag("list") {
+        for s in webcap_capsearch::library() {
+            println!(
+                "{:<18} seed {:<6} {:>4.0}s, {} phase(s), {} fault(s)  {}",
+                s.name,
+                s.seed,
+                s.duration_s(),
+                s.phases.len(),
+                s.faults.len(),
+                s.description
+            );
+        }
+        return Ok(());
+    }
+
+    let mut scenarios: Vec<Scenario> = if let Some(path) = args.get("scenario-file") {
+        let text = std::fs::read_to_string(path)?;
+        vec![Scenario::from_toml(&text).map_err(|e| CliError::Message(format!("{path}: {e}")))?]
+    } else {
+        match args.get_or("scenario", "all") {
+            "all" => webcap_capsearch::library(),
+            name => vec![webcap_capsearch::scenario::find(name).ok_or_else(|| {
+                CliError::Message(format!(
+                    "unknown scenario '{name}'; run `webcap capsearch --list`"
+                ))
+            })?],
+        }
+    };
+    if args.get("seed").is_some() {
+        let seed: u64 = args.get_parsed("seed", 0, "a u64 seed")?;
+        for s in &mut scenarios {
+            s.seed = seed;
+        }
+    }
+
+    let cfg = capsearch_config(args)?;
+    let meter = match args.get("meter") {
+        Some(path) => CapacityMeter::from_json(&std::fs::read_to_string(path)?)?,
+        None => {
+            CapacityMeter::train(&MeterConfig::small_for_tests(31).with_parallelism(args.jobs()?))?
+        }
+    };
+
+    if args.flag("bless") {
+        let dir = PathBuf::from(args.get_or("golden-dir", "crates/capsearch/tests/golden"));
+        std::fs::create_dir_all(&dir)?;
+        for scenario in &scenarios {
+            let mut executor = SimExecutor::new(&meter);
+            let report = search_scenario(scenario, &mut executor, &cfg)
+                .map_err(|e| CliError::Message(e.to_string()))?;
+            let path = dir.join(format!("{}.json", scenario.name));
+            std::fs::write(&path, report.render())?;
+            println!(
+                "blessed {}: capacity {} EBs ({:.1} rps)",
+                path.display(),
+                report.capacity_ebs,
+                report.capacity_rps
+            );
+        }
+        return Ok(());
+    }
+
+    for scenario in &scenarios {
+        let report = if args.flag("loopback") {
+            let endpoint = Endpoint::parse(args.get_or("endpoint", "tcp:127.0.0.1:0"))?;
+            let mut executor = LoopbackExecutor::new(&meter, endpoint);
+            run_capsearch(scenario, &mut executor, &cfg)?
+        } else {
+            let mut executor = SimExecutor::new(&meter);
+            run_capsearch(scenario, &mut executor, &cfg)?
+        };
+        println!(
+            "{:<18} [{}] capacity {:>4} EBs  {:>7.1} rps  {}  bottleneck {}  \
+             ({} probes, config {})",
+            report.scenario,
+            report.executor,
+            report.capacity_ebs,
+            report.capacity_rps,
+            if report.converged {
+                "converged"
+            } else {
+                "NOT converged"
+            },
+            report
+                .bottleneck
+                .map_or("none".to_string(), |t| t.to_string()),
+            report.probes.len(),
+            report.config_hash
+        );
+        if let Some(dir) = args.get("out") {
+            std::fs::create_dir_all(dir)?;
+            let path = Path::new(dir).join(format!("{}.json", report.scenario));
+            std::fs::write(&path, report.render())?;
+            println!("  report written to {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn run_capsearch(
+    scenario: &Scenario,
+    executor: &mut dyn ScenarioExecutor,
+    cfg: &SearchConfig,
+) -> Result<CapacityReport, CliError> {
+    search_scenario(scenario, executor, cfg).map_err(|e| CliError::Message(e.to_string()))
+}
+
+/// Resolve the search parameters. `--bless` pins the exact
+/// configuration the golden suite uses, so the CLI and the tests can
+/// never drift apart; everything else starts from the default bracket.
+fn capsearch_config(args: &Args) -> Result<SearchConfig, CliError> {
+    if args.flag("bless") {
+        for key in ["lo", "hi", "tolerance", "max-probes", "max-ebs"] {
+            if args.get(key).is_some() {
+                return Err(CliError::Message(format!(
+                    "--{key} conflicts with --bless: golden reports always use \
+                     the pinned quick search config"
+                )));
+            }
+        }
+        return Ok(SearchConfig::quick());
+    }
+    let defaults = SearchConfig::default();
+    let cfg = SearchConfig {
+        initial_lo: args.get_parsed("lo", defaults.initial_lo, "a population")?,
+        initial_hi: args.get_parsed("hi", defaults.initial_hi, "a population")?,
+        tolerance: args
+            .get_parsed("tolerance", defaults.tolerance, "a population width")?
+            .max(1),
+        max_probes: args.get_parsed("max-probes", defaults.max_probes, "a probe count")?,
+        max_ebs: args
+            .get_parsed("max-ebs", defaults.max_ebs, "a population ceiling")?
+            .max(1),
+    };
+    Ok(cfg)
 }
 
 /// `webcap lint` — run the workspace invariant analyzer and diff its
@@ -766,6 +1011,21 @@ COMMANDS:
              [--quick|--full] [--out <file>] [--baseline <file>]
              (--baseline gates: exit nonzero if any bench median regresses
              more than WEBCAP_BENCH_TOLERANCE, default 0.25, past it)
+             [--capture-baseline [--rounds <N>] [--warmup-rounds <N>]
+             [--max-cv <f>]]
+             (--capture-baseline runs several measured rounds, rejects the
+             capture if any bench's median varies more than --max-cv,
+             default 0.15, and writes the aggregated BENCH_baseline.json)
+  capsearch  bisect scenarios to their SLO-boundary capacity and emit
+             byte-stable capacity reports
+             [--list] [--scenario <name|all>] [--scenario-file <toml>]
+             [--loopback [--endpoint <ep>]] [--seed <N>] [--meter <file>]
+             [--out <dir>] [--lo <N>] [--hi <N>] [--tolerance <N>]
+             [--max-probes <N>] [--max-ebs <N>] [--jobs <N|auto>]
+             [--bless [--golden-dir <dir>]]
+             (--bless regenerates the golden reports with the pinned quick
+             search config; --loopback probes through the real
+             agent/collector plane instead of the in-process replay)
   lint       run the workspace invariant analyzer (determinism,
              panic-safety, wire-protocol, and config-validation rules)
              [--root <dir>] [--format human|json] [--out <file>]

@@ -4,7 +4,8 @@
 
 use webcap_cli::args::Args;
 use webcap_cli::commands::{
-    agent, bench, collect, evaluate, info, lint, plan, simulate, snapshot, train, CliError, USAGE,
+    agent, bench, capsearch, collect, evaluate, info, lint, plan, simulate, snapshot, train,
+    CliError, USAGE,
 };
 
 fn main() {
@@ -23,7 +24,8 @@ fn main() {
     let command = raw.remove(0);
     // Subcommands with bare (value-less) flags.
     let bare_flags: &[&str] = match command.as_str() {
-        "bench" => &["quick", "full"],
+        "bench" => &["quick", "full", "capture-baseline"],
+        "capsearch" => &["list", "loopback", "bless"],
         "collect" => &["resume"],
         "lint" => &["write-baseline"],
         _ => &[],
@@ -40,6 +42,7 @@ fn main() {
             "collect" => collect(&args),
             "snapshot" => snapshot(&args),
             "bench" => bench(&args),
+            "capsearch" => capsearch(&args),
             "lint" => lint(&args),
             other => Err(CliError::Message(format!(
                 "unknown command '{other}'; run `webcap --help`"

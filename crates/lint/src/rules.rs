@@ -3,8 +3,8 @@
 //!
 //! | rule | crates | guards |
 //! |------|--------|--------|
-//! | `nondet-time` | core, ml, sim, parallel, bench | PR 1's byte-identical determinism: no wall clocks or entropy in deterministic paths |
-//! | `nondet-iteration` | core, ml, sim, parallel, bench | PR 1/3: no unordered `HashMap`/`HashSet` iteration that could reorder serialized output |
+//! | `nondet-time` | core, ml, sim, parallel, bench, capsearch | PR 1's byte-identical determinism: no wall clocks or entropy in deterministic paths |
+//! | `nondet-iteration` | core, ml, sim, parallel, bench, capsearch | PR 1/3: no unordered `HashMap`/`HashSet` iteration that could reorder serialized output |
 //! | `panic-unwrap` | core, net | PR 4's audit: no `unwrap`/`expect`/`panic!` in runtime paths |
 //! | `panic-indexing` | core, net | PR 4: no direct indexing (`x[i]`) that can panic in runtime paths |
 //! | `protocol-wildcard-match` | net/src/frame.rs | PR 2: wire-enum matches stay exhaustive so a new `Frame` variant forces every site to be revisited |
@@ -18,8 +18,9 @@ use crate::lexer::{Tok, TokKind};
 use crate::{Finding, Severity, WorkspaceIndex};
 
 /// Crates whose outputs must be byte-identical across runs and thread
-/// counts (the PR 1 determinism harness covers exactly these).
-pub const DETERMINISTIC_CRATES: &[&str] = &["core", "ml", "sim", "parallel", "bench"];
+/// counts (the PR 1 determinism harness covers these, and the capsearch
+/// golden suite extends the same contract to capacity reports).
+pub const DETERMINISTIC_CRATES: &[&str] = &["core", "ml", "sim", "parallel", "bench", "capsearch"];
 
 /// Crates whose runtime paths must be panic-free (the PR 4 audit).
 pub const PANIC_FREE_CRATES: &[&str] = &["core", "net"];

@@ -24,7 +24,7 @@
 //!   Nth sent frame — the knobs the CI fault matrix and the
 //!   fault-injection acceptance test turn.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::io::{self};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
@@ -106,6 +106,44 @@ impl FaultKnobs {
     }
 }
 
+/// A deterministic, per-sequence fault script — the scenario-replay
+/// counterpart of the periodic [`FaultKnobs`].
+///
+/// Where the knobs describe *rates* ("every Nth frame"), a schedule
+/// names exact sample sequences: ranges the agent silently discards
+/// (a tier outage) and points where it tears the connection down and
+/// redials (a process restart). Both sim replay and the loopback plane
+/// consume the same schedule, which is what makes scenario capacity
+/// reports reproducible across the two substrates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Inclusive `(first, last)` sequence ranges whose sample frames are
+    /// silently discarded at send time, producing sequence gaps.
+    pub drop_ranges: Vec<(u64, u64)>,
+    /// Force a clean reconnect immediately *before* sending each listed
+    /// sequence (once per listed value; the frame itself is re-sent on
+    /// the next session).
+    pub reconnect_before: Vec<u64>,
+}
+
+impl FaultSchedule {
+    /// No scheduled faults.
+    pub const NONE: FaultSchedule = FaultSchedule {
+        drop_ranges: Vec::new(),
+        reconnect_before: Vec::new(),
+    };
+
+    /// Whether `seq` falls inside any drop range.
+    pub fn drops(&self, seq: u64) -> bool {
+        self.drop_ranges.iter().any(|&(a, b)| a <= seq && seq <= b)
+    }
+
+    /// Whether the schedule does nothing.
+    pub fn is_empty(&self) -> bool {
+        self.drop_ranges.is_empty() && self.reconnect_before.is_empty()
+    }
+}
+
 /// Agent runtime configuration.
 #[derive(Debug, Clone)]
 pub struct AgentConfig {
@@ -127,6 +165,8 @@ pub struct AgentConfig {
     pub seed: u64,
     /// Induced faults.
     pub faults: FaultKnobs,
+    /// Scheduled per-sequence faults (scenario replay).
+    pub schedule: FaultSchedule,
 }
 
 impl AgentConfig {
@@ -142,6 +182,7 @@ impl AgentConfig {
             heartbeat: Duration::from_millis(500),
             seed,
             faults: FaultKnobs::NONE,
+            schedule: FaultSchedule::NONE,
         }
     }
 }
@@ -248,6 +289,9 @@ pub fn run_agent(
     // oracle (the fault-injection test) replays to predict exactly which
     // sequences went missing.
     let mut attempts: u64 = 0;
+    // Scheduled reconnect points already taken, so each fires once even
+    // though the triggering frame is re-sent on the next session.
+    let mut sched_reconnected: BTreeSet<u64> = BTreeSet::new();
 
     loop {
         let conn = dial(cfg)?;
@@ -332,6 +376,19 @@ pub fn run_agent(
                 // `continue`s otherwise), but a `let-else` keeps this
                 // loop panic-free by construction.
                 let Some(ws) = queue.front() else { continue };
+                // Scheduled faults run before the periodic knobs and do
+                // not consume a knob attempt: a scenario's scripted
+                // outage must not shift which frames a `drop_every` run
+                // would discard.
+                let seq = ws.seq;
+                if cfg.schedule.reconnect_before.contains(&seq) && sched_reconnected.insert(seq) {
+                    break SessionEnd::Reconnect;
+                }
+                if cfg.schedule.drops(seq) {
+                    queue.pop_front();
+                    report.frames_dropped += 1;
+                    continue;
+                }
                 attempts += 1;
                 if cfg.faults.drop_every.is_some_and(|n| attempts % n == 0) {
                     queue.pop_front();
@@ -433,6 +490,21 @@ mod tests {
         std::env::remove_var("WEBCAP_NET_DELAY_MS");
         std::env::remove_var("WEBCAP_NET_RECONNECT_EVERY");
         assert_eq!(FaultKnobs::try_from_env(), Ok(FaultKnobs::NONE));
+    }
+
+    #[test]
+    fn fault_schedule_ranges_are_inclusive() {
+        let s = FaultSchedule {
+            drop_ranges: vec![(10, 12), (40, 40)],
+            reconnect_before: vec![20],
+        };
+        assert!(!s.drops(9));
+        assert!(s.drops(10));
+        assert!(s.drops(12));
+        assert!(!s.drops(13));
+        assert!(s.drops(40));
+        assert!(!s.is_empty());
+        assert!(FaultSchedule::NONE.is_empty());
     }
 
     #[test]

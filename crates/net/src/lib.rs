@@ -41,12 +41,12 @@ pub mod source;
 pub mod supervisor;
 pub mod transport;
 
-pub use agent::{run_agent, AgentConfig, AgentReport, FaultKnobs};
+pub use agent::{run_agent, AgentConfig, AgentReport, FaultKnobs, FaultSchedule};
 pub use collector::{run_collector, Assembler, AssemblerState, CollectorConfig, CollectorReport};
 pub use frame::{metric_schema_hash, AppStats, Frame, FrameError, WireSample, PROTO_VERSION};
 pub use loopback::{
-    all_windows, predicted_surviving_windows, replay_windows, run_loopback,
-    run_supervised_loopback, LoopbackOutcome,
+    all_windows, predicted_surviving_windows, predicted_windows_for_schedule, replay_windows,
+    run_loopback, run_loopback_scheduled, run_supervised_loopback, LoopbackOutcome,
 };
 pub use source::{SampleSource, ScriptedSource, SourcePoll, SourceSample, TierSampler};
 pub use supervisor::{

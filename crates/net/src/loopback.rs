@@ -23,7 +23,7 @@ use std::path::Path;
 use webcap_core::{AdmissionController, CapacityMeter, OnlineDecision, OnlineMonitor};
 use webcap_sim::{SystemSample, TierId};
 
-use crate::agent::{run_agent, AgentConfig, AgentReport, FaultKnobs};
+use crate::agent::{run_agent, AgentConfig, AgentReport, FaultKnobs, FaultSchedule};
 use crate::collector::{run_collector, CollectorConfig, CollectorReport};
 use crate::source::{ScriptedSource, TierSampler};
 use crate::supervisor::{run_supervised_collector, SupervisedReport, SupervisorConfig};
@@ -49,6 +49,21 @@ pub fn run_loopback(
     base_seed: u64,
     faults: FaultKnobs,
 ) -> io::Result<LoopbackOutcome> {
+    let schedules = [FaultSchedule::NONE, FaultSchedule::NONE];
+    run_loopback_scheduled(meter, samples, endpoint, base_seed, faults, &schedules)
+}
+
+/// [`run_loopback`] with an additional per-tier [`FaultSchedule`]
+/// (`[App, Db]`) — the scenario-replay entry point. The periodic
+/// `faults` knobs still apply on top of the schedules.
+pub fn run_loopback_scheduled(
+    meter: &CapacityMeter,
+    samples: &[SystemSample],
+    endpoint: &Endpoint,
+    base_seed: u64,
+    faults: FaultKnobs,
+    schedules: &[FaultSchedule; 2],
+) -> io::Result<LoopbackOutcome> {
     let listener = Listener::bind(endpoint)?;
     let dial = listener.local_endpoint()?;
     let hpc_model = meter.config().hpc_model.clone();
@@ -59,13 +74,14 @@ pub fn run_loopback(
         let collector =
             scope.spawn(move || run_collector(listener, meter_clone, collector_cfg, |_, _| {}));
         let mut agent_handles = Vec::new();
-        for tier in TierId::ALL {
+        for (tier, schedule) in TierId::ALL.into_iter().zip(schedules.iter()) {
             let dial = dial.clone();
             let hpc_model = hpc_model.clone();
             let tier_samples = samples.to_vec();
             agent_handles.push(scope.spawn(move || {
                 let mut cfg = AgentConfig::new(tier, dial, base_seed);
                 cfg.faults = faults;
+                cfg.schedule = schedule.clone();
                 let mut source = ScriptedSource::new(tier, tier_samples);
                 run_agent(&cfg, hpc_model, &mut source)
             }));
@@ -224,11 +240,6 @@ pub fn predicted_surviving_windows(
     window_len: usize,
     origin: i64,
 ) -> (BTreeSet<i64>, BTreeSet<i64>) {
-    let window_len = window_len as i64;
-    let window_of = |key: i64| (key - origin).div_euclid(window_len);
-    let first_key = |w: i64| origin + w * window_len;
-    let last_key = |w: i64| first_key(w) + window_len - 1;
-
     // The agent's send schedule (both tiers run the same knobs, so one
     // schedule describes both): keys that reach the wire, grouped by
     // connection.
@@ -248,8 +259,49 @@ pub fn predicted_surviving_windows(
             conn_sent = 0;
         }
     }
+    sessions_to_windows(&sessions, total, window_len, origin)
+}
 
-    // The collector's poisoning rules over that schedule.
+/// Predict `(survivors, poisoned)` for one agent running a
+/// [`FaultSchedule`]: scheduled drops silence their sequences,
+/// scheduled reconnects split the send sessions, and the collector's
+/// documented poisoning rules run over the resulting schedule. Shares
+/// the poisoning replay with [`predicted_surviving_windows`] but no
+/// code with the agent or collector.
+pub fn predicted_windows_for_schedule(
+    total: u64,
+    schedule: &FaultSchedule,
+    window_len: usize,
+    origin: i64,
+) -> (BTreeSet<i64>, BTreeSet<i64>) {
+    let mut sessions: Vec<Vec<i64>> = vec![Vec::new()];
+    for seq in 0..total {
+        if schedule.reconnect_before.contains(&seq) {
+            sessions.push(Vec::new());
+        }
+        if schedule.drops(seq) {
+            continue;
+        }
+        if let Some(session) = sessions.last_mut() {
+            session.push(origin + seq as i64);
+        }
+    }
+    sessions_to_windows(&sessions, total, window_len, origin)
+}
+
+/// The collector's poisoning rules over an agent send schedule: keys
+/// that reached the wire, grouped by connection, in order.
+fn sessions_to_windows(
+    sessions: &[Vec<i64>],
+    total: u64,
+    window_len: usize,
+    origin: i64,
+) -> (BTreeSet<i64>, BTreeSet<i64>) {
+    let window_len = window_len as i64;
+    let window_of = |key: i64| (key - origin).div_euclid(window_len);
+    let first_key = |w: i64| origin + w * window_len;
+    let last_key = |w: i64| first_key(w) + window_len - 1;
+
     let mut poisoned = BTreeSet::new();
     let mut last: Option<i64> = None;
     let mut fresh = false;
@@ -338,6 +390,49 @@ mod tests {
         };
         let (survivors, poisoned) = predicted_surviving_windows(120, &faults, 30, 1);
         assert_eq!(survivors.len(), 4);
+        assert!(poisoned.is_empty());
+    }
+
+    #[test]
+    fn scheduled_outage_poisons_only_straddled_windows() {
+        // Drop seqs 90..=104 → keys 91..=105, all inside window 3
+        // (keys 91..=120); reconnect before seq 160 breaks between keys
+        // 160 and 161, mid-window 5 (keys 151..=180).
+        let schedule = FaultSchedule {
+            drop_ranges: vec![(90, 104)],
+            reconnect_before: vec![160],
+        };
+        let (survivors, poisoned) = predicted_windows_for_schedule(210, &schedule, 30, 1);
+        assert_eq!(
+            poisoned,
+            [3, 5].into_iter().collect::<BTreeSet<i64>>(),
+            "poisoned"
+        );
+        assert_eq!(
+            survivors,
+            [0, 1, 2, 4, 6].into_iter().collect::<BTreeSet<i64>>(),
+            "survivors"
+        );
+    }
+
+    #[test]
+    fn boundary_aligned_scheduled_reconnect_poisons_nothing() {
+        // Break before seq 30 = between keys 30 and 31, exactly on the
+        // window-0/1 boundary.
+        let schedule = FaultSchedule {
+            drop_ranges: vec![],
+            reconnect_before: vec![30],
+        };
+        let (survivors, poisoned) = predicted_windows_for_schedule(90, &schedule, 30, 1);
+        assert!(poisoned.is_empty(), "poisoned {poisoned:?}");
+        assert_eq!(survivors.len(), 3);
+    }
+
+    #[test]
+    fn empty_schedule_matches_no_faults() {
+        let (survivors, poisoned) =
+            predicted_windows_for_schedule(240, &FaultSchedule::NONE, 30, 1);
+        assert_eq!(survivors, (0..8).collect::<BTreeSet<i64>>());
         assert!(poisoned.is_empty());
     }
 

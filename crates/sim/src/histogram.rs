@@ -102,6 +102,27 @@ impl RtHistogram {
         Some(MAX_S)
     }
 
+    /// Fraction of recorded samples strictly above the bucket containing
+    /// `seconds` — the SLO "error rate" for a response-time deadline.
+    ///
+    /// Resolution is one bucket (≤ ~13% relative on the threshold): a
+    /// sample counts as "above" only when its whole bucket lies above the
+    /// threshold's bucket, so the estimate is conservative by at most one
+    /// bucket. Returns 0 when empty.
+    pub fn fraction_above(&self, seconds: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let cut = Self::bucket_of(seconds);
+        let above: u64 = self
+            .counts
+            .iter()
+            .skip(cut + 1)
+            .map(|&c| u64::from(c))
+            .sum();
+        above as f64 / self.total as f64
+    }
+
     /// Convenience: the median.
     pub fn p50(&self) -> Option<f64> {
         self.quantile(0.5)
@@ -204,6 +225,21 @@ mod tests {
         let _ = RtHistogram::new().quantile(0.0);
     }
 
+    #[test]
+    fn fraction_above_splits_a_bimodal_distribution() {
+        let mut h = RtHistogram::new();
+        for _ in 0..90 {
+            h.record(0.05);
+        }
+        for _ in 0..10 {
+            h.record(8.0);
+        }
+        let f = h.fraction_above(1.0);
+        assert!((f - 0.1).abs() < 1e-12, "fraction {f}");
+        assert_eq!(h.fraction_above(100.0), 0.0, "nothing above the range");
+        assert_eq!(RtHistogram::new().fraction_above(1.0), 0.0, "empty");
+    }
+
     proptest! {
         /// Quantiles are monotone in q and bounded by the recorded range
         /// up to bucket resolution.
@@ -222,6 +258,28 @@ mod tests {
             }
             let max = values.iter().copied().fold(0.0f64, f64::max);
             prop_assert!(last <= max * 1.3 + 1e-3, "q1.0 {} vs max {}", last, max);
+        }
+
+        /// `fraction_above` is monotone non-increasing in the threshold
+        /// and bounded by [0, 1].
+        #[test]
+        fn fraction_above_is_monotone(
+            values in prop::collection::vec(0.001f64..100.0, 1..200),
+            thresholds in prop::collection::vec(0.0005f64..150.0, 2..10),
+        ) {
+            let mut h = RtHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = thresholds.clone();
+            sorted.sort_by(f64::total_cmp);
+            let mut last = 1.0f64;
+            for &t in &sorted {
+                let f = h.fraction_above(t);
+                prop_assert!((0.0..=1.0).contains(&f), "fraction {} at {}", f, t);
+                prop_assert!(f <= last + 1e-12, "not monotone at {}", t);
+                last = f;
+            }
         }
 
         /// Total count always equals the number of records after any merge

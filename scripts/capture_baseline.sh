@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Capture a variance-aware bench baseline for the CI regression gate.
+#
+# Builds the release CLI, runs `webcap bench --capture-baseline` (several
+# measured rounds; the capture is rejected if any bench's median varies
+# more than MAX_CV across rounds), and writes the aggregated report to
+# OUT (default BENCH_baseline.json). Commit the resulting file to arm
+# the gate.
+#
+# Knobs (environment variables):
+#   BASELINE_ROUNDS  measured rounds            (default 5)
+#   WARMUP_ROUNDS    discarded warm-up rounds   (default 1)
+#   MAX_CV           max median CV per bench    (default 0.15)
+#   BENCH_TIER       quick | full               (default quick; CI gates quick)
+#   OUT              output path                (default BENCH_baseline.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ROUNDS="${BASELINE_ROUNDS:-5}"
+WARMUP="${WARMUP_ROUNDS:-1}"
+MAX_CV="${MAX_CV:-0.15}"
+TIER="${BENCH_TIER:-quick}"
+OUT="${OUT:-BENCH_baseline.json}"
+
+case "$TIER" in
+  quick|full) ;;
+  *) echo "error: BENCH_TIER must be quick or full, got '$TIER'" >&2; exit 1 ;;
+esac
+
+echo "building the release CLI ..."
+cargo build --release -p webcap-cli
+
+echo "capturing $TIER baseline: $WARMUP warm-up + $ROUNDS measured rounds (max CV $MAX_CV) ..."
+./target/release/webcap bench \
+  "--$TIER" \
+  --capture-baseline \
+  --rounds "$ROUNDS" \
+  --warmup-rounds "$WARMUP" \
+  --max-cv "$MAX_CV" \
+  --out "$OUT"
+
+echo "done: commit $OUT to arm the CI regression gate"
