@@ -19,9 +19,10 @@ use webcap_core::synopsis::{dataset_from_instances, PerformanceSynopsis, Synopsi
 use webcap_core::{
     CapacityMeter, CoordinatedPredictor, CoordinatorConfig, MeterConfig, MetricLevel,
 };
+use webcap_fleet::{FleetCollector, MergeNode};
 use webcap_ml::select::SelectionOptions;
 use webcap_ml::{forward_select, Algorithm};
-use webcap_net::{AppStats, Assembler, WireSample};
+use webcap_net::{AppStats, Assembler, DigestFin, SupervisorConfig, WireSample};
 use webcap_sim::{RtHistogram, SimConfig, TierId, TierSample};
 use webcap_tpcw::{Mix, MixId};
 
@@ -34,7 +35,7 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// Identifiers of every bench in the suite, in execution order. The
 /// suite hash is derived from this list, so renaming, adding, or removing
 /// a bench invalidates old baselines loudly instead of silently.
-pub const BENCH_IDS: [&str; 9] = [
+pub const BENCH_IDS: [&str; 10] = [
     "sim_engine_steps",
     "synopsis_train_lr",
     "synopsis_train_nb",
@@ -43,6 +44,7 @@ pub const BENCH_IDS: [&str; 9] = [
     "forward_selection",
     "coordinated_predictor_updates",
     "collector_window_assembly",
+    "fleet_merge",
     "capsearch_bisection",
 ];
 
@@ -355,6 +357,46 @@ fn bench_collector_assembly(tier: BenchTier, meter: &CapacityMeter) -> BenchResu
     })
 }
 
+/// Fleet merge throughput: pre-digest a two-collector fleet's frames
+/// outside the timed region, then measure the merge node assembling the
+/// global per-window view and scoring it with the meter — the per-frame
+/// cost the front end pays when the telemetry plane is sharded.
+fn bench_fleet_merge(tier: BenchTier, meter: &CapacityMeter) -> BenchResult {
+    let window_len = meter.config().window_len as u64;
+    let windows = tier.collector_windows();
+    let total = windows * window_len;
+    let sup_cfg = SupervisorConfig::default();
+    let mut app = FleetCollector::new(0, &[TierId::App], window_len as i64, 1, sup_cfg);
+    let mut db = FleetCollector::new(1, &[TierId::Db], window_len as i64, 1, sup_cfg);
+    app.on_session_start(TierId::App);
+    db.on_session_start(TierId::Db);
+    let mut frames = Vec::new();
+    for seq in 0..total {
+        app.on_sample(TierId::App, &collector_sample(seq, true));
+        db.on_sample(TierId::Db, &collector_sample(seq, false));
+        for col in [&mut app, &mut db] {
+            frames.extend(col.flush(None));
+        }
+    }
+    let last_window = (total / window_len) as i64 - 1;
+    for col in [&mut app, &mut db] {
+        let tiers = col.tiers();
+        col.on_bye(tiers[0], total - 1);
+        let fin = DigestFin { tiers, last_window };
+        frames.extend(col.flush(Some(fin)));
+    }
+    measure("fleet_merge", tier.reps(), || {
+        let mut merge = MergeNode::new(meter.clone());
+        for frame in &frames {
+            merge.ingest(frame);
+        }
+        let outcome = merge.finalize();
+        assert_eq!(outcome.decisions.len() as u64, windows, "all windows merge");
+        assert_eq!(outcome.anomalies, 0);
+        frames.len() as u64
+    })
+}
+
 /// End-to-end capacity bisection through the in-process executor: the
 /// cost of answering "what is this site's capacity" online. Work units
 /// are the windows scored across all probes — deterministic, so the
@@ -411,6 +453,7 @@ pub fn run_suite(tier: BenchTier) -> BenchReport {
         bench_forward_selection(tier, &instances),
         bench_predictor_updates(tier),
         bench_collector_assembly(tier, &meter),
+        bench_fleet_merge(tier, &meter),
         bench_capsearch_bisection(tier, &meter),
     ];
     debug_assert_eq!(results.len(), BENCH_IDS.len());

@@ -1,5 +1,5 @@
 //! The CLI subcommands: simulate, train, evaluate, info, plan, agent,
-//! collect, snapshot, bench, capsearch, lint.
+//! collect, snapshot, bench, capsearch, fleet, lint.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -17,6 +17,7 @@ use webcap_core::monitor::{collect_run, MetricLevel};
 use webcap_core::oracle::{label_window, OracleConfig};
 use webcap_core::workloads;
 use webcap_core::{read_snapshot, AdmissionConfig, AdmissionController, SnapshotHeader};
+use webcap_fleet::{run_fleet, FleetChaos, FleetTopology};
 use webcap_hpc::HpcModel;
 use webcap_ml::Algorithm;
 use webcap_net::{
@@ -577,6 +578,19 @@ pub fn snapshot(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Write `contents` to `path`, creating any missing parent directories
+/// first — every report/baseline writer goes through this so a nested
+/// `--out` path works on a clean checkout.
+fn write_creating_parents(path: &Path, contents: &str) -> Result<(), CliError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)?;
+    Ok(())
+}
+
 /// Format nanoseconds for the human-readable bench table.
 fn fmt_ns(ns: u64) -> String {
     let ns = ns as f64;
@@ -656,7 +670,7 @@ pub fn bench(args: &Args) -> Result<(), CliError> {
     }
     let mut json = serde_json::to_string_pretty(&report)?;
     json.push('\n');
-    std::fs::write(out, json)?;
+    write_creating_parents(Path::new(out), &json)?;
     println!(
         "report written to {out} (suite {}, rev {})",
         report.suite_hash, report.git_rev
@@ -739,7 +753,7 @@ fn bench_capture(args: &Args, tier: BenchTier) -> Result<(), CliError> {
     }
     let mut json = serde_json::to_string_pretty(&outcome.baseline)?;
     json.push('\n');
-    std::fs::write(out, json)?;
+    write_creating_parents(Path::new(out), &json)?;
     println!(
         "baseline written to {out} (suite {}, rev {}); commit it to arm the \
          CI regression gate",
@@ -906,6 +920,175 @@ fn capsearch_config(args: &Args) -> Result<SearchConfig, CliError> {
     Ok(cfg)
 }
 
+/// `webcap fleet` — run the sharded multi-collector telemetry fleet
+/// over a scenario's sample stream and print the deterministic merged
+/// outcome.
+pub fn fleet(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "topology",
+        "collectors",
+        "scenario",
+        "ebs",
+        "seed",
+        "meter",
+        "out",
+        "jobs",
+        "print-topology",
+        "decisions",
+        "chaos-collector",
+        "chaos-at",
+    ])?;
+
+    let mut scenario = {
+        let name = args.get_or("scenario", "steady-shopping");
+        webcap_capsearch::scenario::find(name).ok_or_else(|| {
+            CliError::Message(format!(
+                "unknown scenario '{name}'; run `webcap capsearch --list`"
+            ))
+        })?
+    };
+    if args.get("seed").is_some() {
+        scenario.seed = args.get_parsed("seed", 0, "a u64 seed")?;
+    }
+
+    let topology = match args.get("topology") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            FleetTopology::from_toml(&text)
+                .map_err(|e| CliError::Message(format!("{path}: {e}")))?
+        }
+        None => {
+            let collectors: u32 = args.get_parsed("collectors", 2, "a collector count")?;
+            FleetTopology::two_tier(&scenario.name, scenario.seed, collectors)
+        }
+    };
+    topology
+        .validate()
+        .map_err(|e| CliError::Message(format!("topology: {e}")))?;
+    if args.flag("print-topology") {
+        print!("{}", topology.to_toml());
+        return Ok(());
+    }
+
+    let chaos = match (args.get("chaos-collector"), args.get("chaos-at")) {
+        (None, None) => None,
+        (Some(_), Some(_)) => Some(FleetChaos {
+            collector: args.get_parsed("chaos-collector", 0, "a collector index")?,
+            crash_at_seq: args.get_parsed("chaos-at", 0, "a sample sequence")?,
+        }),
+        _ => {
+            return Err(CliError::Message(
+                "--chaos-collector and --chaos-at must be given together".into(),
+            ))
+        }
+    };
+    if let Some(c) = chaos {
+        if c.collector >= topology.collectors {
+            return Err(CliError::Message(format!(
+                "--chaos-collector {} out of range: the topology has {} collector(s)",
+                c.collector, topology.collectors
+            )));
+        }
+    }
+
+    let meter = match args.get("meter") {
+        Some(path) => CapacityMeter::from_json(&std::fs::read_to_string(path)?)?,
+        None => {
+            CapacityMeter::train(&MeterConfig::small_for_tests(31).with_parallelism(args.jobs()?))?
+        }
+    };
+    let ebs: u32 = args.get_parsed("ebs", 64, "a population")?;
+    let mut sim = meter.config().sim.clone();
+    sim.seed = scenario.seed;
+    let samples = webcap_sim::run(sim, scenario.program(ebs)).samples;
+    let schedules = scenario.schedules();
+
+    let outcome = run_fleet(
+        &meter,
+        &samples,
+        scenario.seed,
+        &schedules,
+        &topology,
+        chaos,
+    )
+    .map_err(|e| CliError::Message(format!("fleet: {e}")))?;
+
+    println!(
+        "fleet '{}': {} collector(s) digesting {} sample(s) of '{}' at {ebs} EBs",
+        topology.name,
+        topology.collectors,
+        samples.len(),
+        scenario.name,
+    );
+    for (tier, owner) in &outcome.assignment {
+        println!("  shard: {tier} tier -> collector {owner}");
+    }
+    for c in &outcome.collectors {
+        let tiers: Vec<String> = c.tiers.iter().map(|t| t.to_string()).collect();
+        println!(
+            "  collector {}: [{}] {} frame(s), {} byte(s), {} anomalies, health {}{}",
+            c.collector,
+            tiers.join(", "),
+            c.frames,
+            c.bytes,
+            c.anomalies,
+            c.health,
+            if c.resumed { ", crash-resumed" } else { "" },
+        );
+    }
+    let merge = &outcome.merge;
+    println!(
+        "merge: {} frame(s) -> {} decision(s), {} poisoned, {} incomplete, \
+         {} anomalies, {} lost digest(s), {} safe-mode frame(s)",
+        merge.frames,
+        merge.decisions.len(),
+        merge.poisoned_windows.len(),
+        merge.incomplete_windows.len(),
+        merge.anomalies,
+        merge.lost_digests,
+        merge.safe_mode_frames,
+    );
+    if !merge.poisoned_windows.is_empty() {
+        println!("poisoned windows: {:?}", merge.poisoned_windows);
+    }
+    if args.flag("decisions") {
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>12}",
+            "window", "t(s)", "thr", "state", "hc"
+        );
+        for (window, decision) in &merge.decisions {
+            println!(
+                "{:<8} {:>10.0} {:>10.1} {:>10} {:>12}",
+                window,
+                decision.window.t_end_s,
+                decision.window.throughput,
+                if decision.prediction.overloaded {
+                    decision
+                        .prediction
+                        .bottleneck
+                        .map_or("OVERLOAD".to_string(), |t| format!("OVER/{t}"))
+                } else {
+                    "ok".to_string()
+                },
+                if decision.prediction.confident {
+                    "confident"
+                } else {
+                    "in-band"
+                },
+            );
+        }
+    }
+    if let Some(dir) = args.get("out") {
+        std::fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join(format!("{}.fleet.json", scenario.name));
+        let mut json = serde_json::to_string_pretty(&outcome)?;
+        json.push('\n');
+        std::fs::write(&path, json)?;
+        println!("outcome written to {}", path.display());
+    }
+    Ok(())
+}
+
 /// `webcap lint` — run the workspace invariant analyzer and diff its
 /// findings against the committed baseline allowlist.
 pub fn lint(args: &Args) -> Result<(), CliError> {
@@ -1026,6 +1209,17 @@ COMMANDS:
              (--bless regenerates the golden reports with the pinned quick
              search config; --loopback probes through the real
              agent/collector plane instead of the in-process replay)
+  fleet      run the sharded multi-collector telemetry fleet over a
+             scenario's sample stream and print the deterministic
+             merged outcome (byte-identical at any collector count)
+             [--topology <file.toml> | --collectors <K>]
+             [--scenario <name>] [--ebs <N>] [--seed <N>]
+             [--meter <file>] [--jobs <N|auto>] [--decisions]
+             [--out <dir>] [--print-topology]
+             [--chaos-collector <N> --chaos-at <seq>]
+             (--print-topology emits the canonical topology TOML;
+             --chaos-* crashes and resumes one collector mid-run —
+             the merged outcome must not change)
   lint       run the workspace invariant analyzer (determinism,
              panic-safety, wire-protocol, and config-validation rules)
              [--root <dir>] [--format human|json] [--out <file>]
@@ -1109,6 +1303,36 @@ mod tests {
         assert!(err.to_string().contains("unknown snapshot action"), "{err}");
         let err = snapshot(&args(&["inspect", "/nonexistent/webcap.snap"])).unwrap_err();
         assert!(err.to_string().contains("/nonexistent"), "{err}");
+    }
+
+    #[test]
+    fn fleet_requires_chaos_options_in_pairs() {
+        let err = fleet(&args(&["--chaos-at", "5"])).unwrap_err();
+        assert!(err.to_string().contains("--chaos-collector"), "{err}");
+    }
+
+    #[test]
+    fn fleet_rejects_unknown_scenarios_and_bad_chaos_targets() {
+        let err = fleet(&args(&["--scenario", "nope"])).unwrap_err();
+        assert!(err.to_string().contains("unknown scenario"), "{err}");
+        let err = fleet(&args(&[
+            "--collectors",
+            "2",
+            "--chaos-collector",
+            "7",
+            "--chaos-at",
+            "5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn fleet_prints_a_round_trippable_topology() {
+        let flag_args = |tokens: &[&str]| {
+            Args::parse(tokens.iter().map(|s| s.to_string()), &["print-topology"]).unwrap()
+        };
+        fleet(&flag_args(&["--collectors", "3", "--print-topology"])).unwrap();
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use webcap_cli::args::Args;
 use webcap_cli::commands::{
-    agent, bench, capsearch, collect, evaluate, info, lint, plan, simulate, snapshot, train,
+    agent, bench, capsearch, collect, evaluate, fleet, info, lint, plan, simulate, snapshot, train,
     CliError, USAGE,
 };
 
@@ -27,6 +27,7 @@ fn main() {
         "bench" => &["quick", "full", "capture-baseline"],
         "capsearch" => &["list", "loopback", "bless"],
         "collect" => &["resume"],
+        "fleet" => &["print-topology", "decisions"],
         "lint" => &["write-baseline"],
         _ => &[],
     };
@@ -43,6 +44,7 @@ fn main() {
             "snapshot" => snapshot(&args),
             "bench" => bench(&args),
             "capsearch" => capsearch(&args),
+            "fleet" => fleet(&args),
             "lint" => lint(&args),
             other => Err(CliError::Message(format!(
                 "unknown command '{other}'; run `webcap --help`"

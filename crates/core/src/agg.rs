@@ -48,8 +48,13 @@ pub(crate) fn mean_rows<I: Iterator<Item = Vec<f64>>>(rows: I) -> Vec<f64> {
 /// Feeding rows one at a time is therefore bit-identical to buffering
 /// them and calling `mean_rows` — without keeping every per-second row
 /// alive until the window closes.
+///
+/// Public because sharded collectors ([`webcap-fleet`]) build their
+/// per-window metric digests through this exact accumulator, which is
+/// what makes a digest-fed merge bit-identical to the in-process
+/// monitor.
 #[derive(Debug, Default)]
-pub(crate) struct RowMeanAccumulator {
+pub struct RowMeanAccumulator {
     acc: Vec<f64>,
     n: usize,
 }
@@ -61,7 +66,7 @@ impl RowMeanAccumulator {
     ///
     /// Panics on a width mismatch, with the same message as
     /// [`mean_rows`].
-    pub(crate) fn push(&mut self, row: Vec<f64>) {
+    pub fn push(&mut self, row: Vec<f64>) {
         if self.n == 0 {
             self.acc = row;
         } else {
@@ -82,7 +87,7 @@ impl RowMeanAccumulator {
     /// Complete the mean and reset the accumulator for the next window.
     /// Like [`mean_rows`], zero rows yield an empty vector and a single
     /// row is returned unchanged (no division).
-    pub(crate) fn finish(&mut self) -> Vec<f64> {
+    pub fn finish(&mut self) -> Vec<f64> {
         let mut acc = std::mem::take(&mut self.acc);
         if self.n > 1 {
             let n = self.n as f64;
@@ -95,9 +100,49 @@ impl RowMeanAccumulator {
     }
 
     /// Discard any partial state.
-    pub(crate) fn clear(&mut self) {
+    pub fn clear(&mut self) {
         self.acc = Vec::new();
         self.n = 0;
+    }
+}
+
+/// Majority-mix vote tally with the exact counting and tie-break
+/// semantics of [`majority_mix`]: mixes are kept in first-appearance
+/// order and the winner is the *last* maximal count in that order
+/// (`max_by_key` keeps the later of equal keys). Incremental so a
+/// sharded collector can ship the counts inside a window digest and the
+/// merge node can recover the identical majority label.
+#[derive(Debug, Default, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MixTally {
+    counts: Vec<(MixId, u32)>,
+}
+
+impl MixTally {
+    /// Count one sample's mix.
+    pub fn observe(&mut self, mix: MixId) {
+        match self.counts.iter_mut().find(|(m, _)| *m == mix) {
+            Some((_, c)) => *c += 1,
+            None => self.counts.push((mix, 1)),
+        }
+    }
+
+    /// The counted `(mix, votes)` pairs in first-appearance order.
+    #[must_use]
+    pub fn counts(&self) -> &[(MixId, u32)] {
+        &self.counts
+    }
+
+    /// Rebuild a tally from wire counts, preserving their order.
+    #[must_use]
+    pub fn from_counts(counts: Vec<(MixId, u32)>) -> MixTally {
+        MixTally { counts }
+    }
+
+    /// The majority mix, `None` when nothing was observed. Ties break
+    /// exactly like [`majority_mix`].
+    #[must_use]
+    pub fn majority(&self) -> Option<MixId> {
+        self.counts.iter().max_by_key(|(_, c)| *c).map(|(m, _)| *m)
     }
 }
 
@@ -109,18 +154,11 @@ impl RowMeanAccumulator {
 ///
 /// Panics on an empty window.
 pub(crate) fn majority_mix(samples: &[SystemSample]) -> MixId {
-    let mut counts: Vec<(MixId, usize)> = Vec::new();
+    let mut tally = MixTally::default();
     for s in samples {
-        match counts.iter_mut().find(|(m, _)| *m == s.mix_id) {
-            Some((_, c)) => *c += 1,
-            None => counts.push((s.mix_id, 1)),
-        }
+        tally.observe(s.mix_id);
     }
-    counts
-        .iter()
-        .max_by_key(|(_, c)| *c)
-        .map(|(m, _)| *m)
-        .expect("non-empty window")
+    tally.majority().expect("non-empty window")
 }
 
 #[cfg(test)]
@@ -224,5 +262,41 @@ mod tests {
     #[should_panic(expected = "non-empty window")]
     fn empty_window_panics() {
         let _ = majority_mix(&[]);
+    }
+
+    #[test]
+    fn tally_matches_majority_mix_including_ties() {
+        // 2-2 tie between Ordering and Browsing in both appearance
+        // orders: the tally must agree with majority_mix sample-for-
+        // sample, whatever the tie-break resolves to.
+        for mixes in [
+            vec![
+                MixId::Ordering,
+                MixId::Browsing,
+                MixId::Ordering,
+                MixId::Browsing,
+            ],
+            vec![
+                MixId::Browsing,
+                MixId::Ordering,
+                MixId::Browsing,
+                MixId::Ordering,
+            ],
+            vec![MixId::Shopping, MixId::Shopping, MixId::Ordering],
+        ] {
+            let samples: Vec<_> = mixes.iter().map(|&m| sample_with_mix(m)).collect();
+            let mut tally = MixTally::default();
+            for &m in &mixes {
+                tally.observe(m);
+            }
+            assert_eq!(tally.majority(), Some(majority_mix(&samples)));
+            let rebuilt = MixTally::from_counts(tally.counts().to_vec());
+            assert_eq!(rebuilt.majority(), tally.majority());
+        }
+    }
+
+    #[test]
+    fn empty_tally_has_no_majority() {
+        assert_eq!(MixTally::default().majority(), None);
     }
 }

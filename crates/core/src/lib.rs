@@ -56,11 +56,14 @@ pub mod synopsis;
 pub mod workloads;
 
 pub use admission::{AdmissionConfig, AdmissionConfigError, AdmissionController};
+pub use agg::{MixTally, RowMeanAccumulator};
 pub use coordinator::{CoordinatedPrediction, CoordinatedPredictor, CoordinatorConfig, TieScheme};
 pub use meter::{CapacityMeter, EvaluationReport, MeterConfig};
 pub use monitor::{collect_run, MetricLevel, RunLog, WindowInstance};
 pub use online::{OnlineDecision, OnlineMonitor};
-pub use oracle::{label_window, OracleConfig, WindowLabel};
+pub use oracle::{
+    label_from_aggs, label_window, OracleConfig, TierStressAgg, WindowHealthAgg, WindowLabel,
+};
 pub use pi::{correlation, select_pi, PiDefinition, PiSelection};
 pub use retry::RetryPolicy;
 pub use snapshot::{

@@ -61,51 +61,98 @@ pub struct WindowLabel {
     pub backlog_growth: f64,
 }
 
-/// Saturation score of a tier within a window: how deep its most loaded
-/// resource is into saturation, plus normalized queue pressure.
-fn tier_stress(samples: &[SystemSample], tier: TierId) -> f64 {
-    let n = samples.len().max(1) as f64;
-    let mut util = 0.0;
-    let mut queue = 0.0;
-    for s in samples {
-        let t = s.tier(tier);
-        util += t.utilization.max(t.disk_utilization);
-        queue += t.pool_queue_avg + t.disk_queue_avg + t.avg_runnable * 0.1;
-    }
-    util / n + 0.002 * (queue / n)
+/// Incremental application-health aggregate over one window, carrying
+/// exactly the evidence [`label_window`] needs: completion and
+/// response-time sums (accumulated in sample order, so the float
+/// operations match the batch path bit-for-bit), the merged
+/// response-time histogram, and the first/last backlog readings.
+///
+/// Sharded collectors ship this inside their window digests so the
+/// merge node can recover the identical [`WindowLabel`] without ever
+/// seeing the raw samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowHealthAgg {
+    /// Requests completed across the window.
+    pub completed: u64,
+    /// Sum of response times across the window, seconds.
+    pub rt_sum_s: f64,
+    /// Merged response-time histogram (merge order = sample order).
+    pub rt_hist: webcap_sim::RtHistogram,
+    /// Backlog at the first observed sample, `None` before any sample.
+    pub first_in_flight: Option<u32>,
+    /// Backlog at the last observed sample.
+    pub last_in_flight: u32,
 }
 
-/// Label one window of consecutive samples.
-///
-/// # Panics
-///
-/// Panics if `samples` is empty.
-pub fn label_window(samples: &[SystemSample], cfg: &OracleConfig) -> WindowLabel {
-    assert!(!samples.is_empty(), "cannot label an empty window");
-    let completed: u64 = samples.iter().map(|s| s.completed).sum();
-    let rt_sum: f64 = samples.iter().map(|s| s.response_time_sum_s).sum();
-    let mean_rt = if completed > 0 {
-        rt_sum / completed as f64
+impl WindowHealthAgg {
+    /// Fold one sample's application-level evidence in.
+    pub fn observe(&mut self, s: &SystemSample) {
+        self.completed += s.completed;
+        self.rt_sum_s += s.response_time_sum_s;
+        self.rt_hist.merge(&s.response_times);
+        if self.first_in_flight.is_none() {
+            self.first_in_flight = Some(s.in_flight);
+        }
+        self.last_in_flight = s.in_flight;
+    }
+}
+
+/// Incremental per-tier saturation aggregate with the float-operation
+/// order of the batch stress score: utilization and queue pressure are
+/// summed in sample order and normalized once at [`TierStressAgg::stress`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TierStressAgg {
+    /// Sum over samples of the most-utilized resource's utilization.
+    pub util_sum: f64,
+    /// Sum over samples of normalized queue pressure.
+    pub queue_sum: f64,
+    /// Samples observed.
+    pub n: u64,
+}
+
+impl TierStressAgg {
+    /// Fold one tier sample in.
+    pub fn observe(&mut self, t: &webcap_sim::TierSample) {
+        self.util_sum += t.utilization.max(t.disk_utilization);
+        self.queue_sum += t.pool_queue_avg + t.disk_queue_avg + t.avg_runnable * 0.1;
+        self.n += 1;
+    }
+
+    /// Saturation score of the tier: how deep its most loaded resource
+    /// is into saturation, plus normalized queue pressure.
+    #[must_use]
+    pub fn stress(&self) -> f64 {
+        let n = self.n.max(1) as f64;
+        self.util_sum / n + 0.002 * (self.queue_sum / n)
+    }
+}
+
+/// Label one window from pre-computed aggregates. [`label_window`] is
+/// this function applied to aggregates built in sample order; a merge
+/// node labeling from shipped digests therefore produces bit-identical
+/// labels.
+#[must_use]
+pub fn label_from_aggs(
+    health: &WindowHealthAgg,
+    stress: [f64; 2],
+    cfg: &OracleConfig,
+) -> WindowLabel {
+    let mean_rt = if health.completed > 0 {
+        health.rt_sum_s / health.completed as f64
     } else {
         0.0
     };
-    let mut rt_hist = webcap_sim::RtHistogram::new();
-    for s in samples {
-        rt_hist.merge(&s.response_times);
-    }
-    let p95 = rt_hist.p95().unwrap_or(0.0);
-    let backlog_growth = match (samples.first(), samples.last()) {
-        (Some(first), Some(last)) => last.in_flight as f64 - first.in_flight as f64,
-        _ => 0.0,
+    let p95 = health.rt_hist.p95().unwrap_or(0.0);
+    let backlog_growth = match health.first_in_flight {
+        Some(first) => health.last_in_flight as f64 - first as f64,
+        None => 0.0,
     };
 
     let overloaded = mean_rt > cfg.rt_overload_threshold_s
         || backlog_growth >= cfg.backlog_growth_threshold
         || cfg.p95_overload_threshold_s.is_some_and(|t| p95 > t);
 
-    let app_stress = tier_stress(samples, TierId::App);
-    let db_stress = tier_stress(samples, TierId::Db);
-    let bottleneck = if app_stress >= db_stress {
+    let bottleneck = if stress[TierId::App.index()] >= stress[TierId::Db.index()] {
         TierId::App
     } else {
         TierId::Db
@@ -118,6 +165,31 @@ pub fn label_window(samples: &[SystemSample], cfg: &OracleConfig) -> WindowLabel
         p95_response_time_s: p95,
         backlog_growth,
     }
+}
+
+/// Label one window of consecutive samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn label_window(samples: &[SystemSample], cfg: &OracleConfig) -> WindowLabel {
+    assert!(!samples.is_empty(), "cannot label an empty window");
+    let mut health = WindowHealthAgg::default();
+    let mut stress = [TierStressAgg::default(); 2];
+    for s in samples {
+        health.observe(s);
+        for tier in TierId::ALL {
+            stress[tier.index()].observe(s.tier(tier));
+        }
+    }
+    label_from_aggs(
+        &health,
+        [
+            stress[TierId::App.index()].stress(),
+            stress[TierId::Db.index()].stress(),
+        ],
+        cfg,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,268 @@
+//! Deterministic in-process fleet harness.
+//!
+//! Runs a full sharded deployment over a scripted sample stream — the
+//! shard map routes each tier's agent to its owning collector, every
+//! collector digests its shard and flushes sequenced [`DigestFrame`]s
+//! onto a byte-transcript back-haul, and the merge node reads the
+//! transcripts back (round-robin, exercising interleaved arrival) into
+//! the global outcome. Per-tier fault schedules reproduce the loopback
+//! plane's scripted outages, and an optional [`FleetChaos`] crashes one
+//! collector mid-run and resumes it from its snapshot.
+//!
+//! The whole run is a pure function of its inputs: same meter, samples,
+//! seed, schedules, and topology → byte-identical [`FleetOutcome`],
+//! regardless of the collector count.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::Serialize;
+use webcap_core::CapacityMeter;
+use webcap_net::{
+    read_frame, write_frame, AppStats, CollectorConfig, DigestFin, FaultSchedule, Frame,
+    HealthState, SupervisorConfig, TierSampler, WireSample,
+};
+use webcap_sim::{SystemSample, TierId};
+
+use crate::digest::{FleetCollector, FleetCollectorState};
+use crate::merge::{MergeNode, MergeOutcome};
+use crate::shard::{AgentId, ShardMap};
+use crate::topology::FleetTopology;
+
+/// Crash-and-resume schedule for one collector: snapshot, drop all
+/// in-flight window state, and resume immediately before processing
+/// sequence `crash_at_seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FleetChaos {
+    /// Index of the collector to crash.
+    pub collector: u32,
+    /// Sequence number whose processing the crash precedes.
+    pub crash_at_seq: u64,
+}
+
+/// What one collector did during a fleet run.
+#[derive(Debug, Clone, Serialize)]
+pub struct CollectorSummary {
+    /// The collector's index in the topology.
+    pub collector: u32,
+    /// Tiers it owned.
+    pub tiers: Vec<TierId>,
+    /// Final supervisor health.
+    pub health: HealthState,
+    /// Digest frames it emitted.
+    pub frames: u64,
+    /// Bytes of its back-haul transcript.
+    pub bytes: u64,
+    /// Protocol anomalies it counted.
+    pub anomalies: u64,
+    /// Whether it was crashed and resumed by a chaos schedule.
+    pub resumed: bool,
+}
+
+/// A fleet run's complete result: the merged global view plus
+/// per-collector accounting.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetOutcome {
+    /// The merge node's global outcome.
+    pub merge: MergeOutcome,
+    /// Per-collector summaries, by collector index.
+    pub collectors: Vec<CollectorSummary>,
+    /// The shard map's tier-to-collector assignment.
+    pub assignment: Vec<(TierId, u32)>,
+}
+
+/// A fleet run failed (back-haul codec or snapshot serialization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetError(pub String);
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Run `samples` through a sharded fleet described by `topology`,
+/// under per-tier scripted fault `schedules` (indexed by
+/// [`TierId::index`]) and an optional chaos crash, and merge the
+/// digests into the global outcome.
+///
+/// # Errors
+///
+/// [`FleetError`] when the back-haul codec or a snapshot round-trip
+/// fails — never for fleet-quality events (those are evidence in the
+/// outcome, not errors).
+pub fn run_fleet(
+    meter: &CapacityMeter,
+    samples: &[SystemSample],
+    base_seed: u64,
+    schedules: &[FaultSchedule; 2],
+    topology: &FleetTopology,
+    chaos: Option<FleetChaos>,
+) -> Result<FleetOutcome, FleetError> {
+    let window_len = (meter.config().window_len as i64).max(1);
+    let origin = CollectorConfig::default().window_origin;
+    let sup_cfg = SupervisorConfig::default();
+    let map = ShardMap::new(topology.seed, topology.collectors);
+    let owner: [u32; 2] = [
+        map.owner(AgentId::primary(TierId::App)),
+        map.owner(AgentId::primary(TierId::Db)),
+    ];
+    let assignment: Vec<(TierId, u32)> = TierId::ALL
+        .into_iter()
+        .map(|t| (t, owner[t.index()]))
+        .collect();
+
+    let k = map.collectors();
+    let mut collectors: Vec<FleetCollector> = (0..k)
+        .map(|c| {
+            let tiers: Vec<TierId> = TierId::ALL
+                .into_iter()
+                .filter(|t| owner[t.index()] == c)
+                .collect();
+            FleetCollector::new(c, &tiers, window_len, origin, sup_cfg)
+        })
+        .collect();
+    let mut transcripts: Vec<Vec<u8>> = vec![Vec::new(); k as usize];
+    let mut resumed: Vec<bool> = vec![false; k as usize];
+
+    let hpc_model = meter.config().hpc_model.clone();
+    let mut samplers = [
+        TierSampler::new(TierId::App, hpc_model.clone(), base_seed),
+        TierSampler::new(TierId::Db, hpc_model, base_seed),
+    ];
+
+    // Initial sessions: every tier's agent connects to its owner.
+    for tier in TierId::ALL {
+        if let Some(col) = collectors.get_mut(owner[tier.index()] as usize) {
+            col.on_session_start(tier);
+        }
+    }
+
+    for (i, s) in samples.iter().enumerate() {
+        let seq = i as u64;
+        if let Some(c) = chaos {
+            if c.crash_at_seq == seq {
+                if let Some(col) = collectors.get_mut(c.collector as usize) {
+                    let state: FleetCollectorState = col.export_state();
+                    let bytes = serde_json::to_vec(&state)
+                        .map_err(|e| FleetError(format!("fleet snapshot encode: {e}")))?;
+                    let state: FleetCollectorState = serde_json::from_slice(&bytes)
+                        .map_err(|e| FleetError(format!("fleet snapshot decode: {e}")))?;
+                    *col = FleetCollector::resume(&state, window_len, origin, sup_cfg);
+                    for tier in col.tiers() {
+                        col.on_session_start(tier);
+                    }
+                    if let Some(flag) = resumed.get_mut(c.collector as usize) {
+                        *flag = true;
+                    }
+                }
+            }
+        }
+        for tier in TierId::ALL {
+            // Metric synthesis is stateful across drops: run it for every
+            // sample in order, exactly like a live agent.
+            let (hpc, os) = samplers[tier.index()].rows(seq, s.tier(tier), s.interval_s);
+            let schedule = &schedules[tier.index()];
+            let Some(col) = collectors.get_mut(owner[tier.index()] as usize) else {
+                continue;
+            };
+            // Scheduled reconnects break the session before the frame
+            // (which is then delivered on the new session); drops discard
+            // the frame entirely — same order as the live agent.
+            if schedule.reconnect_before.contains(&seq) {
+                col.on_session_start(tier);
+            }
+            if schedule.drops(seq) {
+                continue;
+            }
+            let ws = WireSample {
+                seq,
+                t_s: s.t_s,
+                interval_s: s.interval_s,
+                tier: s.tier(tier).clone(),
+                hpc,
+                os,
+                app: (tier == TierId::App).then(|| AppStats::from_sample(s)),
+            };
+            col.on_sample(tier, &ws);
+        }
+        // Eager back-haul: every collector flushes whatever completed
+        // this second, so a crash never loses a completed digest.
+        for (c, col) in collectors.iter_mut().enumerate() {
+            if let Some(frame) = col.flush(None) {
+                if let Some(t) = transcripts.get_mut(c) {
+                    write_frame(t, &Frame::Digest(frame))
+                        .map_err(|e| FleetError(format!("fleet back-haul: {e}")))?;
+                }
+            }
+        }
+    }
+
+    if !samples.is_empty() {
+        let last_seq = samples.len() as u64 - 1;
+        for tier in TierId::ALL {
+            if let Some(col) = collectors.get_mut(owner[tier.index()] as usize) {
+                col.on_bye(tier, last_seq);
+            }
+        }
+    }
+    let last_window = samples.len() as i64 / window_len - 1;
+    for (c, col) in collectors.iter_mut().enumerate() {
+        let fin = DigestFin {
+            tiers: col.tiers(),
+            last_window,
+        };
+        if let Some(frame) = col.flush(Some(fin)) {
+            if let Some(t) = transcripts.get_mut(c) {
+                write_frame(t, &Frame::Digest(frame))
+                    .map_err(|e| FleetError(format!("fleet back-haul: {e}")))?;
+            }
+        }
+    }
+
+    // Merge: read the transcripts back round-robin so frames from
+    // different collectors interleave — the merge is order-independent,
+    // and the fleet tests shuffle this order to prove it.
+    let mut node = MergeNode::new(meter.clone());
+    let mut readers: Vec<&[u8]> = transcripts.iter().map(Vec::as_slice).collect();
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for r in &mut readers {
+            if r.is_empty() {
+                continue;
+            }
+            let frame =
+                read_frame(r).map_err(|e| FleetError(format!("fleet back-haul read: {e}")))?;
+            let Frame::Digest(frame) = frame else {
+                return Err(FleetError(
+                    "fleet back-haul carried a non-digest frame".to_string(),
+                ));
+            };
+            node.ingest(&frame);
+            progressed = true;
+        }
+    }
+
+    let summaries = collectors
+        .iter()
+        .enumerate()
+        .map(|(c, col)| CollectorSummary {
+            collector: col.index(),
+            tiers: col.tiers(),
+            health: col.health(),
+            frames: col.next_seq(),
+            bytes: transcripts.get(c).map_or(0, |t| t.len() as u64),
+            anomalies: col.anomalies(),
+            resumed: resumed.get(c).copied().unwrap_or(false),
+        })
+        .collect();
+
+    Ok(FleetOutcome {
+        merge: node.finalize(),
+        collectors: summaries,
+        assignment,
+    })
+}

@@ -1,0 +1,49 @@
+//! # webcap-fleet
+//!
+//! Sharded multi-collector telemetry fleet with a deterministic global
+//! merge.
+//!
+//! One collector per site stops scaling when the fleet of monitored
+//! tiers grows; this crate shards the telemetry plane across `K`
+//! collectors without giving up a byte of the project's determinism
+//! contract:
+//!
+//! * [`ShardMap`] — seeded rendezvous hashing assigns each `(tier,
+//!   replica)` agent to its collector; a pure function of `(seed, K,
+//!   agent)`, independent of which other agents exist, with minimal
+//!   disruption when `K` changes (pinned by proptests).
+//! * [`TierDigester`] / [`FleetCollector`] — each collector digests its
+//!   shard into compact per-window [`webcap_net::TierWindowDigest`]s
+//!   under *exactly* the unsharded collector's reassembly and
+//!   quarantine rules, batched into sequenced
+//!   [`webcap_net::DigestFrame`]s stamped with the PR 4 supervisor's
+//!   health.
+//! * [`MergeNode`] — the front end assembles digests into the global
+//!   per-window view and scores it with the capacity meter. Ingestion
+//!   only touches keyed commutative state, so the outcome is a pure
+//!   function of the *set* of frames: byte-identical regardless of `K`,
+//!   digest arrival order, or worker count. SafeMode frames poison
+//!   their windows instead of being trusted; conflicting ownership
+//!   claims quarantine the window.
+//! * [`run_fleet`] — the in-process harness wiring it all together over
+//!   a scripted sample stream, with scripted per-tier fault schedules
+//!   and an optional [`FleetChaos`] crash-and-resume of one collector.
+//!
+//! The headline invariant, enforced end to end by the fleet equivalence
+//! suite in `webcap-capsearch`: for every capacity-search scenario, a
+//! fleet at `K = 2` or `K = 4` produces the same capacity, the same
+//! bottleneck attribution, and the same poisoned-window sets as the
+//! single-collector pipeline — including under a chaos schedule that
+//! kills and resumes a collector mid-run.
+
+pub mod digest;
+pub mod harness;
+pub mod merge;
+pub mod shard;
+pub mod topology;
+
+pub use digest::{DigesterState, FleetCollector, FleetCollectorState, TierDigester};
+pub use harness::{run_fleet, CollectorSummary, FleetChaos, FleetError, FleetOutcome};
+pub use merge::{MergeNode, MergeOutcome};
+pub use shard::{AgentId, ShardMap};
+pub use topology::{FleetTopology, TopologyParseError};

@@ -1,0 +1,231 @@
+//! The front-end merge node: assembles per-collector digest frames
+//! into a global per-window view and emits admission decisions.
+//!
+//! The merge is **order-independent by construction**: `ingest` only
+//! writes into keyed, commutative state (per-window tier slots, the
+//! poisoned set, per-collector seen-sequence sets), and `finalize`
+//! walks the windows in ascending index order. The outcome is
+//! therefore a pure function of the *set* of ingested frames — the
+//! same bytes regardless of how many collectors produced them, the
+//! order their frames arrived, or how work was scheduled.
+//!
+//! Trust policy at the edge: a frame stamped SafeMode poisons the
+//! windows it carries instead of scoring them (mirroring the unsharded
+//! collector's safe-mode admission rule), and two collectors claiming
+//! the same `(window, tier)` digest is a topology violation — the
+//! window is quarantined rather than letting arrival order pick a
+//! winner.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::Serialize;
+use webcap_core::{
+    label_from_aggs, CapacityMeter, MetricLevel, MixTally, OnlineDecision, WindowInstance,
+};
+use webcap_net::{DigestFin, DigestFrame, HealthState, TierWindowDigest};
+use webcap_sim::TierId;
+
+/// Merge-node accumulator. Feed every collector's [`DigestFrame`]s via
+/// [`MergeNode::ingest`] (any order), then [`MergeNode::finalize`].
+#[derive(Debug)]
+pub struct MergeNode {
+    meter: CapacityMeter,
+    windows: BTreeMap<i64, [Option<TierWindowDigest>; 2]>,
+    poisoned: BTreeSet<i64>,
+    anomalies: u64,
+    seqs: BTreeMap<u32, BTreeSet<u64>>,
+    safe_mode_frames: u64,
+    fins: BTreeMap<u32, DigestFin>,
+    frames: u64,
+}
+
+impl MergeNode {
+    /// A merge node scoring with `meter` (its model state is consumed
+    /// by the decision stream, exactly like the in-process monitor).
+    pub fn new(meter: CapacityMeter) -> MergeNode {
+        MergeNode {
+            meter,
+            windows: BTreeMap::new(),
+            poisoned: BTreeSet::new(),
+            anomalies: 0,
+            seqs: BTreeMap::new(),
+            safe_mode_frames: 0,
+            fins: BTreeMap::new(),
+            frames: 0,
+        }
+    }
+
+    /// Absorb one digest frame. Every update commutes with every other
+    /// frame's, so ingestion order cannot influence [`MergeNode::finalize`].
+    pub fn ingest(&mut self, frame: &DigestFrame) {
+        self.frames += 1;
+        if !self
+            .seqs
+            .entry(frame.collector)
+            .or_default()
+            .insert(frame.seq)
+        {
+            // The same (collector, seq) seen twice: a replayed or forked
+            // transcript.
+            self.anomalies += 1;
+        }
+        self.poisoned.extend(frame.poisoned.iter().copied());
+        let safe = frame.health == HealthState::SafeMode;
+        if safe {
+            self.safe_mode_frames += 1;
+        }
+        for dig in &frame.windows {
+            if safe {
+                // Safe-mode admission at the fleet edge: evidence from a
+                // collector that has lost confidence in itself is
+                // quarantined, not scored.
+                self.poisoned.insert(dig.window);
+                continue;
+            }
+            let slot = self.windows.entry(dig.window).or_default();
+            match &mut slot[dig.tier.index()] {
+                Some(_) => {
+                    // Two collectors claiming one (window, tier): the shard
+                    // map guarantees a unique owner, so never let arrival
+                    // order pick a winner.
+                    self.anomalies += 1;
+                    self.poisoned.insert(dig.window);
+                }
+                empty => *empty = Some(dig.clone()),
+            }
+        }
+        if let Some(fin) = &frame.fin {
+            if self.fins.insert(frame.collector, fin.clone()).is_some() {
+                self.anomalies += 1;
+            }
+        }
+    }
+
+    /// Score every complete, unpoisoned window in ascending order and
+    /// return the global outcome. The decision stream is byte-identical
+    /// to the unsharded collector's over the same surviving windows:
+    /// the digests carry aggregates built with the same float-operation
+    /// order, and the meter sees the same reset-on-gap cadence.
+    pub fn finalize(self) -> MergeOutcome {
+        let MergeNode {
+            meter,
+            windows,
+            poisoned,
+            mut anomalies,
+            seqs,
+            safe_mode_frames,
+            fins,
+            frames,
+        } = self;
+        let oracle = meter.config().oracle;
+        let mut meter = meter;
+        let mut decisions: Vec<(i64, OnlineDecision)> = Vec::new();
+        let mut incomplete: Vec<i64> = Vec::new();
+        let mut prev_fed: Option<i64> = None;
+        for (&window, pair) in &windows {
+            if poisoned.contains(&window) {
+                continue;
+            }
+            let (Some(app), Some(db)) = (&pair[TierId::App.index()], &pair[TierId::Db.index()])
+            else {
+                incomplete.push(window);
+                continue;
+            };
+            let Some(appd) = &app.app else {
+                // An application-tier digest without front-end evidence:
+                // the digester never emits one, so this is a forged or
+                // corrupted frame.
+                anomalies += 1;
+                incomplete.push(window);
+                continue;
+            };
+            let Some(mix) = MixTally::from_counts(appd.mix_counts.clone()).majority() else {
+                anomalies += 1;
+                incomplete.push(window);
+                continue;
+            };
+            if prev_fed != Some(window - 1) {
+                // Same cadence as the in-process monitor: any gap in the
+                // scored stream resets the meter's recent history.
+                meter.reset_history();
+            }
+            let label = label_from_aggs(
+                &appd.health,
+                [app.stress.stress(), db.stress.stress()],
+                &oracle,
+            );
+            let mut features: [[Vec<f64>; 2]; 3] = Default::default();
+            for (tier, dig) in [(TierId::App, app), (TierId::Db, db)] {
+                let hpc = dig.hpc_mean.clone();
+                let os = dig.os_mean.clone();
+                let mut combined = os.clone();
+                combined.extend(hpc.iter().copied());
+                features[MetricLevel::Hpc.index()][tier.index()] = hpc;
+                features[MetricLevel::Os.index()][tier.index()] = os;
+                features[MetricLevel::Combined.index()][tier.index()] = combined;
+            }
+            let throughput = appd.health.completed as f64 / appd.duration_s.max(1e-9);
+            let instance = WindowInstance::from_parts(
+                label,
+                mix,
+                appd.t_start_s,
+                appd.t_end_s,
+                throughput,
+                features,
+            );
+            let prediction = meter.predict(&instance);
+            decisions.push((
+                window,
+                OnlineDecision {
+                    prediction,
+                    window: instance,
+                },
+            ));
+            prev_fed = Some(window);
+        }
+        let lost_digests = seqs
+            .values()
+            .map(|s| {
+                s.iter()
+                    .next_back()
+                    .map_or(0, |&max| max + 1 - s.len() as u64)
+            })
+            .sum();
+        MergeOutcome {
+            decisions,
+            poisoned_windows: poisoned.into_iter().collect(),
+            incomplete_windows: incomplete,
+            anomalies,
+            frames,
+            lost_digests,
+            safe_mode_frames,
+            fins: fins.into_iter().collect(),
+        }
+    }
+}
+
+/// The merged global view: the admission-decision stream plus the
+/// evidence ledger explaining which windows were withheld and why.
+#[derive(Debug, Clone, Serialize)]
+pub struct MergeOutcome {
+    /// `(window, decision)` for every scored window, ascending.
+    pub decisions: Vec<(i64, OnlineDecision)>,
+    /// Windows quarantined by any collector, by safe-mode admission, or
+    /// by conflicting ownership claims; ascending, deduplicated.
+    pub poisoned_windows: Vec<i64>,
+    /// Unpoisoned windows some tier never covered (fleet truncation or
+    /// lost digests), ascending.
+    pub incomplete_windows: Vec<i64>,
+    /// Protocol surprises: duplicate sequences, conflicting claims,
+    /// malformed digests.
+    pub anomalies: u64,
+    /// Digest frames ingested.
+    pub frames: u64,
+    /// Sequence holes across collectors (frames emitted but never
+    /// ingested).
+    pub lost_digests: u64,
+    /// Frames that arrived stamped SafeMode.
+    pub safe_mode_frames: u64,
+    /// Per-collector end-of-stream announcements, by collector index.
+    pub fins: Vec<(u32, DigestFin)>,
+}

@@ -1,0 +1,378 @@
+//! Fleet equivalence and chaos suite.
+//!
+//! The headline contract under test: a sharded fleet produces the
+//! **byte-identical** global decision stream and poisoned-window set of
+//! the single-collector pipeline — at every collector count, under
+//! scripted per-tier fault schedules, with digests arriving in any
+//! order, and across a chaos crash-and-resume of one collector.
+
+use std::collections::BTreeSet;
+
+use webcap_core::{CapacityMeter, MeterConfig, OnlineDecision};
+use webcap_fleet::{
+    run_fleet, AgentId, FleetChaos, FleetCollector, FleetTopology, MergeNode, ShardMap,
+};
+use webcap_net::loopback::{all_windows, predicted_windows_for_schedule, replay_windows};
+use webcap_net::{
+    AppStats, Assembler, DigestFrame, FaultSchedule, HealthState, SupervisorConfig, WireSample,
+};
+use webcap_sim::{Simulation, SystemSample, TierId, TierSample};
+use webcap_tpcw::{Mix, TrafficProgram};
+
+const BASE_SEED: u64 = 17;
+const TOTAL: usize = 240;
+const WINDOW: usize = 30;
+
+fn trained_meter() -> CapacityMeter {
+    static METER: std::sync::OnceLock<CapacityMeter> = std::sync::OnceLock::new();
+    METER
+        .get_or_init(|| {
+            CapacityMeter::train(&MeterConfig::small_for_tests(31)).expect("test meter trains")
+        })
+        .clone()
+}
+
+/// A steady 240 s run of the meter's own testbed — 8 full 30-sample
+/// windows (the same stream the net plane's chaos suite uses).
+fn steady_samples(meter: &CapacityMeter) -> Vec<SystemSample> {
+    let mut sim = meter.config().sim.clone();
+    sim.seed = 400;
+    let program = TrafficProgram::steady(Mix::ordering(), 60, TOTAL as f64);
+    let samples = Simulation::new(sim, program).run().samples;
+    assert_eq!(samples.len(), TOTAL);
+    samples
+}
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("serializes")
+}
+
+fn no_faults() -> [FaultSchedule; 2] {
+    [FaultSchedule::NONE, FaultSchedule::NONE]
+}
+
+/// The replica-failure shape: the database agent loses seqs 90..=104 on
+/// the floor, and the app agent is forced to reconnect before seq 160.
+fn scripted_faults() -> [FaultSchedule; 2] {
+    [
+        FaultSchedule {
+            drop_ranges: vec![],
+            reconnect_before: vec![160],
+        },
+        FaultSchedule {
+            drop_ranges: vec![(90, 104)],
+            reconnect_before: vec![],
+        },
+    ]
+}
+
+#[test]
+fn fleet_of_one_matches_the_unsharded_oracle_byte_for_byte() {
+    let meter = trained_meter();
+    let samples = steady_samples(&meter);
+    let topo = FleetTopology::two_tier("steady", 31, 1);
+    let out =
+        run_fleet(&meter, &samples, BASE_SEED, &no_faults(), &topo, None).expect("fleet runs");
+    let oracle = replay_windows(&meter, &samples, BASE_SEED, &all_windows(TOTAL, WINDOW));
+    assert_eq!(json(&out.merge.decisions), json(&oracle));
+    assert!(out.merge.poisoned_windows.is_empty());
+    assert!(out.merge.incomplete_windows.is_empty());
+    assert_eq!(out.merge.anomalies, 0);
+    assert_eq!(out.merge.lost_digests, 0);
+    assert_eq!(out.collectors.len(), 1);
+    assert_eq!(out.collectors[0].health, HealthState::Healthy);
+}
+
+#[test]
+fn sharded_fleets_match_the_oracle_under_scripted_faults_at_every_k() {
+    let meter = trained_meter();
+    let samples = steady_samples(&meter);
+    let schedules = scripted_faults();
+
+    // Predicted global quarantine: the union of each tier's schedule
+    // poisons; the oracle replays exactly the survivors.
+    let mut poisoned = BTreeSet::new();
+    let mut survivors = all_windows(TOTAL, WINDOW);
+    for schedule in &schedules {
+        let (_, p) = predicted_windows_for_schedule(TOTAL as u64, schedule, WINDOW, 1);
+        for w in p {
+            survivors.remove(&w);
+            poisoned.insert(w);
+        }
+    }
+    assert_eq!(poisoned, [3, 5].into_iter().collect::<BTreeSet<i64>>());
+    let oracle_json = json(&replay_windows(&meter, &samples, BASE_SEED, &survivors));
+    let poisoned: Vec<i64> = poisoned.into_iter().collect();
+
+    for k in [1u32, 2, 4] {
+        let topo = FleetTopology::two_tier("faulted", 31, k);
+        let out =
+            run_fleet(&meter, &samples, BASE_SEED, &schedules, &topo, None).expect("fleet runs");
+        assert_eq!(json(&out.merge.decisions), oracle_json, "K={k} decisions");
+        assert_eq!(out.merge.poisoned_windows, poisoned, "K={k} poisons");
+        assert!(out.merge.incomplete_windows.is_empty(), "K={k}");
+        assert_eq!(out.merge.lost_digests, 0, "K={k}");
+        assert_eq!(out.collectors.len(), k as usize, "K={k}");
+        // No collector ever falls to SafeMode under this schedule.
+        for c in &out.collectors {
+            assert_ne!(
+                c.health,
+                HealthState::SafeMode,
+                "K={k} collector {}",
+                c.collector
+            );
+        }
+    }
+}
+
+/// Synthetic wire sample with fixed metric rows — the deterministic
+/// substrate for driving the sharded digesters and the unsharded
+/// `Assembler` with the *same* scripted stream.
+fn wire(seq: u64, with_app: bool) -> WireSample {
+    WireSample {
+        seq,
+        t_s: seq as f64 + 1.0,
+        interval_s: 1.0,
+        tier: TierSample {
+            utilization: 0.3,
+            delivered_work_s: 0.3,
+            arrivals: 20,
+            completions: 20,
+            ..TierSample::default()
+        },
+        hpc: vec![0.5; 12],
+        os: vec![0.1; 64],
+        app: with_app.then(|| AppStats {
+            ebs_target: 10,
+            ebs_active: 10,
+            mix_id: webcap_tpcw::MixId::Ordering,
+            issued: 20,
+            issued_browse: 10,
+            completed: 20,
+            completed_browse: 10,
+            response_time_sum_s: 2.0,
+            response_time_max_s: 0.4,
+            in_flight: 1,
+            response_times: webcap_sim::RtHistogram::new(),
+        }),
+    }
+}
+
+/// Drive the scripted agent-crash stream (app loses seqs 40..=44 and
+/// reconnects at 45) through two single-tier fleet collectors and
+/// return the merged outcome's frames.
+fn sharded_frames_for_crash_stream() -> Vec<DigestFrame> {
+    let sup = SupervisorConfig::default();
+    let mut app_col = FleetCollector::new(0, &[TierId::App], WINDOW as i64, 1, sup);
+    let mut db_col = FleetCollector::new(1, &[TierId::Db], WINDOW as i64, 1, sup);
+    app_col.on_session_start(TierId::App);
+    db_col.on_session_start(TierId::Db);
+    let mut frames: Vec<DigestFrame> = Vec::new();
+    for seq in 0..TOTAL as u64 {
+        if seq == 45 {
+            app_col.on_session_start(TierId::App);
+        }
+        if !(40..45).contains(&seq) {
+            app_col.on_sample(TierId::App, &wire(seq, true));
+        }
+        db_col.on_sample(TierId::Db, &wire(seq, false));
+        for col in [&mut app_col, &mut db_col] {
+            if let Some(f) = col.flush(None) {
+                frames.push(f);
+            }
+        }
+    }
+    app_col.on_bye(TierId::App, TOTAL as u64 - 1);
+    db_col.on_bye(TierId::Db, TOTAL as u64 - 1);
+    for col in [&mut app_col, &mut db_col] {
+        if let Some(f) = col.flush(None) {
+            frames.push(f);
+        }
+    }
+    frames
+}
+
+#[test]
+fn sharded_digestion_reproduces_the_assembler_exactly() {
+    let meter = trained_meter();
+
+    // Unsharded oracle: the net plane's Assembler over the same stream.
+    let mut asm = Assembler::new(meter.clone(), 1);
+    asm.on_session_start(TierId::App);
+    asm.on_session_start(TierId::Db);
+    let mut oracle: Vec<(i64, OnlineDecision)> = Vec::new();
+    let mut sink = |w: i64, d: &OnlineDecision| oracle.push((w, d.clone()));
+    for seq in 0..TOTAL as u64 {
+        if seq == 45 {
+            asm.on_session_start(TierId::App);
+        }
+        if !(40..45).contains(&seq) {
+            asm.on_sample(TierId::App, wire(seq, true), &mut sink);
+        }
+        asm.on_sample(TierId::Db, wire(seq, false), &mut sink);
+    }
+    asm.on_bye(TierId::App, TOTAL as u64 - 1);
+    asm.on_bye(TierId::Db, TOTAL as u64 - 1);
+    drop(sink);
+
+    let frames = sharded_frames_for_crash_stream();
+    let mut node = MergeNode::new(meter);
+    for f in &frames {
+        node.ingest(f);
+    }
+    let merged = node.finalize();
+
+    assert_eq!(json(&merged.decisions), json(&oracle), "decision stream");
+    assert_eq!(
+        merged.poisoned_windows,
+        asm.poisoned_windows(),
+        "quarantine"
+    );
+    assert_eq!(merged.poisoned_windows, vec![1]);
+    assert!(merged.incomplete_windows.is_empty());
+}
+
+#[test]
+fn merge_is_independent_of_digest_arrival_order() {
+    let meter = trained_meter();
+    let frames = sharded_frames_for_crash_stream();
+    let finalize = |order: Vec<&DigestFrame>| {
+        let mut node = MergeNode::new(meter.clone());
+        for f in order {
+            node.ingest(f);
+        }
+        json(&node.finalize())
+    };
+    let forward = finalize(frames.iter().collect());
+    // Reversed, rotated, and deterministically interleaved arrivals.
+    let reversed = finalize(frames.iter().rev().collect());
+    let rotated = {
+        let mut order: Vec<&DigestFrame> = frames.iter().collect();
+        order.rotate_left(frames.len() / 3 + 1);
+        finalize(order)
+    };
+    let interleaved = {
+        let (evens, odds): (Vec<_>, Vec<_>) =
+            frames.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+        finalize(odds.into_iter().chain(evens).map(|(_, f)| f).collect())
+    };
+    assert_eq!(forward, reversed, "reversed arrival");
+    assert_eq!(forward, rotated, "rotated arrival");
+    assert_eq!(forward, interleaved, "interleaved arrival");
+}
+
+#[test]
+fn safe_mode_frames_are_quarantined_not_trusted() {
+    let meter = trained_meter();
+    let frames = sharded_frames_for_crash_stream();
+    // Baseline outcome, then the same frames with one healthy frame
+    // (carrying at least one window digest) re-stamped SafeMode: every
+    // window that frame carried must flip from scored to poisoned.
+    let mut node = MergeNode::new(meter.clone());
+    for f in &frames {
+        node.ingest(f);
+    }
+    let baseline = node.finalize();
+
+    let idx = frames
+        .iter()
+        .position(|f| !f.windows.is_empty() && f.health == HealthState::Healthy)
+        .expect("some healthy frame carries a digest");
+    let mut tainted = frames.clone();
+    tainted[idx].health = HealthState::SafeMode;
+    let carried: BTreeSet<i64> = tainted[idx].windows.iter().map(|d| d.window).collect();
+
+    let mut node = MergeNode::new(meter);
+    for f in &tainted {
+        node.ingest(f);
+    }
+    let outcome = node.finalize();
+
+    assert_eq!(outcome.safe_mode_frames, 1);
+    let poisoned: BTreeSet<i64> = outcome.poisoned_windows.iter().copied().collect();
+    for w in &carried {
+        assert!(poisoned.contains(w), "window {w} from the SafeMode frame");
+        assert!(
+            !outcome.decisions.iter().any(|(dw, _)| dw == w),
+            "window {w} must not be scored"
+        );
+    }
+    assert!(
+        outcome.decisions.len() < baseline.decisions.len(),
+        "quarantine shrank the scored stream"
+    );
+}
+
+#[test]
+fn chaos_boundary_crash_resumes_byte_identically() {
+    let meter = trained_meter();
+    let samples = steady_samples(&meter);
+    let topo = FleetTopology::two_tier("chaos-boundary", 31, 2);
+    let baseline = run_fleet(&meter, &samples, BASE_SEED, &no_faults(), &topo, None)
+        .expect("baseline fleet runs");
+
+    // Crash the collector owning the database tier exactly at the
+    // window-2/3 boundary (before seq 90 = key 91, the first key of
+    // window 3): the resumed digester's straddle rules find nothing cut.
+    let victim = ShardMap::new(topo.seed, topo.collectors).owner(AgentId::primary(TierId::Db));
+    let chaos = FleetChaos {
+        collector: victim,
+        crash_at_seq: 90,
+    };
+    let out = run_fleet(
+        &meter,
+        &samples,
+        BASE_SEED,
+        &no_faults(),
+        &topo,
+        Some(chaos),
+    )
+    .expect("chaos fleet runs");
+
+    assert!(
+        out.collectors[victim as usize].resumed,
+        "the crash happened"
+    );
+    assert_eq!(
+        json(&out.merge.decisions),
+        json(&baseline.merge.decisions),
+        "boundary crash must not change a byte of the decision stream"
+    );
+    assert_eq!(out.merge.poisoned_windows, baseline.merge.poisoned_windows);
+    assert!(out.merge.poisoned_windows.is_empty());
+    assert_eq!(out.merge.lost_digests, 0);
+}
+
+#[test]
+fn chaos_mid_window_crash_quarantines_exactly_the_cut_window() {
+    let meter = trained_meter();
+    let samples = steady_samples(&meter);
+    let topo = FleetTopology::two_tier("chaos-mid", 31, 2);
+    let victim = ShardMap::new(topo.seed, topo.collectors).owner(AgentId::primary(TierId::App));
+    let chaos = FleetChaos {
+        collector: victim,
+        crash_at_seq: 100, // key 101, mid-window 3 (keys 91..=120)
+    };
+    let out = run_fleet(
+        &meter,
+        &samples,
+        BASE_SEED,
+        &no_faults(),
+        &topo,
+        Some(chaos),
+    )
+    .expect("chaos fleet runs");
+
+    assert!(out.collectors[victim as usize].resumed);
+    assert_eq!(
+        out.merge.poisoned_windows,
+        vec![3],
+        "exactly the cut window"
+    );
+
+    // Everything else matches the oracle replay over the survivors.
+    let mut survivors = all_windows(TOTAL, WINDOW);
+    survivors.remove(&3);
+    let oracle = replay_windows(&meter, &samples, BASE_SEED, &survivors);
+    assert_eq!(json(&out.merge.decisions), json(&oracle));
+}

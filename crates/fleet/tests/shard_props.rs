@@ -1,0 +1,103 @@
+//! Property pins for the rendezvous shard map: total, balanced,
+//! independent of the agent set, and minimally disruptive under
+//! collector add/remove.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use webcap_fleet::{AgentId, ShardMap};
+use webcap_sim::TierId;
+
+/// A synthetic roster: both tiers, `replicas` replicas each.
+fn roster(replicas: u32) -> Vec<AgentId> {
+    (0..replicas)
+        .flat_map(|r| {
+            TierId::ALL.map(|t| AgentId {
+                tier: t,
+                replica: r,
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    /// Total: every agent gets exactly one owner, and it is in range.
+    #[test]
+    fn every_agent_has_one_in_range_owner(seed: u64, k in 1u32..=8, replicas in 1u32..=64) {
+        let map = ShardMap::new(seed, k);
+        for a in roster(replicas) {
+            let owner = map.owner(a);
+            prop_assert!(owner < k, "owner {owner} out of range for K={k}");
+            prop_assert_eq!(map.owner(a), owner, "owner must be stable");
+        }
+    }
+
+    /// Balance: over a large roster, no collector is empty and no
+    /// collector holds more than three times its fair share (a loose
+    /// bound — binomial concentration puts the true load ~10σ inside
+    /// it, so no seed in the search space can plausibly violate it).
+    #[test]
+    fn load_is_balanced_within_a_loose_bound(seed: u64, k in 2u32..=8) {
+        let agents = roster(96); // 192 agents
+        let load = ShardMap::new(seed, k).load(&agents);
+        prop_assert_eq!(load.len(), k as usize);
+        let fair = agents.len() as u32 / k;
+        for (c, &n) in load.iter().enumerate() {
+            prop_assert!(n > 0, "collector {c} owns nothing (load {load:?})");
+            prop_assert!(
+                n <= 3 * fair,
+                "collector {c} owns {n} of {} (fair {fair}, load {load:?})",
+                agents.len()
+            );
+        }
+    }
+
+    /// Independence: an agent's owner is a function of `(seed, K,
+    /// agent)` alone — computing it through a different roster (or no
+    /// roster at all) changes nothing.
+    #[test]
+    fn owner_ignores_the_rest_of_the_roster(seed: u64, k in 1u32..=8, tier_is_db: bool, replica in 0u32..=64) {
+        let tier = if tier_is_db { TierId::Db } else { TierId::App };
+        let agent = AgentId { tier, replica };
+        let map = ShardMap::new(seed, k);
+        let direct = map.owner(agent);
+        let via_roster: BTreeMap<AgentId, u32> =
+            map.assignments(&roster(65)).into_iter().collect();
+        prop_assert_eq!(via_roster.get(&agent).copied(), Some(direct));
+    }
+
+    /// Minimal disruption: growing the fleet from K to K+1 collectors
+    /// only ever moves agents *to* the new collector; everyone else
+    /// keeps their owner.
+    #[test]
+    fn growing_the_fleet_moves_agents_only_to_the_new_collector(seed: u64, k in 1u32..=7) {
+        let before = ShardMap::new(seed, k);
+        let after = ShardMap::new(seed, k + 1);
+        for a in roster(64) {
+            let old = before.owner(a);
+            let new = after.owner(a);
+            prop_assert!(
+                new == old || new == k,
+                "agent {a:?} moved {old} -> {new} when collector {k} was added"
+            );
+        }
+    }
+
+    /// The inverse reading: shrinking from K+1 to K only re-homes the
+    /// removed collector's agents.
+    #[test]
+    fn shrinking_the_fleet_moves_only_the_removed_collectors_agents(seed: u64, k in 1u32..=7) {
+        let big = ShardMap::new(seed, k + 1);
+        let small = ShardMap::new(seed, k);
+        for a in roster(64) {
+            if big.owner(a) != k {
+                prop_assert_eq!(
+                    small.owner(a),
+                    big.owner(a),
+                    "agent {:?} moved although its collector survived",
+                    a
+                );
+            }
+        }
+    }
+}

@@ -3,10 +3,10 @@
 //!
 //! | rule | crates | guards |
 //! |------|--------|--------|
-//! | `nondet-time` | core, ml, sim, parallel, bench, capsearch | PR 1's byte-identical determinism: no wall clocks or entropy in deterministic paths |
-//! | `nondet-iteration` | core, ml, sim, parallel, bench, capsearch | PR 1/3: no unordered `HashMap`/`HashSet` iteration that could reorder serialized output |
-//! | `panic-unwrap` | core, net | PR 4's audit: no `unwrap`/`expect`/`panic!` in runtime paths |
-//! | `panic-indexing` | core, net | PR 4: no direct indexing (`x[i]`) that can panic in runtime paths |
+//! | `nondet-time` | core, ml, sim, parallel, bench, capsearch, fleet | PR 1's byte-identical determinism: no wall clocks or entropy in deterministic paths |
+//! | `nondet-iteration` | core, ml, sim, parallel, bench, capsearch, fleet | PR 1/3: no unordered `HashMap`/`HashSet` iteration that could reorder serialized output |
+//! | `panic-unwrap` | core, net, fleet | PR 4's audit: no `unwrap`/`expect`/`panic!` in runtime paths |
+//! | `panic-indexing` | core, net, fleet | PR 4: no direct indexing (`x[i]`) that can panic in runtime paths |
 //! | `protocol-wildcard-match` | net/src/frame.rs | PR 2: wire-enum matches stay exhaustive so a new `Frame` variant forces every site to be revisited |
 //! | `protocol-wire-registry` | net/src/frame.rs | PR 2: every serialized wire type is consciously registered (and `PROTO_VERSION` bumped) |
 //! | `config-bypass` | workspace | PR 2/4: validated config structs are built through their checked constructors, not struct literals |
@@ -18,12 +18,22 @@ use crate::lexer::{Tok, TokKind};
 use crate::{Finding, Severity, WorkspaceIndex};
 
 /// Crates whose outputs must be byte-identical across runs and thread
-/// counts (the PR 1 determinism harness covers these, and the capsearch
-/// golden suite extends the same contract to capacity reports).
-pub const DETERMINISTIC_CRATES: &[&str] = &["core", "ml", "sim", "parallel", "bench", "capsearch"];
+/// counts (the PR 1 determinism harness covers these, the capsearch
+/// golden suite extends the same contract to capacity reports, and the
+/// PR 7 fleet merge must be a pure function of its input frame set).
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "core",
+    "ml",
+    "sim",
+    "parallel",
+    "bench",
+    "capsearch",
+    "fleet",
+];
 
-/// Crates whose runtime paths must be panic-free (the PR 4 audit).
-pub const PANIC_FREE_CRATES: &[&str] = &["core", "net"];
+/// Crates whose runtime paths must be panic-free (the PR 4 audit; the
+/// PR 7 fleet digest/merge path inherits the same contract).
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "net", "fleet"];
 
 /// The wire-protocol definition file; the `protocol-*` rules apply here.
 pub const PROTOCOL_FILE_SUFFIX: &str = "net/src/frame.rs";
@@ -33,7 +43,15 @@ pub const PROTOCOL_FILE_SUFFIX: &str = "net/src/frame.rs";
 /// `PROTO_VERSION`) is a finding: serialized layout changes must be
 /// conscious, versioned decisions — the metric-schema hash only covers
 /// feature rows, not frame shapes.
-pub const WIRE_TYPE_REGISTRY: &[&str] = &["AppStats", "WireSample", "Frame"];
+pub const WIRE_TYPE_REGISTRY: &[&str] = &[
+    "AppStats",
+    "WireSample",
+    "Frame",
+    "AppWindowDigest",
+    "TierWindowDigest",
+    "DigestFin",
+    "DigestFrame",
+];
 
 /// Methods whose calls on a hash collection iterate it in
 /// nondeterministic order.

@@ -30,13 +30,17 @@ use std::io::{self, Read, Write};
 
 use serde::{Deserialize, Serialize};
 use webcap_core::monitor::feature_names;
-use webcap_core::MetricLevel;
+use webcap_core::{MetricLevel, TierStressAgg, WindowHealthAgg};
 use webcap_sim::{RtHistogram, SystemSample, TierId, TierSample};
 use webcap_tpcw::MixId;
 
+use crate::supervisor::HealthState;
+
 /// Protocol version announced in `Hello`. Bump on any frame-layout or
 /// semantic change; the collector rejects mismatches outright.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// Version 2 adds the fleet back-haul [`Frame::Digest`] variant.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Frame magic word, `"WCAP"` as big-endian bytes written little-endian.
 pub const FRAME_MAGIC: u32 = 0x5743_4150;
@@ -145,6 +149,87 @@ pub struct WireSample {
     pub app: Option<AppStats>,
 }
 
+/// Application-visible aggregates for one completed window, carried in
+/// a [`TierWindowDigest`] only by the tier that observes front-end
+/// statistics (the application tier). The fields are exactly what the
+/// merge node needs to reconstruct the window's [`SystemSample`]-level
+/// evidence — label, throughput, and majority mix — bit-identically to
+/// an unsharded collector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppWindowDigest {
+    /// Window start time, seconds: first sample's `t_s` minus its
+    /// interval (the convention `OnlineMonitor` uses).
+    pub t_start_s: f64,
+    /// Window end time, seconds: last sample's `t_s`.
+    pub t_end_s: f64,
+    /// Sum of sample intervals across the window, seconds.
+    pub duration_s: f64,
+    /// Application-health aggregate (completions, response times,
+    /// backlog), accumulated in sample order.
+    pub health: WindowHealthAgg,
+    /// Traffic-mix vote counts in first-appearance order, as produced
+    /// by `MixTally::counts`.
+    pub mix_counts: Vec<(MixId, u32)>,
+}
+
+/// One tier's aggregated metrics for one completed window — the unit a
+/// sharded collector ships instead of thirty raw [`WireSample`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierWindowDigest {
+    /// Window index (0-based over the run).
+    pub window: i64,
+    /// The tier these aggregates describe.
+    pub tier: TierId,
+    /// Samples folded into the aggregates (always the window length for
+    /// a complete window).
+    pub samples: u32,
+    /// Element-wise mean of the tier's HPC feature rows, computed with
+    /// `RowMeanAccumulator` (bit-identical to the in-process monitor).
+    pub hpc_mean: Vec<f64>,
+    /// Element-wise mean of the tier's OS metric rows, same accumulator.
+    pub os_mean: Vec<f64>,
+    /// Saturation aggregate feeding the bottleneck-oracle stress score.
+    pub stress: TierStressAgg,
+    /// Front-end statistics; `Some` only from the application tier.
+    pub app: Option<AppWindowDigest>,
+}
+
+/// End-of-stream marker inside the final [`DigestFrame`] from a
+/// collector: which tiers it owned and the last full window index of
+/// its stream, so the merge node can tell a clean finish from a
+/// collector that died with windows unreported.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DigestFin {
+    /// Tiers this collector was responsible for.
+    pub tiers: Vec<TierId>,
+    /// Highest full window index of the collector's stream, −1 when the
+    /// stream was shorter than one window.
+    pub last_window: i64,
+}
+
+/// One batch of window digests from a sharded collector to the
+/// front-end merge node — the fleet back-haul payload. `poisoned`
+/// carries the collector's quarantine verdicts (gap-straddled windows,
+/// mid-window session breaks, malformed app stats) so the merge node
+/// poisons, rather than silently drops, everything the shard could not
+/// vouch for; a collector reporting [`HealthState::SafeMode`] has all
+/// its windows in the frame treated as poisoned at the merge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DigestFrame {
+    /// Index of the emitting collector in the fleet topology.
+    pub collector: u32,
+    /// Monotonic digest sequence per collector (gaps ⇒ lost digests).
+    pub seq: u64,
+    /// The emitting collector's supervisor health at emission time.
+    pub health: HealthState,
+    /// Completed-window aggregates, one entry per (window, tier).
+    pub windows: Vec<TierWindowDigest>,
+    /// Window indices the collector poisoned since its last digest.
+    pub poisoned: Vec<i64>,
+    /// Present on the collector's final digest of the run.
+    pub fin: Option<DigestFin>,
+}
+
 /// A protocol frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Frame {
@@ -183,6 +268,9 @@ pub enum Frame {
         /// Final sample sequence produced by the agent.
         last_seq: u64,
     },
+    /// Fleet back-haul: a batch of per-window digests from a sharded
+    /// collector to the merge node. Never appears on an agent session.
+    Digest(DigestFrame),
 }
 
 /// Why a frame could not be read or written.
@@ -338,6 +426,46 @@ mod tests {
         })
     }
 
+    fn digest_frame() -> DigestFrame {
+        let mut rt_hist = RtHistogram::new();
+        rt_hist.record(0.25);
+        DigestFrame {
+            collector: 1,
+            seq: 3,
+            health: HealthState::Degraded,
+            windows: vec![TierWindowDigest {
+                window: 2,
+                tier: TierId::App,
+                samples: 30,
+                hpc_mean: vec![0.5, 1.25, -0.0625],
+                os_mean: vec![0.1, 9.5],
+                stress: TierStressAgg {
+                    util_sum: 15.0,
+                    queue_sum: 3.5,
+                    n: 30,
+                },
+                app: Some(AppWindowDigest {
+                    t_start_s: 60.0,
+                    t_end_s: 90.0,
+                    duration_s: 30.0,
+                    health: WindowHealthAgg {
+                        completed: 120,
+                        rt_sum_s: 36.5,
+                        rt_hist,
+                        first_in_flight: Some(2),
+                        last_in_flight: 4,
+                    },
+                    mix_counts: vec![(MixId::Shopping, 29), (MixId::Browsing, 1)],
+                }),
+            }],
+            poisoned: vec![0, 1],
+            fin: Some(DigestFin {
+                tiers: vec![TierId::App, TierId::Db],
+                last_window: 2,
+            }),
+        }
+    }
+
     #[test]
     fn frames_round_trip() {
         let frames = vec![
@@ -353,6 +481,7 @@ mod tests {
                 reason: "nope".to_string(),
             },
             Frame::Bye { last_seq: 99 },
+            Frame::Digest(digest_frame()),
         ];
         let mut buf = Vec::new();
         for f in &frames {

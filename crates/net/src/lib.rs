@@ -12,7 +12,8 @@
 //! The crate is organized by layer:
 //!
 //! * [`frame`] — the versioned, length-prefixed wire protocol
-//!   (`Hello` / `Sample` / `Heartbeat` / `Ack` / `Reject` / `Bye`).
+//!   (`Hello` / `Sample` / `Heartbeat` / `Ack` / `Reject` / `Bye`, plus
+//!   the fleet back-haul `Digest`).
 //! * [`transport`] — the same framed protocol over TCP or Unix-domain
 //!   sockets, behind one [`Endpoint`] grammar.
 //! * [`source`] — the [`SampleSource`] seam an agent measures through,
@@ -43,7 +44,10 @@ pub mod transport;
 
 pub use agent::{run_agent, AgentConfig, AgentReport, FaultKnobs, FaultSchedule};
 pub use collector::{run_collector, Assembler, AssemblerState, CollectorConfig, CollectorReport};
-pub use frame::{metric_schema_hash, AppStats, Frame, FrameError, WireSample, PROTO_VERSION};
+pub use frame::{
+    metric_schema_hash, read_frame, write_frame, AppStats, AppWindowDigest, DigestFin, DigestFrame,
+    Frame, FrameError, TierWindowDigest, WireSample, PROTO_VERSION,
+};
 pub use loopback::{
     all_windows, predicted_surviving_windows, predicted_windows_for_schedule, replay_windows,
     run_loopback, run_loopback_scheduled, run_supervised_loopback, LoopbackOutcome,
