@@ -22,7 +22,10 @@ use webcap_core::{
 use webcap_fleet::{FleetCollector, MergeNode};
 use webcap_ml::select::SelectionOptions;
 use webcap_ml::{forward_select, Algorithm};
-use webcap_net::{AppStats, Assembler, DigestFin, SupervisorConfig, WireSample};
+use webcap_net::{
+    encode_payload, try_extract_frame, AppStats, Assembler, DigestFin, Frame, SupervisorConfig,
+    WireCodec, WireSample,
+};
 use webcap_sim::{RtHistogram, SimConfig, TierId, TierSample};
 use webcap_tpcw::{Mix, MixId};
 
@@ -35,7 +38,7 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// Identifiers of every bench in the suite, in execution order. The
 /// suite hash is derived from this list, so renaming, adding, or removing
 /// a bench invalidates old baselines loudly instead of silently.
-pub const BENCH_IDS: [&str; 10] = [
+pub const BENCH_IDS: [&str; 13] = [
     "sim_engine_steps",
     "synopsis_train_lr",
     "synopsis_train_nb",
@@ -43,6 +46,9 @@ pub const BENCH_IDS: [&str; 10] = [
     "synopsis_train_svm",
     "forward_selection",
     "coordinated_predictor_updates",
+    "wire_encode",
+    "wire_decode",
+    "collector_ingest",
     "collector_window_assembly",
     "fleet_merge",
     "capsearch_bisection",
@@ -116,6 +122,15 @@ impl BenchTier {
         match self {
             BenchTier::Quick => 20,
             BenchTier::Full => 100,
+        }
+    }
+
+    /// `SampleBatch` frames per repetition of the wire-codec benches
+    /// (each frame carries [`WIRE_BATCH`] samples).
+    fn wire_frames(&self) -> u64 {
+        match self {
+            BenchTier::Quick => 500,
+            BenchTier::Full => 2_000,
         }
     }
 
@@ -333,6 +348,104 @@ fn collector_sample(seq: u64, with_app: bool) -> WireSample {
     }
 }
 
+/// Batch size of the wire-codec benches — the agent's default
+/// `max_batch`, so the measured frame is the steady-path frame.
+pub const WIRE_BATCH: usize = 32;
+
+/// One agent-realistic `SampleBatch` frame: `WIRE_BATCH` consecutive
+/// app-tier samples starting at `seq0`.
+fn wire_batch_frame(seq0: u64) -> Frame {
+    Frame::SampleBatch(
+        (0..WIRE_BATCH as u64)
+            .map(|i| collector_sample(seq0 + i, true))
+            .collect(),
+    )
+}
+
+/// Binary encode throughput on the steady path: one scratch buffer,
+/// zero per-frame allocation, `wire_frames()` batches per repetition.
+fn bench_wire_encode(tier: BenchTier) -> BenchResult {
+    let frames: Vec<Frame> = (0..tier.wire_frames())
+        .map(|f| wire_batch_frame(f * WIRE_BATCH as u64))
+        .collect();
+    let mut scratch: Vec<u8> = Vec::new();
+    measure("wire_encode", tier.reps(), || {
+        let mut bytes = 0u64;
+        for frame in &frames {
+            let _magic = encode_payload(frame, WireCodec::Binary, &mut scratch)
+                .expect("bench frames encode");
+            bytes += scratch.len() as u64;
+        }
+        black_box(bytes);
+        frames.len() as u64 * WIRE_BATCH as u64
+    })
+}
+
+/// Binary decode throughput: parse the same batched frames back out of
+/// a contiguous wire capture, magic sniffing and all.
+fn bench_wire_decode(tier: BenchTier) -> BenchResult {
+    let mut wire: Vec<u8> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    let frames = tier.wire_frames();
+    for f in 0..frames {
+        let frame = wire_batch_frame(f * WIRE_BATCH as u64);
+        webcap_net::write_frame_codec(&mut wire, &frame, WireCodec::Binary, &mut scratch)
+            .expect("bench frames encode");
+    }
+    measure("wire_decode", tier.reps(), || {
+        let mut offset = 0usize;
+        let mut decoded = 0u64;
+        while let Some((frame, consumed)) =
+            try_extract_frame(wire.get(offset..).unwrap_or(&[])).expect("bench capture is intact")
+        {
+            if let Frame::SampleBatch(batch) = &frame {
+                decoded += batch.len() as u64;
+            }
+            black_box(&frame);
+            offset += consumed;
+        }
+        assert_eq!(decoded, frames * WIRE_BATCH as u64, "every sample decodes");
+        decoded
+    })
+}
+
+/// The event-loop collector's ingest path: bytes arrive in socket-sized
+/// chunks, accumulate in a reassembly buffer, and complete frames are
+/// drained off the front — exactly what `service_conn` does per poll.
+fn bench_collector_ingest(tier: BenchTier) -> BenchResult {
+    let mut wire: Vec<u8> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    let frames = tier.wire_frames();
+    for f in 0..frames {
+        let frame = wire_batch_frame(f * WIRE_BATCH as u64);
+        webcap_net::write_frame_codec(&mut wire, &frame, WireCodec::Binary, &mut scratch)
+            .expect("bench frames encode");
+    }
+    const CHUNK: usize = 16 * 1024;
+    measure("collector_ingest", tier.reps(), || {
+        let mut rbuf: Vec<u8> = Vec::new();
+        let mut ingested = 0u64;
+        for chunk in wire.chunks(CHUNK) {
+            rbuf.extend_from_slice(chunk);
+            let mut consumed_total = 0usize;
+            while let Some((frame, consumed)) =
+                try_extract_frame(rbuf.get(consumed_total..).unwrap_or(&[]))
+                    .expect("bench capture is intact")
+            {
+                if let Frame::SampleBatch(batch) = &frame {
+                    ingested += batch.len() as u64;
+                }
+                black_box(&frame);
+                consumed_total += consumed;
+            }
+            rbuf.drain(..consumed_total);
+        }
+        assert!(rbuf.is_empty(), "no partial frame left over");
+        assert_eq!(ingested, frames * WIRE_BATCH as u64);
+        ingested
+    })
+}
+
 /// Collector window-assembly throughput: feed gap-free two-tier streams
 /// through a fresh [`Assembler`] and count ingested wire samples.
 fn bench_collector_assembly(tier: BenchTier, meter: &CapacityMeter) -> BenchResult {
@@ -452,6 +565,9 @@ pub fn run_suite(tier: BenchTier) -> BenchReport {
         bench_synopsis_train("synopsis_train_svm", Algorithm::Svm, tier, &instances),
         bench_forward_selection(tier, &instances),
         bench_predictor_updates(tier),
+        bench_wire_encode(tier),
+        bench_wire_decode(tier),
+        bench_collector_ingest(tier),
         bench_collector_assembly(tier, &meter),
         bench_fleet_merge(tier, &meter),
         bench_capsearch_bisection(tier, &meter),
@@ -507,6 +623,19 @@ mod tests {
         assert_eq!(r.id, "coordinated_predictor_updates");
         assert_eq!(r.work_units, BenchTier::Quick.predictor_updates());
         assert!(r.median_ns > 0);
+    }
+
+    #[test]
+    fn wire_benches_run_small() {
+        let expect = BenchTier::Quick.wire_frames() * WIRE_BATCH as u64;
+        for r in [
+            bench_wire_encode(BenchTier::Quick),
+            bench_wire_decode(BenchTier::Quick),
+            bench_collector_ingest(BenchTier::Quick),
+        ] {
+            assert_eq!(r.work_units, expect, "{}", r.id);
+            assert!(r.median_ns > 0, "{}", r.id);
+        }
     }
 
     #[test]

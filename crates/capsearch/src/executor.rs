@@ -29,7 +29,7 @@ use webcap_core::{label_window, CapacityMeter, OnlineDecision};
 use webcap_fleet::{run_fleet, FleetTopology};
 use webcap_net::{
     all_windows, predicted_windows_for_schedule, replay_windows, run_loopback_scheduled, Endpoint,
-    FaultKnobs,
+    FaultKnobs, WireCodec,
 };
 use webcap_sim::{SystemSample, TierId};
 
@@ -303,6 +303,10 @@ impl ScenarioExecutor for FleetExecutor<'_> {
     fn measure(&mut self, scenario: &Scenario, probe_ebs: u32) -> Result<ProbeMeasure, ExecError> {
         let samples = simulate(self.meter, scenario, probe_ebs);
         let topology = FleetTopology::two_tier(&scenario.name, scenario.seed, self.collectors);
+        // The back-haul dialect follows `WEBCAP_WIRE` (like the loopback
+        // plane's agents) so the CI codec matrix exercises both; the
+        // merged outcome is codec-invariant either way.
+        let codec = WireCodec::try_from_env().map_err(ExecError)?;
         let outcome = run_fleet(
             self.meter,
             &samples,
@@ -310,6 +314,7 @@ impl ScenarioExecutor for FleetExecutor<'_> {
             &scenario.schedules(),
             &topology,
             None,
+            codec,
         )
         .map_err(|e| ExecError(format!("fleet plane: {e}")))?;
         let poisoned: BTreeSet<i64> = outcome.merge.poisoned_windows.iter().copied().collect();

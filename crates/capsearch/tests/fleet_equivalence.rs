@@ -18,7 +18,7 @@ use std::sync::OnceLock;
 use webcap_capsearch::{search_scenario, CapacityReport, FleetExecutor, SearchConfig, SimExecutor};
 use webcap_core::{CapacityMeter, MeterConfig};
 use webcap_fleet::{run_fleet, AgentId, FleetChaos, FleetTopology, ShardMap};
-use webcap_net::FaultSchedule;
+use webcap_net::{FaultSchedule, WireCodec};
 use webcap_sim::TierId;
 
 fn meter() -> &'static CapacityMeter {
@@ -139,8 +139,18 @@ fn fleet_chaos_resume_is_byte_identical_at_capacity() {
     let schedules: [FaultSchedule; 2] = scenario.schedules();
 
     let topology = FleetTopology::two_tier(&scenario.name, scenario.seed, 2);
-    let baseline = run_fleet(meter, &samples, scenario.seed, &schedules, &topology, None)
-        .expect("baseline fleet runs");
+    // Baseline over the JSON back-haul, chaos leg over the binary one:
+    // the final equality then also proves the dialect changes nothing.
+    let baseline = run_fleet(
+        meter,
+        &samples,
+        scenario.seed,
+        &schedules,
+        &topology,
+        None,
+        WireCodec::Json,
+    )
+    .expect("baseline fleet runs");
 
     // Crash the collector owning the database tier at the end of the
     // third full window.
@@ -157,6 +167,7 @@ fn fleet_chaos_resume_is_byte_identical_at_capacity() {
         &schedules,
         &topology,
         Some(chaos),
+        WireCodec::Binary,
     )
     .expect("chaos fleet runs");
 

@@ -23,6 +23,7 @@ use webcap_ml::Algorithm;
 use webcap_net::{
     run_agent, run_supervised_collector, AgentConfig, CollectorConfig, CollectorSnapshot, Endpoint,
     FaultKnobs, Listener, ResumeOutcome, ScriptedSource, SupervisedReport, SupervisorConfig,
+    WireCodec,
 };
 use webcap_sim::{SimConfig, Simulation, TierId};
 use webcap_tpcw::{Mix, TrafficProgram};
@@ -341,10 +342,11 @@ pub fn agent(args: &Args) -> Result<(), CliError> {
     let run_seed = args.get_parsed("run-seed", 400u64, "integer")?;
     let duration = args.get_parsed("duration", 240.0, "number")?;
     let start_seq = args.get_parsed("start-seq", 0u64, "integer")?;
-    // Parse the fault knobs up front so a typo'd env var fails here,
-    // before the replay simulation runs, instead of silently meaning
-    // "no faults".
+    // Parse the fault knobs and the wire dialect up front so a typo'd
+    // env var fails here, before the replay simulation runs, instead of
+    // silently meaning "no faults" / the default codec.
     let faults = FaultKnobs::try_from_env().map_err(CliError::Message)?;
+    let codec = WireCodec::try_from_env().map_err(CliError::Message)?;
     if duration < f64::from(meter.config().window_len as u32) {
         return Err(CliError::Message(format!(
             "duration must cover at least one {}-second window",
@@ -376,6 +378,7 @@ pub fn agent(args: &Args) -> Result<(), CliError> {
     }
     let cfg = AgentConfig {
         faults,
+        codec,
         ..AgentConfig::new(tier, endpoint, seed)
     };
     let hpc_model = meter.config().hpc_model.clone();
@@ -1010,6 +1013,7 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
         &schedules,
         &topology,
         chaos,
+        WireCodec::try_from_env().map_err(CliError::Message)?,
     )
     .map_err(|e| CliError::Message(format!("fleet: {e}")))?;
 
@@ -1189,7 +1193,9 @@ COMMANDS:
              (--start-seq resumes a replay: history below N is
              synthesized for warm-up but not re-sent)
              (fault injection: WEBCAP_NET_DROP_EVERY, WEBCAP_NET_DELAY_MS,
-             WEBCAP_NET_RECONNECT_EVERY)
+             WEBCAP_NET_RECONNECT_EVERY; wire dialect: WEBCAP_WIRE=json|binary,
+             default binary — batched delta/varint frames; the handshake
+             negotiates down to JSON for v2 peers automatically)
   bench      run the fixed performance suite and write BENCH_webcap.json
              [--quick|--full] [--out <file>] [--baseline <file>]
              (--baseline gates: exit nonzero if any bench median regresses
@@ -1219,7 +1225,8 @@ COMMANDS:
              [--chaos-collector <N> --chaos-at <seq>]
              (--print-topology emits the canonical topology TOML;
              --chaos-* crashes and resumes one collector mid-run —
-             the merged outcome must not change)
+             the merged outcome must not change; WEBCAP_WIRE selects
+             the digest back-haul dialect)
   lint       run the workspace invariant analyzer (determinism,
              panic-safety, wire-protocol, and config-validation rules)
              [--root <dir>] [--format human|json] [--out <file>]

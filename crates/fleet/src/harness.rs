@@ -19,8 +19,8 @@ use std::fmt;
 use serde::Serialize;
 use webcap_core::CapacityMeter;
 use webcap_net::{
-    read_frame, write_frame, AppStats, CollectorConfig, DigestFin, FaultSchedule, Frame,
-    HealthState, SupervisorConfig, TierSampler, WireSample,
+    read_frame, write_frame_codec, AppStats, CollectorConfig, DigestFin, FaultSchedule, Frame,
+    HealthState, SupervisorConfig, TierSampler, WireCodec, WireSample,
 };
 use webcap_sim::{SystemSample, TierId};
 
@@ -86,7 +86,9 @@ impl std::error::Error for FleetError {}
 /// Run `samples` through a sharded fleet described by `topology`,
 /// under per-tier scripted fault `schedules` (indexed by
 /// [`TierId::index`]) and an optional chaos crash, and merge the
-/// digests into the global outcome.
+/// digests into the global outcome. `codec` selects the back-haul wire
+/// dialect; the merge reads either, so the outcome is codec-invariant
+/// except for [`CollectorSummary::bytes`].
 ///
 /// # Errors
 ///
@@ -100,6 +102,7 @@ pub fn run_fleet(
     schedules: &[FaultSchedule; 2],
     topology: &FleetTopology,
     chaos: Option<FleetChaos>,
+    codec: WireCodec,
 ) -> Result<FleetOutcome, FleetError> {
     let window_len = (meter.config().window_len as i64).max(1);
     let origin = CollectorConfig::default().window_origin;
@@ -126,6 +129,7 @@ pub fn run_fleet(
         .collect();
     let mut transcripts: Vec<Vec<u8>> = vec![Vec::new(); k as usize];
     let mut resumed: Vec<bool> = vec![false; k as usize];
+    let mut scratch: Vec<u8> = Vec::new();
 
     let hpc_model = meter.config().hpc_model.clone();
     let mut samplers = [
@@ -193,7 +197,7 @@ pub fn run_fleet(
         for (c, col) in collectors.iter_mut().enumerate() {
             if let Some(frame) = col.flush(None) {
                 if let Some(t) = transcripts.get_mut(c) {
-                    write_frame(t, &Frame::Digest(frame))
+                    write_frame_codec(t, &Frame::Digest(frame), codec, &mut scratch)
                         .map_err(|e| FleetError(format!("fleet back-haul: {e}")))?;
                 }
             }
@@ -216,7 +220,7 @@ pub fn run_fleet(
         };
         if let Some(frame) = col.flush(Some(fin)) {
             if let Some(t) = transcripts.get_mut(c) {
-                write_frame(t, &Frame::Digest(frame))
+                write_frame_codec(t, &Frame::Digest(frame), codec, &mut scratch)
                     .map_err(|e| FleetError(format!("fleet back-haul: {e}")))?;
             }
         }

@@ -14,7 +14,8 @@ use webcap_fleet::{
 };
 use webcap_net::loopback::{all_windows, predicted_windows_for_schedule, replay_windows};
 use webcap_net::{
-    AppStats, Assembler, DigestFrame, FaultSchedule, HealthState, SupervisorConfig, WireSample,
+    AppStats, Assembler, DigestFrame, FaultSchedule, HealthState, SupervisorConfig, WireCodec,
+    WireSample,
 };
 use webcap_sim::{Simulation, SystemSample, TierId, TierSample};
 use webcap_tpcw::{Mix, TrafficProgram};
@@ -51,6 +52,12 @@ fn no_faults() -> [FaultSchedule; 2] {
     [FaultSchedule::NONE, FaultSchedule::NONE]
 }
 
+/// Back-haul dialect for this test process: follows `WEBCAP_WIRE` so the
+/// CI codec matrix sweeps the whole fleet suite through both dialects.
+fn codec() -> WireCodec {
+    WireCodec::try_from_env().expect("valid WEBCAP_WIRE")
+}
+
 /// The replica-failure shape: the database agent loses seqs 90..=104 on
 /// the floor, and the app agent is forced to reconnect before seq 160.
 fn scripted_faults() -> [FaultSchedule; 2] {
@@ -71,8 +78,16 @@ fn fleet_of_one_matches_the_unsharded_oracle_byte_for_byte() {
     let meter = trained_meter();
     let samples = steady_samples(&meter);
     let topo = FleetTopology::two_tier("steady", 31, 1);
-    let out =
-        run_fleet(&meter, &samples, BASE_SEED, &no_faults(), &topo, None).expect("fleet runs");
+    let out = run_fleet(
+        &meter,
+        &samples,
+        BASE_SEED,
+        &no_faults(),
+        &topo,
+        None,
+        codec(),
+    )
+    .expect("fleet runs");
     let oracle = replay_windows(&meter, &samples, BASE_SEED, &all_windows(TOTAL, WINDOW));
     assert_eq!(json(&out.merge.decisions), json(&oracle));
     assert!(out.merge.poisoned_windows.is_empty());
@@ -106,8 +121,16 @@ fn sharded_fleets_match_the_oracle_under_scripted_faults_at_every_k() {
 
     for k in [1u32, 2, 4] {
         let topo = FleetTopology::two_tier("faulted", 31, k);
-        let out =
-            run_fleet(&meter, &samples, BASE_SEED, &schedules, &topo, None).expect("fleet runs");
+        let out = run_fleet(
+            &meter,
+            &samples,
+            BASE_SEED,
+            &schedules,
+            &topo,
+            None,
+            codec(),
+        )
+        .expect("fleet runs");
         assert_eq!(json(&out.merge.decisions), oracle_json, "K={k} decisions");
         assert_eq!(out.merge.poisoned_windows, poisoned, "K={k} poisons");
         assert!(out.merge.incomplete_windows.is_empty(), "K={k}");
@@ -308,8 +331,16 @@ fn chaos_boundary_crash_resumes_byte_identically() {
     let meter = trained_meter();
     let samples = steady_samples(&meter);
     let topo = FleetTopology::two_tier("chaos-boundary", 31, 2);
-    let baseline = run_fleet(&meter, &samples, BASE_SEED, &no_faults(), &topo, None)
-        .expect("baseline fleet runs");
+    let baseline = run_fleet(
+        &meter,
+        &samples,
+        BASE_SEED,
+        &no_faults(),
+        &topo,
+        None,
+        codec(),
+    )
+    .expect("baseline fleet runs");
 
     // Crash the collector owning the database tier exactly at the
     // window-2/3 boundary (before seq 90 = key 91, the first key of
@@ -326,6 +357,7 @@ fn chaos_boundary_crash_resumes_byte_identically() {
         &no_faults(),
         &topo,
         Some(chaos),
+        codec(),
     )
     .expect("chaos fleet runs");
 
@@ -360,6 +392,7 @@ fn chaos_mid_window_crash_quarantines_exactly_the_cut_window() {
         &no_faults(),
         &topo,
         Some(chaos),
+        codec(),
     )
     .expect("chaos fleet runs");
 
@@ -375,4 +408,54 @@ fn chaos_mid_window_crash_quarantines_exactly_the_cut_window() {
     survivors.remove(&3);
     let oracle = replay_windows(&meter, &samples, BASE_SEED, &survivors);
     assert_eq!(json(&out.merge.decisions), json(&oracle));
+}
+
+#[test]
+fn back_haul_dialect_changes_bytes_on_the_wire_and_nothing_else() {
+    let meter = trained_meter();
+    let samples = steady_samples(&meter);
+    let schedules = scripted_faults();
+    let topo = FleetTopology::two_tier("codec", 31, 2);
+
+    let as_json = run_fleet(
+        &meter,
+        &samples,
+        BASE_SEED,
+        &schedules,
+        &topo,
+        None,
+        WireCodec::Json,
+    )
+    .expect("json back-haul runs");
+    let as_bin = run_fleet(
+        &meter,
+        &samples,
+        BASE_SEED,
+        &schedules,
+        &topo,
+        None,
+        WireCodec::Binary,
+    )
+    .expect("binary back-haul runs");
+
+    assert_eq!(
+        json(&as_json.merge),
+        json(&as_bin.merge),
+        "the merged global outcome is codec-invariant"
+    );
+    assert_eq!(as_json.assignment, as_bin.assignment);
+    for (j, b) in as_json.collectors.iter().zip(&as_bin.collectors) {
+        assert_eq!(j.frames, b.frames, "collector {}", j.collector);
+        assert_eq!(j.anomalies, b.anomalies, "collector {}", j.collector);
+        assert_eq!(j.health, b.health, "collector {}", j.collector);
+        if j.frames > 0 {
+            assert!(
+                b.bytes < j.bytes,
+                "collector {}: binary back-haul ({} B) must undercut JSON ({} B)",
+                j.collector,
+                b.bytes,
+                j.bytes
+            );
+        }
+    }
 }

@@ -51,6 +51,8 @@ pub const WIRE_TYPE_REGISTRY: &[&str] = &[
     "TierWindowDigest",
     "DigestFin",
     "DigestFrame",
+    "WireCaps",
+    "WireCodec",
 ];
 
 /// Methods whose calls on a hash collection iterate it in

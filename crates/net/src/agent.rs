@@ -33,7 +33,10 @@ use webcap_core::RetryPolicy;
 use webcap_hpc::HpcModel;
 use webcap_sim::TierId;
 
-use crate::frame::{metric_schema_hash, read_frame, write_frame, Frame, WireSample, PROTO_VERSION};
+use crate::frame::{
+    metric_schema_hash, read_frame, write_frame, write_frame_codec, Frame, WireCaps, WireCodec,
+    WireSample, PROTO_VERSION,
+};
 use crate::source::{SampleSource, SourcePoll, TierSampler};
 use crate::transport::{is_timeout, Conn, Endpoint};
 
@@ -167,6 +170,13 @@ pub struct AgentConfig {
     pub faults: FaultKnobs,
     /// Scheduled per-sequence faults (scenario replay).
     pub schedule: FaultSchedule,
+    /// Wire codec announced in `Hello` and used for every post-handshake
+    /// frame of the session. The handshake itself is always JSON so a
+    /// collector of either dialect can read it.
+    pub codec: WireCodec,
+    /// Most samples packed into one `SampleBatch` frame (binary codec
+    /// only; the JSON dialect always sends one sample per frame).
+    pub max_batch: u32,
 }
 
 impl AgentConfig {
@@ -183,6 +193,8 @@ impl AgentConfig {
             seed,
             faults: FaultKnobs::NONE,
             schedule: FaultSchedule::NONE,
+            codec: WireCodec::Binary,
+            max_batch: 32,
         }
     }
 }
@@ -257,11 +269,15 @@ fn try_handshake(cfg: &AgentConfig) -> io::Result<Conn> {
             tier: cfg.tier,
             proto_version: PROTO_VERSION,
             metric_schema_hash: metric_schema_hash(cfg.tier),
+            caps: WireCaps {
+                codec: cfg.codec,
+                max_batch: cfg.max_batch,
+            },
         },
     )?;
     match read_frame(&mut conn)? {
         Frame::Ack { seq: 0 } => Ok(conn),
-        Frame::Reject { reason } => Err(io::Error::new(
+        Frame::Reject { reason, .. } => Err(io::Error::new(
             io::ErrorKind::ConnectionRefused,
             format!("collector rejected {} agent: {reason}", cfg.tier.label()),
         )),
@@ -292,6 +308,16 @@ pub fn run_agent(
     // Scheduled reconnect points already taken, so each fires once even
     // though the triggering frame is re-sent on the next session.
     let mut sched_reconnected: BTreeSet<u64> = BTreeSet::new();
+    // One encode scratch buffer for the whole run: steady-path frame
+    // encodes borrow it instead of allocating.
+    let mut scratch: Vec<u8> = Vec::new();
+    // How many samples one frame may carry. The JSON dialect is pinned
+    // to one — the v2 loop, byte-for-byte — while the binary codec packs
+    // up to `max_batch` into a `SampleBatch`.
+    let batch_target = match cfg.codec {
+        WireCodec::Json => 1,
+        WireCodec::Binary => cfg.max_batch.max(1) as usize,
+    };
 
     loop {
         let conn = dial(cfg)?;
@@ -333,7 +359,12 @@ pub fn run_agent(
                         // Flushed everything the source will ever give:
                         // announce the final sequence so the collector can
                         // detect trailing loss, and end gracefully.
-                        write_frame(&mut conn, &Frame::Bye { last_seq })?;
+                        write_frame_codec(
+                            &mut conn,
+                            &Frame::Bye { last_seq },
+                            cfg.codec,
+                            &mut scratch,
+                        )?;
                         break SessionEnd::Done;
                     }
                     match source.next_sample() {
@@ -358,7 +389,12 @@ pub fn run_agent(
                             idle_polls += 1;
                             let poll_sleep = Duration::from_millis(5);
                             if poll_sleep * idle_polls >= cfg.heartbeat {
-                                write_frame(&mut conn, &Frame::Heartbeat { seq: last_seq })?;
+                                write_frame_codec(
+                                    &mut conn,
+                                    &Frame::Heartbeat { seq: last_seq },
+                                    cfg.codec,
+                                    &mut scratch,
+                                )?;
                                 report.heartbeats_sent += 1;
                                 idle_polls = 0;
                             }
@@ -369,6 +405,29 @@ pub fn run_agent(
                             source_done = true;
                             continue;
                         }
+                    }
+                }
+
+                // Top up a batch: with the binary codec, pull whatever the
+                // source has ready — no sleeping, the queue already holds
+                // data to send — until a frame's worth is queued. The JSON
+                // dialect never enters this (its batch target is one), so
+                // the v2 poll-only-when-empty loop is preserved exactly.
+                while batch_target > 1 && !source_done && queue.len() < batch_target {
+                    match source.next_sample() {
+                        SourcePoll::Ready(s) => {
+                            let warmup = s.warmup;
+                            last_seq = s.seq;
+                            let ws = sampler.wire_sample(s);
+                            if !warmup {
+                                report.samples_produced += 1;
+                                report.queue_dropped +=
+                                    push_bounded(&mut queue, ws, cfg.queue_capacity);
+                            }
+                            idle_polls = 0;
+                        }
+                        SourcePoll::Idle => break,
+                        SourcePoll::Exhausted => source_done = true,
                     }
                 }
 
@@ -395,19 +454,82 @@ pub fn run_agent(
                     report.frames_dropped += 1;
                     continue;
                 }
-                if let Some(delay) = cfg.faults.delay {
-                    std::thread::sleep(delay);
+
+                // The front sample passed its gates; tentatively extend the
+                // frame with queued successors, replaying the exact
+                // per-sample gate sequence the v2 loop ran: a scheduled
+                // drop consumes no attempt, a knob drop does. Extension
+                // stops at the batch cap, at an untaken scheduled-reconnect
+                // point, and at the `reconnect_every` session quota — every
+                // place the sequential loop would have stopped sending.
+                // None of the tentative verdicts is committed until the
+                // write succeeds: a sequential sender would never have
+                // examined a sample past a failed send, so on failure the
+                // tentative state is discarded wholesale and the retry
+                // recomputes identical verdicts from identical counters.
+                let mut members: Vec<WireSample> = vec![ws.clone()];
+                let mut verdicts: Vec<bool> = vec![false]; // true = dropped
+                let mut tentative_attempts: u64 = 0;
+                for item in queue.iter().skip(1) {
+                    let quota_hit = cfg
+                        .faults
+                        .reconnect_every
+                        .is_some_and(|n| conn_sent + members.len() as u64 >= n);
+                    if members.len() >= batch_target || quota_hit {
+                        break;
+                    }
+                    let iseq = item.seq;
+                    if cfg.schedule.reconnect_before.contains(&iseq)
+                        && !sched_reconnected.contains(&iseq)
+                    {
+                        break;
+                    }
+                    if cfg.schedule.drops(iseq) {
+                        verdicts.push(true);
+                        continue;
+                    }
+                    tentative_attempts += 1;
+                    if cfg
+                        .faults
+                        .drop_every
+                        .is_some_and(|n| (attempts + tentative_attempts) % n == 0)
+                    {
+                        verdicts.push(true);
+                        continue;
+                    }
+                    verdicts.push(false);
+                    members.push(item.clone());
                 }
-                if write_frame(&mut conn, &Frame::Sample(ws.clone())).is_err() {
-                    // The frame stays queued; resend on the next session.
-                    // Undo the attempt so a retried frame faces the same
-                    // drop verdict it already passed.
+                let sent = members.len() as u64;
+                if let Some(delay) = cfg.faults.delay {
+                    // One batched send stands in for `sent` sequential
+                    // sends; keep the aggregate pacing identical.
+                    std::thread::sleep(delay * sent as u32);
+                }
+                let frame = if sent == 1 {
+                    let Some(one) = members.pop() else { continue };
+                    Frame::Sample(one)
+                } else {
+                    Frame::SampleBatch(members)
+                };
+                if write_frame_codec(&mut conn, &frame, cfg.codec, &mut scratch).is_err() {
+                    // Everything stays queued; resend on the next session.
+                    // Undo the front sample's attempt (the tentative ones
+                    // were never committed) so a retried frame faces the
+                    // same drop verdict it already passed.
                     attempts -= 1;
                     break SessionEnd::Reconnect;
                 }
-                queue.pop_front();
-                report.frames_sent += 1;
-                conn_sent += 1;
+                attempts += tentative_attempts;
+                for dropped in verdicts {
+                    queue.pop_front();
+                    if dropped {
+                        report.frames_dropped += 1;
+                    } else {
+                        report.frames_sent += 1;
+                        conn_sent += 1;
+                    }
+                }
                 if cfg.faults.reconnect_every.is_some_and(|n| conn_sent >= n) {
                     break SessionEnd::Reconnect;
                 }

@@ -1,0 +1,856 @@
+//! Compact binary payload codec — the `"WCB3"` dialect of the framed
+//! protocol.
+//!
+//! Payload layout: a one-byte frame tag, then the variant's fields in
+//! declaration order. Scalars use three encodings:
+//!
+//! * **varint** — LEB128, 7 bits per byte, low bits first; at most 10
+//!   bytes for a `u64`. Unsigned counters and lengths.
+//! * **zigzag varint** — signed values (and *deltas* of unsigned ones)
+//!   mapped to `(v << 1) ^ (v >> 63)` before LEB128, so small
+//!   magnitudes of either sign stay short. Delta arithmetic is
+//!   wrapping, which makes encode/decode exact for every `u64`.
+//! * **raw f64** — `to_bits()` as 8 little-endian bytes. Floats are
+//!   never delta-coded or truncated: the byte-identity suites require
+//!   bit-exact round-trips.
+//!
+//! A `SampleBatch` chains its samples: the first is encoded against an
+//! all-zero predecessor, each subsequent one against the previous
+//! element, so the per-second counters (sequence numbers, arrival and
+//! completion counts, histogram buckets) collapse to near-zero deltas.
+//! Strings are varint-length-prefixed UTF-8; `Option` is a one-byte
+//! presence flag; field-less enums are one byte.
+//!
+//! The decoder is a bounds-checked cursor: every read is `get`-based,
+//! every length is validated against the bytes actually remaining
+//! before any allocation, and every failure is a typed
+//! [`FrameError::Binary`] — never a panic, whatever the bytes (pinned
+//! by the mutation proptests in `tests/wire_codec.rs`).
+
+use webcap_core::{TierStressAgg, WindowHealthAgg};
+use webcap_sim::{RtHistogram, TierId, TierSample};
+use webcap_tpcw::MixId;
+
+use crate::frame::{
+    AppStats, AppWindowDigest, DigestFin, DigestFrame, Frame, FrameError, TierWindowDigest,
+    WireCaps, WireCodec, WireSample,
+};
+use crate::supervisor::HealthState;
+
+const TAG_HELLO: u8 = 0;
+const TAG_SAMPLE: u8 = 1;
+const TAG_SAMPLE_BATCH: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_ACK: u8 = 4;
+const TAG_REJECT: u8 = 5;
+const TAG_BYE: u8 = 6;
+const TAG_DIGEST: u8 = 7;
+
+type Res<T> = Result<T, FrameError>;
+
+fn corrupt<T>(detail: &'static str) -> Res<T> {
+    Err(FrameError::Binary(detail))
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u64v(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_i64z(out: &mut Vec<u8>, v: i64) {
+    put_u64v(out, zigzag(v));
+}
+
+/// Delta-encode `cur` against `prev` (wrapping, hence exact).
+fn put_u64d(out: &mut Vec<u8>, cur: u64, prev: u64) {
+    put_i64z(out, cur.wrapping_sub(prev) as i64);
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u64v(out, vs.len() as u64);
+    for v in vs {
+        put_f64(out, *v);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64v(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn put_tier(out: &mut Vec<u8>, t: TierId) {
+    out.push(match t {
+        TierId::App => 0,
+        TierId::Db => 1,
+    });
+}
+
+fn put_mix(out: &mut Vec<u8>, m: MixId) {
+    out.push(match m {
+        MixId::Browsing => 0,
+        MixId::Shopping => 1,
+        MixId::Ordering => 2,
+        MixId::Custom => 3,
+    });
+}
+
+fn put_health(out: &mut Vec<u8>, h: HealthState) {
+    out.push(match h {
+        HealthState::Healthy => 0,
+        HealthState::Degraded => 1,
+        HealthState::SafeMode => 2,
+    });
+}
+
+fn put_codec(out: &mut Vec<u8>, c: WireCodec) {
+    out.push(match c {
+        WireCodec::Json => 0,
+        WireCodec::Binary => 1,
+    });
+}
+
+fn put_hist(out: &mut Vec<u8>, cur: &RtHistogram, prev: &RtHistogram) {
+    for (c, p) in cur.bucket_counts().iter().zip(prev.bucket_counts()) {
+        put_i64z(out, i64::from(*c) - i64::from(*p));
+    }
+    put_u64d(out, cur.len(), prev.len());
+}
+
+fn put_tier_sample(out: &mut Vec<u8>, cur: &TierSample, prev: &TierSample) {
+    put_f64(out, cur.utilization);
+    put_f64(out, cur.delivered_work_s);
+    put_f64(out, cur.avg_runnable);
+    put_f64(out, cur.pool_in_use_avg);
+    put_f64(out, cur.pool_queue_avg);
+    put_u64d(out, cur.pool_queue_end as u64, prev.pool_queue_end as u64);
+    put_u64d(out, cur.pool_in_use_end as u64, prev.pool_in_use_end as u64);
+    put_f64(out, cur.disk_utilization);
+    put_f64(out, cur.disk_queue_avg);
+    put_u64d(out, cur.disk_ops, prev.disk_ops);
+    put_u64d(out, cur.arrivals, prev.arrivals);
+    put_u64d(out, cur.completions, prev.completions);
+    put_f64(out, cur.browse_work_submitted_s);
+    put_f64(out, cur.order_work_submitted_s);
+}
+
+fn put_app_stats(out: &mut Vec<u8>, cur: &AppStats, prev: Option<&AppStats>) {
+    let zero;
+    let prev = match prev {
+        Some(p) => p,
+        None => {
+            zero = zero_app_stats();
+            &zero
+        }
+    };
+    put_u64d(out, u64::from(cur.ebs_target), u64::from(prev.ebs_target));
+    put_u64d(out, u64::from(cur.ebs_active), u64::from(prev.ebs_active));
+    put_mix(out, cur.mix_id);
+    put_u64d(out, cur.issued, prev.issued);
+    put_u64d(out, cur.issued_browse, prev.issued_browse);
+    put_u64d(out, cur.completed, prev.completed);
+    put_u64d(out, cur.completed_browse, prev.completed_browse);
+    put_f64(out, cur.response_time_sum_s);
+    put_f64(out, cur.response_time_max_s);
+    put_u64d(out, u64::from(cur.in_flight), u64::from(prev.in_flight));
+    put_hist(out, &cur.response_times, &prev.response_times);
+}
+
+/// The all-zero predecessor the first sample of a frame is delta-coded
+/// against. `mix_id` never participates in deltas (it is encoded
+/// absolute), so its value here is arbitrary but fixed.
+fn zero_app_stats() -> AppStats {
+    AppStats {
+        ebs_target: 0,
+        ebs_active: 0,
+        mix_id: MixId::Custom,
+        issued: 0,
+        issued_browse: 0,
+        completed: 0,
+        completed_browse: 0,
+        response_time_sum_s: 0.0,
+        response_time_max_s: 0.0,
+        in_flight: 0,
+        response_times: RtHistogram::new(),
+    }
+}
+
+fn zero_wire_sample() -> WireSample {
+    WireSample {
+        seq: 0,
+        t_s: 0.0,
+        interval_s: 0.0,
+        tier: TierSample::default(),
+        hpc: Vec::new(),
+        os: Vec::new(),
+        app: None,
+    }
+}
+
+fn put_wire_sample(out: &mut Vec<u8>, cur: &WireSample, prev: Option<&WireSample>) {
+    let zero;
+    let prev = match prev {
+        Some(p) => p,
+        None => {
+            zero = zero_wire_sample();
+            &zero
+        }
+    };
+    put_u64d(out, cur.seq, prev.seq);
+    put_f64(out, cur.t_s);
+    put_f64(out, cur.interval_s);
+    put_tier_sample(out, &cur.tier, &prev.tier);
+    put_f64s(out, &cur.hpc);
+    put_f64s(out, &cur.os);
+    match &cur.app {
+        None => put_bool(out, false),
+        Some(app) => {
+            put_bool(out, true);
+            put_app_stats(out, app, prev.app.as_ref());
+        }
+    }
+}
+
+fn put_stress(out: &mut Vec<u8>, s: &TierStressAgg) {
+    put_f64(out, s.util_sum);
+    put_f64(out, s.queue_sum);
+    put_u64v(out, s.n);
+}
+
+fn put_health_agg(out: &mut Vec<u8>, h: &WindowHealthAgg) {
+    put_u64v(out, h.completed);
+    put_f64(out, h.rt_sum_s);
+    put_hist(out, &h.rt_hist, &RtHistogram::new());
+    match h.first_in_flight {
+        None => put_bool(out, false),
+        Some(v) => {
+            put_bool(out, true);
+            put_u64v(out, u64::from(v));
+        }
+    }
+    put_u64v(out, u64::from(h.last_in_flight));
+}
+
+fn put_window_digest(out: &mut Vec<u8>, d: &TierWindowDigest) {
+    put_i64z(out, d.window);
+    put_tier(out, d.tier);
+    put_u64v(out, u64::from(d.samples));
+    put_f64s(out, &d.hpc_mean);
+    put_f64s(out, &d.os_mean);
+    put_stress(out, &d.stress);
+    match &d.app {
+        None => put_bool(out, false),
+        Some(app) => {
+            put_bool(out, true);
+            put_f64(out, app.t_start_s);
+            put_f64(out, app.t_end_s);
+            put_f64(out, app.duration_s);
+            put_health_agg(out, &app.health);
+            put_u64v(out, app.mix_counts.len() as u64);
+            for (mix, count) in &app.mix_counts {
+                put_mix(out, *mix);
+                put_u64v(out, u64::from(*count));
+            }
+        }
+    }
+}
+
+fn put_digest(out: &mut Vec<u8>, d: &DigestFrame) {
+    put_u64v(out, u64::from(d.collector));
+    put_u64v(out, d.seq);
+    put_health(out, d.health);
+    put_u64v(out, d.windows.len() as u64);
+    for w in &d.windows {
+        put_window_digest(out, w);
+    }
+    put_u64v(out, d.poisoned.len() as u64);
+    for p in &d.poisoned {
+        put_i64z(out, *p);
+    }
+    match &d.fin {
+        None => put_bool(out, false),
+        Some(fin) => {
+            put_bool(out, true);
+            put_u64v(out, fin.tiers.len() as u64);
+            for t in &fin.tiers {
+                put_tier(out, *t);
+            }
+            put_i64z(out, fin.last_window);
+        }
+    }
+}
+
+/// Encode one frame's binary payload (no header) into `out`, which is
+/// appended to — callers clear it between frames to reuse capacity.
+/// Infallible: every `Frame` value has a binary spelling.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Hello {
+            tier,
+            proto_version,
+            metric_schema_hash,
+            caps,
+        } => {
+            out.push(TAG_HELLO);
+            put_tier(out, *tier);
+            put_u64v(out, u64::from(*proto_version));
+            out.extend_from_slice(&metric_schema_hash.to_le_bytes());
+            put_codec(out, caps.codec);
+            put_u64v(out, u64::from(caps.max_batch));
+        }
+        Frame::Sample(ws) => {
+            out.push(TAG_SAMPLE);
+            put_wire_sample(out, ws, None);
+        }
+        Frame::SampleBatch(batch) => {
+            out.push(TAG_SAMPLE_BATCH);
+            put_u64v(out, batch.len() as u64);
+            let mut prev: Option<&WireSample> = None;
+            for ws in batch {
+                put_wire_sample(out, ws, prev);
+                prev = Some(ws);
+            }
+        }
+        Frame::Heartbeat { seq } => {
+            out.push(TAG_HEARTBEAT);
+            put_u64v(out, *seq);
+        }
+        Frame::Ack { seq } => {
+            out.push(TAG_ACK);
+            put_u64v(out, *seq);
+        }
+        Frame::Reject {
+            reason,
+            ours,
+            theirs,
+        } => {
+            out.push(TAG_REJECT);
+            put_str(out, reason);
+            put_u64v(out, u64::from(*ours));
+            put_u64v(out, u64::from(*theirs));
+        }
+        Frame::Bye { last_seq } => {
+            out.push(TAG_BYE);
+            put_u64v(out, *last_seq);
+        }
+        Frame::Digest(d) => {
+            out.push(TAG_DIGEST);
+            put_digest(out, d);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked read cursor over a payload slice.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn u8(&mut self) -> Res<u8> {
+        let Some(&b) = self.buf.get(self.pos) else {
+            return corrupt("truncated");
+        };
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Res<&'a [u8]> {
+        let end = match self.pos.checked_add(n) {
+            Some(end) => end,
+            None => return corrupt("length overflow"),
+        };
+        let Some(s) = self.buf.get(self.pos..end) else {
+            return corrupt("truncated");
+        };
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64v(&mut self) -> Res<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            let low = u64::from(b & 0x7f);
+            if shift == 63 && low > 1 {
+                return corrupt("varint overflow");
+            }
+            if shift > 63 {
+                return corrupt("varint overflow");
+            }
+            v |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn i64z(&mut self) -> Res<i64> {
+        Ok(unzigzag(self.u64v()?))
+    }
+
+    /// Decode a delta-coded value against `prev`.
+    fn u64d(&mut self, prev: u64) -> Res<u64> {
+        Ok(prev.wrapping_add(self.i64z()? as u64))
+    }
+
+    fn u32d(&mut self, prev: u32) -> Res<u32> {
+        match u32::try_from(self.u64d(u64::from(prev))?) {
+            Ok(v) => Ok(v),
+            Err(_) => corrupt("u32 overflow"),
+        }
+    }
+
+    fn usized(&mut self, prev: usize) -> Res<usize> {
+        match usize::try_from(self.u64d(prev as u64)?) {
+            Ok(v) => Ok(v),
+            Err(_) => corrupt("usize overflow"),
+        }
+    }
+
+    fn u32v(&mut self) -> Res<u32> {
+        match u32::try_from(self.u64v()?) {
+            Ok(v) => Ok(v),
+            Err(_) => corrupt("u32 overflow"),
+        }
+    }
+
+    fn f64(&mut self) -> Res<f64> {
+        let bytes = self.take(8)?;
+        let Ok(arr) = <[u8; 8]>::try_from(bytes) else {
+            return corrupt("f64 split");
+        };
+        Ok(f64::from_bits(u64::from_le_bytes(arr)))
+    }
+
+    fn bool(&mut self) -> Res<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => corrupt("bad bool"),
+        }
+    }
+
+    /// An element count validated against the bytes remaining, so a
+    /// corrupt count can never demand an allocation the payload could
+    /// not possibly fill (`elem_size` is a lower bound per element).
+    fn count(&mut self, elem_size: usize) -> Res<usize> {
+        let n = self.u64v()?;
+        let Ok(n) = usize::try_from(n) else {
+            return corrupt("count exceeds payload");
+        };
+        match n.checked_mul(elem_size.max(1)) {
+            Some(total) if total <= self.remaining() => Ok(n),
+            _ => corrupt("count exceeds payload"),
+        }
+    }
+
+    fn string(&mut self) -> Res<String> {
+        let n = self.count(1)?;
+        match std::str::from_utf8(self.take(n)?) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => corrupt("invalid utf-8"),
+        }
+    }
+
+    fn f64s(&mut self) -> Res<Vec<f64>> {
+        let n = self.count(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    fn tier(&mut self) -> Res<TierId> {
+        match self.u8()? {
+            0 => Ok(TierId::App),
+            1 => Ok(TierId::Db),
+            _ => corrupt("bad tier"),
+        }
+    }
+
+    fn mix(&mut self) -> Res<MixId> {
+        match self.u8()? {
+            0 => Ok(MixId::Browsing),
+            1 => Ok(MixId::Shopping),
+            2 => Ok(MixId::Ordering),
+            3 => Ok(MixId::Custom),
+            _ => corrupt("bad mix"),
+        }
+    }
+
+    fn health(&mut self) -> Res<HealthState> {
+        match self.u8()? {
+            0 => Ok(HealthState::Healthy),
+            1 => Ok(HealthState::Degraded),
+            2 => Ok(HealthState::SafeMode),
+            _ => corrupt("bad health state"),
+        }
+    }
+
+    fn codec(&mut self) -> Res<WireCodec> {
+        match self.u8()? {
+            0 => Ok(WireCodec::Json),
+            1 => Ok(WireCodec::Binary),
+            _ => corrupt("bad codec"),
+        }
+    }
+
+    fn hist(&mut self, prev: &RtHistogram) -> Res<RtHistogram> {
+        let mut counts = [0u32; RtHistogram::BUCKET_COUNT];
+        for (slot, p) in counts.iter_mut().zip(prev.bucket_counts()) {
+            let delta = self.i64z()?;
+            let Ok(v) = u32::try_from(i64::from(*p) + delta) else {
+                return corrupt("histogram count overflow");
+            };
+            *slot = v;
+        }
+        let total = self.u64d(prev.len())?;
+        match RtHistogram::from_raw_parts(&counts, total) {
+            Some(h) => Ok(h),
+            None => corrupt("histogram size"),
+        }
+    }
+
+    fn tier_sample(&mut self, prev: &TierSample) -> Res<TierSample> {
+        Ok(TierSample {
+            utilization: self.f64()?,
+            delivered_work_s: self.f64()?,
+            avg_runnable: self.f64()?,
+            pool_in_use_avg: self.f64()?,
+            pool_queue_avg: self.f64()?,
+            pool_queue_end: self.usized(prev.pool_queue_end)?,
+            pool_in_use_end: self.usized(prev.pool_in_use_end)?,
+            disk_utilization: self.f64()?,
+            disk_queue_avg: self.f64()?,
+            disk_ops: self.u64d(prev.disk_ops)?,
+            arrivals: self.u64d(prev.arrivals)?,
+            completions: self.u64d(prev.completions)?,
+            browse_work_submitted_s: self.f64()?,
+            order_work_submitted_s: self.f64()?,
+        })
+    }
+
+    fn app_stats(&mut self, prev: Option<&AppStats>) -> Res<AppStats> {
+        let zero;
+        let prev = match prev {
+            Some(p) => p,
+            None => {
+                zero = zero_app_stats();
+                &zero
+            }
+        };
+        Ok(AppStats {
+            ebs_target: self.u32d(prev.ebs_target)?,
+            ebs_active: self.u32d(prev.ebs_active)?,
+            mix_id: self.mix()?,
+            issued: self.u64d(prev.issued)?,
+            issued_browse: self.u64d(prev.issued_browse)?,
+            completed: self.u64d(prev.completed)?,
+            completed_browse: self.u64d(prev.completed_browse)?,
+            response_time_sum_s: self.f64()?,
+            response_time_max_s: self.f64()?,
+            in_flight: self.u32d(prev.in_flight)?,
+            response_times: self.hist(&prev.response_times)?,
+        })
+    }
+
+    fn wire_sample(&mut self, prev: Option<&WireSample>) -> Res<WireSample> {
+        let zero;
+        let prev = match prev {
+            Some(p) => p,
+            None => {
+                zero = zero_wire_sample();
+                &zero
+            }
+        };
+        Ok(WireSample {
+            seq: self.u64d(prev.seq)?,
+            t_s: self.f64()?,
+            interval_s: self.f64()?,
+            tier: self.tier_sample(&prev.tier)?,
+            hpc: self.f64s()?,
+            os: self.f64s()?,
+            app: if self.bool()? {
+                Some(self.app_stats(prev.app.as_ref())?)
+            } else {
+                None
+            },
+        })
+    }
+
+    fn stress(&mut self) -> Res<TierStressAgg> {
+        Ok(TierStressAgg {
+            util_sum: self.f64()?,
+            queue_sum: self.f64()?,
+            n: self.u64v()?,
+        })
+    }
+
+    fn health_agg(&mut self) -> Res<WindowHealthAgg> {
+        Ok(WindowHealthAgg {
+            completed: self.u64v()?,
+            rt_sum_s: self.f64()?,
+            rt_hist: self.hist(&RtHistogram::new())?,
+            first_in_flight: if self.bool()? {
+                Some(self.u32v()?)
+            } else {
+                None
+            },
+            last_in_flight: self.u32v()?,
+        })
+    }
+
+    fn window_digest(&mut self) -> Res<TierWindowDigest> {
+        Ok(TierWindowDigest {
+            window: self.i64z()?,
+            tier: self.tier()?,
+            samples: self.u32v()?,
+            hpc_mean: self.f64s()?,
+            os_mean: self.f64s()?,
+            stress: self.stress()?,
+            app: if self.bool()? {
+                Some(AppWindowDigest {
+                    t_start_s: self.f64()?,
+                    t_end_s: self.f64()?,
+                    duration_s: self.f64()?,
+                    health: self.health_agg()?,
+                    mix_counts: {
+                        let n = self.count(2)?;
+                        let mut out = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            out.push((self.mix()?, self.u32v()?));
+                        }
+                        out
+                    },
+                })
+            } else {
+                None
+            },
+        })
+    }
+
+    fn digest(&mut self) -> Res<DigestFrame> {
+        Ok(DigestFrame {
+            collector: self.u32v()?,
+            seq: self.u64v()?,
+            health: self.health()?,
+            windows: {
+                // A window digest is ≥ ~40 bytes; 8 is a safe floor.
+                let n = self.count(8)?;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(self.window_digest()?);
+                }
+                out
+            },
+            poisoned: {
+                let n = self.count(1)?;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(self.i64z()?);
+                }
+                out
+            },
+            fin: if self.bool()? {
+                Some(DigestFin {
+                    tiers: {
+                        let n = self.count(1)?;
+                        let mut out = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            out.push(self.tier()?);
+                        }
+                        out
+                    },
+                    last_window: self.i64z()?,
+                })
+            } else {
+                None
+            },
+        })
+    }
+
+    fn finish(self) -> Res<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            corrupt("trailing bytes")
+        }
+    }
+}
+
+/// Decode one binary payload (no header) into a [`Frame`]. Every
+/// failure is a typed [`FrameError::Binary`]; trailing bytes after the
+/// frame are an error, matching the strictness of the JSON codec.
+pub fn decode_frame(payload: &[u8]) -> Result<Frame, FrameError> {
+    let mut cur = Cur::new(payload);
+    let frame = match cur.u8()? {
+        TAG_HELLO => {
+            let tier = cur.tier()?;
+            let proto_version = cur.u32v()?;
+            let hash_bytes = cur.take(8)?;
+            let Ok(hash_arr) = <[u8; 8]>::try_from(hash_bytes) else {
+                return corrupt("hash split");
+            };
+            let codec = cur.codec()?;
+            let max_batch = cur.u32v()?;
+            Frame::Hello {
+                tier,
+                proto_version,
+                metric_schema_hash: u64::from_le_bytes(hash_arr),
+                caps: WireCaps { codec, max_batch },
+            }
+        }
+        TAG_SAMPLE => Frame::Sample(cur.wire_sample(None)?),
+        TAG_SAMPLE_BATCH => {
+            // A sample is ≥ ~130 bytes even with empty metric rows; 32
+            // is a conservative floor that still caps a hostile count.
+            let n = cur.count(32)?;
+            let mut batch: Vec<WireSample> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let ws = cur.wire_sample(batch.last())?;
+                batch.push(ws);
+            }
+            Frame::SampleBatch(batch)
+        }
+        TAG_HEARTBEAT => Frame::Heartbeat { seq: cur.u64v()? },
+        TAG_ACK => Frame::Ack { seq: cur.u64v()? },
+        TAG_REJECT => Frame::Reject {
+            reason: cur.string()?,
+            ours: cur.u32v()?,
+            theirs: cur.u32v()?,
+        },
+        TAG_BYE => Frame::Bye {
+            last_seq: cur.u64v()?,
+        },
+        TAG_DIGEST => Frame::Digest(cur.digest()?),
+        _ => return corrupt("unknown frame tag"),
+    };
+    cur.finish()?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip_at_the_edges() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_u64v(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut cur = Cur::new(&buf);
+            assert_eq!(cur.u64v().unwrap(), v, "u64 {v}");
+            cur.finish().unwrap();
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_i64z(&mut buf, v);
+            let mut cur = Cur::new(&buf);
+            assert_eq!(cur.i64z().unwrap(), v, "i64 {v}");
+        }
+    }
+
+    #[test]
+    fn deltas_are_exact_under_wraparound() {
+        for (prev, cur) in [(0u64, u64::MAX), (u64::MAX, 0), (5, 3), (3, 5)] {
+            let mut buf = Vec::new();
+            put_u64d(&mut buf, cur, prev);
+            let mut c = Cur::new(&buf);
+            assert_eq!(c.u64d(prev).unwrap(), cur, "{prev} -> {cur}");
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_a_typed_error() {
+        // Eleven continuation bytes can never be a valid u64.
+        let buf = [0xffu8; 11];
+        let err = Cur::new(&buf).u64v().unwrap_err();
+        assert!(matches!(err, FrameError::Binary(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_fields_are_typed_errors() {
+        let mut payload = Vec::new();
+        encode_frame(&Frame::Bye { last_seq: 300 }, &mut payload);
+        for keep in 0..payload.len() {
+            let err = decode_frame(&payload[..keep]).unwrap_err();
+            assert!(err.is_corrupt(), "truncated to {keep}: {err}");
+        }
+        assert_eq!(
+            decode_frame(&payload).unwrap(),
+            Frame::Bye { last_seq: 300 }
+        );
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_are_rejected() {
+        assert!(matches!(
+            decode_frame(&[0xee]),
+            Err(FrameError::Binary("unknown frame tag"))
+        ));
+        let mut payload = Vec::new();
+        encode_frame(&Frame::Ack { seq: 9 }, &mut payload);
+        payload.push(0);
+        assert!(matches!(
+            decode_frame(&payload),
+            Err(FrameError::Binary("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn hostile_batch_count_cannot_demand_an_allocation() {
+        let mut payload = vec![TAG_SAMPLE_BATCH];
+        put_u64v(&mut payload, u64::MAX / 2);
+        let err = decode_frame(&payload).unwrap_err();
+        assert!(matches!(err, FrameError::Binary("count exceeds payload")));
+    }
+}

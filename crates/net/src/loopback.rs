@@ -25,6 +25,7 @@ use webcap_sim::{SystemSample, TierId};
 
 use crate::agent::{run_agent, AgentConfig, AgentReport, FaultKnobs, FaultSchedule};
 use crate::collector::{run_collector, CollectorConfig, CollectorReport};
+use crate::frame::WireCodec;
 use crate::source::{ScriptedSource, TierSampler};
 use crate::supervisor::{run_supervised_collector, SupervisedReport, SupervisorConfig};
 use crate::transport::{Endpoint, Listener};
@@ -82,6 +83,10 @@ pub fn run_loopback_scheduled(
                 let mut cfg = AgentConfig::new(tier, dial, base_seed);
                 cfg.faults = faults;
                 cfg.schedule = schedule.clone();
+                // `WEBCAP_WIRE` picks the session codec so the CI matrix
+                // (and a debugging human) can pit JSON against binary on
+                // the same deployment without code changes.
+                cfg.codec = WireCodec::try_from_env().map_err(io::Error::other)?;
                 let mut source = ScriptedSource::new(tier, tier_samples);
                 run_agent(&cfg, hpc_model, &mut source)
             }));
@@ -153,6 +158,7 @@ pub fn run_supervised_loopback(
             agent_handles.push(scope.spawn(move || {
                 let mut cfg = AgentConfig::new(tier, dial, base_seed);
                 cfg.faults = faults;
+                cfg.codec = WireCodec::try_from_env().map_err(io::Error::other)?;
                 let mut source = ScriptedSource::with_start_seq(tier, tier_samples, start_seq);
                 run_agent(&cfg, hpc_model, &mut source)
             }));

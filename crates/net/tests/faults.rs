@@ -193,7 +193,7 @@ fn a_rogue_connection_is_rejected_and_the_run_completes() {
             .write_all(b"GET /metrics HTTP/1.1\r\nHost: collector\r\n\r\n")
             .expect("garbage written");
         match read_frame(&mut rogue).expect("collector answers the rogue peer") {
-            Frame::Reject { reason } => {
+            Frame::Reject { reason, .. } => {
                 assert!(reason.contains("malformed handshake"), "{reason}");
             }
             other => panic!("expected Reject, got {other:?}"),

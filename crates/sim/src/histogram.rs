@@ -32,12 +32,41 @@ pub struct RtHistogram {
 }
 
 impl RtHistogram {
+    /// Number of buckets — the length [`bucket_counts`] always has and
+    /// [`from_raw_parts`] always requires.
+    ///
+    /// [`bucket_counts`]: RtHistogram::bucket_counts
+    /// [`from_raw_parts`]: RtHistogram::from_raw_parts
+    pub const BUCKET_COUNT: usize = BUCKETS;
+
     /// An empty histogram.
     pub fn new() -> RtHistogram {
         RtHistogram {
             counts: [0; BUCKETS],
             total: 0,
         }
+    }
+
+    /// The raw per-bucket counts, index-aligned with the fixed
+    /// log-spaced buckets — what a compact wire codec serializes
+    /// instead of the JSON field map.
+    pub fn bucket_counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Rebuild a histogram from raw parts (the inverse of
+    /// [`bucket_counts`] + [`len`]). `None` unless `counts` has exactly
+    /// [`BUCKET_COUNT`] entries. `total` is carried verbatim so a
+    /// decoder round-trips any histogram value bit-for-bit, even one
+    /// whose total a hostile peer set inconsistently — equality and
+    /// quantiles then behave exactly as they would have on the sender.
+    ///
+    /// [`bucket_counts`]: RtHistogram::bucket_counts
+    /// [`len`]: RtHistogram::len
+    /// [`BUCKET_COUNT`]: RtHistogram::BUCKET_COUNT
+    pub fn from_raw_parts(counts: &[u32], total: u64) -> Option<RtHistogram> {
+        let counts: [u32; BUCKETS] = counts.try_into().ok()?;
+        Some(RtHistogram { counts, total })
     }
 
     fn bucket_of(seconds: f64) -> usize {
@@ -223,6 +252,18 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn zero_quantile_panics() {
         let _ = RtHistogram::new().quantile(0.0);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let mut h = RtHistogram::new();
+        for v in [0.002, 0.05, 1.5, 80.0] {
+            h.record(v);
+        }
+        let back = RtHistogram::from_raw_parts(h.bucket_counts(), h.len()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(h.bucket_counts().len(), RtHistogram::BUCKET_COUNT);
+        assert!(RtHistogram::from_raw_parts(&[1, 2, 3], 6).is_none());
     }
 
     #[test]
