@@ -1,0 +1,383 @@
+//! The chaos mesh over the fleet digest back-haul.
+//!
+//! Splits the fleet harness in two so a chaos schedule can sit between
+//! the halves:
+//!
+//! * [`collect_digest_stream`] runs the sharded collectors over a
+//!   scripted sample stream (with optional per-tier agent-plane fault
+//!   schedules) and captures every flushed [`DigestFrame`] as encoded
+//!   wire bytes stamped with the simulated tick it was flushed at.
+//! * [`merge_stream`] replays that stream into a partition-aware
+//!   [`MergeNode`], applying a [`ChaosSchedule`] to the back-haul:
+//!   corrupted/truncated/dropped digests are *lost* (and reported),
+//!   duplicates are ingested twice, reorders swap delivery order, and a
+//!   scripted partition holds a collector's frames until the heal tick
+//!   while the merge's liveness clock watches the silence.
+//!
+//! Because the merge is a pure function of the *set* of ingested
+//! digests, the suite can state exact oracles: loss-free chaos must be
+//! byte-identical to the unfaulted baseline, and lossy chaos must be
+//! byte-identical to a clean merge of exactly the surviving frames.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use webcap_core::CapacityMeter;
+use webcap_fleet::{
+    AgentId, FleetCollector, FleetTopology, MergeLivenessConfig, MergeNode, MergeOutcome, ShardMap,
+};
+use webcap_net::collector::CollectorConfig;
+use webcap_net::frame::{try_extract_frame, write_frame_codec, AppStats, Frame};
+use webcap_net::source::TierSampler;
+use webcap_net::supervisor::SupervisorConfig;
+use webcap_net::{DigestFin, DigestFrame, FaultSchedule, WireCodec, WireSample};
+use webcap_sim::{SystemSample, TierId};
+
+use crate::schedule::{corrupt_frame, ChaosSchedule, FrameFault};
+
+/// Error from the fleet chaos mesh; deterministic, so always a
+/// programming or configuration mistake.
+#[derive(Debug)]
+pub struct FleetMeshError(pub String);
+
+impl fmt::Display for FleetMeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fleet chaos mesh: {}", self.0)
+    }
+}
+
+impl std::error::Error for FleetMeshError {}
+
+/// One captured digest frame: encoded wire bytes plus the simulated
+/// tick at which the owning collector flushed it.
+#[derive(Debug, Clone)]
+pub struct TimedFrame {
+    /// Simulated second (sample sequence) of the flush.
+    pub tick: u64,
+    /// The collector that emitted the frame.
+    pub collector: u32,
+    /// The full encoded wire frame, header included.
+    pub bytes: Vec<u8>,
+}
+
+/// The captured back-haul of one fleet run.
+#[derive(Debug, Clone)]
+pub struct DigestStream {
+    /// Flushed frames in emission order (non-decreasing tick).
+    pub frames: Vec<TimedFrame>,
+    /// Number of collectors in the topology.
+    pub collectors: u32,
+    /// The tick at which the fin frames were flushed.
+    pub last_tick: u64,
+}
+
+/// A back-haul frame the chaos schedule destroyed before the merge
+/// could ingest it.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct LostFrame {
+    /// Index into [`DigestStream::frames`].
+    pub index: usize,
+    /// Emitting collector.
+    pub collector: u32,
+    /// Flush tick of the lost frame.
+    pub tick: u64,
+    /// The fault that destroyed it.
+    pub fault: FrameFault,
+}
+
+/// Run the sharded fleet collectors over a scripted sample stream and
+/// capture every flushed digest as encoded wire bytes.
+///
+/// This is the collector half of the fleet harness: rendezvous-sharded
+/// ownership, per-seq eager flushes, agent-plane fault `schedules`
+/// applied per tier (`App` first, then `Db`), and a fin frame per
+/// collector at the end.
+pub fn collect_digest_stream(
+    meter: &CapacityMeter,
+    samples: &[SystemSample],
+    base_seed: u64,
+    schedules: &[FaultSchedule; 2],
+    topology: &FleetTopology,
+    codec: WireCodec,
+) -> Result<DigestStream, FleetMeshError> {
+    let window_len = (meter.config().window_len as i64).max(1);
+    let origin = CollectorConfig::default().window_origin;
+    let map = ShardMap::new(topology.seed, topology.collectors);
+    let owner_of = |tier: TierId| map.owner(AgentId::primary(tier));
+    let hpc_model = meter.config().hpc_model.clone();
+
+    let mut collectors: Vec<FleetCollector> = Vec::new();
+    for c in 0..topology.collectors {
+        let tiers: Vec<TierId> = TierId::ALL
+            .into_iter()
+            .filter(|t| owner_of(*t) == c)
+            .collect();
+        collectors.push(FleetCollector::new(
+            c,
+            &tiers,
+            window_len,
+            origin,
+            SupervisorConfig::default(),
+        ));
+    }
+    let mut sampler_app = TierSampler::new(TierId::App, hpc_model.clone(), base_seed);
+    let mut sampler_db = TierSampler::new(TierId::Db, hpc_model, base_seed);
+    let none_schedule = FaultSchedule::NONE;
+
+    let mut frames: Vec<TimedFrame> = Vec::new();
+    let mut scratch = Vec::new();
+    let mut push_frame = |frames: &mut Vec<TimedFrame>, frame: DigestFrame, tick: u64| {
+        let collector = frame.collector;
+        let mut buf = Vec::new();
+        write_frame_codec(&mut buf, &Frame::Digest(frame), codec, &mut scratch)
+            .map_err(|e| FleetMeshError(format!("encode digest at tick {tick}: {e}")))?;
+        frames.push(TimedFrame {
+            tick,
+            collector,
+            bytes: buf,
+        });
+        Ok::<(), FleetMeshError>(())
+    };
+
+    for tier in TierId::ALL {
+        if let Some(col) = collectors.get_mut(owner_of(tier) as usize) {
+            col.on_session_start(tier);
+        }
+    }
+    for (i, s) in samples.iter().enumerate() {
+        let seq = i as u64;
+        for tier in TierId::ALL {
+            let sampler = match tier {
+                TierId::App => &mut sampler_app,
+                TierId::Db => &mut sampler_db,
+            };
+            // The sampler is stateful: advance it for every seq, even
+            // ones the fault schedule swallows.
+            let (hpc, os) = sampler.rows(seq, s.tier(tier), s.interval_s);
+            let schedule = schedules.get(tier.index()).unwrap_or(&none_schedule);
+            let Some(col) = collectors.get_mut(owner_of(tier) as usize) else {
+                continue;
+            };
+            if schedule.reconnect_before.contains(&seq) {
+                col.on_session_start(tier);
+            }
+            if schedule.drops(seq) {
+                continue;
+            }
+            let ws = WireSample {
+                seq,
+                t_s: s.t_s,
+                interval_s: s.interval_s,
+                tier: s.tier(tier).clone(),
+                hpc,
+                os,
+                app: (tier == TierId::App).then(|| AppStats::from_sample(s)),
+            };
+            col.on_sample(tier, &ws);
+        }
+        for col in &mut collectors {
+            if let Some(frame) = col.flush(None) {
+                push_frame(&mut frames, frame, seq)?;
+            }
+        }
+    }
+    if let Some(last) = (samples.len() as u64).checked_sub(1) {
+        for tier in TierId::ALL {
+            if let Some(col) = collectors.get_mut(owner_of(tier) as usize) {
+                col.on_bye(tier, last);
+            }
+        }
+    }
+    let last_window = samples.len() as i64 / window_len - 1;
+    let last_tick = samples.len() as u64;
+    for col in &mut collectors {
+        let fin = DigestFin {
+            tiers: col.tiers(),
+            last_window,
+        };
+        if let Some(frame) = col.flush(Some(fin)) {
+            push_frame(&mut frames, frame, last_tick)?;
+        }
+    }
+    Ok(DigestStream {
+        frames,
+        collectors: topology.collectors,
+        last_tick,
+    })
+}
+
+/// Decode one captured back-haul frame, demanding a lone `Digest`.
+fn decode_digest(bytes: &[u8]) -> Result<DigestFrame, FleetMeshError> {
+    match try_extract_frame(bytes) {
+        Ok(Some((Frame::Digest(d), used))) if used == bytes.len() => Ok(d),
+        Ok(Some(_)) => Err(FleetMeshError(
+            "non-digest frame or trailing bytes in back-haul stream".to_string(),
+        )),
+        Ok(None) => Err(FleetMeshError("incomplete digest frame".to_string())),
+        Err(e) => Err(FleetMeshError(format!("digest decode: {e}"))),
+    }
+}
+
+/// A planned delivery of one stream frame.
+struct Delivery {
+    deliver_tick: u64,
+    ord: u64,
+    index: usize,
+    copies: u32,
+}
+
+/// Replay a captured digest stream into a partition-aware merge under a
+/// chaos schedule.
+///
+/// Per-collector frame indices drive the roll faults; the scripted
+/// partition is keyed on *ticks* and holds a collector's frames until
+/// the heal tick, letting the merge's liveness clock observe the
+/// silence, flag the collector `Partitioned`, and walk it back to
+/// `Live` through the hysteretic rejoin. Corrupted and truncated frames
+/// are pushed through the real decoder (their typed failure is
+/// asserted) and reported as lost together with dropped frames.
+///
+/// Returns the merge outcome and the lost-frame list; with `chaos:
+/// None` this is exactly the clean ordered merge of the whole stream.
+pub fn merge_stream(
+    meter: &CapacityMeter,
+    stream: &DigestStream,
+    chaos: Option<&ChaosSchedule>,
+    liveness: MergeLivenessConfig,
+) -> Result<(MergeOutcome, Vec<LostFrame>), FleetMeshError> {
+    let mut node = MergeNode::with_liveness(meter.clone(), liveness);
+    for c in 0..stream.collectors {
+        node.register_collector(c, 0);
+    }
+    let mut plan: Vec<Delivery> = Vec::new();
+    let mut lost: Vec<LostFrame> = Vec::new();
+    let mut per_conn: BTreeMap<u32, u64> = BTreeMap::new();
+    for (index, frame) in stream.frames.iter().enumerate() {
+        let counter = per_conn.entry(frame.collector).or_insert(0);
+        let idx = *counter;
+        *counter += 1;
+        let fault = match chaos {
+            Some(c) => c.fleet_fault(frame.collector, idx, frame.tick),
+            None => FrameFault::None,
+        };
+        let ord = (index as u64) * 2;
+        match fault {
+            FrameFault::Corrupt => {
+                let mangled = corrupt_frame(&frame.bytes);
+                if decode_digest(&mangled).is_ok() {
+                    return Err(FleetMeshError(format!(
+                        "corrupted digest frame {index} decoded successfully"
+                    )));
+                }
+                lost.push(LostFrame {
+                    index,
+                    collector: frame.collector,
+                    tick: frame.tick,
+                    fault,
+                });
+            }
+            FrameFault::Truncate => {
+                let mangled = chaos
+                    .map(|c| c.truncate_frame(frame.collector, idx, &frame.bytes))
+                    .unwrap_or_default();
+                if decode_digest(&mangled).is_ok() {
+                    return Err(FleetMeshError(format!(
+                        "truncated digest frame {index} decoded successfully"
+                    )));
+                }
+                lost.push(LostFrame {
+                    index,
+                    collector: frame.collector,
+                    tick: frame.tick,
+                    fault,
+                });
+            }
+            FrameFault::Drop => {
+                lost.push(LostFrame {
+                    index,
+                    collector: frame.collector,
+                    tick: frame.tick,
+                    fault,
+                });
+            }
+            FrameFault::Partitioned => {
+                let until = chaos
+                    .and_then(|c| c.profile.partition.as_ref())
+                    .map(|p| p.until)
+                    .unwrap_or(frame.tick);
+                plan.push(Delivery {
+                    deliver_tick: until.max(frame.tick),
+                    ord,
+                    index,
+                    copies: 1,
+                });
+            }
+            FrameFault::Duplicate => {
+                plan.push(Delivery {
+                    deliver_tick: frame.tick,
+                    ord,
+                    index,
+                    copies: 2,
+                });
+            }
+            FrameFault::Reorder => {
+                // Nudge past the next delivery at the same tick; the
+                // merge is order-independent, but the rejoin streak
+                // logic sees the out-of-order sequence.
+                plan.push(Delivery {
+                    deliver_tick: frame.tick,
+                    ord: ord + 3,
+                    index,
+                    copies: 1,
+                });
+            }
+            FrameFault::None | FrameFault::Split | FrameFault::Stall => {
+                plan.push(Delivery {
+                    deliver_tick: frame.tick,
+                    ord,
+                    index,
+                    copies: 1,
+                });
+            }
+        }
+    }
+    plan.sort_by_key(|e| (e.deliver_tick, e.ord));
+    let planned_max = plan.iter().map(|e| e.deliver_tick).max().unwrap_or(0);
+    let max_tick = stream.last_tick.max(planned_max);
+    let mut next = 0usize;
+    for tick in 0..=max_tick {
+        node.observe_tick(tick);
+        while let Some(entry) = plan.get(next) {
+            if entry.deliver_tick != tick {
+                break;
+            }
+            let Some(frame) = stream.frames.get(entry.index) else {
+                next += 1;
+                continue;
+            };
+            let digest = decode_digest(&frame.bytes)?;
+            for _ in 0..entry.copies {
+                node.ingest_at(&digest, tick);
+            }
+            next += 1;
+        }
+    }
+    Ok((node.finalize(), lost))
+}
+
+/// Rebuild a stream with the given frame indices removed — the
+/// kept-set oracle's input after a lossy chaos run.
+pub fn without_frames(stream: &DigestStream, lost: &[LostFrame]) -> DigestStream {
+    let gone: std::collections::BTreeSet<usize> = lost.iter().map(|l| l.index).collect();
+    DigestStream {
+        frames: stream
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !gone.contains(i))
+            .map(|(_, f)| f.clone())
+            .collect(),
+        collectors: stream.collectors,
+        last_tick: stream.last_tick,
+    }
+}

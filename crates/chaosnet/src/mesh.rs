@@ -1,0 +1,370 @@
+//! The in-process chaos mesh over the agent → collector telemetry
+//! plane.
+//!
+//! [`run_net_mesh`] encodes each tier's per-second samples as real v3
+//! wire frames (JSON or binary, caller's choice), interposes a
+//! [`ChaosSchedule`] between the encoded bytes and a
+//! [`SupervisedCollector`], and returns the supervised report together
+//! with the schedule *compiled* into the telemetry plane's fault
+//! vocabulary. The equivalence suite then checks that the surviving
+//! decision set is byte-identical to the loopback oracle's analytic
+//! prediction — under bit flips, truncations, drops, duplicates, split
+//! writes, reorders, and partitions.
+//!
+//! The mesh drives the collector through the exact session surface the
+//! real event loop uses (`on_session_start` / `on_sample` /
+//! `on_session_abort` / `on_bye`), and every delivered byte passes
+//! through the real incremental frame extractor, so a corrupted or
+//! truncated frame exercises the same typed-error path a hostile peer
+//! would.
+
+use std::fmt;
+
+use webcap_core::{AdmissionController, CapacityMeter};
+use webcap_net::collector::CollectorConfig;
+use webcap_net::frame::{try_extract_frame, write_frame_codec, AppStats, Frame, FrameError};
+use webcap_net::source::TierSampler;
+use webcap_net::supervisor::{SupervisedCollector, SupervisedReport, SupervisorConfig};
+use webcap_net::{FaultSchedule, WireCodec, WireSample};
+use webcap_sim::{SystemSample, TierId};
+
+use crate::schedule::{corrupt_frame, ChaosSchedule, FrameFault};
+
+/// Error from a chaos-mesh run. Carries a human-readable description;
+/// the mesh itself is deterministic, so any error is a programming or
+/// configuration mistake, not a flake.
+#[derive(Debug)]
+pub struct MeshError(pub String);
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chaos mesh: {}", self.0)
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+/// An incremental per-session frame decoder: the same
+/// accumulate-and-extract loop the collector's event loop runs, exposed
+/// so the mesh (and tests) can feed bytes at arbitrary split points.
+#[derive(Debug, Default)]
+pub struct SessionDecoder {
+    buf: Vec<u8>,
+}
+
+impl SessionDecoder {
+    /// A decoder with an empty reassembly buffer.
+    pub fn new() -> SessionDecoder {
+        SessionDecoder::default()
+    }
+
+    /// Append raw bytes from the wire.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extract every complete frame currently buffered. A decode error
+    /// clears the buffer (the session is about to die anyway) and
+    /// surfaces the typed [`FrameError`].
+    pub fn drain(&mut self) -> Result<Vec<Frame>, FrameError> {
+        let mut out = Vec::new();
+        loop {
+            match try_extract_frame(&self.buf) {
+                Ok(Some((frame, used))) => {
+                    out.push(frame);
+                    self.buf.drain(..used);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.buf.clear();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Discard any partially-buffered bytes (session teardown).
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Bytes currently awaiting a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// What a chaos-mesh run produced.
+#[derive(Debug)]
+pub struct MeshOutcome {
+    /// The supervised collector's report (decisions, quarantine,
+    /// anomalies, health trace).
+    pub report: SupervisedReport,
+    /// The chaos schedule compiled per tier into the telemetry plane's
+    /// fault vocabulary, ready for the loopback oracle.
+    pub schedules: [FaultSchedule; 2],
+    /// Every non-trivial fault actually injected, in delivery order.
+    pub injected: Vec<(TierId, u64, FrameFault)>,
+}
+
+/// Per-tier delivery state while the mesh drives the collector.
+struct TierState {
+    tier: TierId,
+    needs_session: bool,
+    decoder: SessionDecoder,
+}
+
+impl TierState {
+    fn new(tier: TierId) -> TierState {
+        TierState {
+            tier,
+            needs_session: false,
+            decoder: SessionDecoder::new(),
+        }
+    }
+}
+
+/// Encode one tier's sample stream as individual `Sample` wire frames
+/// in the chosen codec, one byte vector per sequence number.
+fn encode_tier(
+    meter: &CapacityMeter,
+    samples: &[SystemSample],
+    base_seed: u64,
+    tier: TierId,
+    codec: WireCodec,
+) -> Result<Vec<Vec<u8>>, MeshError> {
+    let hpc_model = meter.config().hpc_model.clone();
+    let mut sampler = TierSampler::new(tier, hpc_model, base_seed);
+    let mut scratch = Vec::new();
+    let mut out = Vec::with_capacity(samples.len());
+    for (i, s) in samples.iter().enumerate() {
+        let seq = i as u64;
+        let (hpc, os) = sampler.rows(seq, s.tier(tier), s.interval_s);
+        let ws = WireSample {
+            seq,
+            t_s: s.t_s,
+            interval_s: s.interval_s,
+            tier: s.tier(tier).clone(),
+            hpc,
+            os,
+            app: (tier == TierId::App).then(|| AppStats::from_sample(s)),
+        };
+        let mut buf = Vec::new();
+        write_frame_codec(&mut buf, &Frame::Sample(ws), codec, &mut scratch)
+            .map_err(|e| MeshError(format!("encode {tier:?} seq {seq}: {e}")))?;
+        out.push(buf);
+    }
+    Ok(out)
+}
+
+fn ensure_session(sc: &mut SupervisedCollector, state: &mut TierState) {
+    if state.needs_session {
+        sc.on_session_start(state.tier);
+        state.needs_session = false;
+    }
+}
+
+fn abort_session(sc: &mut SupervisedCollector, state: &mut TierState) {
+    if !state.needs_session {
+        sc.on_session_abort(state.tier);
+    }
+    state.decoder.reset();
+    state.needs_session = true;
+}
+
+fn deliver_frames(sc: &mut SupervisedCollector, state: &TierState, frames: Vec<Frame>) {
+    for frame in frames {
+        if let Frame::Sample(ws) = frame {
+            sc.on_sample(state.tier, ws);
+        }
+    }
+}
+
+/// Deliver one (possibly mutilated) encoded frame to the collector
+/// through the incremental decoder, honouring session semantics: a
+/// decode failure kills the session exactly as the real event loop
+/// would.
+fn deliver_bytes(sc: &mut SupervisedCollector, state: &mut TierState, bytes: &[u8]) {
+    ensure_session(sc, state);
+    state.decoder.feed(bytes);
+    match state.decoder.drain() {
+        Ok(frames) => deliver_frames(sc, state, frames),
+        Err(_) => abort_session(sc, state),
+    }
+}
+
+/// Deliver one tier's frame for `seq`, applying the scheduled fault.
+#[allow(clippy::too_many_arguments)]
+fn deliver_tier(
+    sc: &mut SupervisedCollector,
+    state: &mut TierState,
+    frames: &[Vec<u8>],
+    seq: u64,
+    total: u64,
+    chaos: &ChaosSchedule,
+    skip_next: &mut bool,
+    injected: &mut Vec<(TierId, u64, FrameFault)>,
+) -> Result<(), MeshError> {
+    if *skip_next {
+        // This frame was already delivered early by a reorder swap.
+        *skip_next = false;
+        return Ok(());
+    }
+    let conn = state.tier.index() as u32;
+    let fault = chaos.effective_fault(conn, seq, total);
+    if fault != FrameFault::None {
+        injected.push((state.tier, seq, fault));
+    }
+    let Some(bytes) = frames.get(seq as usize) else {
+        return Err(MeshError(format!("missing frame {seq} for {:?}", state.tier)));
+    };
+    match fault {
+        FrameFault::None | FrameFault::Stall => deliver_bytes(sc, state, bytes),
+        FrameFault::Drop => {}
+        FrameFault::Partitioned => {
+            // The first black-holed frame kills the session; the rest
+            // of the partition is silence.
+            if !state.needs_session {
+                abort_session(sc, state);
+            }
+        }
+        FrameFault::Corrupt => {
+            let mangled = corrupt_frame(bytes);
+            ensure_session(sc, state);
+            state.decoder.feed(&mangled);
+            match state.decoder.drain() {
+                // A flipped magic byte cannot decode; the Ok arm is
+                // defensive totality, not a reachable path.
+                Ok(frames) => deliver_frames(sc, state, frames),
+                Err(_) => abort_session(sc, state),
+            }
+        }
+        FrameFault::Truncate => {
+            let mangled = chaos.truncate_frame(conn, seq, bytes);
+            ensure_session(sc, state);
+            state.decoder.feed(&mangled);
+            match state.decoder.drain() {
+                Ok(frames) => deliver_frames(sc, state, frames),
+                Err(_) => abort_session(sc, state),
+            }
+        }
+        FrameFault::Duplicate => {
+            deliver_bytes(sc, state, bytes);
+            // The duplicate is a backward sequence: an anomaly the
+            // assembler must ignore.
+            deliver_bytes(sc, state, bytes);
+        }
+        FrameFault::Split => {
+            ensure_session(sc, state);
+            let mut rest = bytes.as_slice();
+            let mut piece: u64 = 0;
+            while !rest.is_empty() {
+                let n = chaos.chunk_len(conn, seq, piece).min(rest.len());
+                let (head, tail) = rest.split_at(n);
+                state.decoder.feed(head);
+                match state.decoder.drain() {
+                    Ok(frames) => deliver_frames(sc, state, frames),
+                    Err(_) => {
+                        abort_session(sc, state);
+                        return Ok(());
+                    }
+                }
+                rest = tail;
+                piece += 1;
+            }
+        }
+        FrameFault::Reorder => {
+            // Swap with the successor, which effective_fault guarantees
+            // exists and is fault-free. The late original arrives as a
+            // backward sequence the assembler counts and ignores.
+            let Some(next) = frames.get(seq as usize + 1) else {
+                return Err(MeshError(format!(
+                    "reorder at {seq} without successor for {:?}",
+                    state.tier
+                )));
+            };
+            deliver_bytes(sc, state, next);
+            deliver_bytes(sc, state, bytes);
+            *skip_next = true;
+        }
+    }
+    Ok(())
+}
+
+/// Run the telemetry plane under a chaos schedule.
+///
+/// Encodes `samples` per tier as real wire frames in `codec`, applies
+/// `chaos` to every frame of every tier connection (App is connection
+/// 0, Db is connection 1), and drives a [`SupervisedCollector`] exactly
+/// as the event loop would. Returns the supervised report plus the
+/// compiled per-tier fault schedules for the analytic oracle.
+pub fn run_net_mesh(
+    meter: &CapacityMeter,
+    samples: &[SystemSample],
+    base_seed: u64,
+    chaos: &ChaosSchedule,
+    codec: WireCodec,
+    admission: AdmissionController,
+) -> Result<MeshOutcome, MeshError> {
+    let total = samples.len() as u64;
+    let origin = CollectorConfig::default().window_origin;
+    let app_frames = encode_tier(meter, samples, base_seed, TierId::App, codec)?;
+    let db_frames = encode_tier(meter, samples, base_seed, TierId::Db, codec)?;
+
+    let mut sc = SupervisedCollector::start(
+        meter.clone(),
+        origin,
+        SupervisorConfig::default(),
+        admission,
+        None,
+        false,
+    );
+    let mut app_state = TierState::new(TierId::App);
+    let mut db_state = TierState::new(TierId::Db);
+    sc.on_session_start(TierId::App);
+    sc.on_session_start(TierId::Db);
+    let mut injected = Vec::new();
+    let mut skip_app = false;
+    let mut skip_db = false;
+    for seq in 0..total {
+        deliver_tier(
+            &mut sc,
+            &mut app_state,
+            &app_frames,
+            seq,
+            total,
+            chaos,
+            &mut skip_app,
+            &mut injected,
+        )?;
+        deliver_tier(
+            &mut sc,
+            &mut db_state,
+            &db_frames,
+            seq,
+            total,
+            chaos,
+            &mut skip_db,
+            &mut injected,
+        )?;
+    }
+    if let Some(last) = total.checked_sub(1) {
+        // A Bye always arrives on a live session, mirroring the real
+        // agent which reconnects before its farewell.
+        ensure_session(&mut sc, &mut app_state);
+        ensure_session(&mut sc, &mut db_state);
+        sc.on_bye(TierId::App, last);
+        sc.on_bye(TierId::Db, last);
+    }
+    let report = sc.finish();
+    let schedules = [
+        chaos.compile_tier_schedule(TierId::App.index() as u32, total),
+        chaos.compile_tier_schedule(TierId::Db.index() as u32, total),
+    ];
+    Ok(MeshOutcome {
+        report,
+        schedules,
+        injected,
+    })
+}

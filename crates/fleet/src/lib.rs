@@ -44,6 +44,8 @@ pub mod topology;
 
 pub use digest::{DigesterState, FleetCollector, FleetCollectorState, TierDigester};
 pub use harness::{run_fleet, CollectorSummary, FleetChaos, FleetError, FleetOutcome};
-pub use merge::{MergeNode, MergeOutcome};
+pub use merge::{
+    CollectorLiveness, MergeLivenessConfig, MergeNode, MergeOutcome, PartitionEvent,
+};
 pub use shard::{AgentId, ShardMap};
 pub use topology::{FleetTopology, TopologyParseError};

@@ -25,6 +25,71 @@ use webcap_core::{
 use webcap_net::{DigestFin, DigestFrame, HealthState, TierWindowDigest};
 use webcap_sim::TierId;
 
+/// Partition-liveness policy for the merge node, driven entirely by the
+/// caller's deterministic clock (a tick is whatever unit the harness
+/// stamps frames with — the fleet harness uses the sample sequence).
+///
+/// The default **disables** detection (`deadline_ticks == 0`): a plain
+/// [`MergeNode::new`] behaves exactly as before, and liveness is pure
+/// audit state even when enabled — arriving frames are always ingested,
+/// so enabling it provably changes no byte of the decision stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MergeLivenessConfig {
+    /// A collector silent for more than this many ticks (per
+    /// [`MergeNode::observe_tick`]) is declared [`CollectorLiveness::Partitioned`].
+    /// `0` disables detection.
+    pub deadline_ticks: u64,
+    /// Hysteretic rejoin: consecutive in-sequence frames a partitioned
+    /// collector must deliver before it is trusted
+    /// [`CollectorLiveness::Live`] again (its first frame back starts
+    /// the streak; a fresh sequence gap restarts it).
+    pub rejoin_clean_frames: u64,
+}
+
+impl Default for MergeLivenessConfig {
+    fn default() -> MergeLivenessConfig {
+        MergeLivenessConfig {
+            deadline_ticks: 0,
+            rejoin_clean_frames: 2,
+        }
+    }
+}
+
+/// A collector's liveness as the merge node sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CollectorLiveness {
+    /// Frames arrive within the deadline.
+    Live,
+    /// Silent past the deadline. Its shard's windows stay incomplete
+    /// (withheld, never scored) until digests resume; frames it emitted
+    /// but never delivered surface as sequence holes in
+    /// [`MergeOutcome::lost_digests`] once it rejoins.
+    Partitioned,
+    /// Delivering frames again but still inside the rejoin hysteresis.
+    Rejoining,
+}
+
+/// One liveness transition, for the audit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PartitionEvent {
+    /// The collector whose state changed.
+    pub collector: u32,
+    /// Caller-clock tick the transition happened at.
+    pub tick: u64,
+    /// State after the transition.
+    pub to: CollectorLiveness,
+}
+
+/// Per-collector liveness bookkeeping (audit only — never gates
+/// ingestion).
+#[derive(Debug, Clone)]
+struct LivenessTrack {
+    state: CollectorLiveness,
+    last_seen: u64,
+    last_seq: Option<u64>,
+    clean: u64,
+}
+
 /// Merge-node accumulator. Feed every collector's [`DigestFrame`]s via
 /// [`MergeNode::ingest`] (any order), then [`MergeNode::finalize`].
 #[derive(Debug)]
@@ -37,12 +102,22 @@ pub struct MergeNode {
     safe_mode_frames: u64,
     fins: BTreeMap<u32, DigestFin>,
     frames: u64,
+    liveness_cfg: MergeLivenessConfig,
+    tracks: BTreeMap<u32, LivenessTrack>,
+    partition_events: Vec<PartitionEvent>,
 }
 
 impl MergeNode {
     /// A merge node scoring with `meter` (its model state is consumed
     /// by the decision stream, exactly like the in-process monitor).
     pub fn new(meter: CapacityMeter) -> MergeNode {
+        MergeNode::with_liveness(meter, MergeLivenessConfig::default())
+    }
+
+    /// A merge node with partition detection armed (see
+    /// [`MergeLivenessConfig`]). With the default (disabled) config this
+    /// is exactly [`MergeNode::new`].
+    pub fn with_liveness(meter: CapacityMeter, liveness_cfg: MergeLivenessConfig) -> MergeNode {
         MergeNode {
             meter,
             windows: BTreeMap::new(),
@@ -52,7 +127,104 @@ impl MergeNode {
             safe_mode_frames: 0,
             fins: BTreeMap::new(),
             frames: 0,
+            liveness_cfg,
+            tracks: BTreeMap::new(),
+            partition_events: Vec::new(),
         }
+    }
+
+    /// Announce a collector the topology expects, so silence from it is
+    /// detectable from tick zero — a fully partitioned collector never
+    /// delivers a first frame to register itself with.
+    pub fn register_collector(&mut self, collector: u32, tick: u64) {
+        self.tracks.entry(collector).or_insert(LivenessTrack {
+            state: CollectorLiveness::Live,
+            last_seen: tick,
+            last_seq: None,
+            clean: 0,
+        });
+    }
+
+    /// Absorb one digest frame stamped with the caller's deterministic
+    /// clock, updating the sender's liveness. The frame is **always**
+    /// ingested regardless of liveness state — rejoin hysteresis is
+    /// audit-only, which is what makes it provably byte-neutral.
+    pub fn ingest_at(&mut self, frame: &DigestFrame, tick: u64) {
+        let cfg = self.liveness_cfg;
+        let track = self.tracks.entry(frame.collector).or_insert(LivenessTrack {
+            state: CollectorLiveness::Live,
+            last_seen: tick,
+            last_seq: None,
+            clean: 0,
+        });
+        let in_seq = track.last_seq.is_none_or(|p| frame.seq == p.wrapping_add(1));
+        track.last_seen = tick;
+        if track.last_seq.is_none_or(|p| frame.seq > p) {
+            track.last_seq = Some(frame.seq);
+        }
+        let mut events: Vec<PartitionEvent> = Vec::new();
+        match track.state {
+            CollectorLiveness::Live => {}
+            CollectorLiveness::Partitioned => {
+                track.state = CollectorLiveness::Rejoining;
+                track.clean = 1;
+                events.push(PartitionEvent {
+                    collector: frame.collector,
+                    tick,
+                    to: CollectorLiveness::Rejoining,
+                });
+            }
+            CollectorLiveness::Rejoining => {
+                track.clean = if in_seq { track.clean.saturating_add(1) } else { 1 };
+            }
+        }
+        if track.state == CollectorLiveness::Rejoining
+            && track.clean >= cfg.rejoin_clean_frames.max(1)
+        {
+            track.state = CollectorLiveness::Live;
+            track.clean = 0;
+            events.push(PartitionEvent {
+                collector: frame.collector,
+                tick,
+                to: CollectorLiveness::Live,
+            });
+        }
+        self.partition_events.extend(events);
+        self.ingest(frame);
+    }
+
+    /// Advance the caller's deterministic clock: every registered (or
+    /// previously heard-from) collector silent for more than the
+    /// liveness deadline flips to [`CollectorLiveness::Partitioned`].
+    /// No-op while detection is disabled.
+    pub fn observe_tick(&mut self, tick: u64) {
+        let deadline = self.liveness_cfg.deadline_ticks;
+        if deadline == 0 {
+            return;
+        }
+        for (&collector, track) in self.tracks.iter_mut() {
+            if track.state != CollectorLiveness::Partitioned
+                && tick.saturating_sub(track.last_seen) > deadline
+            {
+                track.state = CollectorLiveness::Partitioned;
+                track.clean = 0;
+                self.partition_events.push(PartitionEvent {
+                    collector,
+                    tick,
+                    to: CollectorLiveness::Partitioned,
+                });
+            }
+        }
+    }
+
+    /// A collector's current liveness, if it ever registered or spoke.
+    pub fn liveness(&self, collector: u32) -> Option<CollectorLiveness> {
+        self.tracks.get(&collector).map(|t| t.state)
+    }
+
+    /// The liveness-transition audit log so far.
+    pub fn partition_events(&self) -> &[PartitionEvent] {
+        &self.partition_events
     }
 
     /// Absorb one digest frame. Every update commutes with every other
@@ -116,6 +288,9 @@ impl MergeNode {
             safe_mode_frames,
             fins,
             frames,
+            liveness_cfg: _,
+            tracks,
+            partition_events,
         } = self;
         let oracle = meter.config().oracle;
         let mut meter = meter;
@@ -191,6 +366,11 @@ impl MergeNode {
                     .map_or(0, |&max| max + 1 - s.len() as u64)
             })
             .sum();
+        let partitioned = tracks
+            .iter()
+            .filter(|(_, t)| t.state != CollectorLiveness::Live)
+            .map(|(&c, _)| c)
+            .collect();
         MergeOutcome {
             decisions,
             poisoned_windows: poisoned.into_iter().collect(),
@@ -200,6 +380,8 @@ impl MergeNode {
             lost_digests,
             safe_mode_frames,
             fins: fins.into_iter().collect(),
+            partition_events,
+            partitioned,
         }
     }
 }
@@ -228,4 +410,10 @@ pub struct MergeOutcome {
     pub safe_mode_frames: u64,
     /// Per-collector end-of-stream announcements, by collector index.
     pub fins: Vec<(u32, DigestFin)>,
+    /// The liveness-transition audit log, in detection order (empty
+    /// while partition detection is disabled).
+    pub partition_events: Vec<PartitionEvent>,
+    /// Collectors not [`CollectorLiveness::Live`] at finalize,
+    /// ascending.
+    pub partitioned: Vec<u32>,
 }

@@ -3,10 +3,10 @@
 //!
 //! | rule | crates | guards |
 //! |------|--------|--------|
-//! | `nondet-time` | core, ml, sim, parallel, bench, capsearch, fleet | PR 1's byte-identical determinism: no wall clocks or entropy in deterministic paths |
-//! | `nondet-iteration` | core, ml, sim, parallel, bench, capsearch, fleet | PR 1/3: no unordered `HashMap`/`HashSet` iteration that could reorder serialized output |
-//! | `panic-unwrap` | core, net, fleet | PR 4's audit: no `unwrap`/`expect`/`panic!` in runtime paths |
-//! | `panic-indexing` | core, net, fleet | PR 4: no direct indexing (`x[i]`) that can panic in runtime paths |
+//! | `nondet-time` | core, ml, sim, parallel, bench, capsearch, fleet, chaosnet | PR 1's byte-identical determinism: no wall clocks or entropy in deterministic paths |
+//! | `nondet-iteration` | core, ml, sim, parallel, bench, capsearch, fleet, chaosnet | PR 1/3: no unordered `HashMap`/`HashSet` iteration that could reorder serialized output |
+//! | `panic-unwrap` | core, net, fleet, chaosnet | PR 4's audit: no `unwrap`/`expect`/`panic!` in runtime paths |
+//! | `panic-indexing` | core, net, fleet, chaosnet | PR 4: no direct indexing (`x[i]`) that can panic in runtime paths |
 //! | `protocol-wildcard-match` | net/src/frame.rs | PR 2: wire-enum matches stay exhaustive so a new `Frame` variant forces every site to be revisited |
 //! | `protocol-wire-registry` | net/src/frame.rs | PR 2: every serialized wire type is consciously registered (and `PROTO_VERSION` bumped) |
 //! | `config-bypass` | workspace | PR 2/4: validated config structs are built through their checked constructors, not struct literals |
@@ -19,8 +19,10 @@ use crate::{Finding, Severity, WorkspaceIndex};
 
 /// Crates whose outputs must be byte-identical across runs and thread
 /// counts (the PR 1 determinism harness covers these, the capsearch
-/// golden suite extends the same contract to capacity reports, and the
-/// PR 7 fleet merge must be a pure function of its input frame set).
+/// golden suite extends the same contract to capacity reports, the
+/// PR 7 fleet merge must be a pure function of its input frame set, and
+/// the PR 9 chaos schedule must be a pure function of
+/// `(seed, connection, frame index)` or its oracles are meaningless).
 pub const DETERMINISTIC_CRATES: &[&str] = &[
     "core",
     "ml",
@@ -29,11 +31,13 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "bench",
     "capsearch",
     "fleet",
+    "chaosnet",
 ];
 
 /// Crates whose runtime paths must be panic-free (the PR 4 audit; the
-/// PR 7 fleet digest/merge path inherits the same contract).
-pub const PANIC_FREE_CRATES: &[&str] = &["core", "net", "fleet"];
+/// PR 7 fleet digest/merge path inherits the same contract, and the
+/// PR 9 chaos interposer must survive every byte stream it fabricates).
+pub const PANIC_FREE_CRATES: &[&str] = &["core", "net", "fleet", "chaosnet"];
 
 /// The wire-protocol definition file; the `protocol-*` rules apply here.
 pub const PROTOCOL_FILE_SUFFIX: &str = "net/src/frame.rs";
@@ -53,6 +57,13 @@ pub const WIRE_TYPE_REGISTRY: &[&str] = &[
     "DigestFrame",
     "WireCaps",
     "WireCodec",
+    // Wire-visible audit vocabulary (PR 9): shed causes cross the wire
+    // in `Reject` reasons and reports; partition events are the fleet
+    // merge's serialized liveness audit. Registered here so renaming or
+    // reshaping either is a conscious protocol decision even though
+    // they are defined outside `frame.rs`.
+    "ShedKind",
+    "PartitionEvent",
 ];
 
 /// Methods whose calls on a hash collection iterate it in

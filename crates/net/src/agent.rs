@@ -241,10 +241,55 @@ enum SessionEnd {
     Reconnect,
 }
 
+/// A collector answered the handshake with a terminal `Reject` —
+/// version skew, schema-hash mismatch, or a malformed `Hello`. Nothing
+/// about redialing fixes any of these, so the agent surfaces this typed
+/// error (wrapped in an `io::Error` of kind `ConnectionAborted`, which
+/// the redial predicate treats as non-retryable) and exits instead of
+/// burning its retry budget against a collector that will refuse every
+/// attempt identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandshakeRejected {
+    /// The tier whose `Hello` was refused.
+    pub tier: TierId,
+    /// The collector's human-readable refusal reason.
+    pub reason: String,
+    /// The rejecting collector's protocol version (0 if unreported).
+    pub ours: u32,
+    /// The protocol version this agent announced (0 if the refusal was
+    /// not about versions).
+    pub theirs: u32,
+}
+
+impl std::fmt::Display for HandshakeRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "collector rejected {} agent (collector v{}, agent v{}): {}",
+            self.tier.label(),
+            self.ours,
+            self.theirs,
+            self.reason
+        )
+    }
+}
+
+impl std::error::Error for HandshakeRejected {}
+
+impl HandshakeRejected {
+    /// Pull the typed rejection back out of an agent's `io::Error`, if
+    /// that is what ended the run.
+    pub fn from_io(e: &io::Error) -> Option<&HandshakeRejected> {
+        e.get_ref().and_then(|inner| inner.downcast_ref())
+    }
+}
+
 /// Whether a dial/handshake failure is worth retrying: the collector
 /// being down (refused, socket file missing), dying mid-handshake
-/// (EOF, reset), or slow to answer (timeout) all heal with backoff;
-/// version mismatches and unsupported endpoints do not.
+/// (EOF, reset), or slow to answer (timeout) all heal with backoff. A
+/// handshake `Reject` ([`HandshakeRejected`], carried as
+/// `ConnectionAborted`), version mismatches, and unsupported endpoints
+/// do not — the collector is up and saying no.
 fn dial_retryable(e: &io::Error) -> bool {
     e.kind() == io::ErrorKind::ConnectionRefused
         || e.kind() == io::ErrorKind::NotFound
@@ -277,9 +322,18 @@ fn try_handshake(cfg: &AgentConfig) -> io::Result<Conn> {
     )?;
     match read_frame(&mut conn)? {
         Frame::Ack { seq: 0 } => Ok(conn),
-        Frame::Reject { reason, .. } => Err(io::Error::new(
-            io::ErrorKind::ConnectionRefused,
-            format!("collector rejected {} agent: {reason}", cfg.tier.label()),
+        Frame::Reject {
+            reason,
+            ours,
+            theirs,
+        } => Err(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            HandshakeRejected {
+                tier: cfg.tier,
+                reason,
+                ours,
+                theirs,
+            },
         )),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -627,6 +681,54 @@ mod tests {
         assert!(s.drops(40));
         assert!(!s.is_empty());
         assert!(FaultSchedule::NONE.is_empty());
+    }
+
+    #[test]
+    fn a_terminal_reject_is_not_retried() {
+        use crate::transport::Listener;
+        use std::sync::Arc;
+
+        let listener = Listener::bind(&Endpoint::parse("127.0.0.1:0").unwrap()).unwrap();
+        let dial = listener.local_endpoint().unwrap();
+        let accepted = Arc::new(AtomicU64::new(0));
+        let server_seen = Arc::clone(&accepted);
+        // A collector that refuses every `Hello` with a version-skew
+        // `Reject`. It counts connections: a retry storm would show up
+        // as more than one accept.
+        std::thread::spawn(move || loop {
+            let Ok(mut conn) = listener.accept() else {
+                return;
+            };
+            server_seen.fetch_add(1, Ordering::Relaxed);
+            let _ = read_frame(&mut conn);
+            let _ = write_frame(
+                &mut conn,
+                &Frame::Reject {
+                    reason: "protocol version 99 outside supported 2..=3".to_string(),
+                    ours: PROTO_VERSION,
+                    theirs: 99,
+                },
+            );
+        });
+
+        let mut cfg = AgentConfig::new(TierId::App, dial, 3);
+        cfg.retry.max_attempts = 5;
+        cfg.retry.initial = Duration::from_millis(1);
+        cfg.retry.max = Duration::from_millis(2);
+        let mut source = crate::source::ScriptedSource::new(TierId::App, Vec::new());
+        let err = run_agent(&cfg, webcap_hpc::HpcModel::testbed(), &mut source)
+            .expect_err("a rejected handshake ends the agent");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+        let rejected = HandshakeRejected::from_io(&err).expect("typed rejection survives");
+        assert_eq!(rejected.tier, TierId::App);
+        assert_eq!(rejected.ours, PROTO_VERSION);
+        assert_eq!(rejected.theirs, 99);
+        assert!(rejected.reason.contains("version"), "{rejected}");
+        assert_eq!(
+            accepted.load(Ordering::Relaxed),
+            1,
+            "a terminal reject must not feed the redial path"
+        );
     }
 
     #[test]

@@ -67,6 +67,27 @@ pub struct CollectorConfig {
     /// Number of distinct tiers expected to say `Bye` before the
     /// collector concludes the run.
     pub expected_tiers: usize,
+    /// Overload bound on each lane's buffered bytes, in *both*
+    /// directions: a poll round stops reading once this much inbound is
+    /// buffered unparsed (fairness against a blasting peer), and a lane
+    /// whose outbound ack backlog exceeds it — a peer that writes but
+    /// never reads — is shed. Must comfortably exceed one maximum frame
+    /// (`MAX_FRAME_LEN` + header) or legitimate frames could never
+    /// complete; the default is twice that.
+    pub max_lane_buffered_bytes: usize,
+    /// Overload bound on a lane that sits mid-frame without completing
+    /// one: after this many consecutive poll rounds holding a partial
+    /// frame and extracting nothing, the lane is shed. This is the
+    /// accumulated-idle defence against half-open peers (silent after a
+    /// partial header) and hostile slow writers (dribbling bytes so the
+    /// plain idle clock never fires) — both previously pinned a lane
+    /// forever whenever another lane kept the poller busy. The default
+    /// matches `read_timeout` at the 1 ms poll cadence.
+    pub stall_poll_budget: u32,
+    /// Overload bound on handshaken connections queued behind a tier's
+    /// live session; beyond it new dials are shed (closed) instead of
+    /// growing the queue — a redial storm must not grow memory.
+    pub max_waiting_conns: usize,
 }
 
 impl Default for CollectorConfig {
@@ -77,7 +98,36 @@ impl Default for CollectorConfig {
             read_timeout: Duration::from_secs(2),
             idle_timeout: Duration::from_secs(10),
             expected_tiers: 2,
+            max_lane_buffered_bytes: 2 * (crate::frame::MAX_FRAME_LEN as usize + 8),
+            stall_poll_budget: 2000,
+            max_waiting_conns: 8,
         }
+    }
+}
+
+/// Why the collector shed a connection (or a dial) under overload. Every
+/// shed is deliberate and accounted: the affected tier's in-flight
+/// window is quarantined exactly like loss, never silently averaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedKind {
+    /// The peer's outbound (ack) backlog exceeded the lane byte bound —
+    /// it writes but never reads.
+    WriteBacklog,
+    /// The lane sat mid-frame past the stall budget — a half-open peer
+    /// or a hostile slow writer.
+    StalledFrame,
+    /// A handshaken dial arrived with the tier's waiting queue already
+    /// full.
+    DialBacklog,
+}
+
+impl std::fmt::Display for ShedKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShedKind::WriteBacklog => "write-backlog",
+            ShedKind::StalledFrame => "stalled-frame",
+            ShedKind::DialBacklog => "dial-backlog",
+        })
     }
 }
 
@@ -100,7 +150,21 @@ pub struct CollectorReport {
     /// Protocol-order surprises survived (duplicate keys, data for
     /// finalized windows); nonzero values indicate a misbehaving agent.
     pub anomalies: u64,
+    /// Connections (or dials) shed by the overload policy, with the
+    /// reason for each — the audit trail the overload tests read.
+    pub sheds: Vec<(TierId, ShedKind)>,
 }
+
+/// Most windows a single sequence gap may individually poison. A
+/// legitimate outage of any survivable length stays far below this
+/// (2^20 windows ≈ a year of 30 s windows); a hostile or corrupt
+/// sequence jump (e.g. a `seq` near `u64::MAX`) would otherwise make
+/// the gap-poisoning loop insert billions of ledger entries — an
+/// unbounded-memory DoS. Beyond the clamp only the gap's first span
+/// and its landing window are poisoned and the overflow is counted as
+/// an anomaly; safety is unaffected, because the skipped windows have
+/// no samples and therefore can never complete or emit.
+pub const MAX_GAP_WINDOWS: i64 = 1 << 20;
 
 /// The pure reassembly state machine, single-threaded and fully
 /// deterministic — the socketed [`run_collector`] drives it, and unit
@@ -226,9 +290,7 @@ impl Assembler {
             return;
         }
         if key > expected {
-            for w in self.window_of(expected)..=self.window_of(key - 1) {
-                self.poison(w);
-            }
+            self.poison_gap(self.window_of(expected), self.window_of(key - 1));
         }
         self.last_key[t] = Some(key);
 
@@ -251,6 +313,22 @@ impl Assembler {
         }
     }
 
+    /// Poison every window of an inclusive gap span, clamped to
+    /// [`MAX_GAP_WINDOWS`] so a hostile sequence jump cannot grow the
+    /// poison ledger without bound. The landing window is always
+    /// poisoned so the gap's right edge stays quarantined even when the
+    /// middle is elided.
+    fn poison_gap(&mut self, first_w: i64, last_w: i64) {
+        let clamped = last_w.min(first_w.saturating_add(MAX_GAP_WINDOWS - 1));
+        for w in first_w..=clamped {
+            self.poison(w);
+        }
+        if clamped < last_w {
+            self.anomalies += 1;
+            self.poison(last_w);
+        }
+    }
+
     /// A tier finished cleanly, announcing its final sequence; detect
     /// trailing loss (frames dropped after the last one we received).
     pub fn on_bye(&mut self, tier: TierId, last_seq: u64) {
@@ -258,10 +336,25 @@ impl Assembler {
         let final_key = self.origin + last_seq as i64;
         let expected = self.last_key[t].map_or(self.origin, |l| l + 1);
         if final_key >= expected {
-            for w in self.window_of(expected)..=self.window_of(final_key) {
-                self.poison(w);
-            }
+            self.poison_gap(self.window_of(expected), self.window_of(final_key));
             self.last_key[t] = Some(final_key);
+        }
+    }
+
+    /// A tier's session ended *abnormally* — EOF, overload shed, or an
+    /// idle/stall timeout, with no `Bye`. The window its last key sits
+    /// in mid-stream is quarantined immediately (unless the break fell
+    /// exactly on a window boundary): the lane's in-flight window must
+    /// never wait on a reconnect that may not come to be poisoned. A
+    /// later reconnect re-applies the same straddle rule, which is
+    /// idempotent on the poison ledger, so eager quarantine changes no
+    /// byte of any surviving window.
+    pub fn on_session_abort(&mut self, tier: TierId) {
+        let t = tier.index();
+        if let Some(k) = self.last_key[t] {
+            if k != self.last_key_of(self.window_of(k)) {
+                self.poison(self.window_of(k));
+            }
         }
     }
 
@@ -428,10 +521,29 @@ pub struct AssemblerState {
 }
 
 pub(crate) enum Event {
-    SessionStart { tier: TierId },
-    Sample { tier: TierId, ws: Box<WireSample> },
-    Bye { tier: TierId, last_seq: u64 },
-    SessionEnd { tier: TierId },
+    SessionStart {
+        tier: TierId,
+    },
+    Sample {
+        tier: TierId,
+        ws: Box<WireSample>,
+    },
+    Bye {
+        tier: TierId,
+        last_seq: u64,
+    },
+    /// A session ended. `graceful` is true only when the peer said
+    /// `Bye`; an abnormal end (EOF, shed, stall) quarantines the
+    /// tier's in-flight window via [`Assembler::on_session_abort`].
+    SessionEnd {
+        tier: TierId,
+        graceful: bool,
+    },
+    /// The overload policy dropped a connection or dial.
+    Shed {
+        tier: TierId,
+        kind: ShedKind,
+    },
     Rejected,
 }
 
@@ -525,6 +637,9 @@ enum LaneEnd {
     /// Peer said `Bye`, hit EOF, went silent past the read timeout, or
     /// sent a frame kind that has no business mid-session.
     Closed,
+    /// The overload policy dropped the session; announce the shed
+    /// before the (abnormal) session end.
+    Shed(ShedKind),
     /// The event channel is gone: the collector run is over, stop
     /// servicing everything.
     Fatal,
@@ -548,6 +663,16 @@ struct ConnState {
     /// Accumulated poller sleep since this connection last produced
     /// bytes — the event-loop stand-in for a blocking read timeout.
     idle: Duration,
+    /// Consecutive poll rounds spent holding a partial frame without
+    /// completing one. The plain `idle` clock only accumulates while
+    /// the *whole* poller sleeps, so a half-open or dribbling peer
+    /// could sit mid-frame forever whenever another lane kept the loop
+    /// busy; this counter accrues per round regardless and sheds the
+    /// lane at [`CollectorConfig::stall_poll_budget`].
+    stalled_polls: u32,
+    /// The peer said `Bye`: the close that follows is graceful and must
+    /// not quarantine the in-flight window.
+    graceful: bool,
 }
 
 impl ConnState {
@@ -560,6 +685,8 @@ impl ConnState {
             wbuf: Vec::new(),
             scratch: Vec::new(),
             idle: Duration::ZERO,
+            stalled_polls: 0,
+            graceful: false,
         }
     }
 
@@ -618,6 +745,13 @@ fn service_conn(
 ) -> Option<LaneEnd> {
     let mut eof = false;
     loop {
+        // Overload fairness: once a full lane budget of bytes is
+        // buffered unparsed, stop reading and process what we have —
+        // a peer blasting faster than we drain must not starve the
+        // other lanes (or grow `rbuf` without bound this round).
+        if state.rbuf.len() >= cfg.max_lane_buffered_bytes {
+            break;
+        }
         match state.conn.read(chunk) {
             Ok(0) => {
                 eof = true;
@@ -639,10 +773,12 @@ fn service_conn(
     }
 
     // Drain every complete frame buffered so far.
+    let mut extracted_any = false;
     loop {
         let frame = match try_extract_frame(&state.rbuf) {
             Ok(Some((frame, consumed))) => {
                 state.rbuf.drain(..consumed);
+                extracted_any = true;
                 frame
             }
             Ok(None) => break,
@@ -693,6 +829,7 @@ fn service_conn(
                 state.queue_frame(&Frame::Ack { seq });
             }
             Frame::Bye { last_seq } => {
+                state.graceful = true;
                 let _ = tx.send(Event::Bye {
                     tier: state.tier,
                     last_seq,
@@ -703,8 +840,37 @@ fn service_conn(
         }
     }
 
+    // Stall accounting: a lane holding a partial frame that completed
+    // nothing this round is mid-frame stalled — whether the peer is
+    // half-open (silent after a partial header) or dribbling bytes to
+    // dodge the idle clock. Unlike `idle`, this counter accrues every
+    // service round even while other lanes keep the poller busy.
+    if extracted_any || state.rbuf.is_empty() {
+        state.stalled_polls = 0;
+    } else {
+        state.stalled_polls = state.stalled_polls.saturating_add(1);
+        if state.stalled_polls >= cfg.stall_poll_budget {
+            state.queue_frame(&Frame::Reject {
+                reason: format!(
+                    "overload: mid-frame stall past {} poll rounds",
+                    cfg.stall_poll_budget
+                ),
+                ours: PROTO_VERSION,
+                theirs: 0,
+            });
+            let _ = state.flush();
+            return Some(LaneEnd::Shed(ShedKind::StalledFrame));
+        }
+    }
+
     if state.flush().is_err() {
         return Some(LaneEnd::Closed);
+    }
+    // A peer that writes but never reads grows `wbuf` without bound; a
+    // full lane budget of unacknowledged outbound bytes is a shed, not
+    // a block — the collector never waits on a hostile socket.
+    if state.wbuf.len() > cfg.max_lane_buffered_bytes {
+        return Some(LaneEnd::Shed(ShedKind::WriteBacklog));
     }
     if eof || state.idle >= cfg.read_timeout {
         return Some(LaneEnd::Closed);
@@ -747,6 +913,22 @@ pub(crate) fn accept_loop(
                         let _ = conn.shutdown();
                         continue;
                     };
+                    if lane.waiting.len() >= cfg.max_waiting_conns {
+                        // Redial storm: shed the newest dial instead of
+                        // growing the queue. The peer sees a clean close
+                        // and retries on its own backoff schedule.
+                        let _ = conn.shutdown();
+                        if tx
+                            .send(Event::Shed {
+                                tier,
+                                kind: ShedKind::DialBacklog,
+                            })
+                            .is_err()
+                        {
+                            break 'poll;
+                        }
+                        continue;
+                    }
                     lane.waiting.push_back((conn, codec));
                 }
                 Err(_) => {
@@ -760,20 +942,36 @@ pub(crate) fn accept_loop(
         let mut progressed = false;
         for (lane, tier) in lanes.iter_mut().zip(TierId::ALL) {
             if let Some(state) = lane.active.as_mut() {
-                match service_conn(state, &cfg, &tx, &mut chunk) {
+                let end = service_conn(state, &cfg, &tx, &mut chunk);
+                match end {
                     None => {}
-                    Some(LaneEnd::Closed) => {
+                    Some(LaneEnd::Fatal) => break 'poll,
+                    Some(LaneEnd::Closed) | Some(LaneEnd::Shed(_)) => {
+                        // A shed is announced before the session end so
+                        // the supervisor sees the overload cause first;
+                        // a shed close is never graceful — the assembler
+                        // quarantines the lane's in-flight window.
+                        if let Some(LaneEnd::Shed(kind)) = end {
+                            if tx.send(Event::Shed { tier, kind }).is_err() {
+                                break 'poll;
+                            }
+                        }
                         let mut state = lane.active.take();
                         if let Some(state) = state.as_mut() {
                             let _ = state.flush();
                             let _ = state.conn.shutdown();
-                            if tx.send(Event::SessionEnd { tier: state.tier }).is_err() {
+                            if tx
+                                .send(Event::SessionEnd {
+                                    tier: state.tier,
+                                    graceful: state.graceful,
+                                })
+                                .is_err()
+                            {
                                 break 'poll;
                             }
                         }
                         progressed = true;
                     }
-                    Some(LaneEnd::Fatal) => break 'poll,
                 }
             }
             if lane.active.is_none() {
@@ -804,7 +1002,10 @@ pub(crate) fn accept_loop(
         if let Some(mut state) = lane.active.take() {
             let _ = state.flush();
             let _ = state.conn.shutdown();
-            let _ = tx.send(Event::SessionEnd { tier: state.tier });
+            let _ = tx.send(Event::SessionEnd {
+                tier: state.tier,
+                graceful: state.graceful,
+            });
         }
         while let Some((conn, _)) = lane.waiting.pop_front() {
             let _ = conn.shutdown();
@@ -834,6 +1035,7 @@ pub fn run_collector(
     let mut sessions = [0u64; 2];
     let mut samples = [0u64; 2];
     let mut rejected = 0u64;
+    let mut sheds: Vec<(TierId, ShedKind)> = Vec::new();
     let mut byes: BTreeSet<usize> = BTreeSet::new();
     let mut active: i64 = 0;
 
@@ -858,8 +1060,14 @@ pub fn run_collector(
                     break;
                 }
             }
-            Ok(Event::SessionEnd { .. }) => {
+            Ok(Event::SessionEnd { tier, graceful }) => {
                 active -= 1;
+                if !graceful {
+                    assembler.on_session_abort(tier);
+                }
+            }
+            Ok(Event::Shed { tier, kind }) => {
+                sheds.push((tier, kind));
             }
             Ok(Event::Rejected) => {
                 rejected += 1;
@@ -883,6 +1091,7 @@ pub fn run_collector(
         sessions,
         samples,
         rejected_handshakes: rejected,
+        sheds,
     })
 }
 

@@ -48,8 +48,11 @@ pub mod source;
 pub mod supervisor;
 pub mod transport;
 
-pub use agent::{run_agent, AgentConfig, AgentReport, FaultKnobs, FaultSchedule};
-pub use collector::{run_collector, Assembler, AssemblerState, CollectorConfig, CollectorReport};
+pub use agent::{run_agent, AgentConfig, AgentReport, FaultKnobs, FaultSchedule, HandshakeRejected};
+pub use collector::{
+    run_collector, Assembler, AssemblerState, CollectorConfig, CollectorReport, ShedKind,
+    MAX_GAP_WINDOWS,
+};
 pub use frame::{
     encode_payload, metric_schema_hash, read_frame, try_extract_frame, write_frame,
     write_frame_codec, AppStats, AppWindowDigest, DigestFin, DigestFrame, Frame, FrameError,

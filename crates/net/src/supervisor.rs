@@ -57,7 +57,7 @@ use webcap_core::snapshot::{
 use webcap_core::{AdmissionController, CapacityMeter, OnlineDecision, RetryPolicy};
 use webcap_sim::TierId;
 
-use crate::collector::{accept_loop, Assembler, AssemblerState, CollectorConfig, Event};
+use crate::collector::{accept_loop, Assembler, AssemblerState, CollectorConfig, Event, ShedKind};
 use crate::transport::Listener;
 
 /// Collector health, ordered by severity (the derived `Ord` follows
@@ -101,6 +101,10 @@ pub struct SupervisorConfig {
     /// Reconnects within the sliding window that count as a storm
     /// (escalates to at least Degraded).
     pub reconnect_storm: usize,
+    /// Overload sheds within the sliding window that count as a storm
+    /// (escalates to at least Degraded) — a collector repeatedly
+    /// dropping peers to protect itself is not a healthy plane.
+    pub shed_storm: usize,
     /// Consecutive clean (emitted) windows required to step the health
     /// state down one level.
     pub recover_after: usize,
@@ -121,6 +125,7 @@ impl Default for SupervisorConfig {
             safe_poison_rate: 0.5,
             min_observations: 4,
             reconnect_storm: 3,
+            shed_storm: 3,
             recover_after: 3,
             safe_cap: 20,
             snapshot_every: 2,
@@ -154,6 +159,9 @@ pub struct Supervisor {
     /// Outcome-tick of each recent reconnect; pruned once older than
     /// `quality_window` outcomes.
     reconnect_marks: VecDeque<u64>,
+    /// Outcome-tick of each recent overload shed; pruned like
+    /// `reconnect_marks`.
+    shed_marks: VecDeque<u64>,
     /// Total window outcomes observed (the reconnect-pruning clock).
     outcomes_seen: u64,
     clean_streak: usize,
@@ -169,6 +177,7 @@ impl Supervisor {
             state: HealthState::Healthy,
             recent: VecDeque::new(),
             reconnect_marks: VecDeque::new(),
+            shed_marks: VecDeque::new(),
             outcomes_seen: 0,
             clean_streak: 0,
             tick: 0,
@@ -238,6 +247,7 @@ impl Supervisor {
         }
         if (n > 0 && rate >= self.cfg.degraded_poison_rate)
             || self.reconnect_marks.len() >= self.cfg.reconnect_storm
+            || self.shed_marks.len() >= self.cfg.shed_storm
         {
             return HealthState::Degraded;
         }
@@ -251,10 +261,11 @@ impl Supervisor {
         let desired = self.desired();
         if desired > self.state {
             let reason = format!(
-                "poison rate {:.2} over {} outcomes, {} reconnects in window",
+                "poison rate {:.2} over {} outcomes, {} reconnects, {} sheds in window",
                 self.poison_rate(),
                 self.recent.len(),
-                self.reconnect_marks.len()
+                self.reconnect_marks.len(),
+                self.shed_marks.len()
             );
             self.transition(desired, reason);
         }
@@ -274,6 +285,9 @@ impl Supervisor {
         {
             self.reconnect_marks.pop_front();
         }
+        while self.shed_marks.front().is_some_and(|&mark| mark < horizon) {
+            self.shed_marks.pop_front();
+        }
     }
 
     /// An agent reconnected (any session after a tier's first).
@@ -281,6 +295,17 @@ impl Supervisor {
         self.tick += 1;
         self.clean_streak = 0;
         self.reconnect_marks.push_back(self.outcomes_seen);
+        self.prune();
+        self.escalate_if_needed();
+    }
+
+    /// The overload policy shed a connection or dial. Quality-wise a
+    /// shed is churn like a reconnect: it resets the clean streak and
+    /// enough of them inside the sliding window is a storm.
+    pub fn on_shed(&mut self) {
+        self.tick += 1;
+        self.clean_streak = 0;
+        self.shed_marks.push_back(self.outcomes_seen);
         self.prune();
         self.escalate_if_needed();
     }
@@ -407,6 +432,9 @@ pub struct SupervisedReport {
     pub samples: [u64; 2],
     /// Connections refused at handshake.
     pub rejected_handshakes: u64,
+    /// Connections (or dials) shed by the overload policy, with the
+    /// reason for each — the audit trail the overload tests read.
+    pub sheds: Vec<(TierId, ShedKind)>,
     /// Final health state.
     pub health: HealthState,
     /// The full health-transition log.
@@ -442,6 +470,7 @@ pub struct SupervisedCollector {
     sessions: [u64; 2],
     samples: [u64; 2],
     rejected: u64,
+    sheds: Vec<(TierId, ShedKind)>,
     decisions: Vec<(i64, OnlineDecision)>,
     admission_trace: Vec<AdmissionPoint>,
     /// Poisoned-window count already accounted to the supervisor.
@@ -542,6 +571,7 @@ impl SupervisedCollector {
             sessions: [0, 0],
             samples: [0, 0],
             rejected: 0,
+            sheds: Vec::new(),
             decisions: Vec::new(),
             admission_trace: Vec::new(),
             known_poisoned: 0,
@@ -717,6 +747,20 @@ impl SupervisedCollector {
         self.sync_health();
     }
 
+    /// The overload policy shed a connection or dial on `tier`.
+    pub fn on_shed(&mut self, tier: TierId, kind: ShedKind) {
+        self.sheds.push((tier, kind));
+        self.supervisor.on_shed();
+        self.sync_health();
+    }
+
+    /// A tier's session ended abnormally (no `Bye`): quarantine its
+    /// in-flight window eagerly, exactly as the plain collector does.
+    pub fn on_session_abort(&mut self, tier: TierId) {
+        self.assembler.on_session_abort(tier);
+        self.after_event();
+    }
+
     /// A connection was refused at handshake.
     pub fn on_rejected(&mut self) {
         self.rejected += 1;
@@ -737,6 +781,7 @@ impl SupervisedCollector {
             sessions: self.sessions,
             samples: self.samples,
             rejected_handshakes: self.rejected,
+            sheds: self.sheds,
             health: self.supervisor.state(),
             transitions: self.supervisor.transitions().to_vec(),
             admission_trace: self.admission_trace,
@@ -804,8 +849,14 @@ pub fn run_supervised_collector(
                     break;
                 }
             }
-            Ok(Event::SessionEnd { .. }) => {
+            Ok(Event::SessionEnd { tier, graceful }) => {
                 active -= 1;
+                if !graceful {
+                    sc.on_session_abort(tier);
+                }
+            }
+            Ok(Event::Shed { tier, kind }) => {
+                sc.on_shed(tier, kind);
             }
             Ok(Event::Rejected) => {
                 sc.on_rejected();

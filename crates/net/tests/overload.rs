@@ -1,0 +1,267 @@
+//! Collector overload control under hostile peers — satellite of the
+//! chaos-mesh PR.
+//!
+//! Three attacks, three deliberate sheds:
+//!
+//! * a **half-open peer** goes silent after a partial frame header: the
+//!   stall budget sheds the lane, poisons only that lane's in-flight
+//!   window, and the completed window's decision still stands;
+//! * a **hostile slow writer** blasts frames without ever reading its
+//!   acks: the lane byte bound sheds it instead of buffering without
+//!   bound — the collector never waits on (or grows with) a hostile
+//!   socket;
+//! * a **shed storm** escalates the supervisor to Degraded with the
+//!   storm named in the transition reason — overload is an audited
+//!   health signal, not a silent counter.
+
+use std::io::Write;
+use std::time::Duration;
+
+use webcap_core::{AdmissionConfig, AdmissionController, CapacityMeter, MeterConfig};
+use webcap_net::collector::{run_collector, CollectorConfig, ShedKind};
+use webcap_net::supervisor::{HealthState, SupervisedCollector, SupervisorConfig};
+use webcap_net::{
+    metric_schema_hash, read_frame, write_frame, AppStats, Conn, Endpoint, Frame, Listener,
+    WireCaps, WireCodec, WireSample, FRAME_MAGIC, PROTO_VERSION,
+};
+use webcap_sim::{TierId, TierSample};
+
+fn trained_meter() -> CapacityMeter {
+    static METER: std::sync::OnceLock<CapacityMeter> = std::sync::OnceLock::new();
+    METER
+        .get_or_init(|| {
+            CapacityMeter::train(&MeterConfig::small_for_tests(31)).expect("test meter trains")
+        })
+        .clone()
+}
+
+fn admission() -> AdmissionController {
+    AdmissionController::try_new(AdmissionConfig::default(), 400).expect("valid config")
+}
+
+/// A synthetic wire sample at `seq` (key `seq + 1` under origin 1).
+fn wire(seq: u64, with_app: bool) -> WireSample {
+    WireSample {
+        seq,
+        t_s: seq as f64 + 1.0,
+        interval_s: 1.0,
+        tier: TierSample {
+            utilization: 0.3,
+            delivered_work_s: 0.3,
+            arrivals: 20,
+            completions: 20,
+            ..TierSample::default()
+        },
+        hpc: vec![0.5; 12],
+        os: vec![0.1; 64],
+        app: with_app.then(|| AppStats {
+            ebs_target: 10,
+            ebs_active: 10,
+            mix_id: webcap_tpcw::MixId::Ordering,
+            issued: 20,
+            issued_browse: 10,
+            completed: 20,
+            completed_browse: 10,
+            response_time_sum_s: 2.0,
+            response_time_max_s: 0.4,
+            in_flight: 1,
+            response_times: webcap_sim::RtHistogram::new(),
+        }),
+    }
+}
+
+/// Dial the collector and complete the JSON handshake for `tier`.
+fn handshaken(endpoint: &Endpoint, tier: TierId) -> Conn {
+    let mut conn = Conn::connect(endpoint).expect("dials");
+    write_frame(
+        &mut conn,
+        &Frame::Hello {
+            tier,
+            proto_version: PROTO_VERSION,
+            metric_schema_hash: metric_schema_hash(tier),
+            caps: WireCaps {
+                codec: WireCodec::Json,
+                max_batch: 1,
+            },
+        },
+    )
+    .expect("hello writes");
+    match read_frame(&mut conn).expect("handshake ack") {
+        Frame::Ack { seq: 0 } => conn,
+        other => panic!("expected handshake Ack, got {other:?}"),
+    }
+}
+
+/// A peer that completes window 0, starts window 1, then goes silent
+/// mid-frame-header must be shed on the stall budget: its in-flight
+/// window is quarantined, the other lane is untouched, and the
+/// completed window's decision survives.
+#[test]
+fn half_open_peer_is_shed_and_poisons_only_its_own_lane() {
+    let meter = trained_meter();
+    let mut cfg = CollectorConfig::default();
+    cfg.stall_poll_budget = 50;
+    cfg.idle_timeout = Duration::from_millis(400);
+
+    let listener =
+        Listener::bind(&Endpoint::parse("127.0.0.1:0").expect("tcp endpoint")).expect("binds");
+    let endpoint = listener.local_endpoint().expect("local endpoint");
+
+    let report = std::thread::scope(|scope| {
+        let meter_clone = meter.clone();
+        let cfg_ref = &cfg;
+        let collector =
+            scope.spawn(move || run_collector(listener, meter_clone, cfg_ref, |_, _| {}));
+
+        // The half-open App peer: all of window 0 (keys 1..=30), five
+        // samples into window 1, then four bytes of a frame header and
+        // silence — the socket stays open so only the stall budget can
+        // end the session.
+        let mut app = handshaken(&endpoint, TierId::App);
+        for seq in 0..35u64 {
+            write_frame(&mut app, &Frame::Sample(wire(seq, true))).expect("app sample writes");
+        }
+        app.write_all(&FRAME_MAGIC.to_le_bytes())
+            .expect("partial header writes");
+
+        // A well-behaved Db peer: windows 0 and 1 complete, then Bye.
+        let mut db = handshaken(&endpoint, TierId::Db);
+        for seq in 0..60u64 {
+            write_frame(&mut db, &Frame::Sample(wire(seq, false))).expect("db sample writes");
+        }
+        write_frame(&mut db, &Frame::Bye { last_seq: 59 }).expect("bye writes");
+
+        let report = collector
+            .join()
+            .expect("collector thread")
+            .expect("collector runs");
+        // Hold the half-open socket open until the collector is done:
+        // an early close would look like EOF, not a stall.
+        drop(app);
+        report
+    });
+
+    assert!(
+        report.sheds.contains(&(TierId::App, ShedKind::StalledFrame)),
+        "the half-open lane must be shed on the stall budget, got {:?}",
+        report.sheds
+    );
+    assert!(
+        !report.sheds.iter().any(|(t, _)| *t == TierId::Db),
+        "the well-behaved lane must never be shed, got {:?}",
+        report.sheds
+    );
+    let windows: Vec<i64> = report.decisions.iter().map(|(w, _)| *w).collect();
+    assert_eq!(
+        windows,
+        vec![0],
+        "the window completed before the stall must still decide"
+    );
+    assert!(
+        report.poisoned_windows.contains(&1),
+        "the shed lane's in-flight window must be quarantined, got {:?}",
+        report.poisoned_windows
+    );
+    assert!(
+        !report.poisoned_windows.contains(&0),
+        "the completed window must not be collateral damage"
+    );
+}
+
+/// A peer that writes forever and never reads must be shed on the lane
+/// byte bound: the collector's outbound backlog stays bounded by
+/// configuration, never by the peer's mercy.
+#[test]
+fn hostile_slow_writer_is_shed_on_the_write_backlog_bound() {
+    let meter = trained_meter();
+    let mut cfg = CollectorConfig::default();
+    // Small lane bound (still far above any frame this test sends) so
+    // the backlog trips quickly once the kernel buffers jam.
+    cfg.max_lane_buffered_bytes = 16 * 1024;
+    cfg.idle_timeout = Duration::from_millis(400);
+
+    let listener =
+        Listener::bind(&Endpoint::parse("127.0.0.1:0").expect("tcp endpoint")).expect("binds");
+    let endpoint = listener.local_endpoint().expect("local endpoint");
+
+    let report = std::thread::scope(|scope| {
+        let meter_clone = meter.clone();
+        let cfg_ref = &cfg;
+        let collector =
+            scope.spawn(move || run_collector(listener, meter_clone, cfg_ref, |_, _| {}));
+
+        // Blast heartbeats (each elicits an ack) and never read a byte
+        // back. Once the socket buffers fill with unread acks the
+        // collector's backlog crosses the bound and the lane is shed;
+        // our next write then fails against the closed socket. The loop
+        // cap only bounds the pathological no-shed case.
+        let mut conn = handshaken(&endpoint, TierId::App);
+        for seq in 0..1_000_000u64 {
+            if write_frame(&mut conn, &Frame::Heartbeat { seq }).is_err() {
+                break;
+            }
+        }
+        drop(conn);
+
+        collector
+            .join()
+            .expect("collector thread")
+            .expect("collector runs")
+    });
+
+    assert!(
+        report.sheds.contains(&(TierId::App, ShedKind::WriteBacklog)),
+        "the never-reading peer must be shed on the write backlog, got {:?}",
+        report.sheds
+    );
+    assert!(
+        report.decisions.is_empty(),
+        "heartbeats carry no samples, so no window may decide"
+    );
+}
+
+/// Repeated sheds inside the sliding window are a storm: the supervisor
+/// escalates to Degraded with the shed count named in the transition
+/// reason, and the audit log round-trips as JSON.
+#[test]
+fn shed_storm_escalates_to_degraded_with_an_audited_reason() {
+    let sup_cfg = SupervisorConfig::default();
+    let mut sc = SupervisedCollector::start(trained_meter(), 1, sup_cfg, admission(), None, false);
+    sc.on_session_start(TierId::App);
+    sc.on_session_start(TierId::Db);
+    for _ in 0..sup_cfg.shed_storm {
+        sc.on_shed(TierId::App, ShedKind::DialBacklog);
+    }
+    let report = sc.finish();
+
+    assert_eq!(
+        report.health,
+        HealthState::Degraded,
+        "a shed storm is not a healthy plane"
+    );
+    assert_eq!(
+        report.sheds.len(),
+        sup_cfg.shed_storm,
+        "every shed must be in the audit trail"
+    );
+    let storm = report
+        .transitions
+        .iter()
+        .find(|t| t.to == HealthState::Degraded)
+        .expect("the escalation must be logged");
+    assert_eq!(storm.from, HealthState::Healthy);
+    assert!(
+        storm
+            .reason
+            .contains(&format!("{} sheds in window", sup_cfg.shed_storm)),
+        "the reason must name the storm, got {:?}",
+        storm.reason
+    );
+
+    // The transition log is the operator-facing audit artifact; prove
+    // it serializes and leave it where CI collects failure artifacts.
+    let audit = serde_json::to_string_pretty(&report.transitions).expect("audit serializes");
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("shed-storm-audit.json");
+    std::fs::write(&path, &audit).expect("audit writes");
+    assert!(audit.contains("degraded"));
+}

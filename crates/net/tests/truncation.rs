@@ -1,0 +1,191 @@
+//! Exhaustive binary truncation sweep — satellite of the chaos-mesh PR.
+//!
+//! For **every** frame variant of the v3 protocol, encode the binary
+//! payload and present every strict prefix of it to the frame
+//! extractor, each behind a correctly rewritten length header so the
+//! decoder sees a complete-looking frame with a short body. The
+//! contract: every prefix fails with a *typed* corrupt error
+//! (`FrameError::Binary`) — no panic, no hang, no accidental decode —
+//! while the untruncated frame round-trips exactly.
+//!
+//! The binary decoder is a bounds-checked cursor with a trailing-bytes
+//! check, so this property is structural; this sweep pins it against
+//! regressions for all eight variants at every byte boundary.
+
+use webcap_core::{TierStressAgg, WindowHealthAgg};
+use webcap_net::supervisor::HealthState;
+use webcap_net::{
+    encode_payload, try_extract_frame, AppStats, AppWindowDigest, DigestFin, DigestFrame, Frame,
+    TierWindowDigest, WireCaps, WireCodec, WireSample, FRAME_MAGIC_BIN,
+};
+use webcap_sim::{RtHistogram, TierId, TierSample};
+use webcap_tpcw::MixId;
+
+fn sample(seq: u64) -> WireSample {
+    WireSample {
+        seq,
+        t_s: seq as f64 + 1.0,
+        interval_s: 1.0,
+        tier: TierSample {
+            utilization: 0.3,
+            delivered_work_s: 0.3,
+            arrivals: 20,
+            completions: 20,
+            ..TierSample::default()
+        },
+        hpc: vec![0.5; 12],
+        os: vec![0.1; 64],
+        app: Some(AppStats {
+            ebs_target: 10,
+            ebs_active: 10,
+            mix_id: MixId::Ordering,
+            issued: 20,
+            issued_browse: 10,
+            completed: 20,
+            completed_browse: 10,
+            response_time_sum_s: 2.0,
+            response_time_max_s: 0.4,
+            in_flight: 1,
+            response_times: RtHistogram::new(),
+        }),
+    }
+}
+
+/// One instance of every protocol frame variant, each with its
+/// optional fields populated so the sweep crosses every field decoder.
+fn all_variants() -> Vec<Frame> {
+    vec![
+        Frame::Hello {
+            tier: TierId::App,
+            proto_version: 3,
+            metric_schema_hash: 0x1234_5678_9abc_def0,
+            caps: WireCaps {
+                codec: WireCodec::Binary,
+                max_batch: 32,
+            },
+        },
+        Frame::Sample(sample(7)),
+        Frame::SampleBatch(vec![sample(8), sample(9), sample(10)]),
+        Frame::Heartbeat { seq: 41 },
+        Frame::Ack { seq: 42 },
+        Frame::Reject {
+            reason: "schema mismatch".to_string(),
+            ours: 3,
+            theirs: 2,
+        },
+        Frame::Bye { last_seq: 239 },
+        Frame::Digest(DigestFrame {
+            collector: 1,
+            seq: 5,
+            health: HealthState::Healthy,
+            windows: vec![TierWindowDigest {
+                window: 3,
+                tier: TierId::App,
+                samples: 30,
+                hpc_mean: vec![0.5; 12],
+                os_mean: vec![0.1; 8],
+                stress: TierStressAgg {
+                    util_sum: 9.0,
+                    queue_sum: 1.5,
+                    n: 30,
+                },
+                app: Some(AppWindowDigest {
+                    t_start_s: 90.0,
+                    t_end_s: 120.0,
+                    duration_s: 30.0,
+                    health: WindowHealthAgg {
+                        completed: 600,
+                        rt_sum_s: 60.0,
+                        rt_hist: RtHistogram::new(),
+                        first_in_flight: Some(1),
+                        last_in_flight: 2,
+                    },
+                    mix_counts: vec![(MixId::Ordering, 30)],
+                }),
+            }],
+            poisoned: vec![1, 2],
+            fin: Some(DigestFin {
+                tiers: vec![TierId::App, TierId::Db],
+                last_window: 7,
+            }),
+        }),
+    ]
+}
+
+/// Frame a binary payload prefix behind a rewritten length header.
+fn framed_prefix(payload: &[u8], keep: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + keep);
+    buf.extend_from_slice(&FRAME_MAGIC_BIN.to_le_bytes());
+    buf.extend_from_slice(&(keep as u32).to_le_bytes());
+    buf.extend_from_slice(&payload[..keep]);
+    buf
+}
+
+#[test]
+fn every_strict_prefix_of_every_variant_is_a_typed_error() {
+    for frame in all_variants() {
+        let mut payload = Vec::new();
+        let magic =
+            encode_payload(&frame, WireCodec::Binary, &mut payload).expect("variant encodes");
+        assert_eq!(magic, FRAME_MAGIC_BIN, "binary codec must stamp WCB3");
+        assert!(!payload.is_empty(), "no variant encodes to zero bytes");
+
+        // The untruncated frame round-trips exactly, consuming every
+        // byte.
+        let full = framed_prefix(&payload, payload.len());
+        match try_extract_frame(&full) {
+            Ok(Some((decoded, used))) => {
+                assert_eq!(used, full.len(), "{frame:?}: full frame must consume all bytes");
+                assert_eq!(decoded, frame, "{frame:?}: round-trip must be exact");
+            }
+            other => panic!("{frame:?}: full frame failed to decode: {other:?}"),
+        }
+
+        // Every strict prefix, rewritten as a complete frame, must be a
+        // typed corrupt error — never a panic, never an accidental
+        // decode, never a silent Ok(None).
+        for keep in 0..payload.len() {
+            let buf = framed_prefix(&payload, keep);
+            match try_extract_frame(&buf) {
+                Err(e) => {
+                    assert!(
+                        e.is_corrupt(),
+                        "{frame:?} prefix {keep}/{}: error must be typed corrupt, got {e:?}",
+                        payload.len()
+                    );
+                }
+                Ok(decoded) => panic!(
+                    "{frame:?} prefix {keep}/{} decoded as {decoded:?} instead of failing",
+                    payload.len()
+                ),
+            }
+        }
+    }
+}
+
+/// The same sweep for the JSON dialect: compact JSON always ends in a
+/// closing brace or bracket, so every strict prefix is malformed too.
+#[test]
+fn every_strict_json_prefix_is_a_typed_error() {
+    for frame in all_variants() {
+        let mut payload = Vec::new();
+        let magic = encode_payload(&frame, WireCodec::Json, &mut payload).expect("variant encodes");
+        let mut full = Vec::with_capacity(8 + payload.len());
+        full.extend_from_slice(&magic.to_le_bytes());
+        full.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        full.extend_from_slice(&payload);
+        assert!(matches!(try_extract_frame(&full), Ok(Some(_))));
+
+        for keep in 0..payload.len() {
+            let mut buf = Vec::with_capacity(8 + keep);
+            buf.extend_from_slice(&magic.to_le_bytes());
+            buf.extend_from_slice(&(keep as u32).to_le_bytes());
+            buf.extend_from_slice(&payload[..keep]);
+            let result = try_extract_frame(&buf);
+            match result {
+                Err(e) => assert!(e.is_corrupt(), "{frame:?} json prefix {keep}: {e:?}"),
+                Ok(decoded) => panic!("{frame:?} json prefix {keep} decoded as {decoded:?}"),
+            }
+        }
+    }
+}
