@@ -1093,8 +1093,10 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `webcap lint` — run the workspace invariant analyzer and diff its
-/// findings against the committed baseline allowlist.
+/// `webcap lint` — run the workspace static analyzer (local rules plus
+/// the interprocedural panic-reachability / determinism-taint /
+/// wire-drift analyses) and diff its findings against the committed
+/// fingerprint baseline.
 pub fn lint(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["root", "format", "baseline", "out", "write-baseline"])?;
     let root = PathBuf::from(args.get_or("root", "."));
@@ -1105,11 +1107,23 @@ pub fn lint(args: &Args) -> Result<(), CliError> {
         )));
     }
     let baseline_path = args.get_or("baseline", "lint-baseline.toml");
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => webcap_lint::Baseline::parse(&text)
+            .map_err(|e| CliError::Message(format!("{baseline_path}: {e}")))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => webcap_lint::Baseline::default(),
+        Err(e) => return Err(CliError::Io(e)),
+    };
 
     if args.flag("write-baseline") {
         let findings =
             webcap_lint::all_findings(&root).map_err(|e| CliError::Message(e.to_string()))?;
-        std::fs::write(baseline_path, webcap_lint::Baseline::render(&findings))?;
+        // Regenerating over the existing file: curated notes survive by
+        // fingerprint (or legacy line) match, so a refresh never wipes
+        // the reviewed rationale.
+        std::fs::write(
+            baseline_path,
+            webcap_lint::Baseline::render(&findings, &baseline),
+        )?;
         println!(
             "baseline with {} finding(s) written to {baseline_path}; \
              record why each is accepted in its `note`",
@@ -1117,13 +1131,6 @@ pub fn lint(args: &Args) -> Result<(), CliError> {
         );
         return Ok(());
     }
-
-    let baseline = match std::fs::read_to_string(baseline_path) {
-        Ok(text) => webcap_lint::Baseline::parse(&text)
-            .map_err(|e| CliError::Message(format!("{baseline_path}: {e}")))?,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => webcap_lint::Baseline::default(),
-        Err(e) => return Err(CliError::Io(e)),
-    };
     let report = webcap_lint::lint_workspace(&root, &baseline)
         .map_err(|e| CliError::Message(e.to_string()))?;
     let rendered = match format {
@@ -1227,12 +1234,18 @@ COMMANDS:
              --chaos-* crashes and resumes one collector mid-run —
              the merged outcome must not change; WEBCAP_WIRE selects
              the digest back-haul dialect)
-  lint       run the workspace invariant analyzer (determinism,
-             panic-safety, wire-protocol, and config-validation rules)
+  lint       run the workspace static analyzer: local determinism /
+             wire-protocol / config-validation rules plus call-graph
+             panic-reachability (shortest entry chain as evidence),
+             determinism taint (nondet sources reachable from
+             byte-stable sinks), and wire-schema drift (codec versus
+             declarations)
              [--root <dir>] [--format human|json] [--out <file>]
              [--baseline <file>] [--write-baseline]
-             (exits nonzero on any finding not recorded in the baseline,
-             default lint-baseline.toml; --write-baseline regenerates it)
+             (exits nonzero on any finding not covered by the baseline,
+             default lint-baseline.toml; entries match by content
+             fingerprint so line shifts never churn the file, and
+             --write-baseline regenerates it preserving curated notes)
 ";
 
 #[cfg(test)]

@@ -211,7 +211,16 @@ impl CoordinatedPredictor {
     /// Panics if `predictions.len() != m`.
     pub fn peek(&self, predictions: &[bool]) -> CoordinatedPrediction {
         let gpv = self.gpv(predictions);
-        let hc = self.lht[gpv][self.history];
+        // gpv and history are bounded by construction (gpv() masks to
+        // the table width, history is masked on every push); the
+        // checked lookup makes the bound a local fact rather than a
+        // cross-method invariant, with a neutral Hc (= tie) fallback.
+        let hc = self
+            .lht
+            .get(gpv)
+            .and_then(|row| row.get(self.history))
+            .copied()
+            .unwrap_or(0);
         let (overloaded, confident) = if hc > self.cfg.delta {
             (true, true)
         } else if hc < -self.cfg.delta {
@@ -231,14 +240,14 @@ impl CoordinatedPredictor {
 
     /// `λb(b_K..b_1) = argmax_i b_i` for one GPV row.
     fn bottleneck_for(&self, gpv: usize) -> TierId {
-        let row = &self.bpt[gpv];
-        let mut best = TierId::ALL[0];
-        for tier in TierId::ALL {
-            if row[tier.index()] > row[best.index()] {
-                best = tier;
+        let row = self.bpt.get(gpv).into_iter().flatten();
+        let mut best = (TierId::App, i32::MIN);
+        for (tier, &b) in TierId::ALL.iter().zip(row) {
+            if b > best.1 {
+                best = (*tier, b);
             }
         }
-        best
+        best.0
     }
 
     fn push_history(&mut self, outcome: bool) {

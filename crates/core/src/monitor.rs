@@ -53,6 +53,28 @@ impl MetricLevel {
             MetricLevel::Combined => "Combined",
         }
     }
+
+    /// Select this level's slot from a per-level triple (indexed by
+    /// [`MetricLevel::index`] order). Total by construction — the
+    /// panic-free replacement for `arr[level.index()]`.
+    pub fn select<'a, T>(&self, levels: &'a [T; 3]) -> &'a T {
+        let [os, hpc, combined] = levels;
+        match self {
+            MetricLevel::Os => os,
+            MetricLevel::Hpc => hpc,
+            MetricLevel::Combined => combined,
+        }
+    }
+
+    /// Mutable [`MetricLevel::select`].
+    pub fn select_mut<'a, T>(&self, levels: &'a mut [T; 3]) -> &'a mut T {
+        let [os, hpc, combined] = levels;
+        match self {
+            MetricLevel::Os => os,
+            MetricLevel::Hpc => hpc,
+            MetricLevel::Combined => combined,
+        }
+    }
 }
 
 impl std::fmt::Display for MetricLevel {
@@ -119,19 +141,21 @@ impl RunLog {
 
             let mut features: [[Vec<f64>; 2]; 3] = Default::default();
             for tier in TierId::ALL {
-                features[MetricLevel::Hpc.index()][tier.index()] = mean_rows(
-                    self.hpc[tier.index()][range.clone()]
+                let hpc_row = mean_rows(
+                    tier.select(&self.hpc)[range.clone()]
                         .iter()
                         .map(|m| m.to_features()),
                 );
-                features[MetricLevel::Os.index()][tier.index()] = mean_rows(
-                    self.os[tier.index()][range.clone()]
+                let os_row = mean_rows(
+                    tier.select(&self.os)[range.clone()]
                         .iter()
                         .map(|s| s.values().to_vec()),
                 );
-                let mut combined = features[MetricLevel::Os.index()][tier.index()].clone();
-                combined.extend_from_slice(&features[MetricLevel::Hpc.index()][tier.index()]);
-                features[MetricLevel::Combined.index()][tier.index()] = combined;
+                let mut combined = os_row.clone();
+                combined.extend_from_slice(&hpc_row);
+                *tier.select_mut(MetricLevel::Hpc.select_mut(&mut features)) = hpc_row;
+                *tier.select_mut(MetricLevel::Os.select_mut(&mut features)) = os_row;
+                *tier.select_mut(MetricLevel::Combined.select_mut(&mut features)) = combined;
             }
             let completed: u64 = slice.iter().map(|s| s.completed).sum();
             let duration: f64 = slice.iter().map(|s| s.interval_s).sum();
@@ -190,7 +214,7 @@ impl WindowInstance {
 
     /// The feature vector of one (level, tier) family.
     pub fn features(&self, level: MetricLevel, tier: TierId) -> &[f64] {
-        &self.features[level.index()][tier.index()]
+        tier.select(level.select(&self.features))
     }
 
     /// Class variable: `true` = overload.

@@ -125,8 +125,8 @@ impl OnlineMonitor {
     pub fn reset(&mut self) {
         self.buffer.clear();
         for tier in TierId::ALL {
-            self.hpc_mean[tier.index()].clear();
-            self.os_mean[tier.index()].clear();
+            tier.select_mut(&mut self.hpc_mean).clear();
+            tier.select_mut(&mut self.os_mean).clear();
         }
         self.rng = StdRng::seed_from_u64(self.metrics_seed);
         self.os_collectors = [OsCollector::new(TierId::App), OsCollector::new(TierId::Db)];
@@ -172,10 +172,12 @@ impl OnlineMonitor {
     ) -> Option<OnlineDecision> {
         let [hpc_app, hpc_db] = hpc;
         let [os_app, os_db] = os;
-        self.hpc_mean[TierId::App.index()].push(hpc_app);
-        self.hpc_mean[TierId::Db.index()].push(hpc_db);
-        self.os_mean[TierId::App.index()].push(os_app);
-        self.os_mean[TierId::Db.index()].push(os_db);
+        let [hpc_mean_app, hpc_mean_db] = &mut self.hpc_mean;
+        hpc_mean_app.push(hpc_app);
+        hpc_mean_db.push(hpc_db);
+        let [os_mean_app, os_mean_db] = &mut self.os_mean;
+        os_mean_app.push(os_app);
+        os_mean_db.push(os_db);
         self.buffer.push(sample);
         self.samples_seen += 1;
 
@@ -200,13 +202,13 @@ impl OnlineMonitor {
         let mix = majority_mix(&self.buffer);
         let mut features: [[Vec<f64>; 2]; 3] = Default::default();
         for tier in TierId::ALL {
-            let hpc = self.hpc_mean[tier.index()].finish();
-            let os = self.os_mean[tier.index()].finish();
+            let hpc = tier.select_mut(&mut self.hpc_mean).finish();
+            let os = tier.select_mut(&mut self.os_mean).finish();
             let mut combined = os.clone();
             combined.extend_from_slice(&hpc);
-            features[MetricLevel::Hpc.index()][tier.index()] = hpc;
-            features[MetricLevel::Os.index()][tier.index()] = os;
-            features[MetricLevel::Combined.index()][tier.index()] = combined;
+            *tier.select_mut(MetricLevel::Hpc.select_mut(&mut features)) = hpc;
+            *tier.select_mut(MetricLevel::Os.select_mut(&mut features)) = os;
+            *tier.select_mut(MetricLevel::Combined.select_mut(&mut features)) = combined;
         }
         let completed: u64 = self.buffer.iter().map(|s| s.completed).sum();
         let duration: f64 = self.buffer.iter().map(|s| s.interval_s).sum();

@@ -152,7 +152,8 @@ pub fn label_from_aggs(
         || backlog_growth >= cfg.backlog_growth_threshold
         || cfg.p95_overload_threshold_s.is_some_and(|t| p95 > t);
 
-    let bottleneck = if stress[TierId::App.index()] >= stress[TierId::Db.index()] {
+    let [app_stress, db_stress] = stress;
+    let bottleneck = if app_stress >= db_stress {
         TierId::App
     } else {
         TierId::Db
@@ -179,17 +180,11 @@ pub fn label_window(samples: &[SystemSample], cfg: &OracleConfig) -> WindowLabel
     for s in samples {
         health.observe(s);
         for tier in TierId::ALL {
-            stress[tier.index()].observe(s.tier(tier));
+            tier.select_mut(&mut stress).observe(s.tier(tier));
         }
     }
-    label_from_aggs(
-        &health,
-        [
-            stress[TierId::App.index()].stress(),
-            stress[TierId::Db.index()].stress(),
-        ],
-        cfg,
-    )
+    let [app_stress, db_stress] = &stress;
+    label_from_aggs(&health, [app_stress.stress(), db_stress.stress()], cfg)
 }
 
 #[cfg(test)]

@@ -208,30 +208,32 @@ pub fn read_snapshot<T: DeserializeOwned>(
         .iter()
         .position(|&b| b == b'\n')
         .ok_or_else(|| SnapshotError::MalformedHeader("no newline after header".into()))?;
-    let line = std::str::from_utf8(&bytes[..newline])
-        .map_err(|_| SnapshotError::MalformedHeader("header is not UTF-8".into()))?;
+    let line = bytes
+        .get(..newline)
+        .and_then(|header| std::str::from_utf8(header).ok())
+        .ok_or_else(|| SnapshotError::MalformedHeader("header is not UTF-8".into()))?;
     let fields: Vec<&str> = line.split_whitespace().collect();
-    if fields.len() != 4 {
+    let &[_, version_field, len_field, hash_field] = fields.as_slice() else {
         return Err(SnapshotError::MalformedHeader(format!(
             "expected 4 header fields, found {}",
             fields.len()
         )));
-    }
-    let version: u32 = fields[1]
+    };
+    let version: u32 = version_field
         .parse()
-        .map_err(|_| SnapshotError::MalformedHeader(format!("bad version {:?}", fields[1])))?;
-    let payload_len: usize = fields[2]
+        .map_err(|_| SnapshotError::MalformedHeader(format!("bad version {version_field:?}")))?;
+    let payload_len: usize = len_field
         .parse()
-        .map_err(|_| SnapshotError::MalformedHeader(format!("bad length {:?}", fields[2])))?;
-    let hash = u64::from_str_radix(fields[3], 16)
-        .map_err(|_| SnapshotError::MalformedHeader(format!("bad hash {:?}", fields[3])))?;
+        .map_err(|_| SnapshotError::MalformedHeader(format!("bad length {len_field:?}")))?;
+    let hash = u64::from_str_radix(hash_field, 16)
+        .map_err(|_| SnapshotError::MalformedHeader(format!("bad hash {hash_field:?}")))?;
     if version != SNAPSHOT_VERSION {
         return Err(SnapshotError::UnsupportedVersion {
             found: version,
             expected: SNAPSHOT_VERSION,
         });
     }
-    let payload = &bytes[newline + 1..];
+    let payload = bytes.get(newline + 1..).unwrap_or_default();
     if payload.len() != payload_len {
         return Err(SnapshotError::Truncated {
             expected: payload_len,

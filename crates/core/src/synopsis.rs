@@ -139,14 +139,17 @@ impl PerformanceSynopsis {
     }
 
     /// Predict from a full-width feature vector of this synopsis's
-    /// (tier, level) family.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `full_features` is narrower than the selected indices
-    /// require.
+    /// (tier, level) family. A vector narrower than the selected
+    /// indices require reads the missing attributes as 0.0 (the
+    /// training pipeline always supplies full-width rows, so this only
+    /// arises on malformed external input — which must degrade, not
+    /// panic, on the runtime path).
     pub fn predict_features(&self, full_features: &[f64]) -> bool {
-        let projected: Vec<f64> = self.selected.iter().map(|&i| full_features[i]).collect();
+        let projected: Vec<f64> = self
+            .selected
+            .iter()
+            .map(|&i| full_features.get(i).copied().unwrap_or(0.0))
+            .collect();
         self.model.predict(&projected)
     }
 }

@@ -114,7 +114,7 @@ pub fn run_fleet(
     ];
     let assignment: Vec<(TierId, u32)> = TierId::ALL
         .into_iter()
-        .map(|t| (t, owner[t.index()]))
+        .map(|t| (t, *t.select(&owner)))
         .collect();
 
     let k = map.collectors();
@@ -122,7 +122,7 @@ pub fn run_fleet(
         .map(|c| {
             let tiers: Vec<TierId> = TierId::ALL
                 .into_iter()
-                .filter(|t| owner[t.index()] == c)
+                .filter(|t| *t.select(&owner) == c)
                 .collect();
             FleetCollector::new(c, &tiers, window_len, origin, sup_cfg)
         })
@@ -139,7 +139,7 @@ pub fn run_fleet(
 
     // Initial sessions: every tier's agent connects to its owner.
     for tier in TierId::ALL {
-        if let Some(col) = collectors.get_mut(owner[tier.index()] as usize) {
+        if let Some(col) = collectors.get_mut(*tier.select(&owner) as usize) {
             col.on_session_start(tier);
         }
     }
@@ -167,9 +167,11 @@ pub fn run_fleet(
         for tier in TierId::ALL {
             // Metric synthesis is stateful across drops: run it for every
             // sample in order, exactly like a live agent.
-            let (hpc, os) = samplers[tier.index()].rows(seq, s.tier(tier), s.interval_s);
-            let schedule = &schedules[tier.index()];
-            let Some(col) = collectors.get_mut(owner[tier.index()] as usize) else {
+            let (hpc, os) = tier
+                .select_mut(&mut samplers)
+                .rows(seq, s.tier(tier), s.interval_s);
+            let schedule = tier.select(schedules);
+            let Some(col) = collectors.get_mut(*tier.select(&owner) as usize) else {
                 continue;
             };
             // Scheduled reconnects break the session before the frame
@@ -207,7 +209,7 @@ pub fn run_fleet(
     if !samples.is_empty() {
         let last_seq = samples.len() as u64 - 1;
         for tier in TierId::ALL {
-            if let Some(col) = collectors.get_mut(owner[tier.index()] as usize) {
+            if let Some(col) = collectors.get_mut(*tier.select(&owner) as usize) {
                 col.on_bye(tier, last_seq);
             }
         }

@@ -255,7 +255,7 @@ impl MergeNode {
                 continue;
             }
             let slot = self.windows.entry(dig.window).or_default();
-            match &mut slot[dig.tier.index()] {
+            match dig.tier.select_mut(slot) {
                 Some(_) => {
                     // Two collectors claiming one (window, tier): the shard
                     // map guarantees a unique owner, so never let arrival
@@ -301,8 +301,8 @@ impl MergeNode {
             if poisoned.contains(&window) {
                 continue;
             }
-            let (Some(app), Some(db)) = (&pair[TierId::App.index()], &pair[TierId::Db.index()])
-            else {
+            let [app_slot, db_slot] = pair;
+            let (Some(app), Some(db)) = (app_slot, db_slot) else {
                 incomplete.push(window);
                 continue;
             };
@@ -335,9 +335,9 @@ impl MergeNode {
                 let os = dig.os_mean.clone();
                 let mut combined = os.clone();
                 combined.extend(hpc.iter().copied());
-                features[MetricLevel::Hpc.index()][tier.index()] = hpc;
-                features[MetricLevel::Os.index()][tier.index()] = os;
-                features[MetricLevel::Combined.index()][tier.index()] = combined;
+                *tier.select_mut(MetricLevel::Hpc.select_mut(&mut features)) = hpc;
+                *tier.select_mut(MetricLevel::Os.select_mut(&mut features)) = os;
+                *tier.select_mut(MetricLevel::Combined.select_mut(&mut features)) = combined;
             }
             let throughput = appd.health.completed as f64 / appd.duration_s.max(1e-9);
             let instance = WindowInstance::from_parts(

@@ -152,7 +152,7 @@ impl FleetTopology {
                     ),
                 ));
             }
-            if self.agents[..i].contains(a) {
+            if self.agents.iter().take(i).any(|prev| prev == a) {
                 return Err(err(
                     0,
                     format!(

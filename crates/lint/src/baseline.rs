@@ -5,13 +5,22 @@
 //!
 //! ```toml
 //! [[finding]]
-//! rule = "panic-unwrap"
-//! file = "crates/core/src/agg.rs"
-//! line = 123
-//! note = "documented panic: pub(crate) caller guarantees non-empty"
+//! rule = "nondet-time"
+//! file = "crates/bench/src/harness.rs"
+//! fingerprint = "a61b0f204c83d97e"
+//! note = "wall-clock timing is the bench harness's purpose"
 //! ```
 //!
-//! Findings are matched against the baseline on `(rule, file, line)`.
+//! v2 entries carry a content-addressed `fingerprint` (computed by the
+//! analyzer from rule + enclosing item + normalized snippet), so the
+//! baseline survives line renumbering: a formatting-only commit needs
+//! zero baseline edits. v1 entries carried `line` instead; the parser
+//! still accepts them, and [`Baseline::covers`] falls back to
+//! `(rule, file, line)` matching for them, which is the one-shot
+//! migration path — run `webcap lint --write-baseline` once against a
+//! v1 file and every entry is re-emitted with its fingerprint (curated
+//! notes preserved).
+//!
 //! Only *new* findings fail the lint run; baseline entries that no
 //! longer match anything are reported as stale (a warning, not a
 //! failure) so the allowlist shrinks over time instead of fossilizing.
@@ -27,14 +36,33 @@ use crate::Finding;
 /// One allowlisted finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BaselineEntry {
-    /// Rule identifier, e.g. `panic-unwrap`.
+    /// Rule identifier, e.g. `panic-reachability`.
     pub rule: String,
     /// Workspace-relative path with forward slashes.
     pub file: String,
-    /// 1-based line number.
+    /// Content-addressed identity (v2 entries); empty on legacy
+    /// line-keyed entries.
+    pub fingerprint: String,
+    /// 1-based line number (legacy v1 entries); 0 on v2 entries.
     pub line: u32,
     /// Why this finding is accepted (required: debt needs a reason).
     pub note: String,
+}
+
+impl BaselineEntry {
+    /// True if this entry matches `f`: by fingerprint when the entry
+    /// has one, by `(line)` otherwise (legacy migration path). Rule and
+    /// file must always match.
+    pub fn matches(&self, f: &Finding) -> bool {
+        if self.rule != f.rule || self.file != f.file {
+            return false;
+        }
+        if !self.fingerprint.is_empty() {
+            self.fingerprint == f.fingerprint
+        } else {
+            self.line == f.line
+        }
+    }
 }
 
 /// A parsed baseline file.
@@ -62,7 +90,8 @@ impl fmt::Display for BaselineError {
 impl std::error::Error for BaselineError {}
 
 impl Baseline {
-    /// Parse the TOML-subset baseline format.
+    /// Parse the TOML-subset baseline format (v2 `fingerprint` entries
+    /// and legacy v1 `line` entries both accepted).
     pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
         let err = |line: u32, msg: String| BaselineError { line, msg };
         let mut entries: Vec<BaselineEntry> = Vec::new();
@@ -89,6 +118,7 @@ impl Baseline {
                     BaselineEntry {
                         rule: String::new(),
                         file: String::new(),
+                        fingerprint: String::new(),
                         line: 0,
                         note: String::new(),
                     },
@@ -112,6 +142,9 @@ impl Baseline {
                 "rule" => entry.rule = unquote(value).map_err(|m| err(lineno, m))?,
                 "file" => entry.file = unquote(value).map_err(|m| err(lineno, m))?,
                 "note" => entry.note = unquote(value).map_err(|m| err(lineno, m))?,
+                "fingerprint" => {
+                    entry.fingerprint = unquote(value).map_err(|m| err(lineno, m))?
+                }
                 "line" => {
                     entry.line = value
                         .parse::<u32>()
@@ -125,9 +158,18 @@ impl Baseline {
         Ok(Baseline { entries })
     }
 
-    /// Render a findings list as a baseline file (`--write-baseline`).
-    /// Output is deterministic: entries sorted by `(file, line, rule)`.
-    pub fn render(findings: &[Finding]) -> String {
+    /// Render a findings list as a v2 baseline file
+    /// (`--write-baseline`). Output is deterministic: entries sorted by
+    /// `(file, line, rule)`; the line appears only as an informational
+    /// comment, so a line shift alone never changes a key.
+    ///
+    /// `previous` is the baseline being regenerated over: curated notes
+    /// are carried forward for every finding whose fingerprint matches
+    /// an existing entry, with a fallback match on legacy
+    /// `(rule, file, line)` — the one-shot v1 → v2 migration. (v1
+    /// dropped notes on every regeneration; that is the bug this
+    /// signature fixes.)
+    pub fn render(findings: &[Finding], previous: &Baseline) -> String {
         let mut sorted: Vec<&Finding> = findings.iter().collect();
         sorted.sort_by(|a, b| {
             (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
@@ -135,25 +177,47 @@ impl Baseline {
         let mut out = String::from(
             "# webcap lint baseline — explicitly tracked findings.\n\
              # Regenerate with: webcap lint --write-baseline\n\
-             # Matching is on (rule, file, line); `note` records why the\n\
-             # finding is accepted. Shrink this file, never grow it silently.\n",
+             # Matching is on (rule, file, fingerprint); fingerprints are\n\
+             # content-addressed (enclosing item + snippet), so line shifts\n\
+             # never require regeneration. `note` records why the finding is\n\
+             # accepted. Shrink this file, never grow it silently.\n",
         );
         for f in sorted {
+            let note = previous
+                .entries
+                .iter()
+                .find(|e| {
+                    e.rule == f.rule
+                        && e.file == f.file
+                        && !e.fingerprint.is_empty()
+                        && e.fingerprint == f.fingerprint
+                })
+                .or_else(|| {
+                    // Legacy v1 entry: same site, identified by line.
+                    previous.entries.iter().find(|e| {
+                        e.rule == f.rule
+                            && e.file == f.file
+                            && e.fingerprint.is_empty()
+                            && e.line == f.line
+                    })
+                })
+                .map(|e| e.note.as_str())
+                .filter(|n| !n.is_empty())
+                .unwrap_or(f.note.as_str());
             out.push('\n');
             out.push_str("[[finding]]\n");
+            out.push_str(&format!("# {}:{}\n", f.file, f.line));
             out.push_str(&format!("rule = {}\n", quote(f.rule)));
             out.push_str(&format!("file = {}\n", quote(&f.file)));
-            out.push_str(&format!("line = {}\n", f.line));
-            out.push_str(&format!("note = {}\n", quote(&f.note)));
+            out.push_str(&format!("fingerprint = {}\n", quote(&f.fingerprint)));
+            out.push_str(&format!("note = {}\n", quote(note)));
         }
         out
     }
 
-    /// True if `f` matches an entry on `(rule, file, line)`.
+    /// True if `f` matches an entry (fingerprint, or legacy line).
     pub fn covers(&self, f: &Finding) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.rule == f.rule && e.file == f.file && e.line == f.line)
+        self.entries.iter().any(|e| e.matches(f))
     }
 
     /// Entries that no longer match any current finding — stale debt
@@ -161,11 +225,7 @@ impl Baseline {
     pub fn stale<'a>(&'a self, findings: &[Finding]) -> Vec<&'a BaselineEntry> {
         self.entries
             .iter()
-            .filter(|e| {
-                !findings
-                    .iter()
-                    .any(|f| e.rule == f.rule && e.file == f.file && e.line == f.line)
-            })
+            .filter(|e| !findings.iter().any(|f| e.matches(f)))
             .collect()
     }
 }
@@ -185,8 +245,8 @@ fn finish_entry_full(
     if entry.file.is_empty() {
         return Err(missing("file"));
     }
-    if !has_line {
-        return Err(missing("line"));
+    if entry.fingerprint.is_empty() && !has_line {
+        return Err(missing("fingerprint` (or legacy `line`"));
     }
     if entry.note.is_empty() {
         return Err(missing("note"));
@@ -241,49 +301,121 @@ mod tests {
     use super::*;
     use crate::Severity;
 
-    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+    fn finding(rule: &'static str, file: &str, line: u32, fp: &str) -> Finding {
         Finding {
             rule,
             severity: Severity::Error,
             file: file.to_string(),
             line,
             note: "why".to_string(),
+            fingerprint: fp.to_string(),
+            chain: Vec::new(),
         }
     }
 
     #[test]
     fn round_trips_through_render_and_parse() {
         let findings = vec![
-            finding("panic-unwrap", "crates/core/src/agg.rs", 123),
-            finding("nondet-time", "crates/bench/src/harness.rs", 196),
+            finding("nondet-time", "crates/bench/src/harness.rs", 196, "aa00"),
+            finding("panic-reachability", "crates/core/src/agg.rs", 123, "bb11"),
         ];
-        let text = Baseline::render(&findings);
+        let text = Baseline::render(&findings, &Baseline::default());
         let parsed = Baseline::parse(&text).unwrap();
         assert_eq!(parsed.entries.len(), 2);
         // Render sorts by (file, line, rule).
         assert_eq!(parsed.entries[0].file, "crates/bench/src/harness.rs");
         assert!(parsed.covers(&findings[0]));
         assert!(parsed.covers(&findings[1]));
-        assert!(!parsed.covers(&finding("panic-unwrap", "crates/core/src/agg.rs", 124)));
+        // Same site, different content → different fingerprint → not
+        // covered, even at the same line.
+        assert!(!parsed.covers(&finding(
+            "panic-reachability",
+            "crates/core/src/agg.rs",
+            123,
+            "cc22"
+        )));
+        // A pure line shift with the same fingerprint stays covered:
+        // zero baseline edits for formatting commits.
+        assert!(parsed.covers(&finding(
+            "panic-reachability",
+            "crates/core/src/agg.rs",
+            999,
+            "bb11"
+        )));
+    }
+
+    #[test]
+    fn legacy_line_entries_cover_by_line() {
+        let v1 = "[[finding]]\nrule = \"nondet-time\"\nfile = \"f.rs\"\nline = 7\nnote = \"ok\"\n";
+        let parsed = Baseline::parse(v1).unwrap();
+        assert!(parsed.covers(&finding("nondet-time", "f.rs", 7, "aa00")));
+        assert!(!parsed.covers(&finding("nondet-time", "f.rs", 8, "aa00")));
+    }
+
+    #[test]
+    fn regeneration_preserves_curated_notes_by_fingerprint() {
+        // The --write-baseline note-dropping bug: a curated note must
+        // survive regeneration when the fingerprint is unchanged.
+        let curated = "[[finding]]\nrule = \"nondet-time\"\nfile = \"f.rs\"\n\
+                       fingerprint = \"aa00\"\nnote = \"curated: the bench clock is the point\"\n";
+        let previous = Baseline::parse(curated).unwrap();
+        let regenerated = Baseline::render(
+            &[finding("nondet-time", "f.rs", 42, "aa00")],
+            &previous,
+        );
+        let parsed = Baseline::parse(&regenerated).unwrap();
+        assert_eq!(parsed.entries[0].note, "curated: the bench clock is the point");
+        // A *changed* fingerprint means the code changed: the finding's
+        // fresh note wins, not the stale curation.
+        let regenerated = Baseline::render(
+            &[finding("nondet-time", "f.rs", 42, "bb11")],
+            &previous,
+        );
+        let parsed = Baseline::parse(&regenerated).unwrap();
+        assert_eq!(parsed.entries[0].note, "why");
+    }
+
+    #[test]
+    fn migration_carries_notes_from_legacy_line_entries() {
+        let v1 = "[[finding]]\nrule = \"nondet-time\"\nfile = \"f.rs\"\nline = 7\n\
+                  note = \"curated v1 note\"\n";
+        let previous = Baseline::parse(v1).unwrap();
+        let migrated = Baseline::render(&[finding("nondet-time", "f.rs", 7, "aa00")], &previous);
+        let parsed = Baseline::parse(&migrated).unwrap();
+        // The regenerated entry is fingerprint-keyed and kept its note.
+        assert_eq!(parsed.entries[0].fingerprint, "aa00");
+        assert_eq!(parsed.entries[0].line, 0);
+        assert_eq!(parsed.entries[0].note, "curated v1 note");
     }
 
     #[test]
     fn stale_entries_are_reported() {
-        let text = Baseline::render(&[finding("panic-unwrap", "crates/core/src/agg.rs", 1)]);
+        let text = Baseline::render(
+            &[finding("panic-reachability", "crates/core/src/agg.rs", 1, "aa00")],
+            &Baseline::default(),
+        );
         let parsed = Baseline::parse(&text).unwrap();
         let stale = parsed.stale(&[]);
         assert_eq!(stale.len(), 1);
         assert_eq!(stale[0].file, "crates/core/src/agg.rs");
         assert!(parsed
-            .stale(&[finding("panic-unwrap", "crates/core/src/agg.rs", 1)])
+            .stale(&[finding(
+                "panic-reachability",
+                "crates/core/src/agg.rs",
+                1,
+                "aa00"
+            )])
             .is_empty());
     }
 
     #[test]
     fn missing_keys_and_unknown_keys_are_errors() {
-        let missing = "[[finding]]\nrule = \"r\"\nfile = \"f\"\nline = 3\n";
+        let missing = "[[finding]]\nrule = \"r\"\nfile = \"f\"\nfingerprint = \"aa\"\n";
         let e = Baseline::parse(missing).unwrap_err();
         assert!(e.msg.contains("note"), "{e}");
+        let no_identity = "[[finding]]\nrule = \"r\"\nfile = \"f\"\nnote = \"n\"\n";
+        let e = Baseline::parse(no_identity).unwrap_err();
+        assert!(e.msg.contains("fingerprint"), "{e}");
         let unknown = "[[finding]]\nrule = \"r\"\nseverity = \"error\"\n";
         let e = Baseline::parse(unknown).unwrap_err();
         assert!(e.msg.contains("unknown key"), "{e}");
@@ -294,7 +426,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let text = "# header\n\n[[finding]]\nrule = \"r\"\nfile = \"f\"\nline = 1\nnote = \"n\"\n";
+        let text = "# header\n\n[[finding]]\n# f.rs:1\nrule = \"r\"\nfile = \"f\"\n\
+                    fingerprint = \"aa\"\nnote = \"n\"\n";
         let parsed = Baseline::parse(text).unwrap();
         assert_eq!(parsed.entries.len(), 1);
         assert_eq!(parsed.entries[0].rule, "r");
@@ -303,13 +436,15 @@ mod tests {
     #[test]
     fn escapes_round_trip() {
         let f = Finding {
-            rule: "panic-unwrap",
+            rule: "panic-reachability",
             severity: Severity::Error,
             file: "crates/core/src/x.rs".to_string(),
             line: 1,
             note: "quote \" and backslash \\ and\nnewline".to_string(),
+            fingerprint: "aa00".to_string(),
+            chain: Vec::new(),
         };
-        let parsed = Baseline::parse(&Baseline::render(&[f.clone()])).unwrap();
+        let parsed = Baseline::parse(&Baseline::render(&[f.clone()], &Baseline::default())).unwrap();
         assert_eq!(parsed.entries[0].note, f.note);
     }
 }

@@ -1,0 +1,475 @@
+//! Wire-schema drift: cross-check the hand-rolled WCB3 binary codec
+//! (`net/src/binary.rs`) against the struct declarations it serializes
+//! and the `Frame` enum's tag space.
+//!
+//! The codec is the one place where struct layout is spelled out twice:
+//! once in the declaration (`frame.rs`, plus `TierSample` and friends
+//! in `core`) and once in the encode/decode bodies. The WCB3 proptests
+//! catch a divergence *if* the generator happens to exercise it; this
+//! analysis catches it structurally, before a test has to:
+//!
+//! - **encode order** — every `put_*` function that takes a known wire
+//!   struct must touch each of its fields, in declaration order (first
+//!   touch counts);
+//! - **decode order** — every struct literal of a known wire struct
+//!   built in the codec file must list fields in declaration order, and
+//!   completely unless it uses `..`;
+//! - **tag bijection** — `TAG_*` constants must correspond one-to-one
+//!   with `Frame` variants (by name, `TAG_SAMPLE_BATCH` ⇄
+//!   `SampleBatch`), with unique values, and both `encode_frame` and
+//!   `decode_frame` must mention every tag (a one-sided match arm is
+//!   exactly how a silent dialect fork starts).
+//!
+//! "Known wire struct" means: declared (non-test) in any scanned unit
+//! *outside* the codec file itself — codec-internal helpers like the
+//! decode cursor are exempt. Fixture trees supply their own
+//! `frame.rs`/`binary.rs` pair; when either file is absent the analysis
+//! is silent.
+
+use crate::callgraph::SourceUnit;
+use crate::lexer::TokKind;
+use crate::parser::{TypeDef, TypeKind};
+use crate::rules::{CODEC_FILE_SUFFIX, PROTOCOL_FILE_SUFFIX};
+use crate::{Finding, Severity};
+
+fn finding(file: &str, line: u32, note: String) -> Finding {
+    Finding {
+        rule: "wire-drift",
+        severity: Severity::Error,
+        file: file.to_string(),
+        line,
+        note,
+        fingerprint: String::new(),
+        chain: Vec::new(),
+    }
+}
+
+/// `TAG_SAMPLE_BATCH` → `SampleBatch`.
+fn variant_of_tag(tag_const: &str) -> String {
+    let mut out = String::new();
+    for part in tag_const.trim_start_matches("TAG_").split('_') {
+        let mut chars = part.chars();
+        if let Some(first) = chars.next() {
+            out.extend(first.to_uppercase());
+            out.extend(chars.flat_map(|c| c.to_lowercase()));
+        }
+    }
+    out
+}
+
+/// Run the drift analysis over the unit set.
+pub fn wire_drift(units: &[SourceUnit]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(proto) = units
+        .iter()
+        .find(|u| u.rel_path.ends_with(PROTOCOL_FILE_SUFFIX))
+    else {
+        return findings;
+    };
+    let Some(codec) = units
+        .iter()
+        .find(|u| u.rel_path.ends_with(CODEC_FILE_SUFFIX))
+    else {
+        return findings;
+    };
+    // Wire structs: declared anywhere but in the codec file itself.
+    let structs: Vec<(&TypeDef, &str)> = units
+        .iter()
+        .filter(|u| u.rel_path != codec.rel_path)
+        .flat_map(|u| {
+            u.parsed
+                .types
+                .iter()
+                .filter(|t| !t.is_test && t.kind == TypeKind::Struct && !t.fields.is_empty())
+                .map(move |t| (t, u.rel_path.as_str()))
+        })
+        .collect();
+    check_encode_order(codec, &structs, &mut findings);
+    check_decode_literals(codec, &structs, &mut findings);
+    check_tags(proto, codec, &mut findings);
+    findings
+}
+
+fn struct_named<'a>(structs: &'a [(&'a TypeDef, &'a str)], name: &str) -> Option<&'a TypeDef> {
+    structs.iter().find(|(t, _)| t.name == name).map(|(t, _)| *t)
+}
+
+/// Encode side: for each fn whose first non-output parameter's type
+/// names a known wire struct, the sequence of distinct `param.field`
+/// touches must equal the declared field order.
+fn check_encode_order(
+    codec: &SourceUnit,
+    structs: &[(&TypeDef, &str)],
+    findings: &mut Vec<Finding>,
+) {
+    for f in &codec.parsed.fns {
+        if f.is_test || !f.name.starts_with("put_") {
+            continue;
+        }
+        let Some((param, ty)) = f.params.iter().find_map(|p| {
+            let t = p
+                .ty
+                .split(|c: char| !c.is_alphanumeric() && c != '_')
+                .find_map(|seg| struct_named(structs, seg));
+            t.map(|t| (p.name.as_str(), t))
+        }) else {
+            continue;
+        };
+        let Some((body_start, body_end)) = f.body else {
+            continue;
+        };
+        // First-touch order of `param.field` for declared fields.
+        let toks = &codec.toks;
+        let mut touched: Vec<&str> = Vec::new();
+        let mut i = body_start;
+        while i + 2 <= body_end {
+            if toks[i].kind == TokKind::Ident
+                && toks[i].text == param
+                && toks[i + 1].is_punct(".")
+                && toks[i + 2].kind == TokKind::Ident
+            {
+                let field = toks[i + 2].text.as_str();
+                if ty.fields.iter().any(|fd| fd.name == field)
+                    && !touched.iter().any(|t| *t == field)
+                {
+                    touched.push(field);
+                }
+            }
+            i += 1;
+        }
+        if touched.is_empty() {
+            // Encoded entirely through accessors (e.g. a histogram's
+            // `bucket_counts()`/`len()`): field order is the accessor
+            // API's contract, not this codec's.
+            continue;
+        }
+        let declared: Vec<&str> = ty.fields.iter().map(|fd| fd.name.as_str()).collect();
+        if touched != declared {
+            findings.push(finding(
+                &codec.rel_path,
+                f.line,
+                format!(
+                    "`{}` encodes `{}` fields as [{}] but the declaration \
+                     orders them [{}]; the WCB3 codec must track field \
+                     declarations exactly (PR 8 invariant)",
+                    f.name,
+                    ty.name,
+                    touched.join(", "),
+                    declared.join(", "),
+                ),
+            ));
+        }
+    }
+}
+
+/// Decode side: struct literals of known wire structs in the codec
+/// file must list fields in declaration order (fully, unless `..`).
+fn check_decode_literals(
+    codec: &SourceUnit,
+    structs: &[(&TypeDef, &str)],
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &codec.toks;
+    let matches = crate::parser::brace_matches(toks);
+    for i in 0..toks.len() {
+        if codec.exempt[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(ty) = struct_named(structs, &toks[i].text) else {
+            continue;
+        };
+        // A literal is `Name {` — not `Name::`, not a type position.
+        if i + 1 >= toks.len() || !toks[i + 1].is_punct("{") {
+            continue;
+        }
+        let open = i + 1;
+        let Some(close) = matches[open] else { continue };
+        // Collect `field:` entries at depth 1 (an entry starts right
+        // after `{` or a depth-1 `,`), plus a trailing `..` rest.
+        let mut listed: Vec<&str> = Vec::new();
+        let mut has_rest = false;
+        let mut depth = 0usize;
+        let mut entry_start = true;
+        for (j, t) in toks.iter().enumerate().take(close + 1).skip(open) {
+            if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+                continue;
+            }
+            if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+                continue;
+            }
+            if depth != 1 {
+                continue;
+            }
+            if t.is_punct(",") {
+                entry_start = true;
+                continue;
+            }
+            if entry_start {
+                if t.kind == TokKind::Ident
+                    && j + 1 < toks.len()
+                    && toks[j + 1].is_punct(":")
+                {
+                    listed.push(t.text.as_str());
+                } else if t.is_punct("..") {
+                    has_rest = true;
+                }
+                entry_start = false;
+            }
+        }
+        if listed.is_empty() && !has_rest {
+            continue; // `Name {}` or shorthand-only: nothing to check.
+        }
+        let declared: Vec<&str> = ty.fields.iter().map(|fd| fd.name.as_str()).collect();
+        let ok = if has_rest {
+            // In-order subsequence of the declaration.
+            let mut di = 0usize;
+            listed.iter().all(|f| {
+                while di < declared.len() && declared[di] != *f {
+                    di += 1;
+                }
+                if di < declared.len() {
+                    di += 1;
+                    true
+                } else {
+                    false
+                }
+            })
+        } else {
+            listed == declared
+        };
+        if !ok {
+            findings.push(finding(
+                &codec.rel_path,
+                toks[i].line,
+                format!(
+                    "`{}` literal lists fields [{}] but the declaration \
+                     orders them [{}]; decode must rebuild structs in \
+                     declaration order (PR 8 invariant)",
+                    ty.name,
+                    listed.join(", "),
+                    declared.join(", "),
+                ),
+            ));
+        }
+    }
+}
+
+/// Tag space: `TAG_*` consts ⇄ `Frame` variants, unique values, and
+/// both codec directions mention every tag.
+fn check_tags(proto: &SourceUnit, codec: &SourceUnit, findings: &mut Vec<Finding>) {
+    let Some(frame) = proto
+        .parsed
+        .types
+        .iter()
+        .find(|t| t.name == "Frame" && t.kind == TypeKind::Enum)
+    else {
+        return;
+    };
+    let tags: Vec<_> = codec
+        .parsed
+        .consts
+        .iter()
+        .filter(|c| !c.is_test && c.name.starts_with("TAG_"))
+        .collect();
+    for tag in &tags {
+        let variant = variant_of_tag(&tag.name);
+        if !frame.fields.iter().any(|v| v.name == variant) {
+            findings.push(finding(
+                &codec.rel_path,
+                tag.line,
+                format!(
+                    "tag `{}` has no matching `Frame::{}` variant; \
+                     the WCB3 tag space must mirror the Frame enum \
+                     (PR 8 invariant)",
+                    tag.name, variant
+                ),
+            ));
+        }
+    }
+    for v in &frame.fields {
+        if !tags.iter().any(|t| variant_of_tag(&t.name) == v.name) {
+            findings.push(finding(
+                &proto.rel_path,
+                v.line,
+                format!(
+                    "`Frame::{}` has no TAG_* constant in the binary \
+                     codec; add one (and handle it in encode_frame and \
+                     decode_frame) or the variant cannot cross a WCB3 \
+                     session (PR 8 invariant)",
+                    v.name
+                ),
+            ));
+        }
+    }
+    // Unique tag values.
+    for (a_idx, a) in tags.iter().enumerate() {
+        for b in tags.iter().skip(a_idx + 1) {
+            if a.value == b.value {
+                findings.push(finding(
+                    &codec.rel_path,
+                    b.line,
+                    format!(
+                        "tags `{}` and `{}` share value {}; tag bytes \
+                         must be unique (PR 8 invariant)",
+                        a.name, b.name, b.value
+                    ),
+                ));
+            }
+        }
+    }
+    // Symmetric handling: both directions must mention every tag.
+    for dir in ["encode_frame", "decode_frame"] {
+        let Some(f) = codec.parsed.fns.iter().find(|f| f.qual == dir) else {
+            findings.push(finding(
+                &codec.rel_path,
+                1,
+                format!("codec file defines no `{dir}`; the WCB3 codec must implement both directions (PR 8 invariant)"),
+            ));
+            continue;
+        };
+        let Some((start, end)) = f.body else { continue };
+        for tag in &tags {
+            let mentioned = codec.toks[start..=end]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == tag.name);
+            if !mentioned {
+                findings.push(finding(
+                    &codec.rel_path,
+                    f.line,
+                    format!(
+                        "`{}` never references `{}`; encode and decode \
+                         must cover the same tag set or the dialect \
+                         forks silently (PR 8 invariant)",
+                        dir, tag.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<(u32, String)> {
+        let units: Vec<SourceUnit> = srcs
+            .iter()
+            .map(|(p, s)| SourceUnit::new(p, s))
+            .collect();
+        wire_drift(&units)
+            .into_iter()
+            .map(|f| (f.line, f.note))
+            .collect()
+    }
+
+    const PROTO_OK: &str = "pub struct WireSample { pub seq: u64, pub t_s: f64 }\n\
+                            pub enum Frame { Sample(WireSample), Bye { last_seq: u64 } }";
+
+    #[test]
+    fn clean_codec_produces_no_findings() {
+        let hits = run(&[
+            ("crates/net/src/frame.rs", PROTO_OK),
+            (
+                "crates/net/src/binary.rs",
+                "const TAG_SAMPLE: u8 = 1;\n\
+                 const TAG_BYE: u8 = 6;\n\
+                 fn put_wire_sample(out: &mut Vec<u8>, cur: &WireSample) {\n\
+                   put_u64(out, cur.seq); put_f64(out, cur.t_s);\n\
+                 }\n\
+                 fn wire_sample() -> WireSample { WireSample { seq: 0, t_s: 0.0 } }\n\
+                 pub fn encode_frame(f: &Frame) { match f { Frame::Sample(_) => TAG_SAMPLE, Frame::Bye { .. } => TAG_BYE }; }\n\
+                 pub fn decode_frame(tag: u8) { if tag == TAG_SAMPLE {} else if tag == TAG_BYE {} }",
+            ),
+        ]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn encode_field_order_swap_is_drift() {
+        let hits = run(&[
+            ("crates/net/src/frame.rs", PROTO_OK),
+            (
+                "crates/net/src/binary.rs",
+                "const TAG_SAMPLE: u8 = 1;\nconst TAG_BYE: u8 = 6;\n\
+                 fn put_wire_sample(out: &mut Vec<u8>, cur: &WireSample) {\n\
+                   put_f64(out, cur.t_s); put_u64(out, cur.seq);\n\
+                 }\n\
+                 pub fn encode_frame(f: &Frame) { let _ = (TAG_SAMPLE, TAG_BYE); }\n\
+                 pub fn decode_frame(tag: u8) { let _ = (TAG_SAMPLE, TAG_BYE); }",
+            ),
+        ]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 3);
+        assert!(hits[0].1.contains("[t_s, seq]"), "{}", hits[0].1);
+    }
+
+    #[test]
+    fn decode_literal_order_and_missing_tag_are_drift() {
+        let hits = run(&[
+            (
+                "crates/net/src/frame.rs",
+                "pub struct WireSample { pub seq: u64, pub t_s: f64 }\n\
+                 pub enum Frame { Sample(WireSample), Bye { last_seq: u64 } }",
+            ),
+            (
+                "crates/net/src/binary.rs",
+                "const TAG_SAMPLE: u8 = 1;\n\
+                 fn wire_sample() -> WireSample { WireSample { t_s: 0.0, seq: 0 } }\n\
+                 pub fn encode_frame(f: &Frame) { let _ = TAG_SAMPLE; }\n\
+                 pub fn decode_frame(tag: u8) { let _ = TAG_SAMPLE; }",
+            ),
+        ]);
+        // Two findings: the swapped literal, and Frame::Bye without a tag.
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().any(|(l, n)| *l == 2 && n.contains("literal")));
+        assert!(hits.iter().any(|(_, n)| n.contains("Frame::Bye")));
+    }
+
+    #[test]
+    fn one_sided_tag_handling_and_duplicate_values_are_drift() {
+        let hits = run(&[
+            ("crates/net/src/frame.rs", PROTO_OK),
+            (
+                "crates/net/src/binary.rs",
+                "const TAG_SAMPLE: u8 = 1;\nconst TAG_BYE: u8 = 1;\n\
+                 pub fn encode_frame(f: &Frame) { let _ = (TAG_SAMPLE, TAG_BYE); }\n\
+                 pub fn decode_frame(tag: u8) { let _ = TAG_SAMPLE; }",
+            ),
+        ]);
+        // Duplicate value + decode_frame missing TAG_BYE.
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().any(|(_, n)| n.contains("share value 1")));
+        assert!(hits
+            .iter()
+            .any(|(_, n)| n.contains("decode_frame") && n.contains("TAG_BYE")));
+    }
+
+    #[test]
+    fn rest_literals_allow_partial_but_ordered_fields() {
+        let hits = run(&[
+            (
+                "crates/net/src/frame.rs",
+                "pub struct WireCaps { pub codec: u8, pub batch: u8, pub depth: u8 }\n\
+                 pub enum Frame { Hello { caps: WireCaps } }",
+            ),
+            (
+                "crates/net/src/binary.rs",
+                "const TAG_HELLO: u8 = 0;\n\
+                 fn caps() -> WireCaps { WireCaps { codec: 1, depth: 2, ..Default::default() } }\n\
+                 fn bad() -> WireCaps { WireCaps { depth: 2, codec: 1, ..Default::default() } }\n\
+                 pub fn encode_frame(f: &Frame) { let _ = TAG_HELLO; }\n\
+                 pub fn decode_frame(tag: u8) { let _ = TAG_HELLO; }",
+            ),
+        ]);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 3);
+    }
+
+    #[test]
+    fn absent_codec_pair_is_silent() {
+        assert!(run(&[("crates/core/src/meter.rs", "pub fn f() {}")]).is_empty());
+    }
+}

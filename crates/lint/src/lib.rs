@@ -4,29 +4,43 @@
 //! byte-identical determinism in the measurement/training pipeline, an
 //! unwrap-free runtime in the capacity-critical crates, an exhaustively
 //! matched and versioned wire protocol, and validated configuration.
-//! Each was enforced by a one-off manual audit. This crate turns those
-//! audits into a machine-checked pass: a dependency-free, token-level
-//! static analyzer that walks every workspace source file, applies the
-//! project-specific rules in [`rules`], and diffs the findings against
-//! the committed `lint-baseline.toml` allowlist so pre-existing,
-//! documented debt is tracked explicitly and only *new* findings fail.
+//! v1 enforced them with token-level, line-local rules. v2 grows the
+//! crate into a workspace *static analyzer*: the [`lexer`] feeds a
+//! hand-rolled recursive-descent [`parser`] (item trees: fns, impls,
+//! structs/enums with field order, `cfg(test)` scoping), the item trees
+//! feed a conservative [`callgraph`], and on top of the graph run the
+//! interprocedural analyses in [`taint`] (panic-reachability from the
+//! runtime entry points, determinism taint from the byte-stable sinks)
+//! and [`drift`] (WCB3 codec ⇄ declaration cross-check). Local rules
+//! live in [`rules`].
+//!
+//! Findings are identified by content-addressed **fingerprints** (rule
+//! + enclosing item + normalized item snippet + occurrence), so the
+//! committed `lint-baseline.toml` survives line renumbering: a
+//! formatting-only commit requires zero baseline edits.
 //!
 //! Entry points:
 //! - [`lint_workspace`] — walk a workspace root and produce a [`Report`]
 //!   (what the `webcap lint` subcommand calls);
-//! - [`lint_source`] — lint one in-memory file against an index (the
-//!   seam the fixture tests use to pin exact `file:line` findings).
+//! - [`lint_sources`] — run the full pipeline over in-memory files (the
+//!   seam the analysis fixture tests use);
+//! - [`lint_source`] — local rules only, one file (the v1 seam, kept
+//!   for the single-file fixtures).
 //!
 //! The analyzer is deliberately dependency-free — not even `syn` — so
 //! it builds in hermetic environments and can never be the reason the
-//! workspace fails to resolve. The hand-rolled [`lexer`] is sufficient
-//! for every token-level rule the workspace needs; rules that would
-//! require full type resolution belong in clippy, not here.
+//! workspace fails to resolve. Rules that would require full type
+//! resolution belong in clippy, not here; everything the graph cannot
+//! resolve is over-approximated in the sound direction.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod drift;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod taint;
 
 use std::fmt;
 use std::fs;
@@ -34,6 +48,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use baseline::{Baseline, BaselineEntry, BaselineError};
+pub use callgraph::{CallGraph, SourceUnit};
 
 /// Finding severity. Every current rule is [`Severity::Error`]; the
 /// distinction exists so future advisory rules can ride the same
@@ -60,8 +75,8 @@ impl Severity {
 /// One rule violation at a specific source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule identifier (e.g. `panic-unwrap`); static because rules are
-    /// compiled in.
+    /// Rule identifier (e.g. `panic-reachability`); static because
+    /// rules are compiled in.
     pub rule: &'static str,
     /// Severity of the violation.
     pub severity: Severity,
@@ -71,6 +86,12 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation including which invariant is at risk.
     pub note: String,
+    /// Content-addressed identity (16 hex chars): rule + enclosing item
+    /// + normalized snippet + occurrence. Stable across line shifts.
+    pub fingerprint: String,
+    /// For interprocedural findings: the shortest call chain as
+    /// qualified names (entry → … → site, or sink → … → source).
+    pub chain: Vec<String>,
 }
 
 /// Cross-file facts gathered before per-file linting: currently the
@@ -128,12 +149,38 @@ impl fmt::Display for LintError {
 
 impl std::error::Error for LintError {}
 
-/// Lint a single in-memory source file. `rel_path` selects which rules
-/// apply (crate scoping, protocol-file detection, test-file exemption).
-/// This is the seam the fixture tests use.
+/// Lint a single in-memory source file with the *local* rules only.
+/// `rel_path` selects which rules apply (crate scoping, protocol-file
+/// detection, test-file exemption). Fingerprints are filled in.
 pub fn lint_source(rel_path: &str, source: &str, index: &WorkspaceIndex) -> Vec<Finding> {
-    let ctx = rules::FileCtx::new(rel_path, source);
-    rules::lint_file(&ctx, index)
+    let unit = SourceUnit::new(rel_path, source);
+    let mut findings = rules::lint_file(&unit, index);
+    fingerprint_findings(std::slice::from_ref(&unit), &mut findings);
+    findings
+}
+
+/// Run the full v2 pipeline — local rules, panic-reachability,
+/// determinism taint, wire drift — over in-memory files. Findings are
+/// sorted by `(file, line, rule)`, deduplicated, and fingerprinted.
+pub fn lint_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    let units: Vec<SourceUnit> = sources
+        .iter()
+        .map(|(rel, text)| SourceUnit::new(rel, text))
+        .collect();
+    let index = build_index_from_units(&units);
+    let graph = CallGraph::build(&units);
+    let mut findings: Vec<Finding> = Vec::new();
+    for unit in &units {
+        findings.extend(rules::lint_file(unit, &index));
+    }
+    findings.extend(taint::panic_reachability(&units, &graph));
+    findings.extend(taint::determinism_taint(&units, &graph));
+    findings.extend(drift::wire_drift(&units));
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.file == b.file && a.line == b.line);
+    fingerprint_findings(&units, &mut findings);
+    findings
 }
 
 /// Collect every workspace `.rs` source file under `root`, as
@@ -202,10 +249,17 @@ fn walk_rs(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> Result<
 
 /// Build the cross-file [`WorkspaceIndex`] from already-loaded sources.
 pub fn build_index(sources: &[(String, String)]) -> WorkspaceIndex {
+    let units: Vec<SourceUnit> = sources
+        .iter()
+        .map(|(rel, text)| SourceUnit::new(rel, text))
+        .collect();
+    build_index_from_units(&units)
+}
+
+fn build_index_from_units(units: &[SourceUnit]) -> WorkspaceIndex {
     let mut validated_configs = Vec::new();
-    for (rel, text) in sources {
-        let ctx = rules::FileCtx::new(rel, text);
-        validated_configs.extend(rules::collect_validated_configs(&ctx));
+    for unit in units {
+        validated_configs.extend(rules::collect_validated_configs(unit));
     }
     validated_configs.sort();
     validated_configs.dedup();
@@ -222,15 +276,7 @@ pub fn lint_workspace(root: &Path, baseline: &Baseline) -> Result<Report, LintEr
         let text = fs::read_to_string(abs).map_err(|e| LintError::Io(abs.clone(), e))?;
         sources.push((rel.clone(), text));
     }
-    let index = build_index(&sources);
-    let mut findings: Vec<Finding> = Vec::new();
-    for (rel, text) in &sources {
-        findings.extend(lint_source(rel, text, &index));
-    }
-    findings
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    findings.dedup_by(|a, b| a.rule == b.rule && a.file == b.file && a.line == b.line);
-
+    let findings = lint_sources(&sources);
     let mut new_findings = Vec::new();
     let mut baselined_findings = Vec::new();
     for f in findings.iter() {
@@ -256,6 +302,86 @@ pub fn all_findings(root: &Path) -> Result<Vec<Finding>, LintError> {
     Ok(report.new_findings)
 }
 
+// ---------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------
+
+/// FNV-1a over bytes, 64-bit. Dependency-free and stable across
+/// platforms — the identity function for baseline entries.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The normalized content of the item enclosing `line` in `unit`:
+/// `("fn:<qual>", body tokens joined)`, `("type:<name>", shape)`,
+/// `("const:<name>", value)`, or the tokens of the line itself when no
+/// item encloses it. Line numbers never participate — that is the
+/// whole point.
+fn enclosing_scope(unit: &SourceUnit, line: u32) -> (String, String) {
+    // Functions first (innermost item granularity the parser keeps).
+    for f in &unit.parsed.fns {
+        let Some((start, end)) = f.body else { continue };
+        let end_line = unit.toks[end].line;
+        if f.line <= line && line <= end_line {
+            let body: Vec<&str> = unit.toks[start..=end]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect();
+            return (format!("fn:{}", f.qual), body.join(" "));
+        }
+    }
+    for t in &unit.parsed.types {
+        let end_line = t.fields.iter().map(|fd| fd.line).max().unwrap_or(t.line);
+        if t.line <= line && line <= end_line {
+            let fields: Vec<&str> = t.fields.iter().map(|fd| fd.name.as_str()).collect();
+            return (format!("type:{}", t.name), fields.join(" "));
+        }
+    }
+    for c in &unit.parsed.consts {
+        if c.line == line {
+            return (format!("const:{}", c.name), c.value.clone());
+        }
+    }
+    let line_toks: Vec<&str> = unit
+        .toks
+        .iter()
+        .filter(|t| t.line == line)
+        .map(|t| t.text.as_str())
+        .collect();
+    ("file".to_string(), line_toks.join(" "))
+}
+
+/// Fill in `fingerprint` for every finding. Identity =
+/// `fnv64(rule \0 file \0 scope \0 content \0 occurrence)` where
+/// `occurrence` disambiguates repeated identical findings within one
+/// `(rule, scope)` group by their order of appearance (not their line).
+fn fingerprint_findings(units: &[SourceUnit], findings: &mut [Finding]) {
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    for f in findings.iter_mut() {
+        let (scope, content) = match units.iter().find(|u| u.rel_path == f.file) {
+            Some(unit) => enclosing_scope(unit, f.line),
+            None => ("file".to_string(), String::new()),
+        };
+        let base = format!("{}\0{}\0{}\0{}", f.rule, f.file, scope, content);
+        let occurrence = match seen.iter_mut().find(|(k, _)| *k == base) {
+            Some((_, n)) => {
+                *n += 1;
+                *n
+            }
+            None => {
+                seen.push((base.clone(), 0));
+                0
+            }
+        };
+        f.fingerprint = format!("{:016x}", fnv64(format!("{base}\0{occurrence}").as_bytes()));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,21 +398,18 @@ mod tests {
     fn report_failed_tracks_new_findings_only() {
         let mut r = Report::default();
         assert!(!r.failed());
-        r.baselined_findings.push(Finding {
-            rule: "panic-unwrap",
+        let f = Finding {
+            rule: "nondet-time",
             severity: Severity::Error,
             file: "f".into(),
             line: 1,
             note: "n".into(),
-        });
+            fingerprint: String::new(),
+            chain: Vec::new(),
+        };
+        r.baselined_findings.push(f.clone());
         assert!(!r.failed());
-        r.new_findings.push(Finding {
-            rule: "panic-unwrap",
-            severity: Severity::Error,
-            file: "f".into(),
-            line: 2,
-            note: "n".into(),
-        });
+        r.new_findings.push(f);
         assert!(r.failed());
     }
 
@@ -306,5 +429,49 @@ mod tests {
                 "crates/core/src/cfg.rs".to_string()
             )]
         );
+    }
+
+    #[test]
+    fn fingerprints_survive_line_shifts_but_track_content() {
+        let index = WorkspaceIndex::default();
+        let v1 = "fn f() { let t = Instant::now(); }";
+        // Same item, pushed down by comments and whitespace.
+        let v2 = "// a comment\n\n// another\nfn f() { let t = Instant::now(); }";
+        // Same line number as v1, different enclosing content.
+        let v3 = "fn f() { let t = Instant::now(); t.elapsed(); }";
+        let fp = |src: &str| lint_source("crates/core/src/x.rs", src, &index)[0]
+            .fingerprint
+            .clone();
+        assert_eq!(fp(v1), fp(v2));
+        assert_ne!(fp(v1), fp(v3));
+        assert_eq!(fp(v1).len(), 16);
+    }
+
+    #[test]
+    fn repeated_identical_sites_get_distinct_fingerprints() {
+        let index = WorkspaceIndex::default();
+        let src = "fn f() {\n let a = Instant::now();\n let b = Instant::now();\n}";
+        let findings = lint_source("crates/core/src/x.rs", src, &index);
+        assert_eq!(findings.len(), 2);
+        assert_ne!(findings[0].fingerprint, findings[1].fingerprint);
+    }
+
+    #[test]
+    fn lint_sources_runs_the_interprocedural_analyses() {
+        let sources = vec![
+            (
+                "crates/net/src/collector.rs".to_string(),
+                "pub fn run_collector() { helper(); }\nfn helper() { x.unwrap(); }".to_string(),
+            ),
+            (
+                "crates/core/src/quiet.rs".to_string(),
+                "pub fn fine() -> u32 { 1 }".to_string(),
+            ),
+        ];
+        let findings = lint_sources(&sources);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "panic-reachability");
+        assert_eq!(findings[0].chain, vec!["run_collector", "helper"]);
+        assert!(!findings[0].fingerprint.is_empty());
     }
 }

@@ -1,9 +1,10 @@
 //! Deterministic rendering of lint reports.
 //!
-//! Two formats: `human` (one line per finding, grep-friendly) and
-//! `json` (hand-rolled emission — the crate is dependency-free — with
-//! stable key order and findings pre-sorted, so identical inputs
-//! produce byte-identical reports suitable for CI artifact diffing).
+//! Two formats: `human` (one line per finding, grep-friendly, with the
+//! call chain indented under interprocedural findings) and `json`
+//! (hand-rolled emission — the crate is dependency-free — with stable
+//! key order and findings pre-sorted, so identical inputs produce
+//! byte-identical reports suitable for CI artifact diffing).
 
 use crate::{Finding, Report};
 
@@ -43,7 +44,16 @@ pub fn to_json(report: &Report) -> String {
         ));
         out.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
         out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"fingerprint\": {}, ", json_str(&f.fingerprint)));
         out.push_str(&format!("\"baselined\": {}, ", baselined));
+        out.push_str("\"chain\": [");
+        for (j, hop) in f.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(hop));
+        }
+        out.push_str("], ");
         out.push_str(&format!("\"note\": {}", json_str(&f.note)));
         out.push('}');
     }
@@ -60,6 +70,7 @@ pub fn to_json(report: &Report) -> String {
         out.push_str("\n    {");
         out.push_str(&format!("\"rule\": {}, ", json_str(&e.rule)));
         out.push_str(&format!("\"file\": {}, ", json_str(&e.file)));
+        out.push_str(&format!("\"fingerprint\": {}, ", json_str(&e.fingerprint)));
         out.push_str(&format!("\"line\": {}", e.line));
         out.push('}');
     }
@@ -72,30 +83,35 @@ pub fn to_json(report: &Report) -> String {
     out
 }
 
+fn push_finding(out: &mut String, f: &Finding, label: &str) {
+    out.push_str(&format!(
+        "{}:{}: [{}] {} — {}\n",
+        f.file, f.line, label, f.rule, f.note
+    ));
+    if !f.chain.is_empty() {
+        out.push_str(&format!("    chain: {}\n", f.chain.join(" -> ")));
+    }
+}
+
 /// Render the report as grep-friendly text, one `file:line: rule` line
-/// per finding plus a summary tail.
+/// per finding (call chain indented beneath it) plus a summary tail.
 pub fn to_human(report: &Report) -> String {
     let mut out = String::new();
     for f in &report.new_findings {
-        out.push_str(&format!(
-            "{}:{}: [{}] {} — {}\n",
-            f.file,
-            f.line,
-            f.severity.as_str(),
-            f.rule,
-            f.note
-        ));
+        push_finding(&mut out, f, f.severity.as_str());
     }
     for f in &report.baselined_findings {
-        out.push_str(&format!(
-            "{}:{}: [baselined] {} — {}\n",
-            f.file, f.line, f.rule, f.note
-        ));
+        push_finding(&mut out, f, "baselined");
     }
     for e in &report.stale_baseline {
+        let id = if e.fingerprint.is_empty() {
+            format!("{}", e.line)
+        } else {
+            e.fingerprint.clone()
+        };
         out.push_str(&format!(
             "{}:{}: [stale-baseline] {} — entry no longer matches any finding; delete it\n",
-            e.file, e.line, e.rule
+            e.file, id, e.rule
         ));
     }
     out.push_str(&format!(
@@ -141,18 +157,21 @@ mod tests {
             file: file.to_string(),
             line,
             note: "note \"with quotes\"".to_string(),
+            fingerprint: "deadbeef00112233".to_string(),
+            chain: vec!["run_collector".to_string(), "helper".to_string()],
         }
     }
 
     fn report() -> Report {
         Report {
             files_scanned: 3,
-            new_findings: vec![finding("panic-unwrap", "crates/net/src/a.rs", 7)],
+            new_findings: vec![finding("panic-reachability", "crates/net/src/a.rs", 7)],
             baselined_findings: vec![finding("nondet-time", "crates/bench/src/h.rs", 196)],
             stale_baseline: vec![BaselineEntry {
                 rule: "panic-unwrap".to_string(),
                 file: "crates/core/src/old.rs".to_string(),
-                line: 9,
+                fingerprint: "0011223344556677".to_string(),
+                line: 0,
                 note: "gone".to_string(),
             }],
         }
@@ -168,6 +187,8 @@ mod tests {
         assert!(a.contains("\\\"with quotes\\\""));
         assert!(a.contains("\"baselined\": true"));
         assert!(a.contains("\"baselined\": false"));
+        assert!(a.contains("\"fingerprint\": \"deadbeef00112233\""));
+        assert!(a.contains("\"chain\": [\"run_collector\", \"helper\"]"));
         assert!(a.contains("\"stale_baseline\""));
     }
 
@@ -185,9 +206,10 @@ mod tests {
     }
 
     #[test]
-    fn human_output_lists_each_category() {
+    fn human_output_lists_each_category_and_chains() {
         let h = to_human(&report());
-        assert!(h.contains("crates/net/src/a.rs:7: [error] panic-unwrap"));
+        assert!(h.contains("crates/net/src/a.rs:7: [error] panic-reachability"));
+        assert!(h.contains("    chain: run_collector -> helper"));
         assert!(h.contains("[baselined] nondet-time"));
         assert!(h.contains("[stale-baseline] panic-unwrap"));
         assert!(h.contains("1 new finding(s), 1 baselined, 1 stale"));

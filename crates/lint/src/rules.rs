@@ -1,21 +1,25 @@
-//! The project-specific rules — each one makes a PR's manually-audited
-//! invariant machine-checked.
+//! Site detectors and the local (single-file) rules — each rule makes a
+//! PR's manually-audited invariant machine-checked.
 //!
-//! | rule | crates | guards |
-//! |------|--------|--------|
-//! | `nondet-time` | core, ml, sim, parallel, bench, capsearch, fleet, chaosnet | PR 1's byte-identical determinism: no wall clocks or entropy in deterministic paths |
-//! | `nondet-iteration` | core, ml, sim, parallel, bench, capsearch, fleet, chaosnet | PR 1/3: no unordered `HashMap`/`HashSet` iteration that could reorder serialized output |
-//! | `panic-unwrap` | core, net, fleet, chaosnet | PR 4's audit: no `unwrap`/`expect`/`panic!` in runtime paths |
-//! | `panic-indexing` | core, net, fleet, chaosnet | PR 4: no direct indexing (`x[i]`) that can panic in runtime paths |
+//! | rule | scope | guards |
+//! |------|-------|--------|
+//! | `nondet-time` | deterministic crates | PR 1's byte-identical determinism: no wall clocks or entropy in deterministic paths |
+//! | `nondet-iteration` | deterministic crates | PR 1/3: no unordered `HashMap`/`HashSet` iteration that could reorder serialized output |
 //! | `protocol-wildcard-match` | net/src/frame.rs | PR 2: wire-enum matches stay exhaustive so a new `Frame` variant forces every site to be revisited |
 //! | `protocol-wire-registry` | net/src/frame.rs | PR 2: every serialized wire type is consciously registered (and `PROTO_VERSION` bumped) |
 //! | `config-bypass` | workspace | PR 2/4: validated config structs are built through their checked constructors, not struct literals |
 //!
+//! The v1 line-local `panic-unwrap`/`panic-indexing` rules are gone:
+//! panic sites are now detected here ([`panic_sites`]) but *reported*
+//! interprocedurally by [`crate::taint`]'s panic-reachability analysis,
+//! which only flags sites an actual runtime entry point can reach — and
+//! proves the rest unreachable instead of baselining them.
+//!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt
-//! from the determinism and panic rules: tests legitimately unwrap.
+//! from the determinism and panic detectors: tests legitimately unwrap.
 
 use crate::lexer::{Tok, TokKind};
-use crate::{Finding, Severity, WorkspaceIndex};
+use crate::{Finding, Severity, SourceUnit, WorkspaceIndex};
 
 /// Crates whose outputs must be byte-identical across runs and thread
 /// counts (the PR 1 determinism harness covers these, the capsearch
@@ -41,6 +45,10 @@ pub const PANIC_FREE_CRATES: &[&str] = &["core", "net", "fleet", "chaosnet"];
 
 /// The wire-protocol definition file; the `protocol-*` rules apply here.
 pub const PROTOCOL_FILE_SUFFIX: &str = "net/src/frame.rs";
+
+/// The binary codec file; [`crate::drift`] cross-checks it against the
+/// protocol file.
+pub const CODEC_FILE_SUFFIX: &str = "net/src/binary.rs";
 
 /// Registered wire types in the protocol file. Adding a `Serialize`
 /// type to `frame.rs` without listing it here (and bumping
@@ -89,39 +97,26 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "enum", "impl", "trait", "mod", "dyn", "unsafe", "box", "await", "yield",
 ];
 
-/// A lexed file plus everything the rules need to scope themselves.
-pub struct FileCtx {
-    /// Workspace-relative path with forward slashes.
-    pub rel_path: String,
-    /// Crate short name (`core`, `net`, ... or `webcap` for the root).
-    pub crate_name: String,
-    /// The token stream.
-    pub toks: Vec<Tok>,
-    /// Per-token test-code mask (`#[cfg(test)]` / `#[test]` regions).
-    pub exempt: Vec<bool>,
+/// One detected site: token index, 1-based line, and a human
+/// description of the operation.
+pub struct Site {
+    /// Token index into the unit's stream.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// What the operation is (`\`.unwrap()\``, `\`Instant::now()\``, ...).
+    pub what: String,
 }
 
-impl FileCtx {
-    /// Lex `source` and compute the test-exemption mask.
-    pub fn new(rel_path: &str, source: &str) -> FileCtx {
-        let toks = crate::lexer::lex(source);
-        let exempt = test_exempt_mask(&toks);
-        FileCtx {
-            rel_path: rel_path.to_string(),
-            crate_name: crate_of(rel_path),
-            toks,
-            exempt,
-        }
-    }
-
-    fn finding(&self, rule: &'static str, line: u32, note: String) -> Finding {
-        Finding {
-            rule,
-            severity: Severity::Error,
-            file: self.rel_path.clone(),
-            line,
-            note,
-        }
+fn finding(unit: &SourceUnit, rule: &'static str, line: u32, note: String) -> Finding {
+    Finding {
+        rule,
+        severity: Severity::Error,
+        file: unit.rel_path.clone(),
+        line,
+        note,
+        fingerprint: String::new(),
+        chain: Vec::new(),
     }
 }
 
@@ -138,28 +133,22 @@ pub fn crate_of(rel_path: &str) -> String {
     }
 }
 
-/// For each `{` token index, the index of its matching `}`.
-fn brace_matches(toks: &[Tok]) -> Vec<Option<usize>> {
-    let mut out = vec![None; toks.len()];
-    let mut stack = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        if t.is_punct("{") {
-            stack.push(i);
-        } else if t.is_punct("}") {
-            if let Some(open) = stack.pop() {
-                out[open] = Some(i);
-            }
-        }
-    }
-    out
+/// True for paths the analyzer skips wholesale: integration tests,
+/// benches, and examples are test-adjacent by construction.
+pub fn test_adjacent_path(rel_path: &str) -> bool {
+    rel_path.contains("/tests/")
+        || rel_path.contains("/benches/")
+        || rel_path.contains("/examples/")
+        || rel_path.starts_with("tests/")
+        || rel_path.starts_with("examples/")
 }
 
 /// Mark every token inside a `#[cfg(test)]` / `#[test]`-guarded block
 /// as exempt. The attribute applies to the next braced item (`mod` or
 /// `fn`); an attribute consumed by a non-block item (`use`, `const`)
 /// clears at its `;`.
-fn test_exempt_mask(toks: &[Tok]) -> Vec<bool> {
-    let matches = brace_matches(toks);
+pub(crate) fn test_exempt_mask(toks: &[Tok]) -> Vec<bool> {
+    let matches = crate::parser::brace_matches(toks);
     let mut exempt = vec![false; toks.len()];
     let mut pending = false;
     let mut i = 0usize;
@@ -215,65 +204,70 @@ fn test_exempt_mask(toks: &[Tok]) -> Vec<bool> {
     exempt
 }
 
-/// Run every applicable rule over one file.
-pub fn lint_file(ctx: &FileCtx, index: &WorkspaceIndex) -> Vec<Finding> {
+/// Run every applicable local rule over one file.
+pub fn lint_file(unit: &SourceUnit, index: &WorkspaceIndex) -> Vec<Finding> {
     let mut findings = Vec::new();
-    // Files outside `src/` trees (integration tests, benches, examples)
-    // are test-adjacent by construction.
-    if ctx.rel_path.contains("/tests/")
-        || ctx.rel_path.contains("/benches/")
-        || ctx.rel_path.contains("/examples/")
-        || ctx.rel_path.starts_with("tests/")
-        || ctx.rel_path.starts_with("examples/")
-    {
+    if test_adjacent_path(&unit.rel_path) {
         return findings;
     }
-    if DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()) {
-        rule_nondet_time(ctx, &mut findings);
-        rule_nondet_iteration(ctx, &mut findings);
+    if DETERMINISTIC_CRATES.contains(&unit.crate_name.as_str()) {
+        for s in clock_entropy_sites(unit) {
+            findings.push(finding(
+                unit,
+                "nondet-time",
+                s.line,
+                format!(
+                    "{} in deterministic crate `{}`: results must be \
+                     byte-identical across runs (PR 1 invariant)",
+                    s.what, unit.crate_name
+                ),
+            ));
+        }
+        for s in hash_iteration_sites(unit) {
+            findings.push(finding(
+                unit,
+                "nondet-iteration",
+                s.line,
+                format!(
+                    "{} iterates a hash collection in arbitrary order in \
+                     deterministic crate `{}`; use a BTreeMap/BTreeSet, sort \
+                     first, or count densely (PR 1/3 invariant)",
+                    s.what, unit.crate_name
+                ),
+            ));
+        }
     }
-    if PANIC_FREE_CRATES.contains(&ctx.crate_name.as_str()) {
-        rule_panic_unwrap(ctx, &mut findings);
-        rule_panic_indexing(ctx, &mut findings);
+    if unit.rel_path.ends_with(PROTOCOL_FILE_SUFFIX) {
+        rule_protocol_wildcard_match(unit, &mut findings);
+        rule_protocol_wire_registry(unit, &mut findings);
     }
-    if ctx.rel_path.ends_with(PROTOCOL_FILE_SUFFIX) {
-        rule_protocol_wildcard_match(ctx, &mut findings);
-        rule_protocol_wire_registry(ctx, &mut findings);
-    }
-    rule_config_bypass(ctx, index, &mut findings);
+    rule_config_bypass(unit, index, &mut findings);
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
     findings
 }
 
-/// `nondet-time`: wall clocks and entropy sources are banned in the
-/// deterministic crates — one `Instant::now()` in a training path and
-/// the byte-identity harness can no longer hold.
-fn rule_nondet_time(ctx: &FileCtx, findings: &mut Vec<Finding>) {
-    let toks = &ctx.toks;
+/// Wall clocks and ambient entropy: `SystemTime::now`, `Instant::now`,
+/// `thread_rng`, `rand::rng`, `from_entropy`, `from_os_rng`, `OsRng`.
+pub fn clock_entropy_sites(unit: &SourceUnit) -> Vec<Site> {
+    let toks = &unit.toks;
+    let mut out = Vec::new();
     for i in 0..toks.len() {
-        if ctx.exempt[i] {
+        if unit.exempt[i] {
             continue;
         }
         let t = &toks[i];
-        // `SystemTime::now` / `Instant::now`.
         if (t.is_ident("SystemTime") || t.is_ident("Instant"))
             && i + 2 < toks.len()
             && toks[i + 1].is_punct("::")
             && toks[i + 2].is_ident("now")
         {
-            findings.push(ctx.finding(
-                "nondet-time",
-                t.line,
-                format!(
-                    "{}::now() in deterministic crate `{}`: results must be \
-                     byte-identical across runs (PR 1 invariant)",
-                    t.text, ctx.crate_name
-                ),
-            ));
+            out.push(Site {
+                tok: i,
+                line: t.line,
+                what: format!("`{}::now()`", t.text),
+            });
         }
-        // Ambient entropy: `thread_rng`, `rand::rng`, `from_entropy`,
-        // `from_os_rng`, `OsRng`.
         let ambient = t.is_ident("thread_rng")
             || t.is_ident("from_entropy")
             || t.is_ident("from_os_rng")
@@ -283,26 +277,21 @@ fn rule_nondet_time(ctx: &FileCtx, findings: &mut Vec<Finding>) {
                 && toks[i + 1].is_punct("::")
                 && toks[i + 2].is_ident("rng"));
         if ambient {
-            findings.push(ctx.finding(
-                "nondet-time",
-                t.line,
-                format!(
-                    "ambient entropy (`{}`) in deterministic crate `{}`: seed \
-                     explicitly so runs replay byte-identically (PR 1 invariant)",
-                    t.text, ctx.crate_name
-                ),
-            ));
+            out.push(Site {
+                tok: i,
+                line: t.line,
+                what: format!("ambient entropy (`{}`)", t.text),
+            });
         }
     }
+    out
 }
 
-/// `nondet-iteration`: iterating a `HashMap`/`HashSet` yields a
-/// platform- and run-dependent order; if that order reaches serialized
-/// output the byte-identity promise breaks. Names are resolved
-/// lexically: any binding, field, or static declared with a hash type
-/// in this file is tracked, and iteration-shaped uses of it flagged.
-fn rule_nondet_iteration(ctx: &FileCtx, findings: &mut Vec<Finding>) {
-    let toks = &ctx.toks;
+/// Iteration-shaped uses of names declared with a `HashMap`/`HashSet`
+/// type in this file. Names are resolved lexically.
+pub fn hash_iteration_sites(unit: &SourceUnit) -> Vec<Site> {
+    let toks = &unit.toks;
+    let mut out = Vec::new();
     // Pass 1: names declared with a hash-collection type.
     let mut hash_names: Vec<String> = Vec::new();
     let note_name = |name: &str, hash_names: &mut Vec<String>| {
@@ -312,7 +301,7 @@ fn rule_nondet_iteration(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     };
     for i in 0..toks.len() {
         let t = &toks[i];
-        if ctx.exempt[i] || !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+        if unit.exempt[i] || !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
             // A name declared inside test code is out of scope for
             // runtime code; collecting it would only manufacture
             // false positives (e.g. a test-only HashMap reference
@@ -345,11 +334,11 @@ fn rule_nondet_iteration(ctx: &FileCtx, findings: &mut Vec<Finding>) {
         }
     }
     if hash_names.is_empty() {
-        return;
+        return out;
     }
     // Pass 2: iteration-shaped uses of those names.
     for i in 0..toks.len() {
-        if ctx.exempt[i] {
+        if unit.exempt[i] {
             continue;
         }
         let t = &toks[i];
@@ -362,18 +351,11 @@ fn rule_nondet_iteration(ctx: &FileCtx, findings: &mut Vec<Finding>) {
             && toks[i + 2].kind == TokKind::Ident
             && HASH_ITER_METHODS.contains(&toks[i + 2].text.as_str())
         {
-            findings.push(ctx.finding(
-                "nondet-iteration",
-                t.line,
-                format!(
-                    "`{}.{}()` iterates a hash collection in arbitrary order in \
-                     deterministic crate `{}`; use a BTreeMap/BTreeSet, sort \
-                     first, or count densely (PR 1/3 invariant)",
-                    t.text,
-                    toks[i + 2].text,
-                    ctx.crate_name
-                ),
-            ));
+            out.push(Site {
+                tok: i,
+                line: t.line,
+                what: format!("`{}.{}()`", t.text, toks[i + 2].text),
+            });
         }
         // `for k in [&[mut]] name {`.
         let mut back = i;
@@ -385,25 +367,54 @@ fn rule_nondet_iteration(ctx: &FileCtx, findings: &mut Vec<Finding>) {
             && i + 1 < toks.len()
             && toks[i + 1].is_punct("{")
         {
-            findings.push(ctx.finding(
-                "nondet-iteration",
-                t.line,
-                format!(
-                    "`for .. in {}` iterates a hash collection in arbitrary \
-                     order in deterministic crate `{}` (PR 1/3 invariant)",
-                    t.text, ctx.crate_name
-                ),
-            ));
+            out.push(Site {
+                tok: i,
+                line: t.line,
+                what: format!("`for .. in {}`", t.text),
+            });
         }
     }
+    out
 }
 
-/// `panic-unwrap`: `unwrap`/`expect` calls and panicking macros in the
-/// runtime paths of the panic-free crates.
-fn rule_panic_unwrap(ctx: &FileCtx, findings: &mut Vec<Finding>) {
-    let toks = &ctx.toks;
+/// Environment reads: `env::var(..)` / `env::var_os(..)` (with or
+/// without a `std::` prefix). Shim exemption (functions whose name
+/// marks them as the typed env seam) is applied by the taint analysis,
+/// which knows the enclosing function.
+pub fn env_read_sites(unit: &SourceUnit) -> Vec<Site> {
+    let toks = &unit.toks;
+    let mut out = Vec::new();
     for i in 0..toks.len() {
-        if ctx.exempt[i] {
+        if unit.exempt[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if !(t.is_ident("var") || t.is_ident("var_os")) {
+            continue;
+        }
+        if i >= 2
+            && toks[i - 1].is_punct("::")
+            && toks[i - 2].is_ident("env")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            out.push(Site {
+                tok: i,
+                line: t.line,
+                what: format!("`env::{}()`", t.text),
+            });
+        }
+    }
+    out
+}
+
+/// Panic sites: `.unwrap()`/`.expect()`, panicking macros, and direct
+/// indexing/slicing (`x[i]`). Reported by panic-reachability only when
+/// an entry point can actually reach the enclosing function.
+pub fn panic_sites(unit: &SourceUnit) -> Vec<Site> {
+    let toks = &unit.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if unit.exempt[i] {
             continue;
         }
         let t = &toks[i];
@@ -412,88 +423,61 @@ fn rule_panic_unwrap(ctx: &FileCtx, findings: &mut Vec<Finding>) {
             && (toks[i + 1].is_ident("unwrap") || toks[i + 1].is_ident("expect"))
             && toks[i + 2].is_punct("(")
         {
-            findings.push(ctx.finding(
-                "panic-unwrap",
-                toks[i + 1].line,
-                format!(
-                    "`.{}()` in a runtime path of `{}`: return a typed error or \
-                     handle the None/Err arm (PR 4 invariant)",
-                    toks[i + 1].text,
-                    ctx.crate_name
-                ),
-            ));
+            out.push(Site {
+                tok: i + 1,
+                line: toks[i + 1].line,
+                what: format!("`.{}()`", toks[i + 1].text),
+            });
         }
         let panicky = t.is_ident("panic")
             || t.is_ident("unreachable")
             || t.is_ident("todo")
             || t.is_ident("unimplemented");
         if panicky && i + 1 < toks.len() && toks[i + 1].is_punct("!") {
-            findings.push(ctx.finding(
-                "panic-unwrap",
-                t.line,
-                format!(
-                    "`{}!` in a runtime path of `{}`: runtime code must fail \
-                     with typed errors, not panics (PR 4 invariant)",
-                    t.text, ctx.crate_name
-                ),
-            ));
+            out.push(Site {
+                tok: i,
+                line: t.line,
+                what: format!("`{}!`", t.text),
+            });
+        }
+        if i > 0 && t.is_punct("[") {
+            let prev = &toks[i - 1];
+            let indexes = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.text == ")" || prev.text == "]",
+                _ => false,
+            };
+            if indexes {
+                out.push(Site {
+                    tok: i,
+                    line: t.line,
+                    what: "direct indexing".to_string(),
+                });
+            }
         }
     }
-}
-
-/// `panic-indexing`: `x[i]` / `x[a..b]` panics on out-of-bounds; in the
-/// panic-free crates every such site is either rewritten (`get`,
-/// iterators) or consciously baselined with a bounds argument.
-fn rule_panic_indexing(ctx: &FileCtx, findings: &mut Vec<Finding>) {
-    let toks = &ctx.toks;
-    for i in 1..toks.len() {
-        if ctx.exempt[i] {
-            continue;
-        }
-        if !toks[i].is_punct("[") {
-            continue;
-        }
-        let prev = &toks[i - 1];
-        let indexes = match prev.kind {
-            TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
-            TokKind::Punct => prev.text == ")" || prev.text == "]",
-            _ => false,
-        };
-        if indexes {
-            findings.push(ctx.finding(
-                "panic-indexing",
-                toks[i].line,
-                format!(
-                    "direct indexing in a runtime path of `{}`: out-of-bounds \
-                     panics here; prefer `get`/iterators, or baseline with a \
-                     bounds argument (PR 4 invariant)",
-                    ctx.crate_name
-                ),
-            ));
-        }
-    }
+    out
 }
 
 /// `protocol-wildcard-match`: a `_ =>` arm in the protocol file
 /// silently swallows future `Frame` variants instead of forcing every
 /// match site to be revisited when the wire dialect grows.
-fn rule_protocol_wildcard_match(ctx: &FileCtx, findings: &mut Vec<Finding>) {
-    let toks = &ctx.toks;
+fn rule_protocol_wildcard_match(unit: &SourceUnit, findings: &mut Vec<Finding>) {
+    let toks = &unit.toks;
     for i in 0..toks.len() {
-        if ctx.exempt[i] {
+        if unit.exempt[i] {
             continue;
         }
         if toks[i].is_ident("_") && i + 1 < toks.len() && toks[i + 1].is_punct("=>") {
-            findings.push(
-                ctx.finding(
-                    "protocol-wildcard-match",
-                    toks[i].line,
-                    "wildcard `_ =>` arm in the wire-protocol file: matches on wire \
+            findings.push(finding(
+                unit,
+                "protocol-wildcard-match",
+                toks[i].line,
+                "wildcard `_ =>` arm in the wire-protocol file: matches on wire \
                  enums must stay exhaustive so adding a Frame variant is a \
                  compile-time event at every site (PR 2 invariant)"
-                        .to_string(),
-                ),
-            );
+                    .to_string(),
+            ));
         }
     }
 }
@@ -501,93 +485,29 @@ fn rule_protocol_wildcard_match(ctx: &FileCtx, findings: &mut Vec<Finding>) {
 /// `protocol-wire-registry`: every `Serialize`/`Deserialize` type in
 /// the protocol file must be listed in [`WIRE_TYPE_REGISTRY`] — the
 /// reviewable ledger of what bytes cross the wire.
-fn rule_protocol_wire_registry(ctx: &FileCtx, findings: &mut Vec<Finding>) {
-    let toks = &ctx.toks;
-    let mut i = 0usize;
-    while i < toks.len() {
-        if !(toks[i].is_punct("#") && i + 1 < toks.len() && toks[i + 1].is_punct("[")) {
-            i += 1;
+fn rule_protocol_wire_registry(unit: &SourceUnit, findings: &mut Vec<Finding>) {
+    for ty in &unit.parsed.types {
+        if ty.is_test {
             continue;
         }
-        // Scan the attribute.
-        let mut depth = 0usize;
-        let mut j = i + 1;
-        let mut is_serde_derive = false;
-        let mut saw_derive = false;
-        while j < toks.len() {
-            let a = &toks[j];
-            if a.is_punct("[") {
-                depth += 1;
-            } else if a.is_punct("]") {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            } else if a.is_ident("derive") {
-                saw_derive = true;
-            } else if saw_derive && (a.is_ident("Serialize") || a.is_ident("Deserialize")) {
-                is_serde_derive = true;
-            }
-            j += 1;
-        }
-        let attr_exempt = ctx.exempt[i];
-        i = j + 1;
-        if !is_serde_derive || attr_exempt {
-            continue;
-        }
-        // Find the struct/enum name this derive applies to, skipping
-        // further attributes and visibility.
-        let mut k = i;
-        while k < toks.len() {
-            let t = &toks[k];
-            if t.is_punct("#") && k + 1 < toks.len() && toks[k + 1].is_punct("[") {
-                let mut d = 0usize;
-                let mut m = k + 1;
-                while m < toks.len() {
-                    if toks[m].is_punct("[") {
-                        d += 1;
-                    } else if toks[m].is_punct("]") {
-                        d -= 1;
-                        if d == 0 {
-                            break;
-                        }
-                    }
-                    m += 1;
-                }
-                k = m + 1;
-                continue;
-            }
-            if (t.is_ident("struct") || t.is_ident("enum"))
-                && k + 1 < toks.len()
-                && toks[k + 1].kind == TokKind::Ident
-            {
-                let name = &toks[k + 1];
-                if !WIRE_TYPE_REGISTRY.contains(&name.text.as_str()) {
-                    findings.push(ctx.finding(
-                        "protocol-wire-registry",
-                        name.line,
-                        format!(
-                            "serialized wire type `{}` is not in the wire-type \
-                             registry: register it in webcap-lint's \
-                             WIRE_TYPE_REGISTRY and bump PROTO_VERSION so the \
-                             layout change is a conscious, versioned decision \
-                             (PR 2 invariant)",
-                            name.text
-                        ),
-                    ));
-                }
-                break;
-            }
-            if t.is_ident("pub")
-                || t.is_punct("(")
-                || t.is_punct(")")
-                || t.is_ident("crate")
-                || t.is_ident("super")
-            {
-                k += 1;
-                continue;
-            }
-            break;
+        let serde = ty
+            .derives
+            .iter()
+            .any(|d| d == "Serialize" || d == "Deserialize");
+        if serde && !WIRE_TYPE_REGISTRY.contains(&ty.name.as_str()) {
+            findings.push(finding(
+                unit,
+                "protocol-wire-registry",
+                ty.line,
+                format!(
+                    "serialized wire type `{}` is not in the wire-type \
+                     registry: register it in webcap-lint's \
+                     WIRE_TYPE_REGISTRY and bump PROTO_VERSION so the \
+                     layout change is a conscious, versioned decision \
+                     (PR 2 invariant)",
+                    ty.name
+                ),
+            ));
         }
     }
 }
@@ -595,13 +515,13 @@ fn rule_protocol_wire_registry(ctx: &FileCtx, findings: &mut Vec<Finding>) {
 /// `config-bypass`: struct-literal construction of a validated config
 /// type outside its defining file skips `validate()` — exactly the bug
 /// class `try_new` exists to prevent.
-fn rule_config_bypass(ctx: &FileCtx, index: &WorkspaceIndex, findings: &mut Vec<Finding>) {
+fn rule_config_bypass(unit: &SourceUnit, index: &WorkspaceIndex, findings: &mut Vec<Finding>) {
     if index.validated_configs.is_empty() {
         return;
     }
-    let toks = &ctx.toks;
+    let toks = &unit.toks;
     for i in 0..toks.len() {
-        if ctx.exempt[i] {
+        if unit.exempt[i] {
             continue;
         }
         let t = &toks[i];
@@ -615,7 +535,7 @@ fn rule_config_bypass(ctx: &FileCtx, index: &WorkspaceIndex, findings: &mut Vec<
         else {
             continue;
         };
-        if *def_file == ctx.rel_path {
+        if *def_file == unit.rel_path {
             continue;
         }
         if i + 1 >= toks.len() || !toks[i + 1].is_punct("{") {
@@ -656,7 +576,8 @@ fn rule_config_bypass(ctx: &FileCtx, index: &WorkspaceIndex, findings: &mut Vec<
             steps += 1;
         }
         if !is_definition {
-            findings.push(ctx.finding(
+            findings.push(finding(
+                unit,
                 "config-bypass",
                 t.line,
                 format!(
@@ -674,70 +595,20 @@ fn rule_config_bypass(ctx: &FileCtx, index: &WorkspaceIndex, findings: &mut Vec<
 /// Scan one file for validated config types: any `impl X {{ .. }}`
 /// block containing `fn try_new` or `fn validate`, where `X` ends in
 /// `Config`, marks `X` as validated (defined in this file).
-pub fn collect_validated_configs(ctx: &FileCtx) -> Vec<(String, String)> {
-    let toks = &ctx.toks;
-    let matches = brace_matches(toks);
+pub fn collect_validated_configs(unit: &SourceUnit) -> Vec<(String, String)> {
     let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < toks.len() {
-        if !toks[i].is_ident("impl") {
-            i += 1;
+    for f in &unit.parsed.fns {
+        if f.is_test || !(f.name == "try_new" || f.name == "validate") {
             continue;
         }
-        // Collect the impl target: idents at angle-depth 0 between
-        // `impl` and `{`; `for` resets (trait impl target follows it);
-        // `where` ends the scan.
-        let mut angle: i32 = 0;
-        let mut target: Option<String> = None;
-        let mut j = i + 1;
-        while j < toks.len() {
-            let t = &toks[j];
-            if t.is_punct("{") && angle <= 0 {
-                break;
+        if let Some((ty, _)) = f.qual.split_once("::") {
+            if ty.ends_with("Config") {
+                out.push((ty.to_string(), unit.rel_path.clone()));
             }
-            if t.is_punct(";") {
-                break;
-            }
-            match t.text.as_str() {
-                "<" => angle += 1,
-                ">" => angle -= 1,
-                "<<" => angle += 2,
-                ">>" => angle -= 2,
-                "for" if t.kind == TokKind::Ident && angle <= 0 => target = None,
-                "where" if t.kind == TokKind::Ident && angle <= 0 => break,
-                _ => {
-                    if t.kind == TokKind::Ident && angle <= 0 {
-                        target = Some(t.text.clone());
-                    }
-                }
-            }
-            j += 1;
         }
-        let Some(name) = target else {
-            i = j + 1;
-            continue;
-        };
-        if !(toks.get(j).is_some_and(|t| t.is_punct("{")) && name.ends_with("Config")) {
-            i = j + 1;
-            continue;
-        }
-        let close = matches[j].unwrap_or(toks.len().saturating_sub(1));
-        let mut has_validated_ctor = false;
-        let mut k = j;
-        while k + 1 <= close {
-            if toks[k].is_ident("fn")
-                && (toks[k + 1].is_ident("try_new") || toks[k + 1].is_ident("validate"))
-            {
-                has_validated_ctor = true;
-                break;
-            }
-            k += 1;
-        }
-        if has_validated_ctor {
-            out.push((name, ctx.rel_path.clone()));
-        }
-        i = close + 1;
     }
+    out.sort();
+    out.dedup();
     out
 }
 
@@ -745,12 +616,12 @@ pub fn collect_validated_configs(ctx: &FileCtx) -> Vec<(String, String)> {
 mod tests {
     use super::*;
 
-    fn ctx(path: &str, src: &str) -> FileCtx {
-        FileCtx::new(path, src)
+    fn unit(path: &str, src: &str) -> SourceUnit {
+        SourceUnit::new(path, src)
     }
 
     fn rules_on(path: &str, src: &str) -> Vec<Finding> {
-        lint_file(&ctx(path, src), &WorkspaceIndex::default())
+        lint_file(&unit(path, src), &WorkspaceIndex::default())
     }
 
     #[test]
@@ -775,6 +646,7 @@ mod tests {
     fn test_modules_are_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); let t = Instant::now(); }\n}";
         assert!(rules_on("crates/core/src/meter.rs", src).is_empty());
+        assert!(panic_sites(&unit("crates/core/src/meter.rs", src)).is_empty());
     }
 
     #[test]
@@ -791,26 +663,31 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_and_panic_flagged_in_panic_free_crates() {
-        let src = "fn f(v: Vec<u32>) -> u32 {\n let x = v.first().unwrap();\n panic!(\"no\")\n}";
-        let hits = rules_on("crates/net/src/agent.rs", src);
-        let at: Vec<(&str, u32)> = hits.iter().map(|f| (f.rule, f.line)).collect();
-        assert_eq!(at, vec![("panic-unwrap", 2), ("panic-unwrap", 3)]);
-        // unwrap_or is not unwrap.
-        let ok = "fn f(v: Vec<u32>) -> u32 { v.first().copied().unwrap_or(0) }";
-        assert!(rules_on("crates/net/src/agent.rs", ok).is_empty());
+    fn panic_sites_detect_each_construct() {
+        let src = "fn f(v: Vec<u32>) -> u32 {\n let x = v.first().unwrap();\n v[0] + x;\n panic!(\"no\")\n}";
+        let sites = panic_sites(&unit("crates/net/src/agent.rs", src));
+        let at: Vec<(u32, &str)> = sites.iter().map(|s| (s.line, s.what.as_str())).collect();
+        assert_eq!(
+            at,
+            vec![
+                (2, "`.unwrap()`"),
+                (3, "direct indexing"),
+                (4, "`panic!`")
+            ]
+        );
+        // unwrap_or is not unwrap; slice patterns and array literals
+        // are not indexing.
+        let ok = "fn f(v: [u32; 2]) -> u32 { let [a, _b] = v; v.first().copied().unwrap_or(a) }";
+        assert!(panic_sites(&unit("crates/net/src/agent.rs", ok)).is_empty());
     }
 
     #[test]
-    fn indexing_flagged_but_slice_patterns_are_not() {
-        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] }";
-        let hits = rules_on("crates/core/src/agg.rs", src);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].rule, "panic-indexing");
-        let pat = "fn f(v: [u32; 2]) -> u32 { let [a, _b] = v; a }";
-        assert!(rules_on("crates/core/src/agg.rs", pat).is_empty());
-        let arr = "fn f() -> [u32; 2] { [1, 2] }";
-        assert!(rules_on("crates/core/src/agg.rs", arr).is_empty());
+    fn env_reads_are_detected() {
+        let src = "fn try_from_env() { let _ = std::env::var(\"X\"); }\n\
+                   fn other() { let _ = env::var_os(\"Y\"); }";
+        let sites = env_read_sites(&unit("crates/net/src/frame.rs", src));
+        let at: Vec<u32> = sites.iter().map(|s| s.line).collect();
+        assert_eq!(at, vec![1, 2]);
     }
 
     #[test]
@@ -842,17 +719,17 @@ mod tests {
             )],
         };
         let src = "fn f() { let c = AdmissionConfig { min_ebs: 0 }; }";
-        let hits = lint_file(&ctx("crates/cli/src/commands.rs", src), &index);
+        let hits = lint_file(&unit("crates/cli/src/commands.rs", src), &index);
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert_eq!(hits[0].rule, "config-bypass");
         // The defining file may construct literals (Default impl).
-        assert!(lint_file(&ctx("crates/core/src/admission.rs", src), &index).is_empty());
+        assert!(lint_file(&unit("crates/core/src/admission.rs", src), &index).is_empty());
         // try_new is not a literal.
         let ok = "fn f() { let c = AdmissionController::try_new(AdmissionConfig::default(), 1); }";
-        assert!(lint_file(&ctx("crates/cli/src/commands.rs", ok), &index).is_empty());
+        assert!(lint_file(&unit("crates/cli/src/commands.rs", ok), &index).is_empty());
         // A return type followed by the body brace is not a literal.
         let ret = "fn f() -> AdmissionConfig { AdmissionConfig::default() }";
-        assert!(lint_file(&ctx("crates/cli/src/commands.rs", ret), &index).is_empty());
+        assert!(lint_file(&unit("crates/cli/src/commands.rs", ret), &index).is_empty());
     }
 
     #[test]
@@ -861,7 +738,7 @@ mod tests {
                    impl FooConfig { pub fn validate(&self) -> Result<(), ()> { Ok(()) } }\n\
                    pub struct Bar;\n\
                    impl Bar { pub fn try_new() -> Result<Bar, ()> { Ok(Bar) } }";
-        let got = collect_validated_configs(&ctx("crates/core/src/x.rs", src));
+        let got = collect_validated_configs(&unit("crates/core/src/x.rs", src));
         // Bar has try_new but is not a *Config type.
         assert_eq!(
             got,

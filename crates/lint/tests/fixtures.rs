@@ -1,9 +1,19 @@
-//! Fixture tests: each known-bad snippet under `tests/fixtures/` must
-//! produce exactly the expected `(rule, line)` findings when linted
-//! under its intended virtual path — proving every rule fires, at the
-//! right place, and nowhere else.
+//! Fixture tests, two tiers:
+//!
+//! - single-file fixtures under `tests/fixtures/*.rs` pin the local
+//!   rules to exact `(rule, line)` output under a virtual path;
+//! - seeded fixture *crates* under `tests/fixtures/{panic_reach,
+//!   taint_flow,drift}/` pin the interprocedural analyses to exact
+//!   `(rule, file, line, fingerprint, chain)` output through the full
+//!   [`webcap_lint::lint_sources`] pipeline — proving each analysis
+//!   fires, with the right evidence, and nowhere else.
+//!
+//! The pinned fingerprints are content-addressed (FNV-1a over
+//! rule/file/enclosing-scope/line-content), so they only change when a
+//! fixture's *content* changes — which is exactly when these tests
+//! should force a conscious re-pin.
 
-use webcap_lint::{lint_source, WorkspaceIndex};
+use webcap_lint::{lint_source, lint_sources, WorkspaceIndex};
 
 /// Lint a fixture under a virtual workspace path and return the
 /// `(rule, line)` pairs it produces, in report order.
@@ -18,6 +28,19 @@ fn expect(fixture: &str, as_path: &str, expected: &[(&str, u32)]) {
     let got = run(fixture, as_path, &WorkspaceIndex::default());
     let want: Vec<(String, u32)> = expected.iter().map(|(r, l)| (r.to_string(), *l)).collect();
     assert_eq!(got, want, "fixture linted as {as_path}");
+}
+
+/// Run the full pipeline over a virtual fixture crate and return every
+/// finding as `(rule, file, line, fingerprint, chain)`.
+fn run_crate(srcs: &[(&str, &str)]) -> Vec<(String, String, u32, String, Vec<String>)> {
+    let sources: Vec<(String, String)> = srcs
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    lint_sources(&sources)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.file, f.line, f.fingerprint, f.chain))
+        .collect()
 }
 
 #[test]
@@ -46,34 +69,6 @@ fn nondet_iteration_fires_on_hash_iteration_only() {
         include_str!("fixtures/nondet_iteration.rs"),
         "crates/ml/src/fixture.rs",
         &[("nondet-iteration", 7), ("nondet-iteration", 15)],
-    );
-}
-
-#[test]
-fn panic_unwrap_fires_on_each_construct() {
-    expect(
-        include_str!("fixtures/panic_unwrap.rs"),
-        "crates/net/src/fixture.rs",
-        &[
-            ("panic-unwrap", 5),
-            ("panic-unwrap", 6),
-            ("panic-unwrap", 12),
-            ("panic-unwrap", 15),
-            ("panic-unwrap", 16),
-        ],
-    );
-}
-
-#[test]
-fn panic_indexing_fires_on_index_expressions_only() {
-    expect(
-        include_str!("fixtures/panic_indexing.rs"),
-        "crates/core/src/fixture.rs",
-        &[
-            ("panic-indexing", 5),
-            ("panic-indexing", 6),
-            ("panic-indexing", 10),
-        ],
     );
 }
 
@@ -133,4 +128,92 @@ fn clean_fixture_passes_the_strictest_scope() {
         "crates/core/src/fixture.rs",
         &[],
     );
+}
+
+#[test]
+fn panic_reach_crate_reports_the_entry_connected_chain_only() {
+    let got = run_crate(&[(
+        "crates/net/src/collector.rs",
+        include_str!("fixtures/panic_reach/collector.rs"),
+    )]);
+    // `orphan`'s unwrap is proved unreachable: exactly one finding, at
+    // the indexing site, with the shortest entry chain as evidence.
+    assert_eq!(
+        got,
+        vec![(
+            "panic-reachability".to_string(),
+            "crates/net/src/collector.rs".to_string(),
+            16,
+            "f01af66fe792507e".to_string(),
+            vec![
+                "run_collector".to_string(),
+                "step".to_string(),
+                "decode".to_string(),
+            ],
+        )]
+    );
+}
+
+#[test]
+fn taint_flow_crate_reports_the_source_with_the_sink_chain() {
+    let got = run_crate(&[
+        (
+            "crates/capsearch/src/report.rs",
+            include_str!("fixtures/taint_flow/report.rs"),
+        ),
+        (
+            "crates/net/src/clock.rs",
+            include_str!("fixtures/taint_flow/clock.rs"),
+        ),
+    ]);
+    // The clock is legal in `net` locally; the finding sits at the
+    // source site with the sink → source chain attached.
+    assert_eq!(
+        got,
+        vec![(
+            "determinism-taint".to_string(),
+            "crates/net/src/clock.rs".to_string(),
+            8,
+            "3357a510835603e5".to_string(),
+            vec!["CapacityReport::render".to_string(), "stamp".to_string()],
+        )]
+    );
+}
+
+#[test]
+fn drift_crate_reports_one_finding_per_drift_class() {
+    let got = run_crate(&[
+        (
+            "crates/net/src/frame.rs",
+            include_str!("fixtures/drift/frame.rs"),
+        ),
+        (
+            "crates/net/src/binary.rs",
+            include_str!("fixtures/drift/binary.rs"),
+        ),
+    ]);
+    let want: Vec<(String, String, u32, String, Vec<String>)> = vec![
+        (
+            "wire-drift".to_string(),
+            "crates/net/src/binary.rs".to_string(),
+            7,
+            "443c233f15153615".to_string(),
+            Vec::new(),
+        ),
+        (
+            "wire-drift".to_string(),
+            "crates/net/src/binary.rs".to_string(),
+            14,
+            "1eb54f93f8e6d908".to_string(),
+            Vec::new(),
+        ),
+        (
+            "wire-drift".to_string(),
+            "crates/net/src/frame.rs".to_string(),
+            15,
+            "83282feb4815f073".to_string(),
+            Vec::new(),
+        ),
+    ];
+    assert_eq!(got, want);
 }

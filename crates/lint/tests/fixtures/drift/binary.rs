@@ -1,0 +1,27 @@
+//! Seeded fixture codec (linted as `crates/net/src/binary.rs`):
+//! encode-order swap, decode-literal swap, and a missing tag for
+//! `Frame::Bye` — one of each drift class.
+
+const TAG_PROBE: u8 = 1;
+
+fn put_probe(out: &mut Vec<u8>, cur: &WireProbe) {
+    put_f64(out, cur.t_s);
+    put_u64(out, cur.seq);
+    put_u8(out, cur.tier);
+}
+
+fn probe() -> WireProbe {
+    WireProbe {
+        tier: 0,
+        seq: 0,
+        t_s: 0.0,
+    }
+}
+
+pub fn encode_frame(f: &Frame) {
+    let _ = TAG_PROBE;
+}
+
+pub fn decode_frame(tag: u8) {
+    let _ = TAG_PROBE;
+}

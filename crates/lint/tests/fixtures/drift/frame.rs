@@ -1,0 +1,16 @@
+//! Seeded fixture protocol file (linted as `crates/net/src/frame.rs`):
+//! one wire struct and the `Frame` enum. The codec half
+//! (`drift/binary.rs`) gets all three drift classes wrong against it.
+
+/// Wire struct the codec fixture encodes and decodes out of order.
+pub struct WireProbe {
+    pub seq: u64,
+    pub t_s: f64,
+    pub tier: u8,
+}
+
+/// Frame space: `Bye` has no `TAG_*` constant in the codec fixture.
+pub enum Frame {
+    Probe(WireProbe),
+    Bye { last_seq: u64 },
+}

@@ -1,0 +1,21 @@
+//! Seeded fixture crate (linted as `crates/net/src/collector.rs`):
+//! one panic site wired to a registered entry point through two
+//! helpers, plus an orphaned panic the call graph proves unreachable.
+
+/// Entry point (matches the registered `net` entry `run_collector`).
+pub fn run_collector() {
+    step();
+}
+
+fn step() {
+    decode();
+}
+
+fn decode() {
+    let v: Vec<u32> = Vec::new();
+    let _ = v[0];
+}
+
+fn orphan() {
+    let _ = Option::<u32>::None.unwrap();
+}

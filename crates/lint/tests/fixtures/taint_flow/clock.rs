@@ -1,0 +1,10 @@
+//! Helper-crate half of the taint fixture (linted as
+//! `crates/net/src/clock.rs`): the nondeterministic source. A wall
+//! clock is legal in `net` locally; flowing into a pinned report is
+//! the defect.
+
+/// Wall-clock stamp.
+pub fn stamp() -> String {
+    let _t = std::time::Instant::now();
+    String::new()
+}

@@ -1,0 +1,14 @@
+//! Seeded fixture crate (linted as `crates/capsearch/src/report.rs`):
+//! a byte-stable report whose render path reaches a wall clock defined
+//! in a helper crate — clean locally, poison interprocedurally.
+
+/// Pinned report (matches the registered sink
+/// `capsearch::CapacityReport::render`).
+pub struct CapacityReport;
+
+impl CapacityReport {
+    /// Render the byte-pinned report.
+    pub fn render(&self) -> String {
+        stamp()
+    }
+}

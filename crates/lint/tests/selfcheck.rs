@@ -1,12 +1,15 @@
 //! Self-check: the committed workspace must be clean modulo the
-//! committed `lint-baseline.toml`, and injecting a known-bad snippet
-//! into a scratch workspace must produce a failing report — the two
+//! committed `lint-baseline.toml`, every registered entry point and
+//! sink must still resolve against the real tree (a rename must not
+//! silently disable an analysis), and injecting a known-bad snippet
+//! into a scratch workspace must produce a failing report — the
 //! directions of the CI gate.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use webcap_lint::{lint_workspace, Baseline};
+use webcap_lint::taint::{ENTRY_POINTS, SINKS};
+use webcap_lint::{lint_workspace, taint, Baseline, CallGraph, SourceUnit};
 
 fn workspace_root() -> PathBuf {
     // crates/lint -> crates -> workspace root.
@@ -28,7 +31,10 @@ fn workspace_is_clean_modulo_the_committed_baseline() {
         report
             .new_findings
             .iter()
-            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.note))
+            .map(|f| format!(
+                "  {}:{}: [{}] fingerprint={} {}",
+                f.file, f.line, f.rule, f.fingerprint, f.note
+            ))
             .collect::<Vec<_>>()
             .join("\n")
     );
@@ -38,9 +44,33 @@ fn workspace_is_clean_modulo_the_committed_baseline() {
         report
             .stale_baseline
             .iter()
-            .map(|e| format!("  {}:{}: {}", e.file, e.line, e.rule))
+            .map(|e| format!("  {} {} fingerprint={}", e.file, e.rule, e.fingerprint))
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+#[test]
+fn every_registered_entry_point_and_sink_resolves_in_the_real_tree() {
+    let root = workspace_root();
+    let sources = webcap_lint::workspace_sources(&root).expect("workspace walk");
+    let units: Vec<SourceUnit> = sources
+        .iter()
+        .map(|(rel, abs)| {
+            let text = fs::read_to_string(abs).unwrap_or_else(|e| panic!("{rel}: {e}"));
+            SourceUnit::new(rel, &text)
+        })
+        .collect();
+    let g = CallGraph::build(&units);
+    assert_eq!(
+        taint::unresolved(&g, ENTRY_POINTS),
+        Vec::<(String, String)>::new(),
+        "renamed/removed entry point: update taint::ENTRY_POINTS"
+    );
+    assert_eq!(
+        taint::unresolved(&g, SINKS),
+        Vec::<(String, String)>::new(),
+        "renamed/removed sink: update taint::SINKS"
     );
 }
 
@@ -50,26 +80,54 @@ fn injected_finding_fails_a_scratch_workspace() {
     // parallel runs never collide.
     let scratch =
         std::env::temp_dir().join(format!("webcap-lint-selfcheck-{}", std::process::id()));
-    let src_dir = scratch.join("crates").join("core").join("src");
+    let src_dir = scratch.join("crates").join("net").join("src");
     fs::create_dir_all(&src_dir).expect("scratch workspace dirs");
     fs::write(
         src_dir.join("lib.rs"),
-        "//! Scratch crate.\npub fn f(v: Vec<u32>) -> u32 { v.first().unwrap() + v[1] }\n",
+        "//! Scratch crate.\n\
+         pub fn run_collector(v: Vec<u32>) -> u32 {\n\
+             helper(&v)\n\
+         }\n\
+         fn helper(v: &[u32]) -> u32 {\n\
+             let first = *v.first().unwrap();\n\
+             first + v[1]\n\
+         }\n\
+         fn unreachable_helper(v: &[u32]) -> u32 {\n\
+             v[0]\n\
+         }\n",
     )
     .expect("scratch source");
 
     let report = lint_workspace(&scratch, &Baseline::default()).expect("scratch lints");
     assert!(report.failed(), "injected snippet must fail the run");
-    let rules: Vec<(&str, u32)> = report
+    let got: Vec<(&str, u32, &[String])> = report
         .new_findings
         .iter()
-        .map(|f| (f.rule, f.line))
+        .map(|f| (f.rule, f.line, f.chain.as_slice()))
         .collect();
-    assert_eq!(rules, vec![("panic-indexing", 2), ("panic-unwrap", 2)]);
+    // Both panic sites in `helper` are entry-reachable with the same
+    // two-call chain; `unreachable_helper` is proved away.
+    let chain = ["run_collector".to_string(), "helper".to_string()];
+    assert_eq!(
+        got,
+        vec![
+            ("panic-reachability", 6, &chain[..]),
+            ("panic-reachability", 7, &chain[..]),
+        ]
+    );
+    let prints: Vec<&str> = report
+        .new_findings
+        .iter()
+        .map(|f| f.fingerprint.as_str())
+        .collect();
+    assert!(
+        prints.iter().all(|p| p.len() == 16) && prints[0] != prints[1],
+        "same-line duplicate sites must get distinct fingerprints: {prints:?}"
+    );
 
     // Baselining exactly those findings turns the same workspace green.
-    let baseline =
-        Baseline::parse(&Baseline::render(&report.new_findings)).expect("rendered baseline parses");
+    let baseline = Baseline::parse(&Baseline::render(&report.new_findings, &Baseline::default()))
+        .expect("rendered baseline parses");
     let green = lint_workspace(&scratch, &baseline).expect("scratch lints again");
     assert!(!green.failed(), "baselined findings must not fail");
     assert_eq!(green.baselined_findings.len(), 2);

@@ -232,11 +232,10 @@ impl Assembler {
     /// applied when the session's first sample shows where the
     /// discontinuity fell.
     pub fn on_session_start(&mut self, tier: TierId) {
-        let t = tier.index();
-        if self.had_session[t] {
-            self.fresh_session[t] = true;
+        if *tier.select(&self.had_session) {
+            *tier.select_mut(&mut self.fresh_session) = true;
         } else {
-            self.had_session[t] = true;
+            *tier.select_mut(&mut self.had_session) = true;
         }
     }
 
@@ -267,12 +266,11 @@ impl Assembler {
         ws: WireSample,
         sink: &mut dyn FnMut(i64, &OnlineDecision),
     ) {
-        let t = tier.index();
         let key = ws.t_s.round() as i64;
 
-        if self.fresh_session[t] {
-            self.fresh_session[t] = false;
-            if let Some(k_old) = self.last_key[t] {
+        if *tier.select(&self.fresh_session) {
+            *tier.select_mut(&mut self.fresh_session) = false;
+            if let Some(k_old) = *tier.select(&self.last_key) {
                 if k_old != self.last_key_of(self.window_of(k_old)) {
                     self.poison(self.window_of(k_old));
                 }
@@ -282,7 +280,7 @@ impl Assembler {
             }
         }
 
-        let expected = self.last_key[t].map_or(self.origin, |l| l + 1);
+        let expected = tier.select(&self.last_key).map_or(self.origin, |l| l + 1);
         if key < expected {
             // Duplicate or out-of-order: impossible on one ordered
             // stream, so never silently fold it into an aggregate.
@@ -292,18 +290,19 @@ impl Assembler {
         if key > expected {
             self.poison_gap(self.window_of(expected), self.window_of(key - 1));
         }
-        self.last_key[t] = Some(key);
+        *tier.select_mut(&mut self.last_key) = Some(key);
 
         let window = self.window_of(key);
         if self.poisoned.contains(&window) {
             return;
         }
         let entry = self.pending.entry(key).or_default();
-        if entry[t].is_some() {
+        let slot = tier.select_mut(entry);
+        if slot.is_some() {
             self.anomalies += 1;
             return;
         }
-        entry[t] = Some(ws);
+        *slot = Some(ws);
         if entry.iter().all(Option::is_some) {
             let joined = self.joined.entry(window).or_insert(0);
             *joined += 1;
@@ -332,12 +331,11 @@ impl Assembler {
     /// A tier finished cleanly, announcing its final sequence; detect
     /// trailing loss (frames dropped after the last one we received).
     pub fn on_bye(&mut self, tier: TierId, last_seq: u64) {
-        let t = tier.index();
         let final_key = self.origin + last_seq as i64;
-        let expected = self.last_key[t].map_or(self.origin, |l| l + 1);
+        let expected = tier.select(&self.last_key).map_or(self.origin, |l| l + 1);
         if final_key >= expected {
             self.poison_gap(self.window_of(expected), self.window_of(final_key));
-            self.last_key[t] = Some(final_key);
+            *tier.select_mut(&mut self.last_key) = Some(final_key);
         }
     }
 
@@ -350,8 +348,7 @@ impl Assembler {
     /// idempotent on the poison ledger, so eager quarantine changes no
     /// byte of any surviving window.
     pub fn on_session_abort(&mut self, tier: TierId) {
-        let t = tier.index();
-        if let Some(k) = self.last_key[t] {
+        if let Some(k) = *tier.select(&self.last_key) {
             if k != self.last_key_of(self.window_of(k)) {
                 self.poison(self.window_of(k));
             }
@@ -1043,11 +1040,11 @@ pub fn run_collector(
         match rx.recv_timeout(cfg.idle_timeout) {
             Ok(Event::SessionStart { tier }) => {
                 active += 1;
-                sessions[tier.index()] += 1;
+                *tier.select_mut(&mut sessions) += 1;
                 assembler.on_session_start(tier);
             }
             Ok(Event::Sample { tier, ws }) => {
-                samples[tier.index()] += 1;
+                *tier.select_mut(&mut samples) += 1;
                 assembler.on_sample(tier, *ws, &mut |w, d| {
                     decisions.push((w, d.clone()));
                     on_decision(w, d);

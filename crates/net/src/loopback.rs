@@ -204,9 +204,11 @@ pub fn replay_windows(
         let mut hpc: [Vec<f64>; 2] = Default::default();
         let mut os: [Vec<f64>; 2] = Default::default();
         for tier in TierId::ALL {
-            let (h, o) = samplers[tier.index()].rows(i as u64, s.tier(tier), s.interval_s);
-            hpc[tier.index()] = h;
-            os[tier.index()] = o;
+            let (h, o) = tier
+                .select_mut(&mut samplers)
+                .rows(i as u64, s.tier(tier), s.interval_s);
+            *tier.select_mut(&mut hpc) = h;
+            *tier.select_mut(&mut os) = o;
         }
         let window = (i / window_len) as i64;
         if !windows.contains(&window) {

@@ -710,9 +710,9 @@ impl SupervisedCollector {
 
     /// A tier's session started (or restarted).
     pub fn on_session_start(&mut self, tier: TierId) {
-        let t = tier.index();
-        let is_reconnect = self.sessions[t] > 0 || self.resumed_had_session[t];
-        self.sessions[t] += 1;
+        let is_reconnect =
+            *tier.select(&self.sessions) > 0 || *tier.select(&self.resumed_had_session);
+        *tier.select_mut(&mut self.sessions) += 1;
         self.assembler.on_session_start(tier);
         if is_reconnect {
             self.supervisor.on_reconnect();
@@ -722,7 +722,7 @@ impl SupervisedCollector {
 
     /// One sample arrived.
     pub fn on_sample(&mut self, tier: TierId, ws: crate::frame::WireSample) {
-        self.samples[tier.index()] += 1;
+        *tier.select_mut(&mut self.samples) += 1;
         let mut fresh: Vec<(i64, OnlineDecision)> = Vec::new();
         self.assembler
             .on_sample(tier, ws, &mut |w, d| fresh.push((w, d.clone())));
@@ -838,7 +838,7 @@ pub fn run_supervised_collector(
             Ok(Event::Sample { tier, ws }) => {
                 let before = sc.decisions_len();
                 sc.on_sample(tier, *ws);
-                for (w, d) in sc.decisions()[before..].to_vec() {
+                for (w, d) in sc.decisions().iter().skip(before).cloned().collect::<Vec<_>>() {
                     on_decision(w, &d);
                 }
             }

@@ -33,6 +33,26 @@ impl TierId {
             TierId::Db => "DB",
         }
     }
+
+    /// Select this tier's slot from a per-tier pair (indexed by
+    /// [`TierId::index`] order). Total by construction — the panic-free
+    /// replacement for `pair[tier.index()]`.
+    pub fn select<'a, T>(&self, pair: &'a [T; 2]) -> &'a T {
+        let [app, db] = pair;
+        match self {
+            TierId::App => app,
+            TierId::Db => db,
+        }
+    }
+
+    /// Mutable [`TierId::select`].
+    pub fn select_mut<'a, T>(&self, pair: &'a mut [T; 2]) -> &'a mut T {
+        let [app, db] = pair;
+        match self {
+            TierId::App => app,
+            TierId::Db => db,
+        }
+    }
 }
 
 impl std::fmt::Display for TierId {
